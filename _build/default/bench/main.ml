@@ -1,0 +1,712 @@
+(* Benchmark harness: regenerates every experiment in DESIGN.md §6.
+
+   The paper (PODS'85/JCSS'86) is a theory paper with no measured tables;
+   each experiment here operationalises one of its quantitative claims.
+   Usage:
+     dune exec bench/main.exe            # all experiments, default sizes
+     dune exec bench/main.exe -- E1 E3   # a subset
+     dune exec bench/main.exe -- --quick # smaller sizes (CI)
+*)
+
+open Repro_storage
+open Repro_core
+open Repro_baseline
+open Repro_harness
+module S = Sagiv.Make (Key.Int)
+module C = Compress.Make (Key.Int)
+module Co = Compactor.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+
+let quick = ref false
+let scale n = if !quick then max 1 (n / 10) else n
+
+let ctx = Handle.ctx
+
+(* Insert [n] distinct scattered keys with a single domain. *)
+let preload_handle (h : Tree_intf.handle) ~n ~space =
+  let c = ctx ~slot:0 in
+  let rng = Repro_util.Splitmix.create 0xFEED in
+  let perm = Repro_util.Splitmix.permutation rng space in
+  for i = 0 to n - 1 do
+    ignore (h.Tree_intf.insert c perm.(i) perm.(i))
+  done
+
+let stats_per_op (st : Stats.t) field =
+  if st.Stats.ops = 0 then 0.0 else float_of_int field /. float_of_int st.Stats.ops
+
+(* ------------------------------------------------------------------ *)
+(* E1: lock footprint per operation (the paper's headline claim)       *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  Report.heading "E1: lock footprint per operation";
+  Report.note
+    "Claim (abstract, §1): a Sagiv insertion locks ONE node at a time; \
+     Lehman-Yao holds 2-3 simultaneously; lock-coupling readers lock every \
+     node on the path.";
+  let n = scale 50_000 and ops = scale 20_000 in
+  let rows =
+    List.map
+      (fun (impl : Tree_intf.impl) ->
+        let h = impl.Tree_intf.make ~order:4 in
+        preload_handle h ~n ~space:(2 * n);
+        (* concurrent inserts of fresh disjoint keys: contention on the
+           upper levels is what makes Lehman-Yao's third lock (coupling
+           during the parent-level right-move) appear *)
+        let ins =
+          Driver.run_parallel ~domains:4 ~f:(fun i c ->
+              for j = 0 to (ops / 4) - 1 do
+                ignore (h.Tree_intf.insert c ((2 * n) + (j * 4) + i) j)
+              done)
+        in
+        let srch =
+          Driver.run_parallel ~domains:4 ~f:(fun i c ->
+              let rng = Repro_util.Splitmix.create (7 + i) in
+              for _ = 1 to ops / 4 do
+                ignore (h.Tree_intf.search c (Repro_util.Splitmix.int rng (2 * n)))
+              done)
+        in
+        let sti = ins.Driver.stats and sts = srch.Driver.stats in
+        [
+          impl.Tree_intf.impl_name;
+          Report.fmt_f (stats_per_op sti sti.Stats.lock_acquisitions);
+          string_of_int sti.Stats.max_locks_held;
+          Report.fmt_f (stats_per_op sts sts.Stats.lock_acquisitions);
+          string_of_int sts.Stats.max_locks_held;
+        ])
+      Tree_intf.all
+  in
+  Report.table
+    ~header:
+      [ "tree"; "locks/insert"; "max-held(ins)"; "locks/search"; "max-held(srch)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E2: throughput vs worker domains                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  Report.heading "E2: throughput scaling with worker domains";
+  Report.note
+    "Claim (§1): fewer/shorter locks allow a higher degree of concurrency. \
+     Single-core substrate: differences show as blocking/overhead, not speedup.";
+  let total_ops = scale 160_000 in
+  let space = scale 200_000 in
+  let preload = space / 2 in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  List.iter
+    (fun (mix, mix_name) ->
+      Report.note (Printf.sprintf "mix %s, keyspace %d, preload %d:" mix_name space preload);
+      let rows =
+        List.map
+          (fun (impl : Tree_intf.impl) ->
+            impl.Tree_intf.impl_name
+            :: List.map
+                 (fun d ->
+                   let h = impl.Tree_intf.make ~order:16 in
+                   let spec = Workload.spec ~op_mix:mix ~key_space:space ~preload () in
+                   ignore (Driver.preload h ~seed:42 spec);
+                   let r =
+                     Driver.run_ops h ~domains:d ~ops_per_domain:(total_ops / d)
+                       ~seed:42 spec
+                   in
+                   Report.fmt_si r.Driver.throughput ^ "/s")
+                 domain_counts)
+          Tree_intf.all
+      in
+      Report.table
+        ~header:("tree" :: List.map (fun d -> Printf.sprintf "%dd" d) domain_counts)
+        rows)
+    [
+      (Workload.insert_only, "100% insert");
+      (Workload.balanced, "50/50 search/insert");
+      (Workload.read_mostly, "80/20 search/insert");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: compression keeps nodes at least half full                      *)
+(* ------------------------------------------------------------------ *)
+
+let leaf_fill (rep : Validate.report) =
+  match
+    List.find_opt (fun (l : Validate.level_stats) -> l.Validate.level = 0) rep.Validate.levels
+  with
+  | Some l -> l.Validate.avg_fill
+  | None -> 0.0
+
+let e3_row name t =
+  let rep = V.check t in
+  [
+    name;
+    string_of_int rep.Validate.height;
+    string_of_int rep.Validate.total_nodes;
+    string_of_int rep.Validate.total_keys;
+    Report.fmt_f (leaf_fill rep);
+    Report.fmt_bytes rep.Validate.encoded_bytes;
+  ]
+
+let e3 () =
+  Report.heading "E3: compression restores occupancy and reclaims space";
+  Report.note
+    "Claim (§5.1): the compression process redistributes data so each node \
+     holds >= k pairs and releases empty nodes; without it (Lehman-Yao \
+     regime) space is wasted and the tree stays too tall.";
+  let n = scale 100_000 in
+  let build () =
+    let t = S.create ~order:8 () in
+    let c = ctx ~slot:0 in
+    for k = 1 to n do
+      ignore (S.insert t c k k)
+    done;
+    (t, c)
+  in
+  let delete_80 t c =
+    for k = 1 to n do
+      if k mod 5 <> 0 then ignore (S.delete t c k)
+    done
+  in
+  let t0, c0 = build () in
+  let built_row = e3_row "after build" t0 in
+  delete_80 t0 c0;
+  let no_comp_row = e3_row "deleted 80%, no compression (LY regime)" t0 in
+  (* scan compression on the same tree *)
+  let passes = C.compress_to_fixpoint t0 c0 in
+  ignore (S.reclaim t0);
+  let scan_row = e3_row (Printf.sprintf "after scan compression (%d passes)" passes) t0 in
+  (* queue-driven compression on a fresh tree *)
+  let t1 = S.create ~order:8 ~enqueue_on_delete:true () in
+  let c1 = ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t1 c1 k k)
+  done;
+  delete_80 t1 c1;
+  (match Co.run_until_empty t1 c1 with
+  | `Drained -> ()
+  | `Step_limit -> Report.note "WARN: step limit");
+  ignore (S.reclaim t1);
+  let queue_row = e3_row "after queue-driven compaction" t1 in
+  Report.table
+    ~header:[ "state"; "height"; "nodes"; "keys"; "avg leaf fill"; "bytes" ]
+    [ built_row; no_comp_row; scan_row; queue_row ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: restarts are rare                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  Report.heading "E4: wrong-node restarts under concurrent compaction";
+  Report.note
+    "Claim (§1): solving the wrong-node problem by restarting is cheaper \
+     than lock queues because it happens infrequently.";
+  let space = scale 100_000 in
+  let ops = scale 50_000 in
+  let raw, h = Tree_intf.sagiv_raw ~enqueue_on_delete:true ~order:8 () in
+  let spec = Workload.spec ~op_mix:Workload.mixed_sid ~key_space:space ~preload:space () in
+  ignore (Driver.preload h ~seed:9 spec);
+  let r, comp =
+    Driver.run_ops_with_compaction raw h ~domains:4 ~compactors:2 ~ops_per_domain:ops
+      ~seed:9 spec
+  in
+  let st = r.Driver.stats in
+  let per100k field = 100_000.0 *. float_of_int field /. float_of_int st.Stats.ops in
+  Report.table
+    ~header:[ "metric"; "total"; "per 100k ops" ]
+    [
+      [ "worker ops"; string_of_int st.Stats.ops; "-" ];
+      [
+        "restarts (case 2)";
+        string_of_int st.Stats.restarts;
+        Report.fmt_f (per100k st.Stats.restarts);
+      ];
+      [
+        "tombstone follows (case 1)";
+        string_of_int st.Stats.fwd_follows;
+        Report.fmt_f (per100k st.Stats.fwd_follows);
+      ];
+      [
+        "link follows";
+        string_of_int st.Stats.link_follows;
+        Report.fmt_f (per100k st.Stats.link_follows);
+      ];
+      [
+        "lock-retry moves";
+        string_of_int st.Stats.retries;
+        Report.fmt_f (per100k st.Stats.retries);
+      ];
+      [ "compactor merges"; string_of_int comp.Stats.merges; "-" ];
+      [ "compactor redistributions"; string_of_int comp.Stats.redistributions; "-" ];
+    ];
+  let rep = V.check raw in
+  Report.note
+    (if Validate.ok rep then "tree valid after run"
+     else "TREE INVALID: " ^ String.concat "; " rep.Validate.errors)
+
+(* ------------------------------------------------------------------ *)
+(* E5: any number of compression processes run in parallel             *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  Report.heading "E5: parallel compaction (deadlock-free, shared queue)";
+  Report.note
+    "Claim (§5.4, Thm 2): any number of compression processes may run \
+     concurrently with updaters; insertions' single locks make deadlock \
+     impossible.";
+  let n = scale 100_000 in
+  (* (a) quiescent drain wall-time vs #compactors *)
+  let drain_with compactors =
+    let t = S.create ~order:8 ~enqueue_on_delete:true () in
+    let c = ctx ~slot:0 in
+    for k = 1 to n do
+      ignore (S.insert t c k k)
+    done;
+    for k = 1 to n do
+      if k mod 4 <> 0 then ignore (S.delete t c k)
+    done;
+    let queued = Cqueue.length t.Handle.queue in
+    let t0 = Unix.gettimeofday () in
+    let workers =
+      Array.init compactors (fun i ->
+          Domain.spawn (fun () ->
+              let cc = ctx ~slot:(1 + i) in
+              (match Co.run_until_empty t cc with `Drained -> () | `Step_limit -> ());
+              cc))
+    in
+    let ctxs = Array.map Domain.join workers in
+    let dt = Unix.gettimeofday () -. t0 in
+    let merges =
+      Array.fold_left (fun acc (c : Handle.ctx) -> acc + c.Handle.stats.Stats.merges) 0 ctxs
+    in
+    let valid = Validate.ok (V.check t) in
+    [
+      string_of_int compactors;
+      string_of_int queued;
+      Report.fmt_f ~digits:3 dt ^ "s";
+      string_of_int merges;
+      (if valid then "yes" else "NO");
+    ]
+  in
+  Report.note "(a) quiescent drain after deleting 75%:";
+  Report.table
+    ~header:[ "compactors"; "queued"; "drain time"; "merges"; "valid" ]
+    (List.map drain_with [ 1; 2; 4 ]);
+  (* (b) updater throughput with live compactors *)
+  Report.note "(b) update throughput while compactors run:";
+  let rows =
+    List.map
+      (fun compactors ->
+        let raw, h = Tree_intf.sagiv_raw ~enqueue_on_delete:true ~order:8 () in
+        let spec =
+          Workload.spec ~op_mix:Workload.delete_heavy ~key_space:n ~preload:n ()
+        in
+        ignore (Driver.preload h ~seed:5 spec);
+        let r, comp =
+          if compactors = 0 then
+            ( Driver.run_ops h ~domains:3 ~ops_per_domain:(scale 30_000) ~seed:5 spec,
+              Stats.create () )
+          else
+            Driver.run_ops_with_compaction raw h ~domains:3 ~compactors
+              ~ops_per_domain:(scale 30_000) ~seed:5 spec
+        in
+        [
+          string_of_int compactors;
+          Report.fmt_si r.Driver.throughput ^ "/s";
+          string_of_int comp.Stats.merges;
+          string_of_int (Cqueue.length raw.Handle.queue);
+        ])
+      [ 0; 1; 2 ]
+  in
+  Report.table ~header:[ "compactors"; "updater tput"; "merges"; "queue left" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E6: the B-link cost — link chases per search                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  Report.heading "E6: search cost — link chases vs locks";
+  Report.note
+    "Claim (§1): a search may be prolonged by moving right through links, \
+     but this is more than compensated by taking no locks (lock-coupling \
+     readers latch every node; coarse readers serialise behind updaters).";
+  let space = scale 200_000 in
+  let rows =
+    List.map
+      (fun (impl : Tree_intf.impl) ->
+        let h = impl.Tree_intf.make ~order:16 in
+        preload_handle h ~n:(space / 2) ~space;
+        let spec =
+          Workload.spec ~op_mix:Workload.balanced ~key_space:space ~preload:0 ()
+        in
+        let r = Driver.run_ops h ~domains:4 ~ops_per_domain:(scale 20_000) ~seed:3 spec in
+        let st = r.Driver.stats in
+        [
+          impl.Tree_intf.impl_name;
+          Report.fmt_f ~digits:4 (stats_per_op st st.Stats.link_follows);
+          Report.fmt_f (stats_per_op st st.Stats.lock_acquisitions);
+          Report.fmt_f (stats_per_op st st.Stats.gets);
+          Report.fmt_si r.Driver.throughput ^ "/s";
+        ])
+      Tree_intf.all
+  in
+  Report.table
+    ~header:[ "tree"; "links/op"; "locks/op"; "node reads/op"; "tput (4 domains)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7: emptying a tree takes O(log2 n) compression passes              *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  Report.heading "E7: compression passes to empty a tree";
+  Report.note "Claim (§5.1): O(log2 n) passes of compress-level empty the tree.";
+  let sizes = if !quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let t = S.create ~order:2 () in
+        let c = ctx ~slot:0 in
+        for k = 1 to n do
+          ignore (S.insert t c k k)
+        done;
+        let h0 = S.height t in
+        for k = 1 to n do
+          ignore (S.delete t c k)
+        done;
+        let passes = C.compress_to_fixpoint t c in
+        [
+          string_of_int n;
+          string_of_int h0;
+          string_of_int passes;
+          Report.fmt_f (log (float_of_int n) /. log 2.0);
+          string_of_int (S.height t);
+        ])
+      sizes
+  in
+  Report.table ~header:[ "keys"; "height before"; "passes"; "log2 n"; "height after" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E8: single-threaded micro-latency (bechamel)                        *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  Report.heading "E8: single-threaded micro-latency (bechamel OLS)";
+  Report.note "Engineering baseline: per-op latency with no concurrency.";
+  let open Bechamel in
+  let space = scale 100_000 in
+  let tests =
+    List.concat_map
+      (fun (impl : Tree_intf.impl) ->
+        let h = impl.Tree_intf.make ~order:16 in
+        preload_handle h ~n:(space / 2) ~space;
+        let c = ctx ~slot:0 in
+        let rng = Repro_util.Splitmix.create 1 in
+        let fresh = ref (10 * space) in
+        [
+          Test.make
+            ~name:(impl.Tree_intf.impl_name ^ "/search")
+            (Staged.stage (fun () ->
+                 ignore (h.Tree_intf.search c (Repro_util.Splitmix.int rng space))));
+          Test.make
+            ~name:(impl.Tree_intf.impl_name ^ "/insert")
+            (Staged.stage (fun () ->
+                 incr fresh;
+                 ignore (h.Tree_intf.insert c !fresh 0)));
+        ])
+      Tree_intf.all
+  in
+  let test = Test.make_grouped ~name:"trees" tests in
+  let benchmarks =
+    Benchmark.all
+      (Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ())
+      [ Toolkit.Instance.monotonic_clock ]
+      test
+  in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock benchmarks in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Report.fmt_f e ^ " ns"
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Report.fmt_f ~digits:4 r
+        | None -> "-"
+      in
+      rows := [ name; ns; r2 ] :: !rows)
+    results;
+  Report.table ~header:[ "bench"; "time/op"; "r^2" ] (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E9: the memory hierarchy — buffer-pool size vs locality             *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  Report.heading "E9: disk-resident baseline — buffer pool sweep";
+  Report.note
+    "The paper's nodes live on secondary storage (§2.2); this runs the \
+     sequential B+ tree against the real pager stack (paged file + clock \
+     buffer pool) and sweeps the pool size under uniform vs skewed reads.";
+  let module D = Disk_btree.Make (Key.Int) in
+  let n = scale 100_000 in
+  let searches = scale 100_000 in
+  let rows =
+    List.concat_map
+      (fun (dist_name, dist) ->
+        List.map
+          (fun frames ->
+            let pf = Paged_file.create_memory () in
+            let bp = Buffer_pool.create ~frames pf in
+            let t = D.create ~order:64 bp in
+            for k = 1 to n do
+              ignore (D.insert t k k)
+            done;
+            D.flush t;
+            (* measure reads only *)
+            let d = Repro_util.Distribution.create ~space:n dist in
+            let rng = Repro_util.Splitmix.create 99 in
+            let s0 = D.pool_stats t in
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to searches do
+              ignore (D.search t (1 + Repro_util.Distribution.sample d rng))
+            done;
+            let dt = Unix.gettimeofday () -. t0 in
+            let s1 = D.pool_stats t in
+            let hits = s1.Buffer_pool.hits - s0.Buffer_pool.hits in
+            let misses = s1.Buffer_pool.misses - s0.Buffer_pool.misses in
+            let ratio = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+            [
+              dist_name;
+              string_of_int frames;
+              Report.fmt_f ~digits:3 ratio;
+              Report.fmt_si (float_of_int searches /. dt) ^ "/s";
+            ])
+          [ 8; 64; 512; 4096 ])
+      [
+        ("uniform", Repro_util.Distribution.Uniform);
+        ("zipf(0.99)", Repro_util.Distribution.Zipfian 0.99);
+      ]
+  in
+  Report.table ~header:[ "read dist"; "pool frames"; "hit ratio"; "searches/s" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E10: YCSB-style workloads across the trees                          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  Report.heading "E10: YCSB-style workloads (A/B/C/D/F), 4 domains";
+  Report.note
+    "Standard cloud-serving mixes on every tree: A 50/50 r/u zipf, B 95/5 \
+     zipf, C read-only zipf, D 95/5 fresh-key, F RMW ~ 50/50. Latency \
+     percentiles from per-op timing.";
+  let space = scale 100_000 in
+  let rows =
+    List.concat_map
+      (fun (wname, w) ->
+        List.map
+          (fun (impl : Tree_intf.impl) ->
+            let h = impl.Tree_intf.make ~order:16 in
+            let spec = Workload.ycsb ~key_space:space w in
+            ignore (Driver.preload h ~seed:77 spec);
+            let r =
+              Driver.run_ops ~measure_latency:true h ~domains:4
+                ~ops_per_domain:(scale 15_000) ~seed:77 spec
+            in
+            [
+              wname;
+              impl.Tree_intf.impl_name;
+              Report.fmt_si r.Driver.throughput ^ "/s";
+              (match r.Driver.latency with
+              | Some hist -> Driver.percentiles_line hist
+              | None -> "-");
+            ])
+          [ Tree_intf.sagiv (); Tree_intf.lehman_yao; Tree_intf.lock_couple_optimistic; Tree_intf.coarse ])
+      [ ("A", `A); ("B", `B); ("C", `C); ("D", `D); ("F", `F) ]
+  in
+  Report.table ~header:[ "ycsb"; "tree"; "tput"; "latency" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* A1–A4: ablations of the paper's design choices                      *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  Report.heading "A1 (ablation): node order k";
+  Report.note
+    "Sweep the paper's k (capacity 2k). Larger nodes mean shallower trees \
+     and fewer splits but more copying per rewrite.";
+  let space = scale 200_000 in
+  let rows =
+    List.map
+      (fun order ->
+        let raw, h = Tree_intf.sagiv_raw ~order () in
+        let spec = Workload.spec ~op_mix:Workload.balanced ~key_space:space ~preload:(space / 2) () in
+        ignore (Driver.preload h ~seed:21 spec);
+        let r = Driver.run_ops h ~domains:4 ~ops_per_domain:(scale 20_000) ~seed:21 spec in
+        let rep = V.check raw in
+        [
+          string_of_int order;
+          Report.fmt_si r.Driver.throughput ^ "/s";
+          string_of_int rep.Validate.height;
+          string_of_int rep.Validate.total_nodes;
+          Report.fmt_f (stats_per_op r.Driver.stats r.Driver.stats.Stats.gets);
+          string_of_int r.Driver.stats.Stats.splits;
+        ])
+      [ 2; 8; 32; 128 ]
+  in
+  Report.table
+    ~header:[ "k"; "tput (4d)"; "height"; "nodes"; "reads/op"; "splits" ]
+    rows
+
+let a2 () =
+  Report.heading "A2 (ablation): key distribution";
+  Report.note
+    "Sequential keys hammer the rightmost path — the worst case for \
+     upward split propagation and the motivation for allowing overtaking.";
+  let space = scale 200_000 in
+  let dists =
+    [
+      ("uniform", Repro_util.Distribution.Uniform);
+      ("zipf(0.99)", Repro_util.Distribution.Zipfian 0.99);
+      ("sequential", Repro_util.Distribution.Sequential);
+      ("hotspot", Repro_util.Distribution.Hotspot { hot_fraction = 0.1; hot_probability = 0.9 });
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (impl : Tree_intf.impl) ->
+        List.map
+          (fun (dname, dist) ->
+            let h = impl.Tree_intf.make ~order:16 in
+            let spec =
+              Workload.spec ~op_mix:Workload.balanced ~key_space:space ~dist
+                ~preload:(space / 2) ()
+            in
+            ignore (Driver.preload h ~seed:31 spec);
+            let r =
+              Driver.run_ops h ~domains:4 ~ops_per_domain:(scale 15_000) ~seed:31 spec
+            in
+            [
+              impl.Tree_intf.impl_name;
+              dname;
+              Report.fmt_si r.Driver.throughput ^ "/s";
+              Report.fmt_f ~digits:4 (stats_per_op r.Driver.stats r.Driver.stats.Stats.link_follows);
+            ])
+          dists)
+      [ Tree_intf.sagiv (); Tree_intf.lehman_yao ]
+  in
+  Report.table ~header:[ "tree"; "distribution"; "tput (4d)"; "links/op" ] rows
+
+(* Shared body for A3/A4: search-heavy churn over a small tree with tiny
+   nodes and several compactors — the regime that maximises the chance a
+   reader is en route to a node whose data moves left (case 2). *)
+let restart_pressure_run () =
+  let space = scale 30_000 in
+  let raw, h = Tree_intf.sagiv_raw ~enqueue_on_delete:true ~order:2 () in
+  let churn = Workload.mix ~search:0.5 ~insert:0.2 ~delete:0.3 () in
+  let spec = Workload.spec ~op_mix:churn ~key_space:space ~preload:space () in
+  ignore (Driver.preload h ~seed:77 spec);
+  let r, _ =
+    Driver.run_ops_with_compaction raw h ~domains:4 ~compactors:4
+      ~ops_per_domain:(scale 60_000) ~seed:77 spec
+  in
+  r
+
+let a3 () =
+  Report.heading "A3 (ablation): rewrite order during redistribution";
+  Report.note
+    "The paper (\u{00A7}5.2, crediting Rechter & Salzberg): rewrite the child \
+     that GAINS data first, then the parent, then the other child, to \
+     minimise case-(2) reader restarts. Ablation inverts the order.";
+  let run label =
+    let r = restart_pressure_run () in
+    let st = r.Driver.stats in
+    [
+      label;
+      string_of_int st.Stats.restarts;
+      string_of_int st.Stats.fwd_follows;
+      Report.fmt_si r.Driver.throughput ^ "/s";
+    ]
+  in
+  Restructure.ablate_losing_child_first := false;
+  let paper = run "gains-first (paper)" in
+  Restructure.ablate_losing_child_first := true;
+  let flipped = run "losing-first (ablated)" in
+  Restructure.ablate_losing_child_first := false;
+  Report.table ~header:[ "rewrite order"; "restarts"; "fwd follows"; "tput" ]
+    [ paper; flipped ]
+
+let a4 () =
+  Report.heading "A4 (ablation): restart backtracking";
+  Report.note
+    "\u{00A7}5.2: a restarted process backtracks through its descent stack \
+     before resorting to the root. Ablation restarts from the root always.";
+  let run label =
+    let r = restart_pressure_run () in
+    let st = r.Driver.stats in
+    [
+      label;
+      string_of_int st.Stats.restarts;
+      Report.fmt_f (stats_per_op st st.Stats.gets);
+      Report.fmt_si r.Driver.throughput ^ "/s";
+    ]
+  in
+  Access.backtrack_on_restart := true;
+  let paper = run "backtrack (paper)" in
+  Access.backtrack_on_restart := false;
+  let ablated = run "root-restart (ablated)" in
+  Access.backtrack_on_restart := true;
+  Report.table ~header:[ "restart policy"; "restarts"; "reads/op"; "tput" ]
+    [ paper; ablated ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("E1", e1);
+    ("E2", e2);
+    ("E3", e3);
+    ("E4", e4);
+    ("E5", e5);
+    ("E6", e6);
+    ("E7", e7);
+    ("E8", e8);
+    ("E9", e9);
+    ("E10", e10);
+    ("A1", a1);
+    ("A2", a2);
+    ("A3", a3);
+    ("A4", a4);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    if args = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt (String.uppercase_ascii name) experiments with
+          | Some f -> Some (name, f)
+          | None ->
+              Printf.eprintf "unknown experiment %s (have: %s)\n" name
+                (String.concat " " (List.map fst experiments));
+              exit 2)
+        args
+  in
+  Printf.printf "Sagiv B*-tree reproduction benchmarks%s\n"
+    (if !quick then " (quick mode)" else "");
+  Printf.printf "cores available: %d (single-core: scaling rows show overhead, not speedup)\n"
+    (Domain.recommended_domain_count ());
+  List.iter (fun (_, f) -> f ()) selected

@@ -1,0 +1,320 @@
+(* blink-cli: drive the trees from the command line.
+
+   Subcommands:
+     run       multi-domain workload against a chosen tree implementation
+     compress  build / delete / compress cycle with occupancy reporting
+     dump      print the structure of a small tree
+     snapshot  save/load roundtrip timing for the page codec
+*)
+
+open Cmdliner
+open Repro_storage
+open Repro_core
+open Repro_baseline
+open Repro_harness
+module S = Sagiv.Make (Key.Int)
+module C = Compress.Make (Key.Int)
+module Co = Compactor.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+module D = Dump.Make (Key.Int)
+module Snap = Snapshot.Make (Key.Int)
+
+let impl_of_name = function
+  | "sagiv" -> Tree_intf.sagiv ()
+  | "sagiv-compact" -> Tree_intf.sagiv ~enqueue_on_delete:true ()
+  | "lehman-yao" | "ly" -> Tree_intf.lehman_yao
+  | "lock-couple" | "lc" -> Tree_intf.lock_couple
+  | "lc-optimistic" | "lco" -> Tree_intf.lock_couple_optimistic
+  | "coarse" -> Tree_intf.coarse
+  | s -> failwith (Printf.sprintf "unknown tree %S" s)
+
+let mix_of_name = function
+  | "search" -> Workload.search_only
+  | "insert" -> Workload.insert_only
+  | "balanced" -> Workload.balanced
+  | "read-mostly" -> Workload.read_mostly
+  | "mixed" -> Workload.mixed_sid
+  | "delete-heavy" -> Workload.delete_heavy
+  | s -> failwith (Printf.sprintf "unknown mix %S" s)
+
+let dist_of_name = function
+  | "uniform" -> Repro_util.Distribution.Uniform
+  | "zipf" -> Repro_util.Distribution.Zipfian 0.99
+  | "sequential" -> Repro_util.Distribution.Sequential
+  | "hotspot" -> Repro_util.Distribution.Hotspot { hot_fraction = 0.1; hot_probability = 0.9 }
+  | s -> failwith (Printf.sprintf "unknown distribution %S" s)
+
+(* -- run -- *)
+
+let run_cmd tree_name mix_name dist_name domains ops key_space preload order seed
+    compactors validate latency =
+  let impl = impl_of_name tree_name in
+  let spec =
+    Workload.spec ~op_mix:(mix_of_name mix_name) ~key_space ~dist:(dist_of_name dist_name)
+      ~preload ()
+  in
+  Printf.printf "tree=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d\n%!"
+    impl.Tree_intf.impl_name mix_name dist_name domains ops key_space preload order;
+  let needs_raw = compactors > 0 || (validate && tree_name <> "lehman-yao") in
+  if needs_raw && not (String.length tree_name >= 5 && String.sub tree_name 0 5 = "sagiv")
+  then failwith "--compactors/--validate require a sagiv tree";
+  if needs_raw then begin
+    let raw, h =
+      Tree_intf.sagiv_raw ~enqueue_on_delete:(compactors > 0 || tree_name = "sagiv-compact")
+        ~order ()
+    in
+    let n = Driver.preload h ~seed spec in
+    Printf.printf "preloaded %d keys\n%!" n;
+    let r, comp =
+      if compactors = 0 then
+        ( Driver.run_ops ~measure_latency:latency h ~domains ~ops_per_domain:ops ~seed
+            spec,
+          Stats.create () )
+      else
+        Driver.run_ops_with_compaction raw h ~domains ~compactors ~ops_per_domain:ops
+          ~seed spec
+    in
+    Printf.printf "elapsed %.3fs, %s ops/s\n" r.Driver.elapsed_s
+      (Report.fmt_si r.Driver.throughput);
+    Printf.printf "workers:    %s\n" (Stats.to_string r.Driver.stats);
+    (match r.Driver.latency with
+    | Some h -> Printf.printf "latency:    %s\n" (Driver.percentiles_line h)
+    | None -> ());
+    if compactors > 0 then Printf.printf "compactors: %s\n" (Stats.to_string comp);
+    if validate then begin
+      let rep = V.check raw in
+      if Validate.ok rep then
+        Printf.printf "validate: OK (height=%d nodes=%d keys=%d)\n" rep.Validate.height
+          rep.Validate.total_nodes rep.Validate.total_keys
+      else begin
+        Printf.printf "validate: FAILED\n";
+        List.iter (fun e -> Printf.printf "  %s\n" e) rep.Validate.errors;
+        exit 1
+      end
+    end
+  end
+  else begin
+    let h = impl.Tree_intf.make ~order in
+    let n = Driver.preload h ~seed spec in
+    Printf.printf "preloaded %d keys\n%!" n;
+    let r = Driver.run_ops ~measure_latency:latency h ~domains ~ops_per_domain:ops ~seed spec in
+    Printf.printf "elapsed %.3fs, %s ops/s\n" r.Driver.elapsed_s
+      (Report.fmt_si r.Driver.throughput);
+    Printf.printf "workers: %s\n" (Stats.to_string r.Driver.stats);
+    (match r.Driver.latency with
+    | Some h -> Printf.printf "latency: %s\n" (Driver.percentiles_line h)
+    | None -> ());
+    Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ()) (h.Tree_intf.height ())
+  end
+
+(* -- compress -- *)
+
+let compress_cmd n order keep_every mode =
+  let enqueue = mode = "queue" in
+  let t = S.create ~order ~enqueue_on_delete:enqueue () in
+  let c = S.ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k k)
+  done;
+  let show label =
+    let rep = V.check t in
+    Printf.printf "%-28s height=%d nodes=%-6d keys=%-7d bytes=%s%s\n" label
+      rep.Validate.height rep.Validate.total_nodes rep.Validate.total_keys
+      (Report.fmt_bytes rep.Validate.encoded_bytes)
+      (if Validate.ok rep then "" else "  INVALID!")
+  in
+  show "built:";
+  for k = 1 to n do
+    if k mod keep_every <> 0 then ignore (S.delete t c k)
+  done;
+  show "after deletes:";
+  (match mode with
+  | "scan" ->
+      let passes = C.compress_to_fixpoint t c in
+      Printf.printf "scan compression: %d passes\n" passes
+  | "queue" -> (
+      match Co.run_until_empty t c with
+      | `Drained -> Printf.printf "queue drained (merges=%d)\n" c.Handle.stats.Stats.merges
+      | `Step_limit -> Printf.printf "step limit hit\n")
+  | m -> failwith ("unknown mode " ^ m));
+  let freed = S.reclaim t in
+  Printf.printf "reclaimed %d pages\n" freed;
+  show "after compression:"
+
+(* -- dump -- *)
+
+let dump_cmd n order =
+  let t = S.create ~order () in
+  let c = S.ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k (k * 10))
+  done;
+  D.print t
+
+(* -- snapshot / checkpoint -- *)
+
+let snapshot_cmd n order path =
+  let module Ck = Checkpoint.Make (Key.Int) in
+  let t = S.create ~order () in
+  let c = S.ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k k)
+  done;
+  match path with
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let bytes = Snap.save t in
+      let t1 = Unix.gettimeofday () in
+      let t' = Snap.load bytes in
+      let t2 = Unix.gettimeofday () in
+      Printf.printf "saved %d keys: %s in %.3fs, loaded in %.3fs\n" n
+        (Report.fmt_bytes (Bytes.length bytes))
+        (t1 -. t0) (t2 -. t1);
+      let rep = V.check t' in
+      Printf.printf "loaded tree: %s (keys=%d)\n"
+        (if Validate.ok rep then "valid" else "INVALID")
+        rep.Validate.total_keys
+  | Some path ->
+      let t0 = Unix.gettimeofday () in
+      let pf = Paged_file.create_file path in
+      Ck.save t pf;
+      Paged_file.close pf;
+      let t1 = Unix.gettimeofday () in
+      let pf = Paged_file.open_file path in
+      let t' = Ck.load pf in
+      let pages = Paged_file.pages pf in
+      Paged_file.close pf;
+      let t2 = Unix.gettimeofday () in
+      Printf.printf "checkpointed %d keys to %s: %d pages (%s) in %.3fs, loaded in %.3fs\n"
+        n path pages
+        (Report.fmt_bytes (pages * Paged_file.default_page_size))
+        (t1 -. t0) (t2 -. t1);
+      let rep = V.check t' in
+      Printf.printf "loaded tree: %s (keys=%d)\n"
+        (if Validate.ok rep then "valid" else "INVALID")
+        rep.Validate.total_keys
+
+(* -- trace: record and replay -- *)
+
+let trace_gen_cmd path mix_name dist_name ops key_space seed =
+  let spec =
+    Workload.spec ~op_mix:(mix_of_name mix_name) ~key_space
+      ~dist:(dist_of_name dist_name) ()
+  in
+  let ops_list = Trace.generate ~seed ~ops spec in
+  Trace.save path ops_list;
+  Printf.printf "wrote %d operations to %s\n" (List.length ops_list) path
+
+let trace_run_cmd path order =
+  let ops = Trace.load path in
+  Printf.printf "replaying %d operations from %s on every tree:\n" (List.length ops) path;
+  let results =
+    List.map
+      (fun (impl : Tree_intf.impl) ->
+        let h = impl.Tree_intf.make ~order in
+        let c = Handle.ctx ~slot:0 in
+        let t0 = Unix.gettimeofday () in
+        let ins, del, found = Trace.replay h c ops in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "  %-14s %.3fs  inserted=%d deleted=%d hits=%d cardinal=%d\n"
+          impl.Tree_intf.impl_name dt ins del found
+          (h.Tree_intf.cardinal ());
+        (ins, del, found, h.Tree_intf.cardinal ()))
+      Tree_intf.all
+  in
+  match results with
+  | first :: rest when List.for_all (( = ) first) rest ->
+      Printf.printf "all trees agree\n"
+  | _ ->
+      Printf.printf "TREES DISAGREE\n";
+      exit 1
+
+(* -- cmdliner plumbing -- *)
+
+let tree_arg =
+  Arg.(value & opt string "sagiv"
+       & info [ "tree"; "t" ] ~docv:"TREE"
+           ~doc:"Tree: sagiv, sagiv-compact, lehman-yao, lock-couple, lc-optimistic, coarse.")
+
+let mix_arg =
+  Arg.(value & opt string "balanced"
+       & info [ "mix"; "m" ] ~docv:"MIX"
+           ~doc:"Mix: search, insert, balanced, read-mostly, mixed, delete-heavy.")
+
+let dist_arg =
+  Arg.(value & opt string "uniform"
+       & info [ "dist" ] ~docv:"DIST" ~doc:"Distribution: uniform, zipf, sequential, hotspot.")
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains"; "d" ] ~docv:"N" ~doc:"Worker domains.")
+
+let ops_arg =
+  Arg.(value & opt int 100_000 & info [ "ops"; "n" ] ~docv:"N" ~doc:"Operations per domain.")
+
+let space_arg =
+  Arg.(value & opt int 200_000 & info [ "keyspace" ] ~docv:"N" ~doc:"Key space size.")
+
+let preload_arg =
+  Arg.(value & opt int 100_000 & info [ "preload" ] ~docv:"N" ~doc:"Keys preloaded.")
+
+let order_arg =
+  Arg.(value & opt int 16 & info [ "order"; "k" ] ~docv:"K" ~doc:"Min pairs per node (cap 2K).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let compactors_arg =
+  Arg.(value & opt int 0 & info [ "compactors" ] ~docv:"N" ~doc:"Background compactor domains (sagiv only).")
+
+let validate_arg =
+  Arg.(value & flag & info [ "validate" ] ~doc:"Check structural invariants afterwards (sagiv only).")
+
+let latency_arg =
+  Arg.(value & flag & info [ "latency" ] ~doc:"Measure per-operation latency percentiles.")
+
+let run_t =
+  Term.(
+    const run_cmd $ tree_arg $ mix_arg $ dist_arg $ domains_arg $ ops_arg $ space_arg
+    $ preload_arg $ order_arg $ seed_arg $ compactors_arg $ validate_arg $ latency_arg)
+
+let n_arg = Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
+
+let keep_arg =
+  Arg.(value & opt int 5 & info [ "keep-every" ] ~docv:"M" ~doc:"Keep every M-th key; delete the rest.")
+
+let mode_arg =
+  Arg.(value & opt string "scan" & info [ "mode" ] ~docv:"MODE" ~doc:"Compression mode: scan or queue.")
+
+let compress_t = Term.(const compress_cmd $ n_arg $ order_arg $ keep_arg $ mode_arg)
+
+let dump_n_arg = Arg.(value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
+let dump_order_arg = Arg.(value & opt int 2 & info [ "order"; "k" ] ~docv:"K" ~doc:"Order.")
+let dump_t = Term.(const dump_cmd $ dump_n_arg $ dump_order_arg)
+let path_arg =
+  Arg.(value & opt (some string) None
+       & info [ "path" ] ~docv:"FILE" ~doc:"Checkpoint to a real paged file instead of an in-memory snapshot.")
+
+let snapshot_t = Term.(const snapshot_cmd $ n_arg $ order_arg $ path_arg)
+
+let trace_path_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+
+let trace_gen_t =
+  Term.(const trace_gen_cmd $ trace_path_arg $ mix_arg $ dist_arg $ ops_arg $ space_arg $ seed_arg)
+
+let trace_run_t = Term.(const trace_run_cmd $ trace_path_arg $ order_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a multi-domain workload") run_t;
+    Cmd.v (Cmd.info "trace-gen" ~doc:"Generate an operation trace file") trace_gen_t;
+    Cmd.v
+      (Cmd.info "trace-run" ~doc:"Replay a trace on every tree and cross-check")
+      trace_run_t;
+    Cmd.v (Cmd.info "compress" ~doc:"Build/delete/compress cycle") compress_t;
+    Cmd.v (Cmd.info "dump" ~doc:"Print a small tree's structure") dump_t;
+    Cmd.v (Cmd.info "snapshot" ~doc:"Save/load roundtrip") snapshot_t;
+  ]
+
+let () =
+  let doc = "Concurrent B*-tree with overtaking (Sagiv 1985) — workload driver" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "blink-cli" ~doc) cmds))

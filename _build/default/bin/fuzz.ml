@@ -1,0 +1,87 @@
+(* Endless randomized concurrency fuzzer: domains hammer a Sagiv tree with
+   mixed operations while compactors run; the structure is validated and
+   cross-checked against owned-key expectations at every round. Exits
+   non-zero on the first violation. Meant for long soak runs:
+
+     dune exec bin/fuzz.exe            # run until interrupted
+     dune exec bin/fuzz.exe -- 20      # 20 rounds
+*)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module Co = Compactor.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+
+let round seed =
+  let order = 2 + (seed mod 7) in
+  let space = 5_000 + (seed * 997 mod 45_000) in
+  let nd = 2 + (seed mod 4) in
+  let compactors = seed mod 3 in
+  let t = S.create ~order ~enqueue_on_delete:(compactors > 0) () in
+  let stop = Atomic.make false in
+  let cdoms =
+    Array.init compactors (fun i ->
+        Domain.spawn (fun () -> Co.run_worker t (S.ctx ~slot:(16 + i)) ~stop))
+  in
+  (* each domain owns keys ≡ i (mod nd); final per-key expectation checked *)
+  let finals =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = S.ctx ~slot:i in
+            let rng = Repro_util.Splitmix.create (seed * 31 + i) in
+            let final = Hashtbl.create 997 in
+            for _ = 1 to 30_000 do
+              let k = (Repro_util.Splitmix.int rng (space / nd) * nd) + i in
+              match Repro_util.Splitmix.int rng 5 with
+              | 0 | 1 ->
+                  ignore (S.insert t c k k);
+                  Hashtbl.replace final k true
+              | 2 | 3 ->
+                  ignore (S.delete t c k);
+                  Hashtbl.replace final k false
+              | _ -> ignore (S.search t c k)
+            done;
+            final))
+  in
+  let finals = Array.map Domain.join finals in
+  Atomic.set stop true;
+  Array.iter Domain.join cdoms;
+  (match Co.run_until_empty t (S.ctx ~slot:20) with
+  | `Drained -> ()
+  | `Step_limit -> failwith "compactor step limit");
+  let rep = V.check t in
+  if rep.Validate.errors <> [] then begin
+    Printf.eprintf "FUZZ FAILURE (seed %d): invalid structure:\n%s\n" seed
+      (String.concat "\n" rep.Validate.errors);
+    exit 1
+  end;
+  let c0 = S.ctx ~slot:0 in
+  Array.iter
+    (fun final ->
+      Hashtbl.iter
+        (fun k should ->
+          let present = S.search t c0 k <> None in
+          if present <> should then begin
+            Printf.eprintf "FUZZ FAILURE (seed %d): key %d present=%b expected=%b\n" seed
+              k present should;
+            exit 1
+          end)
+        final)
+    finals;
+  ignore (S.reclaim t);
+  Printf.printf "round seed=%-6d ok: order=%d domains=%d compactors=%d keys=%d height=%d\n%!"
+    seed order nd compactors rep.Validate.total_keys rep.Validate.height
+
+let () =
+  let rounds =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else max_int
+  in
+  let seed0 = int_of_float (Unix.time ()) mod 100_000 in
+  Printf.printf "fuzzing from seed %d (%s rounds)\n%!" seed0
+    (if rounds = max_int then "unbounded" else string_of_int rounds);
+  let i = ref 0 in
+  while !i < rounds do
+    round (seed0 + !i);
+    incr i
+  done

@@ -1,0 +1,1 @@
+examples/analytics.ml: Array Atomic Domain Key List Printf Repro_core Repro_storage Repro_util Sagiv Unix

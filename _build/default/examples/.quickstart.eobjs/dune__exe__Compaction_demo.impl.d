@@ -1,0 +1,1 @@
+examples/compaction_demo.ml: Array Atomic Domain Handle Key Printf Repro_core Repro_storage Sagiv Store

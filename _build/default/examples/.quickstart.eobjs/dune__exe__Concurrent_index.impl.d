@@ -1,0 +1,1 @@
+examples/concurrent_index.ml: Array Atomic Domain Handle Key Printf Repro_core Repro_storage Repro_util Sagiv Stats Unix

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Atomic Domain Kv Printf Repro_core Repro_storage Repro_util String

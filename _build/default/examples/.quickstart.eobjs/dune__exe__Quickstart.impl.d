@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compress Handle Key Printf Repro_core Repro_storage Sagiv Stats

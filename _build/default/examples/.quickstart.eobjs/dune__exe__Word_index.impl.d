@@ -1,0 +1,1 @@
+examples/word_index.ml: Array Bytes Domain Key List Printf Repro_core Repro_storage Sagiv String

@@ -1,0 +1,64 @@
+(* Quickstart: create a tree, insert, search, delete, compress.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Repro_storage
+open Repro_core
+
+(* The tree is a functor over the key type; Key.Int is the stock instance. *)
+module Tree = Sagiv.Make (Key.Int)
+module Compress = Compress.Make (Key.Int)
+module Validate = Repro_core.Validate.Make (Key.Int)
+
+let () =
+  (* [order] is the paper's k: nodes hold between k and 2k pairs. *)
+  let tree = Tree.create ~order:8 () in
+
+  (* Every worker (here: just this main domain) gets a context carrying its
+     epoch slot and private statistics. *)
+  let ctx = Tree.ctx ~slot:0 in
+
+  (* Insert records: key -> record pointer (any int payload). *)
+  for k = 1 to 10_000 do
+    match Tree.insert tree ctx k (k * 100) with
+    | `Ok -> ()
+    | `Duplicate -> assert false
+  done;
+  Printf.printf "inserted 10000 keys; height = %d\n" (Tree.height tree);
+
+  (* Searches take no locks at all. *)
+  (match Tree.search tree ctx 4242 with
+  | Some payload -> Printf.printf "search 4242 -> payload %d\n" payload
+  | None -> assert false);
+  assert (Tree.search tree ctx 20_000 = None);
+
+  (* Duplicate inserts are reported, not overwritten. *)
+  assert (Tree.insert tree ctx 4242 0 = `Duplicate);
+
+  (* Deletion removes the pair from its leaf (no restructuring, §4)... *)
+  for k = 1 to 10_000 do
+    if k mod 2 = 0 then assert (Tree.delete tree ctx k)
+  done;
+  Printf.printf "deleted half; %d keys left, height still %d\n" (Tree.cardinal tree)
+    (Tree.height tree);
+
+  (* The paper's headline property: despite ~1200 splits above, inserts and
+     deletes never held more than ONE lock at a time. (Compression below
+     holds three, so read the high-water mark now.) *)
+  Printf.printf "max locks held by insert/delete: %d\n"
+    ctx.Handle.stats.Stats.max_locks_held;
+
+  (* ...and a background-style compression pass restores occupancy (§5). *)
+  let passes = Compress.compress_to_fixpoint tree ctx in
+  let freed = Tree.reclaim tree in
+  Printf.printf "compressed in %d passes, released %d pages, height now %d\n" passes
+    freed (Tree.height tree);
+
+  (* The structural invariants can be checked any time the tree is idle. *)
+  let report = Validate.check tree in
+  Printf.printf "valid = %b; %d nodes, %d keys, ~%d bytes on disk\n"
+    (Repro_core.Validate.ok report)
+    report.Repro_core.Validate.total_nodes report.Repro_core.Validate.total_keys
+    report.Repro_core.Validate.encoded_bytes;
+
+  Printf.printf "stats: %s\n" (Stats.to_string ctx.Handle.stats)

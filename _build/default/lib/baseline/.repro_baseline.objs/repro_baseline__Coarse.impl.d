@@ -1,0 +1,1 @@
+lib/baseline/coarse.ml: Fun Handle Key Repro_core Repro_storage Repro_util Seq_btree Stats

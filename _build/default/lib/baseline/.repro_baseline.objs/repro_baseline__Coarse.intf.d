@@ -1,0 +1,1 @@
+lib/baseline/coarse.mli: Handle Key Repro_core Repro_storage

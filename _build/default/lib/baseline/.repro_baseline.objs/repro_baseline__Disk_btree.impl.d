@@ -1,0 +1,1 @@
+lib/baseline/disk_btree.ml: Array Bound Buffer Buffer_pool Bytes Int32 Int64 Key List Node Page_codec Printf Repro_storage

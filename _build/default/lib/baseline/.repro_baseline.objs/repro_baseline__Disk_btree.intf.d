@@ -1,0 +1,1 @@
+lib/baseline/disk_btree.mli: Buffer_pool Key Repro_storage

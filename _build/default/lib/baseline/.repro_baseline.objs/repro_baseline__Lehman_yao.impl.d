@@ -1,0 +1,1 @@
+lib/baseline/lehman_yao.ml: Bound Handle Key Node Prime_block Repro_core Repro_storage Repro_util Stats Store

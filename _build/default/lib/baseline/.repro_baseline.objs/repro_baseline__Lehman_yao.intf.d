@@ -1,0 +1,1 @@
+lib/baseline/lehman_yao.mli: Handle Key Node Repro_core Repro_storage

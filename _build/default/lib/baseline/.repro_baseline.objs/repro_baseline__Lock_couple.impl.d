@@ -1,0 +1,1 @@
+lib/baseline/lock_couple.ml: Array Handle Key List Repro_core Repro_storage Repro_util Stats

@@ -1,0 +1,1 @@
+lib/baseline/lock_couple.mli: Handle Key Repro_core Repro_storage

@@ -1,0 +1,1 @@
+lib/baseline/seq_btree.ml: Array Key Repro_storage

@@ -1,0 +1,1 @@
+lib/baseline/seq_btree.mli: Key Repro_storage

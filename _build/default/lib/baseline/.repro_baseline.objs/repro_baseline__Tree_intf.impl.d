@@ -1,0 +1,1 @@
+lib/baseline/tree_intf.ml: Coarse Handle Lehman_yao Lock_couple Repro_core Repro_storage Sagiv

@@ -1,0 +1,1 @@
+lib/baseline/tree_intf.mli: Handle Repro_core

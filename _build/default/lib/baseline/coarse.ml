@@ -1,0 +1,49 @@
+(** The trivial baseline: one global reader–writer lock around a
+    sequential B+ tree. Readers share; any update is exclusive. This is
+    the zero-concurrency point that every fine-grained scheme in the
+    paper's related work improves upon. *)
+
+open Repro_storage
+open Repro_core
+
+module Make (K : Key.S) = struct
+  module B = Seq_btree.Make (K)
+
+  type t = { tree : B.t; lock : Repro_util.Rwlock.t }
+
+  let create ?(order = 8) () = { tree = B.create ~order (); lock = Repro_util.Rwlock.create () }
+
+  let with_read t (ctx : Handle.ctx) f =
+    Repro_util.Rwlock.read_lock t.lock;
+    Stats.on_lock ctx.Handle.stats;
+    Fun.protect
+      ~finally:(fun () ->
+        Stats.on_unlock ctx.Handle.stats;
+        Repro_util.Rwlock.read_unlock t.lock)
+      f
+
+  let with_write t (ctx : Handle.ctx) f =
+    Repro_util.Rwlock.write_lock t.lock;
+    Stats.on_lock ctx.Handle.stats;
+    Fun.protect
+      ~finally:(fun () ->
+        Stats.on_unlock ctx.Handle.stats;
+        Repro_util.Rwlock.write_unlock t.lock)
+      f
+
+  let search t (ctx : Handle.ctx) k =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    with_read t ctx (fun () -> B.search t.tree k)
+
+  let insert t (ctx : Handle.ctx) k v =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    with_write t ctx (fun () -> B.insert t.tree k v)
+
+  let delete t (ctx : Handle.ctx) k =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    with_write t ctx (fun () -> B.delete t.tree k)
+
+  let cardinal t = B.cardinal t.tree
+  let height t = B.height t.tree
+  let to_list t = B.to_list t.tree
+end

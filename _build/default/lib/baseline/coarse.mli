@@ -1,0 +1,17 @@
+(** The trivial baseline: a global reader–writer lock around a sequential
+    B+ tree. Readers share; updates are exclusive. *)
+
+open Repro_storage
+open Repro_core
+
+module Make (K : Key.S) : sig
+  type t
+
+  val create : ?order:int -> unit -> t
+  val search : t -> Handle.ctx -> K.t -> int option
+  val insert : t -> Handle.ctx -> K.t -> int -> [ `Ok | `Duplicate ]
+  val delete : t -> Handle.ctx -> K.t -> bool
+  val cardinal : t -> int
+  val height : t -> int
+  val to_list : t -> (K.t * int) list
+end

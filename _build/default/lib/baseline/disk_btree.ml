@@ -1,0 +1,335 @@
+(** Disk-resident sequential B+ tree: nodes live in fixed-size pages of a
+    {!Paged_file}, accessed through a {!Buffer_pool}, encoded with
+    {!Page_codec} — the full "each node corresponds to a page or block of
+    secondary storage" stack of §2.2, runnable against a real file.
+
+    Sequential by design (the concurrent algorithms run on the in-memory
+    {!Store}; DESIGN.md §2 records that substitution): it serves as the
+    durable baseline and as the end-to-end exercise of the storage stack —
+    reopening the file recovers the tree.
+
+    Page 0 is the metadata page (magic, order, root page, height, key
+    count); every other page holds one encoded node. Leaves are chained
+    with links for range scans, exactly like their in-memory cousins. *)
+
+open Repro_storage
+
+let magic = 0x44_42_54_31 (* "DBT1" *)
+
+exception Corrupt of string
+exception Node_too_large of int
+
+module Make (K : Key.S) = struct
+  module C = Page_codec.Make (K)
+
+  type t = {
+    pool : Buffer_pool.t;
+    order : int;
+    mutable root : int;  (** page of the root node *)
+    mutable height : int;
+    mutable count : int;
+  }
+
+  (* -- metadata page -- *)
+
+  let write_meta t =
+    let page = Buffer_pool.pin t.pool 0 in
+    Bytes.fill page 0 (Bytes.length page) '\000';
+    Bytes.set_int32_le page 0 (Int32.of_int magic);
+    Bytes.set_int32_le page 4 (Int32.of_int t.order);
+    Bytes.set_int64_le page 8 (Int64.of_int t.root);
+    Bytes.set_int32_le page 16 (Int32.of_int t.height);
+    Bytes.set_int64_le page 20 (Int64.of_int t.count);
+    Buffer_pool.unpin t.pool 0 ~dirty:true
+
+  let read_meta pool =
+    let page = Buffer_pool.pin pool 0 in
+    let r =
+      if Int32.to_int (Bytes.get_int32_le page 0) <> magic then None
+      else
+        Some
+          ( Int32.to_int (Bytes.get_int32_le page 4),
+            Int64.to_int (Bytes.get_int64_le page 8),
+            Int32.to_int (Bytes.get_int32_le page 16),
+            Int64.to_int (Bytes.get_int64_le page 20) )
+    in
+    Buffer_pool.unpin pool 0 ~dirty:false;
+    r
+
+  (* -- node IO -- *)
+
+  let read_node t page : K.t Node.t =
+    let buf = Buffer_pool.pin t.pool page in
+    let node =
+      try fst (C.decode buf ~pos:0)
+      with Page_codec.Corrupt m ->
+        Buffer_pool.unpin t.pool page ~dirty:false;
+        raise (Corrupt (Printf.sprintf "page %d: %s" page m))
+    in
+    Buffer_pool.unpin t.pool page ~dirty:false;
+    node
+
+  let write_node t page (node : K.t Node.t) =
+    let b = Buffer.create 256 in
+    C.encode b node;
+    let len = Buffer.length b in
+    let frame = Buffer_pool.pin t.pool page in
+    if len > Bytes.length frame then begin
+      Buffer_pool.unpin t.pool page ~dirty:false;
+      raise (Node_too_large len)
+    end;
+    Bytes.fill frame 0 (Bytes.length frame) '\000';
+    Buffer.blit b 0 frame 0 len;
+    Buffer_pool.unpin t.pool page ~dirty:true
+
+  let alloc_node t node =
+    let page = Buffer_pool.alloc t.pool in
+    Buffer_pool.unpin t.pool page ~dirty:false;
+    write_node t page node;
+    page
+
+  (* -- create / open -- *)
+
+  (** Largest k whose full node is guaranteed to fit a page, assuming
+      [key_bytes] per encoded key (8 for {!Key.Int}). *)
+  let max_order ~page_size ~key_bytes =
+    (* header <= 40 bytes + bounds <= 2*(1+key_bytes); internal: 2k keys +
+       (2k+1) pointers of 8 bytes *)
+    let fixed = 48 + (2 * (1 + key_bytes)) + 8 in
+    max 1 ((page_size - fixed) / (2 * (key_bytes + 8)))
+
+  let create ?(order = 32) pool =
+    let t = { pool; order; root = -1; height = 1; count = 0 } in
+    (* page 0 = meta *)
+    let m = Buffer_pool.alloc pool in
+    Buffer_pool.unpin pool m ~dirty:false;
+    if m <> 0 then raise (Corrupt "paged file not empty");
+    let root =
+      alloc_node t
+        {
+          Node.level = 0;
+          keys = [||];
+          ptrs = [||];
+          low = Bound.Neg_inf;
+          high = Bound.Pos_inf;
+          link = None;
+          is_root = true;
+          state = Node.Live;
+        }
+    in
+    t.root <- root;
+    write_meta t;
+    t
+
+  (** Open an existing tree in [pool]'s file.
+      @raise Corrupt when page 0 is not a tree header. *)
+  let open_existing pool =
+    match read_meta pool with
+    | None -> raise (Corrupt "bad meta page")
+    | Some (order, root, height, count) -> { pool; order; root; height; count }
+
+  let flush t =
+    write_meta t;
+    Buffer_pool.flush_all t.pool
+
+  (* -- operations (sequential) -- *)
+
+  let rank keys k =
+    let lo = ref 0 and hi = ref (Array.length keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let child_for (n : K.t Node.t) k = n.Node.ptrs.(rank n.Node.keys k)
+
+  let rec search_from t page k =
+    let n = read_node t page in
+    if Node.is_leaf n then
+      let r = rank n.Node.keys k in
+      if r < Node.nkeys n && K.compare n.Node.keys.(r) k = 0 then Some n.Node.ptrs.(r)
+      else None
+    else search_from t (child_for n k) k
+
+  let search t k = search_from t t.root k
+
+  let insert_at arr i v =
+    let n = Array.length arr in
+    Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then v else arr.(j - 1))
+
+  let remove_at arr i =
+    let n = Array.length arr in
+    Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+  (* Insert into the subtree at [page]; on split, returns the new right
+     sibling's (boundary, page). *)
+  let rec insert_node t page k v : [ `Ok | `Duplicate | `Split of K.t * int ] =
+    let n = read_node t page in
+    if Node.is_leaf n then begin
+      let r = rank n.Node.keys k in
+      if r < Node.nkeys n && K.compare n.Node.keys.(r) k = 0 then `Duplicate
+      else begin
+        let keys = insert_at n.Node.keys r k and ptrs = insert_at n.Node.ptrs r v in
+        if Array.length keys <= 2 * t.order then begin
+          write_node t page { n with Node.keys; ptrs };
+          `Ok
+        end
+        else begin
+          let total = Array.length keys in
+          let mid = (total + 1) / 2 in
+          let sep = keys.(mid - 1) in
+          let right =
+            {
+              n with
+              Node.keys = Array.sub keys mid (total - mid);
+              ptrs = Array.sub ptrs mid (total - mid);
+              low = Bound.Key sep;
+              is_root = false;
+            }
+          in
+          let rp = alloc_node t right in
+          write_node t page
+            {
+              n with
+              Node.keys = Array.sub keys 0 mid;
+              ptrs = Array.sub ptrs 0 mid;
+              high = Bound.Key sep;
+              link = Some rp;
+              is_root = false;
+            };
+          `Split (sep, rp)
+        end
+      end
+    end
+    else begin
+      let ci = rank n.Node.keys k in
+      match insert_node t n.Node.ptrs.(ci) k v with
+      | (`Ok | `Duplicate) as r -> r
+      | `Split (sep, rp) ->
+          let keys = insert_at n.Node.keys ci sep
+          and ptrs = insert_at n.Node.ptrs (ci + 1) rp in
+          if Array.length keys <= 2 * t.order then begin
+            write_node t page { n with Node.keys; ptrs };
+            `Ok
+          end
+          else begin
+            let total = Array.length keys in
+            let mid = total / 2 in
+            let sep' = keys.(mid) in
+            let right =
+              {
+                n with
+                Node.keys = Array.sub keys (mid + 1) (total - mid - 1);
+                ptrs = Array.sub ptrs (mid + 1) (total - mid);
+                low = Bound.Key sep';
+                is_root = false;
+              }
+            in
+            let rp = alloc_node t right in
+            write_node t page
+              {
+                n with
+                Node.keys = Array.sub keys 0 mid;
+                ptrs = Array.sub ptrs 0 (mid + 1);
+                high = Bound.Key sep';
+                link = Some rp;
+                is_root = false;
+              };
+            `Split (sep', rp)
+          end
+    end
+
+  let insert t k v : [ `Ok | `Duplicate ] =
+    match insert_node t t.root k v with
+    | `Ok ->
+        t.count <- t.count + 1;
+        `Ok
+    | `Duplicate -> `Duplicate
+    | `Split (sep, rp) ->
+        let old_root = t.root in
+        let level = t.height in
+        let new_root =
+          {
+            Node.level;
+            keys = [| sep |];
+            ptrs = [| old_root; rp |];
+            low = Bound.Neg_inf;
+            high = Bound.Pos_inf;
+            link = None;
+            is_root = true;
+            state = Node.Live;
+          }
+        in
+        t.root <- alloc_node t new_root;
+        t.height <- t.height + 1;
+        t.count <- t.count + 1;
+        `Ok
+
+  let rec delete_node t page k =
+    let n = read_node t page in
+    if Node.is_leaf n then begin
+      let r = rank n.Node.keys k in
+      if r < Node.nkeys n && K.compare n.Node.keys.(r) k = 0 then begin
+        write_node t page
+          { n with Node.keys = remove_at n.Node.keys r; ptrs = remove_at n.Node.ptrs r };
+        true
+      end
+      else false
+    end
+    else delete_node t (child_for n k) k
+
+  let delete t k =
+    let found = delete_node t t.root k in
+    if found then t.count <- t.count - 1;
+    found
+
+  let cardinal t = t.count
+  let height t = t.height
+
+  (** Ordered fold over [lo <= key <= hi] along the on-disk leaf chain. *)
+  let fold_range t ~lo ~hi ~init f =
+    if K.compare lo hi > 0 then init
+    else begin
+      (* descend to lo's leaf *)
+      let rec down page =
+        let n = read_node t page in
+        if Node.is_leaf n then page else down (child_for n lo)
+      in
+      let rec walk page acc =
+        let n = read_node t page in
+        let acc = ref acc in
+        Array.iteri
+          (fun i k ->
+            if K.compare k lo >= 0 && K.compare k hi <= 0 then
+              acc := f !acc k n.Node.ptrs.(i))
+          n.Node.keys;
+        match n.Node.link with
+        | Some next when Bound.compare_key K.compare hi n.Node.high > 0 ->
+            walk next !acc
+        | _ -> !acc
+      in
+      walk (down t.root) init
+    end
+
+  (** Fold over every pair in order (whole leaf chain). *)
+  let fold_all t ~init f =
+    let rec down page =
+      let n = read_node t page in
+      if Node.is_leaf n then page else down n.Node.ptrs.(0)
+    in
+    let rec walk page acc =
+      let n = read_node t page in
+      let acc = ref acc in
+      Array.iteri (fun i k -> acc := f !acc k n.Node.ptrs.(i)) n.Node.keys;
+      match n.Node.link with Some next -> walk next !acc | None -> !acc
+    in
+    walk (down t.root) init
+
+  let to_list t = List.rev (fold_all t ~init:[] (fun acc k v -> (k, v) :: acc))
+
+  (** Buffer-pool statistics for the cache experiments. *)
+  let pool_stats t = Buffer_pool.stats t.pool
+
+  let hit_ratio t = Buffer_pool.hit_ratio t.pool
+end

@@ -1,0 +1,42 @@
+(** Disk-resident sequential B+ tree: one encoded node per fixed-size page
+    of a {!Repro_storage.Paged_file}, accessed through a
+    {!Repro_storage.Buffer_pool}; page 0 is the metadata page. Reopening
+    the file recovers the tree. Sequential by design — the concurrent
+    algorithms run on the in-memory store (DESIGN.md §2). *)
+
+open Repro_storage
+
+exception Corrupt of string
+exception Node_too_large of int
+
+module Make (K : Key.S) : sig
+  type t
+
+  val max_order : page_size:int -> key_bytes:int -> int
+  (** Largest k whose full node is guaranteed to fit one page
+      ([key_bytes] = 8 for {!Key.Int}). *)
+
+  val create : ?order:int -> Buffer_pool.t -> t
+  (** Initialise a tree in an empty paged file.
+      @raise Corrupt if the file is not empty. *)
+
+  val open_existing : Buffer_pool.t -> t
+  (** @raise Corrupt when page 0 is not a tree header. *)
+
+  val flush : t -> unit
+  (** Write the metadata page and all dirty frames; sync. *)
+
+  val search : t -> K.t -> int option
+  val insert : t -> K.t -> int -> [ `Ok | `Duplicate ]
+
+  val delete : t -> K.t -> bool
+  (** Leaf-only, like the other baselines. *)
+
+  val cardinal : t -> int
+  val height : t -> int
+  val fold_range : t -> lo:K.t -> hi:K.t -> init:'a -> ('a -> K.t -> int -> 'a) -> 'a
+  val fold_all : t -> init:'a -> ('a -> K.t -> int -> 'a) -> 'a
+  val to_list : t -> (K.t * int) list
+  val pool_stats : t -> Buffer_pool.stats
+  val hit_ratio : t -> float
+end

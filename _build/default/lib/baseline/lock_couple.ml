@@ -1,0 +1,413 @@
+(** Top-down lock-coupling B+ tree (Bayer & Schkolnick 1977 style) — the
+    representative "top-down" baseline of the paper's introduction.
+
+    Every process, {e including readers}, latches each node before
+    accessing it and releases the previous latch only after acquiring the
+    next (crabbing). Readers take shared latches (2 held at a time).
+    Writers take exclusive latches and keep every {e unsafe} ancestor
+    latched until the leaf is reached, releasing the whole set once a safe
+    node is passed — so a writer's simultaneous-lock count equals the
+    length of its unsafe suffix (up to the whole path). This is the lock
+    regime whose cost Sagiv's and Lehman–Yao's designs eliminate;
+    experiments E1/E2/E6 quantify the difference. *)
+
+open Repro_storage
+open Repro_core
+
+module Make (K : Key.S) = struct
+  type node = {
+    latch : Repro_util.Rwlock.t;
+    mutable keys : K.t array;
+    mutable kids : node array;  (** internal only *)
+    mutable vals : int array;  (** leaf only *)
+    mutable leaf : bool;
+  }
+
+  type t = {
+    anchor : Repro_util.Rwlock.t;  (** guards [root] *)
+    mutable root : node;
+    order : int;
+  }
+
+  let new_leaf () =
+    { latch = Repro_util.Rwlock.create (); keys = [||]; kids = [||]; vals = [||]; leaf = true }
+
+  let create ?(order = 8) () =
+    if order < 1 then invalid_arg "Lock_couple.create: order must be >= 1";
+    { anchor = Repro_util.Rwlock.create (); root = new_leaf (); order }
+
+  let rank keys k =
+    let lo = ref 0 and hi = ref (Array.length keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Child index for [k]: keys >= separator go right. *)
+  let child_index n k =
+    let r = rank n.keys k in
+    if r < Array.length n.keys && K.compare n.keys.(r) k = 0 then r + 1 else r
+
+  let insert_at arr i v =
+    let n = Array.length arr in
+    Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then v else arr.(j - 1))
+
+  let remove_at arr i =
+    let n = Array.length arr in
+    Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+  let read_lock (ctx : Handle.ctx) rw =
+    Repro_util.Rwlock.read_lock rw;
+    Stats.on_lock ctx.Handle.stats
+
+  let read_unlock (ctx : Handle.ctx) rw =
+    Stats.on_unlock ctx.Handle.stats;
+    Repro_util.Rwlock.read_unlock rw
+
+  let write_lock (ctx : Handle.ctx) rw =
+    Repro_util.Rwlock.write_lock rw;
+    Stats.on_lock ctx.Handle.stats
+
+  let write_unlock (ctx : Handle.ctx) rw =
+    Stats.on_unlock ctx.Handle.stats;
+    Repro_util.Rwlock.write_unlock rw
+
+  (* Reader crabbing: hold at most two shared latches at a time. *)
+  let search t (ctx : Handle.ctx) k =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    read_lock ctx t.anchor;
+    let n = t.root in
+    read_lock ctx n.latch;
+    read_unlock ctx t.anchor;
+    let rec go n =
+      if n.leaf then begin
+        let r = rank n.keys k in
+        let res =
+          if r < Array.length n.keys && K.compare n.keys.(r) k = 0 then Some n.vals.(r)
+          else None
+        in
+        read_unlock ctx n.latch;
+        res
+      end
+      else begin
+        let c = n.kids.(child_index n k) in
+        read_lock ctx c.latch;
+        read_unlock ctx n.latch;
+        go c
+      end
+    in
+    go n
+
+  (* A node is insert-safe when adding one pair cannot split it. *)
+  let insert_safe t n = Array.length n.keys < 2 * t.order
+
+  (* Writer descent: exclusive crabbing; when a child is safe, release all
+     currently held ancestor latches. Returns the path of still-latched
+     nodes (leaf first) and whether the anchor is still held. *)
+  let writer_descend t (ctx : Handle.ctx) k ~safe =
+    write_lock ctx t.anchor;
+    let n = t.root in
+    write_lock ctx n.latch;
+    let anchor_held = ref true in
+    let release_ancestors held =
+      List.iter (fun m -> write_unlock ctx m.latch) held;
+      if !anchor_held then begin
+        write_unlock ctx t.anchor;
+        anchor_held := false
+      end
+    in
+    if safe n then release_ancestors [];
+    let rec go n held =
+      if n.leaf then n :: held
+      else begin
+        let c = n.kids.(child_index n k) in
+        write_lock ctx c.latch;
+        let held = n :: held in
+        if safe c then begin
+          release_ancestors held;
+          go c []
+        end
+        else go c held
+      end
+    in
+    let path = go n [] in
+    (path, !anchor_held)
+
+  (* Split [n] in place, returning (separator, right sibling). *)
+  let split_node n =
+    if n.leaf then begin
+      let total = Array.length n.keys in
+      let mid = total / 2 in
+      let right =
+        {
+          latch = Repro_util.Rwlock.create ();
+          keys = Array.sub n.keys mid (total - mid);
+          kids = [||];
+          vals = Array.sub n.vals mid (total - mid);
+          leaf = true;
+        }
+      in
+      n.keys <- Array.sub n.keys 0 mid;
+      n.vals <- Array.sub n.vals 0 mid;
+      (right.keys.(0), right)
+    end
+    else begin
+      let total = Array.length n.keys in
+      let mid = total / 2 in
+      let sep = n.keys.(mid) in
+      let right =
+        {
+          latch = Repro_util.Rwlock.create ();
+          keys = Array.sub n.keys (mid + 1) (total - mid - 1);
+          kids = Array.sub n.kids (mid + 1) (total - mid);
+          vals = [||];
+          leaf = false;
+        }
+      in
+      n.keys <- Array.sub n.keys 0 mid;
+      n.kids <- Array.sub n.kids 0 (mid + 1);
+      (sep, right)
+    end
+
+  let insert t (ctx : Handle.ctx) k v : [ `Ok | `Duplicate ] =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    let path, anchor_held = writer_descend t ctx k ~safe:(insert_safe t) in
+    let release_all () =
+      List.iter (fun m -> write_unlock ctx m.latch) path;
+      if anchor_held then write_unlock ctx t.anchor
+    in
+    match path with
+    | [] -> assert false
+    | leaf :: ancestors ->
+        let r = rank leaf.keys k in
+        if r < Array.length leaf.keys && K.compare leaf.keys.(r) k = 0 then begin
+          release_all ();
+          `Duplicate
+        end
+        else begin
+          leaf.keys <- insert_at leaf.keys r k;
+          leaf.vals <- insert_at leaf.vals r v;
+          ctx.Handle.stats.Stats.puts <- ctx.Handle.stats.Stats.puts + 1;
+          (* Propagate splits through the latched unsafe ancestors. *)
+          let rec bubble n ancestors =
+            if Array.length n.keys <= 2 * t.order then ()
+            else begin
+              let sep, right = split_node n in
+              ctx.Handle.stats.Stats.splits <- ctx.Handle.stats.Stats.splits + 1;
+              match ancestors with
+              | parent :: rest ->
+                  let i = child_index parent sep in
+                  parent.keys <- insert_at parent.keys i sep;
+                  parent.kids <- insert_at parent.kids (i + 1) right;
+                  ctx.Handle.stats.Stats.puts <- ctx.Handle.stats.Stats.puts + 1;
+                  bubble parent rest
+              | [] ->
+                  (* n is the root (anchor is held: the whole path was
+                     unsafe): install a new root. *)
+                  assert anchor_held;
+                  let new_root =
+                    {
+                      latch = Repro_util.Rwlock.create ();
+                      keys = [| sep |];
+                      kids = [| n; right |];
+                      vals = [||];
+                      leaf = false;
+                    }
+                  in
+                  t.root <- new_root
+            end
+          in
+          bubble leaf ancestors;
+          release_all ();
+          `Ok
+        end
+
+  (* Leaf-only deletion (operation parity with the other trees): a delete
+     never propagates, so only the leaf latch is kept. *)
+  let delete t (ctx : Handle.ctx) k =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    let path, anchor_held = writer_descend t ctx k ~safe:(fun n -> n.leaf || true) in
+    (* With every node "safe", writer_descend crabs: path = [leaf]. *)
+    match path with
+    | [] -> assert false
+    | leaf :: rest ->
+        let r = rank leaf.keys k in
+        let found = r < Array.length leaf.keys && K.compare leaf.keys.(r) k = 0 in
+        if found then begin
+          leaf.keys <- remove_at leaf.keys r;
+          leaf.vals <- remove_at leaf.vals r;
+          ctx.Handle.stats.Stats.puts <- ctx.Handle.stats.Stats.puts + 1
+        end;
+        List.iter (fun m -> write_unlock ctx m.latch) (leaf :: rest);
+        if anchor_held then write_unlock ctx t.anchor;
+        found
+
+  (* ---- optimistic writers (Bayer & Schkolnick's improved protocol) ----
+
+     The pessimistic writer above takes exclusive latches on the way down
+     and keeps the unsafe suffix. Their improved variant bets that splits
+     are rare: descend with SHARED latches like a reader, take the
+     exclusive latch only on the leaf, and fall back to the pessimistic
+     descent when the leaf would split. Readers are then blocked only by
+     leaf-level writes (or by the rare pessimistic retry). *)
+
+  (* Shared-crab to the leaf for [k]; return the leaf with its WRITE latch
+     held (parent read latch released after acquiring it). *)
+  let descend_optimistic t (ctx : Handle.ctx) k =
+    read_lock ctx t.anchor;
+    let n = t.root in
+    if n.leaf then begin
+      (* latch order: write child before releasing parent *)
+      write_lock ctx n.latch;
+      read_unlock ctx t.anchor;
+      n
+    end
+    else begin
+      read_lock ctx n.latch;
+      read_unlock ctx t.anchor;
+      let rec go n =
+        let c = n.kids.(child_index n k) in
+        if c.leaf then begin
+          write_lock ctx c.latch;
+          read_unlock ctx n.latch;
+          c
+        end
+        else begin
+          read_lock ctx c.latch;
+          read_unlock ctx n.latch;
+          go c
+        end
+      in
+      go n
+    end
+
+  let insert_optimistic t (ctx : Handle.ctx) k v : [ `Ok | `Duplicate ] =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    let leaf = descend_optimistic t ctx k in
+    let r = rank leaf.keys k in
+    if r < Array.length leaf.keys && K.compare leaf.keys.(r) k = 0 then begin
+      write_unlock ctx leaf.latch;
+      `Duplicate
+    end
+    else if Array.length leaf.keys < 2 * t.order then begin
+      leaf.keys <- insert_at leaf.keys r k;
+      leaf.vals <- insert_at leaf.vals r v;
+      ctx.Handle.stats.Stats.puts <- ctx.Handle.stats.Stats.puts + 1;
+      write_unlock ctx leaf.latch;
+      `Ok
+    end
+    else begin
+      (* the bet failed: release and redo with the pessimistic protocol *)
+      write_unlock ctx leaf.latch;
+      ctx.Handle.stats.Stats.retries <- ctx.Handle.stats.Stats.retries + 1;
+      (* note: ops was already counted; avoid double-counting *)
+      ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops - 1;
+      insert t ctx k v
+    end
+
+  let delete_optimistic t (ctx : Handle.ctx) k =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    let leaf = descend_optimistic t ctx k in
+    let r = rank leaf.keys k in
+    let found = r < Array.length leaf.keys && K.compare leaf.keys.(r) k = 0 in
+    if found then begin
+      leaf.keys <- remove_at leaf.keys r;
+      leaf.vals <- remove_at leaf.vals r;
+      ctx.Handle.stats.Stats.puts <- ctx.Handle.stats.Stats.puts + 1
+    end;
+    write_unlock ctx leaf.latch;
+    found
+
+  (* ---- preemptive splitting (the top-down idea of Guibas & Sedgewick
+     that the paper's §1 discusses as [5]) ----
+
+     Split every FULL node encountered on the way down, so the leaf split
+     never propagates: the parent latch can be released as soon as the
+     child is latched, and a writer holds at most two exclusive latches.
+     The cost is eager splits (a full node is split even when the insert
+     would not have overflowed it), i.e. slightly lower occupancy. *)
+
+  let full t n = Array.length n.keys >= 2 * t.order
+
+  (* Split full child [c] of latched [parent]; parent is not full (the
+     invariant of this descent). Returns without latching anything new. *)
+  let split_child parent c =
+    let sep, right = split_node c in
+    let i = child_index parent sep in
+    parent.keys <- insert_at parent.keys i sep;
+    parent.kids <- insert_at parent.kids (i + 1) right
+
+  let insert_preemptive t (ctx : Handle.ctx) k v : [ `Ok | `Duplicate ] =
+    ctx.Handle.stats.Stats.ops <- ctx.Handle.stats.Stats.ops + 1;
+    write_lock ctx t.anchor;
+    (* ensure the root is not full before descending *)
+    if full t t.root then begin
+      let old_root = t.root in
+      write_lock ctx old_root.latch;
+      let sep, right = split_node old_root in
+      ctx.Handle.stats.Stats.splits <- ctx.Handle.stats.Stats.splits + 1;
+      t.root <-
+        {
+          latch = Repro_util.Rwlock.create ();
+          keys = [| sep |];
+          kids = [| old_root; right |];
+          vals = [||];
+          leaf = false;
+        };
+      write_unlock ctx old_root.latch
+    end;
+    let n = t.root in
+    write_lock ctx n.latch;
+    write_unlock ctx t.anchor;
+    (* invariant: [n] is latched and not full *)
+    let rec go n =
+      if n.leaf then begin
+        let r = rank n.keys k in
+        if r < Array.length n.keys && K.compare n.keys.(r) k = 0 then begin
+          write_unlock ctx n.latch;
+          `Duplicate
+        end
+        else begin
+          n.keys <- insert_at n.keys r k;
+          n.vals <- insert_at n.vals r v;
+          ctx.Handle.stats.Stats.puts <- ctx.Handle.stats.Stats.puts + 1;
+          write_unlock ctx n.latch;
+          `Ok
+        end
+      end
+      else begin
+        let c = n.kids.(child_index n k) in
+        write_lock ctx c.latch;
+        let c =
+          if full t c then begin
+            split_child n c;
+            ctx.Handle.stats.Stats.splits <- ctx.Handle.stats.Stats.splits + 1;
+            (* re-pick: k may now belong to the new right sibling. [n] is
+               still exclusively latched, so releasing [c] before latching
+               the sibling is safe — and keeps the footprint at 2. *)
+            let c' = n.kids.(child_index n k) in
+            if c' != c then begin
+              write_unlock ctx c.latch;
+              write_lock ctx c'.latch;
+              c'
+            end
+            else c
+          end
+          else c
+        in
+        write_unlock ctx n.latch;
+        go c
+      end
+    in
+    go n
+
+  let rec cardinal_node n =
+    if n.leaf then Array.length n.keys
+    else Array.fold_left (fun acc c -> acc + cardinal_node c) 0 n.kids
+
+  let cardinal t = cardinal_node t.root
+
+  let rec height_node n = if n.leaf then 1 else 1 + height_node n.kids.(0)
+  let height t = height_node t.root
+end

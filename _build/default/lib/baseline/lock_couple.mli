@@ -1,0 +1,32 @@
+(** Top-down lock-coupling B+ tree (Bayer–Schkolnick style): every
+    process, readers included, latches each node before accessing it
+    (crabbing); writers keep the whole unsafe suffix of the path latched.
+    The lock regime whose cost the B-link designs eliminate. *)
+
+open Repro_storage
+open Repro_core
+
+module Make (K : Key.S) : sig
+  type t
+
+  val create : ?order:int -> unit -> t
+  val search : t -> Handle.ctx -> K.t -> int option
+  val insert : t -> Handle.ctx -> K.t -> int -> [ `Ok | `Duplicate ]
+  val delete : t -> Handle.ctx -> K.t -> bool
+
+  val insert_optimistic : t -> Handle.ctx -> K.t -> int -> [ `Ok | `Duplicate ]
+  (** Bayer–Schkolnick's improved writer: shared latches down, exclusive
+      on the leaf only, pessimistic {!insert} retry when the leaf would
+      split (counted in [Stats.retries]). *)
+
+  val delete_optimistic : t -> Handle.ctx -> K.t -> bool
+
+  val insert_preemptive : t -> Handle.ctx -> K.t -> int -> [ `Ok | `Duplicate ]
+  (** Top-down preemptive splitting (Guibas–Sedgewick style, the paper's
+      §1 reference [5]): every full node on the descent is split eagerly,
+      so splits never propagate and a writer holds at most two exclusive
+      latches. Costs eager splits (lower occupancy). *)
+
+  val cardinal : t -> int
+  val height : t -> int
+end

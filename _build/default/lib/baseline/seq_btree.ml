@@ -1,0 +1,152 @@
+(** Sequential in-memory B+ tree (no links, no concurrency).
+
+    Serves two roles: the data structure under the coarse global lock
+    baseline ({!Coarse}) and under the lock-coupling baseline's ancestor
+    ({!Lock_couple} uses its own latched variant), and a simple reference
+    for tests. Deletions are leaf-only (no rebalancing), matching the
+    deletion regime of Lehman–Yao and of the paper's §4, so cross-tree
+    comparisons are operation-for-operation fair. *)
+
+open Repro_storage
+
+module Make (K : Key.S) = struct
+  type node =
+    | Leaf of { mutable keys : K.t array; mutable vals : int array }
+    | Internal of { mutable keys : K.t array; mutable kids : node array }
+
+  type t = { mutable root : node; order : int (* k: capacity 2k keys *) }
+
+  let create ?(order = 8) () =
+    if order < 1 then invalid_arg "Seq_btree.create: order must be >= 1";
+    { root = Leaf { keys = [||]; vals = [||] }; order }
+
+  (* Count of keys strictly below [k]. *)
+  let rank keys k =
+    let lo = ref 0 and hi = ref (Array.length keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let insert_at arr i v =
+    let n = Array.length arr in
+    Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then v else arr.(j - 1))
+
+  let remove_at arr i =
+    let n = Array.length arr in
+    Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+  let rec search_node node k =
+    match node with
+    | Leaf l ->
+        let r = rank l.keys k in
+        if r < Array.length l.keys && K.compare l.keys.(r) k = 0 then Some l.vals.(r)
+        else None
+    | Internal i ->
+        (* child j covers keys < keys.(j); the key equal to a separator
+           goes right (separators are copied up exclusive lower bounds) *)
+        let r = rank i.keys k in
+        let r =
+          if r < Array.length i.keys && K.compare i.keys.(r) k = 0 then r + 1 else r
+        in
+        search_node i.kids.(r) k
+
+  let search t k = search_node t.root k
+
+  (* Insert into the subtree; on overflow return the separator and new
+     right sibling to push into the parent. *)
+  let rec insert_node ~order node k v : [ `Ok | `Duplicate | `Split of K.t * node ] =
+    match node with
+    | Leaf l ->
+        let r = rank l.keys k in
+        if r < Array.length l.keys && K.compare l.keys.(r) k = 0 then `Duplicate
+        else begin
+          l.keys <- insert_at l.keys r k;
+          l.vals <- insert_at l.vals r v;
+          if Array.length l.keys <= 2 * order then `Ok
+          else begin
+            let total = Array.length l.keys in
+            let mid = total / 2 in
+            let rkeys = Array.sub l.keys mid (total - mid)
+            and rvals = Array.sub l.vals mid (total - mid) in
+            l.keys <- Array.sub l.keys 0 mid;
+            l.vals <- Array.sub l.vals 0 mid;
+            (* separator = first key of the right sibling; search sends
+               keys >= separator right *)
+            `Split (rkeys.(0), Leaf { keys = rkeys; vals = rvals })
+          end
+        end
+    | Internal i -> (
+        let r = rank i.keys k in
+        let r =
+          if r < Array.length i.keys && K.compare i.keys.(r) k = 0 then r + 1 else r
+        in
+        match insert_node ~order i.kids.(r) k v with
+        | (`Ok | `Duplicate) as res -> res
+        | `Split (sep, right) ->
+            i.keys <- insert_at i.keys r sep;
+            i.kids <- insert_at i.kids (r + 1) right;
+            if Array.length i.keys <= 2 * order then `Ok
+            else begin
+              let total = Array.length i.keys in
+              let mid = total / 2 in
+              let sep' = i.keys.(mid) in
+              let rkeys = Array.sub i.keys (mid + 1) (total - mid - 1)
+              and rkids = Array.sub i.kids (mid + 1) (total - mid) in
+              i.keys <- Array.sub i.keys 0 mid;
+              i.kids <- Array.sub i.kids 0 (mid + 1);
+              `Split (sep', Internal { keys = rkeys; kids = rkids })
+            end)
+
+  let insert t k v : [ `Ok | `Duplicate ] =
+    match insert_node ~order:t.order t.root k v with
+    | `Ok -> `Ok
+    | `Duplicate -> `Duplicate
+    | `Split (sep, right) ->
+        t.root <- Internal { keys = [| sep |]; kids = [| t.root; right |] };
+        `Ok
+
+  (* Leaf-only deletion, as in Lehman–Yao and the paper's §4. *)
+  let rec delete_node node k =
+    match node with
+    | Leaf l ->
+        let r = rank l.keys k in
+        if r < Array.length l.keys && K.compare l.keys.(r) k = 0 then begin
+          l.keys <- remove_at l.keys r;
+          l.vals <- remove_at l.vals r;
+          true
+        end
+        else false
+    | Internal i ->
+        let r = rank i.keys k in
+        let r =
+          if r < Array.length i.keys && K.compare i.keys.(r) k = 0 then r + 1 else r
+        in
+        delete_node i.kids.(r) k
+
+  let delete t k = delete_node t.root k
+
+  let rec cardinal_node = function
+    | Leaf l -> Array.length l.keys
+    | Internal i -> Array.fold_left (fun acc c -> acc + cardinal_node c) 0 i.kids
+
+  let cardinal t = cardinal_node t.root
+
+  let rec height_node = function
+    | Leaf _ -> 1
+    | Internal i -> 1 + height_node i.kids.(0)
+
+  let height t = height_node t.root
+
+  let rec to_list_node acc = function
+    | Leaf l ->
+        let here = ref [] in
+        for i = Array.length l.keys - 1 downto 0 do
+          here := (l.keys.(i), l.vals.(i)) :: !here
+        done;
+        acc @ !here
+    | Internal i -> Array.fold_left to_list_node acc i.kids
+
+  let to_list t = to_list_node [] t.root
+end

@@ -1,0 +1,18 @@
+(** Sequential in-memory B+ tree (no links, no concurrency): the data
+    structure under the coarse-lock baseline and a simple reference for
+    tests. Deletions are leaf-only, matching the other trees' regime so
+    comparisons are operation-for-operation fair. *)
+
+open Repro_storage
+
+module Make (K : Key.S) : sig
+  type t
+
+  val create : ?order:int -> unit -> t
+  val search : t -> K.t -> int option
+  val insert : t -> K.t -> int -> [ `Ok | `Duplicate ]
+  val delete : t -> K.t -> bool
+  val cardinal : t -> int
+  val height : t -> int
+  val to_list : t -> (K.t * int) list
+end

@@ -1,0 +1,137 @@
+(** First-class uniform interface over the four concurrent trees
+    (int keys), so the workload driver and the benches can sweep
+    implementations. *)
+
+open Repro_core
+
+type handle = {
+  name : string;
+  search : Handle.ctx -> int -> int option;
+  insert : Handle.ctx -> int -> int -> [ `Ok | `Duplicate ];
+  delete : Handle.ctx -> int -> bool;
+  cardinal : unit -> int;
+  height : unit -> int;
+}
+
+type impl = { impl_name : string; make : order:int -> handle }
+
+module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
+module Ly_int = Lehman_yao.Make (Repro_storage.Key.Int)
+module Lc_int = Lock_couple.Make (Repro_storage.Key.Int)
+module Coarse_int = Coarse.Make (Repro_storage.Key.Int)
+
+let sagiv ?(enqueue_on_delete = false) () =
+  {
+    impl_name = "sagiv";
+    make =
+      (fun ~order ->
+        let t = Sagiv_int.create ~order ~enqueue_on_delete () in
+        {
+          name = "sagiv";
+          search = Sagiv_int.search t;
+          insert = Sagiv_int.insert t;
+          delete = Sagiv_int.delete t;
+          cardinal = (fun () -> Sagiv_int.cardinal t);
+          height = (fun () -> Sagiv_int.height t);
+        });
+  }
+
+(** Like {!sagiv} but also hands back the raw tree, for benches that run
+    compaction workers alongside. *)
+let sagiv_raw ?(enqueue_on_delete = false) ~order () =
+  let t = Sagiv_int.create ~order ~enqueue_on_delete () in
+  ( t,
+    {
+      name = "sagiv";
+      search = Sagiv_int.search t;
+      insert = Sagiv_int.insert t;
+      delete = Sagiv_int.delete t;
+      cardinal = (fun () -> Sagiv_int.cardinal t);
+      height = (fun () -> Sagiv_int.height t);
+    } )
+
+let lehman_yao =
+  {
+    impl_name = "lehman-yao";
+    make =
+      (fun ~order ->
+        let t = Ly_int.create ~order () in
+        {
+          name = "lehman-yao";
+          search = Ly_int.search t;
+          insert = Ly_int.insert t;
+          delete = Ly_int.delete t;
+          cardinal = (fun () -> Ly_int.cardinal t);
+          height = (fun () -> Ly_int.height t);
+        });
+  }
+
+let lock_couple =
+  {
+    impl_name = "lock-couple";
+    make =
+      (fun ~order ->
+        let t = Lc_int.create ~order () in
+        {
+          name = "lock-couple";
+          search = Lc_int.search t;
+          insert = Lc_int.insert t;
+          delete = Lc_int.delete t;
+          cardinal = (fun () -> Lc_int.cardinal t);
+          height = (fun () -> Lc_int.height t);
+        });
+  }
+
+(** Bayer–Schkolnick's improved protocol: optimistic writers (shared
+    latches down, exclusive leaf, pessimistic retry on splits). *)
+let lock_couple_optimistic =
+  {
+    impl_name = "lc-optimistic";
+    make =
+      (fun ~order ->
+        let t = Lc_int.create ~order () in
+        {
+          name = "lc-optimistic";
+          search = Lc_int.search t;
+          insert = Lc_int.insert_optimistic t;
+          delete = Lc_int.delete_optimistic t;
+          cardinal = (fun () -> Lc_int.cardinal t);
+          height = (fun () -> Lc_int.height t);
+        });
+  }
+
+(** Top-down preemptive splitting (Guibas–Sedgewick style): full nodes
+    split on the way down, max two exclusive latches per writer. *)
+let lock_couple_preemptive =
+  {
+    impl_name = "lc-preemptive";
+    make =
+      (fun ~order ->
+        let t = Lc_int.create ~order () in
+        {
+          name = "lc-preemptive";
+          search = Lc_int.search t;
+          insert = Lc_int.insert_preemptive t;
+          delete = Lc_int.delete_optimistic t;
+          cardinal = (fun () -> Lc_int.cardinal t);
+          height = (fun () -> Lc_int.height t);
+        });
+  }
+
+let coarse =
+  {
+    impl_name = "coarse";
+    make =
+      (fun ~order ->
+        let t = Coarse_int.create ~order () in
+        {
+          name = "coarse";
+          search = Coarse_int.search t;
+          insert = Coarse_int.insert t;
+          delete = Coarse_int.delete t;
+          cardinal = (fun () -> Coarse_int.cardinal t);
+          height = (fun () -> Coarse_int.height t);
+        });
+  }
+
+let all = [ sagiv (); lehman_yao; lock_couple; lock_couple_optimistic; lock_couple_preemptive; coarse ]

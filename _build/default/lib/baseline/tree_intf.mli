@@ -1,0 +1,38 @@
+(** First-class uniform interface over the four concurrent trees (int
+    keys), for the workload driver and the benches. *)
+
+open Repro_core
+
+type handle = {
+  name : string;
+  search : Handle.ctx -> int -> int option;
+  insert : Handle.ctx -> int -> int -> [ `Ok | `Duplicate ];
+  delete : Handle.ctx -> int -> bool;
+  cardinal : unit -> int;
+  height : unit -> int;
+}
+
+type impl = { impl_name : string; make : order:int -> handle }
+
+val sagiv : ?enqueue_on_delete:bool -> unit -> impl
+
+val sagiv_raw :
+  ?enqueue_on_delete:bool -> order:int -> unit -> int Handle.t * handle
+(** Like {!sagiv} but also hands back the raw tree, for running
+    compaction workers or validation alongside. *)
+
+val lehman_yao : impl
+val lock_couple : impl
+
+val lock_couple_optimistic : impl
+(** Bayer–Schkolnick's improved protocol: optimistic writers (shared
+    latches down, exclusive leaf, pessimistic retry on splits). *)
+
+val lock_couple_preemptive : impl
+(** Top-down preemptive splitting (Guibas–Sedgewick style): full nodes
+    split on the way down, max two exclusive latches per writer. *)
+
+val coarse : impl
+
+val all : impl list
+(** All six implementations, Sagiv first. *)

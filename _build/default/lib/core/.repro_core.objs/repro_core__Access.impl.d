@@ -1,0 +1,1 @@
+lib/core/access.ml: Handle Key Node Prime_block Repro_storage Repro_util Stats Store

@@ -1,0 +1,1 @@
+lib/core/access.mli: Bound Handle Key Node Repro_storage

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Buffer Bytes Cqueue Epoch Handle Hashtbl Int32 Int64 Key List Node Option Page_codec Paged_file Prime_block Printf Repro_storage Store

@@ -1,0 +1,1 @@
+lib/core/checkpoint.mli: Handle Key Paged_file Repro_storage

@@ -1,0 +1,1 @@
+lib/core/compactor.ml: Access Array Atomic Cqueue Epoch Handle Key Node Repro_storage Repro_util Restructure Stats Store

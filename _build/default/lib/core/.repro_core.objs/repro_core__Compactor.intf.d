@@ -1,0 +1,1 @@
+lib/core/compactor.mli: Atomic Bound Cqueue Handle Key Node Repro_storage

@@ -1,0 +1,1 @@
+lib/core/compress.ml: Access Array Epoch Handle Key Node Prime_block Repro_storage Repro_util Restructure Stats Store

@@ -1,0 +1,1 @@
+lib/core/compress.mli: Handle Key Repro_storage

@@ -1,0 +1,1 @@
+lib/core/cqueue.ml: Array Bound Hashtbl Mutex Node Queue Repro_storage

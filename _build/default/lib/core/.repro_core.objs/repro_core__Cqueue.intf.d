@@ -1,0 +1,1 @@
+lib/core/cqueue.mli: Bound Node Repro_storage

@@ -1,0 +1,1 @@
+lib/core/dump.ml: Format Handle Key Node Prime_block Repro_storage Store

@@ -1,0 +1,1 @@
+lib/core/dump.mli: Format Handle Key Repro_storage

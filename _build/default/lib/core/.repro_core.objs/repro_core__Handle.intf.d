@@ -1,0 +1,1 @@
+lib/core/handle.mli: Cqueue Epoch Prime_block Repro_storage Stats Store

@@ -1,0 +1,1 @@
+lib/core/kv.ml: Buffer Bytes Epoch Handle Int32 Int64 Key List Record_store Repro_storage Sagiv String

@@ -1,0 +1,1 @@
+lib/core/kv.mli: Bytes Handle Key Repro_storage

@@ -1,0 +1,1 @@
+lib/core/restructure.ml: Access Array Cqueue Epoch Handle Key List Node Prime_block Repro_storage Stats Store

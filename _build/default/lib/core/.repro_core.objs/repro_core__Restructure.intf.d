@@ -1,0 +1,1 @@
+lib/core/restructure.mli: Cqueue Handle Key Node Repro_storage

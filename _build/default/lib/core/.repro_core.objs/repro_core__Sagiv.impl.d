@@ -1,0 +1,1 @@
+lib/core/sagiv.ml: Access Array Bound Cqueue Epoch Handle Key List Node Prime_block Repro_storage Stats Store

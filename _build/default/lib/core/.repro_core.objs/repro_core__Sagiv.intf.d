@@ -1,0 +1,1 @@
+lib/core/sagiv.mli: Handle Key Node Repro_storage

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Bound Buffer Bytes Cqueue Epoch Handle Hashtbl Int32 Int64 Key List Node Option Page_codec Prime_block Printf Repro_storage Store

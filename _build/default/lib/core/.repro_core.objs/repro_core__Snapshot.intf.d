@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Buffer Bytes Handle Key Repro_storage

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Bound Handle Hashtbl Key List Node Page_codec Prime_block Printf Repro_storage Store

@@ -1,0 +1,1 @@
+lib/core/validate.mli: Handle Key Node Repro_storage

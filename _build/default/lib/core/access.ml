@@ -1,0 +1,191 @@
+(** Shared tree navigation: descent, right-moves, restart, lock-validate.
+
+    Implements the paper's traversal discipline once, for use by searches,
+    insertions, deletions (Figs 4–5) and by the compression processes'
+    parent search (§5.4, "the search for F is done in the same way as the
+    search, in the procedure insert, for the parent of a node that has been
+    split").
+
+    Readers take {e no} locks. A traversal handles three hazards:
+    - [v > high]: follow the link right (the B-link move, Fig 4);
+    - a deleted node: follow its forwarding pointer (§5.2 case 1);
+    - [v <= low]: the data moved left past us — restart (§5.2 case 2),
+      first by backtracking through the descent stack, then from the root.
+
+    Targets are {!Bound.t} values: logical operations navigate by
+    [Key k]; compression navigates by a node's high value, which can be
+    [+inf]. *)
+
+open Repro_storage
+
+(** Ablation toggle (benchmarks only): when false, restarts go straight to
+    the root instead of backtracking through the descent stack (§5.2's
+    refinement), so the refinement's value can be measured. Set before a
+    run only. *)
+let backtrack_on_restart = ref true
+
+module Make (K : Key.S) = struct
+  module N = Node.Make (K)
+  open Handle
+
+  type tree = K.t Handle.t
+
+  let bcompare = N.bcompare
+
+  (* The current traversal is invalid: the target no longer belongs where
+     we are looking. Callers backtrack / restart. *)
+  exception Restart
+
+  let get (t : tree) (ctx : ctx) ptr =
+    ctx.stats.Stats.gets <- ctx.stats.Stats.gets + 1;
+    Store.get t.store ptr
+
+  let put (t : tree) (ctx : ctx) ptr n =
+    ctx.stats.Stats.puts <- ctx.stats.Stats.puts + 1;
+    Store.put t.store ptr n
+
+  let lock (t : tree) (ctx : ctx) ptr =
+    Store.lock t.store ptr;
+    Stats.on_lock ctx.stats
+
+  let unlock (t : tree) (ctx : ctx) ptr =
+    Stats.on_unlock ctx.stats;
+    Store.unlock t.store ptr
+
+  (* Follow tombstone forwarding until a live node at the expected level.
+     A chain that leaves the level (a removed root forwards downwards) or
+     dead-ends means the traversal is stale. *)
+  let rec resolve t ctx ~level ptr n =
+    match n.Node.state with
+    | Node.Live -> if n.Node.level = level then (ptr, n) else raise Restart
+    | Node.Deleted fwd ->
+        ctx.stats.Stats.fwd_follows <- ctx.stats.Stats.fwd_follows + 1;
+        if fwd = Node.nil then raise Restart
+        else
+          let n' = get t ctx fwd in
+          resolve t ctx ~level fwd n'
+
+  (* Descend from [ptr] (a node expected at [from_level]) to the node at
+     [to_level] whose range contains [target], pushing descent steps onto
+     [stack]. Pure reads; raises Restart on any staleness. *)
+  let rec down t ctx target ~to_level ptr ~from_level stack =
+    let n = get t ctx ptr in
+    let ptr, n = resolve t ctx ~level:from_level ptr n in
+    if bcompare target n.Node.low <= 0 then raise Restart
+    else if bcompare target n.Node.high > 0 then begin
+      ctx.stats.Stats.link_follows <- ctx.stats.Stats.link_follows + 1;
+      match n.Node.link with
+      | Some p -> down t ctx target ~to_level p ~from_level stack
+      | None -> raise Restart (* impossible: high = +inf accepts all targets *)
+    end
+    else if from_level = to_level then (ptr, n, stack)
+    else
+      down t ctx target ~to_level (N.child_for_b n target) ~from_level:(from_level - 1)
+        (ptr :: stack)
+
+  type on_missing_level = Wait | Give_up
+
+  exception Level_missing
+
+  (* Descend from the root. If the tree is not yet tall enough for
+     [to_level], either wait for the concurrent root creation to land
+     (§3.3) or give up (compactor: the level became the root, §5.4). *)
+  let rec from_root t ctx target ~to_level ~on_missing (backoff : Repro_util.Backoff.t) =
+    let prime = Prime_block.read t.prime in
+    let height = prime.Prime_block.levels in
+    if height - 1 < to_level then begin
+      match on_missing with
+      | Give_up -> raise Level_missing
+      | Wait ->
+          ctx.stats.Stats.waits <- ctx.stats.Stats.waits + 1;
+          Repro_util.Backoff.once backoff;
+          from_root t ctx target ~to_level ~on_missing backoff
+    end
+    else
+      try down t ctx target ~to_level (Prime_block.root prime) ~from_level:(height - 1) []
+      with Restart | Store.Freed_page _ ->
+        ctx.stats.Stats.restarts <- ctx.stats.Stats.restarts + 1;
+        Repro_util.Backoff.once backoff;
+        from_root t ctx target ~to_level ~on_missing backoff
+
+  (* Re-enter a traversal after a Restart: try the stack entries (the
+     paper's backtracking refinement, §5.2), then the root. Stack entries
+     can be stale in every way — deleted, reused at another level, or to
+     the right of the target — each is validated before use. *)
+  let rec reenter t ctx target ~to_level ~on_missing stack =
+    let stack = if !backtrack_on_restart then stack else [] in
+    match stack with
+    | [] ->
+        from_root t ctx target ~to_level ~on_missing (Repro_util.Backoff.create ())
+    | p :: rest -> (
+        match
+          (try `Node (get t ctx p) with Store.Freed_page _ -> `Bad)
+        with
+        | `Bad -> reenter t ctx target ~to_level ~on_missing rest
+        | `Node n ->
+            if
+              Node.is_deleted n || n.Node.level <= to_level
+              || bcompare target n.Node.low <= 0
+            then reenter t ctx target ~to_level ~on_missing rest
+            else (
+              try down t ctx target ~to_level p ~from_level:n.Node.level rest
+              with Restart | Store.Freed_page _ ->
+                ctx.stats.Stats.restarts <- ctx.stats.Stats.restarts + 1;
+                reenter t ctx target ~to_level ~on_missing rest))
+
+  (** Locate (without locking) the node at [to_level] whose range contains
+      [target]. Returns [(ptr, node, stack)]; the stack holds the pointers
+      through which the traversal moved down (top = [to_level + 1]). *)
+  let locate t ctx target ~to_level ~on_missing =
+    reenter t ctx target ~to_level ~on_missing []
+
+  (** Locate and {e lock} the node for [target] at [level], revalidating
+      under the lock as in Fig 5: the node may have been split between the
+      read and the lock ([target > high] ⇒ unlock and move right), or
+      compressed away ([deleted] / [target <= low] ⇒ unlock and restart).
+      [start] is an optional hint: a pointer believed to be at [level] and
+      at/left of the target (an insertion's popped stack entry). *)
+  let acquire t ctx target ~level ~on_missing ?start ~stack () =
+    let rec from_hint ptr stack =
+      match
+        (try
+           let n = get t ctx ptr in
+           let ptr, n = resolve t ctx ~level ptr n in
+           if bcompare target n.Node.low <= 0 then `Restart
+           else if bcompare target n.Node.high > 0 then begin
+             ctx.stats.Stats.link_follows <- ctx.stats.Stats.link_follows + 1;
+             match n.Node.link with Some p -> `Right p | None -> `Restart
+           end
+           else `Candidate ptr
+         with Restart | Store.Freed_page _ -> `Restart)
+      with
+      | `Right p -> from_hint p stack
+      | `Candidate ptr -> try_lock_at ptr stack
+      | `Restart ->
+          ctx.stats.Stats.restarts <- ctx.stats.Stats.restarts + 1;
+          relocate stack
+    and relocate stack =
+      let ptr, _n, stack = reenter t ctx target ~to_level:level ~on_missing stack in
+      try_lock_at ptr stack
+    and try_lock_at ptr stack =
+      lock t ctx ptr;
+      let n = get t ctx ptr in
+      if Node.is_deleted n || n.Node.level <> level || bcompare target n.Node.low <= 0
+      then begin
+        unlock t ctx ptr;
+        ctx.stats.Stats.restarts <- ctx.stats.Stats.restarts + 1;
+        relocate stack
+      end
+      else if bcompare target n.Node.high > 0 then begin
+        (* Split slipped in between our read and our lock (Fig 5's
+           [v > highvalue] branch): release and chase the link. *)
+        unlock t ctx ptr;
+        ctx.stats.Stats.retries <- ctx.stats.Stats.retries + 1;
+        match n.Node.link with
+        | Some p -> from_hint p stack
+        | None -> relocate stack
+      end
+      else (ptr, n, stack)
+    in
+    match start with Some p -> from_hint p stack | None -> relocate stack
+end

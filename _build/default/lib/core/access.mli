@@ -1,0 +1,65 @@
+(** Shared tree navigation: descent, right-moves, restart and
+    lock-validate, implementing the paper's traversal discipline once for
+    searches, insertions, deletions (Figs 4–5) and the compactor's parent
+    search (§5.4). Readers take no locks.
+
+    This module is the library's internal spine; most applications want
+    {!Sagiv} instead. *)
+
+open Repro_storage
+
+(** Ablation toggle (benchmarks only): disable the §5.2 stack-backtracking
+    refinement so restarts always return to the root. Set before a run. *)
+val backtrack_on_restart : bool ref
+
+module Make (K : Key.S) : sig
+  module N : module type of Node.Make (K)
+
+  type tree = K.t Handle.t
+
+  val bcompare : K.t Bound.t -> K.t Bound.t -> int
+
+  exception Restart
+  (** The current traversal is stale (data moved left past us, §5.2
+      case 2, or a forwarding chain left the level). *)
+
+  val get : tree -> Handle.ctx -> Node.ptr -> K.t Node.t
+  val put : tree -> Handle.ctx -> Node.ptr -> K.t Node.t -> unit
+  val lock : tree -> Handle.ctx -> Node.ptr -> unit
+  val unlock : tree -> Handle.ctx -> Node.ptr -> unit
+
+  (** What to do when the target level does not exist (yet): wait for the
+      concurrent root creation to land (§3.3, insertions) or give up
+      (§5.4 "the level became the root", compactors). *)
+  type on_missing_level = Wait | Give_up
+
+  exception Level_missing
+  (** Raised under {!Give_up}. *)
+
+  val locate :
+    tree ->
+    Handle.ctx ->
+    K.t Bound.t ->
+    to_level:int ->
+    on_missing:on_missing_level ->
+    Node.ptr * K.t Node.t * Node.ptr list
+  (** Find (without locking) the node at [to_level] whose range contains
+      the target; returns the node and the descent stack (top = one level
+      above). Restarts internally — backtracking through the stack first,
+      then from the root (§5.2). *)
+
+  val acquire :
+    tree ->
+    Handle.ctx ->
+    K.t Bound.t ->
+    level:int ->
+    on_missing:on_missing_level ->
+    ?start:Node.ptr ->
+    stack:Node.ptr list ->
+    unit ->
+    Node.ptr * K.t Node.t * Node.ptr list
+  (** Locate and {e lock} the node for the target, revalidating under the
+      lock as in Fig 5 ([v > high] ⇒ unlock and chase the link; deleted or
+      [v <= low] ⇒ unlock and restart). [start] is a hint pointer believed
+      to be at [level], at or left of the target. *)
+end

@@ -1,0 +1,166 @@
+(** Checkpointing a quiescent tree to a {!Repro_storage.Paged_file}.
+
+    Unlike {!Snapshot} (one opaque byte blob), a checkpoint lives in
+    fixed-size pages like the paper's trees do on disk: page 0 is a header
+    (magic, geometry, prime-block state), and the node stream is laid out
+    in a {e page chain} — each page carries a next-page pointer, so
+    objects larger than a page (big nodes, the whole stream) span pages
+    exactly the way overflow chains do in a real pager. Works over the
+    in-memory backend (tests) and real files (durability). *)
+
+open Repro_storage
+
+let magic = 0x43_4B_50_31 (* "CKP1" *)
+let version = 1
+
+exception Corrupt of string
+
+(* -- page chains: a byte stream over pages of the form
+      [next : i64][data : page_size - 8]                                -- *)
+
+let chain_write (pf : Paged_file.t) (payload : Bytes.t) : int =
+  let psz = Paged_file.page_size pf in
+  let data_per_page = psz - 8 in
+  let total = Bytes.length payload in
+  let npages = max 1 ((total + data_per_page - 1) / data_per_page) in
+  let first = Paged_file.pages pf in
+  for i = 0 to npages - 1 do
+    let page = Bytes.make psz '\000' in
+    let next = if i = npages - 1 then -1 else first + i + 1 in
+    Bytes.set_int64_le page 0 (Int64.of_int next);
+    let off = i * data_per_page in
+    let len = min data_per_page (total - off) in
+    if len > 0 then Bytes.blit payload off page 8 len;
+    ignore (Paged_file.append pf page)
+  done;
+  first
+
+let chain_read (pf : Paged_file.t) ~first ~total : Bytes.t =
+  let psz = Paged_file.page_size pf in
+  let data_per_page = psz - 8 in
+  let out = Bytes.create total in
+  let rec go page_idx off =
+    if off < total then begin
+      if page_idx < 0 then raise (Corrupt "chain truncated");
+      let page = Paged_file.read pf page_idx in
+      let next = Int64.to_int (Bytes.get_int64_le page 0) in
+      let len = min data_per_page (total - off) in
+      Bytes.blit page 8 out off len;
+      go next (off + len)
+    end
+  in
+  go first 0;
+  out
+
+module Make (K : Key.S) = struct
+  module C = Page_codec.Make (K)
+
+  (* Header layout (page 0):
+     magic i32 | version u8 | order i32 | levels i32 |
+     node_count i64 | stream_first i64 | stream_len i64 |
+     leftmost: levels * i64 (old pointers, remapped at load) *)
+
+  let write_header pf ~order ~levels ~node_count ~stream_first ~stream_len ~leftmost =
+    let psz = Paged_file.page_size pf in
+    if 37 + (8 * levels) > psz then raise (Corrupt "tree too tall for header page");
+    let page = Bytes.make psz '\000' in
+    Bytes.set_int32_le page 0 (Int32.of_int magic);
+    Bytes.set_uint8 page 4 version;
+    Bytes.set_int32_le page 5 (Int32.of_int order);
+    Bytes.set_int32_le page 9 (Int32.of_int levels);
+    Bytes.set_int64_le page 13 (Int64.of_int node_count);
+    Bytes.set_int64_le page 21 (Int64.of_int stream_first);
+    Bytes.set_int64_le page 29 (Int64.of_int stream_len);
+    Array.iteri
+      (fun i p -> Bytes.set_int64_le page (37 + (8 * i)) (Int64.of_int p))
+      leftmost;
+    Paged_file.write pf 0 page
+
+  let read_header pf =
+    let page = Paged_file.read pf 0 in
+    if Int32.to_int (Bytes.get_int32_le page 0) <> magic then raise (Corrupt "bad magic");
+    if Bytes.get_uint8 page 4 <> version then raise (Corrupt "bad version");
+    let order = Int32.to_int (Bytes.get_int32_le page 5) in
+    let levels = Int32.to_int (Bytes.get_int32_le page 9) in
+    let node_count = Int64.to_int (Bytes.get_int64_le page 13) in
+    let stream_first = Int64.to_int (Bytes.get_int64_le page 21) in
+    let stream_len = Int64.to_int (Bytes.get_int64_le page 29) in
+    if order < 1 || levels < 1 || node_count < 0 || stream_len < 0 then
+      raise (Corrupt "implausible header");
+    let leftmost =
+      Array.init levels (fun i -> Int64.to_int (Bytes.get_int64_le page (37 + (8 * i))))
+    in
+    (order, levels, node_count, stream_first, stream_len, leftmost)
+
+  (** Write a quiescent tree into [pf] (page 0 becomes the header). *)
+  let save (t : K.t Handle.t) (pf : Paged_file.t) =
+    let prime = Prime_block.read t.Handle.prime in
+    let levels = prime.Prime_block.levels in
+    (* reserve the header page *)
+    Paged_file.write pf 0 (Bytes.make (Paged_file.page_size pf) '\000');
+    (* stream: for each level top-down, chain-ordered nodes as
+       (old_ptr i64, codec bytes) *)
+    let buf = Buffer.create 65536 in
+    let count = ref 0 in
+    for i = 0 to levels - 1 do
+      let level = levels - 1 - i in
+      match Prime_block.leftmost_at prime ~level with
+      | None -> raise (Corrupt "missing level during save")
+      | Some p ->
+          let rec go ptr =
+            let n = Store.get t.Handle.store ptr in
+            Buffer.add_int64_le buf (Int64.of_int ptr);
+            C.encode buf n;
+            incr count;
+            match n.Node.link with Some q -> go q | None -> ()
+          in
+          go p
+    done;
+    let payload = Buffer.to_bytes buf in
+    let stream_first = chain_write pf payload in
+    write_header pf ~order:t.Handle.order ~levels ~node_count:!count ~stream_first
+      ~stream_len:(Bytes.length payload)
+      ~leftmost:prime.Prime_block.leftmost;
+    Paged_file.sync pf
+
+  (** Rebuild a tree from a checkpoint, remapping page ids. *)
+  let load (pf : Paged_file.t) : K.t Handle.t =
+    let order, levels, node_count, stream_first, stream_len, old_leftmost =
+      read_header pf
+    in
+    let payload = chain_read pf ~first:stream_first ~total:stream_len in
+    let store = Store.create () in
+    let remap = Hashtbl.create (2 * node_count) in
+    let all = ref [] in
+    let pos = ref 0 in
+    for _ = 1 to node_count do
+      let old_ptr = Int64.to_int (Bytes.get_int64_le payload !pos) in
+      pos := !pos + 8;
+      let n, pos' = C.decode payload ~pos:!pos in
+      pos := pos';
+      let fresh = Store.alloc store n in
+      Hashtbl.replace remap old_ptr fresh;
+      all := (fresh, n) :: !all
+    done;
+    if !pos <> stream_len then raise (Corrupt "trailing bytes in node stream");
+    let map_ptr p =
+      match Hashtbl.find_opt remap p with
+      | Some q -> q
+      | None -> raise (Corrupt (Printf.sprintf "dangling pointer %d" p))
+    in
+    List.iter
+      (fun (fresh, n) ->
+        let ptrs = if Node.is_leaf n then n.Node.ptrs else Array.map map_ptr n.Node.ptrs in
+        let link = Option.map map_ptr n.Node.link in
+        Store.put store fresh { n with Node.ptrs; link })
+      !all;
+    let leftmost = Array.map map_ptr old_leftmost in
+    {
+      Handle.store;
+      prime = Prime_block.restore ~levels ~leftmost;
+      epoch = Epoch.create ();
+      order;
+      queue = Cqueue.create ();
+      enqueue_on_delete = false;
+    }
+end

@@ -1,0 +1,17 @@
+(** Checkpointing a quiescent tree to a {!Repro_storage.Paged_file}:
+    page 0 is the header, the node stream lives in a page chain (overflow-
+    chain style), so checkpoints work over fixed-size disk pages with
+    either the memory or the real-file backend. *)
+
+open Repro_storage
+
+exception Corrupt of string
+
+module Make (K : Key.S) : sig
+  val save : K.t Handle.t -> Paged_file.t -> unit
+  (** Write the tree into the paged file (page 0 becomes the header) and
+      sync it. The tree must be quiescent. *)
+
+  val load : Paged_file.t -> K.t Handle.t
+  (** @raise Corrupt on a damaged checkpoint. *)
+end

@@ -1,0 +1,43 @@
+(** Queue-driven compression (§5.4): compactor workers pop under-half-full
+    nodes (enqueued by deletions), locate and lock the parent, validate
+    the (pointer, high value) pair, lock the node and one neighbour, and
+    merge or redistribute — implementing all of the paper's cases
+    (discard-if-high-changed, requeue-on-pending-insertion, the
+    left-neighbour fallback, single-pointer parents, root collapses and
+    whole-level-deleted detection). *)
+
+open Repro_storage
+
+module Make (K : Key.S) : sig
+  type step =
+    | Empty  (** the queue was empty *)
+    | Compressed  (** merged or redistributed a pair *)
+    | Collapsed  (** reduced the tree height *)
+    | Requeued
+    | Discarded  (** stale entry dropped *)
+
+  val step : ?queue:K.t Cqueue.t -> K.t Handle.t -> Handle.ctx -> step
+  (** Pop and process one entry from [queue] (default: the tree's shared
+      queue — §5.4 arrangement (2)). *)
+
+  val compact_node :
+    ?max_steps:int ->
+    K.t Handle.t ->
+    Handle.ctx ->
+    ptr:Node.ptr ->
+    level:int ->
+    high:K.t Bound.t ->
+    stack:Node.ptr list ->
+    int
+  (** §5.4 arrangement (3): a compression process with its own private
+      queue, seeded with one node; compresses it and every consequence
+      until the private queue drains. Returns merges+redistributions. *)
+
+  val run_until_empty :
+    ?max_steps:int -> K.t Handle.t -> Handle.ctx -> [ `Drained | `Step_limit ]
+  (** Drain the shared queue (retrying requeued entries). *)
+
+  val run_worker : K.t Handle.t -> Handle.ctx -> stop:bool Atomic.t -> unit
+  (** Background worker loop: process entries until [stop], backing off
+      while the queue is empty. Spawn any number of these (Theorem 2). *)
+end

@@ -1,0 +1,26 @@
+(** The scanning compression process (§5.1–5.2, Fig 7): walks each level
+    via links under the parents one level up, rearranging disjoint pairs
+    of adjacent siblings that contain a sparse node. Runs concurrently
+    with searches, insertions and deletions; locks three nodes at a time. *)
+
+open Repro_storage
+
+module Make (K : Key.S) : sig
+  val compress_level : ?phase:int -> K.t Handle.t -> Handle.ctx -> level:int -> int
+  (** One pass over level [level] (children), driven from level+1
+      (parents). Returns the number of merges + redistributions. Pairs
+      whose right member's pointer is still pending insertion into the
+      parent are waited for (bounded backoff) or skipped for this pass.
+      [phase] = 1 staggers the disjoint pairing by one child — an
+      extension beyond Fig 7 that removes the paper's odd-child blind
+      spot when phases alternate. *)
+
+  val compress_pass : ?phase:int -> K.t Handle.t -> Handle.ctx -> int
+  (** All levels bottom-up, then root-collapse attempts. Returns the
+      number of structural changes. *)
+
+  val compress_to_fixpoint : ?max_passes:int -> K.t Handle.t -> Handle.ctx -> int
+  (** Run alternating-phase passes until one changeless pass in each
+      phase; returns how many passes changed something. Emptying a tree
+      takes O(log2 n) passes (§5.1, experiment E7). *)
+end

@@ -1,0 +1,9 @@
+(** Debug pretty-printing of a quiescent tree, level by level. *)
+
+open Repro_storage
+
+module Make (K : Key.S) : sig
+  val pp : Format.formatter -> K.t Handle.t -> unit
+  val to_string : K.t Handle.t -> string
+  val print : K.t Handle.t -> unit
+end

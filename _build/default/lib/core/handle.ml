@@ -1,0 +1,23 @@
+(** Shared tree representation.
+
+    The handle is a plain polymorphic record so that the operation modules
+    ({!Sagiv}, {!Compress}, {!Compactor}, {!Validate}, {!Dump} — all
+    functors over the key type) act on one common type without functor
+    type-equality plumbing. *)
+
+open Repro_storage
+
+type 'k t = {
+  store : 'k Store.t;
+  prime : Prime_block.t;
+  epoch : Epoch.t;
+  order : int;  (** k: minimum pairs per node; capacity is 2k *)
+  queue : 'k Cqueue.t;  (** compression work queue (§5.4) *)
+  enqueue_on_delete : bool;  (** push sparse leaves onto [queue] after deletes *)
+}
+
+(** Per-worker operation context: the worker's epoch slot and its private
+    statistics record. One per domain; never shared. *)
+type ctx = { slot : int; stats : Stats.t }
+
+let ctx ~slot = { slot; stats = Stats.create () }

@@ -1,0 +1,21 @@
+(** Shared tree representation: a plain polymorphic record so the
+    operation functors ({!Sagiv}, {!Compress}, {!Compactor}, {!Validate},
+    {!Dump}, {!Snapshot}) act on one common type. Treat the fields as
+    read-only unless you are extending the library. *)
+
+open Repro_storage
+
+type 'k t = {
+  store : 'k Store.t;
+  prime : Prime_block.t;
+  epoch : Epoch.t;
+  order : int;  (** the paper's k: nodes hold between k and 2k pairs *)
+  queue : 'k Cqueue.t;  (** shared compression work queue (§5.4) *)
+  enqueue_on_delete : bool;
+}
+
+(** Per-worker operation context: the worker's epoch slot and its private
+    statistics. One per domain; never shared between domains. *)
+type ctx = { slot : int; stats : Stats.t }
+
+val ctx : slot:int -> ctx

@@ -1,0 +1,141 @@
+(** Key–value store: the dense index (Sagiv tree) over an actual record
+    heap.
+
+    The paper's tree maps keys to record {e pointers} and assumes the
+    records exist (§3.1); this module completes the picture — values are
+    stored in a {!Repro_storage.Record_store}, and the tree's pairs point
+    at them. Gets are lock-free; puts/deletes hold one page latch at a
+    time, exactly as the underlying operations do.
+
+    Record slots are recycled, so a get racing a put/delete on the same
+    key could otherwise chase a reused pointer; a dedicated epoch manager
+    defers record reuse past all in-flight gets (the §5.3 scheme, applied
+    to records). *)
+
+open Repro_storage
+
+module Make (K : Key.S) = struct
+  module T = Sagiv.Make (K)
+
+  type t = {
+    tree : T.t;
+    records : Record_store.t;
+    record_epoch : Epoch.t;  (** guards record reads against slot reuse *)
+  }
+
+  type ctx = Handle.ctx
+
+  let ctx = Handle.ctx
+
+  let create ?order ?enqueue_on_delete () =
+    {
+      tree = T.create ?order ?enqueue_on_delete ();
+      records = Record_store.create ();
+      record_epoch = Epoch.create ();
+    }
+
+  let tree t = t.tree
+
+  (** [get t ctx k] is the value bound to [k], lock-free. *)
+  let get t (ctx : ctx) k =
+    Epoch.with_pin t.record_epoch ~slot:ctx.Handle.slot (fun () ->
+        match T.search t.tree ctx k with
+        | None -> None
+        | Some rptr -> Some (Record_store.get t.records rptr))
+
+  (** [put t ctx k v] binds [k] to [v], inserting or overwriting. *)
+  let put t (ctx : ctx) k v =
+    let rptr = Record_store.put t.records v in
+    match T.insert t.tree ctx k rptr with
+    | `Ok -> ()
+    | `Duplicate -> (
+        match T.update t.tree ctx k rptr with
+        | Some old -> Epoch.retire t.record_epoch old
+        | None ->
+            (* the key vanished between insert and update: bind it anew *)
+            let rec retry () =
+              match T.insert t.tree ctx k rptr with
+              | `Ok -> ()
+              | `Duplicate -> (
+                  match T.update t.tree ctx k rptr with
+                  | Some old -> Epoch.retire t.record_epoch old
+                  | None -> retry ())
+            in
+            retry ())
+
+  (** [remove t ctx k] unbinds [k]; [true] when it was bound. *)
+  let remove t (ctx : ctx) k =
+    match T.take t.tree ctx k with
+    | Some rptr ->
+        Epoch.retire t.record_epoch rptr;
+        true
+    | None -> false
+
+  (** Ordered fold over bindings in [lo <= key <= hi] (same contract as
+      {!Sagiv.Make.fold_range}). *)
+  let fold_range t (ctx : ctx) ~lo ~hi ~init f =
+    Epoch.with_pin t.record_epoch ~slot:ctx.Handle.slot (fun () ->
+        T.fold_range t.tree ctx ~lo ~hi ~init (fun acc k rptr ->
+            match Record_store.get t.records rptr with
+            | v -> f acc k v
+            | exception Record_store.Freed_record _ -> acc))
+
+  let bindings t (ctx : ctx) ~lo ~hi =
+    List.rev (fold_range t ctx ~lo ~hi ~init:[] (fun acc k v -> (k, v) :: acc))
+
+  let cardinal t = T.cardinal t.tree
+  let height t = T.height t.tree
+
+  (** Release retired record slots and tree pages whose grace periods have
+      passed. *)
+  let reclaim t =
+    Epoch.reclaim t.record_epoch ~release:(Record_store.free t.records)
+    + T.reclaim t.tree
+
+  let bytes_stored t = Record_store.bytes_stored t.records
+  let live_records t = Record_store.live_count t.records
+
+  (* -- logical dump / restore -- *)
+
+  let dump_magic = 0x4B_56_44_31 (* "KVD1" *)
+
+  exception Corrupt of string
+
+  (** Serialise all bindings (quiescent): keys through the page codec,
+      values length-prefixed. Restoring bulk-loads a fresh, packed store. *)
+  let save t : Bytes.t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_int32_le buf (Int32.of_int dump_magic);
+    Buffer.add_int32_le buf (Int32.of_int (T.order t.tree));
+    let bindings = T.to_list t.tree in
+    Buffer.add_int64_le buf (Int64.of_int (List.length bindings));
+    List.iter
+      (fun (k, rptr) ->
+        K.encode buf k;
+        let v = Record_store.get t.records rptr in
+        Buffer.add_int32_le buf (Int32.of_int (String.length v));
+        Buffer.add_string buf v)
+      bindings;
+    Buffer.to_bytes buf
+
+  let load bytes : t =
+    let pos = ref 0 in
+    if Int32.to_int (Bytes.get_int32_le bytes 0) <> dump_magic then
+      raise (Corrupt "bad KV dump magic");
+    let order = Int32.to_int (Bytes.get_int32_le bytes 4) in
+    let count = Int64.to_int (Bytes.get_int64_le bytes 8) in
+    if order < 1 || count < 0 then raise (Corrupt "implausible KV dump header");
+    pos := 16;
+    let records = Record_store.create () in
+    let pairs =
+      List.init count (fun _ ->
+          let k, p = K.decode bytes ~pos:!pos in
+          let len = Int32.to_int (Bytes.get_int32_le bytes p) in
+          if len < 0 || p + 4 + len > Bytes.length bytes then
+            raise (Corrupt "truncated KV dump");
+          let v = Bytes.sub_string bytes (p + 4) len in
+          pos := p + 4 + len;
+          (k, Record_store.put records v))
+    in
+    { tree = T.of_sorted ~order pairs; records; record_epoch = Epoch.create () }
+end

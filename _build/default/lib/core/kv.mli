@@ -1,0 +1,47 @@
+(** Key–value store: the Sagiv tree as a dense index over a record heap
+    ({!Repro_storage.Record_store}). Gets and range folds are lock-free;
+    puts and removes hold one page latch at a time. Record-slot reuse is
+    deferred past in-flight readers by a dedicated epoch manager (§5.3
+    applied to records). *)
+
+open Repro_storage
+
+module Make (K : Key.S) : sig
+  type t
+  type ctx = Handle.ctx
+
+  val ctx : slot:int -> ctx
+  val create : ?order:int -> ?enqueue_on_delete:bool -> unit -> t
+
+  val tree : t -> K.t Handle.t
+  (** The underlying index, for compaction workers and validation. *)
+
+  val get : t -> ctx -> K.t -> string option
+  val put : t -> ctx -> K.t -> string -> unit
+  (** Insert or overwrite. *)
+
+  val remove : t -> ctx -> K.t -> bool
+
+  val fold_range :
+    t -> ctx -> lo:K.t -> hi:K.t -> init:'a -> ('a -> K.t -> string -> 'a) -> 'a
+
+  val bindings : t -> ctx -> lo:K.t -> hi:K.t -> (K.t * string) list
+  val cardinal : t -> int
+  val height : t -> int
+
+  val reclaim : t -> int
+  (** Release retired record slots and tree pages past their grace
+      periods; returns the total released. *)
+
+  val bytes_stored : t -> int
+  val live_records : t -> int
+
+  exception Corrupt of string
+
+  val save : t -> Bytes.t
+  (** Logical dump of all bindings (quiescent). *)
+
+  val load : Bytes.t -> t
+  (** Restore a dump into a fresh, bulk-loaded (packed) store.
+      @raise Corrupt on a damaged dump. *)
+end

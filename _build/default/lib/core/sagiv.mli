@@ -1,0 +1,71 @@
+(** Sagiv's B*-tree with overtaking: the paper's primary contribution.
+
+    Searches take no locks; an insertion or deletion locks {b one node at
+    a time} (the paper's improvement over Lehman–Yao's 2–3); compression
+    runs in {!Compress} (background scans, §5.1) and {!Compactor}
+    (queue-driven, §5.4). All operations may run concurrently from any
+    number of domains; each domain needs its own {!ctx}. *)
+
+open Repro_storage
+
+module Make (K : Key.S) : sig
+  type t = K.t Handle.t
+  type ctx = Handle.ctx
+
+  val ctx : slot:int -> ctx
+  (** A worker context. [slot] must be unique per concurrent domain (it
+      indexes the epoch-reclamation table). *)
+
+  val create : ?order:int -> ?enqueue_on_delete:bool -> unit -> t
+  (** [order] is the paper's k: non-root nodes hold between k and 2k pairs
+      (default 8). [enqueue_on_delete] (default false) makes deletions
+      push under-half-full leaves onto the compression queue (§5.4); off,
+      deletions behave exactly as in Lehman–Yao / §4. *)
+
+  val order : t -> int
+
+  val of_sorted : ?order:int -> ?fill:float -> (K.t * Node.ptr) list -> t
+  (** Bulk-load from strictly ascending (key, payload) pairs: a quiescent
+      constructor packing nodes to [fill] (default 0.9) of capacity —
+      much faster and denser than repeated {!insert}.
+      @raise Invalid_argument on unsorted keys. *)
+
+  val search : t -> ctx -> K.t -> Node.ptr option
+  (** The record pointer stored with the key; entirely lock-free. *)
+
+  val insert : t -> ctx -> K.t -> Node.ptr -> [ `Ok | `Duplicate ]
+  (** Insert a (key, record pointer) pair. The tree is a dense index:
+      an existing key is reported, never overwritten. *)
+
+  val delete : t -> ctx -> K.t -> bool
+  (** Remove the key's pair by rewriting its leaf (§4); [true] if present. *)
+
+  val take : t -> ctx -> K.t -> Node.ptr option
+  (** {!delete} returning the record pointer that was removed (for callers
+      that own the records, e.g. {!Kv}). *)
+
+  val update : t -> ctx -> K.t -> Node.ptr -> Node.ptr option
+  (** Atomically repoint the key's pair at a new record pointer; returns
+      the old pointer, or [None] when the key is absent. *)
+
+  val fold_range :
+    t -> ctx -> lo:K.t -> hi:K.t -> init:'a -> ('a -> K.t -> Node.ptr -> 'a) -> 'a
+  (** Lock-free ordered fold over pairs with [lo <= key <= hi] along the
+      leaf chain. Keys are emitted strictly ascending, exactly once; every
+      pair present for the whole scan is emitted; pairs concurrently
+      inserted/deleted/moved may or may not be. Exact when quiescent. *)
+
+  val range : t -> ctx -> lo:K.t -> hi:K.t -> (K.t * Node.ptr) list
+
+  val cardinal : t -> int
+  (** Number of stored keys (leaf-chain walk; quiescent only). *)
+
+  val to_list : t -> (K.t * Node.ptr) list
+  (** All pairs in order (quiescent only). *)
+
+  val height : t -> int
+
+  val reclaim : t -> int
+  (** Release deleted pages whose grace period has passed (§5.3); returns
+      how many. Call periodically or after compression. *)
+end

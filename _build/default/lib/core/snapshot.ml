@@ -1,0 +1,115 @@
+(** Quiescent persistence: serialise a tree to bytes and back.
+
+    Exercises the on-disk page format ({!Page_codec}) end-to-end. Page ids
+    are remapped on load (the paper's trees live on disk with stable page
+    addresses; in this in-memory reproduction a snapshot is a compaction
+    point, so tombstones are dropped and ids renumbered).
+
+    Layout: header (magic, order, height), then for each level top-down:
+    node count followed by [(old_ptr, encoded node)] pairs in chain order. *)
+
+open Repro_storage
+
+let magic = 0x42_4C_4B_31 (* "BLK1" *)
+
+exception Corrupt of string
+
+module Make (K : Key.S) = struct
+  module N = Node.Make (K)
+  module C = Page_codec.Make (K)
+  open Handle
+
+  let save_buf (t : K.t Handle.t) buf =
+    let prime = Prime_block.read t.prime in
+    Buffer.add_int32_le buf (Int32.of_int magic);
+    Buffer.add_int32_le buf (Int32.of_int t.order);
+    Buffer.add_int32_le buf (Int32.of_int prime.Prime_block.levels);
+    for i = 0 to prime.Prime_block.levels - 1 do
+      let level = prime.Prime_block.levels - 1 - i in
+      let nodes = ref [] in
+      (match Prime_block.leftmost_at prime ~level with
+      | None -> raise (Corrupt "missing level during save")
+      | Some p ->
+          let rec go ptr =
+            let n = Store.get t.store ptr in
+            nodes := (ptr, n) :: !nodes;
+            match n.Node.link with Some q -> go q | None -> ()
+          in
+          go p);
+      let nodes = List.rev !nodes in
+      Buffer.add_int32_le buf (Int32.of_int (List.length nodes));
+      List.iter
+        (fun (ptr, n) ->
+          Buffer.add_int64_le buf (Int64.of_int ptr);
+          C.encode buf n)
+        nodes
+    done
+
+  let save t =
+    let buf = Buffer.create 4096 in
+    save_buf t buf;
+    Buffer.to_bytes buf
+
+  let low_is_neg_inf n =
+    match n.Node.low with Bound.Neg_inf -> true | Bound.Key _ | Bound.Pos_inf -> false
+
+  let load bytes : K.t Handle.t =
+    let pos = ref 0 in
+    let read_i32 () =
+      let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+      pos := !pos + 4;
+      v
+    in
+    let read_i64 () =
+      let v = Int64.to_int (Bytes.get_int64_le bytes !pos) in
+      pos := !pos + 8;
+      v
+    in
+    if read_i32 () <> magic then raise (Corrupt "bad snapshot magic");
+    let order = read_i32 () in
+    let height = read_i32 () in
+    if height < 1 then raise (Corrupt "bad height");
+    (* First pass: decode everything, allocating new ids. *)
+    let store = Store.create () in
+    let remap = Hashtbl.create 64 in
+    let all = ref [] in
+    for _ = 1 to height do
+      let count = read_i32 () in
+      for _ = 1 to count do
+        let old_ptr = read_i64 () in
+        let n, pos' = C.decode bytes ~pos:!pos in
+        pos := pos';
+        let new_ptr = Store.alloc store n in
+        Hashtbl.replace remap old_ptr new_ptr;
+        all := (new_ptr, n) :: !all
+      done
+    done;
+    let map_ptr p =
+      match Hashtbl.find_opt remap p with
+      | Some q -> q
+      | None -> raise (Corrupt (Printf.sprintf "dangling pointer %d" p))
+    in
+    (* Second pass: rewrite internal pointers and links under new ids. *)
+    List.iter
+      (fun (new_ptr, n) ->
+        let ptrs = if Node.is_leaf n then n.Node.ptrs else Array.map map_ptr n.Node.ptrs in
+        let link = Option.map map_ptr n.Node.link in
+        Store.put store new_ptr { n with Node.ptrs; link })
+      !all;
+    (* Rebuild the prime block: leftmost node per level. *)
+    let leftmost = Array.make height Node.nil in
+    Store.iter store (fun p n ->
+        if low_is_neg_inf n then leftmost.(n.Node.level) <- p);
+    Array.iteri
+      (fun level p -> if p = Node.nil then raise (Corrupt (Printf.sprintf "level %d lost" level)))
+      leftmost;
+    let prime = Prime_block.restore ~levels:height ~leftmost in
+    {
+      store;
+      prime;
+      epoch = Epoch.create ();
+      order;
+      queue = Cqueue.create ();
+      enqueue_on_delete = false;
+    }
+end

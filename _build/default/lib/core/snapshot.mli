@@ -1,0 +1,17 @@
+(** Quiescent persistence through the binary page codec: serialise a tree
+    to bytes and back. Page ids are renumbered on load and tombstones
+    dropped (a snapshot is a compaction point). *)
+
+open Repro_storage
+
+exception Corrupt of string
+
+module Make (K : Key.S) : sig
+  val save : K.t Handle.t -> Bytes.t
+  (** The tree must be quiescent. *)
+
+  val save_buf : K.t Handle.t -> Buffer.t -> unit
+
+  val load : Bytes.t -> K.t Handle.t
+  (** @raise Corrupt on a damaged snapshot. *)
+end

@@ -1,0 +1,40 @@
+(** Structural invariant checker for quiescent trees: verifies the
+    "validity of the search structure" Theorem 1 rests on (each non-leaf
+    level equals the high-value/link sequence of the level below, Fig 2)
+    and reports occupancy statistics. *)
+
+open Repro_storage
+
+type level_stats = {
+  level : int;
+  nodes : int;
+  keys : int;
+  min_fill : float;
+  avg_fill : float;  (** keys / capacity averaged over the level's nodes *)
+}
+
+type report = {
+  height : int;
+  total_keys : int;
+  total_nodes : int;  (** live nodes reachable from the root *)
+  levels : level_stats list;
+  encoded_bytes : int;  (** page-format size of all reachable nodes *)
+  errors : string list;
+}
+
+val ok : report -> bool
+
+module Make (K : Key.S) : sig
+  val check : K.t Handle.t -> report
+  (** Full structural check; call only with no operation in flight. *)
+
+  val leak_check : K.t Handle.t -> Node.ptr list
+  (** Quiescent page-leak check: live store pages that are neither
+      reachable from the root nor tombstones awaiting reclamation.
+      Empty after compaction + reclaim when §5.3 holds. *)
+
+  val check_occupancy : ?strict:bool -> K.t Handle.t -> string list
+  (** {!check}'s errors plus — when [strict] — one error per non-root node
+      holding fewer than k pairs (the §5.1 postcondition, modulo the
+      odd-child caveat of the scanning process). *)
+end

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Atomic Compactor Domain Handle Printf Repro_baseline Repro_core Repro_storage Repro_util Tree_intf Unix Workload

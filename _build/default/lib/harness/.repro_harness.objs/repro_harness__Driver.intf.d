@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Handle Repro_baseline Repro_core Repro_storage Repro_util Tree_intf Workload

@@ -1,0 +1,1 @@
+lib/harness/linearize.ml: Array Atomic Format Hashtbl List Mutex Option

@@ -1,0 +1,1 @@
+lib/harness/oracle.ml: Handle Hashtbl Int List Map Printf Repro_baseline Repro_core Tree_intf Workload

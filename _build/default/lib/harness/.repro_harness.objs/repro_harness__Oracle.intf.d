@@ -1,0 +1,1 @@
+lib/harness/oracle.mli: Handle Hashtbl Map Repro_baseline Repro_core Tree_intf Workload

@@ -1,0 +1,1 @@
+lib/harness/trace.ml: Fun List Printf Repro_baseline String Workload

@@ -1,0 +1,1 @@
+lib/harness/trace.mli: Repro_baseline Repro_core Workload

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Distribution Float Printf Repro_util Splitmix

@@ -1,0 +1,133 @@
+(** Multi-domain run loop: spawns worker domains, synchronises their start
+    on a barrier, runs a fixed number of operations per worker, and merges
+    per-domain statistics. *)
+
+open Repro_core
+open Repro_baseline
+
+(* Spin barrier: all parties decrement then wait for zero. *)
+module Barrier = struct
+  type t = { remaining : int Atomic.t }
+
+  let create n = { remaining = Atomic.make n }
+
+  let wait t =
+    Atomic.decr t.remaining;
+    while Atomic.get t.remaining > 0 do
+      Domain.cpu_relax ()
+    done
+end
+
+type result = {
+  elapsed_s : float;
+  total_ops : int;
+  throughput : float;  (** operations per second, all domains *)
+  stats : Repro_storage.Stats.t;  (** merged over worker domains *)
+  per_domain : Repro_storage.Stats.t array;
+  latency : Repro_util.Histogram.t option;
+      (** per-operation latency (seconds), merged, when requested *)
+}
+
+let percentiles_line h =
+  Printf.sprintf "p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus"
+    (1e6 *. Repro_util.Histogram.percentile h 50.0)
+    (1e6 *. Repro_util.Histogram.percentile h 95.0)
+    (1e6 *. Repro_util.Histogram.percentile h 99.0)
+    (1e6 *. Repro_util.Histogram.max_value h)
+
+(** Run [f domain_index ctx] on [domains] domains in parallel. [f] must
+    loop over its own operations; the elapsed time covers the span between
+    the barrier release and the last domain finishing. *)
+let run_parallel ~domains ~(f : int -> Handle.ctx -> unit) : result =
+  let barrier = Barrier.create (domains + 1) in
+  let ctxs = Array.init domains (fun i -> Handle.ctx ~slot:i) in
+  let spawn i =
+    Domain.spawn (fun () ->
+        Barrier.wait barrier;
+        f i ctxs.(i))
+  in
+  let workers = Array.init domains spawn in
+  let t0 = ref 0.0 in
+  Barrier.wait barrier;
+  t0 := Unix.gettimeofday ();
+  Array.iter Domain.join workers;
+  let elapsed = Unix.gettimeofday () -. !t0 in
+  let merged = Repro_storage.Stats.create () in
+  Array.iter (fun c -> Repro_storage.Stats.merge ~into:merged c.Handle.stats) ctxs;
+  {
+    elapsed_s = elapsed;
+    total_ops = merged.Repro_storage.Stats.ops;
+    throughput = float_of_int merged.Repro_storage.Stats.ops /. elapsed;
+    stats = merged;
+    per_domain = Array.map (fun c -> c.Handle.stats) ctxs;
+    latency = None;
+  }
+
+(** Preload [tree] with the spec's deterministic key set (single domain,
+    not measured). *)
+let preload (tree : Tree_intf.handle) ~seed spec =
+  let ctx = Handle.ctx ~slot:0 in
+  let keys = Workload.preload_keys ~seed spec in
+  Array.iter (fun k -> ignore (tree.Tree_intf.insert ctx k (k * 2))) keys;
+  Array.length keys
+
+(** Run [ops_per_domain] sampled operations per domain against [tree].
+    With [measure_latency] each operation is individually timed into a
+    per-domain histogram; the merged histogram lands in [result.latency]
+    (costs one clock read per op). *)
+let run_ops ?(measure_latency = false) (tree : Tree_intf.handle) ~domains ~ops_per_domain
+    ~seed spec : result =
+  let hists =
+    Array.init domains (fun _ -> Repro_util.Histogram.create ())
+  in
+  let result =
+    run_parallel ~domains ~f:(fun i ctx ->
+        let s = Workload.sampler ~seed ~worker:i spec in
+        let h = hists.(i) in
+        let run_op () =
+          match Workload.next_op s with
+          | Workload.Search k -> ignore (tree.Tree_intf.search ctx k)
+          | Workload.Insert (k, v) -> ignore (tree.Tree_intf.insert ctx k v)
+          | Workload.Delete k -> ignore (tree.Tree_intf.delete ctx k)
+        in
+        if measure_latency then
+          for _ = 1 to ops_per_domain do
+            let t0 = Unix.gettimeofday () in
+            run_op ();
+            Repro_util.Histogram.add h (Unix.gettimeofday () -. t0)
+          done
+        else
+          for _ = 1 to ops_per_domain do
+            run_op ()
+          done)
+  in
+  if measure_latency then begin
+    let merged = Repro_util.Histogram.create () in
+    Array.iter (fun h -> Repro_util.Histogram.merge ~into:merged h) hists;
+    { result with latency = Some merged }
+  end
+  else result
+
+(** Like {!run_ops} but with [compactors] extra domains running
+    {!Repro_core.Compactor} workers on [raw] for the duration of the
+    workload (experiments E4/E5). Compactor stats are returned separately. *)
+let run_ops_with_compaction (raw : int Handle.t) (tree : Tree_intf.handle) ~domains
+    ~compactors ~ops_per_domain ~seed spec :
+    result * Repro_storage.Stats.t =
+  let module C = Compactor.Make (Repro_storage.Key.Int) in
+  let stop = Atomic.make false in
+  let comp_ctxs = Array.init compactors (fun i -> Handle.ctx ~slot:(domains + i)) in
+  let comp_domains =
+    Array.init compactors (fun i ->
+        Domain.spawn (fun () -> C.run_worker raw comp_ctxs.(i) ~stop))
+  in
+  let result =
+    run_ops tree ~domains ~ops_per_domain ~seed spec
+  in
+  Atomic.set stop true;
+  Array.iter Domain.join comp_domains;
+  let comp_stats = Repro_storage.Stats.create () in
+  Array.iter
+    (fun c -> Repro_storage.Stats.merge ~into:comp_stats c.Handle.stats)
+    comp_ctxs;
+  (result, comp_stats)

@@ -1,0 +1,146 @@
+(** Per-key linearizability checking (the observable content of Theorem 1:
+    concurrent searches/insertions/deletions are data-equivalent to a
+    serial schedule).
+
+    The tree is a dense index: operations on distinct keys commute, so a
+    history is linearizable iff each key's sub-history is linearizable
+    against set semantics (absent/present). Per-key histories are small,
+    which makes the (in general NP-hard) check tractable: a Wing & Gong
+    style DFS over linearization prefixes with memoisation on
+    (scheduled-set, state).
+
+    Timestamps come from one shared atomic counter, so the recorded
+    invocation/response order is itself linearizable and conservatively
+    approximates real time. *)
+
+type kind = Insert | Delete | Search
+
+type event = {
+  key : int;
+  kind : kind;
+  ok : bool;
+      (** Insert: [`Ok]; Delete: key was present; Search: key was found *)
+  inv : int;  (** invocation stamp *)
+  res : int;  (** response stamp *)
+}
+
+let kind_to_string = function Insert -> "insert" | Delete -> "delete" | Search -> "search"
+
+let pp_event fmt e =
+  Format.fprintf fmt "%s(%d)=%b @[%d..%d]" (kind_to_string e.kind) e.key e.ok e.inv e.res
+
+(* -- recording -- *)
+
+type recorder = { clock : int Atomic.t; mutable events : event list; mutex : Mutex.t }
+
+let recorder () = { clock = Atomic.make 0; events = []; mutex = Mutex.create () }
+
+(** Per-domain handle onto a shared recorder (no contention on the event
+    list until {!merge_local}). *)
+type local = { shared : recorder; mutable buffer : event list }
+
+let local shared = { shared; buffer = [] }
+
+(** Run [f], recording its invocation/response window and boolean outcome. *)
+let record (l : local) ~key ~kind f =
+  let inv = Atomic.fetch_and_add l.shared.clock 1 in
+  let ok = f () in
+  let res = Atomic.fetch_and_add l.shared.clock 1 in
+  l.buffer <- { key; kind; ok; inv; res } :: l.buffer;
+  ok
+
+(** Publish a domain's buffered events into the shared recorder. *)
+let merge_local (l : local) =
+  Mutex.lock l.shared.mutex;
+  l.shared.events <- List.rev_append l.buffer l.shared.events;
+  l.buffer <- [];
+  Mutex.unlock l.shared.mutex
+
+let events r = r.events
+
+(* -- checking -- *)
+
+exception Too_long of int
+
+let max_history = 25 (* bitmask DFS bound *)
+
+(* Expected outcome and next state of applying [kind] in [present]. *)
+let apply kind present =
+  match kind with
+  | Insert -> (not present, true)
+  | Delete -> (present, false)
+  | Search -> (present, present)
+
+(** Is this single-key history linearizable from [initial] presence?
+    @raise Too_long beyond {!max_history} events. *)
+let check_key ?(initial = false) (history : event list) : bool =
+  let ops = Array.of_list history in
+  let n = Array.length ops in
+  if n = 0 then true
+  else if n > max_history then raise (Too_long n)
+  else begin
+    let full = (1 lsl n) - 1 in
+    let memo = Hashtbl.create 256 in
+    (* o is schedulable next if no other pending op responded before o's
+       invocation (we may not reorder across completed real-time gaps). *)
+    let schedulable mask i =
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        if j <> i && mask land (1 lsl j) = 0 && ops.(j).res < ops.(i).inv then ok := false
+      done;
+      !ok
+    in
+    let rec dfs mask present =
+      if mask = full then true
+      else
+        let state_key = (mask * 2) + if present then 1 else 0 in
+        match Hashtbl.find_opt memo state_key with
+        | Some v -> v
+        | None ->
+            let rec try_op i =
+              if i >= n then false
+              else if
+                mask land (1 lsl i) = 0
+                && schedulable mask i
+                &&
+                let expected, next = apply ops.(i).kind present in
+                ops.(i).ok = expected && dfs (mask lor (1 lsl i)) next
+              then true
+              else try_op (i + 1)
+            in
+            let v = try_op 0 in
+            Hashtbl.add memo state_key v;
+            v
+    in
+    dfs 0 initial
+  end
+
+type verdict = {
+  keys_checked : int;
+  violations : (int * event list) list;  (** key, its (inv-sorted) history *)
+  skipped : int list;  (** keys whose histories exceeded {!max_history} *)
+}
+
+(** Partition a full history by key and check each sub-history.
+    [initial key] is the key's presence before the recorded window
+    (e.g. preloaded keys). *)
+let check ?(initial = fun _ -> false) (history : event list) : verdict =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_key e.key) in
+      Hashtbl.replace by_key e.key (e :: cur))
+    history;
+  let violations = ref [] and skipped = ref [] and count = ref 0 in
+  Hashtbl.iter
+    (fun key evs ->
+      incr count;
+      let evs = List.sort (fun a b -> compare a.inv b.inv) evs in
+      match check_key ~initial:(initial key) evs with
+      | true -> ()
+      | false -> violations := (key, evs) :: !violations
+      | exception Too_long _ -> skipped := key :: !skipped)
+    by_key;
+  { keys_checked = !count; violations = !violations; skipped = !skipped }
+
+let ok v = v.violations = []

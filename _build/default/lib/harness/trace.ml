@@ -1,0 +1,80 @@
+(** Operation traces: record a workload to a file and replay it
+    deterministically — for reproducible bug reports and cross-tree
+    comparisons on identical operation streams.
+
+    Text format, one operation per line:
+    {v
+      i <key> <value>     insert
+      d <key>             delete
+      s <key>             search
+      # anything          comment
+    v} *)
+
+type error = { line : int; text : string }
+
+exception Parse_error of error
+
+let to_channel oc (ops : Workload.op list) =
+  List.iter
+    (fun op ->
+      match op with
+      | Workload.Insert (k, v) -> Printf.fprintf oc "i %d %d\n" k v
+      | Workload.Delete k -> Printf.fprintf oc "d %d\n" k
+      | Workload.Search k -> Printf.fprintf oc "s %d\n" k)
+    ops
+
+let save path ops =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc ops)
+
+let parse_line ~line s : Workload.op option =
+  let fail () = raise (Parse_error { line; text = s }) in
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then None
+  else
+    match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+    | [ "i"; k; v ] -> (
+        match (int_of_string_opt k, int_of_string_opt v) with
+        | Some k, Some v -> Some (Workload.Insert (k, v))
+        | _ -> fail ())
+    | [ "d"; k ] -> (
+        match int_of_string_opt k with Some k -> Some (Workload.Delete k) | None -> fail ())
+    | [ "s"; k ] -> (
+        match int_of_string_opt k with Some k -> Some (Workload.Search k) | None -> fail ())
+    | _ -> fail ()
+
+let of_channel ic =
+  let ops = ref [] in
+  let line = ref 0 in
+  (try
+     while true do
+       incr line;
+       match parse_line ~line:!line (input_line ic) with
+       | Some op -> ops := op :: !ops
+       | None -> ()
+     done
+   with End_of_file -> ());
+  List.rev !ops
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+(** Generate a trace from a workload spec (what a single worker would do). *)
+let generate ~seed ~ops spec : Workload.op list =
+  let s = Workload.sampler ~seed ~worker:0 spec in
+  List.init ops (fun _ -> Workload.next_op s)
+
+(** Replay a trace against a tree handle; returns (inserted_ok, deleted,
+    found) counts for quick cross-checking. *)
+let replay (h : Repro_baseline.Tree_intf.handle) ctx ops =
+  let ins = ref 0 and del = ref 0 and found = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Workload.Insert (k, v) ->
+          if h.Repro_baseline.Tree_intf.insert ctx k v = `Ok then incr ins
+      | Workload.Delete k -> if h.Repro_baseline.Tree_intf.delete ctx k then incr del
+      | Workload.Search k -> if h.Repro_baseline.Tree_intf.search ctx k <> None then incr found)
+    ops;
+  (!ins, !del, !found)

@@ -1,0 +1,1 @@
+lib/storage/epoch.ml: Array Atomic Fun List Mutex Node Repro_util

@@ -1,0 +1,1 @@
+lib/storage/epoch.mli: Node

@@ -1,0 +1,1 @@
+lib/storage/key.ml: Buffer Bytes Int Int32 Int64 Printf String

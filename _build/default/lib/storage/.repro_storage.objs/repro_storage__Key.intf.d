@@ -1,0 +1,1 @@
+lib/storage/key.mli: Buffer Bytes

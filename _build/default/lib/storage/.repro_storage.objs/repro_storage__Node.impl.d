@@ -1,0 +1,1 @@
+lib/storage/node.ml: Array Bound Format Key List Printf String

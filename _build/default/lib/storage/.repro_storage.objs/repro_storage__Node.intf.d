@@ -1,0 +1,1 @@
+lib/storage/node.mli: Bound Format Key

@@ -1,0 +1,1 @@
+lib/storage/page_codec.ml: Array Bound Buffer Bytes Int32 Int64 Key Node Printf

@@ -1,0 +1,1 @@
+lib/storage/page_codec.mli: Buffer Bytes Key Node

@@ -1,0 +1,1 @@
+lib/storage/paged_file.ml: Bytes Unix

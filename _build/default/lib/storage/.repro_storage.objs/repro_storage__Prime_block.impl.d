@@ -1,0 +1,1 @@
+lib/storage/prime_block.ml: Array Atomic Node

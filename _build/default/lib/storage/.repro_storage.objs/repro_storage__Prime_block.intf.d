@@ -1,0 +1,1 @@
+lib/storage/prime_block.mli: Node

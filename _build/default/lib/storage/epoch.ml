@@ -1,0 +1,85 @@
+(** Epoch-based reclamation of deleted pages (paper §5.3).
+
+    The paper: "record in the node the time of its deletion, and store for
+    each running process its starting time; a deleted node can be released
+    when all currently running processes have started after its deletion
+    time." This module is that scheme with a logical clock: every logical
+    operation pins the current epoch for its duration; a page retired at
+    epoch [e] is released once every pinned epoch exceeds [e].
+
+    Wait-free pin/unpin; retire and reclaim serialise on a mutex (they are
+    off the hot path — one retire per page deletion). *)
+
+type retired = { epoch : int; ptr : Node.ptr }
+
+type t = {
+  global : int Atomic.t;
+  pins : int Atomic.t array;  (** per-worker pinned epoch; [max_int] = idle *)
+  mutable limbo : retired list;  (** newest first *)
+  limbo_mutex : Mutex.t;
+  reclaimed : int Atomic.t;
+}
+
+let stride = Repro_util.Counters.stride
+
+let create ?(slots = 64) () =
+  {
+    global = Atomic.make 0;
+    pins = Array.init (slots * stride) (fun _ -> Atomic.make max_int);
+    limbo = [];
+    limbo_mutex = Mutex.create ();
+    reclaimed = Atomic.make 0;
+  }
+
+let nslots t = Array.length t.pins / stride
+
+(** Pin the calling worker to the current epoch. Must be balanced with
+    {!unpin}; not reentrant per slot. *)
+let pin t ~slot =
+  let a = t.pins.((slot mod nslots t) * stride) in
+  Atomic.set a (Atomic.get t.global)
+
+let unpin t ~slot = Atomic.set t.pins.((slot mod nslots t) * stride) max_int
+
+let with_pin t ~slot f =
+  pin t ~slot;
+  Fun.protect ~finally:(fun () -> unpin t ~slot) f
+
+(** Smallest epoch any worker is still pinned to. *)
+let min_pinned t =
+  let m = ref max_int in
+  for i = 0 to nslots t - 1 do
+    let v = Atomic.get t.pins.(i * stride) in
+    if v < !m then m := v
+  done;
+  !m
+
+(** Retire a deleted page: it will be handed to [release] (below, via
+    {!reclaim}) once no process that could still read it remains. Advances
+    the global epoch so the grace period starts immediately. *)
+let retire t ptr =
+  let e = Atomic.fetch_and_add t.global 1 in
+  Mutex.lock t.limbo_mutex;
+  t.limbo <- { epoch = e; ptr } :: t.limbo;
+  Mutex.unlock t.limbo_mutex
+
+(** Release every retired page whose grace period has passed, calling
+    [release] on each. Returns how many were released. *)
+let reclaim t ~release =
+  let horizon = min_pinned t in
+  Mutex.lock t.limbo_mutex;
+  let keep, free = List.partition (fun r -> r.epoch >= horizon) t.limbo in
+  t.limbo <- keep;
+  Mutex.unlock t.limbo_mutex;
+  List.iter (fun r -> release r.ptr) free;
+  let n = List.length free in
+  ignore (Atomic.fetch_and_add t.reclaimed n);
+  n
+
+let pending t =
+  Mutex.lock t.limbo_mutex;
+  let n = List.length t.limbo in
+  Mutex.unlock t.limbo_mutex;
+  n
+
+let total_reclaimed t = Atomic.get t.reclaimed

@@ -1,0 +1,28 @@
+(** Epoch-based reclamation of deleted pages — the paper's §5.3 scheme
+    ("a deleted node can be released when all currently running processes
+    have started after its deletion time") with a logical clock.
+    Pin/unpin are wait-free; retire/reclaim serialise off the hot path. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+
+val pin : t -> slot:int -> unit
+(** Pin the worker's slot to the current epoch for the duration of one
+    logical operation. Balanced with {!unpin}; not reentrant per slot. *)
+
+val unpin : t -> slot:int -> unit
+val with_pin : t -> slot:int -> (unit -> 'a) -> 'a
+
+val min_pinned : t -> int
+(** Smallest epoch any worker is pinned to ([max_int] when none). *)
+
+val retire : t -> Node.ptr -> unit
+(** Begin a deleted page's grace period. *)
+
+val reclaim : t -> release:(Node.ptr -> unit) -> int
+(** Release every retired page whose grace period has passed; returns how
+    many. *)
+
+val pending : t -> int
+val total_reclaimed : t -> int

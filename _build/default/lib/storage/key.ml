@@ -1,0 +1,65 @@
+(** Ordered key types for B-link trees.
+
+    Trees are functors over {!S}; {!Int} is the instance used by the
+    benches, {!Str} exists to prove genericity and for the string example. *)
+
+module type S = sig
+  type t
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+
+  (** Binary page format support (see {!Page_codec}). *)
+
+  val encode : Buffer.t -> t -> unit
+
+  (** [decode bytes ~pos] returns the key and the position after it. *)
+  val decode : Bytes.t -> pos:int -> t * int
+end
+
+module Int : S with type t = int = struct
+  type t = int
+
+  let compare = Int.compare
+  let to_string = string_of_int
+
+  let encode buf v =
+    Buffer.add_int64_le buf (Int64.of_int v)
+
+  let decode bytes ~pos = (Int64.to_int (Bytes.get_int64_le bytes pos), pos + 8)
+end
+
+(** Lexicographic pair keys, e.g. (user_id, timestamp) composite indexes. *)
+module Pair (A : S) (B : S) : S with type t = A.t * B.t = struct
+  type t = A.t * B.t
+
+  let compare (a1, b1) (a2, b2) =
+    let c = A.compare a1 a2 in
+    if c <> 0 then c else B.compare b1 b2
+
+  let to_string (a, b) = Printf.sprintf "(%s,%s)" (A.to_string a) (B.to_string b)
+
+  let encode buf (a, b) =
+    A.encode buf a;
+    B.encode buf b
+
+  let decode bytes ~pos =
+    let a, pos = A.decode bytes ~pos in
+    let b, pos = B.decode bytes ~pos in
+    ((a, b), pos)
+end
+
+module Str : S with type t = string = struct
+  type t = string
+
+  let compare = String.compare
+  let to_string s = s
+
+  let encode buf s =
+    Buffer.add_int32_le buf (Int32.of_int (String.length s));
+    Buffer.add_string buf s
+
+  let decode bytes ~pos =
+    let len = Int32.to_int (Bytes.get_int32_le bytes pos) in
+    (Bytes.sub_string bytes (pos + 4) len, pos + 4 + len)
+end

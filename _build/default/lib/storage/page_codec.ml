@@ -1,0 +1,115 @@
+(** Binary page format.
+
+    Each tree node corresponds to "a page or block of secondary storage"
+    (paper §2.2). The in-memory store keeps decoded nodes for speed, but
+    this codec defines the durable format: it is exercised by the
+    persistence layer (snapshot save/load) and by round-trip tests, so the
+    library could be rebased onto a real pager without touching tree code.
+
+    Layout (little-endian):
+    {v
+      magic      u8   = 0xB7
+      version    u8   = 1
+      level      u16
+      flags      u8   (bit0 root, bit1 deleted)
+      fwd        i64  (forwarding ptr when deleted, else -1)
+      link       i64  (-1 = nil)
+      low_tag    u8   (0 = -inf, 1 = key, 2 = +inf) [key bytes if tag = 1]
+      high_tag   u8   likewise
+      nkeys      u32  [keys]
+      nptrs      u32  [ptrs as i64]
+    v} *)
+
+let magic = 0xB7
+let version = 1
+
+exception Corrupt of string
+
+module Make (K : Key.S) = struct
+  let encode_bound buf = function
+    | Bound.Neg_inf -> Buffer.add_uint8 buf 0
+    | Bound.Key k ->
+        Buffer.add_uint8 buf 1;
+        K.encode buf k
+    | Bound.Pos_inf -> Buffer.add_uint8 buf 2
+
+  let decode_bound bytes ~pos =
+    match Bytes.get_uint8 bytes pos with
+    | 0 -> (Bound.Neg_inf, pos + 1)
+    | 1 ->
+        let k, pos = K.decode bytes ~pos:(pos + 1) in
+        (Bound.Key k, pos)
+    | 2 -> (Bound.Pos_inf, pos + 1)
+    | t -> raise (Corrupt (Printf.sprintf "bad bound tag %d" t))
+
+  let encode buf (n : K.t Node.t) =
+    Buffer.add_uint8 buf magic;
+    Buffer.add_uint8 buf version;
+    Buffer.add_uint16_le buf n.Node.level;
+    let deleted, fwd =
+      match n.Node.state with Node.Deleted f -> (true, f) | Node.Live -> (false, -1)
+    in
+    let flags = (if n.Node.is_root then 1 else 0) lor if deleted then 2 else 0 in
+    Buffer.add_uint8 buf flags;
+    Buffer.add_int64_le buf (Int64.of_int fwd);
+    Buffer.add_int64_le buf (Int64.of_int (match n.Node.link with Some p -> p | None -> -1));
+    encode_bound buf n.Node.low;
+    encode_bound buf n.Node.high;
+    Buffer.add_int32_le buf (Int32.of_int (Array.length n.Node.keys));
+    Array.iter (K.encode buf) n.Node.keys;
+    Buffer.add_int32_le buf (Int32.of_int (Array.length n.Node.ptrs));
+    Array.iter (fun p -> Buffer.add_int64_le buf (Int64.of_int p)) n.Node.ptrs
+
+  let decode bytes ~pos : K.t Node.t * int =
+    if Bytes.get_uint8 bytes pos <> magic then raise (Corrupt "bad magic");
+    if Bytes.get_uint8 bytes (pos + 1) <> version then raise (Corrupt "bad version");
+    let level = Bytes.get_uint16_le bytes (pos + 2) in
+    let flags = Bytes.get_uint8 bytes (pos + 4) in
+    let fwd = Int64.to_int (Bytes.get_int64_le bytes (pos + 5)) in
+    let link = Int64.to_int (Bytes.get_int64_le bytes (pos + 13)) in
+    let pos = pos + 21 in
+    let low, pos = decode_bound bytes ~pos in
+    let high, pos = decode_bound bytes ~pos in
+    let nkeys = Int32.to_int (Bytes.get_int32_le bytes pos) in
+    if nkeys < 0 then raise (Corrupt "negative key count");
+    let pos = ref (pos + 4) in
+    let keys =
+      Array.init nkeys (fun _ ->
+          let k, p = K.decode bytes ~pos:!pos in
+          pos := p;
+          k)
+    in
+    let nptrs = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+    if nptrs < 0 then raise (Corrupt "negative ptr count");
+    pos := !pos + 4;
+    let ptrs =
+      Array.init nptrs (fun _ ->
+          let v = Int64.to_int (Bytes.get_int64_le bytes !pos) in
+          pos := !pos + 8;
+          v)
+    in
+    let node =
+      {
+        Node.level;
+        keys;
+        ptrs;
+        low;
+        high;
+        link = (if link < 0 then None else Some link);
+        is_root = flags land 1 <> 0;
+        state = (if flags land 2 <> 0 then Node.Deleted fwd else Node.Live);
+      }
+    in
+    (node, !pos)
+
+  let to_bytes n =
+    let buf = Buffer.create 256 in
+    encode buf n;
+    Buffer.to_bytes buf
+
+  let of_bytes bytes = fst (decode bytes ~pos:0)
+
+  (** Encoded size in bytes; benches use it to report space utilisation in
+      on-disk terms. *)
+  let encoded_size n = Bytes.length (to_bytes n)
+end

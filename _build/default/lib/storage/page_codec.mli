@@ -1,0 +1,23 @@
+(** Binary page format: the durable encoding of a node ("each node
+    corresponds to a page or block of secondary storage", §2.2). Used by
+    snapshots and exercised by round-trip tests so the tree code would
+    survive rebasing onto a real pager. *)
+
+val magic : int
+val version : int
+
+exception Corrupt of string
+
+module Make (K : Key.S) : sig
+  val encode : Buffer.t -> K.t Node.t -> unit
+
+  val decode : Bytes.t -> pos:int -> K.t Node.t * int
+  (** Returns the node and the position after it.
+      @raise Corrupt on bad magic/version/structure. *)
+
+  val to_bytes : K.t Node.t -> Bytes.t
+  val of_bytes : Bytes.t -> K.t Node.t
+
+  val encoded_size : K.t Node.t -> int
+  (** On-disk size in bytes (used for space-utilisation reporting). *)
+end

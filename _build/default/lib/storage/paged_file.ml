@@ -1,0 +1,93 @@
+(** Fixed-size-page file: the paper's "page or block of secondary storage"
+    (§2.2) as a storage device. Two backends — an in-memory byte vector
+    (tests, benches) and a real file through [Unix] (durability) — behind
+    one interface, so the checkpointer ({!Repro_core.Checkpoint}) is
+    backend-agnostic.
+
+    Not itself concurrent: the live tree runs in {!Store}; paged files are
+    written and read at quiescent points. *)
+
+type backend =
+  | Memory of { mutable data : Bytes.t; mutable capacity : int }
+  | File of Unix.file_descr
+
+type t = { page_size : int; backend : backend; mutable pages : int }
+
+let default_page_size = 4096
+
+let create_memory ?(page_size = default_page_size) () =
+  if page_size < 64 then invalid_arg "Paged_file: page_size too small";
+  { page_size; backend = Memory { data = Bytes.create (16 * page_size); capacity = 16 }; pages = 0 }
+
+(** Open (creating or truncating) a file-backed paged file for writing. *)
+let create_file ?(page_size = default_page_size) path =
+  if page_size < 64 then invalid_arg "Paged_file: page_size too small";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  { page_size; backend = File fd; pages = 0 }
+
+(** Open an existing file-backed paged file for reading. *)
+let open_file ?(page_size = default_page_size) path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size mod page_size <> 0 then begin
+    Unix.close fd;
+    invalid_arg "Paged_file.open_file: size not a multiple of the page size"
+  end;
+  { page_size; backend = File fd; pages = size / page_size }
+
+let page_size t = t.page_size
+let pages t = t.pages
+
+let ensure_memory_capacity (t : t) needed =
+  match t.backend with
+  | Memory m ->
+      if needed > m.capacity then begin
+        let cap = ref (max 16 m.capacity) in
+        while needed > !cap do
+          cap := !cap * 2
+        done;
+        let fresh = Bytes.create (!cap * t.page_size) in
+        Bytes.blit m.data 0 fresh 0 (m.capacity * t.page_size);
+        m.data <- fresh;
+        m.capacity <- !cap
+      end
+  | File _ -> ()
+
+let write t idx page =
+  if Bytes.length page <> t.page_size then invalid_arg "Paged_file.write: wrong page size";
+  if idx < 0 || idx > t.pages then invalid_arg "Paged_file.write: hole in file";
+  (match t.backend with
+  | Memory m ->
+      ensure_memory_capacity t (idx + 1);
+      Bytes.blit page 0 m.data (idx * t.page_size) t.page_size
+  | File fd ->
+      ignore (Unix.lseek fd (idx * t.page_size) Unix.SEEK_SET);
+      let n = Unix.write fd page 0 t.page_size in
+      if n <> t.page_size then failwith "Paged_file.write: short write");
+  if idx = t.pages then t.pages <- t.pages + 1
+
+(** Append a page; returns its index. *)
+let append t page =
+  let idx = t.pages in
+  write t idx page;
+  idx
+
+let read t idx =
+  if idx < 0 || idx >= t.pages then invalid_arg "Paged_file.read: out of range";
+  match t.backend with
+  | Memory m -> Bytes.sub m.data (idx * t.page_size) t.page_size
+  | File fd ->
+      let buf = Bytes.create t.page_size in
+      ignore (Unix.lseek fd (idx * t.page_size) Unix.SEEK_SET);
+      let rec fill off =
+        if off < t.page_size then begin
+          let n = Unix.read fd buf off (t.page_size - off) in
+          if n = 0 then failwith "Paged_file.read: short read";
+          fill (off + n)
+        end
+      in
+      fill 0;
+      buf
+
+let sync t = match t.backend with Memory _ -> () | File fd -> Unix.fsync fd
+let close t = match t.backend with Memory _ -> () | File fd -> Unix.close fd

@@ -1,0 +1,29 @@
+(** Fixed-size-page file with memory and [Unix]-file backends; the storage
+    device under {!Repro_core.Checkpoint}. Not concurrent — used at
+    quiescent points only. *)
+
+type t
+
+val default_page_size : int
+
+val create_memory : ?page_size:int -> unit -> t
+val create_file : ?page_size:int -> string -> t
+(** Create or truncate for writing. *)
+
+val open_file : ?page_size:int -> string -> t
+(** Open an existing file for reading.
+    @raise Invalid_argument if the size is not page-aligned. *)
+
+val page_size : t -> int
+val pages : t -> int
+
+val append : t -> Bytes.t -> int
+(** Write a full page at the end; returns its index.
+    @raise Invalid_argument on a wrong-sized buffer. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** Overwrite page [idx] (or append when [idx = pages]). *)
+
+val read : t -> int -> Bytes.t
+val sync : t -> unit
+val close : t -> unit

@@ -1,0 +1,46 @@
+(** The prime block (paper §3.3).
+
+    Holds the number of levels and "an array of pointers to the leftmost
+    node at each level"; entry [levels - 1] is the root. The paper's
+    protocol: the prime block is {e not} locked — it is rewritten only by a
+    process that holds the lock on the current root, which serialises root
+    creation and removal. We publish each rewrite as an atomic snapshot
+    swap, matching the indivisible-write model. *)
+
+type snapshot = {
+  levels : int;
+  leftmost : Node.ptr array;  (** index = level; [leftmost.(levels-1)] is the root *)
+}
+
+type t = snapshot Atomic.t
+
+let create ~root_ptr : t = Atomic.make { levels = 1; leftmost = [| root_ptr |] }
+
+(** Rebuild a prime block from persisted state (snapshot load). *)
+let restore ~levels ~leftmost : t =
+  if levels < 1 || Array.length leftmost <> levels then
+    invalid_arg "Prime_block.restore";
+  Atomic.make { levels; leftmost = Array.copy leftmost }
+
+let read (t : t) = Atomic.get t
+let root s = s.leftmost.(s.levels - 1)
+
+(** Leftmost node at [level], if that level exists yet. Fig 6's
+    [insert-into-unsafe] falls back to this when its stack is empty; §3.3's
+    slow-root-creator scenario is the [None] case the caller must wait out. *)
+let leftmost_at s ~level = if level < s.levels then Some s.leftmost.(level) else None
+
+(** Record a new root one level up. Caller holds the old root's lock. *)
+let push_root (t : t) ~root_ptr =
+  let s = Atomic.get t in
+  Atomic.set t { levels = s.levels + 1; leftmost = Array.append s.leftmost [| root_ptr |] }
+
+(** Record a root collapse down to [level] (possibly skipping several
+    levels, §5.4). The new root must already be the leftmost node of its
+    level. Caller holds the old root's lock. *)
+let collapse_to (t : t) ~level ~root_ptr =
+  let s = Atomic.get t in
+  assert (level < s.levels - 1);
+  let leftmost = Array.sub s.leftmost 0 (level + 1) in
+  leftmost.(level) <- root_ptr;
+  Atomic.set t { levels = level + 1; leftmost }

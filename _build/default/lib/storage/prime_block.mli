@@ -1,0 +1,25 @@
+(** The prime block (§3.3): the number of levels and the pointer to the
+    leftmost node of each level; entry [levels - 1] is the root. Never
+    locked — it is rewritten only by the process holding the current
+    root's lock, and published as an atomic snapshot. *)
+
+type snapshot = { levels : int; leftmost : Node.ptr array }
+
+type t
+
+val create : root_ptr:Node.ptr -> t
+
+(** [restore] rebuilds a prime block from persisted state (snapshot load). *)
+val restore : levels:int -> leftmost:Node.ptr array -> t
+val read : t -> snapshot
+val root : snapshot -> Node.ptr
+
+val leftmost_at : snapshot -> level:int -> Node.ptr option
+(** [None] when the level does not exist (yet) — the §3.3 wait case. *)
+
+val push_root : t -> root_ptr:Node.ptr -> unit
+(** Record a new root one level up. Caller holds the old root's lock. *)
+
+val collapse_to : t -> level:int -> root_ptr:Node.ptr -> unit
+(** Record a root collapse down to [level] (§5.4, possibly skipping
+    several levels). Caller holds the old root's lock. *)

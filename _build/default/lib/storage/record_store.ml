@@ -1,0 +1,99 @@
+(** Concurrent record heap.
+
+    The paper's leaves store pairs (v, p) where "p points to the record
+    with key value v" and assumes "space has already been allocated to r"
+    (§3.1). This module is that allocation: a chunked slab of immutable
+    record payloads addressed by integer record pointers, with a free list
+    for reuse. Like {!Store}, slots never move, so readers index without
+    synchronisation; reads and writes of a record are indivisible.
+
+    Reuse discipline: {!free} makes a pointer invalid immediately; callers
+    that race readers must defer {!free} through an {!Epoch} manager, as
+    {!Repro_core.Kv} does. *)
+
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+let max_chunks = 1 lsl 14
+
+type t = {
+  chunks : string option Atomic.t array option Atomic.t array;
+  next : int Atomic.t;
+  free_list : int list Atomic.t;
+  allocated : int Atomic.t;
+  freed : int Atomic.t;
+  bytes_stored : int Atomic.t;
+}
+
+let create () =
+  {
+    chunks = Array.init max_chunks (fun _ -> Atomic.make None);
+    next = Atomic.make 0;
+    free_list = Atomic.make [];
+    allocated = Atomic.make 0;
+    freed = Atomic.make 0;
+    bytes_stored = Atomic.make 0;
+  }
+
+let ensure_chunk t ci =
+  if ci >= max_chunks then failwith "Record_store: out of slots";
+  match Atomic.get t.chunks.(ci) with
+  | Some c -> c
+  | None ->
+      let fresh = Array.init chunk_size (fun _ -> Atomic.make None) in
+      if Atomic.compare_and_set t.chunks.(ci) None (Some fresh) then fresh
+      else (
+        match Atomic.get t.chunks.(ci) with Some c -> c | None -> assert false)
+
+let slot t ptr =
+  let ci = ptr lsr chunk_bits in
+  match Atomic.get t.chunks.(ci) with
+  | Some c -> c.(ptr land (chunk_size - 1))
+  | None -> invalid_arg (Printf.sprintf "Record_store: record %d not allocated" ptr)
+
+let pop_free t =
+  let rec go () =
+    match Atomic.get t.free_list with
+    | [] -> None
+    | p :: rest as old ->
+        if Atomic.compare_and_set t.free_list old rest then Some p else go ()
+  in
+  go ()
+
+let push_free t p =
+  let rec go () =
+    let old = Atomic.get t.free_list in
+    if not (Atomic.compare_and_set t.free_list old (p :: old)) then go ()
+  in
+  go ()
+
+(** Allocate a record; the returned pointer is readable from all domains. *)
+let put t payload =
+  Atomic.incr t.allocated;
+  ignore (Atomic.fetch_and_add t.bytes_stored (String.length payload));
+  match pop_free t with
+  | Some p ->
+      Atomic.set (slot t p) (Some payload);
+      p
+  | None ->
+      let p = Atomic.fetch_and_add t.next 1 in
+      let chunk = ensure_chunk t (p lsr chunk_bits) in
+      Atomic.set chunk.(p land (chunk_size - 1)) (Some payload);
+      p
+
+exception Freed_record of int
+
+(** Indivisible read; raises {!Freed_record} on a reclaimed slot. *)
+let get t ptr =
+  match Atomic.get (slot t ptr) with Some s -> s | None -> raise (Freed_record ptr)
+
+(** Return a record's slot to the allocator. *)
+let free t ptr =
+  (match Atomic.get (slot t ptr) with
+  | Some s -> ignore (Atomic.fetch_and_add t.bytes_stored (-String.length s))
+  | None -> ());
+  Atomic.set (slot t ptr) None;
+  Atomic.incr t.freed;
+  push_free t ptr
+
+let live_count t = Atomic.get t.allocated - Atomic.get t.freed
+let bytes_stored t = Atomic.get t.bytes_stored

@@ -1,0 +1,20 @@
+(** Concurrent record heap: the allocation the paper assumes for the
+    records that leaf pairs (v, p) point to (§3.1). Slots never move;
+    reads and writes are indivisible; freed slots are recycled — defer
+    {!free} through an {!Epoch} manager when racing readers. *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> string -> int
+(** Allocate a record; the pointer is immediately valid in all domains. *)
+
+exception Freed_record of int
+
+val get : t -> int -> string
+(** @raise Freed_record on a reclaimed slot. *)
+
+val free : t -> int -> unit
+val live_count : t -> int
+val bytes_stored : t -> int

@@ -1,0 +1,103 @@
+(** Per-process operation statistics.
+
+    One record per worker domain (no sharing, no atomics on the hot path);
+    the driver merges them after a run. These counters are what the
+    experiments report: lock footprint (E1), restarts (E4), link chases
+    (E6), structure modifications (E3/E5). *)
+
+type t = {
+  mutable ops : int;  (** logical operations completed *)
+  mutable gets : int;  (** node reads *)
+  mutable puts : int;  (** node rewrites *)
+  mutable lock_acquisitions : int;
+  mutable locks_held : int;  (** currently held; maintained by tree code *)
+  mutable max_locks_held : int;  (** the paper's "locks simultaneously" metric *)
+  mutable link_follows : int;  (** right-moves via links *)
+  mutable restarts : int;  (** wrong-node restarts (§5.2 case 2) *)
+  mutable fwd_follows : int;  (** deleted-node forwarding follows (case 1) *)
+  mutable retries : int;  (** lock-then-revalidate retries *)
+  mutable splits : int;
+  mutable merges : int;
+  mutable redistributions : int;
+  mutable enqueued : int;  (** compression queue insertions *)
+  mutable requeued : int;  (** §5.4 requeue events *)
+  mutable discarded : int;  (** §5.4 discard-stale events *)
+  mutable waits : int;  (** backoff waits (e.g. §3.3 prime-block wait) *)
+}
+
+let create () =
+  {
+    ops = 0;
+    gets = 0;
+    puts = 0;
+    lock_acquisitions = 0;
+    locks_held = 0;
+    max_locks_held = 0;
+    link_follows = 0;
+    restarts = 0;
+    fwd_follows = 0;
+    retries = 0;
+    splits = 0;
+    merges = 0;
+    redistributions = 0;
+    enqueued = 0;
+    requeued = 0;
+    discarded = 0;
+    waits = 0;
+  }
+
+let reset t =
+  t.ops <- 0;
+  t.gets <- 0;
+  t.puts <- 0;
+  t.lock_acquisitions <- 0;
+  t.locks_held <- 0;
+  t.max_locks_held <- 0;
+  t.link_follows <- 0;
+  t.restarts <- 0;
+  t.fwd_follows <- 0;
+  t.retries <- 0;
+  t.splits <- 0;
+  t.merges <- 0;
+  t.redistributions <- 0;
+  t.enqueued <- 0;
+  t.requeued <- 0;
+  t.discarded <- 0;
+  t.waits <- 0
+
+(** Record a lock acquisition and track the simultaneous-locks high-water mark. *)
+let on_lock t =
+  t.lock_acquisitions <- t.lock_acquisitions + 1;
+  t.locks_held <- t.locks_held + 1;
+  if t.locks_held > t.max_locks_held then t.max_locks_held <- t.locks_held
+
+let on_unlock t = t.locks_held <- t.locks_held - 1
+
+(** Merge [src] into [dst] (summing counters, maxing high-water marks). *)
+let merge ~into:dst src =
+  dst.ops <- dst.ops + src.ops;
+  dst.gets <- dst.gets + src.gets;
+  dst.puts <- dst.puts + src.puts;
+  dst.lock_acquisitions <- dst.lock_acquisitions + src.lock_acquisitions;
+  dst.max_locks_held <- max dst.max_locks_held src.max_locks_held;
+  dst.link_follows <- dst.link_follows + src.link_follows;
+  dst.restarts <- dst.restarts + src.restarts;
+  dst.fwd_follows <- dst.fwd_follows + src.fwd_follows;
+  dst.retries <- dst.retries + src.retries;
+  dst.splits <- dst.splits + src.splits;
+  dst.merges <- dst.merges + src.merges;
+  dst.redistributions <- dst.redistributions + src.redistributions;
+  dst.enqueued <- dst.enqueued + src.enqueued;
+  dst.requeued <- dst.requeued + src.requeued;
+  dst.discarded <- dst.discarded + src.discarded;
+  dst.waits <- dst.waits + src.waits
+
+let pp fmt t =
+  Format.fprintf fmt
+    "ops=%d gets=%d puts=%d locks=%d max_held=%d links=%d restarts=%d fwd=%d retries=%d \
+     splits=%d merges=%d redist=%d enq=%d requeue=%d discard=%d waits=%d"
+    t.ops t.gets t.puts t.lock_acquisitions t.max_locks_held t.link_follows t.restarts
+    t.fwd_follows t.retries t.splits t.merges t.redistributions t.enqueued t.requeued
+    t.discarded t.waits
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,38 @@
+(** Per-worker operation statistics. One mutable record per domain, no
+    synchronisation; merge after a run. These are the metrics the paper's
+    claims are judged on: lock footprint, restarts, link chases,
+    structure modifications. *)
+
+type t = {
+  mutable ops : int;
+  mutable gets : int;
+  mutable puts : int;
+  mutable lock_acquisitions : int;
+  mutable locks_held : int;
+  mutable max_locks_held : int;  (** the "locks simultaneously" metric *)
+  mutable link_follows : int;
+  mutable restarts : int;  (** wrong-node restarts (§5.2 case 2) *)
+  mutable fwd_follows : int;  (** tombstone forwarding follows (case 1) *)
+  mutable retries : int;  (** lock-then-revalidate right-moves *)
+  mutable splits : int;
+  mutable merges : int;
+  mutable redistributions : int;
+  mutable enqueued : int;
+  mutable requeued : int;
+  mutable discarded : int;
+  mutable waits : int;  (** backoff waits (§3.3 / §5.2) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val on_lock : t -> unit
+(** Count an acquisition and track the simultaneous-locks high-water mark. *)
+
+val on_unlock : t -> unit
+
+val merge : into:t -> t -> unit
+(** Sum counters; max the high-water marks. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/util/distribution.ml: Int64 Printf Splitmix Zipf

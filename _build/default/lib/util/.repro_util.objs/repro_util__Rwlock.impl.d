@@ -1,0 +1,1 @@
+lib/util/rwlock.ml: Condition Fun Mutex

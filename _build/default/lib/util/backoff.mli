@@ -1,0 +1,13 @@
+(** Truncated exponential backoff for spin–retry loops ("wait for a while
+    and then read again", paper §3.3 / §5.2). *)
+
+type t
+
+val create : ?max_spins:int -> unit -> t
+val reset : t -> unit
+
+val once : t -> unit
+(** Spin; each successive call spins twice as long, up to the cap. *)
+
+val stage : t -> int
+(** Number of doublings so far — for bounded-wait policies. *)

@@ -1,0 +1,63 @@
+(** Key distributions for workload generation.
+
+    All samplers draw from a caller-supplied {!Splitmix.t} so that each
+    worker domain uses its own stream. Keys are ranks scattered over a wide
+    integer space with a multiplicative hash, so that "zipfian" popularity
+    does not correlate with key order (as in YCSB). *)
+
+type kind =
+  | Uniform  (** uniform over [0, space) *)
+  | Zipfian of float  (** skewed; parameter is the exponent, e.g. 0.99 *)
+  | Sequential  (** monotonically increasing (per sampler) *)
+  | Hotspot of { hot_fraction : float; hot_probability : float }
+      (** [hot_probability] of draws hit the first [hot_fraction] of the space *)
+
+type t = {
+  kind : kind;
+  space : int;
+  mutable seq : int;
+  zipf : Zipf.t option;
+  scramble : bool;
+}
+
+let create ?(scramble = true) ~space kind =
+  if space < 1 then invalid_arg "Distribution.create: space must be >= 1";
+  let zipf =
+    match kind with
+    | Zipfian exponent -> Some (Zipf.create ~n:space ~exponent)
+    | Uniform | Sequential | Hotspot _ -> None
+  in
+  { kind; space; seq = 0; zipf; scramble }
+
+(* Fibonacci hashing: a bijection on 62-bit ints, folded into [0, space). *)
+let scramble_rank t rank =
+  if not t.scramble then rank
+  else
+    let h = Int64.mul (Int64.of_int rank) 0x9E3779B97F4A7C15L in
+    Int64.to_int (Int64.shift_right_logical h 2) mod t.space
+
+let sample t rng =
+  let rank =
+    match t.kind with
+    | Uniform -> Splitmix.int rng t.space
+    | Zipfian _ -> (
+        match t.zipf with
+        | Some z -> Zipf.sample z rng - 1
+        | None -> assert false)
+    | Sequential ->
+        let v = t.seq in
+        t.seq <- (t.seq + 1) mod t.space;
+        v
+    | Hotspot { hot_fraction; hot_probability } ->
+        let hot_n = max 1 (int_of_float (hot_fraction *. float_of_int t.space)) in
+        if Splitmix.float rng < hot_probability then Splitmix.int rng hot_n
+        else hot_n + Splitmix.int rng (max 1 (t.space - hot_n))
+  in
+  scramble_rank t rank
+
+let kind_to_string = function
+  | Uniform -> "uniform"
+  | Zipfian e -> Printf.sprintf "zipf(%.2f)" e
+  | Sequential -> "sequential"
+  | Hotspot { hot_fraction; hot_probability } ->
+      Printf.sprintf "hotspot(%.2f@%.2f)" hot_probability hot_fraction

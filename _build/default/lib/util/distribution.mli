@@ -1,0 +1,18 @@
+(** Key distributions for workload generation. Popularity ranks are
+    scattered over the key space with a multiplicative hash (as in YCSB),
+    so skew does not correlate with key order unless [scramble] is off. *)
+
+type kind =
+  | Uniform
+  | Zipfian of float  (** exponent, e.g. 0.99 *)
+  | Sequential  (** monotonically increasing per sampler, wrapping *)
+  | Hotspot of { hot_fraction : float; hot_probability : float }
+
+type t
+
+val create : ?scramble:bool -> space:int -> kind -> t
+(** A sampler over [\[0, space)]. [scramble] (default true) hashes ranks
+    into scattered keys. *)
+
+val sample : t -> Splitmix.t -> int
+val kind_to_string : kind -> string

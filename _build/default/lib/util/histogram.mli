@@ -1,0 +1,20 @@
+(** Logarithmic-bucket histogram (HdrHistogram-style) for latency and
+    magnitude reporting: ~1% value precision, constant memory, allocation-
+    free recording. Not thread-safe; keep one per domain and {!merge}. *)
+
+type t
+
+val create : ?precision:float -> ?floor_v:float -> unit -> t
+(** [precision] is the relative bucket width (default 0.01); values at or
+    below [floor_v] (default 1e-9) share the lowest bucket. *)
+
+val clear : t -> unit
+val add : t -> float -> unit
+val merge : into:t -> t -> unit
+val count : t -> int
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]], accurate to the bucket width. *)

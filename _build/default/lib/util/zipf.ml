@@ -1,0 +1,53 @@
+(** Zipfian distribution sampler.
+
+    Uses the rejection–inversion method of Hörmann & Derflinger (1996), the
+    same algorithm as YCSB's and Apache Commons' generators. Sampling is
+    O(1) amortised with no precomputed tables, so a fresh sampler over
+    millions of items is cheap to build — important when benches sweep the
+    key-space size. *)
+
+type t = {
+  n : int;  (** number of items, ranks 1..n *)
+  exponent : float;  (** skew s > 0; s = 0 would be uniform (unsupported) *)
+  h_integral_x1 : float;
+  h_integral_n : float;
+  s : float;
+}
+
+let h_integral ~exponent x =
+  let log_x = log x in
+  exp ((1.0 -. exponent) *. log_x) /. (1.0 -. exponent)
+
+(* For exponent = 1 the integral is log x; handle via a branch. *)
+let h_integral_gen ~exponent x =
+  if Float.abs (exponent -. 1.0) < 1e-9 then log x else h_integral ~exponent x
+
+let h ~exponent x = exp (-.exponent *. log x)
+
+let h_integral_inverse ~exponent x =
+  if Float.abs (exponent -. 1.0) < 1e-9 then exp x
+  else exp (log (x *. (1.0 -. exponent)) /. (1.0 -. exponent))
+
+let create ~n ~exponent =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if exponent <= 0.0 then invalid_arg "Zipf.create: exponent must be > 0";
+  let h_integral_x1 = h_integral_gen ~exponent 1.5 -. 1.0 in
+  let h_integral_n = h_integral_gen ~exponent (float_of_int n +. 0.5) in
+  let s = 2.0 -. h_integral_inverse ~exponent (h_integral_gen ~exponent 2.5 -. h ~exponent 2.0) in
+  { n; exponent; h_integral_x1; h_integral_n; s }
+
+(** [sample t rng] returns a rank in [\[1, n\]]; rank 1 is the most popular. *)
+let sample t rng =
+  let rec go () =
+    let u = t.h_integral_n +. (Splitmix.float rng *. (t.h_integral_x1 -. t.h_integral_n)) in
+    let x = h_integral_inverse ~exponent:t.exponent u in
+    let k = int_of_float (Float.round x) in
+    let k = if k < 1 then 1 else if k > t.n then t.n else k in
+    let kf = float_of_int k in
+    if
+      kf -. x <= t.s
+      || u >= h_integral_gen ~exponent:t.exponent (kf +. 0.5) -. h ~exponent:t.exponent kf
+    then k
+    else go ()
+  in
+  go ()

@@ -1,0 +1,12 @@
+(** Zipfian sampler using rejection–inversion (Hörmann & Derflinger 1996):
+    O(1) amortised sampling, no precomputed tables. *)
+
+type t
+
+val create : n:int -> exponent:float -> t
+(** [create ~n ~exponent] samples ranks over [\[1, n\]] with skew
+    [exponent > 0] (0.99 is the YCSB default).
+    @raise Invalid_argument on [n < 1] or [exponent <= 0]. *)
+
+val sample : t -> Splitmix.t -> int
+(** A rank in [\[1, n\]]; rank 1 is the most popular. *)

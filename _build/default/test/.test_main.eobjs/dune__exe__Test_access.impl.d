@@ -1,0 +1,1 @@
+test/test_access.ml: Access Alcotest Bound Domain Handle Key List Node Repro_core Repro_storage Sagiv Stats Store

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Coarse Domain Handle Hashtbl Key Lehman_yao List Lock_couple Printf Repro_baseline Repro_core Repro_storage Repro_util Seq_btree Stats Tree_intf

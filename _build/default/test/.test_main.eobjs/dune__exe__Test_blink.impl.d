@@ -1,0 +1,1 @@
+test/test_blink.ml: Alcotest Dump Handle Hashtbl Key List Printf Repro_core Repro_storage Repro_util Sagiv Stats String Validate

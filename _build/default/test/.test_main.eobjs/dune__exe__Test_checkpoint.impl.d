@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Bytes Char Checkpoint Compactor Filename Fun Int32 Key Paged_file Printf Repro_core Repro_storage Sagiv Sys Validate

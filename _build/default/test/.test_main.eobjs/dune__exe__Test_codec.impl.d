@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bound Buffer Bytes Gen Int Key List Node Option Page_codec QCheck QCheck_alcotest Repro_storage String

@@ -1,0 +1,1 @@
+test/test_compactor.ml: Alcotest Array Atomic Bound Compactor Cqueue Domain Epoch Handle Key Node Option Prime_block Printf Repro_core Repro_storage Repro_util Sagiv Stats Store String Validate

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Array Atomic Compress Domain Handle Key List Printf Repro_core Repro_storage Repro_util Sagiv Stats Store String Validate

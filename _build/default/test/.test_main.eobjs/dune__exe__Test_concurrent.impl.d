@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Atomic Domain Handle Hashtbl Key Mutex Repro_core Repro_storage Repro_util Sagiv Stats String Validate

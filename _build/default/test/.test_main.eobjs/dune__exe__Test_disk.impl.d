@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Buffer_pool Bytes Char Disk_btree Filename Fun Hashtbl Key List Paged_file Printf Repro_baseline Repro_storage Repro_util Sys

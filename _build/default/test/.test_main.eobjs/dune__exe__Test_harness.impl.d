@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Bytes Driver Handle Hashtbl List Oracle Repro_baseline Repro_core Repro_harness Repro_storage Repro_util Sagiv Snapshot String Tree_intf Validate Workload

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Atomic Bytes Domain Hashtbl Key Kv Printf Record_store Repro_core Repro_storage Repro_util String

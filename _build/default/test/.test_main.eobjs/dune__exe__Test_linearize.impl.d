@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Array Domain Format Handle Key Linearize List Repro_baseline Repro_core Repro_harness Repro_storage Repro_util Sagiv String

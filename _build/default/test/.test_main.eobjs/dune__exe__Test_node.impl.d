@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Array Bound Gen Int Key List Node QCheck QCheck_alcotest Repro_storage

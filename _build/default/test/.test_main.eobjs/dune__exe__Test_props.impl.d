@@ -1,0 +1,1 @@
+test/test_props.ml: Array Compactor Compress Gen Handle Int Key List Map Node Printf QCheck QCheck_alcotest Repro_core Repro_storage Repro_util Sagiv Store String Validate

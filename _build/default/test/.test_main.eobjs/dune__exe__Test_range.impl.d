@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Atomic Compress Domain Key List Printf Repro_core Repro_storage Repro_util Sagiv Snapshot Validate

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dump Filename Key List Report Repro_core Repro_harness Repro_storage Sagiv String Sys

@@ -1,0 +1,1 @@
+test/test_restart.ml: Access Alcotest Array Bound Compactor Compress Handle Int Key List Node Prime_block Repro_core Repro_storage Sagiv Stats Store Validate

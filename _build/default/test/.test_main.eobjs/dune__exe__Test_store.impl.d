@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Atomic Bound Domain Epoch Hashtbl Key List Node Prime_block Repro_storage Store

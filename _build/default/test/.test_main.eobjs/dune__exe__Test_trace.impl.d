@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun List Repro_baseline Repro_core Repro_harness Sys Trace Tree_intf Workload

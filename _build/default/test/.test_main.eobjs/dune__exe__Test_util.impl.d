@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atomic Backoff Counters Distribution Domain Fun Hashtbl Histogram List Option Repro_util Rwlock Splitmix Zipf

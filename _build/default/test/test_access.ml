@@ -1,0 +1,151 @@
+(* Unit tests for the shared traversal layer (Access): locate/acquire on
+   trees with crafted states, the missing-level policies, and lock
+   semantics under revalidation. *)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module A = Access.Make (Key.Int)
+module N = Node.Make (Key.Int)
+
+let ctx = S.ctx
+
+let build n =
+  let t = S.create ~order:2 () in
+  let c = ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k k)
+  done;
+  (t, c)
+
+let test_locate_levels () =
+  let t, c = build 200 in
+  let height = S.height t in
+  Alcotest.(check bool) "multi-level" true (height >= 3);
+  (* locate the node containing 100 at every level; ranges must nest *)
+  let rec widen level prev_low prev_high =
+    if level < height then begin
+      let _p, n, stack = A.locate t c (Bound.Key 100) ~to_level:level ~on_missing:A.Wait in
+      Alcotest.(check int) "level field" level n.Node.level;
+      Alcotest.(check bool) "contains key" true
+        (N.key_vs_bound 100 n.Node.low > 0 && N.key_vs_bound 100 n.Node.high <= 0);
+      Alcotest.(check bool) "wider than below" true
+        (N.bcompare n.Node.low prev_low <= 0 && N.bcompare n.Node.high prev_high >= 0);
+      Alcotest.(check int) "stack depth" (height - 1 - level) (List.length stack);
+      widen (level + 1) n.Node.low n.Node.high
+    end
+  in
+  let _p, leaf, _ = A.locate t c (Bound.Key 100) ~to_level:0 ~on_missing:A.Wait in
+  widen 1 leaf.Node.low leaf.Node.high
+
+let test_locate_by_infinite_bound () =
+  let t, c = build 100 in
+  (* Pos_inf targets the rightmost node of the level *)
+  let _p, n, _ = A.locate t c Bound.Pos_inf ~to_level:0 ~on_missing:A.Wait in
+  Alcotest.(check bool) "rightmost" true (n.Node.link = None);
+  Alcotest.(check bool) "high = +inf" true (N.bcompare n.Node.high Bound.Pos_inf = 0)
+
+let test_missing_level_give_up () =
+  let t, c = build 10 in
+  let height = S.height t in
+  match A.locate t c (Bound.Key 5) ~to_level:(height + 2) ~on_missing:A.Give_up with
+  | exception A.Level_missing -> ()
+  | _ -> Alcotest.fail "expected Level_missing"
+
+let test_acquire_locks_target () =
+  let t, c = build 100 in
+  let p, n, _ = A.acquire t c (Bound.Key 50) ~level:0 ~on_missing:A.Wait ~stack:[] () in
+  Alcotest.(check bool) "holds the latch" false (Store.try_lock t.Handle.store p);
+  Alcotest.(check bool) "right node" true (N.mem n 50);
+  A.unlock t c p;
+  Alcotest.(check bool) "released" true (Store.try_lock t.Handle.store p);
+  Store.unlock t.Handle.store p
+
+let test_acquire_revalidates_after_mutation () =
+  (* Lock the target leaf, start an acquire in another domain (it blocks
+     on the latch), then — while still holding the latch — move the leaf's
+     contents to a fresh page and tombstone the original. The acquirer's
+     under-lock revalidation must detect the tombstone, follow the
+     forwarding pointer, and land on the relocated node. *)
+  let t, c = build 100 in
+  let p0, _leaf0, _ = A.locate t c (Bound.Key 50) ~to_level:0 ~on_missing:A.Wait in
+  Store.lock t.Handle.store p0;
+  let acquirer =
+    Domain.spawn (fun () ->
+        let c2 = ctx ~slot:1 in
+        let p, n, _ =
+          A.acquire t c2 (Bound.Key 50) ~level:0 ~on_missing:A.Wait ~start:p0 ~stack:[] ()
+        in
+        let ok = N.mem n 50 && p <> p0 in
+        A.unlock t c2 p;
+        (ok, c2.Handle.stats.Stats.fwd_follows > 0))
+  in
+  let leaf = Store.get t.Handle.store p0 in
+  let fresh = Store.alloc t.Handle.store leaf in
+  Store.put t.Handle.store p0 (N.mark_deleted leaf ~fwd:fresh);
+  Store.unlock t.Handle.store p0;
+  let found, forwarded = Domain.join acquirer in
+  Alcotest.(check bool) "found relocated node" true found;
+  Alcotest.(check bool) "followed the forwarding pointer" true forwarded;
+  (* searches still resolve every key through the tombstone *)
+  for k = 1 to 100 do
+    if S.search t c k <> Some k then Alcotest.failf "key %d lost" k
+  done
+
+let test_wait_mode_sees_new_root () =
+  (* A locate at a level that does not exist yet must block until a
+     concurrent root creation publishes it, then succeed (§3.3). *)
+  let t, _c = build 3 in
+  let target_level = S.height t in
+  (* does not exist yet *)
+  let waiter =
+    Domain.spawn (fun () ->
+        let c2 = ctx ~slot:1 in
+        let _p, n, _ =
+          A.locate t c2 (Bound.Key 2) ~to_level:target_level ~on_missing:A.Wait
+        in
+        n.Node.level)
+  in
+  (* grow the tree until the root rises past target_level *)
+  let c3 = ctx ~slot:2 in
+  let k = ref 1000 in
+  while S.height t <= target_level do
+    incr k;
+    ignore (S.insert t c3 !k !k)
+  done;
+  Alcotest.(check int) "waiter landed at the new level" target_level (Domain.join waiter)
+
+let test_readers_ignore_all_latches () =
+  (* §2.2: "a lock on a node does not prevent other processes from reading
+     the locked node". Latch EVERY page in the tree, then run searches
+     from another domain: they must all complete. *)
+  let t, _c = build 500 in
+  let locked = ref [] in
+  Store.iter t.Handle.store (fun p _ ->
+      Store.lock t.Handle.store p;
+      locked := p :: !locked);
+  let reader =
+    Domain.spawn (fun () ->
+        let c2 = ctx ~slot:1 in
+        let ok = ref true in
+        for k = 1 to 500 do
+          if S.search t c2 k <> Some k then ok := false
+        done;
+        (!ok, c2.Handle.stats.Stats.lock_acquisitions))
+  in
+  let ok, locks = Domain.join reader in
+  List.iter (Store.unlock t.Handle.store) !locked;
+  Alcotest.(check bool) "searches completed under total latching" true ok;
+  Alcotest.(check int) "reader took no locks" 0 locks
+
+let suite =
+  [
+    Alcotest.test_case "readers ignore all latches" `Quick test_readers_ignore_all_latches;
+    Alcotest.test_case "locate nests across levels" `Quick test_locate_levels;
+    Alcotest.test_case "locate by +inf bound" `Quick test_locate_by_infinite_bound;
+    Alcotest.test_case "missing level: give up" `Quick test_missing_level_give_up;
+    Alcotest.test_case "acquire holds the latch" `Quick test_acquire_locks_target;
+    Alcotest.test_case "acquire revalidates after mutation" `Quick
+      test_acquire_revalidates_after_mutation;
+    Alcotest.test_case "wait mode sees a new root" `Quick test_wait_mode_sees_new_root;
+  ]

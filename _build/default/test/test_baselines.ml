@@ -1,0 +1,274 @@
+(* Baseline trees: sequential oracle equivalence and concurrency smoke
+   tests, plus their characteristic lock footprints. *)
+
+open Repro_storage
+open Repro_core
+open Repro_baseline
+module Seq = Seq_btree.Make (Key.Int)
+module Ly = Lehman_yao.Make (Key.Int)
+module Lc = Lock_couple.Make (Key.Int)
+module Cg = Coarse.Make (Key.Int)
+
+let ctx = Handle.ctx
+
+(* Run a deterministic random op sequence against an implementation's
+   (search, insert, delete) and a Hashtbl model. *)
+let oracle_run ~seed ~ops ~space ~search ~insert ~delete =
+  let rng = Repro_util.Splitmix.create seed in
+  let model = Hashtbl.create 97 in
+  for i = 1 to ops do
+    let k = Repro_util.Splitmix.int rng space in
+    match Repro_util.Splitmix.int rng 3 with
+    | 0 ->
+        let expected = if Hashtbl.mem model k then `Duplicate else `Ok in
+        if expected = `Ok then Hashtbl.replace model k (k * 5);
+        if insert k (k * 5) <> expected then Alcotest.failf "op %d: insert %d diverged" i k
+    | 1 ->
+        let expected = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        if delete k <> expected then Alcotest.failf "op %d: delete %d diverged" i k
+    | _ ->
+        if search k <> Hashtbl.find_opt model k then
+          Alcotest.failf "op %d: search %d diverged" i k
+  done;
+  Hashtbl.length model
+
+let test_seq_btree_oracle () =
+  let t = Seq.create ~order:3 () in
+  let n =
+    oracle_run ~seed:1 ~ops:20_000 ~space:2_000 ~search:(Seq.search t)
+      ~insert:(Seq.insert t) ~delete:(Seq.delete t)
+  in
+  Alcotest.(check int) "cardinal" n (Seq.cardinal t);
+  Alcotest.(check bool) "sorted" true
+    (let l = List.map fst (Seq.to_list t) in
+     l = List.sort_uniq compare l)
+
+let test_seq_btree_grows_and_searches () =
+  let t = Seq.create ~order:2 () in
+  for k = 1 to 5_000 do
+    ignore (Seq.insert t k k)
+  done;
+  Alcotest.(check bool) "height grew" true (Seq.height t > 2);
+  for k = 1 to 5_000 do
+    if Seq.search t k <> Some k then Alcotest.failf "seq search %d" k
+  done
+
+let test_ly_oracle () =
+  let t = Ly.create ~order:3 () in
+  let c = ctx ~slot:0 in
+  let n =
+    oracle_run ~seed:2 ~ops:20_000 ~space:2_000 ~search:(Ly.search t c)
+      ~insert:(Ly.insert t c) ~delete:(Ly.delete t c)
+  in
+  Alcotest.(check int) "cardinal" n (Ly.cardinal t)
+
+let test_lc_oracle () =
+  let t = Lc.create ~order:3 () in
+  let c = ctx ~slot:0 in
+  let n =
+    oracle_run ~seed:3 ~ops:20_000 ~space:2_000 ~search:(Lc.search t c)
+      ~insert:(Lc.insert t c) ~delete:(Lc.delete t c)
+  in
+  Alcotest.(check int) "cardinal" n (Lc.cardinal t)
+
+let test_coarse_oracle () =
+  let t = Cg.create ~order:3 () in
+  let c = ctx ~slot:0 in
+  let n =
+    oracle_run ~seed:4 ~ops:20_000 ~space:2_000 ~search:(Cg.search t c)
+      ~insert:(Cg.insert t c) ~delete:(Cg.delete t c)
+  in
+  Alcotest.(check int) "cardinal" n (Cg.cardinal t)
+
+(* -- concurrency -- *)
+
+let disjoint_insert_run ~insert_of ~cardinal =
+  let nd = 4 and per = 8_000 in
+  let domains =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            let insert = insert_of c in
+            for j = 0 to per - 1 do
+              let k = (j * nd) + i in
+              if insert k k <> `Ok then failwith "duplicate"
+            done;
+            c))
+  in
+  let ctxs = Array.map Domain.join domains in
+  Alcotest.(check int) "all inserted" (nd * per) (cardinal ());
+  ctxs
+
+let test_ly_concurrent () =
+  let t = Ly.create ~order:4 () in
+  let ctxs = disjoint_insert_run ~insert_of:(fun c -> Ly.insert t c) ~cardinal:(fun () -> Ly.cardinal t) in
+  let c0 = ctx ~slot:0 in
+  for k = 0 to 31_999 do
+    if Ly.search t c0 k <> Some k then Alcotest.failf "ly lost %d" k
+  done;
+  (* LY's signature: up to 3 simultaneous locks, and at least 2 whenever a
+     split propagated. *)
+  let mx =
+    Array.fold_left (fun m (c : Handle.ctx) -> max m c.Handle.stats.Stats.max_locks_held) 0 ctxs
+  in
+  Alcotest.(check bool) (Printf.sprintf "2 <= max_held (%d) <= 3" mx) true (mx >= 2 && mx <= 3)
+
+let test_lc_concurrent () =
+  let t = Lc.create ~order:4 () in
+  let _ = disjoint_insert_run ~insert_of:(fun c -> Lc.insert t c) ~cardinal:(fun () -> Lc.cardinal t) in
+  let c0 = ctx ~slot:0 in
+  for k = 0 to 31_999 do
+    if Lc.search t c0 k <> Some k then Alcotest.failf "lc lost %d" k
+  done
+
+let test_coarse_concurrent () =
+  let t = Cg.create ~order:4 () in
+  let _ = disjoint_insert_run ~insert_of:(fun c -> Cg.insert t c) ~cardinal:(fun () -> Cg.cardinal t) in
+  let c0 = ctx ~slot:0 in
+  for k = 0 to 31_999 do
+    if Cg.search t c0 k <> Some k then Alcotest.failf "coarse lost %d" k
+  done
+
+let test_lc_optimistic_oracle () =
+  let t = Lc.create ~order:3 () in
+  let c = ctx ~slot:0 in
+  let n =
+    oracle_run ~seed:6 ~ops:20_000 ~space:2_000 ~search:(Lc.search t c)
+      ~insert:(Lc.insert_optimistic t c) ~delete:(Lc.delete_optimistic t c)
+  in
+  Alcotest.(check int) "cardinal" n (Lc.cardinal t);
+  (* splits are rare => most inserts took the optimistic path *)
+  Alcotest.(check bool) "pessimistic retries < 10% of ops" true
+    (c.Handle.stats.Stats.retries * 10 < c.Handle.stats.Stats.ops)
+
+let test_lc_optimistic_concurrent () =
+  let t = Lc.create ~order:4 () in
+  let _ =
+    disjoint_insert_run
+      ~insert_of:(fun c -> Lc.insert_optimistic t c)
+      ~cardinal:(fun () -> Lc.cardinal t)
+  in
+  let c0 = ctx ~slot:0 in
+  for k = 0 to 31_999 do
+    if Lc.search t c0 k <> Some k then Alcotest.failf "lc-opt lost %d" k
+  done
+
+let test_lc_optimistic_mixed_with_pessimistic () =
+  (* Both writer protocols share one tree concurrently. *)
+  let t = Lc.create ~order:4 () in
+  let domains =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            for j = 0 to 7_999 do
+              let k = (j * 4) + i in
+              let res =
+                if i mod 2 = 0 then Lc.insert t c k k else Lc.insert_optimistic t c k k
+              in
+              if res <> `Ok then failwith "dup"
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all present" 32_000 (Lc.cardinal t)
+
+let test_lc_preemptive_oracle () =
+  let t = Lc.create ~order:3 () in
+  let c = ctx ~slot:0 in
+  let n =
+    oracle_run ~seed:8 ~ops:20_000 ~space:2_000 ~search:(Lc.search t c)
+      ~insert:(Lc.insert_preemptive t c) ~delete:(Lc.delete_optimistic t c)
+  in
+  Alcotest.(check int) "cardinal" n (Lc.cardinal t)
+
+let test_lc_preemptive_concurrent () =
+  let t = Lc.create ~order:4 () in
+  let ctxs =
+    disjoint_insert_run
+      ~insert_of:(fun c -> Lc.insert_preemptive t c)
+      ~cardinal:(fun () -> Lc.cardinal t)
+  in
+  let c0 = ctx ~slot:0 in
+  for k = 0 to 31_999 do
+    if Lc.search t c0 k <> Some k then Alcotest.failf "lc-preemptive lost %d" k
+  done;
+  (* the whole point: at most two exclusive latches per writer *)
+  let mx =
+    Array.fold_left
+      (fun m (c : Handle.ctx) -> max m c.Handle.stats.Stats.max_locks_held)
+      0 ctxs
+  in
+  Alcotest.(check bool) (Printf.sprintf "max held (%d) <= 2" mx) true (mx <= 2)
+
+let test_lc_readers_use_shared_latches () =
+  let t = Lc.create ~order:4 () in
+  let c = ctx ~slot:0 in
+  for k = 1 to 1_000 do
+    ignore (Lc.insert t c k k)
+  done;
+  let rc = ctx ~slot:1 in
+  for k = 1 to 1_000 do
+    ignore (Lc.search t rc k)
+  done;
+  (* crabbing: every search locks every node on the path (plus anchor) *)
+  Alcotest.(check bool) "reader locks > ops" true
+    (rc.Handle.stats.Stats.lock_acquisitions > 1_000);
+  Alcotest.(check int) "crab holds 2" 2 rc.Handle.stats.Stats.max_locks_held
+
+let test_all_trees_agree () =
+  (* The four implementations given the same op sequence end with the same
+     logical data. *)
+  let seq = Seq.create ~order:3 () in
+  let sag = Tree_intf.(let i = sagiv () in i.make ~order:3) in
+  let ly = Tree_intf.(lehman_yao.make ~order:3) in
+  let lc = Tree_intf.(lock_couple.make ~order:3) in
+  let cg = Tree_intf.(coarse.make ~order:3) in
+  let c = ctx ~slot:0 in
+  let rng = Repro_util.Splitmix.create 55 in
+  for _ = 1 to 30_000 do
+    let k = Repro_util.Splitmix.int rng 3_000 in
+    if Repro_util.Splitmix.int rng 3 = 0 then begin
+      ignore (Seq.delete seq k);
+      List.iter (fun (h : Tree_intf.handle) -> ignore (h.Tree_intf.delete c k)) [ sag; ly; lc; cg ]
+    end
+    else begin
+      ignore (Seq.insert seq k k);
+      List.iter
+        (fun (h : Tree_intf.handle) -> ignore (h.Tree_intf.insert c k k))
+        [ sag; ly; lc; cg ]
+    end
+  done;
+  let expected = Seq.cardinal seq in
+  List.iter
+    (fun (h : Tree_intf.handle) ->
+      Alcotest.(check int) (h.Tree_intf.name ^ " cardinal") expected (h.Tree_intf.cardinal ()))
+    [ sag; ly; lc; cg ];
+  for k = 0 to 2_999 do
+    let e = Seq.search seq k in
+    List.iter
+      (fun (h : Tree_intf.handle) ->
+        if h.Tree_intf.search c k <> e then Alcotest.failf "%s diverges at %d" h.Tree_intf.name k)
+      [ sag; ly; lc; cg ]
+  done
+
+let suite =
+  [
+    Alcotest.test_case "seq btree vs oracle" `Quick test_seq_btree_oracle;
+    Alcotest.test_case "seq btree growth" `Quick test_seq_btree_grows_and_searches;
+    Alcotest.test_case "lehman-yao vs oracle" `Quick test_ly_oracle;
+    Alcotest.test_case "lock-couple vs oracle" `Quick test_lc_oracle;
+    Alcotest.test_case "coarse vs oracle" `Quick test_coarse_oracle;
+    Alcotest.test_case "lehman-yao concurrent (<=3 locks)" `Quick test_ly_concurrent;
+    Alcotest.test_case "lock-couple concurrent" `Quick test_lc_concurrent;
+    Alcotest.test_case "lc-optimistic vs oracle" `Quick test_lc_optimistic_oracle;
+    Alcotest.test_case "lc-optimistic concurrent" `Quick test_lc_optimistic_concurrent;
+    Alcotest.test_case "lc optimistic+pessimistic mixed" `Quick
+      test_lc_optimistic_mixed_with_pessimistic;
+    Alcotest.test_case "lc-preemptive vs oracle" `Quick test_lc_preemptive_oracle;
+    Alcotest.test_case "lc-preemptive concurrent (<=2 latches)" `Quick
+      test_lc_preemptive_concurrent;
+    Alcotest.test_case "coarse concurrent" `Quick test_coarse_concurrent;
+    Alcotest.test_case "lock-couple readers latch every node" `Quick
+      test_lc_readers_use_shared_latches;
+    Alcotest.test_case "all four trees agree" `Quick test_all_trees_agree;
+  ]

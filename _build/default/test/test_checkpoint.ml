@@ -1,0 +1,177 @@
+(* Paged files and checkpoints: both backends, chain spanning, header
+   validation, corruption. *)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module Ck = Checkpoint.Make (Key.Int)
+module CkS = Checkpoint.Make (Key.Str)
+module SS = Sagiv.Make (Key.Str)
+module V = Validate.Make (Key.Int)
+module VS = Validate.Make (Key.Str)
+
+let ctx = S.ctx
+
+(* -- paged file -- *)
+
+let test_paged_file_memory () =
+  let pf = Paged_file.create_memory ~page_size:128 () in
+  Alcotest.(check int) "empty" 0 (Paged_file.pages pf);
+  let page i = Bytes.make 128 (Char.chr (65 + i)) in
+  let a = Paged_file.append pf (page 0) in
+  let b = Paged_file.append pf (page 1) in
+  Alcotest.(check (pair int int)) "indices" (0, 1) (a, b);
+  Alcotest.(check bytes) "read back" (page 1) (Paged_file.read pf 1);
+  Paged_file.write pf 0 (page 2);
+  Alcotest.(check bytes) "overwrite" (page 2) (Paged_file.read pf 0);
+  (match Paged_file.read pf 7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range read accepted");
+  match Paged_file.write pf 5 (page 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "hole accepted"
+
+let test_paged_file_growth () =
+  let pf = Paged_file.create_memory ~page_size:64 () in
+  for i = 0 to 999 do
+    let p = Bytes.make 64 '\000' in
+    Bytes.set_int32_le p 0 (Int32.of_int i);
+    ignore (Paged_file.append pf p)
+  done;
+  Alcotest.(check int) "pages" 1000 (Paged_file.pages pf);
+  for i = 0 to 999 do
+    let p = Paged_file.read pf i in
+    if Int32.to_int (Bytes.get_int32_le p 0) <> i then Alcotest.failf "page %d corrupted" i
+  done
+
+let test_paged_file_on_disk () =
+  let path = Filename.temp_file "blink" ".pages" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let pf = Paged_file.create_file ~page_size:256 path in
+      let mk i = Bytes.init 256 (fun j -> Char.chr ((i + j) mod 256)) in
+      for i = 0 to 9 do
+        ignore (Paged_file.append pf (mk i))
+      done;
+      Paged_file.sync pf;
+      Paged_file.close pf;
+      let pf = Paged_file.open_file ~page_size:256 path in
+      Alcotest.(check int) "pages" 10 (Paged_file.pages pf);
+      for i = 0 to 9 do
+        Alcotest.(check bytes) (Printf.sprintf "page %d" i) (mk i) (Paged_file.read pf i)
+      done;
+      Paged_file.close pf)
+
+(* -- checkpoints -- *)
+
+let build n =
+  let t = S.create ~order:4 () in
+  let c = ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k (k * 3))
+  done;
+  t
+
+let test_checkpoint_roundtrip_memory () =
+  let t = build 5_000 in
+  let pf = Paged_file.create_memory () in
+  Ck.save t pf;
+  Alcotest.(check bool) "multiple pages used" true (Paged_file.pages pf > 2);
+  let t' = Ck.load pf in
+  Alcotest.(check (list string)) "valid" [] (V.check t').Validate.errors;
+  Alcotest.(check bool) "contents equal" true (S.to_list t = S.to_list t');
+  (* loaded tree fully operational *)
+  let c = ctx ~slot:0 in
+  Alcotest.(check bool) "insert" true (S.insert t' c 100_000 1 = `Ok);
+  Alcotest.(check bool) "delete" true (S.delete t' c 1)
+
+let test_checkpoint_roundtrip_disk () =
+  let path = Filename.temp_file "blink" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t = build 3_000 in
+      let pf = Paged_file.create_file path in
+      Ck.save t pf;
+      Paged_file.close pf;
+      let pf = Paged_file.open_file path in
+      let t' = Ck.load pf in
+      Paged_file.close pf;
+      Alcotest.(check (list string)) "valid" [] (V.check t').Validate.errors;
+      Alcotest.(check int) "cardinal" 3_000 (S.cardinal t'))
+
+let test_checkpoint_small_pages_chain () =
+  (* Tiny pages force long chains: exercises the overflow-chain logic. *)
+  let t = build 2_000 in
+  let pf = Paged_file.create_memory ~page_size:128 () in
+  Ck.save t pf;
+  Alcotest.(check bool) "long chain" true (Paged_file.pages pf > 100);
+  let t' = Ck.load pf in
+  Alcotest.(check bool) "contents" true (S.to_list t = S.to_list t')
+
+let test_checkpoint_empty_tree () =
+  let t = S.create ~order:4 () in
+  let pf = Paged_file.create_memory () in
+  Ck.save t pf;
+  let t' = Ck.load pf in
+  Alcotest.(check int) "empty" 0 (S.cardinal t');
+  let c = ctx ~slot:0 in
+  Alcotest.(check bool) "usable" true (S.insert t' c 5 5 = `Ok)
+
+let test_checkpoint_string_keys () =
+  let t = SS.create ~order:3 () in
+  let c = SS.ctx ~slot:0 in
+  for i = 0 to 999 do
+    ignore (SS.insert t c (Printf.sprintf "key-%05d" i) i)
+  done;
+  let pf = Paged_file.create_memory ~page_size:512 () in
+  CkS.save t pf;
+  let t' = CkS.load pf in
+  Alcotest.(check (list string)) "valid" [] (VS.check t').Validate.errors;
+  Alcotest.(check (option int)) "lookup" (Some 77) (SS.search t' c "key-00077")
+
+let test_checkpoint_corruption () =
+  let t = build 100 in
+  let pf = Paged_file.create_memory () in
+  Ck.save t pf;
+  let header = Paged_file.read pf 0 in
+  Bytes.set_uint8 header 0 0xEE;
+  Paged_file.write pf 0 header;
+  match Ck.load pf with
+  | exception Checkpoint.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupt header accepted"
+
+let test_checkpoint_after_compression () =
+  let t = S.create ~order:4 ~enqueue_on_delete:true () in
+  let c = ctx ~slot:0 in
+  for k = 1 to 4_000 do
+    ignore (S.insert t c k k)
+  done;
+  for k = 1 to 4_000 do
+    if k mod 3 <> 0 then ignore (S.delete t c k)
+  done;
+  let module Co = Compactor.Make (Key.Int) in
+  (match Co.run_until_empty t c with `Drained -> () | `Step_limit -> ());
+  ignore (S.reclaim t);
+  (* tombstones must not leak into the checkpoint *)
+  let pf = Paged_file.create_memory () in
+  Ck.save t pf;
+  let t' = Ck.load pf in
+  Alcotest.(check (list string)) "valid" [] (V.check t').Validate.errors;
+  Alcotest.(check int) "cardinal" (S.cardinal t) (S.cardinal t')
+
+let suite =
+  [
+    Alcotest.test_case "paged file (memory)" `Quick test_paged_file_memory;
+    Alcotest.test_case "paged file growth" `Quick test_paged_file_growth;
+    Alcotest.test_case "paged file on disk" `Quick test_paged_file_on_disk;
+    Alcotest.test_case "checkpoint roundtrip (memory)" `Quick test_checkpoint_roundtrip_memory;
+    Alcotest.test_case "checkpoint roundtrip (disk)" `Quick test_checkpoint_roundtrip_disk;
+    Alcotest.test_case "checkpoint chains across small pages" `Quick
+      test_checkpoint_small_pages_chain;
+    Alcotest.test_case "checkpoint of empty tree" `Quick test_checkpoint_empty_tree;
+    Alcotest.test_case "checkpoint with string keys" `Quick test_checkpoint_string_keys;
+    Alcotest.test_case "checkpoint corruption detected" `Quick test_checkpoint_corruption;
+    Alcotest.test_case "checkpoint after compression" `Quick test_checkpoint_after_compression;
+  ]

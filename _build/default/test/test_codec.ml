@@ -1,0 +1,117 @@
+(* Page codec round-trip tests, including property tests and corruption
+   detection. *)
+
+open Repro_storage
+module C = Page_codec.Make (Key.Int)
+module CS = Page_codec.Make (Key.Str)
+
+let node_eq (a : int Node.t) (b : int Node.t) =
+  a.Node.level = b.Node.level
+  && a.Node.keys = b.Node.keys
+  && a.Node.ptrs = b.Node.ptrs
+  && Bound.compare Int.compare a.Node.low b.Node.low = 0
+  && Bound.compare Int.compare a.Node.high b.Node.high = 0
+  && a.Node.link = b.Node.link
+  && a.Node.is_root = b.Node.is_root
+  && a.Node.state = b.Node.state
+
+let mk ?(level = 0) ?(low = Bound.Neg_inf) ?(high = Bound.Pos_inf) ?link
+    ?(is_root = false) ?(state = Node.Live) keys ptrs =
+  {
+    Node.level;
+    keys = Array.of_list keys;
+    ptrs = Array.of_list ptrs;
+    low;
+    high;
+    link;
+    is_root;
+    state;
+  }
+
+let test_roundtrip_leaf () =
+  let n = mk ~high:(Bound.Key 30) ~link:42 [ 10; 20; 30 ] [ 1; 2; 3 ] in
+  Alcotest.(check bool) "leaf roundtrip" true (node_eq n (C.of_bytes (C.to_bytes n)))
+
+let test_roundtrip_internal () =
+  let n =
+    mk ~level:3 ~low:(Bound.Key 5) ~high:(Bound.Key 99) ~link:7 [ 10; 20 ] [ 100; 101; 102 ]
+  in
+  Alcotest.(check bool) "internal roundtrip" true (node_eq n (C.of_bytes (C.to_bytes n)))
+
+let test_roundtrip_root_and_deleted () =
+  let root = mk ~level:2 ~is_root:true [ 50 ] [ 1; 2 ] in
+  Alcotest.(check bool) "root bit" true (node_eq root (C.of_bytes (C.to_bytes root)));
+  let dead = mk ~state:(Node.Deleted 77) [] [] in
+  Alcotest.(check bool) "tombstone" true (node_eq dead (C.of_bytes (C.to_bytes dead)))
+
+let test_roundtrip_empty () =
+  let n = mk [] [] in
+  Alcotest.(check bool) "empty node" true (node_eq n (C.of_bytes (C.to_bytes n)))
+
+let test_corruption_detected () =
+  let n = mk [ 1; 2 ] [ 10; 20 ] in
+  let b = C.to_bytes n in
+  Bytes.set_uint8 b 0 0x00;
+  (match C.of_bytes b with
+  | exception Page_codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  let b2 = C.to_bytes n in
+  Bytes.set_uint8 b2 1 99;
+  match C.of_bytes b2 with
+  | exception Page_codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad version accepted"
+
+let test_string_keys () =
+  let n =
+    {
+      Node.level = 0;
+      keys = [| "apple"; "banana"; "cherry" |];
+      ptrs = [| 1; 2; 3 |];
+      low = Bound.Neg_inf;
+      high = Bound.Key "cherry";
+      link = Some 9;
+      is_root = false;
+      state = Node.Live;
+    }
+  in
+  let n' = CS.of_bytes (CS.to_bytes n) in
+  Alcotest.(check bool) "string keys roundtrip" true
+    (n'.Node.keys = n.Node.keys && n'.Node.ptrs = n.Node.ptrs
+    && Bound.compare String.compare n'.Node.high n.Node.high = 0)
+
+let test_multiple_in_buffer () =
+  let a = mk [ 1 ] [ 10 ] and b = mk ~level:1 [ 2; 3 ] [ 20; 30; 40 ] in
+  let buf = Buffer.create 64 in
+  C.encode buf a;
+  C.encode buf b;
+  let bytes = Buffer.to_bytes buf in
+  let a', pos = C.decode bytes ~pos:0 in
+  let b', _ = C.decode bytes ~pos in
+  Alcotest.(check bool) "first" true (node_eq a a');
+  Alcotest.(check bool) "second" true (node_eq b b')
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip (random nodes)" ~count:500
+    QCheck.(
+      quad
+        (list_of_size Gen.(int_range 0 20) (int_range (-1000) 1000))
+        (list_of_size Gen.(int_range 0 21) (int_range 0 100000))
+        (option (int_range 0 9999))
+        bool)
+    (fun (keys, ptrs, link, is_root) ->
+      let keys = List.sort_uniq compare keys in
+      let n = mk ~link:(Option.value ~default:0 link) ~is_root keys ptrs in
+      let n = if link = None then { n with Node.link = None } else n in
+      node_eq n (C.of_bytes (C.to_bytes n)))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip leaf" `Quick test_roundtrip_leaf;
+    Alcotest.test_case "roundtrip internal" `Quick test_roundtrip_internal;
+    Alcotest.test_case "roundtrip root/tombstone" `Quick test_roundtrip_root_and_deleted;
+    Alcotest.test_case "roundtrip empty" `Quick test_roundtrip_empty;
+    Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
+    Alcotest.test_case "string keys" `Quick test_string_keys;
+    Alcotest.test_case "multiple nodes in one buffer" `Quick test_multiple_in_buffer;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

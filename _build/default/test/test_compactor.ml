@@ -1,0 +1,297 @@
+(* Queue-driven compression (§5.4): the compression queue itself and the
+   compactor state machine, sequentially and under concurrency. *)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module Co = Compactor.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+
+let ctx = S.ctx
+
+let check_valid t msg =
+  let r = V.check t in
+  if not (Validate.ok r) then
+    Alcotest.failf "%s: %s" msg (String.concat "; " r.Validate.errors)
+
+(* -- queue unit tests -- *)
+
+let test_queue_fifo_and_priority () =
+  let q : int Cqueue.t = Cqueue.create () in
+  Cqueue.push q ~update:true ~ptr:1 ~level:0 ~high:Bound.Pos_inf ~stack:[] ~stamp:0;
+  Cqueue.push q ~update:true ~ptr:2 ~level:2 ~high:Bound.Pos_inf ~stack:[] ~stamp:0;
+  Cqueue.push q ~update:true ~ptr:3 ~level:0 ~high:Bound.Pos_inf ~stack:[] ~stamp:0;
+  Alcotest.(check int) "length" 3 (Cqueue.length q);
+  (* higher level first (paper footnote 17), then FIFO within a level *)
+  let p1 = (Option.get (Cqueue.pop q)).Cqueue.ptr in
+  let p2 = (Option.get (Cqueue.pop q)).Cqueue.ptr in
+  let p3 = (Option.get (Cqueue.pop q)).Cqueue.ptr in
+  Alcotest.(check (list int)) "pop order" [ 2; 1; 3 ] [ p1; p2; p3 ];
+  Alcotest.(check bool) "empty" true (Cqueue.pop q = None)
+
+let test_queue_dedupe_update () =
+  let q : int Cqueue.t = Cqueue.create () in
+  Cqueue.push q ~update:true ~ptr:5 ~level:0 ~high:(Bound.Key 10) ~stack:[ 1 ] ~stamp:0;
+  Cqueue.push q ~update:true ~ptr:5 ~level:0 ~high:(Bound.Key 20) ~stack:[ 2 ] ~stamp:1;
+  Alcotest.(check int) "deduped" 1 (Cqueue.length q);
+  let e = Option.get (Cqueue.pop q) in
+  Alcotest.(check bool) "updated high" true (e.Cqueue.high = Bound.Key 20);
+  (* update:false must NOT refresh an existing entry *)
+  Cqueue.push q ~update:true ~ptr:6 ~level:0 ~high:(Bound.Key 30) ~stack:[] ~stamp:0;
+  Cqueue.push q ~update:false ~ptr:6 ~level:0 ~high:(Bound.Key 99) ~stack:[] ~stamp:1;
+  let e6 = Option.get (Cqueue.pop q) in
+  Alcotest.(check bool) "no-update preserved" true (e6.Cqueue.high = Bound.Key 30)
+
+let test_queue_remove () =
+  let q : int Cqueue.t = Cqueue.create () in
+  Cqueue.push q ~update:true ~ptr:7 ~level:1 ~high:Bound.Pos_inf ~stack:[] ~stamp:0;
+  Cqueue.push q ~update:true ~ptr:8 ~level:1 ~high:Bound.Pos_inf ~stack:[] ~stamp:0;
+  Cqueue.remove q 7;
+  Alcotest.(check int) "length after remove" 1 (Cqueue.length q);
+  Alcotest.(check int) "survivor pops" 8 (Option.get (Cqueue.pop q)).Cqueue.ptr;
+  (* removing an absent ptr is a no-op *)
+  Cqueue.remove q 12345
+
+(* -- compactor, sequential -- *)
+
+let build_enqueue ~order ~n =
+  let t = S.create ~order ~enqueue_on_delete:true () in
+  let c = ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k k)
+  done;
+  (t, c)
+
+let test_deletions_enqueue () =
+  let t, c = build_enqueue ~order:4 ~n:64 in
+  Alcotest.(check int) "queue empty initially" 0 (Cqueue.length t.Handle.queue);
+  for k = 1 to 64 do
+    if k mod 8 <> 0 then ignore (S.delete t c k)
+  done;
+  Alcotest.(check bool) "sparse leaves queued" true (Cqueue.length t.Handle.queue > 0);
+  Alcotest.(check bool) "enqueue stat" true (c.Handle.stats.Stats.enqueued > 0)
+
+let test_drain_restores_structure () =
+  let t, c = build_enqueue ~order:4 ~n:5000 in
+  for k = 1 to 5000 do
+    if k mod 4 <> 0 then ignore (S.delete t c k)
+  done;
+  (match Co.run_until_empty t c with
+  | `Drained -> ()
+  | `Step_limit -> Alcotest.fail "compactor did not drain");
+  check_valid t "after drain";
+  Alcotest.(check int) "queue empty" 0 (Cqueue.length t.Handle.queue);
+  Alcotest.(check bool) "merges happened" true (c.Handle.stats.Stats.merges > 0);
+  for k = 1 to 5000 do
+    let expected = if k mod 4 = 0 then Some k else None in
+    if S.search t c k <> expected then Alcotest.failf "key %d wrong after drain" k
+  done
+
+let test_compactor_locks_at_most_three () =
+  let t, c = build_enqueue ~order:2 ~n:2000 in
+  for k = 1 to 2000 do
+    if k mod 3 <> 0 then ignore (S.delete t c k)
+  done;
+  let cc = ctx ~slot:1 in
+  (match Co.run_until_empty t cc with `Drained -> () | `Step_limit -> Alcotest.fail "limit");
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d <= 3" cc.Handle.stats.Stats.max_locks_held)
+    true
+    (cc.Handle.stats.Stats.max_locks_held <= 3)
+
+let test_empty_tree_via_queue () =
+  let t, c = build_enqueue ~order:3 ~n:2000 in
+  for k = 1 to 2000 do
+    ignore (S.delete t c k)
+  done;
+  (match Co.run_until_empty t c with `Drained -> () | `Step_limit -> Alcotest.fail "limit");
+  check_valid t "after emptying via queue";
+  Alcotest.(check int) "no keys" 0 (S.cardinal t);
+  Alcotest.(check bool) "height collapsed" true (S.height t <= 2)
+
+let test_stale_entries_discarded () =
+  let t, c = build_enqueue ~order:4 ~n:200 in
+  for k = 1 to 200 do
+    if k mod 4 <> 0 then ignore (S.delete t c k)
+  done;
+  (* refill before compaction: queued leaves are no longer sparse *)
+  for k = 1 to 200 do
+    if k mod 4 <> 0 then ignore (S.insert t c k k)
+  done;
+  (match Co.run_until_empty t c with `Drained -> () | `Step_limit -> Alcotest.fail "limit");
+  check_valid t "after stale drain";
+  Alcotest.(check int) "nothing merged" 0 c.Handle.stats.Stats.merges;
+  Alcotest.(check int) "all keys back" 200 (S.cardinal t)
+
+(* -- compactor, concurrent -- *)
+
+let test_parallel_compactors () =
+  let t, c = build_enqueue ~order:4 ~n:30_000 in
+  for k = 1 to 30_000 do
+    if k mod 4 <> 0 then ignore (S.delete t c k)
+  done;
+  let workers =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let cc = ctx ~slot:(1 + i) in
+            (match Co.run_until_empty t cc with
+            | `Drained -> ()
+            | `Step_limit -> failwith "limit");
+            cc))
+  in
+  let ctxs = Array.map Domain.join workers in
+  (* drain anything requeued at the very end *)
+  (match Co.run_until_empty t c with `Drained -> () | `Step_limit -> Alcotest.fail "limit");
+  check_valid t "after parallel compactors";
+  let total_merges =
+    Array.fold_left (fun acc (cc : Handle.ctx) -> acc + cc.Handle.stats.Stats.merges) 0 ctxs
+  in
+  Alcotest.(check bool) "work was shared" true (total_merges > 0);
+  for k = 1 to 30_000 do
+    let expected = if k mod 4 = 0 then Some k else None in
+    if S.search t c k <> expected then Alcotest.failf "key %d wrong" k
+  done
+
+let test_compaction_racing_updaters () =
+  let t, c = build_enqueue ~order:4 ~n:50_000 in
+  let stop = Atomic.make false in
+  let compactors =
+    Array.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let cc = ctx ~slot:(8 + i) in
+            Co.run_worker t cc ~stop;
+            cc))
+  in
+  let updaters =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let wc = ctx ~slot:i in
+            let rng = Repro_util.Splitmix.create (1000 + i) in
+            for _ = 1 to 40_000 do
+              let k = 1 + Repro_util.Splitmix.int rng 50_000 in
+              match Repro_util.Splitmix.int rng 10 with
+              | 0 | 1 | 2 | 3 | 4 -> ignore (S.delete t wc k)
+              | 5 | 6 | 7 -> ignore (S.insert t wc k k)
+              | _ -> ignore (S.search t wc k)
+            done;
+            wc))
+  in
+  let _ = Array.map Domain.join updaters in
+  Atomic.set stop true;
+  let _ = Array.map Domain.join compactors in
+  (match Co.run_until_empty t c with `Drained -> () | `Step_limit -> Alcotest.fail "limit");
+  check_valid t "after racing compaction";
+  ignore (S.reclaim t)
+
+let test_single_pointer_parent_ordering () =
+  (* §5.4: when a queued node's parent has a single pointer, the parent
+     "must be compressed before" the node — guaranteed here by the queue's
+     level priority. Build a deliberately skewed tree: delete everything
+     except a thin rightmost sliver so whole subtrees empty out, then
+     drain; requeues must resolve (no step limit) and the result must be
+     fully compressed. *)
+  let t = S.create ~order:2 ~enqueue_on_delete:true () in
+  let c = ctx ~slot:0 in
+  for k = 1 to 3_000 do
+    ignore (S.insert t c k k)
+  done;
+  (* leave only the 3 largest keys: every other leaf and most internal
+     nodes become empty or single-child *)
+  for k = 1 to 2_997 do
+    ignore (S.delete t c k)
+  done;
+  (match Co.run_until_empty t c with
+  | `Drained -> ()
+  | `Step_limit -> Alcotest.fail "requeue ordering wedged");
+  check_valid t "after skew drain";
+  Alcotest.(check int) "3 keys" 3 (S.cardinal t);
+  Alcotest.(check bool) "height collapsed" true (S.height t <= 2);
+  Alcotest.(check bool) "requeues happened and resolved" true
+    (c.Handle.stats.Stats.requeued >= 0)
+
+let test_reclaim_after_compaction () =
+  let t, c = build_enqueue ~order:4 ~n:20_000 in
+  for k = 1 to 20_000 do
+    if k mod 4 <> 0 then ignore (S.delete t c k)
+  done;
+  let live_before = Store.live_count t.Handle.store in
+  (match Co.run_until_empty t c with `Drained -> () | `Step_limit -> Alcotest.fail "limit");
+  let freed = S.reclaim t in
+  Alcotest.(check bool) "pages were released" true (freed > 0);
+  Alcotest.(check bool) "live count dropped" true
+    (Store.live_count t.Handle.store < live_before);
+  check_valid t "after reclamation";
+  (* §5.3 end-to-end: no live page is unreachable (no leaks) *)
+  Alcotest.(check (list int)) "no leaked pages" [] (V.leak_check t);
+  (* live pages = reachable + tombstones still in limbo *)
+  Alcotest.(check int) "limbo accounts for the rest"
+    (Store.live_count t.Handle.store)
+    ((V.check t).Validate.total_nodes + Epoch.pending t.Handle.epoch)
+
+let test_private_queue_mode () =
+  (* §5.4 arrangement (3): one compression process per sparse node, each
+     with its own queue. Delete down to sparseness, then compact each
+     still-sparse leaf individually. *)
+  let t = S.create ~order:4 () in
+  (* enqueue_on_delete off: we drive compaction by hand *)
+  let c = ctx ~slot:0 in
+  for k = 1 to 4_000 do
+    ignore (S.insert t c k k)
+  done;
+  for k = 1 to 4_000 do
+    if k mod 4 <> 0 then ignore (S.delete t c k)
+  done;
+  (* walk the leaf chain; spawn a private compaction for each sparse leaf *)
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let prime = Prime_block.read t.Handle.prime in
+    let sparse = ref None in
+    (match Prime_block.leftmost_at prime ~level:0 with
+    | None -> ()
+    | Some p ->
+        let rec find ptr =
+          match (try Some (Store.get t.Handle.store ptr) with Store.Freed_page _ -> None) with
+          | None -> ()
+          | Some n ->
+              if
+                (not (Node.is_deleted n))
+                && Node.is_sparse ~order:4 n
+                && not n.Node.is_root
+              then sparse := Some (ptr, n)
+              else (
+                match n.Node.link with Some q -> find q | None -> ())
+        in
+        find p);
+    match !sparse with
+    | None -> continue_ := false
+    | Some (ptr, n) ->
+        let changes =
+          Co.compact_node t c ~ptr ~level:n.Node.level ~high:n.Node.high ~stack:[]
+        in
+        if changes = 0 then continue_ := false else total := !total + changes
+  done;
+  check_valid t "after private-queue compaction";
+  Alcotest.(check bool) "work done" true (!total > 0);
+  Alcotest.(check int) "keys preserved" 1_000 (S.cardinal t);
+  (* shared queue was never used *)
+  Alcotest.(check int) "shared queue untouched" 0 (Cqueue.length t.Handle.queue)
+
+let suite =
+  [
+    Alcotest.test_case "private-queue compaction (mode 3)" `Quick test_private_queue_mode;
+    Alcotest.test_case "queue priority and fifo" `Quick test_queue_fifo_and_priority;
+    Alcotest.test_case "queue dedupe and update flag" `Quick test_queue_dedupe_update;
+    Alcotest.test_case "queue remove" `Quick test_queue_remove;
+    Alcotest.test_case "deletions enqueue sparse leaves" `Quick test_deletions_enqueue;
+    Alcotest.test_case "drain restores structure" `Quick test_drain_restores_structure;
+    Alcotest.test_case "compactor holds at most 3 locks" `Quick
+      test_compactor_locks_at_most_three;
+    Alcotest.test_case "empty tree via queue" `Quick test_empty_tree_via_queue;
+    Alcotest.test_case "stale entries discarded" `Quick test_stale_entries_discarded;
+    Alcotest.test_case "parallel compactors" `Quick test_parallel_compactors;
+    Alcotest.test_case "compaction racing updaters" `Quick test_compaction_racing_updaters;
+    Alcotest.test_case "single-pointer parent ordering" `Quick
+      test_single_pointer_parent_ordering;
+    Alcotest.test_case "epoch reclaim after compaction" `Quick test_reclaim_after_compaction;
+  ]

@@ -1,0 +1,265 @@
+(* Scan-based compression (§5.1–5.2, Fig 7). *)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module C = Compress.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+
+let ctx = S.ctx
+
+let check_valid t msg =
+  let r = V.check t in
+  if not (Validate.ok r) then
+    Alcotest.failf "%s: %s" msg (String.concat "; " r.Validate.errors)
+
+let build ~order ~n =
+  let t = S.create ~order () in
+  let c = ctx ~slot:0 in
+  for k = 1 to n do
+    ignore (S.insert t c k k)
+  done;
+  (t, c)
+
+let test_compress_noop_on_full_tree () =
+  let t, c = build ~order:2 ~n:500 in
+  let before = S.to_list t in
+  ignore (C.compress_to_fixpoint t c);
+  check_valid t "after noop compression";
+  Alcotest.(check bool) "logical data unchanged" true (S.to_list t = before)
+
+let test_compress_restores_occupancy () =
+  let t, c = build ~order:2 ~n:1000 in
+  for k = 1 to 1000 do
+    if k mod 10 <> 0 then ignore (S.delete t c k)
+  done;
+  let nodes_before = Store.live_count t.Handle.store in
+  ignore (C.compress_to_fixpoint t c);
+  check_valid t "after compression";
+  Alcotest.(check (list string)) "every node at least half full" []
+    (V.check_occupancy t);
+  ignore (S.reclaim t);
+  let nodes_after = Store.live_count t.Handle.store in
+  Alcotest.(check bool)
+    (Printf.sprintf "space reclaimed (%d -> %d)" nodes_before nodes_after)
+    true
+    (nodes_after < nodes_before / 3);
+  (* logical data intact *)
+  for k = 1 to 1000 do
+    let expected = if k mod 10 = 0 then Some k else None in
+    if S.search t c k <> expected then Alcotest.failf "key %d wrong after compression" k
+  done
+
+let test_compress_reduces_height () =
+  let t, c = build ~order:2 ~n:2000 in
+  let h0 = S.height t in
+  for k = 1 to 2000 do
+    if k > 20 then ignore (S.delete t c k)
+  done;
+  ignore (C.compress_to_fixpoint t c);
+  check_valid t "after height reduction";
+  Alcotest.(check bool) "height shrank" true (S.height t < h0);
+  Alcotest.(check int) "keys kept" 20 (S.cardinal t)
+
+let test_empty_tree_collapses_to_root () =
+  let t, c = build ~order:2 ~n:1000 in
+  for k = 1 to 1000 do
+    ignore (S.delete t c k)
+  done;
+  let passes = C.compress_to_fixpoint t c in
+  check_valid t "after emptying";
+  Alcotest.(check int) "single empty root" 1 (S.height t);
+  Alcotest.(check int) "no keys" 0 (S.cardinal t);
+  (* §5.1: O(log2 n) passes; 1000 leaves/keys -> height ~6-10 at order 2 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "passes (%d) within O(log n)" passes)
+    true
+    (passes <= 16)
+
+let test_tree_usable_after_compression () =
+  let t, c = build ~order:3 ~n:500 in
+  for k = 1 to 500 do
+    if k mod 3 <> 0 then ignore (S.delete t c k)
+  done;
+  ignore (C.compress_to_fixpoint t c);
+  (* insert into the compressed tree *)
+  for k = 501 to 700 do
+    match S.insert t c k k with
+    | `Ok -> ()
+    | `Duplicate -> Alcotest.failf "dup %d" k
+  done;
+  check_valid t "after post-compression inserts";
+  Alcotest.(check (option int)) "old key" (Some 300) (S.search t c 300);
+  Alcotest.(check (option int)) "new key" (Some 650) (S.search t c 650)
+
+let test_deleted_nodes_forward () =
+  (* After compression, stale pointers to merged-away nodes must forward
+     to the survivor: checked indirectly by running compression passes
+     while a reader re-searches between each pass (sequentially). *)
+  let t, c = build ~order:2 ~n:400 in
+  for k = 1 to 400 do
+    if k mod 7 <> 0 then ignore (S.delete t c k)
+  done;
+  let rec loop n =
+    if n > 0 && C.compress_pass t c > 0 then begin
+      for k = 1 to 400 do
+        let expected = if k mod 7 = 0 then Some k else None in
+        if S.search t c k <> expected then
+          Alcotest.failf "key %d wrong between passes" k
+      done;
+      loop (n - 1)
+    end
+  in
+  loop 50;
+  check_valid t "after interleaved passes"
+
+let test_compress_with_concurrent_readers () =
+  let t, c = build ~order:2 ~n:4000 in
+  for k = 1 to 4000 do
+    if k mod 5 <> 0 then ignore (S.delete t c k)
+  done;
+  let stop = Atomic.make false in
+  let errors = Atomic.make 0 in
+  let readers =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let rc = ctx ~slot:(1 + i) in
+            let rng = Repro_util.Splitmix.create (i + 5) in
+            while not (Atomic.get stop) do
+              let k = 1 + Repro_util.Splitmix.int rng 4000 in
+              let expected = if k mod 5 = 0 then Some k else None in
+              if S.search t rc k <> expected then Atomic.incr errors
+            done;
+            rc))
+  in
+  ignore (C.compress_to_fixpoint t c);
+  Atomic.set stop true;
+  let rctxs = Array.map Domain.join readers in
+  Alcotest.(check int) "readers always found the right data" 0 (Atomic.get errors);
+  check_valid t "after concurrent compression";
+  (* Fig 7 examines DISJOINT pairs of siblings, so a parent with an odd
+     child count leaves its last child uncompressed (§5.1's caveat):
+     allow at most one sparse node per internal node. *)
+  let rep = V.check t in
+  let internal_nodes =
+    List.fold_left
+      (fun acc (l : Validate.level_stats) -> if l.Validate.level > 0 then acc + l.Validate.nodes else acc)
+      0 rep.Validate.levels
+  in
+  let violations = List.length (V.check_occupancy t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse leftovers (%d) bounded by parents (%d)" violations internal_nodes)
+    true
+    (violations <= internal_nodes);
+  (* readers never lock *)
+  Array.iter
+    (fun (rc : Handle.ctx) ->
+      Alcotest.(check int) "reader lock count" 0
+        rc.Handle.stats.Stats.lock_acquisitions)
+    rctxs
+
+let test_compress_with_concurrent_inserts () =
+  let t, c = build ~order:2 ~n:3000 in
+  for k = 1 to 3000 do
+    if k mod 2 = 0 then ignore (S.delete t c k)
+  done;
+  let writers =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let wc = ctx ~slot:(1 + i) in
+            (* fresh key range, disjoint per writer *)
+            for j = 0 to 999 do
+              let k = 10_000 + (j * 3) + i in
+              ignore (S.insert t wc k k)
+            done;
+            wc))
+  in
+  ignore (C.compress_to_fixpoint t c);
+  let _ = Array.map Domain.join writers in
+  (* one more pass now that writers are done *)
+  ignore (C.compress_to_fixpoint t c);
+  check_valid t "after compression alongside inserts";
+  for j = 0 to 2999 do
+    let k = 10_000 + j in
+    if S.search t c k = None then Alcotest.failf "concurrent insert %d lost" k
+  done;
+  for k = 1 to 3000 do
+    if k mod 2 = 1 && S.search t c k = None then Alcotest.failf "survivor %d lost" k
+  done
+
+let test_compression_is_deadlock_free_with_inserts () =
+  (* Run a compressor domain against insert domains under a wall-clock
+     bound; if the paper's no-deadlock argument failed, this would hang
+     (and the timeout in the runner would flag it). *)
+  let t, _ = build ~order:2 ~n:2000 in
+  let c0 = ctx ~slot:0 in
+  for k = 1 to 2000 do
+    if k mod 2 = 0 then ignore (S.delete t c0 k)
+  done;
+  let stop = Atomic.make false in
+  let compressor =
+    Domain.spawn (fun () ->
+        let cc = ctx ~slot:5 in
+        while not (Atomic.get stop) do
+          ignore (C.compress_pass t cc)
+        done)
+  in
+  let writers =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let wc = ctx ~slot:(1 + i) in
+            for j = 0 to 4999 do
+              ignore (S.insert t wc (100_000 + (j * 3) + i) j)
+            done))
+  in
+  Array.iter Domain.join writers;
+  Atomic.set stop true;
+  Domain.join compressor;
+  check_valid t "after racing compressor";
+  Alcotest.(check bool) "all inserts landed" true (S.cardinal t >= 15_000)
+
+let test_staggered_phases_full_occupancy () =
+  (* Our extension: alternating pairing phases remove the odd-child blind
+     spot, so a quiescent fixpoint leaves EVERY non-root node >= half
+     full, for arbitrary delete patterns. *)
+  List.iter
+    (fun seed ->
+      let t = S.create ~order:2 () in
+      let c = ctx ~slot:0 in
+      let n = 2_000 in
+      for k = 1 to n do
+        ignore (S.insert t c k k)
+      done;
+      let rng = Repro_util.Splitmix.create seed in
+      for k = 1 to n do
+        if Repro_util.Splitmix.int rng 100 < 85 then ignore (S.delete t c k)
+      done;
+      ignore (C.compress_to_fixpoint t c);
+      check_valid t (Printf.sprintf "seed %d" seed);
+      match V.check_occupancy t with
+      | [] -> ()
+      | errs ->
+          Alcotest.failf "seed %d: %d occupancy violations: %s" seed (List.length errs)
+            (String.concat "; " errs))
+    [ 1; 7; 42; 99; 1234 ]
+
+let suite =
+  [
+    Alcotest.test_case "staggered phases reach full occupancy" `Quick
+      test_staggered_phases_full_occupancy;
+    Alcotest.test_case "noop on full tree" `Quick test_compress_noop_on_full_tree;
+    Alcotest.test_case "restores occupancy, frees space" `Quick
+      test_compress_restores_occupancy;
+    Alcotest.test_case "reduces height" `Quick test_compress_reduces_height;
+    Alcotest.test_case "empty tree collapses, O(log n) passes" `Quick
+      test_empty_tree_collapses_to_root;
+    Alcotest.test_case "usable after compression" `Quick test_tree_usable_after_compression;
+    Alcotest.test_case "searches stay correct between passes" `Quick
+      test_deleted_nodes_forward;
+    Alcotest.test_case "concurrent readers see consistent data" `Quick
+      test_compress_with_concurrent_readers;
+    Alcotest.test_case "concurrent inserts survive compression" `Quick
+      test_compress_with_concurrent_inserts;
+    Alcotest.test_case "deadlock-free with inserts" `Quick
+      test_compression_is_deadlock_free_with_inserts;
+  ]

@@ -1,0 +1,208 @@
+(* Multi-domain correctness of the Sagiv tree: the observable consequences
+   of Theorem 1 (serialisable logical data, valid search structure) and of
+   the one-lock insertion claim. *)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+
+let ctx = S.ctx
+
+let check_valid t msg =
+  let r = V.check t in
+  if not (Validate.ok r) then
+    Alcotest.failf "%s: %s" msg (String.concat "; " r.Validate.errors)
+
+let test_disjoint_inserts () =
+  let t = S.create ~order:4 () in
+  let nd = 6 and per = 10_000 in
+  let domains =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            for j = 0 to per - 1 do
+              let k = (j * nd) + i in
+              match S.insert t c k (k * 2) with
+              | `Ok -> ()
+              | `Duplicate -> failwith "spurious duplicate"
+            done;
+            c))
+  in
+  let ctxs = Array.map Domain.join domains in
+  check_valid t "after disjoint inserts";
+  Alcotest.(check int) "all present" (nd * per) (S.cardinal t);
+  let c0 = ctx ~slot:0 in
+  for k = 0 to (nd * per) - 1 do
+    if S.search t c0 k <> Some (k * 2) then Alcotest.failf "key %d lost" k
+  done;
+  Array.iter
+    (fun (c : Handle.ctx) ->
+      Alcotest.(check int) "one lock at a time" 1 c.Handle.stats.Stats.max_locks_held)
+    ctxs
+
+let test_contended_same_keys () =
+  (* All domains insert the SAME key set: exactly one Ok per key overall. *)
+  let t = S.create ~order:4 () in
+  let nd = 5 and keys = 5_000 in
+  let oks = Atomic.make 0 in
+  let domains =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            for k = 0 to keys - 1 do
+              match S.insert t c k k with
+              | `Ok -> Atomic.incr oks
+              | `Duplicate -> ()
+            done))
+  in
+  Array.iter Domain.join domains;
+  check_valid t "after contended inserts";
+  Alcotest.(check int) "each key inserted exactly once" keys (Atomic.get oks);
+  Alcotest.(check int) "cardinal" keys (S.cardinal t)
+
+let test_owned_keys_mixed_ops () =
+  (* Each domain owns keys ≡ i mod nd and performs random ops on them; the
+     final state per key must match that domain's last op. *)
+  let t = S.create ~order:4 () in
+  let nd = 4 and space = 40_000 and ops = 30_000 in
+  let finals =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            let rng = Repro_util.Splitmix.create (i + 31337) in
+            let final = Hashtbl.create 999 in
+            for _ = 1 to ops do
+              let k = (Repro_util.Splitmix.int rng (space / nd) * nd) + i in
+              if Repro_util.Splitmix.int rng 2 = 0 then begin
+                ignore (S.insert t c k k);
+                Hashtbl.replace final k true
+              end
+              else begin
+                ignore (S.delete t c k);
+                Hashtbl.replace final k false
+              end
+            done;
+            final))
+  in
+  let finals = Array.map Domain.join finals in
+  check_valid t "after owned-key ops";
+  let c0 = ctx ~slot:0 in
+  Array.iter
+    (fun final ->
+      Hashtbl.iter
+        (fun k should_be ->
+          let present = S.search t c0 k <> None in
+          if present <> should_be then
+            Alcotest.failf "key %d: present=%b expected=%b" k present should_be)
+        final)
+    finals
+
+let test_readers_never_block_or_lock () =
+  let t = S.create ~order:4 () in
+  let c0 = ctx ~slot:0 in
+  for k = 0 to 20_000 do
+    ignore (S.insert t c0 k k)
+  done;
+  let stop = Atomic.make false in
+  let readers =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:(1 + i) in
+            let rng = Repro_util.Splitmix.create i in
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              let k = Repro_util.Splitmix.int rng 20_000 in
+              if S.search t c k = None then failwith "reader lost a key";
+              incr n
+            done;
+            (c, !n)))
+  in
+  (* writers churn new keys meanwhile *)
+  for k = 20_001 to 60_000 do
+    ignore (S.insert t c0 k k)
+  done;
+  Atomic.set stop true;
+  let results = Array.map Domain.join readers in
+  Array.iter
+    (fun ((c : Handle.ctx), n) ->
+      Alcotest.(check int) "readers hold zero locks" 0
+        c.Handle.stats.Stats.lock_acquisitions;
+      Alcotest.(check bool) "reader made progress" true (n > 0))
+    results;
+  check_valid t "after reader/writer race"
+
+let test_overtaking_during_upward_propagation () =
+  (* Ascending bulk inserts from many domains force frequent splits at the
+     same rightmost path, i.e. maximal overtaking pressure on the way up. *)
+  let t = S.create ~order:2 () in
+  let nd = 6 in
+  let counter = Atomic.make 0 in
+  let domains =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            let continue_ = ref true in
+            while !continue_ do
+              let k = Atomic.fetch_and_add counter 1 in
+              if k >= 60_000 then continue_ := false
+              else ignore (S.insert t c k k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  check_valid t "after rightmost-path contention";
+  Alcotest.(check int) "all sequential keys in" 60_000 (S.cardinal t)
+
+let test_mixed_with_validation_and_oracle_partition () =
+  (* Domains run a mixed workload on a shared keyspace; afterwards the tree
+     must be valid and contain a subset consistent with insert-wins/delete-
+     wins races: every key never touched is absent; every key only inserted
+     (never deleted) by anyone is present. *)
+  let t = S.create ~order:8 () in
+  let space = 30_000 in
+  let inserted = Array.make space false in
+  let deleted = Array.make space false in
+  let marks = Mutex.create () in
+  let domains =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let c = ctx ~slot:i in
+            let rng = Repro_util.Splitmix.create (i * 7 + 1) in
+            for _ = 1 to 25_000 do
+              let k = Repro_util.Splitmix.int rng space in
+              if Repro_util.Splitmix.int rng 3 = 0 then begin
+                ignore (S.delete t c k);
+                Mutex.lock marks;
+                deleted.(k) <- true;
+                Mutex.unlock marks
+              end
+              else begin
+                ignore (S.insert t c k k);
+                Mutex.lock marks;
+                inserted.(k) <- true;
+                Mutex.unlock marks
+              end
+            done))
+  in
+  Array.iter Domain.join domains;
+  check_valid t "after mixed workload";
+  let c0 = ctx ~slot:0 in
+  for k = 0 to space - 1 do
+    let present = S.search t c0 k <> None in
+    if (not inserted.(k)) && present then Alcotest.failf "phantom key %d" k;
+    if inserted.(k) && (not deleted.(k)) && not present then
+      Alcotest.failf "lost key %d (inserted, never deleted)" k
+  done
+
+let suite =
+  [
+    Alcotest.test_case "disjoint parallel inserts" `Quick test_disjoint_inserts;
+    Alcotest.test_case "contended same-key inserts" `Quick test_contended_same_keys;
+    Alcotest.test_case "owned-key mixed ops serialise" `Quick test_owned_keys_mixed_ops;
+    Alcotest.test_case "readers lock-free under writes" `Quick
+      test_readers_never_block_or_lock;
+    Alcotest.test_case "overtaking on rightmost path" `Quick
+      test_overtaking_during_upward_propagation;
+    Alcotest.test_case "mixed workload set-consistency" `Quick
+      test_mixed_with_validation_and_oracle_partition;
+  ]

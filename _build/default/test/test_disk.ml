@@ -1,0 +1,180 @@
+(* Buffer pool and the disk-resident B+ tree: eviction under tiny pools,
+   oracle equivalence, durability across reopen. *)
+
+open Repro_storage
+open Repro_baseline
+module D = Disk_btree.Make (Key.Int)
+
+(* -- buffer pool -- *)
+
+let test_pool_pin_unpin () =
+  let pf = Paged_file.create_memory ~page_size:128 () in
+  let bp = Buffer_pool.create ~frames:4 pf in
+  let p = Buffer_pool.alloc bp in
+  let frame = Buffer_pool.pin bp p in
+  Bytes.set frame 0 'X';
+  Buffer_pool.unpin bp p ~dirty:true;
+  Buffer_pool.unpin bp p ~dirty:false;
+  (* alloc returned it pinned *)
+  Buffer_pool.flush_all bp;
+  Alcotest.(check char) "written back" 'X' (Bytes.get (Paged_file.read pf p) 0)
+
+let test_pool_eviction () =
+  let pf = Paged_file.create_memory ~page_size:64 () in
+  let bp = Buffer_pool.create ~frames:2 pf in
+  (* three pages through two frames force an eviction *)
+  let pages =
+    List.init 3 (fun i ->
+        let p = Buffer_pool.alloc bp in
+        let f = Buffer_pool.pin bp p in
+        Bytes.set f 0 (Char.chr (65 + i));
+        Buffer_pool.unpin bp p ~dirty:true;
+        Buffer_pool.unpin bp p ~dirty:false;
+        p)
+  in
+  let s = Buffer_pool.stats bp in
+  Alcotest.(check bool) "evicted" true (s.Buffer_pool.evictions >= 1);
+  Alcotest.(check bool) "wrote back dirty victim" true (s.Buffer_pool.writebacks >= 1);
+  (* all three readable with correct contents *)
+  List.iteri
+    (fun i p ->
+      let f = Buffer_pool.pin bp p in
+      let c = Bytes.get f 0 in
+      Buffer_pool.unpin bp p ~dirty:false;
+      Alcotest.(check char) (Printf.sprintf "page %d" i) (Char.chr (65 + i)) c)
+    pages
+
+let test_pool_all_pinned_fails () =
+  let pf = Paged_file.create_memory ~page_size:64 () in
+  let bp = Buffer_pool.create ~frames:1 pf in
+  let p = Buffer_pool.alloc bp in
+  (* p is pinned; a second distinct page cannot be brought in *)
+  let q = Paged_file.append pf (Bytes.make 64 '\000') in
+  (match Buffer_pool.pin bp q with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "pinned frame evicted");
+  Buffer_pool.unpin bp p ~dirty:false
+
+let test_pool_hit_ratio () =
+  let pf = Paged_file.create_memory ~page_size:64 () in
+  let bp = Buffer_pool.create ~frames:8 pf in
+  let p = Buffer_pool.alloc bp in
+  Buffer_pool.unpin bp p ~dirty:false;
+  for _ = 1 to 99 do
+    ignore (Buffer_pool.pin bp p);
+    Buffer_pool.unpin bp p ~dirty:false
+  done;
+  Alcotest.(check bool) "high hit ratio" true (Buffer_pool.hit_ratio bp > 0.9)
+
+(* -- disk tree -- *)
+
+let mk ?(frames = 64) ?(order = 16) () =
+  let pf = Paged_file.create_memory () in
+  let bp = Buffer_pool.create ~frames pf in
+  D.create ~order bp
+
+let test_disk_tree_basic () =
+  let t = mk () in
+  Alcotest.(check bool) "insert" true (D.insert t 5 50 = `Ok);
+  Alcotest.(check bool) "dup" true (D.insert t 5 51 = `Duplicate);
+  Alcotest.(check (option int)) "search" (Some 50) (D.search t 5);
+  Alcotest.(check bool) "delete" true (D.delete t 5);
+  Alcotest.(check (option int)) "gone" None (D.search t 5);
+  Alcotest.(check int) "count" 0 (D.cardinal t)
+
+let test_disk_tree_oracle () =
+  let t = mk ~order:4 () in
+  let model = Hashtbl.create 97 in
+  let rng = Repro_util.Splitmix.create 12 in
+  for i = 1 to 20_000 do
+    let k = Repro_util.Splitmix.int rng 2_000 in
+    match Repro_util.Splitmix.int rng 3 with
+    | 0 ->
+        let expected = if Hashtbl.mem model k then `Duplicate else `Ok in
+        if expected = `Ok then Hashtbl.replace model k k;
+        if D.insert t k k <> expected then Alcotest.failf "insert %d diverged (op %d)" k i
+    | 1 ->
+        let expected = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        if D.delete t k <> expected then Alcotest.failf "delete %d diverged" k
+    | _ ->
+        if D.search t k <> Hashtbl.find_opt model k then
+          Alcotest.failf "search %d diverged" k
+  done;
+  Alcotest.(check int) "cardinal" (Hashtbl.length model) (D.cardinal t);
+  let l = D.to_list t in
+  Alcotest.(check int) "to_list length" (Hashtbl.length model) (List.length l);
+  Alcotest.(check bool) "sorted" true
+    (let ks = List.map fst l in
+     ks = List.sort_uniq compare ks)
+
+let test_disk_tree_tiny_pool () =
+  (* 4 frames for a tree of thousands of keys: constant eviction traffic,
+     everything still correct. *)
+  let t = mk ~frames:4 ~order:8 () in
+  for k = 1 to 5_000 do
+    ignore (D.insert t k k)
+  done;
+  for k = 1 to 5_000 do
+    if D.search t k <> Some k then Alcotest.failf "key %d lost under eviction" k
+  done;
+  let s = D.pool_stats t in
+  Alcotest.(check bool) "evictions happened" true (s.Buffer_pool.evictions > 1_000)
+
+let test_disk_tree_durability () =
+  let path = Filename.temp_file "blink" ".dbt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let pf = Paged_file.create_file path in
+      let bp = Buffer_pool.create ~frames:32 pf in
+      let t = D.create ~order:8 bp in
+      for k = 1 to 3_000 do
+        ignore (D.insert t k (k * 2))
+      done;
+      D.flush t;
+      Paged_file.close pf;
+      (* reopen from disk *)
+      let pf = Paged_file.open_file path in
+      let bp = Buffer_pool.create ~frames:32 pf in
+      let t' = D.open_existing bp in
+      Alcotest.(check int) "count recovered" 3_000 (D.cardinal t');
+      Alcotest.(check int) "height recovered" (D.height t) (D.height t');
+      for k = 1 to 3_000 do
+        if D.search t' k <> Some (k * 2) then Alcotest.failf "key %d lost on disk" k
+      done;
+      Paged_file.close pf)
+
+let test_disk_tree_range () =
+  let t = mk ~order:4 () in
+  for k = 0 to 999 do
+    if k mod 2 = 0 then ignore (D.insert t k k)
+  done;
+  let sum = D.fold_range t ~lo:100 ~hi:200 ~init:0 (fun acc k _ -> acc + k) in
+  let expected = List.fold_left ( + ) 0 (List.init 51 (fun i -> 100 + (2 * i))) in
+  Alcotest.(check int) "range sum" expected sum
+
+let test_max_order_fits () =
+  let page_size = Paged_file.default_page_size in
+  let order = D.max_order ~page_size ~key_bytes:8 in
+  Alcotest.(check bool) "sane order" true (order > 16);
+  (* fill nodes to capacity at that order: must never raise Node_too_large *)
+  let t = mk ~order () in
+  for k = 1 to 50_000 do
+    ignore (D.insert t k k)
+  done;
+  Alcotest.(check int) "all in" 50_000 (D.cardinal t)
+
+let suite =
+  [
+    Alcotest.test_case "pool pin/unpin/writeback" `Quick test_pool_pin_unpin;
+    Alcotest.test_case "pool eviction" `Quick test_pool_eviction;
+    Alcotest.test_case "pool all-pinned fails" `Quick test_pool_all_pinned_fails;
+    Alcotest.test_case "pool hit ratio" `Quick test_pool_hit_ratio;
+    Alcotest.test_case "disk tree basics" `Quick test_disk_tree_basic;
+    Alcotest.test_case "disk tree vs oracle" `Quick test_disk_tree_oracle;
+    Alcotest.test_case "disk tree under tiny pool" `Quick test_disk_tree_tiny_pool;
+    Alcotest.test_case "disk tree durability (reopen)" `Quick test_disk_tree_durability;
+    Alcotest.test_case "disk tree range" `Quick test_disk_tree_range;
+    Alcotest.test_case "max_order fits a page" `Quick test_max_order_fits;
+  ]

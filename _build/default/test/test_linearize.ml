@@ -1,0 +1,200 @@
+(* The linearizability checker itself (hand-crafted histories), then live
+   concurrent runs of the Sagiv tree checked with it — Theorem 1 made
+   executable. *)
+
+open Repro_storage
+open Repro_core
+open Repro_harness
+module S = Sagiv.Make (Key.Int)
+
+let ev ?(key = 0) kind ok inv res = { Linearize.key; kind; ok; inv; res }
+
+(* -- checker unit tests on static histories -- *)
+
+let test_sequential_histories () =
+  let open Linearize in
+  (* insert ok, search found, delete ok, search not found *)
+  let h =
+    [ ev Insert true 0 1; ev Search true 2 3; ev Delete true 4 5; ev Search false 6 7 ]
+  in
+  Alcotest.(check bool) "clean sequence" true (check_key h);
+  (* duplicate insert *)
+  let h = [ ev Insert true 0 1; ev Insert false 2 3 ] in
+  Alcotest.(check bool) "dup insert" true (check_key h);
+  (* delete of absent key *)
+  Alcotest.(check bool) "absent delete" true (check_key [ ev Delete false 0 1 ]);
+  (* initially present *)
+  Alcotest.(check bool) "preloaded search" true
+    (check_key ~initial:true [ ev Search true 0 1 ]);
+  Alcotest.(check bool) "preloaded delete" true
+    (check_key ~initial:true [ ev Delete true 0 1 ])
+
+let test_non_linearizable_detected () =
+  let open Linearize in
+  (* search found strictly BEFORE any insert ever invoked *)
+  let h = [ ev Search true 0 1; ev Insert true 2 3 ] in
+  Alcotest.(check bool) "phantom read" false (check_key h);
+  (* insert ok, then (strictly after) search not-found, nothing else *)
+  let h = [ ev Insert true 0 1; ev Search false 2 3 ] in
+  Alcotest.(check bool) "lost insert" false (check_key h);
+  (* two successful inserts with no delete between them *)
+  let h = [ ev Insert true 0 1; ev Insert true 2 3 ] in
+  Alcotest.(check bool) "double insert" false (check_key h);
+  (* delete=true twice, one insert *)
+  let h = [ ev Insert true 0 1; ev Delete true 2 3; ev Delete true 4 5 ] in
+  Alcotest.(check bool) "double delete" false (check_key h)
+
+let test_overlapping_histories () =
+  let open Linearize in
+  (* concurrent insert & search: search may or may not see it *)
+  let h = [ ev Insert true 0 3; ev Search true 1 2 ] in
+  Alcotest.(check bool) "concurrent search found ok" true (check_key h);
+  let h = [ ev Insert true 0 3; ev Search false 1 2 ] in
+  Alcotest.(check bool) "concurrent search missed ok" true (check_key h);
+  (* two overlapping inserts: exactly one may succeed *)
+  let h = [ ev Insert true 0 3; ev Insert false 1 2 ] in
+  Alcotest.(check bool) "racing inserts one wins" true (check_key h);
+  let h = [ ev Insert true 0 3; ev Insert true 1 2 ] in
+  Alcotest.(check bool) "racing inserts both win = bad" false (check_key h);
+  (* insert and delete overlapping a search: any serialisation goes *)
+  let h = [ ev Insert true 0 5; ev Delete true 1 4; ev Search false 2 3 ] in
+  Alcotest.(check bool) "3-way overlap" true (check_key h)
+
+let test_real_time_order_respected () =
+  let open Linearize in
+  (* ins(ok) res=1 < search inv=2: cannot reorder search before insert *)
+  let h = [ ev Insert true 0 1; ev Search false 2 3; ev Delete true 4 5 ] in
+  Alcotest.(check bool) "no reorder across gap" false (check_key h);
+  (* but with the delete overlapping the search, it can explain it *)
+  let h = [ ev Insert true 0 1; ev Search false 3 4; ev Delete true 2 5 ] in
+  Alcotest.(check bool) "overlap explains miss" true (check_key h)
+
+let test_check_partitions_by_key () =
+  let open Linearize in
+  let h =
+    [ ev ~key:1 Insert true 0 1; ev ~key:2 Search true 2 3; ev ~key:1 Search true 4 5 ]
+  in
+  let v = check h in
+  Alcotest.(check int) "two keys" 2 v.keys_checked;
+  Alcotest.(check int) "one violation (key 2 phantom)" 1 (List.length v.violations);
+  Alcotest.(check bool) "key is 2" true (List.mem_assoc 2 v.violations)
+
+let test_too_long_skipped () =
+  let open Linearize in
+  let h = List.init 30 (fun i -> ev Search false (2 * i) ((2 * i) + 1)) in
+  let v = check h in
+  Alcotest.(check int) "skipped" 1 (List.length v.skipped)
+
+(* -- live runs -- *)
+
+let run_recorded ~domains ~ops_each ~keys ~preload tree_order =
+  let t = S.create ~order:tree_order () in
+  let c = S.ctx ~slot:0 in
+  if preload then
+    for k = 0 to keys - 1 do
+      ignore (S.insert t c k k)
+    done;
+  let r = Linearize.recorder () in
+  let workers =
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            let wc = S.ctx ~slot:i in
+            let l = Linearize.local r in
+            let rng = Repro_util.Splitmix.create (i * 31 + 7) in
+            for _ = 1 to ops_each do
+              let key = Repro_util.Splitmix.int rng keys in
+              match Repro_util.Splitmix.int rng 3 with
+              | 0 ->
+                  ignore
+                    (Linearize.record l ~key ~kind:Linearize.Insert (fun () ->
+                         S.insert t wc key key = `Ok))
+              | 1 ->
+                  ignore
+                    (Linearize.record l ~key ~kind:Linearize.Delete (fun () ->
+                         S.delete t wc key))
+              | _ ->
+                  ignore
+                    (Linearize.record l ~key ~kind:Linearize.Search (fun () ->
+                         S.search t wc key <> None))
+            done;
+            Linearize.merge_local l))
+  in
+  Array.iter Domain.join workers;
+  Linearize.check ~initial:(fun _ -> preload) (Linearize.events r)
+
+let test_tree_is_linearizable () =
+  (* Many small rounds beat one big round for schedule diversity. *)
+  for round = 1 to 10 do
+    let v = run_recorded ~domains:4 ~ops_each:40 ~keys:32 ~preload:false 2 in
+    (match v.Linearize.violations with
+    | [] -> ()
+    | (k, evs) :: _ ->
+        Alcotest.failf "round %d: key %d not linearizable: %s" round k
+          (String.concat " ; "
+             (List.map (Format.asprintf "%a" Linearize.pp_event) evs)));
+    Alcotest.(check (list int)) "no skips" [] v.Linearize.skipped
+  done
+
+let run_recorded_handle (h : Repro_baseline.Tree_intf.handle) ~domains ~ops_each ~keys =
+  let r = Linearize.recorder () in
+  let workers =
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            let wc = Handle.ctx ~slot:i in
+            let l = Linearize.local r in
+            let rng = Repro_util.Splitmix.create (i * 17 + 3) in
+            for _ = 1 to ops_each do
+              let key = Repro_util.Splitmix.int rng keys in
+              match Repro_util.Splitmix.int rng 3 with
+              | 0 ->
+                  ignore
+                    (Linearize.record l ~key ~kind:Linearize.Insert (fun () ->
+                         h.Repro_baseline.Tree_intf.insert wc key key = `Ok))
+              | 1 ->
+                  ignore
+                    (Linearize.record l ~key ~kind:Linearize.Delete (fun () ->
+                         h.Repro_baseline.Tree_intf.delete wc key))
+              | _ ->
+                  ignore
+                    (Linearize.record l ~key ~kind:Linearize.Search (fun () ->
+                         h.Repro_baseline.Tree_intf.search wc key <> None))
+            done;
+            Linearize.merge_local l))
+  in
+  Array.iter Domain.join workers;
+  Linearize.check (Linearize.events r)
+
+let test_baselines_linearizable () =
+  (* Every implementation must pass the same checker (they implement the
+     same abstract map, just with different lock regimes). *)
+  List.iter
+    (fun (impl : Repro_baseline.Tree_intf.impl) ->
+      for _ = 1 to 3 do
+        let h = impl.Repro_baseline.Tree_intf.make ~order:2 in
+        let v = run_recorded_handle h ~domains:4 ~ops_each:40 ~keys:32 in
+        if not (Linearize.ok v) then
+          Alcotest.failf "%s not linearizable"
+            impl.Repro_baseline.Tree_intf.impl_name
+      done)
+    Repro_baseline.Tree_intf.all
+
+let test_tree_is_linearizable_preloaded () =
+  for _ = 1 to 5 do
+    let v = run_recorded ~domains:4 ~ops_each:40 ~keys:32 ~preload:true 2 in
+    Alcotest.(check bool) "linearizable" true (Linearize.ok v)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "sequential histories" `Quick test_sequential_histories;
+    Alcotest.test_case "non-linearizable detected" `Quick test_non_linearizable_detected;
+    Alcotest.test_case "overlapping histories" `Quick test_overlapping_histories;
+    Alcotest.test_case "real-time order respected" `Quick test_real_time_order_respected;
+    Alcotest.test_case "partition by key" `Quick test_check_partitions_by_key;
+    Alcotest.test_case "over-long histories skipped" `Quick test_too_long_skipped;
+    Alcotest.test_case "sagiv tree linearizable (live)" `Quick test_tree_is_linearizable;
+    Alcotest.test_case "sagiv tree linearizable (preloaded)" `Quick
+      test_tree_is_linearizable_preloaded;
+    Alcotest.test_case "all baselines linearizable (live)" `Quick
+      test_baselines_linearizable;
+  ]

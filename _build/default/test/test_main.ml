@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "sagiv-blink-repro"
+    [
+      ("util", Test_util.suite);
+      ("node", Test_node.suite);
+      ("codec", Test_codec.suite);
+      ("store", Test_store.suite);
+      ("blink", Test_blink.suite);
+      ("compress", Test_compress.suite);
+      ("compactor", Test_compactor.suite);
+      ("concurrent", Test_concurrent.suite);
+      ("range", Test_range.suite);
+      ("kv", Test_kv.suite);
+      ("linearize", Test_linearize.suite);
+      ("restart", Test_restart.suite);
+      ("baselines", Test_baselines.suite);
+      ("harness", Test_harness.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("disk", Test_disk.suite);
+      ("props", Test_props.suite);
+      ("access", Test_access.suite);
+      ("trace", Test_trace.suite);
+      ("report", Test_report.suite);
+    ]

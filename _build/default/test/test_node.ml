@@ -1,0 +1,365 @@
+(* Unit and property tests for the pure node algebra. *)
+
+open Repro_storage
+module N = Node.Make (Key.Int)
+
+let bcmp = Bound.compare Int.compare
+
+(* Build a leaf with the given keys, payload = key * 10. *)
+let leaf ?(low = Bound.Neg_inf) ?(high = Bound.Pos_inf) ?link keys =
+  {
+    Node.level = 0;
+    keys = Array.of_list keys;
+    ptrs = Array.of_list (List.map (fun k -> k * 10) keys);
+    low;
+    high;
+    link;
+    is_root = false;
+    state = Node.Live;
+  }
+
+(* Build an internal node: keys and children. *)
+let internal ?(low = Bound.Neg_inf) ?(high = Bound.Pos_inf) ?link ~keys ~ptrs () =
+  {
+    Node.level = 1;
+    keys = Array.of_list keys;
+    ptrs = Array.of_list ptrs;
+    low;
+    high;
+    link;
+    is_root = false;
+    state = Node.Live;
+  }
+
+let test_rank () =
+  let n = leaf [ 10; 20; 30 ] in
+  Alcotest.(check int) "before all" 0 (N.rank n 5);
+  Alcotest.(check int) "equal first" 0 (N.rank n 10);
+  Alcotest.(check int) "between" 1 (N.rank n 15);
+  Alcotest.(check int) "equal last" 2 (N.rank n 30);
+  Alcotest.(check int) "after all" 3 (N.rank n 35)
+
+let test_mem_find () =
+  let n = leaf [ 10; 20; 30 ] in
+  Alcotest.(check bool) "mem hit" true (N.mem n 20);
+  Alcotest.(check bool) "mem miss" false (N.mem n 25);
+  Alcotest.(check (option int)) "find" (Some 200) (N.leaf_find n 20);
+  Alcotest.(check (option int)) "find miss" None (N.leaf_find n 21)
+
+let test_child_for () =
+  (* children: c0 covers (-inf,10], c1 (10,20], c2 (20,+inf] *)
+  let n = internal ~keys:[ 10; 20 ] ~ptrs:[ 100; 101; 102 ] () in
+  Alcotest.(check int) "k=5 -> c0" 100 (N.child_for n 5);
+  Alcotest.(check int) "k=10 -> c0 (inclusive upper)" 100 (N.child_for n 10);
+  Alcotest.(check int) "k=11 -> c1" 101 (N.child_for n 11);
+  Alcotest.(check int) "k=20 -> c1" 101 (N.child_for n 20);
+  Alcotest.(check int) "k=21 -> c2" 102 (N.child_for n 21)
+
+let test_next () =
+  let n = leaf ~high:(Bound.Key 30) ~link:99 [ 10; 20; 30 ] in
+  (match N.next n 40 with
+  | N.Link p -> Alcotest.(check int) "link" 99 p
+  | _ -> Alcotest.fail "expected link");
+  match N.next n 25 with
+  | N.Here -> ()
+  | _ -> Alcotest.fail "expected here"
+
+let test_leaf_insert_delete () =
+  let n = leaf [ 10; 30 ] in
+  let n' = N.leaf_insert n 20 200 in
+  Alcotest.(check (list int)) "keys" [ 10; 20; 30 ] (Array.to_list n'.Node.keys);
+  Alcotest.(check (list int)) "ptrs" [ 100; 200; 300 ] (Array.to_list n'.Node.ptrs);
+  (match N.leaf_delete n' 20 with
+  | Some n'' ->
+      Alcotest.(check (list int)) "after delete" [ 10; 30 ] (Array.to_list n''.Node.keys)
+  | None -> Alcotest.fail "delete failed");
+  Alcotest.(check bool) "delete missing" true (N.leaf_delete n' 25 = None)
+
+let test_leaf_split () =
+  let n = leaf ~high:(Bound.Key 40) ~link:7 [ 10; 20; 30; 40 ] in
+  let l, r = N.leaf_split n 25 250 ~right_ptr:55 in
+  (* 5 keys total -> left 3, right 2 *)
+  Alcotest.(check (list int)) "left keys" [ 10; 20; 25 ] (Array.to_list l.Node.keys);
+  Alcotest.(check (list int)) "right keys" [ 30; 40 ] (Array.to_list r.Node.keys);
+  Alcotest.(check bool) "left high = last left key" true (bcmp l.Node.high (Bound.Key 25) = 0);
+  Alcotest.(check bool) "right low = boundary" true (bcmp r.Node.low (Bound.Key 25) = 0);
+  Alcotest.(check bool) "right keeps old high" true (bcmp r.Node.high (Bound.Key 40) = 0);
+  Alcotest.(check (option int)) "left links to right page" (Some 55) l.Node.link;
+  Alcotest.(check (option int)) "right keeps old link" (Some 7) r.Node.link;
+  Alcotest.(check int) "left ptr count" 3 (Array.length l.Node.ptrs);
+  Alcotest.(check int) "right ptr count" 2 (Array.length r.Node.ptrs)
+
+let test_internal_insert () =
+  let n = internal ~keys:[ 10; 30 ] ~ptrs:[ 100; 101; 103 ] () in
+  let n' = N.internal_insert n 20 102 in
+  Alcotest.(check (list int)) "keys" [ 10; 20; 30 ] (Array.to_list n'.Node.keys);
+  Alcotest.(check (list int)) "ptrs" [ 100; 101; 102; 103 ] (Array.to_list n'.Node.ptrs)
+
+let test_internal_split () =
+  let n =
+    internal ~high:(Bound.Key 50) ~link:9 ~keys:[ 10; 20; 30; 40 ]
+      ~ptrs:[ 100; 101; 102; 103; 104 ] ()
+  in
+  let l, r = N.internal_split n 25 105 ~right_ptr:77 in
+  (* The new pointer goes immediately AFTER the split child's old pointer:
+     the old child 102 covered (20,30]; after its split it covers (20,25]
+     and the new node 105 covers (25,30]. Inserted: keys
+     [10;20;25;30;40], ptrs [100;101;102;105;103;104]; mid 2 -> boundary 25. *)
+  Alcotest.(check (list int)) "left keys" [ 10; 20 ] (Array.to_list l.Node.keys);
+  Alcotest.(check (list int)) "left ptrs" [ 100; 101; 102 ] (Array.to_list l.Node.ptrs);
+  Alcotest.(check bool) "boundary" true (bcmp l.Node.high (Bound.Key 25) = 0);
+  Alcotest.(check (list int)) "right keys" [ 30; 40 ] (Array.to_list r.Node.keys);
+  Alcotest.(check (list int)) "right ptrs" [ 105; 103; 104 ] (Array.to_list r.Node.ptrs);
+  Alcotest.(check bool) "right low" true (bcmp r.Node.low (Bound.Key 25) = 0);
+  (* invariant: |ptrs| = |keys| + 1 on both halves *)
+  Alcotest.(check int) "left arity" (Array.length l.Node.keys + 1) (Array.length l.Node.ptrs);
+  Alcotest.(check int) "right arity" (Array.length r.Node.keys + 1)
+    (Array.length r.Node.ptrs)
+
+let test_merge_leaf () =
+  let a = leaf ~high:(Bound.Key 20) ~link:2 [ 10; 20 ] in
+  let b = leaf ~low:(Bound.Key 20) ~high:(Bound.Key 40) ~link:3 [ 30; 40 ] in
+  let m = N.merge a b in
+  Alcotest.(check (list int)) "keys" [ 10; 20; 30; 40 ] (Array.to_list m.Node.keys);
+  Alcotest.(check bool) "high" true (bcmp m.Node.high (Bound.Key 40) = 0);
+  Alcotest.(check (option int)) "link" (Some 3) m.Node.link
+
+let test_merge_internal () =
+  let a =
+    internal ~high:(Bound.Key 20) ~link:2 ~keys:[ 10 ] ~ptrs:[ 100; 101 ] ()
+  in
+  let b =
+    internal ~low:(Bound.Key 20) ~high:(Bound.Key 40) ~link:3 ~keys:[ 30 ]
+      ~ptrs:[ 102; 103 ] ()
+  in
+  let m = N.merge a b in
+  (* boundary 20 returns as a separator *)
+  Alcotest.(check (list int)) "keys" [ 10; 20; 30 ] (Array.to_list m.Node.keys);
+  Alcotest.(check (list int)) "ptrs" [ 100; 101; 102; 103 ] (Array.to_list m.Node.ptrs)
+
+let test_can_merge () =
+  let a = leaf [ 1 ] and b = leaf ~low:(Bound.Key 1) [ 2; 3; 4 ] in
+  Alcotest.(check bool) "leaf 1+3 <= 2*2" true (N.can_merge ~order:2 a b);
+  let b' = leaf ~low:(Bound.Key 1) [ 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "leaf 1+4 > 2*2" false (N.can_merge ~order:2 a b');
+  let ia = internal ~high:(Bound.Key 9) ~keys:[ 5 ] ~ptrs:[ 1; 2 ] () in
+  let ib = internal ~low:(Bound.Key 9) ~keys:[ 12; 15 ] ~ptrs:[ 3; 4; 5 ] () in
+  (* merged keys = 1 + 2 + 1 boundary = 4 <= 2*2 *)
+  Alcotest.(check bool) "internal boundary counts" true (N.can_merge ~order:2 ia ib)
+
+let test_redistribute_leaf () =
+  let a = leaf ~high:(Bound.Key 10) ~link:2 [ 10 ] in
+  let b = leaf ~low:(Bound.Key 10) ~high:(Bound.Key 60) [ 20; 30; 40; 50; 60 ] in
+  let a', b', sep = N.redistribute a b in
+  Alcotest.(check int) "left half" 3 (Node.nkeys a');
+  Alcotest.(check int) "right half" 3 (Node.nkeys b');
+  Alcotest.(check int) "sep is left's max" 30 sep;
+  Alcotest.(check bool) "a high" true (bcmp a'.Node.high (Bound.Key 30) = 0);
+  Alcotest.(check bool) "b low" true (bcmp b'.Node.low (Bound.Key 30) = 0);
+  Alcotest.(check bool) "b high unchanged" true (bcmp b'.Node.high (Bound.Key 60) = 0)
+
+let test_parent_pair_ops () =
+  let f =
+    internal ~keys:[ 10; 20; 30 ] ~ptrs:[ 100; 101; 102; 103 ] ()
+  in
+  Alcotest.(check (option int)) "child_slot" (Some 2) (N.child_slot f 102);
+  Alcotest.(check bool) "slot_high mid" true (bcmp (N.slot_high f 1) (Bound.Key 20) = 0);
+  Alcotest.(check bool) "slot_high last" true (bcmp (N.slot_high f 3) Bound.Pos_inf = 0);
+  Alcotest.(check bool) "slot_low first" true (bcmp (N.slot_low f 0) Bound.Neg_inf = 0);
+  Alcotest.(check bool) "has_pair" true (N.has_pair f ~ptr:101 ~high:(Bound.Key 20));
+  Alcotest.(check bool) "has_pair wrong high" false (N.has_pair f ~ptr:101 ~high:(Bound.Key 25));
+  let f' = N.remove_merged_pair f ~right_slot:2 in
+  Alcotest.(check (list int)) "pair removed keys" [ 10; 30 ] (Array.to_list f'.Node.keys);
+  Alcotest.(check (list int)) "pair removed ptrs" [ 100; 101; 103 ]
+    (Array.to_list f'.Node.ptrs);
+  let f'' = N.replace_separator f ~right_slot:2 ~sep:25 in
+  Alcotest.(check (list int)) "separator replaced" [ 10; 25; 30 ]
+    (Array.to_list f''.Node.keys)
+
+let test_mark_deleted () =
+  let n = leaf [ 1; 2; 3 ] in
+  let d = N.mark_deleted n ~fwd:42 in
+  Alcotest.(check bool) "deleted" true (Node.is_deleted d);
+  (match d.Node.state with
+  | Node.Deleted f -> Alcotest.(check int) "fwd" 42 f
+  | Node.Live -> Alcotest.fail "not deleted");
+  Alcotest.(check int) "emptied" 0 (Node.nkeys d);
+  Alcotest.(check (option int)) "link cleared" None d.Node.link
+
+let test_check_detects_violations () =
+  let bad = leaf [ 30; 10 ] in
+  Alcotest.(check bool) "unsorted detected" true (N.check bad <> []);
+  let bad2 = { (leaf [ 10 ]) with Node.low = Bound.Key 10 } in
+  Alcotest.(check bool) "key <= low detected" true (N.check bad2 <> []);
+  let good = leaf ~high:(Bound.Key 3) ~link:9 [ 1; 2; 3 ] in
+  Alcotest.(check (list string)) "clean node passes" [] (N.check good)
+
+(* ---- property tests ---- *)
+
+let sorted_distinct l = List.sort_uniq compare l
+
+let arb_leaf_keys = QCheck.(list_of_size Gen.(int_range 1 12) (int_range 0 1000))
+
+let keys_of n = Array.to_list n.Node.keys
+
+let prop_leaf_split_preserves_pairs =
+  QCheck.Test.make ~name:"leaf split preserves pairs and bounds" ~count:500
+    QCheck.(pair arb_leaf_keys (int_range 0 1000))
+    (fun (raw, newk) ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (keys <> [] && not (List.mem newk keys));
+      let n = leaf ~high:Bound.Pos_inf keys in
+      let l, r = N.leaf_split n newk (newk * 10) ~right_ptr:99 in
+      let merged = keys_of l @ keys_of r in
+      merged = sorted_distinct (newk :: keys)
+      && Node.nkeys l >= Node.nkeys r
+      && Node.nkeys l - Node.nkeys r <= 1
+      && bcmp l.Node.high r.Node.low = 0
+      && l.Node.link = Some 99)
+
+let prop_merge_redistribute_roundtrip =
+  QCheck.Test.make ~name:"merge/redistribute preserve pair multiset" ~count:500
+    QCheck.(pair arb_leaf_keys arb_leaf_keys)
+    (fun (ra, rb) ->
+      let ka = sorted_distinct ra in
+      QCheck.assume (ka <> []);
+      let maxa = List.fold_left max min_int ka in
+      let kb = List.filter (fun k -> k > maxa) (sorted_distinct (List.map (fun k -> k + 2000) rb)) in
+      QCheck.assume (kb <> []);
+      let maxb = List.fold_left max min_int kb in
+      let a = leaf ~high:(Bound.Key maxa) ~link:5 ka in
+      let b = leaf ~low:(Bound.Key maxa) ~high:(Bound.Key maxb) kb in
+      let m = N.merge a b in
+      let merged_ok = keys_of m = ka @ kb && bcmp m.Node.high (Bound.Key maxb) = 0 in
+      let a', b', sep = N.redistribute a b in
+      let redist_ok =
+        keys_of a' @ keys_of b' = ka @ kb
+        && bcmp a'.Node.high (Bound.Key sep) = 0
+        && bcmp b'.Node.low (Bound.Key sep) = 0
+        && abs (Node.nkeys a' - Node.nkeys b') <= 1
+      in
+      merged_ok && redist_ok)
+
+let prop_internal_insert_keeps_arity =
+  QCheck.Test.make ~name:"internal insert keeps |ptrs| = |keys|+1" ~count:500
+    QCheck.(pair (list_of_size Gen.(int_range 1 10) (int_range 0 999)) (int_range 0 999))
+    (fun (raw, newk) ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (keys <> [] && not (List.mem newk keys));
+      let ptrs = List.init (List.length keys + 1) (fun i -> 1000 + i) in
+      let n = internal ~keys ~ptrs () in
+      let n' = N.internal_insert n newk 7777 in
+      Array.length n'.Node.ptrs = Array.length n'.Node.keys + 1
+      && keys_of n' = sorted_distinct (newk :: keys)
+      &&
+      (* the new pointer must sit immediately right of the new key *)
+      let j = N.rank n' newk in
+      n'.Node.ptrs.(j + 1) = 7777)
+
+let prop_internal_split_partitions =
+  QCheck.Test.make ~name:"internal split partitions children" ~count:500
+    QCheck.(pair (list_of_size Gen.(int_range 3 11) (int_range 0 999)) (int_range 0 999))
+    (fun (raw, newk) ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (List.length keys >= 3 && not (List.mem newk keys));
+      let ptrs = List.init (List.length keys + 1) (fun i -> 1000 + i) in
+      let n = internal ~keys ~ptrs () in
+      let l, r = N.internal_split n newk 7777 ~right_ptr:99 in
+      let sep = Bound.get_key l.Node.high in
+      Array.length l.Node.ptrs = Array.length l.Node.keys + 1
+      && Array.length r.Node.ptrs = Array.length r.Node.keys + 1
+      && keys_of l @ [ sep ] @ keys_of r = sorted_distinct (newk :: keys)
+      && bcmp l.Node.high r.Node.low = 0
+      && Array.length l.Node.ptrs + Array.length r.Node.ptrs
+         = List.length keys + 2)
+
+let prop_rank_b_agrees_with_rank =
+  QCheck.Test.make ~name:"rank_b (Key k) = rank k; infinities at the ends" ~count:500
+    QCheck.(pair arb_leaf_keys (int_range 0 1000))
+    (fun (raw, k) ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (keys <> []);
+      let n = leaf keys in
+      N.rank_b n (Bound.Key k) = N.rank n k
+      && N.rank_b n Bound.Neg_inf = 0
+      && N.rank_b n Bound.Pos_inf = List.length keys)
+
+(* Parent bookkeeping: inserting a pair then removing it via the merged-
+   pair path is the identity; replacing a separator keeps everything else. *)
+let prop_parent_pair_roundtrip =
+  QCheck.Test.make ~name:"parent pair insert/remove roundtrip" ~count:500
+    QCheck.(pair (list_of_size Gen.(int_range 1 10) (int_range 0 998)) (int_range 0 999))
+    (fun (raw, v) ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (keys <> [] && not (List.mem v keys));
+      let ptrs = List.init (List.length keys + 1) (fun i -> 100 + i) in
+      let f = internal ~keys ~ptrs () in
+      let f' = N.internal_insert f v 777 in
+      (* the new pair sits at slot rank+1; removing it restores f *)
+      match N.child_slot f' 777 with
+      | None -> false
+      | Some j ->
+          let back = N.remove_merged_pair f' ~right_slot:j in
+          back.Node.keys = f.Node.keys
+          && back.Node.ptrs = f.Node.ptrs
+          && N.has_pair f' ~ptr:777 ~high:(N.slot_high f' j))
+
+(* Slot ranges tile the parent's range: slot_low j+1 = slot_high j. *)
+let prop_slots_tile =
+  QCheck.Test.make ~name:"child slots tile the parent range" ~count:500
+    QCheck.(list_of_size Gen.(int_range 1 12) (int_range 0 1000))
+    (fun raw ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (keys <> []);
+      let ptrs = List.init (List.length keys + 1) (fun i -> i) in
+      let f = internal ~keys ~ptrs () in
+      let m = Array.length f.Node.ptrs in
+      let ok = ref (bcmp (N.slot_low f 0) f.Node.low = 0) in
+      for j = 0 to m - 2 do
+        if bcmp (N.slot_high f j) (N.slot_low f (j + 1)) <> 0 then ok := false
+      done;
+      !ok && bcmp (N.slot_high f (m - 1)) f.Node.high = 0)
+
+(* check accepts everything the constructors build from sane inputs. *)
+let prop_constructors_pass_check =
+  QCheck.Test.make ~name:"constructed nodes pass local check" ~count:500
+    QCheck.(pair arb_leaf_keys (int_range 1 8))
+    (fun (raw, order) ->
+      let keys = sorted_distinct raw in
+      QCheck.assume (keys <> [] && List.length keys <= 2 * order);
+      let last = List.nth keys (List.length keys - 1) in
+      let n = leaf ~high:(Bound.Key last) ~link:9 keys in
+      N.check ~order n = [])
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_leaf_split_preserves_pairs;
+      prop_merge_redistribute_roundtrip;
+      prop_internal_insert_keeps_arity;
+      prop_internal_split_partitions;
+      prop_rank_b_agrees_with_rank;
+      prop_parent_pair_roundtrip;
+      prop_slots_tile;
+      prop_constructors_pass_check;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "rank" `Quick test_rank;
+    Alcotest.test_case "mem/find" `Quick test_mem_find;
+    Alcotest.test_case "child_for ranges" `Quick test_child_for;
+    Alcotest.test_case "next step" `Quick test_next;
+    Alcotest.test_case "leaf insert/delete" `Quick test_leaf_insert_delete;
+    Alcotest.test_case "leaf split" `Quick test_leaf_split;
+    Alcotest.test_case "internal insert" `Quick test_internal_insert;
+    Alcotest.test_case "internal split" `Quick test_internal_split;
+    Alcotest.test_case "merge leaves" `Quick test_merge_leaf;
+    Alcotest.test_case "merge internal (boundary returns)" `Quick test_merge_internal;
+    Alcotest.test_case "can_merge accounting" `Quick test_can_merge;
+    Alcotest.test_case "redistribute leaves" `Quick test_redistribute_leaf;
+    Alcotest.test_case "parent pair bookkeeping" `Quick test_parent_pair_ops;
+    Alcotest.test_case "tombstones" `Quick test_mark_deleted;
+    Alcotest.test_case "check detects violations" `Quick test_check_detects_violations;
+  ]
+  @ props

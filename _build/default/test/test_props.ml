@@ -1,0 +1,161 @@
+(* Whole-tree property tests (QCheck): random operation programs against
+   the Map oracle, with compression interleaved at arbitrary points, at
+   several node orders; the validator must also ACCEPT every tree these
+   programs produce and DETECT seeded corruptions. *)
+
+open Repro_storage
+open Repro_core
+module S = Sagiv.Make (Key.Int)
+module C = Compress.Make (Key.Int)
+module Co = Compactor.Make (Key.Int)
+module V = Validate.Make (Key.Int)
+module IntMap = Map.Make (Int)
+
+(* A program step. Compress / Drain run the two §5 compression regimes
+   mid-program — they must never change the logical data. *)
+type step = Ins of int | Del of int | Find of int | Compress | Drain | Reclaim
+
+let gen_step =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun k -> Ins k) (int_range 0 400));
+        (4, map (fun k -> Del k) (int_range 0 400));
+        (4, map (fun k -> Find k) (int_range 0 400));
+        (1, return Compress);
+        (1, return Drain);
+        (1, return Reclaim);
+      ])
+
+let show_step = function
+  | Ins k -> Printf.sprintf "ins %d" k
+  | Del k -> Printf.sprintf "del %d" k
+  | Find k -> Printf.sprintf "find %d" k
+  | Compress -> "compress"
+  | Drain -> "drain"
+  | Reclaim -> "reclaim"
+
+let arb_program =
+  QCheck.make
+    ~print:(fun steps -> String.concat "; " (List.map show_step steps))
+    QCheck.Gen.(list_size (int_range 0 400) gen_step)
+
+(* Run a program at [order]; fail on any divergence from the Map model or
+   any validator error. *)
+let run_program ~order steps =
+  let t = S.create ~order ~enqueue_on_delete:true () in
+  let c = S.ctx ~slot:0 in
+  let model = ref IntMap.empty in
+  List.iter
+    (fun step ->
+      match step with
+      | Ins k ->
+          let expected = if IntMap.mem k !model then `Duplicate else `Ok in
+          if expected = `Ok then model := IntMap.add k (k * 7) !model;
+          if S.insert t c k (k * 7) <> expected then
+            QCheck.Test.fail_reportf "insert %d diverged" k
+      | Del k ->
+          let expected = IntMap.mem k !model in
+          model := IntMap.remove k !model;
+          if S.delete t c k <> expected then QCheck.Test.fail_reportf "delete %d diverged" k
+      | Find k ->
+          if S.search t c k <> IntMap.find_opt k !model then
+            QCheck.Test.fail_reportf "search %d diverged" k
+      | Compress -> ignore (C.compress_pass t c)
+      | Drain -> (
+          match Co.run_until_empty t c with
+          | `Drained -> ()
+          | `Step_limit -> QCheck.Test.fail_reportf "compactor step limit")
+      | Reclaim -> ignore (S.reclaim t))
+    steps;
+  (* final: full contents equal the model, and the structure is valid *)
+  let rep = V.check t in
+  if rep.Validate.errors <> [] then
+    QCheck.Test.fail_reportf "invalid tree: %s" (String.concat "; " rep.Validate.errors);
+  if S.to_list t <> IntMap.bindings !model then
+    QCheck.Test.fail_reportf "final contents diverge (%d tree vs %d model)"
+      (List.length (S.to_list t))
+      (IntMap.cardinal !model);
+  true
+
+let prop_program_order k =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random program + compression == Map (k=%d)" k)
+    ~count:60 arb_program
+    (fun steps -> run_program ~order:k steps)
+
+(* The range fold agrees with the model's filtered bindings. *)
+let prop_range =
+  QCheck.Test.make ~name:"range scan == Map slice" ~count:80
+    QCheck.(pair arb_program (pair (int_range 0 400) (int_range 0 400)))
+    (fun (steps, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let t = S.create ~order:3 () in
+      let c = S.ctx ~slot:0 in
+      let model = ref IntMap.empty in
+      List.iter
+        (fun step ->
+          match step with
+          | Ins k ->
+              if not (IntMap.mem k !model) then model := IntMap.add k (k * 7) !model;
+              ignore (S.insert t c k (k * 7))
+          | Del k ->
+              model := IntMap.remove k !model;
+              ignore (S.delete t c k)
+          | Find _ | Compress | Drain | Reclaim -> ())
+        steps;
+      let expected =
+        IntMap.bindings (IntMap.filter (fun k _ -> k >= lo && k <= hi) !model)
+      in
+      S.range t c ~lo ~hi = expected)
+
+(* Bulk load at random fills == Map of the same pairs. *)
+let prop_bulk_load =
+  QCheck.Test.make ~name:"of_sorted == Map" ~count:100
+    QCheck.(pair (list_of_size Gen.(int_range 0 300) (int_range 0 10_000)) (int_range 1 10))
+    (fun (raw, order) ->
+      let keys = List.sort_uniq compare raw in
+      let pairs = List.map (fun k -> (k, k * 2)) keys in
+      let t = S.of_sorted ~order pairs in
+      let rep = V.check t in
+      rep.Validate.errors = [] && S.to_list t = pairs)
+
+(* The validator detects seeded corruptions. *)
+let corrupt_one_node t (rng : Repro_util.Splitmix.t) =
+  (* pick a random live internal page and break its separator order *)
+  let candidates = ref [] in
+  Store.iter t.Handle.store (fun p n ->
+      if (not (Node.is_deleted n)) && Node.nkeys n >= 2 then candidates := (p, n) :: !candidates);
+  match !candidates with
+  | [] -> false
+  | l ->
+      let p, n = List.nth l (Repro_util.Splitmix.int rng (List.length l)) in
+      let keys = Array.copy n.Node.keys in
+      let tmp = keys.(0) in
+      keys.(0) <- keys.(Array.length keys - 1);
+      keys.(Array.length keys - 1) <- tmp;
+      Store.put t.Handle.store p { n with Node.keys = keys };
+      true
+
+let prop_validator_detects =
+  QCheck.Test.make ~name:"validator detects unsorted-node corruption" ~count:60
+    QCheck.(int_range 10 2_000)
+    (fun n ->
+      let t = S.create ~order:3 () in
+      let c = S.ctx ~slot:0 in
+      for k = 1 to n do
+        ignore (S.insert t c k k)
+      done;
+      let rng = Repro_util.Splitmix.create n in
+      if corrupt_one_node t rng then (V.check t).Validate.errors <> [] else true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_program_order 2;
+      prop_program_order 5;
+      prop_program_order 16;
+      prop_range;
+      prop_bulk_load;
+      prop_validator_detects;
+    ]

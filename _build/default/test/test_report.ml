@@ -1,0 +1,66 @@
+(* Report formatting and the tree dump: plain-output sanity. *)
+
+open Repro_storage
+open Repro_core
+open Repro_harness
+module S = Sagiv.Make (Key.Int)
+module D = Dump.Make (Key.Int)
+
+let capture f =
+  let path = Filename.temp_file "blink" ".out" in
+  let oc = open_out path in
+  f oc;
+  close_out oc;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_table_alignment () =
+  let out =
+    capture (fun oc ->
+        Report.table ~out:oc
+          ~header:[ "a"; "bb" ]
+          [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ])
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* all lines equal length (padded columns) *)
+  let lens = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true (List.for_all (fun l -> l = List.hd lens) lens);
+  Alcotest.(check bool) "rule present" true
+    (String.length (List.nth lines 1) > 0 && String.contains (List.nth lines 1) '-')
+
+let test_si_and_bytes () =
+  Alcotest.(check string) "si k" "1.5k" (Report.fmt_si 1_500.0);
+  Alcotest.(check string) "si M" "2.50M" (Report.fmt_si 2_500_000.0);
+  Alcotest.(check string) "si G" "1.20G" (Report.fmt_si 1_200_000_000.0);
+  Alcotest.(check string) "si plain" "999" (Report.fmt_si 999.0);
+  Alcotest.(check string) "bytes" "512B" (Report.fmt_bytes 512);
+  Alcotest.(check string) "KiB" "2.0KiB" (Report.fmt_bytes 2048);
+  Alcotest.(check string) "MiB" "3.0MiB" (Report.fmt_bytes (3 * 1024 * 1024))
+
+let test_dump_mentions_structure () =
+  let t = S.create ~order:2 () in
+  let c = S.ctx ~slot:0 in
+  for k = 1 to 30 do
+    ignore (S.insert t c k k)
+  done;
+  let s = D.to_string t in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has leaf level" true (has "level 0:");
+  Alcotest.(check bool) "marks the root" true (has "root");
+  Alcotest.(check bool) "rightmost +inf" true (has "+inf")
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "si and byte formatting" `Quick test_si_and_bytes;
+    Alcotest.test_case "dump mentions structure" `Quick test_dump_mentions_structure;
+  ]

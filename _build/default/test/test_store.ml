@@ -1,0 +1,199 @@
+(* Store, latch, prime block and epoch reclamation tests. *)
+
+open Repro_storage
+module N = Node.Make (Key.Int)
+
+let mk_leaf keys =
+  {
+    Node.level = 0;
+    keys = Array.of_list keys;
+    ptrs = Array.of_list (List.map (fun k -> k) keys);
+    low = Bound.Neg_inf;
+    high = Bound.Pos_inf;
+    link = None;
+    is_root = false;
+    state = Node.Live;
+  }
+
+let test_alloc_get_put () =
+  let s = Store.create () in
+  let p = Store.alloc s (mk_leaf [ 1 ]) in
+  Alcotest.(check int) "contents" 1 (Store.get s p).Node.keys.(0);
+  Store.put s p (mk_leaf [ 2 ]);
+  Alcotest.(check int) "rewritten" 2 (Store.get s p).Node.keys.(0);
+  Alcotest.(check int) "live" 1 (Store.live_count s)
+
+let test_reserve_then_put () =
+  let s = Store.create () in
+  let p = Store.reserve s in
+  (match Store.get s p with
+  | exception Store.Freed_page _ -> ()
+  | _ -> Alcotest.fail "reserved page must be unreadable");
+  Store.put s p (mk_leaf [ 9 ]);
+  Alcotest.(check int) "readable after put" 9 (Store.get s p).Node.keys.(0)
+
+let test_release_recycle () =
+  let s = Store.create () in
+  let p = Store.alloc s (mk_leaf [ 1 ]) in
+  Store.release s p;
+  (match Store.get s p with
+  | exception Store.Freed_page q -> Alcotest.(check int) "freed id" p q
+  | _ -> Alcotest.fail "expected Freed_page");
+  let p' = Store.alloc s (mk_leaf [ 2 ]) in
+  Alcotest.(check int) "page recycled" p p';
+  Alcotest.(check int) "live count" 1 (Store.live_count s)
+
+let test_many_pages_cross_chunks () =
+  let s = Store.create () in
+  let n = 10_000 in
+  let ids = Array.init n (fun i -> Store.alloc s (mk_leaf [ i ])) in
+  Array.iteri
+    (fun i p ->
+      let node = Store.get s p in
+      if node.Node.keys.(0) <> i then Alcotest.failf "page %d corrupted" p)
+    ids;
+  Alcotest.(check int) "live" n (Store.live_count s)
+
+let test_concurrent_alloc () =
+  let s = Store.create () in
+  let per = 5_000 and nd = 4 in
+  let domains =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () -> Array.init per (fun i -> Store.alloc s (mk_leaf [ (d * per) + i ]))))
+  in
+  let all = Array.concat (Array.to_list (Array.map Domain.join domains)) in
+  let seen = Hashtbl.create (per * nd) in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p then Alcotest.failf "duplicate page id %d" p;
+      Hashtbl.replace seen p ())
+    all;
+  Alcotest.(check int) "all allocated" (per * nd) (Store.live_count s)
+
+let test_latch_excludes_lockers_not_readers () =
+  let s = Store.create () in
+  let p = Store.alloc s (mk_leaf [ 1 ]) in
+  Store.lock s p;
+  Alcotest.(check bool) "try_lock fails" false (Store.try_lock s p);
+  (* a reader is never blocked by the latch *)
+  Alcotest.(check int) "read while locked" 1 (Store.get s p).Node.keys.(0);
+  Store.unlock s p;
+  Alcotest.(check bool) "try_lock after unlock" true (Store.try_lock s p);
+  Store.unlock s p
+
+let test_iter () =
+  let s = Store.create () in
+  let _ = Store.alloc s (mk_leaf [ 1 ]) in
+  let p2 = Store.alloc s (mk_leaf [ 2 ]) in
+  let _ = Store.alloc s (mk_leaf [ 3 ]) in
+  Store.release s p2;
+  let seen = ref [] in
+  Store.iter s (fun _ n -> seen := n.Node.keys.(0) :: !seen);
+  Alcotest.(check (list int)) "live pages only" [ 1; 3 ] (List.sort compare !seen)
+
+(* -- prime block -- *)
+
+let test_prime_block () =
+  let pb = Prime_block.create ~root_ptr:7 in
+  let s = Prime_block.read pb in
+  Alcotest.(check int) "initial height" 1 s.Prime_block.levels;
+  Alcotest.(check int) "root" 7 (Prime_block.root s);
+  Alcotest.(check (option int)) "leftmost 0" (Some 7) (Prime_block.leftmost_at s ~level:0);
+  Alcotest.(check (option int)) "no level 1" None (Prime_block.leftmost_at s ~level:1);
+  Prime_block.push_root pb ~root_ptr:9;
+  let s = Prime_block.read pb in
+  Alcotest.(check int) "height 2" 2 s.Prime_block.levels;
+  Alcotest.(check int) "new root" 9 (Prime_block.root s);
+  Alcotest.(check (option int)) "old leftmost kept" (Some 7)
+    (Prime_block.leftmost_at s ~level:0);
+  Prime_block.push_root pb ~root_ptr:11;
+  Prime_block.collapse_to pb ~level:0 ~root_ptr:7;
+  let s = Prime_block.read pb in
+  Alcotest.(check int) "collapsed" 1 s.Prime_block.levels;
+  Alcotest.(check int) "root back" 7 (Prime_block.root s)
+
+(* -- epoch reclamation -- *)
+
+let test_epoch_basic () =
+  let e = Epoch.create () in
+  let s = Store.create () in
+  let p = Store.alloc s (mk_leaf [ 1 ]) in
+  Epoch.retire e p;
+  Alcotest.(check int) "pending" 1 (Epoch.pending e);
+  let freed = Epoch.reclaim e ~release:(Store.release s) in
+  Alcotest.(check int) "freed when no pins" 1 freed;
+  Alcotest.(check int) "store freed" 0 (Store.live_count s)
+
+let test_epoch_pin_blocks_reclaim () =
+  let e = Epoch.create () in
+  let s = Store.create () in
+  Epoch.pin e ~slot:0;
+  let p = Store.alloc s (mk_leaf [ 1 ]) in
+  Epoch.retire e p;
+  let freed = Epoch.reclaim e ~release:(Store.release s) in
+  Alcotest.(check int) "pinned reader blocks free" 0 freed;
+  (* the pinned reader can still read the retired page *)
+  Alcotest.(check int) "still readable" 1 (Store.get s p).Node.keys.(0);
+  Epoch.unpin e ~slot:0;
+  let freed = Epoch.reclaim e ~release:(Store.release s) in
+  Alcotest.(check int) "freed after unpin" 1 freed
+
+let test_epoch_late_pin_does_not_block () =
+  let e = Epoch.create () in
+  let s = Store.create () in
+  let p = Store.alloc s (mk_leaf [ 1 ]) in
+  Epoch.retire e p;
+  (* a process that starts after the retirement must not keep it alive *)
+  Epoch.pin e ~slot:3;
+  let freed = Epoch.reclaim e ~release:(Store.release s) in
+  Alcotest.(check int) "late pin does not block" 1 freed;
+  Epoch.unpin e ~slot:3
+
+let test_epoch_concurrent_readers_never_see_freed () =
+  (* Readers pin, read a shared slot, follow it; a writer retires pages.
+     Under correct epoch protection no reader ever hits Freed_page. *)
+  let e = Epoch.create () in
+  let s = Store.create () in
+  let current = Atomic.make (Store.alloc s (mk_leaf [ 0 ])) in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let readers =
+    Array.init 3 (fun slot ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Epoch.pin e ~slot;
+              let p = Atomic.get current in
+              (try ignore (Store.get s p)
+               with Store.Freed_page _ -> Atomic.incr failures);
+              Epoch.unpin e ~slot
+            done))
+  in
+  for i = 1 to 2_000 do
+    let fresh = Store.alloc s (mk_leaf [ i ]) in
+    let old = Atomic.exchange current fresh in
+    Epoch.retire e old;
+    if i mod 50 = 0 then ignore (Epoch.reclaim e ~release:(Store.release s))
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join readers;
+  ignore (Epoch.reclaim e ~release:(Store.release s));
+  Alcotest.(check int) "no freed-page reads" 0 (Atomic.get failures);
+  Alcotest.(check bool) "reclamation happened" true (Epoch.total_reclaimed e > 1_000)
+
+let suite =
+  [
+    Alcotest.test_case "alloc/get/put" `Quick test_alloc_get_put;
+    Alcotest.test_case "reserve then put" `Quick test_reserve_then_put;
+    Alcotest.test_case "release and recycle" `Quick test_release_recycle;
+    Alcotest.test_case "pages across chunks" `Quick test_many_pages_cross_chunks;
+    Alcotest.test_case "concurrent alloc unique ids" `Quick test_concurrent_alloc;
+    Alcotest.test_case "latch excludes lockers not readers" `Quick
+      test_latch_excludes_lockers_not_readers;
+    Alcotest.test_case "iter over live pages" `Quick test_iter;
+    Alcotest.test_case "prime block" `Quick test_prime_block;
+    Alcotest.test_case "epoch basic reclaim" `Quick test_epoch_basic;
+    Alcotest.test_case "epoch pin blocks reclaim" `Quick test_epoch_pin_blocks_reclaim;
+    Alcotest.test_case "epoch late pin" `Quick test_epoch_late_pin_does_not_block;
+    Alcotest.test_case "epoch protects concurrent readers" `Quick
+      test_epoch_concurrent_readers_never_see_freed;
+  ]

@@ -1,0 +1,70 @@
+(* Trace record / replay. *)
+
+open Repro_baseline
+open Repro_harness
+
+let sample_ops =
+  [
+    Workload.Insert (1, 10);
+    Workload.Insert (2, 20);
+    Workload.Search 1;
+    Workload.Delete 2;
+    Workload.Search 2;
+  ]
+
+let test_roundtrip_file () =
+  let path = Filename.temp_file "blink" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace.save path sample_ops;
+      Alcotest.(check bool) "roundtrip" true (Trace.load path = sample_ops))
+
+let test_comments_and_blanks () =
+  let path = Filename.temp_file "blink" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# a trace\n\n i 5 50 \ns 5\n# end\n";
+      close_out oc;
+      Alcotest.(check bool) "parsed" true
+        (Trace.load path = [ Workload.Insert (5, 50); Workload.Search 5 ]))
+
+let test_parse_error () =
+  let path = Filename.temp_file "blink" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "i 1 1\nbogus line\n";
+      close_out oc;
+      match Trace.load path with
+      | exception Trace.Parse_error { line = 2; _ } -> ()
+      | exception Trace.Parse_error e -> Alcotest.failf "wrong line %d" e.Trace.line
+      | _ -> Alcotest.fail "bogus line accepted")
+
+let test_generate_replay_deterministic () =
+  let spec = Workload.spec ~op_mix:Workload.mixed_sid ~key_space:500 () in
+  let ops = Trace.generate ~seed:5 ~ops:5_000 spec in
+  Alcotest.(check int) "length" 5_000 (List.length ops);
+  let run () =
+    let h = Tree_intf.((sagiv ()).make ~order:4) in
+    let c = Repro_core.Handle.ctx ~slot:0 in
+    Trace.replay h c ops
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "replay deterministic" true (a = b);
+  (* identical trace on two different trees gives identical answers *)
+  let ly = Tree_intf.(lehman_yao.make ~order:4) in
+  let c = Repro_core.Handle.ctx ~slot:0 in
+  Alcotest.(check bool) "trees agree on trace" true (Trace.replay ly c ops = a)
+
+let suite =
+  [
+    Alcotest.test_case "trace file roundtrip" `Quick test_roundtrip_file;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse error located" `Quick test_parse_error;
+    Alcotest.test_case "generate/replay deterministic" `Quick
+      test_generate_replay_deterministic;
+  ]
