@@ -489,7 +489,44 @@ let e9 () =
         ("zipf(0.99)", Repro_util.Distribution.Zipfian 0.99);
       ]
   in
-  Report.table ~header:[ "read dist"; "pool frames"; "hit ratio"; "searches/s" ] rows
+  Report.table ~header:[ "read dist"; "pool frames"; "hit ratio"; "searches/s" ] rows;
+  Report.note
+    "Same hierarchy under the concurrent tree: Sagiv over the in-memory \
+     Store vs over Paged_store (codec + pool + eviction), 4 domains, \
+     50/50 search/insert, node cache swept.";
+  let domains = 4 in
+  let ops_per_domain = scale 40_000 in
+  let space = scale 100_000 in
+  let spec = Workload.spec ~op_mix:Workload.balanced ~key_space:space ~preload:(space / 2) () in
+  let measure h =
+    ignore (Driver.preload h ~seed:42 spec);
+    let r = Driver.run_ops h ~domains ~ops_per_domain ~seed:42 spec in
+    Report.fmt_si r.Driver.throughput ^ "/s"
+  in
+  let mem_row =
+    let h = (Tree_intf.sagiv ()).Tree_intf.make ~order:16 in
+    [ "sagiv (mem)"; "-"; measure h; "-"; "-" ]
+  in
+  let disk_rows =
+    List.map
+      (fun cache_pages ->
+        let store = Tree_intf.Paged_int.create_memory ~cache_pages () in
+        let t = Tree_intf.Sagiv_disk.create ~order:16 ~store () in
+        let h = Tree_intf.(of_ops ~name:"sagiv-disk" (module Sagiv_disk) t) in
+        let tput = measure h in
+        let s = Tree_intf.Paged_int.pool_stats store in
+        [
+          "sagiv (disk)";
+          string_of_int cache_pages;
+          tput;
+          string_of_int s.Buffer_pool.misses;
+          string_of_int s.Buffer_pool.writebacks;
+        ])
+      [ 64; 512; 4096 ]
+  in
+  Report.table
+    ~header:[ "tree"; "node cache"; "ops/s"; "faults"; "writebacks" ]
+    (mem_row :: disk_rows)
 
 (* ------------------------------------------------------------------ *)
 (* E10: YCSB-style workloads across the trees                          *)

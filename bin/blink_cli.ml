@@ -19,14 +19,24 @@ module V = Validate.Make (Key.Int)
 module D = Dump.Make (Key.Int)
 module Snap = Snapshot.Make (Key.Int)
 
-let impl_of_name = function
-  | "sagiv" -> Tree_intf.sagiv ()
-  | "sagiv-compact" -> Tree_intf.sagiv ~enqueue_on_delete:true ()
-  | "lehman-yao" | "ly" -> Tree_intf.lehman_yao
-  | "lock-couple" | "lc" -> Tree_intf.lock_couple
-  | "lc-optimistic" | "lco" -> Tree_intf.lock_couple_optimistic
-  | "coarse" -> Tree_intf.coarse
-  | s -> failwith (Printf.sprintf "unknown tree %S" s)
+(* The same operation modules over the disk backend, for --backend disk. *)
+module Co_disk = Compactor.Make_on_store (Key.Int) (Tree_intf.Paged_int)
+module V_disk = Validate.Make_on_store (Key.Int) (Tree_intf.Paged_int)
+
+let impl_of_name ~backend name =
+  match (backend, name) with
+  | "mem", "sagiv" -> Tree_intf.sagiv ()
+  | "mem", "sagiv-compact" -> Tree_intf.sagiv ~enqueue_on_delete:true ()
+  | "disk", "sagiv" -> Tree_intf.sagiv_disk ()
+  | "disk", "sagiv-compact" -> Tree_intf.sagiv_disk ~enqueue_on_delete:true ()
+  | "disk", s ->
+      failwith (Printf.sprintf "tree %S has no disk backend (only sagiv does)" s)
+  | "mem", "lehman-yao" | "mem", "ly" -> Tree_intf.lehman_yao
+  | "mem", "lock-couple" | "mem", "lc" -> Tree_intf.lock_couple
+  | "mem", "lc-optimistic" | "mem", "lco" -> Tree_intf.lock_couple_optimistic
+  | "mem", "coarse" -> Tree_intf.coarse
+  | "mem", s -> failwith (Printf.sprintf "unknown tree %S" s)
+  | b, _ -> failwith (Printf.sprintf "unknown backend %S (mem or disk)" b)
 
 let mix_of_name = function
   | "search" -> Workload.search_only
@@ -46,52 +56,67 @@ let dist_of_name = function
 
 (* -- run -- *)
 
-let run_cmd tree_name mix_name dist_name domains ops key_space preload order seed
-    compactors validate latency =
-  let impl = impl_of_name tree_name in
+let run_cmd tree_name backend mix_name dist_name domains ops key_space preload order
+    seed compactors validate latency =
+  let impl = impl_of_name ~backend tree_name in
   let spec =
     Workload.spec ~op_mix:(mix_of_name mix_name) ~key_space ~dist:(dist_of_name dist_name)
       ~preload ()
   in
-  Printf.printf "tree=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d\n%!"
-    impl.Tree_intf.impl_name mix_name dist_name domains ops key_space preload order;
+  Printf.printf
+    "tree=%s backend=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d\n%!"
+    impl.Tree_intf.impl_name backend mix_name dist_name domains ops key_space preload
+    order;
   let needs_raw = compactors > 0 || (validate && tree_name <> "lehman-yao") in
   if needs_raw && not (String.length tree_name >= 5 && String.sub tree_name 0 5 = "sagiv")
   then failwith "--compactors/--validate require a sagiv tree";
   if needs_raw then begin
-    let raw, h =
-      Tree_intf.sagiv_raw ~enqueue_on_delete:(compactors > 0 || tree_name = "sagiv-compact")
-        ~order ()
+    let enqueue_on_delete = compactors > 0 || tree_name = "sagiv-compact" in
+    let finish (r, comp) check =
+      Printf.printf "elapsed %.3fs, %s ops/s\n" r.Driver.elapsed_s
+        (Report.fmt_si r.Driver.throughput);
+      Printf.printf "workers:    %s\n" (Stats.to_string r.Driver.stats);
+      (match r.Driver.latency with
+      | Some h -> Printf.printf "latency:    %s\n" (Driver.percentiles_line h)
+      | None -> ());
+      if compactors > 0 then Printf.printf "compactors: %s\n" (Stats.to_string comp);
+      if validate then begin
+        let rep = check () in
+        if Validate.ok rep then
+          Printf.printf "validate: OK (height=%d nodes=%d keys=%d)\n" rep.Validate.height
+            rep.Validate.total_nodes rep.Validate.total_keys
+        else begin
+          Printf.printf "validate: FAILED\n";
+          List.iter (fun e -> Printf.printf "  %s\n" e) rep.Validate.errors;
+          exit 1
+        end
+      end
     in
-    let n = Driver.preload h ~seed spec in
-    Printf.printf "preloaded %d keys\n%!" n;
-    let r, comp =
+    let measure h run_workers =
+      let n = Driver.preload h ~seed spec in
+      Printf.printf "preloaded %d keys\n%!" n;
       if compactors = 0 then
         ( Driver.run_ops ~measure_latency:latency h ~domains ~ops_per_domain:ops ~seed
             spec,
           Stats.create () )
-      else
-        Driver.run_ops_with_compaction raw h ~domains ~compactors ~ops_per_domain:ops
-          ~seed spec
+      else run_workers ()
     in
-    Printf.printf "elapsed %.3fs, %s ops/s\n" r.Driver.elapsed_s
-      (Report.fmt_si r.Driver.throughput);
-    Printf.printf "workers:    %s\n" (Stats.to_string r.Driver.stats);
-    (match r.Driver.latency with
-    | Some h -> Printf.printf "latency:    %s\n" (Driver.percentiles_line h)
-    | None -> ());
-    if compactors > 0 then Printf.printf "compactors: %s\n" (Stats.to_string comp);
-    if validate then begin
-      let rep = V.check raw in
-      if Validate.ok rep then
-        Printf.printf "validate: OK (height=%d nodes=%d keys=%d)\n" rep.Validate.height
-          rep.Validate.total_nodes rep.Validate.total_keys
-      else begin
-        Printf.printf "validate: FAILED\n";
-        List.iter (fun e -> Printf.printf "  %s\n" e) rep.Validate.errors;
-        exit 1
-      end
-    end
+    match backend with
+    | "mem" ->
+        let raw, h = Tree_intf.sagiv_raw ~enqueue_on_delete ~order () in
+        finish
+          (measure h (fun () ->
+               Driver.run_ops_with_compaction raw h ~domains ~compactors
+                 ~ops_per_domain:ops ~seed spec))
+          (fun () -> V.check raw)
+    | _ ->
+        let raw, h = Tree_intf.sagiv_disk_raw ~enqueue_on_delete ~order () in
+        finish
+          (measure h (fun () ->
+               Driver.run_ops_with_workers h ~domains ~workers:compactors
+                 ~worker:(fun ~stop ctx -> Co_disk.run_worker raw ctx ~stop)
+                 ~ops_per_domain:ops ~seed spec))
+          (fun () -> V_disk.check raw)
   end
   else begin
     let h = impl.Tree_intf.make ~order in
@@ -236,6 +261,12 @@ let tree_arg =
        & info [ "tree"; "t" ] ~docv:"TREE"
            ~doc:"Tree: sagiv, sagiv-compact, lehman-yao, lock-couple, lc-optimistic, coarse.")
 
+let backend_arg =
+  Arg.(value & opt string "mem"
+       & info [ "backend"; "b" ] ~docv:"BACKEND"
+           ~doc:"Page store backend: mem (in-memory store) or disk \
+                 (buffer-pooled paged store; sagiv trees only).")
+
 let mix_arg =
   Arg.(value & opt string "balanced"
        & info [ "mix"; "m" ] ~docv:"MIX"
@@ -273,8 +304,9 @@ let latency_arg =
 
 let run_t =
   Term.(
-    const run_cmd $ tree_arg $ mix_arg $ dist_arg $ domains_arg $ ops_arg $ space_arg
-    $ preload_arg $ order_arg $ seed_arg $ compactors_arg $ validate_arg $ latency_arg)
+    const run_cmd $ tree_arg $ backend_arg $ mix_arg $ dist_arg $ domains_arg $ ops_arg
+    $ space_arg $ preload_arg $ order_arg $ seed_arg $ compactors_arg $ validate_arg
+    $ latency_arg)
 
 let n_arg = Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
 

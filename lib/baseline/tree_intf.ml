@@ -1,6 +1,5 @@
-(** First-class uniform interface over the four concurrent trees
-    (int keys), so the workload driver and the benches can sweep
-    implementations. *)
+(** First-class uniform interface over the concurrent trees (int keys),
+    so the workload driver and the benches can sweep implementations. *)
 
 open Repro_core
 
@@ -15,7 +14,35 @@ type handle = {
 
 type impl = { impl_name : string; make : order:int -> handle }
 
+(** What a tree must provide to be wrapped into a {!handle}: the common
+    shape every backend's functor output already has. Backends whose
+    operations carry extra variants (e.g. the optimistic / preemptive
+    lock-couplers) conform through a small inline module literal. *)
+module type TREE_OPS = sig
+  type t
+
+  val search : t -> Handle.ctx -> int -> int option
+  val insert : t -> Handle.ctx -> int -> int -> [ `Ok | `Duplicate ]
+  val delete : t -> Handle.ctx -> int -> bool
+  val cardinal : t -> int
+  val height : t -> int
+end
+
+(** Close a tree value over its operations: the one place the [handle]
+    record is built, so a new backend registers in ~5 lines. *)
+let of_ops (type a) ~name (module M : TREE_OPS with type t = a) (t : a) =
+  {
+    name;
+    search = M.search t;
+    insert = M.insert t;
+    delete = M.delete t;
+    cardinal = (fun () -> M.cardinal t);
+    height = (fun () -> M.height t);
+  }
+
 module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
+module Paged_int = Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
+module Sagiv_disk = Sagiv.Make_on_store (Repro_storage.Key.Int) (Paged_int)
 module Ly_int = Lehman_yao.Make (Repro_storage.Key.Int)
 module Lc_int = Lock_couple.Make (Repro_storage.Key.Int)
 module Coarse_int = Coarse.Make (Repro_storage.Key.Int)
@@ -25,45 +52,49 @@ let sagiv ?(enqueue_on_delete = false) () =
     impl_name = "sagiv";
     make =
       (fun ~order ->
-        let t = Sagiv_int.create ~order ~enqueue_on_delete () in
-        {
-          name = "sagiv";
-          search = Sagiv_int.search t;
-          insert = Sagiv_int.insert t;
-          delete = Sagiv_int.delete t;
-          cardinal = (fun () -> Sagiv_int.cardinal t);
-          height = (fun () -> Sagiv_int.height t);
-        });
+        of_ops ~name:"sagiv" (module Sagiv_int)
+          (Sagiv_int.create ~order ~enqueue_on_delete ()));
   }
 
 (** Like {!sagiv} but also hands back the raw tree, for benches that run
     compaction workers alongside. *)
 let sagiv_raw ?(enqueue_on_delete = false) ~order () =
   let t = Sagiv_int.create ~order ~enqueue_on_delete () in
-  ( t,
-    {
-      name = "sagiv";
-      search = Sagiv_int.search t;
-      insert = Sagiv_int.insert t;
-      delete = Sagiv_int.delete t;
-      cardinal = (fun () -> Sagiv_int.cardinal t);
-      height = (fun () -> Sagiv_int.height t);
-    } )
+  (t, of_ops ~name:"sagiv" (module Sagiv_int) t)
+
+(** The same Sagiv tree over the durable {!Repro_storage.Paged_store}
+    (memory-backed paged file: full pager stack, no filesystem). *)
+let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages () =
+  {
+    impl_name = "sagiv-disk";
+    make =
+      (fun ~order ->
+        let store =
+          match cache_pages with
+          | None -> Paged_int.create_memory ()
+          | Some cache_pages -> Paged_int.create_memory ~cache_pages ()
+        in
+        of_ops ~name:"sagiv-disk" (module Sagiv_disk)
+          (Sagiv_disk.create ~order ~enqueue_on_delete ~store ()));
+  }
+
+(** Like {!sagiv_raw} for the disk backend: hands back the raw tree for
+    compaction workers and validation. *)
+let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ~order () =
+  let store =
+    match cache_pages with
+    | None -> Paged_int.create_memory ()
+    | Some cache_pages -> Paged_int.create_memory ~cache_pages ()
+  in
+  let t = Sagiv_disk.create ~order ~enqueue_on_delete ~store () in
+  (t, of_ops ~name:"sagiv-disk" (module Sagiv_disk) t)
 
 let lehman_yao =
   {
     impl_name = "lehman-yao";
     make =
       (fun ~order ->
-        let t = Ly_int.create ~order () in
-        {
-          name = "lehman-yao";
-          search = Ly_int.search t;
-          insert = Ly_int.insert t;
-          delete = Ly_int.delete t;
-          cardinal = (fun () -> Ly_int.cardinal t);
-          height = (fun () -> Ly_int.height t);
-        });
+        of_ops ~name:"lehman-yao" (module Ly_int) (Ly_int.create ~order ()));
   }
 
 let lock_couple =
@@ -71,15 +102,7 @@ let lock_couple =
     impl_name = "lock-couple";
     make =
       (fun ~order ->
-        let t = Lc_int.create ~order () in
-        {
-          name = "lock-couple";
-          search = Lc_int.search t;
-          insert = Lc_int.insert t;
-          delete = Lc_int.delete t;
-          cardinal = (fun () -> Lc_int.cardinal t);
-          height = (fun () -> Lc_int.height t);
-        });
+        of_ops ~name:"lock-couple" (module Lc_int) (Lc_int.create ~order ()));
   }
 
 (** Bayer–Schkolnick's improved protocol: optimistic writers (shared
@@ -89,15 +112,14 @@ let lock_couple_optimistic =
     impl_name = "lc-optimistic";
     make =
       (fun ~order ->
-        let t = Lc_int.create ~order () in
-        {
-          name = "lc-optimistic";
-          search = Lc_int.search t;
-          insert = Lc_int.insert_optimistic t;
-          delete = Lc_int.delete_optimistic t;
-          cardinal = (fun () -> Lc_int.cardinal t);
-          height = (fun () -> Lc_int.height t);
-        });
+        of_ops ~name:"lc-optimistic"
+          (module struct
+            include Lc_int
+
+            let insert = Lc_int.insert_optimistic
+            let delete = Lc_int.delete_optimistic
+          end)
+          (Lc_int.create ~order ()));
   }
 
 (** Top-down preemptive splitting (Guibas–Sedgewick style): full nodes
@@ -107,15 +129,14 @@ let lock_couple_preemptive =
     impl_name = "lc-preemptive";
     make =
       (fun ~order ->
-        let t = Lc_int.create ~order () in
-        {
-          name = "lc-preemptive";
-          search = Lc_int.search t;
-          insert = Lc_int.insert_preemptive t;
-          delete = Lc_int.delete_optimistic t;
-          cardinal = (fun () -> Lc_int.cardinal t);
-          height = (fun () -> Lc_int.height t);
-        });
+        of_ops ~name:"lc-preemptive"
+          (module struct
+            include Lc_int
+
+            let insert = Lc_int.insert_preemptive
+            let delete = Lc_int.delete_optimistic
+          end)
+          (Lc_int.create ~order ()));
   }
 
 let coarse =
@@ -123,15 +144,16 @@ let coarse =
     impl_name = "coarse";
     make =
       (fun ~order ->
-        let t = Coarse_int.create ~order () in
-        {
-          name = "coarse";
-          search = Coarse_int.search t;
-          insert = Coarse_int.insert t;
-          delete = Coarse_int.delete t;
-          cardinal = (fun () -> Coarse_int.cardinal t);
-          height = (fun () -> Coarse_int.height t);
-        });
+        of_ops ~name:"coarse" (module Coarse_int) (Coarse_int.create ~order ()));
   }
 
-let all = [ sagiv (); lehman_yao; lock_couple; lock_couple_optimistic; lock_couple_preemptive; coarse ]
+let all =
+  [
+    sagiv ();
+    sagiv_disk ();
+    lehman_yao;
+    lock_couple;
+    lock_couple_optimistic;
+    lock_couple_preemptive;
+    coarse;
+  ]

@@ -1,5 +1,5 @@
-(** First-class uniform interface over the four concurrent trees (int
-    keys), for the workload driver and the benches. *)
+(** First-class uniform interface over the concurrent trees (int keys),
+    for the workload driver and the benches. *)
 
 open Repro_core
 
@@ -14,12 +14,49 @@ type handle = {
 
 type impl = { impl_name : string; make : order:int -> handle }
 
+(** The common operation shape a backend exposes to be wrapped. *)
+module type TREE_OPS = sig
+  type t
+
+  val search : t -> Handle.ctx -> int -> int option
+  val insert : t -> Handle.ctx -> int -> int -> [ `Ok | `Duplicate ]
+  val delete : t -> Handle.ctx -> int -> bool
+  val cardinal : t -> int
+  val height : t -> int
+end
+
+val of_ops : name:string -> (module TREE_OPS with type t = 'a) -> 'a -> handle
+(** Close a tree value over its operations — the only constructor of
+    {!handle}, so a new backend registers in a few lines. *)
+
+module Paged_int : module type of Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
+(** The durable int-keyed page store the disk impls run on. *)
+
+module Sagiv_disk :
+    module type of Sagiv.Make_on_store (Repro_storage.Key.Int) (Paged_int)
+(** The Sagiv tree instantiated over {!Paged_int}. *)
+
 val sagiv : ?enqueue_on_delete:bool -> unit -> impl
 
 val sagiv_raw :
-  ?enqueue_on_delete:bool -> order:int -> unit -> int Handle.t * handle
+  ?enqueue_on_delete:bool ->
+  order:int ->
+  unit ->
+  (int, int Repro_storage.Store.t) Handle.t * handle
 (** Like {!sagiv} but also hands back the raw tree, for running
     compaction workers or validation alongside. *)
+
+val sagiv_disk : ?enqueue_on_delete:bool -> ?cache_pages:int -> unit -> impl
+(** {!sagiv} over {!Repro_storage.Paged_store} (memory-backed paged
+    file: codec + buffer pool + eviction, no filesystem). *)
+
+val sagiv_disk_raw :
+  ?enqueue_on_delete:bool ->
+  ?cache_pages:int ->
+  order:int ->
+  unit ->
+  (int, Paged_int.t) Handle.t * handle
+(** {!sagiv_raw} for the disk backend. *)
 
 val lehman_yao : impl
 val lock_couple : impl
@@ -35,4 +72,4 @@ val lock_couple_preemptive : impl
 val coarse : impl
 
 val all : impl list
-(** All six implementations, Sagiv first. *)
+(** All implementations, Sagiv (memory then disk) first. *)

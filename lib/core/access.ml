@@ -24,11 +24,11 @@ open Repro_storage
     run only. *)
 let backtrack_on_restart = ref true
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
   open Handle
 
-  type tree = K.t Handle.t
+  type tree = (K.t, S.t) Handle.t
 
   let bcompare = N.bcompare
 
@@ -38,19 +38,19 @@ module Make (K : Key.S) = struct
 
   let get (t : tree) (ctx : ctx) ptr =
     ctx.stats.Stats.gets <- ctx.stats.Stats.gets + 1;
-    Store.get t.store ptr
+    S.get t.store ptr
 
   let put (t : tree) (ctx : ctx) ptr n =
     ctx.stats.Stats.puts <- ctx.stats.Stats.puts + 1;
-    Store.put t.store ptr n
+    S.put t.store ptr n
 
   let lock (t : tree) (ctx : ctx) ptr =
-    Store.lock t.store ptr;
+    S.lock t.store ptr;
     Stats.on_lock ctx.stats
 
   let unlock (t : tree) (ctx : ctx) ptr =
     Stats.on_unlock ctx.stats;
-    Store.unlock t.store ptr
+    S.unlock t.store ptr
 
   (* Follow tombstone forwarding until a live node at the expected level.
      A chain that leaves the level (a removed root forwards downwards) or
@@ -103,7 +103,7 @@ module Make (K : Key.S) = struct
     end
     else
       try down t ctx target ~to_level (Prime_block.root prime) ~from_level:(height - 1) []
-      with Restart | Store.Freed_page _ ->
+      with Restart | Page_store.Freed_page _ ->
         ctx.stats.Stats.restarts <- ctx.stats.Stats.restarts + 1;
         Repro_util.Backoff.once backoff;
         from_root t ctx target ~to_level ~on_missing backoff
@@ -119,7 +119,7 @@ module Make (K : Key.S) = struct
         from_root t ctx target ~to_level ~on_missing (Repro_util.Backoff.create ())
     | p :: rest -> (
         match
-          (try `Node (get t ctx p) with Store.Freed_page _ -> `Bad)
+          (try `Node (get t ctx p) with Page_store.Freed_page _ -> `Bad)
         with
         | `Bad -> reenter t ctx target ~to_level ~on_missing rest
         | `Node n ->
@@ -129,7 +129,7 @@ module Make (K : Key.S) = struct
             then reenter t ctx target ~to_level ~on_missing rest
             else (
               try down t ctx target ~to_level p ~from_level:n.Node.level rest
-              with Restart | Store.Freed_page _ ->
+              with Restart | Page_store.Freed_page _ ->
                 ctx.stats.Stats.restarts <- ctx.stats.Stats.restarts + 1;
                 reenter t ctx target ~to_level ~on_missing rest))
 
@@ -157,7 +157,7 @@ module Make (K : Key.S) = struct
              match n.Node.link with Some p -> `Right p | None -> `Restart
            end
            else `Candidate ptr
-         with Restart | Store.Freed_page _ -> `Restart)
+         with Restart | Page_store.Freed_page _ -> `Restart)
       with
       | `Right p -> from_hint p stack
       | `Candidate ptr -> try_lock_at ptr stack
@@ -189,3 +189,7 @@ module Make (K : Key.S) = struct
     in
     match start with Some p -> from_hint p stack | None -> relocate stack
 end
+
+(** The access module over the in-memory {!Store} (the historical
+    interface; most callers use this through {!Sagiv.Make}). *)
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -12,10 +12,10 @@ open Repro_storage
     refinement so restarts always return to the root. Set before a run. *)
 val backtrack_on_restart : bool ref
 
-module Make (K : Key.S) : sig
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
   module N : module type of Node.Make (K)
 
-  type tree = K.t Handle.t
+  type tree = (K.t, S.t) Handle.t
 
   val bcompare : K.t Bound.t -> K.t Bound.t -> int
 
@@ -63,3 +63,6 @@ module Make (K : Key.S) : sig
       [v <= low] ⇒ unlock and restart). [start] is a hint pointer believed
       to be at [level], at or left of the target. *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))
+(** The navigation module over the in-memory {!Store}. *)

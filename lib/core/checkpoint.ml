@@ -52,7 +52,7 @@ let chain_read (pf : Paged_file.t) ~first ~total : Bytes.t =
   go first 0;
   out
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module C = Page_codec.Make (K)
 
   (* Header layout (page 0):
@@ -93,7 +93,11 @@ module Make (K : Key.S) = struct
     (order, levels, node_count, stream_first, stream_len, leftmost)
 
   (** Write a quiescent tree into [pf] (page 0 becomes the header). *)
-  let save (t : K.t Handle.t) (pf : Paged_file.t) =
+  let save (t : (K.t, S.t) Handle.t) (pf : Paged_file.t) =
+    (* The chain walk below assumes no concurrent restructuring; an epoch
+       pin is cheap, definite evidence an operation is in flight. *)
+    if Epoch.min_pinned t.Handle.epoch <> max_int then
+      invalid_arg "Checkpoint.save: tree not quiescent (operation in flight)";
     let prime = Prime_block.read t.Handle.prime in
     let levels = prime.Prime_block.levels in
     (* reserve the header page *)
@@ -108,7 +112,7 @@ module Make (K : Key.S) = struct
       | None -> raise (Corrupt "missing level during save")
       | Some p ->
           let rec go ptr =
-            let n = Store.get t.Handle.store ptr in
+            let n = S.get t.Handle.store ptr in
             Buffer.add_int64_le buf (Int64.of_int ptr);
             C.encode buf n;
             incr count;
@@ -124,12 +128,12 @@ module Make (K : Key.S) = struct
     Paged_file.sync pf
 
   (** Rebuild a tree from a checkpoint, remapping page ids. *)
-  let load (pf : Paged_file.t) : K.t Handle.t =
+  let load (pf : Paged_file.t) : (K.t, S.t) Handle.t =
     let order, levels, node_count, stream_first, stream_len, old_leftmost =
       read_header pf
     in
     let payload = chain_read pf ~first:stream_first ~total:stream_len in
-    let store = Store.create () in
+    let store = S.create () in
     let remap = Hashtbl.create (2 * node_count) in
     let all = ref [] in
     let pos = ref 0 in
@@ -138,7 +142,7 @@ module Make (K : Key.S) = struct
       pos := !pos + 8;
       let n, pos' = C.decode payload ~pos:!pos in
       pos := pos';
-      let fresh = Store.alloc store n in
+      let fresh = S.alloc store n in
       Hashtbl.replace remap old_ptr fresh;
       all := (fresh, n) :: !all
     done;
@@ -152,7 +156,7 @@ module Make (K : Key.S) = struct
       (fun (fresh, n) ->
         let ptrs = if Node.is_leaf n then n.Node.ptrs else Array.map map_ptr n.Node.ptrs in
         let link = Option.map map_ptr n.Node.link in
-        Store.put store fresh { n with Node.ptrs; link })
+        S.put store fresh { n with Node.ptrs; link })
       !all;
     let leftmost = Array.map map_ptr old_leftmost in
     {
@@ -164,3 +168,5 @@ module Make (K : Key.S) = struct
       enqueue_on_delete = false;
     }
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -7,11 +7,14 @@ open Repro_storage
 
 exception Corrupt of string
 
-module Make (K : Key.S) : sig
-  val save : K.t Handle.t -> Paged_file.t -> unit
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
+  val save : (K.t, S.t) Handle.t -> Paged_file.t -> unit
   (** Write the tree into the paged file (page 0 becomes the header) and
       sync it. The tree must be quiescent. *)
 
-  val load : Paged_file.t -> K.t Handle.t
-  (** @raise Corrupt on a damaged checkpoint. *)
+  val load : Paged_file.t -> (K.t, S.t) Handle.t
+  (** Rebuilds into a fresh [S.create ()] store.
+      @raise Corrupt on a damaged checkpoint. *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

@@ -17,10 +17,10 @@
 
 open Repro_storage
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
-  module A = Access.Make (K)
-  module R = Restructure.Make (K)
+  module A = Access.Make_on_store (K) (S)
+  module R = Restructure.Make_on_store (K) (S)
   open Handle
 
   let bcompare = N.bcompare
@@ -43,10 +43,10 @@ module Make (K : Key.S) = struct
 
   (* Process entry [e]: the §5.4 state machine. Called with the epoch
      pinned. *)
-  let rec process (t : K.t Handle.t) (ctx : ctx) ~queue (e : K.t Cqueue.entry) : step =
+  let rec process (t : (K.t, S.t) Handle.t) (ctx : ctx) ~queue (e : K.t Cqueue.entry) : step =
     let ap = e.Cqueue.ptr in
     (* Quick unlocked peek: the node may be gone, reused, or full again. *)
-    match (try `Node (Store.get t.store ap) with Store.Freed_page _ -> `Freed) with
+    match (try `Node (S.get t.store ap) with Page_store.Freed_page _ -> `Freed) with
     | `Freed -> discard ctx
     | `Node a0 ->
         if
@@ -81,7 +81,7 @@ module Make (K : Key.S) = struct
     | Some _ | None -> (
         (* F does not have the pair (p, v). *)
         A.unlock t ctx fptr;
-        match (try `Node (Store.get t.store ap) with Store.Freed_page _ -> `Freed) with
+        match (try `Node (S.get t.store ap) with Page_store.Freed_page _ -> `Freed) with
         | `Freed -> discard ctx
         | `Node a ->
             if Node.is_deleted a then discard ctx
@@ -126,7 +126,7 @@ module Make (K : Key.S) = struct
     else if j < nchildren - 1 then begin
       (* Case (1): right neighbour. *)
       A.lock t ctx ap;
-      let a = Store.get t.store ap in
+      let a = S.get t.store ap in
       if Node.is_deleted a then begin
         A.unlock t ctx ap;
         A.unlock t ctx fptr;
@@ -142,7 +142,7 @@ module Make (K : Key.S) = struct
             match N.child_slot f two_ptr with
             | Some right_slot ->
                 A.lock t ctx two_ptr;
-                let b = Store.get t.store two_ptr in
+                let b = S.get t.store two_ptr in
                 let outcome =
                   R.rearrange t ctx ~queue ~fptr ~f ~right_slot ~one_ptr:ap ~a ~two_ptr
                     ~b ~enqueue_children:true ~stack:e.Cqueue.stack ()
@@ -171,10 +171,10 @@ module Make (K : Key.S) = struct
     let ap = e.Cqueue.ptr in
     let bl = f.Node.ptrs.(j - 1) in
     A.lock t ctx bl;
-    let bn = Store.get t.store bl in
+    let bn = S.get t.store bl in
     if (not (Node.is_deleted bn)) && bn.Node.link = Some ap then begin
       if not a_locked then A.lock t ctx ap;
-      let a = Store.get t.store ap in
+      let a = S.get t.store ap in
       if Node.is_deleted a then begin
         A.unlock t ctx ap;
         A.unlock t ctx bl;
@@ -194,7 +194,7 @@ module Make (K : Key.S) = struct
          requeue. If we hold A's lock, refresh the queued info. *)
       A.unlock t ctx bl;
       if a_locked then begin
-        let a = Store.get t.store ap in
+        let a = S.get t.store ap in
         requeue ctx queue ~update:true e ~high:a.Node.high;
         A.unlock t ctx ap
       end
@@ -205,7 +205,7 @@ module Make (K : Key.S) = struct
 
   (** Pop and process one entry from [queue] (default: the tree's shared
       queue, §5.4 arrangement (2)). *)
-  let step ?queue (t : K.t Handle.t) (ctx : ctx) : step =
+  let step ?queue (t : (K.t, S.t) Handle.t) (ctx : ctx) : step =
     let queue = match queue with Some q -> q | None -> t.queue in
     match Cqueue.pop queue with
     | None -> Empty
@@ -218,7 +218,7 @@ module Make (K : Key.S) = struct
       the private queue is empty. Runs concurrently with everything else;
       [max_steps] bounds livelock against a hostile interleaving. Returns
       the number of merges+redistributions performed. *)
-  let compact_node ?(max_steps = 100_000) (t : K.t Handle.t) (ctx : ctx) ~ptr ~level
+  let compact_node ?(max_steps = 100_000) (t : (K.t, S.t) Handle.t) (ctx : ctx) ~ptr ~level
       ~high ~stack =
     let queue : K.t Cqueue.t = Cqueue.create () in
     Cqueue.push queue ~update:true ~ptr ~level ~high ~stack ~stamp:0;
@@ -236,7 +236,7 @@ module Make (K : Key.S) = struct
 
   (** Drain the queue (e.g. after a quiescent delete phase). Requeued
       entries are retried; [max_steps] bounds pathological schedules. *)
-  let run_until_empty ?(max_steps = 10_000_000) (t : K.t Handle.t) (ctx : ctx) =
+  let run_until_empty ?(max_steps = 10_000_000) (t : (K.t, S.t) Handle.t) (ctx : ctx) =
     let rec go n =
       if n >= max_steps then `Step_limit
       else
@@ -248,7 +248,7 @@ module Make (K : Key.S) = struct
 
   (** Background worker: process entries until [stop] is set, backing off
       while the queue is empty. *)
-  let run_worker (t : K.t Handle.t) (ctx : ctx) ~(stop : bool Atomic.t) =
+  let run_worker (t : (K.t, S.t) Handle.t) (ctx : ctx) ~(stop : bool Atomic.t) =
     let backoff = Repro_util.Backoff.create () in
     while not (Atomic.get stop) do
       match step t ctx with
@@ -258,3 +258,5 @@ module Make (K : Key.S) = struct
       | Compressed | Collapsed | Requeued | Discarded -> Repro_util.Backoff.reset backoff
     done
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -8,7 +8,7 @@
 
 open Repro_storage
 
-module Make (K : Key.S) : sig
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
   type step =
     | Empty  (** the queue was empty *)
     | Compressed  (** merged or redistributed a pair *)
@@ -16,13 +16,13 @@ module Make (K : Key.S) : sig
     | Requeued
     | Discarded  (** stale entry dropped *)
 
-  val step : ?queue:K.t Cqueue.t -> K.t Handle.t -> Handle.ctx -> step
+  val step : ?queue:K.t Cqueue.t -> (K.t, S.t) Handle.t -> Handle.ctx -> step
   (** Pop and process one entry from [queue] (default: the tree's shared
       queue — §5.4 arrangement (2)). *)
 
   val compact_node :
     ?max_steps:int ->
-    K.t Handle.t ->
+    (K.t, S.t) Handle.t ->
     Handle.ctx ->
     ptr:Node.ptr ->
     level:int ->
@@ -34,10 +34,12 @@ module Make (K : Key.S) : sig
       until the private queue drains. Returns merges+redistributions. *)
 
   val run_until_empty :
-    ?max_steps:int -> K.t Handle.t -> Handle.ctx -> [ `Drained | `Step_limit ]
+    ?max_steps:int -> (K.t, S.t) Handle.t -> Handle.ctx -> [ `Drained | `Step_limit ]
   (** Drain the shared queue (retrying requeued entries). *)
 
-  val run_worker : K.t Handle.t -> Handle.ctx -> stop:bool Atomic.t -> unit
+  val run_worker : (K.t, S.t) Handle.t -> Handle.ctx -> stop:bool Atomic.t -> unit
   (** Background worker loop: process entries until [stop], backing off
       while the queue is empty. Spawn any number of these (Theorem 2). *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

@@ -20,10 +20,10 @@
 
 open Repro_storage
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
-  module A = Access.Make (K)
-  module R = Restructure.Make (K)
+  module A = Access.Make_on_store (K) (S)
+  module R = Restructure.Make_on_store (K) (S)
   open Handle
 
   let bcompare = N.bcompare
@@ -47,7 +47,7 @@ module Make (K : Key.S) = struct
       the paper accepts that "if F has an odd number of children, then the
       last one will not be compressed"; alternating phases removes that
       blind spot across passes while changing nothing else. *)
-  let compress_level ?(phase = 0) (t : K.t Handle.t) (ctx : ctx) ~level =
+  let compress_level ?(phase = 0) (t : (K.t, S.t) Handle.t) (ctx : ctx) ~level =
     let changes = ref 0 in
     let prime = Prime_block.read t.prime in
     match Prime_block.leftmost_at prime ~level:(level + 1) with
@@ -63,7 +63,7 @@ module Make (K : Key.S) = struct
         while !current <> None do
           let fptr = match !current with Some p -> p | None -> assert false in
           A.lock t ctx fptr;
-          let f = Store.get t.store fptr in
+          let f = S.get t.store fptr in
           (match f.Node.state with
           | Node.Deleted fwd ->
               (* Another compression process (queue-driven, or a root
@@ -73,7 +73,7 @@ module Make (K : Key.S) = struct
               let next =
                 if fwd = Node.nil then None
                 else
-                  match (try Some (Store.get t.store fwd) with Store.Freed_page _ -> None) with
+                  match (try Some (S.get t.store fwd) with Page_store.Freed_page _ -> None) with
                   | Some n when n.Node.level = level + 1 -> Some fwd
                   | Some _ | None -> None
               in
@@ -100,7 +100,7 @@ module Make (K : Key.S) = struct
               | Some j ->
                   let one_ptr = f.Node.ptrs.(j) in
                   A.lock t ctx one_ptr;
-                  let a = Store.get t.store one_ptr in
+                  let a = S.get t.store one_ptr in
                   if Node.is_deleted a then begin
                     (* Cannot normally happen while we hold F (pair removal
                        needs F's lock); defensively skip this slot. *)
@@ -119,7 +119,7 @@ module Make (K : Key.S) = struct
                         match slot_of two_ptr with
                         | Some right_slot ->
                             A.lock t ctx two_ptr;
-                            let b = Store.get t.store two_ptr in
+                            let b = S.get t.store two_ptr in
                             let outcome =
                               R.rearrange t ctx ~fptr ~f ~right_slot ~one_ptr ~a ~two_ptr
                                 ~b ~enqueue_children:false ~stack:[] ()
@@ -135,7 +135,7 @@ module Make (K : Key.S) = struct
                             | R.Untouched -> cursor := After two_ptr)
                         | None ->
                             (* B's pair is not (yet) in F. *)
-                            let b = Store.get t.store two_ptr in
+                            let b = S.get t.store two_ptr in
                             let needs_rearranging =
                               Node.is_sparse ~order:t.order a
                               || Node.is_sparse ~order:t.order b
@@ -165,7 +165,7 @@ module Make (K : Key.S) = struct
 
   (** One full compression pass: every level bottom-up, then a root
       collapse attempt. Returns the number of structural changes. *)
-  let compress_pass ?(phase = 0) (t : K.t Handle.t) (ctx : ctx) =
+  let compress_pass ?(phase = 0) (t : (K.t, S.t) Handle.t) (ctx : ctx) =
     Epoch.with_pin t.epoch ~slot:ctx.slot (fun () ->
         let changes = ref 0 in
         let level = ref 0 in
@@ -185,7 +185,7 @@ module Make (K : Key.S) = struct
 
   (** Run passes until none makes a change; returns the number of passes
       that did change something (E7's metric). *)
-  let compress_to_fixpoint ?(max_passes = 1000) (t : K.t Handle.t) (ctx : ctx) =
+  let compress_to_fixpoint ?(max_passes = 1000) (t : (K.t, S.t) Handle.t) (ctx : ctx) =
     (* Alternate pairing phases so that, at the fixpoint, every adjacent
        sibling pair has been examined (see [compress_level]'s [phase]).
        Stop after a changeless pass in EACH phase. *)
@@ -197,3 +197,5 @@ module Make (K : Key.S) = struct
     in
     go 0 0 0
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -5,8 +5,9 @@
 
 open Repro_storage
 
-module Make (K : Key.S) : sig
-  val compress_level : ?phase:int -> K.t Handle.t -> Handle.ctx -> level:int -> int
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
+  val compress_level :
+    ?phase:int -> (K.t, S.t) Handle.t -> Handle.ctx -> level:int -> int
   (** One pass over level [level] (children), driven from level+1
       (parents). Returns the number of merges + redistributions. Pairs
       whose right member's pointer is still pending insertion into the
@@ -15,12 +16,15 @@ module Make (K : Key.S) : sig
       extension beyond Fig 7 that removes the paper's odd-child blind
       spot when phases alternate. *)
 
-  val compress_pass : ?phase:int -> K.t Handle.t -> Handle.ctx -> int
+  val compress_pass : ?phase:int -> (K.t, S.t) Handle.t -> Handle.ctx -> int
   (** All levels bottom-up, then root-collapse attempts. Returns the
       number of structural changes. *)
 
-  val compress_to_fixpoint : ?max_passes:int -> K.t Handle.t -> Handle.ctx -> int
+  val compress_to_fixpoint :
+    ?max_passes:int -> (K.t, S.t) Handle.t -> Handle.ctx -> int
   (** Run alternating-phase passes until one changeless pass in each
       phase; returns how many passes changed something. Emptying a tree
       takes O(log2 n) passes (§5.1, experiment E7). *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

@@ -2,11 +2,11 @@
 
 open Repro_storage
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
   open Handle
 
-  let pp fmt (t : K.t Handle.t) =
+  let pp fmt (t : (K.t, S.t) Handle.t) =
     let prime = Prime_block.read t.prime in
     Format.fprintf fmt "@[<v>tree: height=%d root=%d order=%d@,"
       prime.Prime_block.levels (Prime_block.root prime) t.order;
@@ -17,7 +17,7 @@ module Make (K : Key.S) = struct
       | None -> Format.fprintf fmt "  (missing)@,"
       | Some p ->
           let rec go ptr =
-            match (try Some (Store.get t.store ptr) with Store.Freed_page _ -> None) with
+            match (try Some (S.get t.store ptr) with Page_store.Freed_page _ -> None) with
             | None -> Format.fprintf fmt "  #%d <freed>@," ptr
             | Some n ->
                 Format.fprintf fmt "  #%d %a@," ptr N.pp n;
@@ -32,3 +32,5 @@ module Make (K : Key.S) = struct
   let to_string t = Format.asprintf "%a" pp t
   let print t = print_string (to_string t)
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -2,13 +2,15 @@
 
     The handle is a plain polymorphic record so that the operation modules
     ({!Sagiv}, {!Compress}, {!Compactor}, {!Validate}, {!Dump} — all
-    functors over the key type) act on one common type without functor
-    type-equality plumbing. *)
+    functors over the key type and a {!Repro_storage.Page_store.S}
+    backend) act on one common type without functor type-equality
+    plumbing. ['k] is the key type; ['s] the page store (e.g.
+    [K.t Store.t] in memory, [Paged_store.Make(K).t] on disk). *)
 
 open Repro_storage
 
-type 'k t = {
-  store : 'k Store.t;
+type ('k, 's) t = {
+  store : 's;
   prime : Prime_block.t;
   epoch : Epoch.t;
   order : int;  (** k: minimum pairs per node; capacity is 2k *)

@@ -1,12 +1,14 @@
 (** Shared tree representation: a plain polymorphic record so the
     operation functors ({!Sagiv}, {!Compress}, {!Compactor}, {!Validate},
-    {!Dump}, {!Snapshot}) act on one common type. Treat the fields as
+    {!Dump}, {!Snapshot}) act on one common type. ['k] is the key type,
+    ['s] the {!Repro_storage.Page_store.S} backend's [t] ([K.t Store.t]
+    in memory, [Paged_store.Make(K).t] on disk). Treat the fields as
     read-only unless you are extending the library. *)
 
 open Repro_storage
 
-type 'k t = {
-  store : 'k Store.t;
+type ('k, 's) t = {
+  store : 's;
   prime : Prime_block.t;
   epoch : Epoch.t;
   order : int;  (** the paper's k: nodes hold between k and 2k pairs *)

@@ -13,7 +13,7 @@ module Make (K : Key.S) : sig
   val ctx : slot:int -> ctx
   val create : ?order:int -> ?enqueue_on_delete:bool -> unit -> t
 
-  val tree : t -> K.t Handle.t
+  val tree : t -> (K.t, K.t Store.t) Handle.t
   (** The underlying index, for compaction workers and validation. *)
 
   val get : t -> ctx -> K.t -> string option

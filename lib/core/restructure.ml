@@ -23,9 +23,9 @@ open Repro_storage
     during. *)
 let ablate_losing_child_first = ref false
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
-  module A = Access.Make (K)
+  module A = Access.Make_on_store (K) (S)
   open Handle
 
   type outcome = Merged | Redistributed | Untouched
@@ -111,7 +111,7 @@ module Make (K : Key.S) = struct
   let retire_chain t ctx ~fwd chain =
     List.iter
       (fun ptr ->
-        let n = Store.get t.store ptr in
+        let n = S.get t.store ptr in
         A.put t ctx ptr (N.mark_deleted n ~fwd);
         Cqueue.remove t.queue ptr;
         Epoch.retire t.epoch ptr;
@@ -127,14 +127,14 @@ module Make (K : Key.S) = struct
     assert (Node.nkeys f = 1);
     let left = f.Node.ptrs.(0) and right = f.Node.ptrs.(1) in
     A.lock t ctx left;
-    let ln = Store.get t.store left in
+    let ln = S.get t.store left in
     if Node.is_deleted ln || ln.Node.link <> Some right then begin
       A.unlock t ctx left;
       false
     end
     else begin
       A.lock t ctx right;
-      let rn = Store.get t.store right in
+      let rn = S.get t.store right in
       if Node.is_deleted rn || rn.Node.link <> None || not (N.can_merge ~order:t.order ln rn)
       then begin
         A.unlock t ctx right;
@@ -173,7 +173,7 @@ module Make (K : Key.S) = struct
     let prime = Prime_block.read t.prime in
     let root_ptr = Prime_block.root prime in
     A.lock t ctx root_ptr;
-    let r = Store.get t.store root_ptr in
+    let r = S.get t.store root_ptr in
     if Node.is_deleted r || not r.Node.is_root || Node.is_leaf r then begin
       A.unlock t ctx root_ptr;
       false
@@ -183,7 +183,7 @@ module Make (K : Key.S) = struct
          level (link = nil) and has a single child. *)
       let rec walk locked ptr =
         A.lock t ctx ptr;
-        let n = Store.get t.store ptr in
+        let n = S.get t.store ptr in
         if n.Node.link <> None || Node.is_deleted n then begin
           (* More nodes at this level (pending pair insertions above) —
              cannot collapse; release everything. *)
@@ -220,3 +220,5 @@ module Make (K : Key.S) = struct
       false
     end
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -11,11 +11,11 @@ open Repro_storage
     the advice's effect on reader restarts. Set before a run only. *)
 val ablate_losing_child_first : bool ref
 
-module Make (K : Key.S) : sig
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
   type outcome = Merged | Redistributed | Untouched
 
   val rearrange :
-    K.t Handle.t ->
+    (K.t, S.t) Handle.t ->
     Handle.ctx ->
     ?queue:K.t Cqueue.t ->
     fptr:Node.ptr ->
@@ -37,13 +37,15 @@ module Make (K : Key.S) : sig
       their lock is held. *)
 
   val collapse_two_children :
-    K.t Handle.t -> Handle.ctx -> fptr:Node.ptr -> f:K.t Node.t -> bool
+    (K.t, S.t) Handle.t -> Handle.ctx -> fptr:Node.ptr -> f:K.t Node.t -> bool
   (** Merge the two children of root [f] (locked) into a new root (§5.4).
       On success all locks are consumed; on failure the children are
       unlocked but [fptr] stays locked for the caller's fallback. *)
 
-  val try_collapse_root : K.t Handle.t -> Handle.ctx -> bool
+  val try_collapse_root : (K.t, S.t) Handle.t -> Handle.ctx -> bool
   (** Reduce the height when the root has a single child (walking the
       single-child chain down any number of levels) or two mergeable
       children. [true] when the height changed. *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

@@ -14,12 +14,12 @@
 
 open Repro_storage
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
-  module A = Access.Make (K)
+  module A = Access.Make_on_store (K) (S)
   open Handle
 
-  type t = K.t Handle.t
+  type t = (K.t, S.t) Handle.t
   type nonrec ctx = ctx
 
   let ctx = Handle.ctx
@@ -28,11 +28,15 @@ module Make (K : Key.S) = struct
       every non-root node keeps between k and 2k pairs.
       [enqueue_on_delete] controls whether deletions push sparse leaves
       onto the compression queue (§5.4); leave it off to get exactly the
-      Lehman–Yao deletion regime the paper starts from (§4). *)
-  let create ?(order = 8) ?(enqueue_on_delete = false) () : t =
+      Lehman–Yao deletion regime the paper starts from (§4).
+      [store] supplies the page store (default: a fresh [S.create ()]);
+      it must be empty. *)
+  let create ?(order = 8) ?(enqueue_on_delete = false) ?store () : t =
     if order < 1 then invalid_arg "Sagiv.create: order must be >= 1";
-    let store = Store.create () in
-    let root = Store.alloc store (N.empty_root ()) in
+    let store = match store with Some s -> s | None -> S.create () in
+    if S.live_count store <> 0 then
+      invalid_arg "Sagiv.create: store not empty (use open_existing)";
+    let root = S.alloc store (N.empty_root ()) in
     {
       store;
       prime = Prime_block.create ~root_ptr:root;
@@ -67,7 +71,7 @@ module Make (K : Key.S) = struct
       capacity) and never takes a lock. Orders of magnitude faster than
       repeated {!insert} and yields denser nodes.
       @raise Invalid_argument if the keys are not strictly ascending. *)
-  let of_sorted ?(order = 8) ?(fill = 0.9) (pairs : (K.t * Node.ptr) list) : t =
+  let of_sorted ?(order = 8) ?(fill = 0.9) ?store (pairs : (K.t * Node.ptr) list) : t =
     if order < 1 then invalid_arg "Sagiv.of_sorted: order must be >= 1";
     if fill <= 0.0 || fill > 1.0 then invalid_arg "Sagiv.of_sorted: fill in (0, 1]";
     let rec check_sorted = function
@@ -78,7 +82,9 @@ module Make (K : Key.S) = struct
       | [ _ ] | [] -> ()
     in
     check_sorted pairs;
-    let store = Store.create () in
+    let store = match store with Some s -> s | None -> S.create () in
+    if S.live_count store <> 0 then
+      invalid_arg "Sagiv.of_sorted: store not empty (use open_existing)";
     (* target chunk size: fill fraction of capacity, at least 2 so every
        level strictly shrinks (a cap of 1 would never converge) *)
     let cap = max 2 (max order (int_of_float (fill *. float_of_int (2 * order)))) in
@@ -107,12 +113,12 @@ module Make (K : Key.S) = struct
     (* Leaves. *)
     let leaf_level =
       if total = 0 then begin
-        let p = Store.alloc store (N.empty_root ()) in
+        let p = S.alloc store (N.empty_root ()) in
         [ (p, Bound.Pos_inf) ]
       end
       else begin
         let chunks = split_chunks pairs in
-        let ptrs = List.map (fun _ -> Store.reserve store) chunks in
+        let ptrs = List.map (fun _ -> S.reserve store) chunks in
         let n = List.length chunks in
         let highs =
           List.mapi
@@ -136,7 +142,7 @@ module Make (K : Key.S) = struct
                 state = Node.Live;
               }
             in
-            Store.put store (List.nth ptrs i) node)
+            S.put store (List.nth ptrs i) node)
           chunks;
         List.combine ptrs highs
       end
@@ -148,7 +154,7 @@ module Make (K : Key.S) = struct
       | [ (root_ptr, _) ] -> (root_ptr, List.rev leftmosts)
       | _ ->
           let chunks = split_chunks children in
-          let ptrs = List.map (fun _ -> Store.reserve store) chunks in
+          let ptrs = List.map (fun _ -> S.reserve store) chunks in
           let n = List.length chunks in
           let highs =
             List.map (fun chunk -> snd (List.nth chunk (List.length chunk - 1))) chunks
@@ -172,7 +178,7 @@ module Make (K : Key.S) = struct
                   state = Node.Live;
                 }
               in
-              Store.put store (List.nth ptrs i) node)
+              S.put store (List.nth ptrs i) node)
             chunks;
           build_up (level + 1) (List.combine ptrs highs) (List.hd ptrs :: leftmosts)
     in
@@ -230,7 +236,7 @@ module Make (K : Key.S) = struct
             (* insert-into-unsafe: write the new right sibling first, then
                rewrite A in one indivisible step (Fig 3), release A's lock,
                and only then go after the parent. *)
-            let bptr = Store.reserve t.store in
+            let bptr = S.reserve t.store in
             let a', b =
               if level = 0 then N.leaf_split a ikey iptr ~right_ptr:bptr
               else N.internal_split a ikey iptr ~right_ptr:bptr
@@ -249,7 +255,7 @@ module Make (K : Key.S) = struct
             (* insert-into-unsafe-root: split, then create the new root and
                rewrite the prime block while still holding A's lock, so two
                roots can never be created simultaneously (§3.3). *)
-            let bptr = Store.reserve t.store in
+            let bptr = S.reserve t.store in
             let a', b =
               if level = 0 then N.leaf_split a ikey iptr ~right_ptr:bptr
               else N.internal_split a ikey iptr ~right_ptr:bptr
@@ -259,7 +265,7 @@ module Make (K : Key.S) = struct
             ctx.stats.Stats.splits <- ctx.stats.Stats.splits + 1;
             let sep = Bound.get_key a'.Node.high in
             let rptr =
-              Store.alloc t.store
+              S.alloc t.store
                 (N.new_root ~level:(level + 1) ~left_ptr:aptr ~right_ptr:bptr ~sep)
             in
             Prime_block.push_root t.prime ~root_ptr:rptr;
@@ -360,7 +366,7 @@ module Make (K : Key.S) = struct
              concurrent redistribution shifts pairs between snapshots. *)
           let rec walk ptr last acc =
             match
-              (try `Node (Store.get t.store ptr) with Store.Freed_page _ -> `Gone)
+              (try `Node (S.get t.store ptr) with Page_store.Freed_page _ -> `Gone)
             with
             | `Gone -> acc
             | `Node n -> (
@@ -403,7 +409,7 @@ module Make (K : Key.S) = struct
   let cardinal (t : t) =
     let prime = Prime_block.read t.prime in
     let rec walk ptr acc =
-      let n = Store.get t.store ptr in
+      let n = S.get t.store ptr in
       let acc = acc + Node.nkeys n in
       match n.Node.link with Some p -> walk p acc | None -> acc
     in
@@ -415,7 +421,7 @@ module Make (K : Key.S) = struct
   let to_list (t : t) =
     let prime = Prime_block.read t.prime in
     let rec walk ptr acc =
-      let n = Store.get t.store ptr in
+      let n = S.get t.store ptr in
       let acc =
         if Node.is_deleted n then acc
         else
@@ -434,5 +440,60 @@ module Make (K : Key.S) = struct
   let height (t : t) = (Prime_block.read t.prime).Prime_block.levels
 
   (** Release pages whose grace period has passed (§5.3). *)
-  let reclaim (t : t) = Epoch.reclaim t.epoch ~release:(Store.release t.store)
+  let reclaim (t : t) = Epoch.reclaim t.epoch ~release:(S.release t.store)
+
+  (* -- durability (quiescent): the tree's geometry and prime-block state
+        live in the store's metadata blob, so a durable store can be
+        closed and reopened without replay -- *)
+
+  let meta_magic = 0x53_47_56_31 (* "SGV1" *)
+
+  exception Corrupt of string
+
+  (** Persist the tree's geometry (order, levels, leftmost pointers) into
+      the store's metadata and {!Page_store.S.sync} it. Quiescent only:
+      no operation may be in flight and the queue should be drained. *)
+  let flush (t : t) =
+    let prime = Prime_block.read t.prime in
+    let levels = prime.Prime_block.levels in
+    let buf = Buffer.create (12 + (8 * levels)) in
+    Buffer.add_int32_le buf (Int32.of_int meta_magic);
+    Buffer.add_int32_le buf (Int32.of_int t.order);
+    Buffer.add_int32_le buf (Int32.of_int levels);
+    Array.iter
+      (fun p -> Buffer.add_int64_le buf (Int64.of_int p))
+      prime.Prime_block.leftmost;
+    S.set_meta t.store (Buffer.to_bytes buf);
+    S.sync t.store
+
+  (** Rebuild a handle over a store that was {!flush}ed and reopened (or
+      is still live from another handle — but never use two handles
+      concurrently: they would have separate epochs and queues). *)
+  let open_existing ?(enqueue_on_delete = false) (store : S.t) : t =
+    match S.get_meta store with
+    | None -> raise (Corrupt "Sagiv.open_existing: store has no tree metadata")
+    | Some bytes ->
+        if
+          Bytes.length bytes < 12
+          || Int32.to_int (Bytes.get_int32_le bytes 0) <> meta_magic
+        then raise (Corrupt "Sagiv.open_existing: bad metadata magic");
+        let order = Int32.to_int (Bytes.get_int32_le bytes 4) in
+        let levels = Int32.to_int (Bytes.get_int32_le bytes 8) in
+        if order < 1 || levels < 1 || Bytes.length bytes < 12 + (8 * levels) then
+          raise (Corrupt "Sagiv.open_existing: implausible metadata");
+        let leftmost =
+          Array.init levels (fun i -> Int64.to_int (Bytes.get_int64_le bytes (12 + (8 * i))))
+        in
+        {
+          store;
+          prime = Prime_block.restore ~levels ~leftmost;
+          epoch = Epoch.create ();
+          order;
+          queue = Cqueue.create ();
+          enqueue_on_delete;
+        }
 end
+
+(** The tree over the in-memory {!Store} — the historical interface; all
+    pre-existing call sites ([Sagiv.Make (Key.Int)]) keep working. *)
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -4,27 +4,33 @@
     a time} (the paper's improvement over Lehman–Yao's 2–3); compression
     runs in {!Compress} (background scans, §5.1) and {!Compactor}
     (queue-driven, §5.4). All operations may run concurrently from any
-    number of domains; each domain needs its own {!ctx}. *)
+    number of domains; each domain needs its own {!ctx}.
+
+    The tree is a functor over the key type {e and} a
+    {!Repro_storage.Page_store.S} backend ({!Make_on_store});
+    {!Make} is the in-memory convenience instantiation over {!Store}. *)
 
 open Repro_storage
 
-module Make (K : Key.S) : sig
-  type t = K.t Handle.t
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
+  type t = (K.t, S.t) Handle.t
   type ctx = Handle.ctx
 
   val ctx : slot:int -> ctx
   (** A worker context. [slot] must be unique per concurrent domain (it
       indexes the epoch-reclamation table). *)
 
-  val create : ?order:int -> ?enqueue_on_delete:bool -> unit -> t
+  val create : ?order:int -> ?enqueue_on_delete:bool -> ?store:S.t -> unit -> t
   (** [order] is the paper's k: non-root nodes hold between k and 2k pairs
       (default 8). [enqueue_on_delete] (default false) makes deletions
       push under-half-full leaves onto the compression queue (§5.4); off,
-      deletions behave exactly as in Lehman–Yao / §4. *)
+      deletions behave exactly as in Lehman–Yao / §4. [store] supplies
+      the (empty) page store; default [S.create ()]. *)
 
   val order : t -> int
 
-  val of_sorted : ?order:int -> ?fill:float -> (K.t * Node.ptr) list -> t
+  val of_sorted :
+    ?order:int -> ?fill:float -> ?store:S.t -> (K.t * Node.ptr) list -> t
   (** Bulk-load from strictly ascending (key, payload) pairs: a quiescent
       constructor packing nodes to [fill] (default 0.9) of capacity —
       much faster and denser than repeated {!insert}.
@@ -68,4 +74,22 @@ module Make (K : Key.S) : sig
   val reclaim : t -> int
   (** Release deleted pages whose grace period has passed (§5.3); returns
       how many. Call periodically or after compression. *)
+
+  exception Corrupt of string
+
+  val flush : t -> unit
+  (** Persist the tree's geometry (order, levels, leftmost pointers) into
+      the store's metadata blob and {!Page_store.S.sync} the store.
+      Quiescent only. On a durable store ({!Paged_store}) the tree then
+      survives close + reopen; on {!Store} it is a harmless no-op beyond
+      recording the metadata. *)
+
+  val open_existing : ?enqueue_on_delete:bool -> S.t -> t
+  (** Rebuild a handle over a store that was {!flush}ed (and possibly
+      closed and reopened). Never run two handles over one store
+      concurrently — they would have separate epochs and queues.
+      @raise Corrupt when the store holds no (or damaged) tree metadata. *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))
+(** The tree over the in-memory {!Store} (all historical call sites). *)

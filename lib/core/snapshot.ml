@@ -14,12 +14,16 @@ let magic = 0x42_4C_4B_31 (* "BLK1" *)
 
 exception Corrupt of string
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
   module C = Page_codec.Make (K)
   open Handle
 
-  let save_buf (t : K.t Handle.t) buf =
+  let save_buf (t : (K.t, S.t) Handle.t) buf =
+    (* The chain walk below assumes no concurrent restructuring; an epoch
+       pin is cheap, definite evidence an operation is in flight. *)
+    if Epoch.min_pinned t.epoch <> max_int then
+      invalid_arg "Snapshot.save: tree not quiescent (operation in flight)";
     let prime = Prime_block.read t.prime in
     Buffer.add_int32_le buf (Int32.of_int magic);
     Buffer.add_int32_le buf (Int32.of_int t.order);
@@ -31,7 +35,7 @@ module Make (K : Key.S) = struct
       | None -> raise (Corrupt "missing level during save")
       | Some p ->
           let rec go ptr =
-            let n = Store.get t.store ptr in
+            let n = S.get t.store ptr in
             nodes := (ptr, n) :: !nodes;
             match n.Node.link with Some q -> go q | None -> ()
           in
@@ -53,7 +57,7 @@ module Make (K : Key.S) = struct
   let low_is_neg_inf n =
     match n.Node.low with Bound.Neg_inf -> true | Bound.Key _ | Bound.Pos_inf -> false
 
-  let load bytes : K.t Handle.t =
+  let load bytes : (K.t, S.t) Handle.t =
     let pos = ref 0 in
     let read_i32 () =
       let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
@@ -70,7 +74,7 @@ module Make (K : Key.S) = struct
     let height = read_i32 () in
     if height < 1 then raise (Corrupt "bad height");
     (* First pass: decode everything, allocating new ids. *)
-    let store = Store.create () in
+    let store = S.create () in
     let remap = Hashtbl.create 64 in
     let all = ref [] in
     for _ = 1 to height do
@@ -79,7 +83,7 @@ module Make (K : Key.S) = struct
         let old_ptr = read_i64 () in
         let n, pos' = C.decode bytes ~pos:!pos in
         pos := pos';
-        let new_ptr = Store.alloc store n in
+        let new_ptr = S.alloc store n in
         Hashtbl.replace remap old_ptr new_ptr;
         all := (new_ptr, n) :: !all
       done
@@ -94,11 +98,13 @@ module Make (K : Key.S) = struct
       (fun (new_ptr, n) ->
         let ptrs = if Node.is_leaf n then n.Node.ptrs else Array.map map_ptr n.Node.ptrs in
         let link = Option.map map_ptr n.Node.link in
-        Store.put store new_ptr { n with Node.ptrs; link })
+        S.put store new_ptr { n with Node.ptrs; link })
       !all;
-    (* Rebuild the prime block: leftmost node per level. *)
+    (* Rebuild the prime block: leftmost node per level. [S.iter] requires
+       quiescence, which holds by construction — [store] is private to
+       this load and no handle over it has been published yet. *)
     let leftmost = Array.make height Node.nil in
-    Store.iter store (fun p n ->
+    S.iter store (fun p n ->
         if low_is_neg_inf n then leftmost.(n.Node.level) <- p);
     Array.iteri
       (fun level p -> if p = Node.nil then raise (Corrupt (Printf.sprintf "level %d lost" level)))
@@ -113,3 +119,5 @@ module Make (K : Key.S) = struct
       enqueue_on_delete = false;
     }
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

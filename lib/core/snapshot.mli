@@ -6,12 +6,15 @@ open Repro_storage
 
 exception Corrupt of string
 
-module Make (K : Key.S) : sig
-  val save : K.t Handle.t -> Bytes.t
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
+  val save : (K.t, S.t) Handle.t -> Bytes.t
   (** The tree must be quiescent. *)
 
-  val save_buf : K.t Handle.t -> Buffer.t -> unit
+  val save_buf : (K.t, S.t) Handle.t -> Buffer.t -> unit
 
-  val load : Bytes.t -> K.t Handle.t
-  (** @raise Corrupt on a damaged snapshot. *)
+  val load : Bytes.t -> (K.t, S.t) Handle.t
+  (** Rebuilds into a fresh [S.create ()] store.
+      @raise Corrupt on a damaged snapshot. *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

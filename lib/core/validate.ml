@@ -28,7 +28,7 @@ type report = {
 
 let ok report = report.errors = []
 
-module Make (K : Key.S) = struct
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
   module C = Page_codec.Make (K)
   open Handle
@@ -39,7 +39,7 @@ module Make (K : Key.S) = struct
      node's local invariants. Returns the nodes as (ptr, node) list. *)
   let walk_level t ~order ~err ~level start =
     let rec go ptr prev_high acc =
-      match (try `N (Store.get t.store ptr) with Store.Freed_page _ -> `Freed) with
+      match (try `N (S.get t.store ptr) with Page_store.Freed_page _ -> `Freed) with
       | `Freed ->
           err (Printf.sprintf "level %d: chain reaches freed page %d" level ptr);
           List.rev acc
@@ -97,7 +97,7 @@ module Make (K : Key.S) = struct
                   err
                     (Printf.sprintf "parent %d slot %d: child %d high mismatch" fp j cp))
           f.Node.ptrs;
-        ignore (Store.get t.store fp))
+        ignore (S.get t.store fp))
       parents;
     List.iter
       (fun (cp, _) ->
@@ -120,7 +120,7 @@ module Make (K : Key.S) = struct
     }
 
   (** Full check. Call only when no operation is in flight. *)
-  let check (t : K.t Handle.t) : report =
+  let check (t : (K.t, S.t) Handle.t) : report =
     let errors = ref [] in
     let err s = errors := s :: !errors in
     let prime = Prime_block.read t.prime in
@@ -205,7 +205,11 @@ module Make (K : Key.S) = struct
       tombstone still awaiting epoch reclamation. Returns leaked page
       ids. Run after compaction + {!Repro_core.Sagiv.reclaim} to prove
       §5.3 releases everything. *)
-  let leak_check (t : K.t Handle.t) : Node.ptr list =
+  let leak_check (t : (K.t, S.t) Handle.t) : Node.ptr list =
+    (* [S.iter] below is only meaningful when quiescent; an epoch pin is
+       cheap, definite evidence an operation is in flight, so refuse. *)
+    if Epoch.min_pinned t.Handle.epoch <> max_int then
+      invalid_arg "Validate.leak_check: tree not quiescent (operation in flight)";
     let prime = Prime_block.read t.Handle.prime in
     let reachable = Hashtbl.create 1024 in
     for level = 0 to prime.Prime_block.levels - 1 do
@@ -215,7 +219,7 @@ module Make (K : Key.S) = struct
           let rec go ptr =
             if not (Hashtbl.mem reachable ptr) then begin
               Hashtbl.replace reachable ptr ();
-              match (try Some (Store.get t.Handle.store ptr) with Store.Freed_page _ -> None) with
+              match (try Some (S.get t.Handle.store ptr) with Page_store.Freed_page _ -> None) with
               | None -> ()
               | Some n -> (
                   match n.Node.link with Some q -> go q | None -> ())
@@ -224,7 +228,7 @@ module Make (K : Key.S) = struct
           go p
     done;
     let leaked = ref [] in
-    Store.iter t.Handle.store (fun p n ->
+    S.iter t.Handle.store (fun p n ->
         if (not (Hashtbl.mem reachable p)) && not (Node.is_deleted n) then
           leaked := p :: !leaked);
     List.rev !leaked
@@ -232,7 +236,7 @@ module Make (K : Key.S) = struct
   (** Assert that every non-root node holds at least k pairs — the
       postcondition of a complete compression (§5.1), modulo the odd-child
       caveat which {!strict} toggles. *)
-  let check_occupancy ?(strict = true) (t : K.t Handle.t) : string list =
+  let check_occupancy ?(strict = true) (t : (K.t, S.t) Handle.t) : string list =
     let r = check t in
     let errs = ref r.errors in
     if strict then begin
@@ -243,7 +247,7 @@ module Make (K : Key.S) = struct
         | None -> ()
         | Some p ->
             let rec go ptr =
-              let n = Store.get t.store ptr in
+              let n = S.get t.store ptr in
               if Node.is_sparse ~order:t.order n && not n.Node.is_root then
                 errs :=
                   Printf.sprintf "page %d (level %d): %d pairs < k=%d" ptr level
@@ -256,3 +260,5 @@ module Make (K : Key.S) = struct
     end;
     List.rev !errs
 end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -24,17 +24,19 @@ type report = {
 
 val ok : report -> bool
 
-module Make (K : Key.S) : sig
-  val check : K.t Handle.t -> report
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
+  val check : (K.t, S.t) Handle.t -> report
   (** Full structural check; call only with no operation in flight. *)
 
-  val leak_check : K.t Handle.t -> Node.ptr list
+  val leak_check : (K.t, S.t) Handle.t -> Node.ptr list
   (** Quiescent page-leak check: live store pages that are neither
       reachable from the root nor tombstones awaiting reclamation.
       Empty after compaction + reclaim when §5.3 holds. *)
 
-  val check_occupancy : ?strict:bool -> K.t Handle.t -> string list
+  val check_occupancy : ?strict:bool -> (K.t, S.t) Handle.t -> string list
   (** {!check}'s errors plus — when [strict] — one error per non-root node
       holding fewer than k pairs (the §5.1 postcondition, modulo the
       odd-child caveat of the scanning process). *)
 end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

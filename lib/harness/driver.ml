@@ -108,26 +108,36 @@ let run_ops ?(measure_latency = false) (tree : Tree_intf.handle) ~domains ~ops_p
   end
   else result
 
+(** Like {!run_ops} but with [workers] extra domains running [worker]
+    (typically a {!Repro_core.Compactor} loop over any backend) for the
+    duration of the workload. [worker] receives a stop flag it must poll
+    and a fresh context with a slot disjoint from the measured domains.
+    Worker stats are returned separately. *)
+let run_ops_with_workers (tree : Tree_intf.handle) ~domains ~workers
+    ~(worker : stop:bool Atomic.t -> Handle.ctx -> unit) ~ops_per_domain ~seed
+    spec : result * Repro_storage.Stats.t =
+  let stop = Atomic.make false in
+  let aux_ctxs = Array.init workers (fun i -> Handle.ctx ~slot:(domains + i)) in
+  let aux_domains =
+    Array.init workers (fun i ->
+        Domain.spawn (fun () -> worker ~stop aux_ctxs.(i)))
+  in
+  let result = run_ops tree ~domains ~ops_per_domain ~seed spec in
+  Atomic.set stop true;
+  Array.iter Domain.join aux_domains;
+  let aux_stats = Repro_storage.Stats.create () in
+  Array.iter
+    (fun c -> Repro_storage.Stats.merge ~into:aux_stats c.Handle.stats)
+    aux_ctxs;
+  (result, aux_stats)
+
 (** Like {!run_ops} but with [compactors] extra domains running
     {!Repro_core.Compactor} workers on [raw] for the duration of the
     workload (experiments E4/E5). Compactor stats are returned separately. *)
-let run_ops_with_compaction (raw : int Handle.t) (tree : Tree_intf.handle) ~domains
-    ~compactors ~ops_per_domain ~seed spec :
+let run_ops_with_compaction (raw : (int, int Repro_storage.Store.t) Handle.t)
+    (tree : Tree_intf.handle) ~domains ~compactors ~ops_per_domain ~seed spec :
     result * Repro_storage.Stats.t =
   let module C = Compactor.Make (Repro_storage.Key.Int) in
-  let stop = Atomic.make false in
-  let comp_ctxs = Array.init compactors (fun i -> Handle.ctx ~slot:(domains + i)) in
-  let comp_domains =
-    Array.init compactors (fun i ->
-        Domain.spawn (fun () -> C.run_worker raw comp_ctxs.(i) ~stop))
-  in
-  let result =
-    run_ops tree ~domains ~ops_per_domain ~seed spec
-  in
-  Atomic.set stop true;
-  Array.iter Domain.join comp_domains;
-  let comp_stats = Repro_storage.Stats.create () in
-  Array.iter
-    (fun c -> Repro_storage.Stats.merge ~into:comp_stats c.Handle.stats)
-    comp_ctxs;
-  (result, comp_stats)
+  run_ops_with_workers tree ~domains ~workers:compactors
+    ~worker:(fun ~stop ctx -> C.run_worker raw ctx ~stop)
+    ~ops_per_domain ~seed spec

@@ -40,8 +40,24 @@ val run_ops :
   Workload.spec ->
   result
 
+val run_ops_with_workers :
+  Tree_intf.handle ->
+  domains:int ->
+  workers:int ->
+  worker:(stop:bool Atomic.t -> Handle.ctx -> unit) ->
+  ops_per_domain:int ->
+  seed:int ->
+  Workload.spec ->
+  result * Repro_storage.Stats.t
+(** {!run_ops} with [workers] extra domains each running [worker] until
+    the workload finishes and [stop] is raised. Worker contexts get epoch
+    slots [domains .. domains + workers - 1]; returns their merged stats
+    separately. The backend-agnostic engine under
+    {!run_ops_with_compaction} — use it directly when the compaction
+    loop runs over a non-default store backend. *)
+
 val run_ops_with_compaction :
-  int Handle.t ->
+  (int, int Repro_storage.Store.t) Handle.t ->
   Tree_intf.handle ->
   domains:int ->
   compactors:int ->

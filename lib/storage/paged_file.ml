@@ -25,9 +25,11 @@ let create_file ?(page_size = default_page_size) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   { page_size; backend = File fd; pages = 0 }
 
-(** Open an existing file-backed paged file for reading. *)
-let open_file ?(page_size = default_page_size) path =
-  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+(** Open an existing file-backed paged file; [writable] (default false)
+    opens it read-write so a store can be resumed in place. *)
+let open_file ?(page_size = default_page_size) ?(writable = false) path =
+  let mode = if writable then Unix.O_RDWR else Unix.O_RDONLY in
+  let fd = Unix.openfile path [ mode ] 0 in
   let size = (Unix.fstat fd).Unix.st_size in
   if size mod page_size <> 0 then begin
     Unix.close fd;

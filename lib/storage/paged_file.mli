@@ -10,8 +10,9 @@ val create_memory : ?page_size:int -> unit -> t
 val create_file : ?page_size:int -> string -> t
 (** Create or truncate for writing. *)
 
-val open_file : ?page_size:int -> string -> t
-(** Open an existing file for reading.
+val open_file : ?page_size:int -> ?writable:bool -> string -> t
+(** Open an existing file for reading ([writable] — default false —
+    opens it read-write, for resuming a {!Paged_store} in place).
     @raise Invalid_argument if the size is not page-aligned. *)
 
 val page_size : t -> int

@@ -1,0 +1,474 @@
+(** Durable concurrent page store: {!Page_store.S} over a {!Buffer_pool} /
+    {!Paged_file} / {!Page_codec} stack, so the full Sagiv algorithm —
+    1-lock insertions, lock-free searches, compaction, epoch reclamation —
+    runs disk-resident and survives close + reopen.
+
+    Layered like a real pager:
+
+    - {b Node cache}: each page slot holds the decoded node behind an
+      [Atomic.t] plus the page latch, exactly like {!Store} — so [get] on
+      a cached page and every [lock]/[unlock] are lock-free/latch-only and
+      the paper's indivisible get/put model is preserved. Slots live in
+      fixed chunks that never move.
+    - {b IO layer}: one mutex ([io]) serialises the single-owner buffer
+      pool and the file. Only cache misses, write-back, eviction and
+      [sync] take it; the concurrent fast paths never do.
+    - {b Disk layout}: disk page 0 is the store header (magic, geometry,
+      allocator state, free-list head, client metadata); tree pointer [p]
+      lives on disk page [p + 1], encoded by {!Page_codec}. The free list
+      is threaded through the free pages themselves (first 8 bytes = next
+      pointer), so it survives reopen at zero space cost.
+
+    Concurrency protocol (who may touch what):
+
+    - A [put] to a {e reachable} page happens only under that page's latch
+      (the tree's discipline); a put to a private page (fresh [reserve])
+      races with nothing.
+    - A cache miss faults under [io] and installs with compare-and-set;
+      losing the race means a concurrent [put] installed a {e newer}
+      version, which the reader adopts.
+    - Eviction holds [io] and takes page latches with [try_lock] only —
+      it never blocks on a latch (and so never deadlocks against writers,
+      who may block on [io] while holding a latch); latched pages are
+      simply skipped this sweep. A dirty victim is written back before
+      the cache slot is cleared, so concurrent readers re-faulting from
+      disk always see the latest version.
+    - [release] races with eviction by both sides clearing the slot with
+      compare-and-set; the resident count is decremented exactly once. *)
+
+exception Corrupt of string
+
+let magic = 0x53_47_56_44 (* "SGVD" *)
+let version = 1
+let header_fixed = 72 (* bytes of header before the metadata blob *)
+
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+let max_chunks = 1 lsl 14 (* 64 M pages *)
+
+let default_cache_pages = 4096
+
+module Make (K : Key.S) = struct
+  module Codec = Page_codec.Make (K)
+
+  type key = K.t
+
+  type slot = {
+    cached : K.t Node.t option Atomic.t;  (** decoded node, if resident *)
+    latch : Mutex.t;  (** the page latch of the §2.2 model *)
+    dirty : bool Atomic.t;  (** cached version newer than disk *)
+    referenced : bool Atomic.t;  (** clock second-chance bit *)
+    freed : bool Atomic.t;  (** released, awaiting reallocation *)
+    on_disk : bool Atomic.t;  (** the page has ever been written to disk *)
+  }
+
+  type t = {
+    chunks : slot array option Atomic.t array;
+    next : int Atomic.t;  (** bump allocator frontier *)
+    free_list : int list Atomic.t;
+    freed : int Atomic.t;  (** total pages ever freed *)
+    allocated : int Atomic.t;  (** total pages ever allocated *)
+    meta : Bytes.t option Atomic.t;
+    io : Mutex.t;  (** guards [pool], the file, [hand] and [zero] *)
+    pool : Buffer_pool.t;
+    cache_cap : int;  (** max resident decoded nodes *)
+    resident : int Atomic.t;
+    mutable hand : int;  (** node-cache clock hand (under [io]) *)
+    page_size : int;
+    zero : Bytes.t;  (** scratch page (under [io]) *)
+  }
+
+  let new_chunk () =
+    Array.init chunk_size (fun _ ->
+        {
+          cached = Atomic.make None;
+          latch = Mutex.create ();
+          dirty = Atomic.make false;
+          referenced = Atomic.make false;
+          freed = Atomic.make false;
+          on_disk = Atomic.make false;
+        })
+
+  let ensure_chunk t ci =
+    if ci >= max_chunks then failwith "Paged_store: out of pages";
+    match Atomic.get t.chunks.(ci) with
+    | Some c -> c
+    | None ->
+        let fresh = new_chunk () in
+        if Atomic.compare_and_set t.chunks.(ci) None (Some fresh) then fresh
+        else (
+          match Atomic.get t.chunks.(ci) with Some c -> c | None -> assert false)
+
+  let slot t ptr =
+    let ci = ptr lsr chunk_bits in
+    match Atomic.get t.chunks.(ci) with
+    | Some c -> c.(ptr land (chunk_size - 1))
+    | None -> invalid_arg (Printf.sprintf "Paged_store: page %d not allocated" ptr)
+
+  let slot_opt t ptr =
+    match Atomic.get t.chunks.(ptr lsr chunk_bits) with
+    | Some c -> Some c.(ptr land (chunk_size - 1))
+    | None -> None
+
+  let with_io t f =
+    Mutex.lock t.io;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.io) f
+
+  (* ---------- IO layer (all under [io]) ---------- *)
+
+  let file t = Buffer_pool.file t.pool
+
+  (* Append zero pages until disk page [dpage] exists, so the pool's
+     write-back never violates Paged_file's no-hole rule. *)
+  let ensure_materialized_locked t dpage =
+    let f = file t in
+    Bytes.fill t.zero 0 t.page_size '\000';
+    while Paged_file.pages f <= dpage do
+      ignore (Paged_file.append f t.zero)
+    done
+
+  let write_node_locked t ptr n =
+    let dpage = ptr + 1 in
+    ensure_materialized_locked t dpage;
+    let frame = Buffer_pool.pin t.pool dpage in
+    let b = Codec.to_bytes n in
+    if Bytes.length b > t.page_size then
+      failwith
+        (Printf.sprintf "Paged_store: node needs %d bytes, page is %d"
+           (Bytes.length b) t.page_size);
+    Bytes.fill frame 0 t.page_size '\000';
+    Bytes.blit b 0 frame 0 (Bytes.length b);
+    Buffer_pool.unpin t.pool dpage ~dirty:true;
+    Atomic.set (slot t ptr).on_disk true
+
+  let read_node_locked t ptr =
+    let dpage = ptr + 1 in
+    let frame = Buffer_pool.pin t.pool dpage in
+    let n =
+      try Codec.of_bytes frame
+      with Page_codec.Corrupt msg ->
+        Buffer_pool.unpin t.pool dpage ~dirty:false;
+        raise (Corrupt (Printf.sprintf "page %d: %s" ptr msg))
+    in
+    Buffer_pool.unpin t.pool dpage ~dirty:false;
+    n
+
+  (* Clock sweep over the node cache: write back and drop unreferenced,
+     unlatched nodes until the resident count is back under the cap.
+     Latches are only try_locked — see the protocol note above. *)
+  let maybe_evict_locked t =
+    let frontier = Atomic.get t.next in
+    if Atomic.get t.resident > t.cache_cap && frontier > 0 then begin
+      let budget = ref (2 * frontier) in
+      while Atomic.get t.resident > t.cache_cap && !budget > 0 do
+        decr budget;
+        let p = t.hand in
+        t.hand <- (t.hand + 1) mod frontier;
+        match slot_opt t p with
+        | None -> ()
+        | Some s -> (
+            if (not (Atomic.get s.freed)) && Atomic.get s.cached <> None then
+              if Atomic.get s.referenced then Atomic.set s.referenced false
+              else if Mutex.try_lock s.latch then begin
+                (* CAS against the exact option value read: physical
+                   equality distinguishes our snapshot from a racing
+                   release's None. *)
+                (match Atomic.get s.cached with
+                | Some n as snapshot when not (Atomic.get s.freed) ->
+                    if Atomic.get s.dirty then begin
+                      write_node_locked t p n;
+                      Atomic.set s.dirty false
+                    end;
+                    if Atomic.compare_and_set s.cached snapshot None then
+                      Atomic.decr t.resident
+                | _ -> ());
+                Mutex.unlock s.latch
+              end)
+      done
+    end
+
+  let check_evict t =
+    if Atomic.get t.resident > t.cache_cap then
+      with_io t (fun () -> maybe_evict_locked t)
+
+  (* ---------- construction ---------- *)
+
+  let make ~page_size ~cache_pages pfile =
+    if cache_pages < 1 then invalid_arg "Paged_store: cache_pages must be >= 1";
+    (* Frame count needs headroom over one page so eviction write-back and
+       header IO never starve; the node cache, not the pool, is the
+       capacity knob. *)
+    let frames = max 8 (min cache_pages 1024) in
+    {
+      chunks = Array.init max_chunks (fun _ -> Atomic.make None);
+      next = Atomic.make 0;
+      free_list = Atomic.make [];
+      freed = Atomic.make 0;
+      allocated = Atomic.make 0;
+      meta = Atomic.make None;
+      io = Mutex.create ();
+      pool = Buffer_pool.create ~frames pfile;
+      cache_cap = cache_pages;
+      resident = Atomic.make 0;
+      hand = 0;
+      page_size;
+      zero = Bytes.create page_size;
+    }
+
+  let create_memory ?(page_size = Paged_file.default_page_size)
+      ?(cache_pages = default_cache_pages) () =
+    let t = make ~page_size ~cache_pages (Paged_file.create_memory ~page_size ()) in
+    with_io t (fun () -> ensure_materialized_locked t 0);
+    t
+
+  let create_file ?(page_size = Paged_file.default_page_size)
+      ?(cache_pages = default_cache_pages) path =
+    let t = make ~page_size ~cache_pages (Paged_file.create_file ~page_size path) in
+    with_io t (fun () -> ensure_materialized_locked t 0);
+    t
+
+  let create () = create_memory ()
+
+  (* ---------- Page_store.S operations ---------- *)
+
+  let pop_free t =
+    let rec go () =
+      match Atomic.get t.free_list with
+      | [] -> None
+      | p :: rest as old ->
+          if Atomic.compare_and_set t.free_list old rest then Some p else go ()
+    in
+    go ()
+
+  let push_free t p =
+    let rec go () =
+      let old = Atomic.get t.free_list in
+      if not (Atomic.compare_and_set t.free_list old (p :: old)) then go ()
+    in
+    go ()
+
+  let fresh_ptr t =
+    let p = Atomic.fetch_and_add t.next 1 in
+    ignore (ensure_chunk t (p lsr chunk_bits));
+    p
+
+  let install t s n =
+    Atomic.set s.dirty true;
+    Atomic.set s.referenced true;
+    (match Atomic.exchange s.cached (Some n) with
+    | Some _ -> ()
+    | None -> Atomic.incr t.resident);
+    check_evict t
+
+  let alloc t node =
+    Atomic.incr t.allocated;
+    let p = match pop_free t with Some p -> p | None -> fresh_ptr t in
+    let s = slot t p in
+    Atomic.set s.freed false;
+    install t s node;
+    p
+
+  let reserve t =
+    Atomic.incr t.allocated;
+    let p = match pop_free t with Some p -> p | None -> fresh_ptr t in
+    Atomic.set (slot t p).freed false;
+    p
+
+  let put t ptr node = install t (slot t ptr) node
+
+  (* Cache miss: fault the page in under [io]. The compare-and-set install
+     can lose only to a concurrent [put], whose version is newer — adopt
+     it. A [release] racing the fault is caught by the re-check. *)
+  let fault t ptr s =
+    let n =
+      with_io t (fun () ->
+          match Atomic.get s.cached with
+          | Some n -> n
+          | None ->
+              if Atomic.get s.freed then raise (Page_store.Freed_page ptr);
+              if not (Atomic.get s.on_disk) then
+                raise (Page_store.Freed_page ptr);
+              let n = read_node_locked t ptr in
+              if Atomic.compare_and_set s.cached None (Some n) then begin
+                Atomic.incr t.resident;
+                Atomic.set s.referenced true;
+                maybe_evict_locked t;
+                n
+              end
+              else
+                match Atomic.get s.cached with Some n' -> n' | None -> n)
+    in
+    if Atomic.get s.freed && Atomic.get s.cached <> None then begin
+      (* lost a race with release: withdraw our install *)
+      (match Atomic.exchange s.cached None with
+      | Some _ -> Atomic.decr t.resident
+      | None -> ());
+      raise (Page_store.Freed_page ptr)
+    end;
+    n
+
+  let get t ptr =
+    let s = slot t ptr in
+    match Atomic.get s.cached with
+    | Some n ->
+        Atomic.set s.referenced true;
+        n
+    | None -> if Atomic.get s.freed then raise (Page_store.Freed_page ptr) else fault t ptr s
+
+  let lock t ptr = Mutex.lock (slot t ptr).latch
+  let unlock t ptr = Mutex.unlock (slot t ptr).latch
+  let try_lock t ptr = Mutex.try_lock (slot t ptr).latch
+
+  let release t ptr =
+    let s = slot t ptr in
+    Atomic.set s.freed true;
+    (match Atomic.exchange s.cached None with
+    | Some _ -> Atomic.decr t.resident
+    | None -> ());
+    Atomic.set s.dirty false;
+    Atomic.incr t.freed;
+    push_free t ptr
+
+  let live_count t = Atomic.get t.allocated - Atomic.get t.freed
+  let total_allocated t = Atomic.get t.allocated
+  let total_freed t = Atomic.get t.freed
+
+  (* Quiescent only (like {!Store.iter}): uncached pages are read from
+     disk without being installed, so iteration does not thrash the
+     cache. *)
+  let iter t f =
+    let frontier = Atomic.get t.next in
+    for p = 0 to frontier - 1 do
+      match slot_opt t p with
+      | None -> ()
+      | Some s ->
+          if not (Atomic.get s.freed) then (
+            match Atomic.get s.cached with
+            | Some n -> f p n
+            | None ->
+                if Atomic.get s.on_disk then
+                  f p (with_io t (fun () -> read_node_locked t p)))
+    done
+
+  let set_meta t bytes = Atomic.set t.meta (Some (Bytes.copy bytes))
+  let get_meta t = Atomic.get t.meta
+
+  (* ---------- durability ---------- *)
+
+  let write_header_locked t =
+    let free = Atomic.get t.free_list in
+    let page = Bytes.make t.page_size '\000' in
+    let seti off v = Bytes.set_int64_le page off (Int64.of_int v) in
+    seti 0 magic;
+    seti 8 version;
+    seti 16 t.page_size;
+    seti 24 (Atomic.get t.next);
+    seti 32 (match free with [] -> -1 | p :: _ -> p);
+    seti 40 (List.length free);
+    seti 48 (Atomic.get t.allocated);
+    seti 56 (Atomic.get t.freed);
+    let meta = match Atomic.get t.meta with Some b -> b | None -> Bytes.empty in
+    if Bytes.length meta > t.page_size - header_fixed then
+      failwith "Paged_store: metadata blob does not fit in the header page";
+    seti 64 (Bytes.length meta);
+    Bytes.blit meta 0 page header_fixed (Bytes.length meta);
+    Paged_file.write (file t) 0 page
+
+  (* Thread the free list through the free pages themselves: the first 8
+     bytes of a free page hold the next free pointer (-1 ends the chain).
+     Written directly (not via the pool) after [flush_all], so the chain
+     always wins over any stale pool frame for a freed page. *)
+  let write_free_chain_locked t =
+    let rec go = function
+      | [] -> ()
+      | p :: rest ->
+          ensure_materialized_locked t (p + 1);
+          Bytes.fill t.zero 0 t.page_size '\000';
+          Bytes.set_int64_le t.zero 0
+            (Int64.of_int (match rest with [] -> -1 | q :: _ -> q));
+          Paged_file.write (file t) (p + 1) t.zero;
+          go rest
+    in
+    go (Atomic.get t.free_list)
+
+  (* Quiescent flush: dirty nodes through the pool, then the pool to the
+     file, then free chain and header directly, then fsync — so the
+     header (and through it the free list) never describes pages that
+     have not landed. *)
+  let sync t =
+    with_io t (fun () ->
+        let frontier = Atomic.get t.next in
+        for p = 0 to frontier - 1 do
+          match slot_opt t p with
+          | None -> ()
+          | Some s ->
+              if (not (Atomic.get s.freed)) && Atomic.get s.dirty then (
+                match Atomic.get s.cached with
+                | Some n ->
+                    write_node_locked t p n;
+                    Atomic.set s.dirty false
+                | None -> ())
+        done;
+        Buffer_pool.flush_all t.pool;
+        write_free_chain_locked t;
+        write_header_locked t;
+        Paged_file.sync (file t))
+
+  let flush = sync
+
+  let close t =
+    sync t;
+    Paged_file.close (file t)
+
+  let open_file ?(cache_pages = default_cache_pages) path =
+    let pfile = Paged_file.open_file ~writable:true path in
+    if Paged_file.pages pfile = 0 then raise (Corrupt "empty file");
+    let header = Paged_file.read pfile 0 in
+    let geti off = Int64.to_int (Bytes.get_int64_le header off) in
+    if geti 0 <> magic then raise (Corrupt "bad magic");
+    if geti 8 <> version then
+      raise (Corrupt (Printf.sprintf "version %d, expected %d" (geti 8) version));
+    let page_size = geti 16 in
+    if page_size <> Paged_file.page_size pfile then
+      raise (Corrupt "header page size does not match the file's");
+    let t = make ~page_size ~cache_pages pfile in
+    Atomic.set t.next (geti 24);
+    Atomic.set t.allocated (geti 48);
+    Atomic.set t.freed (geti 56);
+    let meta_len = geti 64 in
+    if meta_len < 0 || meta_len > page_size - header_fixed then
+      raise (Corrupt "bad metadata length");
+    if meta_len > 0 then
+      Atomic.set t.meta (Some (Bytes.sub header header_fixed meta_len));
+    let frontier = Atomic.get t.next in
+    for p = 0 to frontier - 1 do
+      let chunk = ensure_chunk t (p lsr chunk_bits) in
+      Atomic.set chunk.(p land (chunk_size - 1)).on_disk
+        (p + 1 < Paged_file.pages pfile)
+    done;
+    (* Rebuild the free list by walking the on-disk chain. *)
+    let free_count = geti 40 in
+    let head = geti 32 in
+    let rec walk acc seen cur =
+      if cur = -1 then List.rev acc
+      else if seen > free_count then raise (Corrupt "free-list chain cycle")
+      else if cur < 0 || cur >= frontier then
+        raise (Corrupt (Printf.sprintf "free-list pointer %d out of range" cur))
+      else begin
+        Atomic.set (slot t cur).freed true;
+        let page = Paged_file.read pfile (cur + 1) in
+        walk (cur :: acc) (seen + 1) (Int64.to_int (Bytes.get_int64_le page 0))
+      end
+    in
+    let free = walk [] 0 head in
+    if List.length free <> free_count then
+      raise (Corrupt "free-list chain shorter than the header count");
+    Atomic.set t.free_list free;
+    t
+
+  (* ---------- introspection ---------- *)
+
+  let pool_stats t = Buffer_pool.stats t.pool
+  let cached_nodes t = Atomic.get t.resident
+  let page_size t = t.page_size
+end

@@ -1,0 +1,44 @@
+(** Durable concurrent page store: {!Page_store.S} over a {!Buffer_pool} /
+    {!Paged_file} / {!Page_codec} stack. Cached pages are read lock-free
+    and latched exactly like {!Store}; cache misses, write-back and
+    eviction serialise on one internal IO mutex. Disk page 0 is the store
+    header; tree pointer [p] lives on disk page [p + 1]; the free list is
+    threaded through the free pages themselves. [sync] (quiescent) makes
+    the store survive {!close} + {!Make.open_file}. *)
+
+exception Corrupt of string
+(** A damaged header or page encountered while opening / faulting. *)
+
+val default_cache_pages : int
+
+module Make (K : Key.S) : sig
+  include Page_store.S with type key = K.t
+
+  val create_memory : ?page_size:int -> ?cache_pages:int -> unit -> t
+  (** Memory-backed paged file: the full pager stack (codec, pool,
+      eviction) without filesystem durability — tests and benches.
+      [cache_pages] bounds the decoded-node cache (default
+      {!default_cache_pages}); [create] is [create_memory ()]. *)
+
+  val create_file : ?page_size:int -> ?cache_pages:int -> string -> t
+  (** Create (or truncate) a file-backed store. *)
+
+  val open_file : ?cache_pages:int -> string -> t
+  (** Reopen a store that was {!Page_store.S.sync}ed ([flush]/[close]
+      also sync). Restores the allocator frontier, free list and
+      metadata blob. @raise Corrupt on a damaged file. *)
+
+  val flush : t -> unit
+  (** Alias of [sync]: write back all dirty nodes, persist the free list
+      and header, fsync. Quiescent only. *)
+
+  val close : t -> unit
+  (** [flush] then close the underlying file. *)
+
+  val pool_stats : t -> Buffer_pool.stats
+
+  val cached_nodes : t -> int
+  (** Currently resident decoded nodes (bounded by [cache_pages]). *)
+
+  val page_size : t -> int
+end

@@ -23,6 +23,7 @@ type 'k t = {
   free_list : int list Atomic.t;
   freed : int Atomic.t;  (** total pages ever freed *)
   allocated : int Atomic.t;  (** total pages ever allocated *)
+  meta : Bytes.t option Atomic.t;  (** opaque client blob (see {!Page_store.S}) *)
 }
 
 let create () =
@@ -32,6 +33,7 @@ let create () =
     free_list = Atomic.make [];
     freed = Atomic.make 0;
     allocated = Atomic.make 0;
+    meta = Atomic.make None;
   }
 
 let new_chunk () =
@@ -95,7 +97,7 @@ let reserve t =
       ignore (ensure_chunk t (p lsr chunk_bits));
       p
 
-exception Freed_page of int
+exception Freed_page = Page_store.Freed_page
 
 (** Indivisible read of a page. Raises {!Freed_page} on a reclaimed page —
     with correct epoch protection this never happens; tests rely on the
@@ -138,3 +140,34 @@ let iter t f =
         | Some n -> f p n
         | None -> ())
   done
+
+let set_meta t bytes = Atomic.set t.meta (Some (Bytes.copy bytes))
+let get_meta t = Atomic.get t.meta
+let sync _t = ()
+
+(** {!Page_store.S} view of the store at one key type, so the functorized
+    tree runs on it. [type t = K.t t] is kept transparent: code written
+    against ['k Store.t] directly (tests poking at handles) and code
+    going through the functor see the same type. *)
+module For_key (K : Key.S) : Page_store.S with type key = K.t and type t = K.t t =
+struct
+  type key = K.t
+  type nonrec t = K.t t
+
+  let create = create
+  let alloc = alloc
+  let reserve = reserve
+  let get = get
+  let put = put
+  let lock = lock
+  let unlock = unlock
+  let try_lock = try_lock
+  let release = release
+  let live_count = live_count
+  let total_allocated = total_allocated
+  let total_freed = total_freed
+  let iter = iter
+  let set_meta = set_meta
+  let get_meta = get_meta
+  let sync = sync
+end

@@ -20,9 +20,11 @@ val reserve : 'k t -> Node.ptr
     linking it, Fig 3). *)
 
 exception Freed_page of int
-(** Raised by {!get} on a reclaimed page. Under correct epoch protection
-    this cannot happen within a pinned operation; cross-operation
-    references (queue stacks) catch it and restart. *)
+(** Raised by {!get} on a reclaimed page — the same exception as
+    {!Page_store.Freed_page} (a rebinding, so either name catches it).
+    Under correct epoch protection this cannot happen within a pinned
+    operation; cross-operation references (queue stacks) catch it and
+    restart. *)
 
 val get : 'k t -> Node.ptr -> 'k Node.t
 (** Indivisible read. *)
@@ -44,3 +46,16 @@ val total_freed : 'k t -> int
 
 val iter : 'k t -> (Node.ptr -> 'k Node.t -> unit) -> unit
 (** Over all live pages; only meaningful when quiescent. *)
+
+val set_meta : 'k t -> Bytes.t -> unit
+(** Opaque client metadata blob (see {!Page_store.S}); kept in memory. *)
+
+val get_meta : 'k t -> Bytes.t option
+
+val sync : 'k t -> unit
+(** No-op: the store is purely in-memory. *)
+
+module For_key (K : Key.S) : Page_store.S with type key = K.t and type t = K.t t
+(** The {!Page_store.S} view of the store at one key type — what
+    [Repro_core]'s [Make (K)] convenience functors instantiate. The type
+    equality [t = K.t t] is transparent. *)

@@ -5,6 +5,7 @@ let () =
       ("node", Test_node.suite);
       ("codec", Test_codec.suite);
       ("store", Test_store.suite);
+      ("page_store", Test_page_store.suite);
       ("blink", Test_blink.suite);
       ("compress", Test_compress.suite);
       ("compactor", Test_compactor.suite);

@@ -1,0 +1,338 @@
+(* PAGE_STORE conformance: the same store-primitive and Sagiv-tree battery
+   run over both backends — the in-memory Store and the durable
+   Paged_store — through the Make_on_store functors, plus disk-only tests
+   (small-cache eviction under concurrency, close/reopen durability). *)
+
+open Repro_storage
+open Repro_core
+
+let mk_leaf keys =
+  {
+    Node.level = 0;
+    keys = Array.of_list keys;
+    ptrs = Array.of_list (List.map (fun k -> k) keys);
+    low = Bound.Neg_inf;
+    high = Bound.Pos_inf;
+    link = None;
+    is_root = false;
+    state = Node.Live;
+  }
+
+module Conformance (S : sig
+  include Page_store.S with type key = int
+
+  val name : string
+end) =
+struct
+  module Sg = Sagiv.Make_on_store (Key.Int) (S)
+  module V = Validate.Make_on_store (Key.Int) (S)
+  module Cp = Compress.Make_on_store (Key.Int) (S)
+  module Co = Compactor.Make_on_store (Key.Int) (S)
+
+  let ctx = Sg.ctx
+
+  let check_valid t msg =
+    let r = V.check t in
+    if not (Validate.ok r) then
+      Alcotest.failf "%s: %s" msg (String.concat "; " r.Validate.errors)
+
+  let bytes_like =
+    Alcotest.testable
+      (fun fmt b -> Format.pp_print_string fmt (Bytes.to_string b))
+      Bytes.equal
+
+  let test_primitives () =
+    let s = S.create () in
+    let p = S.alloc s (mk_leaf [ 1 ]) in
+    Alcotest.(check int) "contents" 1 (S.get s p).Node.keys.(0);
+    S.put s p (mk_leaf [ 2 ]);
+    Alcotest.(check int) "rewritten" 2 (S.get s p).Node.keys.(0);
+    Alcotest.(check int) "live" 1 (S.live_count s);
+    let q = S.reserve s in
+    (match S.get s q with
+    | exception Page_store.Freed_page _ -> ()
+    | _ -> Alcotest.fail "reserved page must be unreadable");
+    S.put s q (mk_leaf [ 9 ]);
+    Alcotest.(check int) "readable after put" 9 (S.get s q).Node.keys.(0);
+    S.release s q;
+    (match S.get s q with
+    | exception Page_store.Freed_page i -> Alcotest.(check int) "freed id" q i
+    | _ -> Alcotest.fail "released page must be unreadable");
+    Alcotest.(check int) "live after release" 1 (S.live_count s);
+    Alcotest.(check bool) "try_lock free page latch" true (S.try_lock s p);
+    Alcotest.(check bool) "try_lock held latch" false (S.try_lock s p);
+    S.unlock s p;
+    S.lock s p;
+    S.unlock s p;
+    let seen = ref [] in
+    S.iter s (fun ptr n -> seen := (ptr, n.Node.keys.(0)) :: !seen);
+    Alcotest.(check (list (pair int int))) "iter sees exactly the live page"
+      [ (p, 2) ] !seen;
+    Alcotest.(check (option bytes_like)) "no meta yet" None (S.get_meta s)
+
+  let test_meta_roundtrip () =
+    let s = S.create () in
+    S.set_meta s (Bytes.of_string "hello");
+    S.sync s;
+    match S.get_meta s with
+    | Some b -> Alcotest.(check string) "meta" "hello" (Bytes.to_string b)
+    | None -> Alcotest.fail "meta lost"
+
+  let test_sequential_battery () =
+    let t = Sg.create ~order:4 () in
+    let c = ctx ~slot:0 in
+    let n = 2000 in
+    let key i = (i * 2_654_435_761) land 0xFFFFF in
+    let inserted = Hashtbl.create n in
+    for i = 0 to n - 1 do
+      let k = key i in
+      match Sg.insert t c k (k + 1) with
+      | `Ok -> Hashtbl.replace inserted k ()
+      | `Duplicate ->
+          if not (Hashtbl.mem inserted k) then
+            Alcotest.failf "spurious duplicate for %d" k
+    done;
+    check_valid t "after inserts";
+    Alcotest.(check int) "cardinal" (Hashtbl.length inserted) (Sg.cardinal t);
+    Hashtbl.iter
+      (fun k () ->
+        if Sg.search t c k <> Some (k + 1) then Alcotest.failf "key %d lost" k)
+      inserted;
+    (* delete every other inserted key, then compress to the fixpoint *)
+    let victims =
+      Hashtbl.fold (fun k () acc -> k :: acc) inserted []
+      |> List.sort compare
+      |> List.filteri (fun i _ -> i mod 2 = 0)
+    in
+    List.iter
+      (fun k ->
+        if not (Sg.delete t c k) then Alcotest.failf "delete %d failed" k;
+        Hashtbl.remove inserted k)
+      victims;
+    check_valid t "after deletes";
+    ignore (Cp.compress_to_fixpoint t c);
+    ignore (Sg.reclaim t);
+    check_valid t "after compression";
+    Alcotest.(check int) "cardinal after deletes" (Hashtbl.length inserted)
+      (Sg.cardinal t);
+    Hashtbl.iter
+      (fun k () ->
+        if Sg.search t c k <> Some (k + 1) then
+          Alcotest.failf "key %d lost by compression" k)
+      inserted;
+    Alcotest.(check (list int)) "no leaked pages" [] (V.leak_check t)
+
+  let test_concurrent_battery () =
+    (* multi-domain inserts + deletes with a live compactor: the full
+       Sagiv concurrency surface over this backend *)
+    let t = Sg.create ~order:4 ~enqueue_on_delete:true () in
+    let nd = 4 and per = 3000 in
+    let stop = Atomic.make false in
+    let compactor =
+      Domain.spawn (fun () -> Co.run_worker t (ctx ~slot:nd) ~stop)
+    in
+    let domains =
+      Array.init nd (fun i ->
+          Domain.spawn (fun () ->
+              let c = ctx ~slot:i in
+              for j = 0 to per - 1 do
+                let k = (j * nd) + i in
+                (match Sg.insert t c k (k * 2) with
+                | `Ok -> ()
+                | `Duplicate -> failwith "spurious duplicate");
+                (* delete our previous key half the time to feed the queue *)
+                if j > 0 && j mod 2 = 0 then
+                  ignore (Sg.delete t c (((j - 1) * nd) + i))
+              done))
+    in
+    Array.iter Domain.join domains;
+    Atomic.set stop true;
+    Domain.join compactor;
+    let c = ctx ~slot:0 in
+    ignore (Co.run_until_empty t c);
+    check_valid t "after concurrent battery";
+    for j = 0 to per - 1 do
+      for i = 0 to nd - 1 do
+        let k = (j * nd) + i in
+        let deleted = j > 0 && j mod 2 = 1 && j < per - 1 in
+        (* keys deleted are those with odd j (deleted by the j+1 step) *)
+        match Sg.search t c k with
+        | Some v when not deleted ->
+            if v <> k * 2 then Alcotest.failf "key %d wrong payload" k
+        | None when deleted -> ()
+        | Some _ -> Alcotest.failf "key %d should be deleted" k
+        | None -> Alcotest.failf "key %d lost" k
+      done
+    done;
+    ignore (Sg.reclaim t)
+
+  let test_flush_open_existing () =
+    (* metadata-level reopen on the same live store object: works on any
+       backend, durable or not *)
+    let store = S.create () in
+    let t = Sg.create ~order:6 ~store () in
+    let c = ctx ~slot:0 in
+    for k = 0 to 999 do
+      ignore (Sg.insert t c k k)
+    done;
+    Sg.flush t;
+    let t' = Sg.open_existing store in
+    check_valid t' "reopened";
+    Alcotest.(check int) "order survives" 6 (Sg.order t');
+    Alcotest.(check int) "cardinal survives" 1000 (Sg.cardinal t');
+    for k = 0 to 999 do
+      if Sg.search t' c k <> Some k then Alcotest.failf "key %d lost" k
+    done;
+    (match Sg.open_existing (S.create ()) with
+    | exception Sg.Corrupt _ -> ()
+    | _ -> Alcotest.fail "open_existing of an empty store must fail")
+
+  let suite =
+    let tc name f = Alcotest.test_case (Printf.sprintf "%s: %s" S.name name) `Quick f in
+    [
+      tc "store primitives" test_primitives;
+      tc "meta roundtrip" test_meta_roundtrip;
+      tc "sequential battery" test_sequential_battery;
+      tc "concurrent battery" test_concurrent_battery;
+      tc "flush + open_existing" test_flush_open_existing;
+    ]
+end
+
+module Mem = Conformance (struct
+  include Store.For_key (Key.Int)
+
+  let name = "mem"
+end)
+
+module Paged_int = Paged_store.Make (Key.Int)
+
+module Disk = Conformance (struct
+  include Paged_int
+
+  let name = "disk"
+end)
+
+(* -- disk-only tests -- *)
+
+module Sg = Sagiv.Make_on_store (Key.Int) (Paged_int)
+module V = Validate.Make_on_store (Key.Int) (Paged_int)
+
+let check_valid t msg =
+  let r = V.check t in
+  if not (Validate.ok r) then
+    Alcotest.failf "%s: %s" msg (String.concat "; " r.Validate.errors)
+
+(* A cache far smaller than the working set: every traversal faults and
+   evicts while four domains hammer the tree. *)
+let test_small_cache_concurrent () =
+  let store = Paged_int.create_memory ~cache_pages:32 () in
+  let t = Sg.create ~order:4 ~store () in
+  let nd = 4 and per = 2000 in
+  let domains =
+    Array.init nd (fun i ->
+        Domain.spawn (fun () ->
+            let c = Sg.ctx ~slot:i in
+            for j = 0 to per - 1 do
+              let k = (j * nd) + i in
+              match Sg.insert t c k k with
+              | `Ok -> ()
+              | `Duplicate -> failwith "spurious duplicate"
+            done))
+  in
+  Array.iter Domain.join domains;
+  check_valid t "after small-cache inserts";
+  Alcotest.(check int) "cardinal" (nd * per) (Sg.cardinal t);
+  Alcotest.(check bool) "cache stayed bounded" true
+    (Paged_int.cached_nodes store <= 32 + nd + 1);
+  let stats = Paged_int.pool_stats store in
+  Alcotest.(check bool) "eviction actually ran" true (stats.Buffer_pool.writebacks > 0);
+  let c = Sg.ctx ~slot:0 in
+  for k = 0 to (nd * per) - 1 do
+    if Sg.search t c k <> Some k then Alcotest.failf "key %d lost" k
+  done
+
+let with_tmp_file f =
+  let path = Filename.temp_file "paged_store_test" ".pages" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* Build on a real file, close, reopen from disk: search, validate,
+   mutate, close, reopen again. *)
+let test_durability () =
+  with_tmp_file (fun path ->
+      let n = 3000 in
+      let store = Paged_int.create_file ~cache_pages:64 path in
+      let t = Sg.create ~order:4 ~store () in
+      let c = Sg.ctx ~slot:0 in
+      for k = 0 to n - 1 do
+        ignore (Sg.insert t c k (k * 3))
+      done;
+      for k = 0 to n - 1 do
+        if k mod 3 = 0 then ignore (Sg.delete t c k)
+      done;
+      Sg.flush t;
+      Paged_int.close store;
+      (* first reopen: everything must come back from disk *)
+      let store = Paged_int.open_file ~cache_pages:64 path in
+      let t = Sg.open_existing store in
+      check_valid t "after reopen";
+      for k = 0 to n - 1 do
+        let expect = if k mod 3 = 0 then None else Some (k * 3) in
+        if Sg.search t c k <> expect then Alcotest.failf "key %d wrong after reopen" k
+      done;
+      (* the store must still be writable: new inserts reuse freed pages *)
+      let freed_before = Paged_int.total_freed store in
+      for k = n to n + 499 do
+        ignore (Sg.insert t c k k)
+      done;
+      ignore freed_before;
+      Sg.flush t;
+      Paged_int.close store;
+      (* second reopen: the mutation survived too *)
+      let store = Paged_int.open_file path in
+      let t = Sg.open_existing store in
+      check_valid t "after second reopen";
+      for k = n to n + 499 do
+        if Sg.search t c k <> Some k then Alcotest.failf "new key %d lost" k
+      done;
+      Paged_int.close store)
+
+(* The free list must survive reopen: release pages, flush, reopen, and
+   the allocator hands the same ids back before growing the file. *)
+let test_free_list_survives_reopen () =
+  with_tmp_file (fun path ->
+      let s = Paged_int.create_file path in
+      let p1 = Paged_int.alloc s (mk_leaf [ 1 ]) in
+      let p2 = Paged_int.alloc s (mk_leaf [ 2 ]) in
+      let p3 = Paged_int.alloc s (mk_leaf [ 3 ]) in
+      Paged_int.release s p2;
+      Paged_int.close s;
+      let s = Paged_int.open_file path in
+      Alcotest.(check int) "live count" 2 (Paged_int.live_count s);
+      Alcotest.(check int) "contents p1" 1 (Paged_int.get s p1).Node.keys.(0);
+      Alcotest.(check int) "contents p3" 3 (Paged_int.get s p3).Node.keys.(0);
+      (match Paged_int.get s p2 with
+      | exception Page_store.Freed_page _ -> ()
+      | _ -> Alcotest.fail "freed page still readable after reopen");
+      let q = Paged_int.reserve s in
+      Alcotest.(check int) "freed id recycled first" p2 q;
+      Paged_int.close s)
+
+let test_corrupt_rejected () =
+  with_tmp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc (String.make 8192 'x');
+      close_out oc;
+      match Paged_int.open_file path with
+      | exception Paged_store.Corrupt _ -> ()
+      | _ -> Alcotest.fail "garbage file must be rejected")
+
+let suite =
+  Mem.suite @ Disk.suite
+  @ [
+      Alcotest.test_case "disk: small cache, concurrent" `Quick
+        test_small_cache_concurrent;
+      Alcotest.test_case "disk: durability across reopen" `Quick test_durability;
+      Alcotest.test_case "disk: free list survives reopen" `Quick
+        test_free_list_survives_reopen;
+      Alcotest.test_case "disk: corrupt file rejected" `Quick test_corrupt_rejected;
+    ]
