@@ -30,11 +30,18 @@
     - Eviction holds [io] and takes page latches with [try_lock] only —
       it never blocks on a latch (and so never deadlocks against writers,
       who may block on [io] while holding a latch); latched pages are
-      simply skipped this sweep. A dirty victim is written back before
-      the cache slot is cleared, so concurrent readers re-faulting from
-      disk always see the latest version.
-    - [release] races with eviction by both sides clearing the slot with
-      compare-and-set; the resident count is decremented exactly once. *)
+      simply skipped this sweep. A victim is withdrawn from the cache
+      {e first} and only then written back, still under [io]: faulters
+      serialise on [io], so no reader can observe the pre-write-back disk
+      contents. The victim's dirty bit is exchanged to false before the
+      withdrawal CAS and restored if the CAS fails — a concurrent [put]
+      to a private (just-[reserve]d) page may have swapped in a newer
+      node whose dirty bit must survive the sweep.
+    - [release] runs under [io], so it can never interleave with a fault,
+      an eviction write-back or [sync] on the same page; it clears the
+      slot's [on_disk] flag, so a [get] on a recycled page raises
+      [Freed_page] until the first [put] lands — the same contract as the
+      in-memory {!Store}. *)
 
 exception Corrupt of string
 
@@ -170,17 +177,24 @@ module Make (K : Key.S) = struct
             if (not (Atomic.get s.freed)) && Atomic.get s.cached <> None then
               if Atomic.get s.referenced then Atomic.set s.referenced false
               else if Mutex.try_lock s.latch then begin
-                (* CAS against the exact option value read: physical
-                   equality distinguishes our snapshot from a racing
-                   release's None. *)
+                (* Withdraw first, write back second: we hold [io], so a
+                   faulter cannot read the disk page until the write-back
+                   below has landed. The CAS is against the exact option
+                   value read — physical equality distinguishes our
+                   snapshot from any newer node a concurrent [put] to a
+                   private page may install. The dirty bit is taken with
+                   an exchange {e before} the CAS and handed back on CAS
+                   failure, so a racing put's dirty marking is never
+                   clobbered (a clean cached node would later be dropped
+                   without write-back and its data silently lost). *)
                 (match Atomic.get s.cached with
                 | Some n as snapshot when not (Atomic.get s.freed) ->
-                    if Atomic.get s.dirty then begin
-                      write_node_locked t p n;
-                      Atomic.set s.dirty false
-                    end;
-                    if Atomic.compare_and_set s.cached snapshot None then
-                      Atomic.decr t.resident
+                    let was_dirty = Atomic.exchange s.dirty false in
+                    if Atomic.compare_and_set s.cached snapshot None then begin
+                      Atomic.decr t.resident;
+                      if was_dirty then write_node_locked t p n
+                    end
+                    else if was_dirty then Atomic.set s.dirty true
                 | _ -> ());
                 Mutex.unlock s.latch
               end)
@@ -278,34 +292,29 @@ module Make (K : Key.S) = struct
 
   (* Cache miss: fault the page in under [io]. The compare-and-set install
      can lose only to a concurrent [put], whose version is newer — adopt
-     it. A [release] racing the fault is caught by the re-check. *)
+     it. [release] also runs under [io], so the freed / on_disk checks
+     here are authoritative: a release ordered after this fault finds the
+     installed node and withdraws it itself, exactly as it would withdraw
+     one installed by [put]. Returning the node to a caller whose
+     reference outlived the release is the same stale-read the in-memory
+     {!Store} permits; epoch reclamation makes it safe. *)
   let fault t ptr s =
-    let n =
-      with_io t (fun () ->
-          match Atomic.get s.cached with
-          | Some n -> n
-          | None ->
-              if Atomic.get s.freed then raise (Page_store.Freed_page ptr);
-              if not (Atomic.get s.on_disk) then
-                raise (Page_store.Freed_page ptr);
-              let n = read_node_locked t ptr in
-              if Atomic.compare_and_set s.cached None (Some n) then begin
-                Atomic.incr t.resident;
-                Atomic.set s.referenced true;
-                maybe_evict_locked t;
-                n
-              end
-              else
-                match Atomic.get s.cached with Some n' -> n' | None -> n)
-    in
-    if Atomic.get s.freed && Atomic.get s.cached <> None then begin
-      (* lost a race with release: withdraw our install *)
-      (match Atomic.exchange s.cached None with
-      | Some _ -> Atomic.decr t.resident
-      | None -> ());
-      raise (Page_store.Freed_page ptr)
-    end;
-    n
+    with_io t (fun () ->
+        match Atomic.get s.cached with
+        | Some n -> n
+        | None ->
+            if Atomic.get s.freed then raise (Page_store.Freed_page ptr);
+            if not (Atomic.get s.on_disk) then
+              raise (Page_store.Freed_page ptr);
+            let n = read_node_locked t ptr in
+            if Atomic.compare_and_set s.cached None (Some n) then begin
+              Atomic.incr t.resident;
+              Atomic.set s.referenced true;
+              maybe_evict_locked t;
+              n
+            end
+            else
+              match Atomic.get s.cached with Some n' -> n' | None -> n)
 
   let get t ptr =
     let s = slot t ptr in
@@ -319,15 +328,24 @@ module Make (K : Key.S) = struct
   let unlock t ptr = Mutex.unlock (slot t ptr).latch
   let try_lock t ptr = Mutex.try_lock (slot t ptr).latch
 
+  (* Under [io]: a release must never interleave with an eviction
+     write-back, a fault or [sync] touching the same page — otherwise the
+     page can reach the free list (and be recycled by [reserve]/[put])
+     while the evictor is still mid-write, and the evictor's bookkeeping
+     would clobber the new tenant's. [on_disk] is cleared so a [get] on
+     the recycled page raises [Freed_page] until its first [put], instead
+     of resurrecting the pre-release contents from disk. *)
   let release t ptr =
     let s = slot t ptr in
-    Atomic.set s.freed true;
-    (match Atomic.exchange s.cached None with
-    | Some _ -> Atomic.decr t.resident
-    | None -> ());
-    Atomic.set s.dirty false;
-    Atomic.incr t.freed;
-    push_free t ptr
+    with_io t (fun () ->
+        Atomic.set s.freed true;
+        (match Atomic.exchange s.cached None with
+        | Some _ -> Atomic.decr t.resident
+        | None -> ());
+        Atomic.set s.dirty false;
+        Atomic.set s.on_disk false;
+        Atomic.incr t.freed;
+        push_free t ptr)
 
   let live_count t = Atomic.get t.allocated - Atomic.get t.freed
   let total_allocated t = Atomic.get t.allocated
@@ -405,8 +423,11 @@ module Make (K : Key.S) = struct
               if (not (Atomic.get s.freed)) && Atomic.get s.dirty then (
                 match Atomic.get s.cached with
                 | Some n ->
-                    write_node_locked t p n;
-                    Atomic.set s.dirty false
+                    (* Clear before writing: should a non-quiescent put
+                       slip in, its dirty marking survives and the page
+                       is merely written twice, never left stale-clean. *)
+                    Atomic.set s.dirty false;
+                    write_node_locked t p n
                 | None -> ())
         done;
         Buffer_pool.flush_all t.pool;
@@ -455,7 +476,12 @@ module Make (K : Key.S) = struct
       else if cur < 0 || cur >= frontier then
         raise (Corrupt (Printf.sprintf "free-list pointer %d out of range" cur))
       else begin
-        Atomic.set (slot t cur).freed true;
+        let s = slot t cur in
+        Atomic.set s.freed true;
+        (* Free pages hold chain links, not nodes: clearing [on_disk]
+           keeps them unreadable after recycling, until their first
+           [put] — the same contract a live store maintains. *)
+        Atomic.set s.on_disk false;
         let page = Paged_file.read pfile (cur + 1) in
         walk (cur :: acc) (seen + 1) (Int64.to_int (Bytes.get_int64_le page 0))
       end

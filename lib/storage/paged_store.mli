@@ -1,7 +1,9 @@
 (** Durable concurrent page store: {!Page_store.S} over a {!Buffer_pool} /
     {!Paged_file} / {!Page_codec} stack. Cached pages are read lock-free
-    and latched exactly like {!Store}; cache misses, write-back and
-    eviction serialise on one internal IO mutex. Disk page 0 is the store
+    and latched exactly like {!Store}; cache misses, write-back,
+    eviction and [release] serialise on one internal IO mutex, and a
+    recycled page raises [Freed_page] until its first [put] — the same
+    contract as {!Store}. Disk page 0 is the store
     header; tree pointer [p] lives on disk page [p + 1]; the free list is
     threaded through the free pages themselves. [sync] (quiescent) makes
     the store survive {!close} + {!Make.open_file}. *)

@@ -54,11 +54,23 @@ struct
     | _ -> Alcotest.fail "reserved page must be unreadable");
     S.put s q (mk_leaf [ 9 ]);
     Alcotest.(check int) "readable after put" 9 (S.get s q).Node.keys.(0);
+    (* sync first so a durable backend has the old contents on disk: the
+       recycled-page checks below must raise Freed_page, not resurrect
+       the pre-release node from storage *)
+    S.sync s;
     S.release s q;
     (match S.get s q with
     | exception Page_store.Freed_page i -> Alcotest.(check int) "freed id" q i
     | _ -> Alcotest.fail "released page must be unreadable");
     Alcotest.(check int) "live after release" 1 (S.live_count s);
+    let q2 = S.reserve s in
+    Alcotest.(check int) "released id recycled" q q2;
+    (match S.get s q2 with
+    | exception Page_store.Freed_page _ -> ()
+    | _ -> Alcotest.fail "recycled page must be unreadable before its first put");
+    S.put s q2 (mk_leaf [ 11 ]);
+    Alcotest.(check int) "readable after recycle put" 11 (S.get s q2).Node.keys.(0);
+    S.release s q2;
     Alcotest.(check bool) "try_lock free page latch" true (S.try_lock s p);
     Alcotest.(check bool) "try_lock held latch" false (S.try_lock s p);
     S.unlock s p;
@@ -315,7 +327,55 @@ let test_free_list_survives_reopen () =
       | _ -> Alcotest.fail "freed page still readable after reopen");
       let q = Paged_int.reserve s in
       Alcotest.(check int) "freed id recycled first" p2 q;
+      (* the recycled page carries free-chain bytes on disk, not a node:
+         it must stay unreadable until its first put *)
+      (match Paged_int.get s q with
+      | exception Page_store.Freed_page _ -> ()
+      | _ -> Alcotest.fail "recycled page readable before first put after reopen");
+      Paged_int.put s q (mk_leaf [ 4 ]);
+      Alcotest.(check int) "recycled page readable after put" 4
+        (Paged_int.get s q).Node.keys.(0);
       Paged_int.close s)
+
+(* Eviction write-back racing the release → reserve → put recycle path: a
+   tiny cache keeps the clock sweep running while every domain churns
+   alloc / rewrite / release, so freed pages are constantly re-tenanted
+   while the evictor may be mid-sweep on them. A page whose dirty bit is
+   clobbered gets dropped without write-back and re-faults stale — the
+   content checks below catch exactly that. *)
+let test_recycle_eviction_churn () =
+  let s = Paged_int.create_memory ~cache_pages:8 () in
+  let nd = 4 and per = 1500 in
+  let keep = 8 in
+  let errors = Atomic.make 0 in
+  let check_page q w =
+    match Paged_int.get s q with
+    | n -> if n.Node.keys.(0) <> w then Atomic.incr errors
+    | exception Page_store.Freed_page _ -> Atomic.incr errors
+  in
+  let domains =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () ->
+            let live = Queue.create () in
+            for i = 0 to per - 1 do
+              let v = (d * per) + i in
+              let p = Paged_int.alloc s (mk_leaf [ v ]) in
+              (* rewrite so the final version only exists via the dirty
+                 bit until written back *)
+              Paged_int.put s p (mk_leaf [ v + 1 ]);
+              Queue.push (p, v + 1) live;
+              if Queue.length live > keep then begin
+                let q, w = Queue.pop live in
+                check_page q w;
+                Paged_int.release s q
+              end
+            done;
+            Queue.iter (fun (q, w) -> check_page q w) live))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no stale or lost pages" 0 (Atomic.get errors);
+  Alcotest.(check int) "resident count consistent" (nd * keep)
+    (Paged_int.live_count s)
 
 let test_corrupt_rejected () =
   with_tmp_file (fun path ->
@@ -334,5 +394,7 @@ let suite =
       Alcotest.test_case "disk: durability across reopen" `Quick test_durability;
       Alcotest.test_case "disk: free list survives reopen" `Quick
         test_free_list_survives_reopen;
+      Alcotest.test_case "disk: recycle vs eviction churn" `Quick
+        test_recycle_eviction_churn;
       Alcotest.test_case "disk: corrupt file rejected" `Quick test_corrupt_rejected;
     ]
