@@ -22,6 +22,66 @@ let scale n = if !quick then max 1 (n / 10) else n
 
 let ctx = Handle.ctx
 
+(* Minimal JSON emitter: enough for flat result records, no dependency.
+   Experiments push named values into [json_out]; [--json PATH] writes
+   them all as one document (BENCH_*.json in the repo root is the
+   committed snapshot EXPERIMENTS.md quotes). *)
+module J = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let rec to_buf b = function
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        Buffer.add_string b
+          (if Float.is_finite f then Printf.sprintf "%.6g" f else "null")
+    | Str s ->
+        Buffer.add_char b '"';
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string b "\\\""
+            | '\\' -> Buffer.add_string b "\\\\"
+            | '\n' -> Buffer.add_string b "\\n"
+            | c when Char.code c < 32 ->
+                Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char b c)
+          s;
+        Buffer.add_char b '"'
+    | List l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            to_buf b x)
+          l;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            to_buf b (Str k);
+            Buffer.add_char b ':';
+            to_buf b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 1024 in
+    to_buf b t;
+    Buffer.contents b
+end
+
+let json_out : (string * J.t) list ref = ref []
+let record_json name v = json_out := (name, v) :: !json_out
+
 (* Insert [n] distinct scattered keys with a single domain. *)
 let preload_handle (h : Tree_intf.handle) ~n ~space =
   let c = ctx ~slot:0 in
@@ -422,22 +482,33 @@ let e8 () =
   in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock benchmarks in
-  let rows = ref [] in
+  let rows = ref [] and jrows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some (e :: _) -> Report.fmt_f e ^ " ns"
-        | _ -> "n/a"
+      let est =
+        match Analyze.OLS.estimates ols_result with Some (e :: _) -> Some e | _ -> None
       in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Report.fmt_f ~digits:4 r
-        | None -> "-"
-      in
-      rows := [ name; ns; r2 ] :: !rows)
+      let r2 = Analyze.OLS.r_square ols_result in
+      let fmt_opt f = function Some v -> f v | None -> "n/a" in
+      rows :=
+        [
+          name;
+          fmt_opt (fun e -> Report.fmt_f e ^ " ns") est;
+          fmt_opt (Report.fmt_f ~digits:4) r2;
+        ]
+        :: !rows;
+      jrows :=
+        J.Obj
+          [
+            ("bench", J.Str name);
+            ("ns_per_op", match est with Some e -> J.Float e | None -> J.Bool false);
+            ("r_square", match r2 with Some r -> J.Float r | None -> J.Bool false);
+          ]
+        :: !jrows)
     results;
-  Report.table ~header:[ "bench"; "time/op"; "r^2" ] (List.sort compare !rows)
+  Report.table ~header:[ "bench"; "time/op"; "r^2" ] (List.sort compare !rows);
+  record_json "E8"
+    (J.List (List.sort (fun a b -> compare (J.to_string a) (J.to_string b)) !jrows))
 
 (* ------------------------------------------------------------------ *)
 (* E9: the memory hierarchy — buffer-pool size vs locality             *)
@@ -452,6 +523,7 @@ let e9 () =
   let module D = Disk_btree.Make (Key.Int) in
   let n = scale 100_000 in
   let searches = scale 100_000 in
+  let jsweep = ref [] in
   let rows =
     List.concat_map
       (fun (dist_name, dist) ->
@@ -477,11 +549,21 @@ let e9 () =
             let hits = s1.Buffer_pool.hits - s0.Buffer_pool.hits in
             let misses = s1.Buffer_pool.misses - s0.Buffer_pool.misses in
             let ratio = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+            let tput = float_of_int searches /. dt in
+            jsweep :=
+              J.Obj
+                [
+                  ("dist", J.Str dist_name);
+                  ("frames", J.Int frames);
+                  ("hit_ratio", J.Float ratio);
+                  ("searches_per_s", J.Float tput);
+                ]
+              :: !jsweep;
             [
               dist_name;
               string_of_int frames;
               Report.fmt_f ~digits:3 ratio;
-              Report.fmt_si (float_of_int searches /. dt) ^ "/s";
+              Report.fmt_si tput ^ "/s";
             ])
           [ 8; 64; 512; 4096 ])
       [
@@ -501,11 +583,14 @@ let e9 () =
   let measure h =
     ignore (Driver.preload h ~seed:42 spec);
     let r = Driver.run_ops h ~domains ~ops_per_domain ~seed:42 spec in
-    Report.fmt_si r.Driver.throughput ^ "/s"
+    r.Driver.throughput
   in
+  let jtrees = ref [] in
   let mem_row =
     let h = (Tree_intf.sagiv ()).Tree_intf.make ~order:16 in
-    [ "sagiv (mem)"; "-"; measure h; "-"; "-" ]
+    let tput = measure h in
+    jtrees := [ J.Obj [ ("tree", J.Str "sagiv-mem"); ("ops_per_s", J.Float tput) ] ];
+    [ "sagiv (mem)"; "-"; Report.fmt_si tput ^ "/s"; "-"; "-" ]
   in
   let disk_rows =
     List.map
@@ -515,10 +600,20 @@ let e9 () =
         let h = Tree_intf.(of_ops ~name:"sagiv-disk" (module Sagiv_disk) t) in
         let tput = measure h in
         let s = Tree_intf.Paged_int.pool_stats store in
+        jtrees :=
+          J.Obj
+            [
+              ("tree", J.Str "sagiv-disk");
+              ("cache_pages", J.Int cache_pages);
+              ("ops_per_s", J.Float tput);
+              ("pool_misses", J.Int s.Buffer_pool.misses);
+              ("pool_writebacks", J.Int s.Buffer_pool.writebacks);
+            ]
+          :: !jtrees;
         [
           "sagiv (disk)";
           string_of_int cache_pages;
-          tput;
+          Report.fmt_si tput ^ "/s";
           string_of_int s.Buffer_pool.misses;
           string_of_int s.Buffer_pool.writebacks;
         ])
@@ -526,7 +621,144 @@ let e9 () =
   in
   Report.table
     ~header:[ "tree"; "node cache"; "ops/s"; "faults"; "writebacks" ]
-    (mem_row :: disk_rows)
+    (mem_row :: disk_rows);
+  record_json "E9"
+    (J.Obj
+       [
+         ("pool_sweep", J.List (List.rev !jsweep));
+         ("sagiv_hierarchy", J.List (List.rev !jtrees));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* E11: disk-resident concurrency — IO stripes + background writer     *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  Report.heading "E11: disk-resident concurrency — IO stripes and the background writer";
+  Report.note
+    "sagiv-disk under a mixed workload with a node cache far smaller than \
+     the working set, sweeping the store's IO stripe count (1 stripe = the \
+     old single-global-IO-lock regime) and the background writer. On this \
+     single-core substrate the gain comes from shorter critical sections \
+     (less convoying on one hot mutex) and write-back taken off the fault \
+     path — not from parallel disk IO.";
+  let space = scale 60_000 in
+  let cache_pages = 128 in
+  let total_ops = scale 120_000 in
+  let spec =
+    Workload.spec ~op_mix:Workload.mixed_sid ~key_space:space
+      ~preload:(space / 2) ()
+  in
+  (* Stripe sweep without the writer isolates lock granularity against
+     the true PR-1 regime (one global IO lock, inline write-back); the
+     writer rows then show what offloading write-back buys on top —
+     on one core that is a shorter fault path (stall, wb_inline), not
+     throughput, since the extra domain timeshares the same core. *)
+  let configs =
+    [ (1, false); (4, false); (16, false); (1, true); (4, true); (16, true) ]
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  (* Throughput under a thrashing cache is noisy run-to-run (allocator /
+     scheduler luck); measure each config several times on a fresh store
+     and report the median trial, compacting the heap between trials so
+     one trial's garbage can't tax the next. Quick mode keeps the CI
+     smoke run cheap. *)
+  let trials = if !quick then 3 else 5 in
+  let run_once stripes writer domains =
+    Gc.compact ();
+    let raw, h = Tree_intf.sagiv_disk_raw ~cache_pages ~stripes ~order:16 () in
+    let store = raw.Handle.store in
+    ignore (Driver.preload h ~seed:42 spec);
+    let r =
+      if writer then
+        fst
+          (Driver.run_ops_with_aux h ~domains
+             ~aux:
+               [|
+                 (fun ~stop _ctx ->
+                   Tree_intf.Paged_int.writer_loop store ~stop);
+               |]
+             ~ops_per_domain:(total_ops / domains) ~seed:42 spec)
+      else
+        Driver.run_ops h ~domains ~ops_per_domain:(total_ops / domains)
+          ~seed:42 spec
+    in
+    ( r.Driver.throughput,
+      Tree_intf.Paged_int.io_stats store,
+      Tree_intf.Paged_int.stripe_count store )
+  in
+  let tputs = Hashtbl.create 16 in
+  let jrows = ref [] in
+  let rows =
+    List.concat_map
+      (fun (stripes, writer) ->
+        List.map
+          (fun domains ->
+            let runs =
+              List.init trials (fun _ -> run_once stripes writer domains)
+            in
+            let sorted =
+              List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) runs
+            in
+            let tput, io, nstripes = List.nth sorted (trials / 2) in
+            Hashtbl.replace tputs (stripes, writer, domains) tput;
+            jrows :=
+              J.Obj
+                [
+                  ("stripes", J.Int nstripes);
+                  ("writer", J.Bool writer);
+                  ("domains", J.Int domains);
+                  ("ops_per_s", J.Float tput);
+                  ("faults", J.Int io.Stats.faults);
+                  ("fault_stall_ms", J.Float (1e3 *. io.Stats.fault_stall_s));
+                  ("wb_inline", J.Int io.Stats.inline_writebacks);
+                  ("wb_queued", J.Int io.Stats.queued_writebacks);
+                  ("max_queue_depth", J.Int io.Stats.max_queue_depth);
+                  ("max_concurrent_faults", J.Int io.Stats.max_concurrent_faults);
+                ]
+              :: !jrows;
+            [
+              string_of_int stripes;
+              (if writer then "yes" else "no");
+              string_of_int domains;
+              Report.fmt_si tput ^ "/s";
+              string_of_int io.Stats.faults;
+              Report.fmt_f (1e3 *. io.Stats.fault_stall_s) ^ "ms";
+              string_of_int io.Stats.inline_writebacks;
+              string_of_int io.Stats.queued_writebacks;
+              string_of_int io.Stats.max_concurrent_faults;
+            ])
+          domain_counts)
+      configs
+  in
+  Report.table
+    ~header:
+      [
+        "stripes"; "writer"; "domains"; "tput"; "faults"; "fault stall";
+        "wb inline"; "wb queued"; "max conc faults";
+      ]
+    rows;
+  record_json "E11"
+    (J.Obj
+       [
+         ("space", J.Int space);
+         ("cache_pages", J.Int cache_pages);
+         ("total_ops", J.Int total_ops);
+         ("rows", J.List (List.rev !jrows));
+       ]);
+  match
+    ( Hashtbl.find_opt tputs (1, false, 4),
+      Hashtbl.find_opt tputs (4, false, 4),
+      Hashtbl.find_opt tputs (16, false, 4),
+      Hashtbl.find_opt tputs (4, true, 4) )
+  with
+  | Some base, Some s4, Some s16, Some s4w ->
+      Report.note
+        (Printf.sprintf
+           "verdict @ 4 domains: 4 stripes = %.2fx the 1-stripe (global-lock) \
+            control, 16 stripes = %.2fx; 4 stripes + writer = %.2fx"
+           (s4 /. base) (s16 /. base) (s4w /. base))
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* E10: YCSB-style workloads across the trees                          *)
@@ -711,6 +943,7 @@ let experiments =
     ("E8", e8);
     ("E9", e9);
     ("E10", e10);
+    ("E11", e11);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);
@@ -718,17 +951,21 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let json_path = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | [ "--json" ] ->
+        prerr_endline "--json needs a path";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     if args = [] then experiments
     else
@@ -746,4 +983,30 @@ let () =
     (if !quick then " (quick mode)" else "");
   Printf.printf "cores available: %d (single-core: scaling rows show overhead, not speedup)\n"
     (Domain.recommended_domain_count ());
-  List.iter (fun (_, f) -> f ()) selected
+  let gc0 = Gc.get () in
+  List.iter
+    (fun (_, f) ->
+      f ();
+      (* Undo any GC tuning an experiment's harness left behind (bechamel
+         sets max_overhead to 1M — compaction off — and never restores
+         it) and return the experiment's heap to the OS, so one
+         experiment's footprint can't skew the next one's numbers. *)
+      Gc.set gc0;
+      Gc.compact ())
+    selected;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        J.Obj
+          [
+            ("quick", J.Bool !quick);
+            ("cores", J.Int (Domain.recommended_domain_count ()));
+            ("experiments", J.Obj (List.rev !json_out));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path

@@ -62,30 +62,30 @@ let sagiv_raw ?(enqueue_on_delete = false) ~order () =
   let t = Sagiv_int.create ~order ~enqueue_on_delete () in
   (t, of_ops ~name:"sagiv" (module Sagiv_int) t)
 
+let make_disk_store ?cache_pages ?stripes () =
+  match (cache_pages, stripes) with
+  | None, None -> Paged_int.create_memory ()
+  | Some c, None -> Paged_int.create_memory ~cache_pages:c ()
+  | None, Some s -> Paged_int.create_memory ~stripes:s ()
+  | Some c, Some s -> Paged_int.create_memory ~cache_pages:c ~stripes:s ()
+
 (** The same Sagiv tree over the durable {!Repro_storage.Paged_store}
     (memory-backed paged file: full pager stack, no filesystem). *)
-let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages () =
+let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages ?stripes () =
   {
     impl_name = "sagiv-disk";
     make =
       (fun ~order ->
-        let store =
-          match cache_pages with
-          | None -> Paged_int.create_memory ()
-          | Some cache_pages -> Paged_int.create_memory ~cache_pages ()
-        in
+        let store = make_disk_store ?cache_pages ?stripes () in
         of_ops ~name:"sagiv-disk" (module Sagiv_disk)
           (Sagiv_disk.create ~order ~enqueue_on_delete ~store ()));
   }
 
 (** Like {!sagiv_raw} for the disk backend: hands back the raw tree for
-    compaction workers and validation. *)
-let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ~order () =
-  let store =
-    match cache_pages with
-    | None -> Paged_int.create_memory ()
-    | Some cache_pages -> Paged_int.create_memory ~cache_pages ()
-  in
+    compaction workers, writer loops (the store is [raw.Handle.store])
+    and validation. *)
+let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes ~order () =
+  let store = make_disk_store ?cache_pages ?stripes () in
   let t = Sagiv_disk.create ~order ~enqueue_on_delete ~store () in
   (t, of_ops ~name:"sagiv-disk" (module Sagiv_disk) t)
 

@@ -46,17 +46,21 @@ val sagiv_raw :
 (** Like {!sagiv} but also hands back the raw tree, for running
     compaction workers or validation alongside. *)
 
-val sagiv_disk : ?enqueue_on_delete:bool -> ?cache_pages:int -> unit -> impl
+val sagiv_disk :
+  ?enqueue_on_delete:bool -> ?cache_pages:int -> ?stripes:int -> unit -> impl
 (** {!sagiv} over {!Repro_storage.Paged_store} (memory-backed paged
-    file: codec + buffer pool + eviction, no filesystem). *)
+    file: codec + buffer pool + eviction, no filesystem). [stripes]
+    selects the store's IO stripe count. *)
 
 val sagiv_disk_raw :
   ?enqueue_on_delete:bool ->
   ?cache_pages:int ->
+  ?stripes:int ->
   order:int ->
   unit ->
   (int, Paged_int.t) Handle.t * handle
-(** {!sagiv_raw} for the disk backend. *)
+(** {!sagiv_raw} for the disk backend; the store (for writer loops,
+    [io_stats], [flush]) is the raw handle's [store] field. *)
 
 val lehman_yao : impl
 val lock_couple : impl

@@ -108,19 +108,21 @@ let run_ops ?(measure_latency = false) (tree : Tree_intf.handle) ~domains ~ops_p
   end
   else result
 
-(** Like {!run_ops} but with [workers] extra domains running [worker]
-    (typically a {!Repro_core.Compactor} loop over any backend) for the
-    duration of the workload. [worker] receives a stop flag it must poll
-    and a fresh context with a slot disjoint from the measured domains.
-    Worker stats are returned separately. *)
-let run_ops_with_workers (tree : Tree_intf.handle) ~domains ~workers
-    ~(worker : stop:bool Atomic.t -> Handle.ctx -> unit) ~ops_per_domain ~seed
-    spec : result * Repro_storage.Stats.t =
+(** Like {!run_ops} but with one extra domain per element of [aux], each
+    running its function (a {!Repro_core.Compactor} loop, a
+    {!Repro_storage.Paged_store} writer loop, ...) for the duration of the
+    workload. Each function receives the shared stop flag it must poll and
+    a fresh context with a slot disjoint from the measured domains. Aux
+    stats are merged and returned separately. *)
+let run_ops_with_aux (tree : Tree_intf.handle) ~domains
+    ~(aux : (stop:bool Atomic.t -> Handle.ctx -> unit) array) ~ops_per_domain
+    ~seed spec : result * Repro_storage.Stats.t =
   let stop = Atomic.make false in
+  let workers = Array.length aux in
   let aux_ctxs = Array.init workers (fun i -> Handle.ctx ~slot:(domains + i)) in
   let aux_domains =
     Array.init workers (fun i ->
-        Domain.spawn (fun () -> worker ~stop aux_ctxs.(i)))
+        Domain.spawn (fun () -> aux.(i) ~stop aux_ctxs.(i)))
   in
   let result = run_ops tree ~domains ~ops_per_domain ~seed spec in
   Atomic.set stop true;
@@ -130,6 +132,13 @@ let run_ops_with_workers (tree : Tree_intf.handle) ~domains ~workers
     (fun c -> Repro_storage.Stats.merge ~into:aux_stats c.Handle.stats)
     aux_ctxs;
   (result, aux_stats)
+
+(** Like {!run_ops} but with [workers] extra domains all running [worker]. *)
+let run_ops_with_workers (tree : Tree_intf.handle) ~domains ~workers
+    ~(worker : stop:bool Atomic.t -> Handle.ctx -> unit) ~ops_per_domain ~seed
+    spec : result * Repro_storage.Stats.t =
+  run_ops_with_aux tree ~domains ~aux:(Array.make workers worker) ~ops_per_domain
+    ~seed spec
 
 (** Like {!run_ops} but with [compactors] extra domains running
     {!Repro_core.Compactor} workers on [raw] for the duration of the

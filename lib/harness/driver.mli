@@ -40,6 +40,20 @@ val run_ops :
   Workload.spec ->
   result
 
+val run_ops_with_aux :
+  Tree_intf.handle ->
+  domains:int ->
+  aux:(stop:bool Atomic.t -> Handle.ctx -> unit) array ->
+  ops_per_domain:int ->
+  seed:int ->
+  Workload.spec ->
+  result * Repro_storage.Stats.t
+(** {!run_ops} with one extra domain per element of [aux] — heterogeneous
+    background workers (a compactor loop next to a
+    {!Repro_storage.Paged_store} writer loop, say), each polling the
+    shared stop flag, with epoch slots [domains .. domains +
+    Array.length aux - 1]. Their merged stats are returned separately. *)
+
 val run_ops_with_workers :
   Tree_intf.handle ->
   domains:int ->

@@ -94,8 +94,7 @@ let pin t page =
         Hashtbl.remove t.table f.page;
         t.evictions <- t.evictions + 1
       end;
-      if page < Paged_file.pages t.file then
-        Bytes.blit (Paged_file.read t.file page) 0 f.data 0 (Bytes.length f.data)
+      if page < Paged_file.pages t.file then Paged_file.read_into t.file page f.data
       else Bytes.fill f.data 0 (Bytes.length f.data) '\000';
       f.page <- page;
       f.dirty <- false;
@@ -112,6 +111,14 @@ let unpin t page ~dirty =
       if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
       f.pins <- f.pins - 1;
       if dirty then f.dirty <- true
+
+(** Copy a page's bytes out through the pool (pin, copy, unpin): for
+    callers that decode outside the pool owner's critical section. *)
+let read_page t page =
+  let data = pin t page in
+  let b = Bytes.sub data 0 (Bytes.length data) in
+  unpin t page ~dirty:false;
+  b
 
 (** Allocate a fresh disk page (zero-filled, pinned). *)
 let alloc t =

@@ -15,6 +15,10 @@ val pin : t -> int -> Bytes.t
 
 val unpin : t -> int -> dirty:bool -> unit
 
+val read_page : t -> int -> Bytes.t
+(** Copy a page's bytes out (pin, copy, unpin clean): lets a caller hold
+    the pool's lock only for the copy and decode outside it. *)
+
 val alloc : t -> int
 (** Fresh zero-filled disk page, returned pinned. *)
 

@@ -15,7 +15,9 @@ type retired = { epoch : int; ptr : Node.ptr }
 type t = {
   global : int Atomic.t;
   pins : int Atomic.t array;  (** per-worker pinned epoch; [max_int] = idle *)
-  mutable limbo : retired list;  (** newest first *)
+  mutable limbo : retired list;  (** strictly descending epochs (newest first) *)
+  limbo_len : int Atomic.t;  (** length of [limbo]; readable without the mutex *)
+  max_limbo : int Atomic.t;  (** limbo depth high-water mark *)
   limbo_mutex : Mutex.t;
   reclaimed : int Atomic.t;
 }
@@ -27,6 +29,8 @@ let create ?(slots = 64) () =
     global = Atomic.make 0;
     pins = Array.init (slots * stride) (fun _ -> Atomic.make max_int);
     limbo = [];
+    limbo_len = Atomic.make 0;
+    max_limbo = Atomic.make 0;
     limbo_mutex = Mutex.create ();
     reclaimed = Atomic.make 0;
   }
@@ -56,30 +60,52 @@ let min_pinned t =
 
 (** Retire a deleted page: it will be handed to [release] (below, via
     {!reclaim}) once no process that could still read it remains. Advances
-    the global epoch so the grace period starts immediately. *)
+    the global epoch so the grace period starts immediately.
+
+    The epoch tick happens {e inside} the mutex so the limbo list stays
+    strictly descending in epoch — two concurrent retires could otherwise
+    push out of order, and {!reclaim}'s suffix split below depends on the
+    ordering. *)
 let retire t ptr =
-  let e = Atomic.fetch_and_add t.global 1 in
   Mutex.lock t.limbo_mutex;
+  let e = Atomic.fetch_and_add t.global 1 in
   t.limbo <- { epoch = e; ptr } :: t.limbo;
-  Mutex.unlock t.limbo_mutex
+  let len = 1 + Atomic.fetch_and_add t.limbo_len 1 in
+  Mutex.unlock t.limbo_mutex;
+  let rec bump () =
+    let cur = Atomic.get t.max_limbo in
+    if len > cur && not (Atomic.compare_and_set t.max_limbo cur len) then bump ()
+  in
+  bump ()
 
 (** Release every retired page whose grace period has passed, calling
-    [release] on each. Returns how many were released. *)
+    [release] on each. Returns how many were released.
+
+    The limbo list is strictly descending in epoch (see {!retire}), so the
+    reclaimable entries are exactly a suffix: one walk to the first entry
+    older than the horizon splits the list — no [List.partition] copy of
+    the survivors, no second traversal to count. Under the mutex the cost
+    is the walk over survivors only; the frees happen outside. *)
 let reclaim t ~release =
   let horizon = min_pinned t in
   Mutex.lock t.limbo_mutex;
-  let keep, free = List.partition (fun r -> r.epoch >= horizon) t.limbo in
-  t.limbo <- keep;
+  (* Split at the first entry with [epoch < horizon]: [rev_keep] collects
+     survivors (reversed), the return is the reclaimable suffix. *)
+  let rec split rev_keep = function
+    | r :: rest when r.epoch >= horizon -> split (r :: rev_keep) rest
+    | suffix ->
+        t.limbo <- List.rev rev_keep;
+        suffix
+  in
+  let free = split [] t.limbo in
+  let n = List.length free in
+  if n > 0 then ignore (Atomic.fetch_and_add t.limbo_len (-n));
   Mutex.unlock t.limbo_mutex;
   List.iter (fun r -> release r.ptr) free;
-  let n = List.length free in
   ignore (Atomic.fetch_and_add t.reclaimed n);
   n
 
-let pending t =
-  Mutex.lock t.limbo_mutex;
-  let n = List.length t.limbo in
-  Mutex.unlock t.limbo_mutex;
-  n
-
+(* O(1), no mutex: the count is maintained by retire/reclaim. *)
+let pending t = Atomic.get t.limbo_len
+let max_limbo_depth t = Atomic.get t.max_limbo
 let total_reclaimed t = Atomic.get t.reclaimed

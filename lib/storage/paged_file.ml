@@ -74,12 +74,15 @@ let append t page =
   write t idx page;
   idx
 
-let read t idx =
+(** Read page [idx] into [buf] (a full-page buffer supplied by the
+    caller) without allocating — the buffer-pool miss path. *)
+let read_into t idx buf =
   if idx < 0 || idx >= t.pages then invalid_arg "Paged_file.read: out of range";
+  if Bytes.length buf <> t.page_size then
+    invalid_arg "Paged_file.read_into: wrong buffer size";
   match t.backend with
-  | Memory m -> Bytes.sub m.data (idx * t.page_size) t.page_size
+  | Memory m -> Bytes.blit m.data (idx * t.page_size) buf 0 t.page_size
   | File fd ->
-      let buf = Bytes.create t.page_size in
       ignore (Unix.lseek fd (idx * t.page_size) Unix.SEEK_SET);
       let rec fill off =
         if off < t.page_size then begin
@@ -88,8 +91,12 @@ let read t idx =
           fill (off + n)
         end
       in
-      fill 0;
-      buf
+      fill 0
+
+let read t idx =
+  let buf = Bytes.create t.page_size in
+  read_into t idx buf;
+  buf
 
 let sync t = match t.backend with Memory _ -> () | File fd -> Unix.fsync fd
 let close t = match t.backend with Memory _ -> () | File fd -> Unix.close fd

@@ -26,5 +26,10 @@ val write : t -> int -> Bytes.t -> unit
 (** Overwrite page [idx] (or append when [idx = pages]). *)
 
 val read : t -> int -> Bytes.t
+
+val read_into : t -> int -> Bytes.t -> unit
+(** Like {!read} but into a caller-supplied full-page buffer, allocation
+    free — the buffer-pool miss path. *)
+
 val sync : t -> unit
 val close : t -> unit

@@ -10,38 +10,65 @@
       a cached page and every [lock]/[unlock] are lock-free/latch-only and
       the paper's indivisible get/put model is preserved. Slots live in
       fixed chunks that never move.
-    - {b IO layer}: one mutex ([io]) serialises the single-owner buffer
-      pool and the file. Only cache misses, write-back, eviction and
-      [sync] take it; the concurrent fast paths never do.
+    - {b IO layer}: the pages are hashed across N {e stripes} (page [p]
+      belongs to stripe [p land (N-1)]); each stripe has its own mutex,
+      clock hand, resident counter and pending-write-back table, so
+      faults, evictions and releases touching {e distinct} stripes
+      proceed in parallel. One small [file_lock] serialises the
+      single-owner {!Buffer_pool} / {!Paged_file} tail; it is held only
+      for the byte copy of a read or write, never across decode/encode.
+    - {b Background writer}: eviction does not write a dirty victim back
+      inline when a writer domain is running — the victim moves into its
+      stripe's pending table and its id onto a bounded write queue the
+      writer drains in batches ({!Make.writer_loop}, typically run via
+      [Driver.run_ops_with_aux] or {!Make.start_writer}). With no writer,
+      or with the queue full, eviction falls back to the synchronous
+      write. [sync] drains every pending table, so durability is
+      unchanged.
     - {b Disk layout}: disk page 0 is the store header (magic, geometry,
       allocator state, free-list head, client metadata); tree pointer [p]
       lives on disk page [p + 1], encoded by {!Page_codec}. The free list
       is threaded through the free pages themselves (first 8 bytes = next
-      pointer), so it survives reopen at zero space cost.
+      pointer), so it survives reopen at zero space cost; the chain is
+      rewritten on [sync] only when the free list changed since the last
+      sync (a dirty flag set by every push/pop).
 
     Concurrency protocol (who may touch what):
 
     - A [put] to a {e reachable} page happens only under that page's latch
       (the tree's discipline); a put to a private page (fresh [reserve])
       races with nothing.
-    - A cache miss faults under [io] and installs with compare-and-set;
-      losing the race means a concurrent [put] installed a {e newer}
-      version, which the reader adopts.
-    - Eviction holds [io] and takes page latches with [try_lock] only —
-      it never blocks on a latch (and so never deadlocks against writers,
-      who may block on [io] while holding a latch); latched pages are
-      simply skipped this sweep. A victim is withdrawn from the cache
-      {e first} and only then written back, still under [io]: faulters
-      serialise on [io], so no reader can observe the pre-write-back disk
-      contents. The victim's dirty bit is exchanged to false before the
-      withdrawal CAS and restored if the CAS fails — a concurrent [put]
-      to a private (just-[reserve]d) page may have swapped in a newer
-      node whose dirty bit must survive the sweep.
-    - [release] runs under [io], so it can never interleave with a fault,
-      an eviction write-back or [sync] on the same page; it clears the
-      slot's [on_disk] flag, so a [get] on a recycled page raises
-      [Freed_page] until the first [put] lands — the same contract as the
-      in-memory {!Store}. *)
+    - A cache miss faults under the page's {e stripe lock} and installs
+      with compare-and-set; losing the race means a concurrent [put]
+      installed a {e newer} version, which the reader adopts. The fault
+      consults the stripe's pending table {e before} the disk, so a
+      victim awaiting background write-back is re-adopted (and its queued
+      write cancelled) rather than re-read stale from disk.
+    - Eviction holds the stripe lock and takes page latches with
+      [try_lock] only — it never blocks on a latch (and so never
+      deadlocks against writers, who may block on a stripe lock while
+      holding a latch); latched pages are simply skipped this sweep. A
+      victim is withdrawn from the cache {e first} and only then written
+      back (or parked in the pending table), still under the stripe lock:
+      faulters for that page serialise on the same stripe, so no reader
+      can observe the pre-write-back disk contents. The victim's dirty
+      bit is exchanged to false before the withdrawal CAS and restored if
+      the CAS fails — a concurrent [put] to a private (just-[reserve]d)
+      page may have swapped in a newer node whose dirty bit must survive
+      the sweep.
+    - [release] runs under the stripe lock, so it can never interleave
+      with a fault, an eviction write-back, the background writer or
+      [sync] on the same page; it cancels any pending write-back and
+      clears the slot's [on_disk] flag, so a [get] on a recycled page
+      raises [Freed_page] until the first [put] lands — the same contract
+      as the in-memory {!Store}.
+
+    Lock order (acyclic; see doc/CONCURRENCY.md): latch -> stripe ->
+    file, with the write-queue mutex a leaf taken under a stripe lock
+    (enqueue) or with nothing held (writer pop). The background writer
+    processes each entry under its page's stripe lock, revalidating
+    against the pending table — a popped id whose entry was cancelled
+    (re-fault, release, sync) is skipped. *)
 
 exception Corrupt of string
 
@@ -54,35 +81,82 @@ let chunk_size = 1 lsl chunk_bits
 let max_chunks = 1 lsl 14 (* 64 M pages *)
 
 let default_cache_pages = 4096
+let default_stripes = 8
+let default_queue_cap = 256
+
+(* Lock-free monotonic max on an atomic gauge. *)
+let rec update_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_max a v
 
 module Make (K : Key.S) = struct
   module Codec = Page_codec.Make (K)
 
   type key = K.t
 
+  (** One cached version of a page. The dirty flag lives {e in the entry},
+      not the slot: it describes exactly this version's relation to the
+      disk, so an evictor that wins the withdrawal CAS on an entry owns
+      that entry's flag outright. A slot-level dirty bit has an unfixable
+      steal race: the evictor's exchange can land between a concurrent
+      [put] setting the bit and swapping its node in, silently
+      declassifying the {e newer} version to clean — which a later sweep
+      then drops without write-back. *)
+  type entry = {
+    node : K.t Node.t;
+    e_dirty : bool Atomic.t;  (** this version newer than disk *)
+  }
+
   type slot = {
-    cached : K.t Node.t option Atomic.t;  (** decoded node, if resident *)
+    cached : entry option Atomic.t;  (** decoded node, if resident *)
     latch : Mutex.t;  (** the page latch of the §2.2 model *)
-    dirty : bool Atomic.t;  (** cached version newer than disk *)
     referenced : bool Atomic.t;  (** clock second-chance bit *)
     freed : bool Atomic.t;  (** released, awaiting reallocation *)
     on_disk : bool Atomic.t;  (** the page has ever been written to disk *)
+  }
+
+  type stripe = {
+    s_lock : Mutex.t;  (** serialises fault/evict/release/write-back for this stripe's pages *)
+    pending : (int, K.t Node.t) Hashtbl.t;
+        (** dirty victims withdrawn from the cache, awaiting background
+            write-back; consulted by faults before the disk (under [s_lock]) *)
+    resident : int Atomic.t;  (** cached nodes in this stripe *)
+    mutable hand : int;  (** clock position within this stripe's page sequence *)
+    mutable faults : int;  (** disk reads (under [s_lock]) *)
+    mutable stall_s : float;  (** time faulters waited for [s_lock] *)
+    mutable inline_wb : int;  (** synchronous eviction write-backs *)
+    mutable queued_wb : int;  (** write-backs handed to the writer *)
   }
 
   type t = {
     chunks : slot array option Atomic.t array;
     next : int Atomic.t;  (** bump allocator frontier *)
     free_list : int list Atomic.t;
+    free_len : int Atomic.t;  (** length of [free_list] (header bookkeeping) *)
+    free_dirty : bool Atomic.t;  (** free list changed since last chain write *)
     freed : int Atomic.t;  (** total pages ever freed *)
     allocated : int Atomic.t;  (** total pages ever allocated *)
     meta : Bytes.t option Atomic.t;
-    io : Mutex.t;  (** guards [pool], the file, [hand] and [zero] *)
+    stripes : stripe array;  (** length is a power of two *)
+    stripe_mask : int;
+    stripe_cap : int;  (** max resident decoded nodes per stripe *)
+    file_lock : Mutex.t;  (** guards [pool], the file and [zero] *)
     pool : Buffer_pool.t;
-    cache_cap : int;  (** max resident decoded nodes *)
-    resident : int Atomic.t;
-    mutable hand : int;  (** node-cache clock hand (under [io]) *)
     page_size : int;
-    zero : Bytes.t;  (** scratch page (under [io]) *)
+    zero : Bytes.t;  (** scratch page (under [file_lock]) *)
+    (* background-writer queue *)
+    wq : int Queue.t;  (** page ids with a pending-table entry (under [wq_lock]) *)
+    wq_lock : Mutex.t;
+    wq_cap : int;
+    wq_depth : int Atomic.t;
+    writers : int Atomic.t;  (** running writer loops; 0 = synchronous fallback *)
+    mutable writer : (unit Domain.t * bool Atomic.t) option;  (** under [wq_lock] *)
+    (* gauges *)
+    faulting : int Atomic.t;  (** faults currently reading from storage *)
+    max_faulting : int Atomic.t;
+    max_wq_depth : int Atomic.t;
+    writer_batches : int Atomic.t;
+    max_batch : int Atomic.t;
   }
 
   let new_chunk () =
@@ -90,7 +164,6 @@ module Make (K : Key.S) = struct
         {
           cached = Atomic.make None;
           latch = Mutex.create ();
-          dirty = Atomic.make false;
           referenced = Atomic.make false;
           freed = Atomic.make false;
           on_disk = Atomic.make false;
@@ -117,98 +190,149 @@ module Make (K : Key.S) = struct
     | Some c -> Some c.(ptr land (chunk_size - 1))
     | None -> None
 
-  let with_io t f =
-    Mutex.lock t.io;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.io) f
+  let stripe_index t ptr = ptr land t.stripe_mask
 
-  (* ---------- IO layer (all under [io]) ---------- *)
+  let with_stripe (st : stripe) f =
+    Mutex.lock st.s_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock st.s_lock) f
+
+  let with_file t f =
+    Mutex.lock t.file_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.file_lock) f
+
+  (* ---------- IO layer ---------- *)
 
   let file t = Buffer_pool.file t.pool
 
   (* Append zero pages until disk page [dpage] exists, so the pool's
-     write-back never violates Paged_file's no-hole rule. *)
-  let ensure_materialized_locked t dpage =
+     write-back never violates Paged_file's no-hole rule. Under
+     [file_lock]. *)
+  let ensure_materialized_flocked t dpage =
     let f = file t in
     Bytes.fill t.zero 0 t.page_size '\000';
     while Paged_file.pages f <= dpage do
       ignore (Paged_file.append f t.zero)
     done
 
-  let write_node_locked t ptr n =
-    let dpage = ptr + 1 in
-    ensure_materialized_locked t dpage;
-    let frame = Buffer_pool.pin t.pool dpage in
+  (* Write node [n] to [ptr]'s disk page. Caller holds [ptr]'s stripe
+     lock (or is single-threaded construction); encoding happens outside
+     [file_lock] so concurrent write-backs on other stripes only
+     serialise for the byte copy. *)
+  let write_node_striped t ptr n =
     let b = Codec.to_bytes n in
     if Bytes.length b > t.page_size then
       failwith
         (Printf.sprintf "Paged_store: node needs %d bytes, page is %d"
            (Bytes.length b) t.page_size);
-    Bytes.fill frame 0 t.page_size '\000';
-    Bytes.blit b 0 frame 0 (Bytes.length b);
-    Buffer_pool.unpin t.pool dpage ~dirty:true;
+    let dpage = ptr + 1 in
+    with_file t (fun () ->
+        ensure_materialized_flocked t dpage;
+        let frame = Buffer_pool.pin t.pool dpage in
+        Bytes.fill frame 0 t.page_size '\000';
+        Bytes.blit b 0 frame 0 (Bytes.length b);
+        Buffer_pool.unpin t.pool dpage ~dirty:true);
     Atomic.set (slot t ptr).on_disk true
 
-  let read_node_locked t ptr =
+  (* Read and decode [ptr]'s disk page. Caller holds [ptr]'s stripe lock;
+     the byte copy happens under [file_lock], the decode outside it. *)
+  let read_node_striped t ptr =
     let dpage = ptr + 1 in
-    let frame = Buffer_pool.pin t.pool dpage in
-    let n =
-      try Codec.of_bytes frame
-      with Page_codec.Corrupt msg ->
-        Buffer_pool.unpin t.pool dpage ~dirty:false;
-        raise (Corrupt (Printf.sprintf "page %d: %s" ptr msg))
-    in
-    Buffer_pool.unpin t.pool dpage ~dirty:false;
-    n
+    let bytes = with_file t (fun () -> Buffer_pool.read_page t.pool dpage) in
+    try Codec.of_bytes bytes
+    with Page_codec.Corrupt msg ->
+      raise (Corrupt (Printf.sprintf "page %d: %s" ptr msg))
 
-  (* Clock sweep over the node cache: write back and drop unreferenced,
-     unlatched nodes until the resident count is back under the cap.
-     Latches are only try_locked — see the protocol note above. *)
-  let maybe_evict_locked t =
+  (* ---------- write-back: queue to the writer or do it inline ---------- *)
+
+  (* Hand a withdrawn dirty victim to the background writer, or write it
+     back synchronously when no writer runs / the queue is full. Caller
+     holds [si]'s stripe lock; the victim is already out of the cache, so
+     parking it in [pending] keeps it reachable for faulters (who check
+     [pending] before the disk, under the same stripe lock). *)
+  let write_back_victim t (st : stripe) p n =
+    if Atomic.get t.writers > 0 && Atomic.get t.wq_depth < t.wq_cap then begin
+      Hashtbl.replace st.pending p n;
+      Mutex.lock t.wq_lock;
+      Queue.push p t.wq;
+      Mutex.unlock t.wq_lock;
+      let d = 1 + Atomic.fetch_and_add t.wq_depth 1 in
+      update_max t.max_wq_depth d;
+      st.queued_wb <- st.queued_wb + 1
+    end
+    else begin
+      (* Cancel any queued write of an {e older} version of this page
+         before the inline write lands: the sequence evict(queued) ->
+         put -> evict(inline, queue full) would otherwise leave the
+         stale entry for the writer to pop after us, clobbering the
+         newer bytes on disk. The victim in hand is always newest — it
+         was just withdrawn from the cache. *)
+      Hashtbl.remove st.pending p;
+      write_node_striped t p n;
+      st.inline_wb <- st.inline_wb + 1
+    end
+
+  (* How many page ids below [frontier] hash to stripe [si]. *)
+  let stripe_page_count t si frontier =
+    if frontier <= si then 0
+    else 1 + ((frontier - 1 - si) / Array.length t.stripes)
+
+  (* Clock sweep over this stripe's slice of the node cache: write back
+     (or queue) and drop unreferenced, unlatched nodes until the stripe's
+     resident count is back under its cap. Latches are only try_locked —
+     see the protocol note above. Caller holds [si]'s stripe lock. *)
+  let maybe_evict_stripe t si (st : stripe) =
+    let nstripes = Array.length t.stripes in
     let frontier = Atomic.get t.next in
-    if Atomic.get t.resident > t.cache_cap && frontier > 0 then begin
-      let budget = ref (2 * frontier) in
-      while Atomic.get t.resident > t.cache_cap && !budget > 0 do
+    let count = stripe_page_count t si frontier in
+    if count > 0 then begin
+      let budget = ref (2 * count) in
+      while Atomic.get st.resident > t.stripe_cap && !budget > 0 do
         decr budget;
-        let p = t.hand in
-        t.hand <- (t.hand + 1) mod frontier;
+        if st.hand >= count then st.hand <- 0;
+        let p = si + (st.hand * nstripes) in
+        st.hand <- st.hand + 1;
         match slot_opt t p with
         | None -> ()
         | Some s -> (
             if (not (Atomic.get s.freed)) && Atomic.get s.cached <> None then
               if Atomic.get s.referenced then Atomic.set s.referenced false
               else if Mutex.try_lock s.latch then begin
-                (* Withdraw first, write back second: we hold [io], so a
-                   faulter cannot read the disk page until the write-back
-                   below has landed. The CAS is against the exact option
-                   value read — physical equality distinguishes our
-                   snapshot from any newer node a concurrent [put] to a
-                   private page may install. The dirty bit is taken with
-                   an exchange {e before} the CAS and handed back on CAS
-                   failure, so a racing put's dirty marking is never
-                   clobbered (a clean cached node would later be dropped
-                   without write-back and its data silently lost). *)
+                (* Withdraw first, write back second: we hold the stripe
+                   lock, so a faulter for this page cannot read the disk
+                   until the write-back (or pending-table entry) below has
+                   landed. The CAS is against the exact option value read —
+                   physical equality distinguishes our snapshot from any
+                   newer entry a concurrent [put] to a private page may
+                   install. Winning the CAS makes the entry (and its dirty
+                   flag) exclusively ours; losing it means a newer entry
+                   took the slot, and we touched nothing of it. *)
                 (match Atomic.get s.cached with
-                | Some n as snapshot when not (Atomic.get s.freed) ->
-                    let was_dirty = Atomic.exchange s.dirty false in
+                | Some e as snapshot when not (Atomic.get s.freed) ->
                     if Atomic.compare_and_set s.cached snapshot None then begin
-                      Atomic.decr t.resident;
-                      if was_dirty then write_node_locked t p n
+                      Atomic.decr st.resident;
+                      if Atomic.get e.e_dirty then write_back_victim t st p e.node
                     end
-                    else if was_dirty then Atomic.set s.dirty true
                 | _ -> ());
                 Mutex.unlock s.latch
               end)
       done
     end
 
-  let check_evict t =
-    if Atomic.get t.resident > t.cache_cap then
-      with_io t (fun () -> maybe_evict_locked t)
+  let check_evict t si (st : stripe) =
+    if Atomic.get st.resident > t.stripe_cap then
+      with_stripe st (fun () -> maybe_evict_stripe t si st)
 
   (* ---------- construction ---------- *)
 
-  let make ~page_size ~cache_pages pfile =
+  let make ~page_size ~cache_pages ~stripes pfile =
     if cache_pages < 1 then invalid_arg "Paged_store: cache_pages must be >= 1";
+    (* Stripe count: a power of two, never more than the cache pages (so
+       every stripe caches at least one node). *)
+    let nstripes =
+      let want = max 1 (min (min stripes cache_pages) 1024) in
+      let rec pow2 n = if 2 * n <= want then pow2 (2 * n) else n in
+      pow2 1
+    in
     (* Frame count needs headroom over one page so eviction write-back and
        header IO never starve; the node cache, not the pool, is the
        capacity knob. *)
@@ -217,28 +341,56 @@ module Make (K : Key.S) = struct
       chunks = Array.init max_chunks (fun _ -> Atomic.make None);
       next = Atomic.make 0;
       free_list = Atomic.make [];
+      free_len = Atomic.make 0;
+      free_dirty = Atomic.make false;
       freed = Atomic.make 0;
       allocated = Atomic.make 0;
       meta = Atomic.make None;
-      io = Mutex.create ();
+      stripes =
+        Array.init nstripes (fun _ ->
+            {
+              s_lock = Mutex.create ();
+              pending = Hashtbl.create 16;
+              resident = Atomic.make 0;
+              hand = 0;
+              faults = 0;
+              stall_s = 0.0;
+              inline_wb = 0;
+              queued_wb = 0;
+            });
+      stripe_mask = nstripes - 1;
+      stripe_cap = max 1 (cache_pages / nstripes);
+      file_lock = Mutex.create ();
       pool = Buffer_pool.create ~frames pfile;
-      cache_cap = cache_pages;
-      resident = Atomic.make 0;
-      hand = 0;
       page_size;
       zero = Bytes.create page_size;
+      wq = Queue.create ();
+      wq_lock = Mutex.create ();
+      wq_cap = default_queue_cap;
+      wq_depth = Atomic.make 0;
+      writers = Atomic.make 0;
+      writer = None;
+      faulting = Atomic.make 0;
+      max_faulting = Atomic.make 0;
+      max_wq_depth = Atomic.make 0;
+      writer_batches = Atomic.make 0;
+      max_batch = Atomic.make 0;
     }
 
   let create_memory ?(page_size = Paged_file.default_page_size)
-      ?(cache_pages = default_cache_pages) () =
-    let t = make ~page_size ~cache_pages (Paged_file.create_memory ~page_size ()) in
-    with_io t (fun () -> ensure_materialized_locked t 0);
+      ?(cache_pages = default_cache_pages) ?(stripes = default_stripes) () =
+    let t =
+      make ~page_size ~cache_pages ~stripes (Paged_file.create_memory ~page_size ())
+    in
+    with_file t (fun () -> ensure_materialized_flocked t 0);
     t
 
   let create_file ?(page_size = Paged_file.default_page_size)
-      ?(cache_pages = default_cache_pages) path =
-    let t = make ~page_size ~cache_pages (Paged_file.create_file ~page_size path) in
-    with_io t (fun () -> ensure_materialized_locked t 0);
+      ?(cache_pages = default_cache_pages) ?(stripes = default_stripes) path =
+    let t =
+      make ~page_size ~cache_pages ~stripes (Paged_file.create_file ~page_size path)
+    in
+    with_file t (fun () -> ensure_materialized_flocked t 0);
     t
 
   let create () = create_memory ()
@@ -250,7 +402,12 @@ module Make (K : Key.S) = struct
       match Atomic.get t.free_list with
       | [] -> None
       | p :: rest as old ->
-          if Atomic.compare_and_set t.free_list old rest then Some p else go ()
+          if Atomic.compare_and_set t.free_list old rest then begin
+            Atomic.decr t.free_len;
+            Atomic.set t.free_dirty true;
+            Some p
+          end
+          else go ()
     in
     go ()
 
@@ -259,27 +416,35 @@ module Make (K : Key.S) = struct
       let old = Atomic.get t.free_list in
       if not (Atomic.compare_and_set t.free_list old (p :: old)) then go ()
     in
-    go ()
+    go ();
+    Atomic.incr t.free_len;
+    Atomic.set t.free_dirty true
 
   let fresh_ptr t =
     let p = Atomic.fetch_and_add t.next 1 in
     ignore (ensure_chunk t (p lsr chunk_bits));
     p
 
-  let install t s n =
-    Atomic.set s.dirty true;
-    Atomic.set s.referenced true;
-    (match Atomic.exchange s.cached (Some n) with
+  let install t ptr s n =
+    (* Only dirty the cache line when the bit is actually clear: every
+       cache hit setting [referenced] unconditionally turns the hot-path
+       read into a cross-domain store on shared lines (the root's slot is
+       touched by literally every operation). *)
+    if not (Atomic.get s.referenced) then Atomic.set s.referenced true;
+    let si = stripe_index t ptr in
+    let st = t.stripes.(si) in
+    (match Atomic.exchange s.cached (Some { node = n; e_dirty = Atomic.make true })
+     with
     | Some _ -> ()
-    | None -> Atomic.incr t.resident);
-    check_evict t
+    | None -> Atomic.incr st.resident);
+    check_evict t si st
 
   let alloc t node =
     Atomic.incr t.allocated;
     let p = match pop_free t with Some p -> p | None -> fresh_ptr t in
     let s = slot t p in
     Atomic.set s.freed false;
-    install t s node;
+    install t p s node;
     p
 
   let reserve t =
@@ -288,61 +453,108 @@ module Make (K : Key.S) = struct
     Atomic.set (slot t p).freed false;
     p
 
-  let put t ptr node = install t (slot t ptr) node
+  let put t ptr node = install t ptr (slot t ptr) node
 
-  (* Cache miss: fault the page in under [io]. The compare-and-set install
-     can lose only to a concurrent [put], whose version is newer — adopt
-     it. [release] also runs under [io], so the freed / on_disk checks
-     here are authoritative: a release ordered after this fault finds the
-     installed node and withdraws it itself, exactly as it would withdraw
-     one installed by [put]. Returning the node to a caller whose
-     reference outlived the release is the same stale-read the in-memory
-     {!Store} permits; epoch reclamation makes it safe. *)
+  (* Cache miss: fault the page in under its stripe lock. The
+     compare-and-set install can lose only to a concurrent [put], whose
+     version is newer — adopt it. [release] also runs under the stripe
+     lock, so the freed / on_disk checks here are authoritative: a
+     release ordered after this fault finds the installed node and
+     withdraws it itself, exactly as it would withdraw one installed by
+     [put]. Returning the node to a caller whose reference outlived the
+     release is the same stale-read the in-memory {!Store} permits; epoch
+     reclamation makes it safe. *)
   let fault t ptr s =
-    with_io t (fun () ->
+    let si = stripe_index t ptr in
+    let st = t.stripes.(si) in
+    let t0 = Unix.gettimeofday () in
+    Mutex.lock st.s_lock;
+    st.stall_s <- st.stall_s +. (Unix.gettimeofday () -. t0);
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock st.s_lock)
+      (fun () ->
         match Atomic.get s.cached with
-        | Some n -> n
-        | None ->
+        | Some e -> e.node
+        | None -> (
             if Atomic.get s.freed then raise (Page_store.Freed_page ptr);
-            if not (Atomic.get s.on_disk) then
-              raise (Page_store.Freed_page ptr);
-            let n = read_node_locked t ptr in
-            if Atomic.compare_and_set s.cached None (Some n) then begin
-              Atomic.incr t.resident;
-              Atomic.set s.referenced true;
-              maybe_evict_locked t;
-              n
-            end
-            else
-              match Atomic.get s.cached with Some n' -> n' | None -> n)
+            match Hashtbl.find_opt st.pending ptr with
+            | Some n ->
+                (* An evicted victim the writer has not drained yet: adopt
+                   it and cancel the queued write (the re-installed entry
+                   is dirty and will be re-written on its next eviction or
+                   on [sync]; the writer skips ids with no pending entry). *)
+                Hashtbl.remove st.pending ptr;
+                Atomic.set s.referenced true;
+                let e = { node = n; e_dirty = Atomic.make true } in
+                if Atomic.compare_and_set s.cached None (Some e) then begin
+                  Atomic.incr st.resident;
+                  n
+                end
+                else (
+                  match Atomic.get s.cached with
+                  | Some e' -> e'.node
+                  | None -> n)
+            | None ->
+                if not (Atomic.get s.on_disk) then
+                  raise (Page_store.Freed_page ptr);
+                st.faults <- st.faults + 1;
+                let c = 1 + Atomic.fetch_and_add t.faulting 1 in
+                update_max t.max_faulting c;
+                let n =
+                  Fun.protect
+                    ~finally:(fun () -> Atomic.decr t.faulting)
+                    (fun () -> read_node_striped t ptr)
+                in
+                Atomic.set s.referenced true;
+                (* Fresh from disk: the entry is born clean. *)
+                let e = { node = n; e_dirty = Atomic.make false } in
+                if Atomic.compare_and_set s.cached None (Some e) then begin
+                  Atomic.incr st.resident;
+                  maybe_evict_stripe t si st;
+                  n
+                end
+                else (
+                  match Atomic.get s.cached with
+                  | Some e' -> e'.node
+                  | None -> n)))
 
   let get t ptr =
     let s = slot t ptr in
     match Atomic.get s.cached with
-    | Some n ->
-        Atomic.set s.referenced true;
-        n
-    | None -> if Atomic.get s.freed then raise (Page_store.Freed_page ptr) else fault t ptr s
+    | Some e ->
+        (* Second-chance bit: write only on transition. An unconditional
+           [Atomic.set] here is a cross-domain cache-line ping on every
+           hit — the root's slot alone would be dirtied by every single
+           operation in the system. *)
+        if not (Atomic.get s.referenced) then Atomic.set s.referenced true;
+        e.node
+    | None ->
+        if Atomic.get s.freed then raise (Page_store.Freed_page ptr)
+        else fault t ptr s
 
   let lock t ptr = Mutex.lock (slot t ptr).latch
   let unlock t ptr = Mutex.unlock (slot t ptr).latch
   let try_lock t ptr = Mutex.try_lock (slot t ptr).latch
 
-  (* Under [io]: a release must never interleave with an eviction
-     write-back, a fault or [sync] touching the same page — otherwise the
-     page can reach the free list (and be recycled by [reserve]/[put])
-     while the evictor is still mid-write, and the evictor's bookkeeping
-     would clobber the new tenant's. [on_disk] is cleared so a [get] on
-     the recycled page raises [Freed_page] until its first [put], instead
-     of resurrecting the pre-release contents from disk. *)
+  (* Under the stripe lock: a release must never interleave with an
+     eviction write-back, a fault, the background writer or [sync]
+     touching the same page — otherwise the page can reach the free list
+     (and be recycled by [reserve]/[put]) while an evictor is still
+     mid-write, and the evictor's bookkeeping would clobber the new
+     tenant's. Any pending background write-back is cancelled here — a
+     stale write landing after the page is recycled would clobber the new
+     tenant's disk contents. [on_disk] is cleared so a [get] on the
+     recycled page raises [Freed_page] until its first [put], instead of
+     resurrecting the pre-release contents from disk. *)
   let release t ptr =
     let s = slot t ptr in
-    with_io t (fun () ->
+    let st = t.stripes.(stripe_index t ptr) in
+    with_stripe st (fun () ->
         Atomic.set s.freed true;
+        Hashtbl.remove st.pending ptr;
         (match Atomic.exchange s.cached None with
-        | Some _ -> Atomic.decr t.resident
+        | Some _ -> Atomic.decr st.resident
         | None -> ());
-        Atomic.set s.dirty false;
         Atomic.set s.on_disk false;
         Atomic.incr t.freed;
         push_free t ptr)
@@ -352,8 +564,8 @@ module Make (K : Key.S) = struct
   let total_freed t = Atomic.get t.freed
 
   (* Quiescent only (like {!Store.iter}): uncached pages are read from
-     disk without being installed, so iteration does not thrash the
-     cache. *)
+     disk (or the pending table) without being installed, so iteration
+     does not thrash the cache. *)
   let iter t f =
     let frontier = Atomic.get t.next in
     for p = 0 to frontier - 1 do
@@ -362,18 +574,114 @@ module Make (K : Key.S) = struct
       | Some s ->
           if not (Atomic.get s.freed) then (
             match Atomic.get s.cached with
-            | Some n -> f p n
-            | None ->
-                if Atomic.get s.on_disk then
-                  f p (with_io t (fun () -> read_node_locked t p)))
+            | Some e -> f p e.node
+            | None -> (
+                let st = t.stripes.(stripe_index t p) in
+                let n =
+                  with_stripe st (fun () ->
+                      match Atomic.get s.cached with
+                      | Some e -> Some e.node
+                      | None -> (
+                          match Hashtbl.find_opt st.pending p with
+                          | Some n -> Some n
+                          | None ->
+                              if Atomic.get s.on_disk then
+                                Some (read_node_striped t p)
+                              else None))
+                in
+                match n with Some n -> f p n | None -> ()))
     done
 
   let set_meta t bytes = Atomic.set t.meta (Some (Bytes.copy bytes))
   let get_meta t = Atomic.get t.meta
 
+  (* ---------- the background writer ---------- *)
+
+  (* Pop everything currently queued (under [wq_lock]); the depth gauge
+     drops as entries are popped, re-opening queue capacity. *)
+  let take_batch t =
+    Mutex.lock t.wq_lock;
+    let rec go acc =
+      if Queue.is_empty t.wq then List.rev acc
+      else begin
+        ignore (Atomic.fetch_and_add t.wq_depth (-1));
+        go (Queue.pop t.wq :: acc)
+      end
+    in
+    let batch = go [] in
+    Mutex.unlock t.wq_lock;
+    batch
+
+  (* Drain one queue entry: revalidate against the pending table under
+     the page's stripe lock — the entry may have been cancelled by a
+     re-fault, a release or a sync since it was queued, or superseded by
+     a newer eviction of the same page (the table holds the newest). *)
+  let write_back_one t p =
+    let st = t.stripes.(stripe_index t p) in
+    with_stripe st (fun () ->
+        match Hashtbl.find_opt st.pending p with
+        | None -> ()
+        | Some n ->
+            Hashtbl.remove st.pending p;
+            write_node_striped t p n)
+
+  (** The background-writer loop: drain the write queue in batches until
+      [stop] is raised {e and} the queue is empty. Run it on a dedicated
+      domain ({!start_writer} or [Driver.run_ops_with_aux]); while at
+      least one loop runs, eviction stops writing dirty victims back
+      inline. Entries enqueued after the final drain are picked up by
+      [sync]. *)
+  let writer_loop t ~stop =
+    Atomic.incr t.writers;
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.writers)
+      (fun () ->
+        (* Idle poll interval backs off exponentially: a fixed short
+           sleep costs ~10k wakeups/s of context switches, which on a
+           timeshared core taxes the very workers the writer exists to
+           relieve. The queue (plus the inline-write fallback when it
+           fills) absorbs the extra wake-up latency. *)
+        let idle_min = 1e-4 and idle_max = 2e-3 in
+        let rec run idle =
+          match take_batch t with
+          | [] ->
+              if not (Atomic.get stop) then begin
+                Unix.sleepf idle;
+                run (Float.min idle_max (idle *. 2.))
+              end
+          | batch ->
+              Atomic.incr t.writer_batches;
+              update_max t.max_batch (List.length batch);
+              List.iter (write_back_one t) batch;
+              run idle_min
+        in
+        run idle_min;
+        (* Final drain: everything enqueued before [stop] was observed. *)
+        List.iter (write_back_one t) (take_batch t))
+
+  let start_writer t =
+    Mutex.lock t.wq_lock;
+    (match t.writer with
+    | Some _ -> ()
+    | None ->
+        let stop = Atomic.make false in
+        t.writer <- Some (Domain.spawn (fun () -> writer_loop t ~stop), stop));
+    Mutex.unlock t.wq_lock
+
+  let stop_writer t =
+    Mutex.lock t.wq_lock;
+    let w = t.writer in
+    t.writer <- None;
+    Mutex.unlock t.wq_lock;
+    match w with
+    | None -> ()
+    | Some (d, stop) ->
+        Atomic.set stop true;
+        Domain.join d
+
   (* ---------- durability ---------- *)
 
-  let write_header_locked t =
+  let write_header_flocked t =
     let free = Atomic.get t.free_list in
     let page = Bytes.make t.page_size '\000' in
     let seti off v = Bytes.set_int64_le page off (Int64.of_int v) in
@@ -382,7 +690,7 @@ module Make (K : Key.S) = struct
     seti 16 t.page_size;
     seti 24 (Atomic.get t.next);
     seti 32 (match free with [] -> -1 | p :: _ -> p);
-    seti 40 (List.length free);
+    seti 40 (Atomic.get t.free_len);
     seti 48 (Atomic.get t.allocated);
     seti 56 (Atomic.get t.freed);
     let meta = match Atomic.get t.meta with Some b -> b | None -> Bytes.empty in
@@ -395,12 +703,15 @@ module Make (K : Key.S) = struct
   (* Thread the free list through the free pages themselves: the first 8
      bytes of a free page hold the next free pointer (-1 ends the chain).
      Written directly (not via the pool) after [flush_all], so the chain
-     always wins over any stale pool frame for a freed page. *)
-  let write_free_chain_locked t =
+     always wins over any stale pool frame for a freed page. Called only
+     when the free list changed since the last sync ([free_dirty]) —
+     rewriting the whole chain on every sync made reopen-heavy workloads
+     O(free list) per sync for nothing. *)
+  let write_free_chain_flocked t =
     let rec go = function
       | [] -> ()
       | p :: rest ->
-          ensure_materialized_locked t (p + 1);
+          ensure_materialized_flocked t (p + 1);
           Bytes.fill t.zero 0 t.page_size '\000';
           Bytes.set_int64_le t.zero 0
             (Int64.of_int (match rest with [] -> -1 | q :: _ -> q));
@@ -409,39 +720,53 @@ module Make (K : Key.S) = struct
     in
     go (Atomic.get t.free_list)
 
-  (* Quiescent flush: dirty nodes through the pool, then the pool to the
-     file, then free chain and header directly, then fsync — so the
-     header (and through it the free list) never describes pages that
-     have not landed. *)
+  (* Quiescent flush: per stripe, queued victims first (they are older
+     than any dirty cached version of the same page), then dirty cached
+     nodes; then the pool to the file, then free chain (if changed) and
+     header directly, then fsync — so the header (and through it the free
+     list) never describes pages that have not landed. *)
   let sync t =
-    with_io t (fun () ->
-        let frontier = Atomic.get t.next in
-        for p = 0 to frontier - 1 do
-          match slot_opt t p with
-          | None -> ()
-          | Some s ->
-              if (not (Atomic.get s.freed)) && Atomic.get s.dirty then (
-                match Atomic.get s.cached with
-                | Some n ->
-                    (* Clear before writing: should a non-quiescent put
-                       slip in, its dirty marking survives and the page
-                       is merely written twice, never left stale-clean. *)
-                    Atomic.set s.dirty false;
-                    write_node_locked t p n
-                | None -> ())
-        done;
+    let nstripes = Array.length t.stripes in
+    Array.iteri
+      (fun si (st : stripe) ->
+        with_stripe st (fun () ->
+            let pend = Hashtbl.fold (fun p n acc -> (p, n) :: acc) st.pending [] in
+            Hashtbl.reset st.pending;
+            List.iter (fun (p, n) -> write_node_striped t p n) pend;
+            let frontier = Atomic.get t.next in
+            let p = ref si in
+            while !p < frontier do
+              (match slot_opt t !p with
+              | None -> ()
+              | Some s ->
+                  if not (Atomic.get s.freed) then (
+                    match Atomic.get s.cached with
+                    | Some e when Atomic.get e.e_dirty ->
+                        (* Clear before writing: should a non-quiescent put
+                           slip in, its fresh entry (and dirty flag)
+                           supersedes this one and the page is merely
+                           written twice, never left stale-clean. *)
+                        Atomic.set e.e_dirty false;
+                        write_node_striped t !p e.node
+                    | _ -> ()));
+              p := !p + nstripes
+            done))
+      t.stripes;
+    with_file t (fun () ->
         Buffer_pool.flush_all t.pool;
-        write_free_chain_locked t;
-        write_header_locked t;
+        if Atomic.exchange t.free_dirty false then write_free_chain_flocked t;
+        write_header_flocked t;
         Paged_file.sync (file t))
 
   let flush = sync
 
   let close t =
+    stop_writer t;
     sync t;
     Paged_file.close (file t)
 
-  let open_file ?(cache_pages = default_cache_pages) path =
+  let open_file ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
+      path =
     let pfile = Paged_file.open_file ~writable:true path in
     if Paged_file.pages pfile = 0 then raise (Corrupt "empty file");
     let header = Paged_file.read pfile 0 in
@@ -452,7 +777,7 @@ module Make (K : Key.S) = struct
     let page_size = geti 16 in
     if page_size <> Paged_file.page_size pfile then
       raise (Corrupt "header page size does not match the file's");
-    let t = make ~page_size ~cache_pages pfile in
+    let t = make ~page_size ~cache_pages ~stripes pfile in
     Atomic.set t.next (geti 24);
     Atomic.set t.allocated (geti 48);
     Atomic.set t.freed (geti 56);
@@ -490,11 +815,38 @@ module Make (K : Key.S) = struct
     if List.length free <> free_count then
       raise (Corrupt "free-list chain shorter than the header count");
     Atomic.set t.free_list free;
+    Atomic.set t.free_len free_count;
+    (* The in-memory list now matches the on-disk chain exactly. *)
+    Atomic.set t.free_dirty false;
     t
 
   (* ---------- introspection ---------- *)
 
   let pool_stats t = Buffer_pool.stats t.pool
-  let cached_nodes t = Atomic.get t.resident
+
+  let cached_nodes t =
+    Array.fold_left (fun acc (st : stripe) -> acc + Atomic.get st.resident) 0 t.stripes
+
   let page_size t = t.page_size
+  let stripe_count t = Array.length t.stripes
+  let queue_depth t = Atomic.get t.wq_depth
+
+  (* Per-stripe counters are read without the stripe locks: the snapshot
+     is racy by a few events, which is fine for reporting. *)
+  let io_stats t =
+    let io = Stats.io_create () in
+    Array.iter
+      (fun (st : stripe) ->
+        io.Stats.faults <- io.Stats.faults + st.faults;
+        io.Stats.fault_stall_s <- io.Stats.fault_stall_s +. st.stall_s;
+        io.Stats.inline_writebacks <- io.Stats.inline_writebacks + st.inline_wb;
+        io.Stats.queued_writebacks <- io.Stats.queued_writebacks + st.queued_wb)
+      t.stripes;
+    io.Stats.writer_batches <- Atomic.get t.writer_batches;
+    io.Stats.max_batch <- Atomic.get t.max_batch;
+    io.Stats.max_queue_depth <- Atomic.get t.max_wq_depth;
+    io.Stats.max_concurrent_faults <- Atomic.get t.max_faulting;
+    io
+
+  let per_stripe_faults t = Array.map (fun (st : stripe) -> st.faults) t.stripes
 end

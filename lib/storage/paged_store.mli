@@ -1,41 +1,76 @@
 (** Durable concurrent page store: {!Page_store.S} over a {!Buffer_pool} /
     {!Paged_file} / {!Page_codec} stack. Cached pages are read lock-free
-    and latched exactly like {!Store}; cache misses, write-back,
-    eviction and [release] serialise on one internal IO mutex, and a
-    recycled page raises [Freed_page] until its first [put] — the same
-    contract as {!Store}. Disk page 0 is the store
-    header; tree pointer [p] lives on disk page [p + 1]; the free list is
-    threaded through the free pages themselves. [sync] (quiescent) makes
-    the store survive {!close} + {!Make.open_file}. *)
+    and latched exactly like {!Store}; cache misses, eviction write-back
+    and [release] serialise on the page's {e IO stripe} (pages are hashed
+    across a power-of-two number of striped mutexes, so IO on distinct
+    stripes proceeds in parallel), with one small file lock around the
+    shared buffer-pool/file tail. A recycled page raises [Freed_page]
+    until its first [put] — the same contract as {!Store}.
+
+    Dirty eviction victims are handed to a background writer when one is
+    running ({!Make.writer_loop} / {!Make.start_writer}); otherwise (or
+    when the bounded write queue is full) eviction writes back inline.
+
+    Disk page 0 is the store header; tree pointer [p] lives on disk page
+    [p + 1]; the free list is threaded through the free pages themselves
+    and rewritten on [sync] only when it changed. [sync] (quiescent)
+    drains the write queue and makes the store survive {!close} +
+    {!Make.open_file}. *)
 
 exception Corrupt of string
 (** A damaged header or page encountered while opening / faulting. *)
 
 val default_cache_pages : int
 
+val default_stripes : int
+(** Default IO stripe count (clamped to a power of two ≤ [cache_pages]). *)
+
 module Make (K : Key.S) : sig
   include Page_store.S with type key = K.t
 
-  val create_memory : ?page_size:int -> ?cache_pages:int -> unit -> t
+  val create_memory :
+    ?page_size:int -> ?cache_pages:int -> ?stripes:int -> unit -> t
   (** Memory-backed paged file: the full pager stack (codec, pool,
       eviction) without filesystem durability — tests and benches.
       [cache_pages] bounds the decoded-node cache (default
-      {!default_cache_pages}); [create] is [create_memory ()]. *)
+      {!default_cache_pages}); [stripes] the IO stripe count (default
+      {!default_stripes}, rounded down to a power of two and clamped to
+      [cache_pages]); [create] is [create_memory ()]. *)
 
-  val create_file : ?page_size:int -> ?cache_pages:int -> string -> t
+  val create_file :
+    ?page_size:int -> ?cache_pages:int -> ?stripes:int -> string -> t
   (** Create (or truncate) a file-backed store. *)
 
-  val open_file : ?cache_pages:int -> string -> t
+  val open_file : ?cache_pages:int -> ?stripes:int -> string -> t
   (** Reopen a store that was {!Page_store.S.sync}ed ([flush]/[close]
       also sync). Restores the allocator frontier, free list and
       metadata blob. @raise Corrupt on a damaged file. *)
 
   val flush : t -> unit
-  (** Alias of [sync]: write back all dirty nodes, persist the free list
-      and header, fsync. Quiescent only. *)
+  (** Alias of [sync]: write back queued and dirty nodes, persist the
+      free list and header, fsync. Quiescent only. *)
 
   val close : t -> unit
-  (** [flush] then close the underlying file. *)
+  (** Stop the store-owned writer (if {!start_writer} started one), then
+      [flush], then close the underlying file. *)
+
+  (** {2 Background writer} *)
+
+  val writer_loop : t -> stop:bool Atomic.t -> unit
+  (** Drain the write queue in batches until [stop] is set {e and} the
+      queue is empty. Run on a dedicated domain (e.g. via
+      [Driver.run_ops_with_aux]); while at least one loop runs, eviction
+      queues dirty victims instead of writing them back inline. *)
+
+  val start_writer : t -> unit
+  (** Spawn a domain running {!writer_loop}, owned by the store
+      ({!close}/{!stop_writer} joins it). Idempotent. *)
+
+  val stop_writer : t -> unit
+  (** Stop and join the store-owned writer, draining the queue. No-op if
+      none is running. *)
+
+  (** {2 Introspection} *)
 
   val pool_stats : t -> Buffer_pool.stats
 
@@ -43,4 +78,18 @@ module Make (K : Key.S) : sig
   (** Currently resident decoded nodes (bounded by [cache_pages]). *)
 
   val page_size : t -> int
+
+  val stripe_count : t -> int
+  (** Actual stripe count after power-of-two / cache clamping. *)
+
+  val queue_depth : t -> int
+  (** Write-queue entries not yet popped by the writer. *)
+
+  val io_stats : t -> Stats.io
+  (** Snapshot of fault / write-back / writer counters (racy by a few
+      events while workers run; exact when quiescent). *)
+
+  val per_stripe_faults : t -> int array
+  (** Disk faults served per stripe — shows whether misses spread across
+      stripes. *)
 end

@@ -92,6 +92,55 @@ let merge ~into:dst src =
   dst.discarded <- dst.discarded + src.discarded;
   dst.waits <- dst.waits + src.waits
 
+(** Storage-backend IO statistics: one record per store (not per worker —
+    faults and write-backs happen below the tree layer, which never sees
+    a worker context). {!Paged_store}'s [io_stats] snapshots into this;
+    the benches report it next to the per-worker counters. *)
+type io = {
+  mutable faults : int;  (** cache misses that read a page from storage *)
+  mutable fault_stall_s : float;  (** time faulters spent waiting for an IO stripe lock *)
+  mutable inline_writebacks : int;  (** eviction write-backs done synchronously *)
+  mutable queued_writebacks : int;  (** eviction write-backs handed to the background writer *)
+  mutable writer_batches : int;  (** background-writer queue drains *)
+  mutable max_batch : int;  (** largest single writer batch *)
+  mutable max_queue_depth : int;  (** write-queue depth high-water mark *)
+  mutable max_concurrent_faults : int;
+      (** most faults in flight at once — [> 1] proves misses on distinct
+          stripes overlapped *)
+}
+
+let io_create () =
+  {
+    faults = 0;
+    fault_stall_s = 0.0;
+    inline_writebacks = 0;
+    queued_writebacks = 0;
+    writer_batches = 0;
+    max_batch = 0;
+    max_queue_depth = 0;
+    max_concurrent_faults = 0;
+  }
+
+(** Merge [src] into [dst]: counters sum, high-water marks max. *)
+let io_merge ~into:dst (src : io) =
+  dst.faults <- dst.faults + src.faults;
+  dst.fault_stall_s <- dst.fault_stall_s +. src.fault_stall_s;
+  dst.inline_writebacks <- dst.inline_writebacks + src.inline_writebacks;
+  dst.queued_writebacks <- dst.queued_writebacks + src.queued_writebacks;
+  dst.writer_batches <- dst.writer_batches + src.writer_batches;
+  dst.max_batch <- max dst.max_batch src.max_batch;
+  dst.max_queue_depth <- max dst.max_queue_depth src.max_queue_depth;
+  dst.max_concurrent_faults <- max dst.max_concurrent_faults src.max_concurrent_faults
+
+let pp_io fmt (io : io) =
+  Format.fprintf fmt
+    "faults=%d stall=%.3fms wb_inline=%d wb_queued=%d batches=%d max_batch=%d \
+     max_queue=%d max_conc_faults=%d"
+    io.faults (1e3 *. io.fault_stall_s) io.inline_writebacks io.queued_writebacks
+    io.writer_batches io.max_batch io.max_queue_depth io.max_concurrent_faults
+
+let io_to_string io = Format.asprintf "%a" pp_io io
+
 let pp fmt t =
   Format.fprintf fmt
     "ops=%d gets=%d puts=%d locks=%d max_held=%d links=%d restarts=%d fwd=%d retries=%d \

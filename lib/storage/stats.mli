@@ -36,3 +36,30 @@ val merge : into:t -> t -> unit
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {2 Storage-backend IO statistics}
+
+    One record per store, filled by the backend ({!Paged_store.Make.io_stats});
+    faults and write-backs happen below the tree layer, which never sees a
+    worker context, so they cannot live in {!t}. *)
+
+type io = {
+  mutable faults : int;  (** cache misses that read a page from storage *)
+  mutable fault_stall_s : float;  (** time spent waiting for an IO stripe lock *)
+  mutable inline_writebacks : int;  (** synchronous eviction write-backs *)
+  mutable queued_writebacks : int;  (** write-backs handed to the background writer *)
+  mutable writer_batches : int;  (** background-writer queue drains *)
+  mutable max_batch : int;  (** largest single writer batch *)
+  mutable max_queue_depth : int;  (** write-queue depth high-water mark *)
+  mutable max_concurrent_faults : int;
+      (** most faults in flight at once — [> 1] proves misses on distinct
+          stripes overlapped *)
+}
+
+val io_create : unit -> io
+
+val io_merge : into:io -> io -> unit
+(** Sum counters; max the high-water marks. *)
+
+val pp_io : Format.formatter -> io -> unit
+val io_to_string : io -> string

@@ -337,21 +337,64 @@ let test_free_list_survives_reopen () =
         (Paged_int.get s q).Node.keys.(0);
       Paged_int.close s)
 
+(* Fault storm: a store far bigger than the cache, four domains reading
+   disjoint quarters — nearly every get is a disk fault. Checks that
+   every fault returns the right contents, that the misses spread over
+   all IO stripes, and that faults on distinct stripes actually
+   overlapped in time (the max_concurrent_faults gauge — with a global
+   IO lock it could never exceed 1). *)
+let test_fault_storm () =
+  let npages = 2048 and nd = 4 and rounds = 4 in
+  let s = Paged_int.create_memory ~cache_pages:16 ~stripes:8 () in
+  let pages = Array.init npages (fun i -> Paged_int.alloc s (mk_leaf [ i * 7 ])) in
+  Paged_int.sync s;
+  let errors = Atomic.make 0 in
+  let quarter = npages / nd in
+  let domains =
+    Array.init nd (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              for j = 0 to quarter - 1 do
+                let i = (d * quarter) + j in
+                match Paged_int.get s pages.(i) with
+                | n -> if n.Node.keys.(0) <> i * 7 then Atomic.incr errors
+                | exception _ -> Atomic.incr errors
+              done
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no failed or wrong faults" 0 (Atomic.get errors);
+  let io = Paged_int.io_stats s in
+  Alcotest.(check bool) "storm actually faulted"
+    true
+    (io.Repro_storage.Stats.faults > npages);
+  Alcotest.(check int) "stripes" 8 (Paged_int.stripe_count s);
+  Array.iteri
+    (fun si f ->
+      if f = 0 then Alcotest.failf "stripe %d served no faults" si)
+    (Paged_int.per_stripe_faults s);
+  Alcotest.(check bool) "faults on distinct stripes overlapped" true
+    (io.Repro_storage.Stats.max_concurrent_faults >= 2)
+
 (* Eviction write-back racing the release → reserve → put recycle path: a
    tiny cache keeps the clock sweep running while every domain churns
    alloc / rewrite / release, so freed pages are constantly re-tenanted
    while the evictor may be mid-sweep on them. A page whose dirty bit is
    clobbered gets dropped without write-back and re-faults stale — the
-   content checks below catch exactly that. *)
-let test_recycle_eviction_churn () =
+   content checks below catch exactly that. Run twice: once with
+   eviction writing back inline, once with the background writer taking
+   the victims (which adds the pending-table adopt/cancel paths to the
+   race surface). *)
+let run_recycle_eviction_churn ~writer () =
   let s = Paged_int.create_memory ~cache_pages:8 () in
+  if writer then Paged_int.start_writer s;
   let nd = 4 and per = 1500 in
   let keep = 8 in
-  let errors = Atomic.make 0 in
+  let stale = Atomic.make 0 and lost = Atomic.make 0 in
   let check_page q w =
     match Paged_int.get s q with
-    | n -> if n.Node.keys.(0) <> w then Atomic.incr errors
-    | exception Page_store.Freed_page _ -> Atomic.incr errors
+    | n -> if n.Node.keys.(0) <> w then Atomic.incr stale
+    | exception Page_store.Freed_page _ -> Atomic.incr lost
   in
   let domains =
     Array.init nd (fun d ->
@@ -373,9 +416,48 @@ let test_recycle_eviction_churn () =
             Queue.iter (fun (q, w) -> check_page q w) live))
   in
   Array.iter Domain.join domains;
-  Alcotest.(check int) "no stale or lost pages" 0 (Atomic.get errors);
+  if writer then begin
+    let io = Paged_int.io_stats s in
+    Alcotest.(check bool) "victims reached the writer queue" true
+      (io.Repro_storage.Stats.queued_writebacks > 0);
+    Paged_int.stop_writer s;
+    Alcotest.(check int) "queue drained on stop" 0 (Paged_int.queue_depth s)
+  end;
+  if Atomic.get stale > 0 || Atomic.get lost > 0 then
+    Alcotest.failf "stale=%d lost=%d pages" (Atomic.get stale) (Atomic.get lost);
   Alcotest.(check int) "resident count consistent" (nd * keep)
     (Paged_int.live_count s)
+
+(* Background write-back must not weaken durability: build a tree on a
+   real file with the writer running (so evictions are offloaded), flush,
+   close, and reopen from disk. *)
+let test_writer_durability () =
+  with_tmp_file (fun path ->
+      let n = 3000 in
+      let store = Paged_int.create_file ~cache_pages:32 path in
+      Paged_int.start_writer store;
+      let t = Sg.create ~order:4 ~store () in
+      let c = Sg.ctx ~slot:0 in
+      for k = 0 to n - 1 do
+        ignore (Sg.insert t c k (k * 5))
+      done;
+      for k = 0 to n - 1 do
+        if k mod 3 = 0 then ignore (Sg.delete t c k)
+      done;
+      let io = Paged_int.io_stats store in
+      Alcotest.(check bool) "evictions were offloaded" true
+        (io.Repro_storage.Stats.queued_writebacks > 0);
+      Sg.flush t;
+      Paged_int.close store;
+      let store = Paged_int.open_file ~cache_pages:32 path in
+      let t = Sg.open_existing store in
+      check_valid t "after reopen behind the writer";
+      for k = 0 to n - 1 do
+        let expect = if k mod 3 = 0 then None else Some (k * 5) in
+        if Sg.search t c k <> expect then
+          Alcotest.failf "key %d wrong after writer-backed reopen" k
+      done;
+      Paged_int.close store)
 
 let test_corrupt_rejected () =
   with_tmp_file (fun path ->
@@ -394,7 +476,13 @@ let suite =
       Alcotest.test_case "disk: durability across reopen" `Quick test_durability;
       Alcotest.test_case "disk: free list survives reopen" `Quick
         test_free_list_survives_reopen;
+      Alcotest.test_case "disk: fault storm across stripes" `Quick
+        test_fault_storm;
       Alcotest.test_case "disk: recycle vs eviction churn" `Quick
-        test_recycle_eviction_churn;
+        (run_recycle_eviction_churn ~writer:false);
+      Alcotest.test_case "disk: recycle churn with background writer" `Quick
+        (run_recycle_eviction_churn ~writer:true);
+      Alcotest.test_case "disk: durability behind background writer" `Quick
+        test_writer_durability;
       Alcotest.test_case "disk: corrupt file rejected" `Quick test_corrupt_rejected;
     ]
