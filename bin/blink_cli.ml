@@ -5,6 +5,7 @@
      compress  build / delete / compress cycle with occupancy reporting
      dump      print the structure of a small tree
      snapshot  save/load roundtrip timing for the page codec
+     crash-test  fault-injection battery over the durable store
 *)
 
 open Cmdliner
@@ -219,6 +220,28 @@ let snapshot_cmd n order path =
         (if Validate.ok rep then "valid" else "INVALID")
         rep.Validate.total_keys
 
+(* -- crash-test: fault-injection battery -- *)
+
+let crash_test_cmd quick verbose =
+  let log = if verbose then Some (fun s -> Printf.printf "%s\n%!" s) else None in
+  Printf.printf "crash battery (%s): simulated crashes at every failpoint site...\n%!"
+    (if quick then "quick" else "full");
+  match Crash.battery ~quick ?log () with
+  | exception Failure msg ->
+      Printf.printf "crash battery FAILED: %s\n" msg;
+      exit 1
+  | outcomes ->
+      List.iter (fun o -> Printf.printf "  %s\n" (Crash.pp_outcome o)) outcomes;
+      let crashed = List.length (List.filter (fun o -> o.Crash.crashed) outcomes) in
+      Printf.printf "%d runs, %d crashed, all recovered to the oracle\n" (List.length outcomes)
+        crashed;
+      (match Failpoint.unexercised () with
+      | [] -> Printf.printf "all %d failpoint sites exercised\n" (List.length (Failpoint.registered ()))
+      | dead ->
+          Printf.printf "FAILED: sites registered but never exercised: %s\n"
+            (String.concat ", " dead);
+          exit 1)
+
 (* -- trace: record and replay -- *)
 
 let trace_gen_cmd path mix_name dist_name ops key_space seed =
@@ -335,6 +358,16 @@ let trace_gen_t =
 
 let trace_run_t = Term.(const trace_run_cmd $ trace_path_arg $ order_arg)
 
+let quick_arg =
+  Arg.(value & flag
+       & info [ "quick" ]
+           ~doc:"Fewer configurations and crash ordinals (the CI smoke setting).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log each run as it happens.")
+
+let crash_test_t = Term.(const crash_test_cmd $ quick_arg $ verbose_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a multi-domain workload") run_t;
@@ -345,6 +378,11 @@ let cmds =
     Cmd.v (Cmd.info "compress" ~doc:"Build/delete/compress cycle") compress_t;
     Cmd.v (Cmd.info "dump" ~doc:"Print a small tree's structure") dump_t;
     Cmd.v (Cmd.info "snapshot" ~doc:"Save/load roundtrip") snapshot_t;
+    Cmd.v
+      (Cmd.info "crash-test"
+         ~doc:"Fault-injection battery: crash at every failpoint site, recover, \
+               check against the durability oracle")
+      crash_test_t;
   ]
 
 let () =

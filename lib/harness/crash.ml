@@ -1,0 +1,494 @@
+(** Simulated-crash harness for the durable store.
+
+    Runs a deterministic Sagiv-tree workload over the full
+    {!Repro_storage.Paged_store} stack on a {e crash-shadow}
+    {!Repro_storage.Paged_file} (writes not covered by an fsync are lost
+    at the crash), with one {!Repro_storage.Failpoint} site armed to kill
+    the simulated process at an exact IO boundary. After the crash it
+    harvests the durable image, reopens it cold, and checks:
+
+    - the store opens (falling back across header slots, degrading a
+      damaged free chain to a leak — never refusing an intact tree);
+    - {!Repro_core.Validate} finds a structurally sound tree;
+    - the recovered contents are {e exactly} one of the two states the
+      crash-atomic sync permits: the last acknowledged sync, or — only
+      when the crash hit inside a sync after its commit fsync — the
+      in-flight one. Acknowledged data is never lost, and no value is
+      ever torn or half-applied.
+
+    The oracle is a sequential model: the workload runs single-domain
+    (the background writer may run concurrently — it only moves bytes,
+    never changes contents), so the key set at each sync is known
+    exactly. See doc/RECOVERY.md for the crash model and its
+    assumptions. *)
+
+open Repro_storage
+
+module PS = Paged_store.Make (Key.Int)
+module Sg = Repro_core.Sagiv.Make_on_store (Key.Int) (PS)
+module V = Repro_core.Validate.Make_on_store (Key.Int) (PS)
+
+type config = {
+  writer : bool;  (** run the store's background writer domain *)
+  cache_pages : int;  (** decoded-node cache size (small → eviction traffic) *)
+}
+
+type outcome = {
+  site : string;  (** armed failpoint site *)
+  policy : string;
+  config : config;
+  crashed : bool;  (** false when the armed policy never fired *)
+  ops : int;  (** workload ops issued before the crash (or all of them) *)
+  acked_syncs : int;  (** syncs that returned before the crash *)
+  recovered_keys : int;
+  recovered_gen : int;  (** header generation the reopen landed on *)
+}
+
+let pp_outcome o =
+  Printf.sprintf "%-28s %-14s writer=%b cache=%-3d %s ops=%-4d syncs=%-2d -> %d keys @gen %d"
+    o.site o.policy o.config.writer o.config.cache_pages
+    (if o.crashed then "CRASH" else "clean")
+    o.ops o.acked_syncs o.recovered_keys o.recovered_gen
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let payload k = (k * 7) + 1
+
+let leaf i =
+  {
+    Node.level = 0;
+    keys = [| i |];
+    ptrs = [| payload i |];
+    low = Bound.Neg_inf;
+    high = Bound.Pos_inf;
+    link = None;
+    is_root = false;
+    state = Node.Live;
+  }
+
+let policy_name : Failpoint.policy -> string = function
+  | Failpoint.Off -> "off"
+  | Failpoint.Error { every } -> Printf.sprintf "error/%d" every
+  | Failpoint.Short_write { every } -> Printf.sprintf "short/%d" every
+  | Failpoint.Torn_write -> "torn"
+  | Failpoint.Crash_after n -> Printf.sprintf "crash@%d" n
+
+(* Reopen the durable image a crash at this instant would leave behind
+   and hand back a cold tree over it. All failpoints are disarmed first:
+   the dead process's policies must not outlive it into recovery. *)
+let recover ~cache_pages pfile =
+  let image = Paged_file.crash_image pfile in
+  Failpoint.reset ();
+  let store = PS.open_from ~cache_pages image in
+  let tree = Sg.open_existing store in
+  (store, tree)
+
+let check_valid tree ~what =
+  let r = V.check tree in
+  if not (Repro_core.Validate.ok r) then
+    fail "%s: recovered tree invalid: %s" what
+      (String.concat "; " r.Repro_core.Validate.errors)
+
+(* The recovered pairs must be exactly [m] (same keys, same payloads). *)
+let matches_model recovered (m : (int, int) Hashtbl.t) =
+  List.length recovered = Hashtbl.length m
+  && List.for_all (fun (k, v) -> Hashtbl.find_opt m k = Some v) recovered
+
+(** One tree-level crash run: preload + clean sync, arm [site] with
+    [policy], run a seeded insert/delete/search mix syncing every 25 ops,
+    catch the simulated death, recover, and hold recovery to the oracle.
+    A run where the policy never fires ends with a clean close and an
+    exact-contents check instead. *)
+let run_tree ?(ops = 400) ?(seed = 42) ~site ~policy (config : config) =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:512 () in
+  let store = PS.create_on ~cache_pages:config.cache_pages pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* Preload and sync before arming: the durable image always holds a
+     valid committed generation when the faults switch on. *)
+  for k = 0 to 49 do
+    if k mod 2 = 0 then begin
+      ignore (Sg.insert tree c k (payload k));
+      Hashtbl.replace model k (payload k)
+    end
+  done;
+  Sg.flush tree;
+  if config.writer then PS.start_writer store;
+  (* [committed]: model at the last sync that returned. [inflight]: model
+     at a sync call still in progress — a crash inside a sync may land
+     either side of its commit fsync, so both states are legal. *)
+  let committed = ref (Hashtbl.copy model) in
+  let inflight = ref None in
+  let acked = ref 0 in
+  let issued = ref 0 in
+  let crashed = ref false in
+  Failpoint.set site policy;
+  (try
+     let rng = Repro_util.Splitmix.create seed in
+     for i = 1 to ops do
+       issued := i;
+       let k = Repro_util.Splitmix.int rng 200 in
+       (match Repro_util.Splitmix.int rng 10 with
+       | 0 | 1 ->
+           if Sg.delete tree c k then Hashtbl.remove model k
+       | 2 -> ignore (Sg.search tree c k)
+       | _ -> (
+           match Sg.insert tree c k (payload k) with
+           | `Ok -> Hashtbl.replace model k (payload k)
+           | `Duplicate -> ()));
+       if i mod 25 = 0 then begin
+         inflight := Some (Hashtbl.copy model);
+         Sg.flush tree;
+         committed := Hashtbl.copy model;
+         inflight := None;
+         incr acked
+       end
+     done
+   with Failpoint.Crash _ -> crashed := true);
+  (* The writer domain may be the one that died (its exception re-raises
+     at the join), or may have observed the latched crash. *)
+  (try PS.stop_writer store with Failpoint.Crash _ -> ());
+  let crashed = !crashed || Failpoint.is_crashed () in
+  if not crashed then begin
+    (* Policy never fired: finish cleanly so the run still checks the
+       straight-line durability path. *)
+    Failpoint.reset ();
+    Sg.flush tree;
+    committed := Hashtbl.copy model;
+    inflight := None
+  end;
+  let store2, tree2 = recover ~cache_pages:config.cache_pages pfile in
+  check_valid tree2 ~what:site;
+  let recovered = Sg.to_list tree2 in
+  let ok =
+    matches_model recovered !committed
+    || match !inflight with Some m -> matches_model recovered m | None -> false
+  in
+  if not ok then
+    fail "%s (%s): recovered %d keys matching neither the %d committed nor the in-flight sync"
+      site (policy_name policy) (List.length recovered)
+      (Hashtbl.length !committed);
+  {
+    site;
+    policy = policy_name policy;
+    config;
+    crashed;
+    ops = !issued;
+    acked_syncs = !acked;
+    recovered_keys = List.length recovered;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Torn header-slot write: with nothing else dirty, the first write of a
+    sync is the staged header — tear it mid-page and die. The slot being
+    torn is the {e alternate} one, so recovery never loses the committed
+    generation: depending on where the seeded tear lands, the torn slot
+    either fails its checksum (or reproduces stale-but-valid older-gen
+    bytes, which the committed slot outranks) and recovery falls back, or
+    the tear covered every byte that differs and the staged header
+    physically landed in full, in which case the newer generation — with
+    byte-identical contents — validates and wins. Runs a spread of RNG
+    seeds and requires both branches to occur. *)
+let run_torn_header (config : config) =
+  let seeds = 24 in
+  let committed = ref 0 and fell_back = ref 0 and landed = ref 0 in
+  for s = 1 to seeds do
+    Failpoint.reset ();
+    Failpoint.seed (0x7EAD + s);
+    let pfile = Paged_file.create_shadow ~page_size:512 () in
+    let store = PS.create_on ~cache_pages:config.cache_pages pfile in
+    let tree = Sg.create ~order:4 ~store () in
+    let c = Sg.ctx ~slot:0 in
+    let model = Hashtbl.create 64 in
+    for k = 0 to 59 do
+      ignore (Sg.insert tree c k (payload k));
+      Hashtbl.replace model k (payload k)
+    done;
+    Sg.flush tree;
+    Sg.flush tree;
+    (* both slots now hold valid headers *)
+    let committed_gen = PS.generation store in
+    committed := committed_gen;
+    Failpoint.set "paged_file.pwrite" Failpoint.Torn_write;
+    (match Sg.flush tree with
+    | () -> fail "torn header write: sync must crash"
+    | exception Failpoint.Crash _ -> ());
+    let store2, tree2 = recover ~cache_pages:config.cache_pages pfile in
+    check_valid tree2 ~what:"torn header";
+    if not (matches_model (Sg.to_list tree2) model) then
+      fail "torn header (seed %d): recovered contents differ from the committed state"
+        s;
+    let g = PS.generation store2 in
+    if g = committed_gen then incr fell_back
+    else if g = committed_gen + 1 then incr landed
+    else
+      fail "torn header (seed %d): recovered generation %d, committed %d" s g
+        committed_gen
+  done;
+  if !fell_back = 0 then
+    fail "torn header: no seed exercised the fall-back-to-committed-slot path";
+  if !landed = 0 then
+    fail "torn header: no seed exercised the fully-landed-tear path";
+  {
+    site = "paged_file.pwrite";
+    policy = "torn(header)";
+    config;
+    crashed = true;
+    ops = seeds;
+    acked_syncs = 2 * seeds;
+    recovered_keys = 60;
+    recovered_gen = !committed;
+  }
+
+(** Torn free-chain write. Staged so the page being torn is {e free} in
+    the committed generation (the chain is re-written over pages that
+    were already free-chain entries): tearing it can damage only the
+    chain, which recovery degrades to a leak — never the tree. *)
+let run_torn_chain () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:512 () in
+  let store = PS.create_on ~cache_pages:8 pfile in
+  let live = [ 0; 2; 4 ] and doomed = [ 1; 3; 5 ] in
+  let ptrs = List.init 6 (fun i -> (i, PS.alloc store (leaf i))) in
+  let ptr_of i = List.assoc i ptrs in
+  PS.sync store;
+  List.iter (fun i -> PS.release store (ptr_of i)) doomed;
+  PS.sync store;
+  let committed_gen = PS.generation store in
+  (* Dirty the free list without changing its membership: pop the head
+     and push it straight back. The armed sync then re-writes the chain
+     over pages that already hold committed chain entries. *)
+  let p = PS.reserve store in
+  PS.release store p;
+  Failpoint.set "paged_file.pwrite" Failpoint.Torn_write;
+  (match PS.sync store with
+  | () -> fail "torn chain write: sync must crash"
+  | exception Failpoint.Crash _ -> ());
+  let image = Paged_file.crash_image pfile in
+  Failpoint.reset ();
+  let store2 = PS.open_from ~cache_pages:8 image in
+  if PS.generation store2 <> committed_gen then
+    fail "torn chain: recovered generation %d, expected %d"
+      (PS.generation store2) committed_gen;
+  (* Live pages must decode exactly; the chain either survived (the tear
+     reproduced a valid committed entry) or leaked to empty. *)
+  List.iter
+    (fun i ->
+      let n = PS.get store2 (ptr_of i) in
+      if n.Node.keys <> [| i |] || n.Node.ptrs <> [| payload i |] then
+        fail "torn chain: live page %d corrupted" i)
+    live;
+  let freed = PS.total_freed store2 and alloc = PS.total_allocated store2 in
+  if alloc - freed <> List.length live then
+    fail "torn chain: allocator accounting off (alloc %d, freed %d)" alloc freed;
+  let reserved = PS.reserve store2 in
+  List.iter
+    (fun i ->
+      if reserved = ptr_of i then fail "torn chain: recycled a live page")
+    live;
+  {
+    site = "paged_file.pwrite";
+    policy = "torn(chain)";
+    config = { writer = false; cache_pages = 8 };
+    crashed = true;
+    ops = 0;
+    acked_syncs = 2;
+    recovered_keys = List.length live;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Short writes every other page write: the retry loops in
+    {!Repro_storage.Paged_file} must make them invisible — the workload
+    completes, and the recovered image is byte-exact. *)
+let run_short_writes (config : config) =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:512 () in
+  let store = PS.create_on ~cache_pages:config.cache_pages pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model = Hashtbl.create 256 in
+  if config.writer then PS.start_writer store;
+  Failpoint.set "paged_file.pwrite" (Failpoint.Short_write { every = 2 });
+  let rng = Repro_util.Splitmix.create 7 in
+  for i = 1 to 300 do
+    let k = Repro_util.Splitmix.int rng 150 in
+    (if Repro_util.Splitmix.int rng 5 = 0 then begin
+       if Sg.delete tree c k then Hashtbl.remove model k
+     end
+     else
+       match Sg.insert tree c k (payload k) with
+       | `Ok -> Hashtbl.replace model k (payload k)
+       | `Duplicate -> ());
+    if i mod 50 = 0 then Sg.flush tree
+  done;
+  PS.stop_writer store;
+  Sg.flush tree;
+  let store2, tree2 = recover ~cache_pages:config.cache_pages pfile in
+  check_valid tree2 ~what:"short writes";
+  if not (matches_model (Sg.to_list tree2) model) then
+    fail "short writes: contents differ after reopen";
+  {
+    site = "paged_file.pwrite";
+    policy = "short/2";
+    config;
+    crashed = false;
+    ops = 300;
+    acked_syncs = 6;
+    recovered_keys = Hashtbl.length model;
+    recovered_gen = PS.generation store2;
+  }
+
+let expect_injected what f =
+  match f () with
+  | _ -> fail "%s: expected an injected error" what
+  | exception Failpoint.Injected _ -> ()
+
+(** Injected-error battery at the store level: every remaining site
+    raises once, the store survives, a disarmed retry succeeds, and the
+    final image is complete — no page is silently dropped on the error
+    path (the eviction victim parks in the pending table, the failed
+    background write-back stays pending, [sync] stays retryable). *)
+let run_error_paths () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:512 () in
+  let store = PS.create_on ~cache_pages:4 pfile in
+  let n = 24 in
+  let ptrs = Array.init n (fun i -> PS.alloc store (leaf i)) in
+  PS.sync store;
+
+  (* fault + pread: a cache miss fails once, then succeeds on retry *)
+  let miss_one site =
+    Failpoint.set site (Failpoint.Error { every = 1 });
+    let victim =
+      (* with cache_pages = 4, most of the 24 pages are not resident *)
+      let rec find i =
+        if i >= n then fail "%s: no cache miss found" site
+        else
+          match PS.get store ptrs.(i) with
+          | _ -> find (i + 1)
+          | exception Failpoint.Injected _ -> i
+      in
+      find 0
+    in
+    Failpoint.set site Failpoint.Off;
+    let node = PS.get store ptrs.(victim) in
+    if node.Node.keys <> [| victim |] then
+      fail "%s: retried fault returned the wrong node" site
+  in
+  miss_one "paged_store.fault";
+  miss_one "paged_file.pread";
+
+  (* evict: the inline write-back error surfaces, but the victim is
+     parked in the pending table — the next sync persists it, so the
+     final image check below proves nothing was dropped *)
+  Failpoint.set "paged_store.evict" (Failpoint.Error { every = 1 });
+  let evict_error_seen = ref false in
+  (try
+     for i = 0 to n - 1 do
+       PS.put store ptrs.(i) (leaf (i + 100))
+     done
+   with Failpoint.Injected _ -> evict_error_seen := true);
+  if not !evict_error_seen then
+    fail "paged_store.evict: injected eviction error never surfaced";
+  Failpoint.set "paged_store.evict" Failpoint.Off;
+
+  (* fsync and each sync phase: sync raises once, then a retry commits *)
+  let sync_once site =
+    Failpoint.set site (Failpoint.Error { every = 1 });
+    expect_injected site (fun () -> PS.sync store);
+    Failpoint.set site Failpoint.Off;
+    PS.sync store
+  in
+  sync_once "paged_file.fsync";
+  sync_once "paged_store.sync.data";
+  sync_once "paged_store.sync.header";
+  sync_once "paged_store.sync.commit";
+  PS.release store ptrs.(0);
+  sync_once "paged_store.sync.chain";
+
+  (* writer: failed background write-backs are counted and stay pending *)
+  PS.start_writer store;
+  Failpoint.set "paged_store.writer" (Failpoint.Error { every = 1 });
+  for i = 1 to n - 1 do
+    PS.put store ptrs.(i) (leaf (i + 200))
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while PS.writer_errors store = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  if PS.writer_errors store = 0 then
+    fail "paged_store.writer: injected write-back error never observed";
+  Failpoint.set "paged_store.writer" Failpoint.Off;
+  PS.sync store;
+  PS.stop_writer store;
+  PS.sync store;
+
+  (* everything must have survived the error storm *)
+  let image = Paged_file.crash_image pfile in
+  Failpoint.reset ();
+  let store2 = PS.open_from ~cache_pages:8 image in
+  for i = 1 to n - 1 do
+    let node = PS.get store2 ptrs.(i) in
+    if node.Node.keys <> [| i + 200 |] then
+      fail "error paths: page %d lost its last update across the error storm" i
+  done
+
+(** The whole battery: tree-level crash runs for every site × config,
+    then the targeted torn / short-write / injected-error runs. Returns
+    the outcomes; raises on any violated invariant. After a battery,
+    {!Repro_storage.Failpoint.unexercised} must be empty — the CLI and
+    CI enforce it. *)
+let battery ?(quick = false) ?(log = fun _ -> ()) () =
+  let configs =
+    if quick then
+      [ { writer = false; cache_pages = 8 }; { writer = true; cache_pages = 8 } ]
+    else
+      [
+        { writer = false; cache_pages = 8 };
+        { writer = true; cache_pages = 8 };
+        { writer = false; cache_pages = 64 };
+        { writer = true; cache_pages = 64 };
+      ]
+  in
+  let crash_ordinals = if quick then [ 1 ] else [ 1; 3; 7 ] in
+  let sites =
+    [
+      "paged_file.pwrite";
+      "paged_file.pread";
+      "paged_file.fsync";
+      "buffer_pool.flush_frame";
+      "paged_store.fault";
+      "paged_store.evict";
+      "paged_store.writer";
+      "paged_store.sync.data";
+      "paged_store.sync.header";
+      "paged_store.sync.commit";
+    ]
+  in
+  let outcomes = ref [] in
+  let record o =
+    log (pp_outcome o);
+    outcomes := o :: !outcomes
+  in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun site ->
+          if site = "paged_store.writer" && not config.writer then ()
+          else
+            List.iter
+              (fun ordinal ->
+                record
+                  (run_tree ~site ~policy:(Failpoint.Crash_after ordinal) config))
+              crash_ordinals)
+        sites)
+    configs;
+  record (run_torn_header { writer = false; cache_pages = 8 });
+  record (run_torn_chain ());
+  record (run_short_writes { writer = false; cache_pages = 8 });
+  if not quick then record (run_short_writes { writer = true; cache_pages = 8 });
+  run_error_paths ();
+  Failpoint.reset ();
+  List.rev !outcomes

@@ -1,0 +1,57 @@
+(** Simulated-crash harness: runs Sagiv-tree (and raw store) workloads
+    over the durable {!Repro_storage.Paged_store} stack on a crash-shadow
+    {!Repro_storage.Paged_file}, kills the simulated process at an armed
+    {!Repro_storage.Failpoint} site, reopens the durable image and holds
+    the recovery to an exact oracle (last acknowledged sync, or the
+    in-flight one when the crash landed past its commit fsync). Used by
+    [test_crash] and [blink_cli crash-test]; see doc/RECOVERY.md. *)
+
+type config = {
+  writer : bool;  (** run the store's background writer domain *)
+  cache_pages : int;  (** decoded-node cache size (small → eviction traffic) *)
+}
+
+type outcome = {
+  site : string;
+  policy : string;
+  config : config;
+  crashed : bool;  (** false when the armed policy never fired *)
+  ops : int;
+  acked_syncs : int;
+  recovered_keys : int;
+  recovered_gen : int;
+}
+
+val pp_outcome : outcome -> string
+
+val run_tree :
+  ?ops:int ->
+  ?seed:int ->
+  site:string ->
+  policy:Repro_storage.Failpoint.policy ->
+  config ->
+  outcome
+(** One tree-level crash run against the oracle.
+    @raise Failure on any violated recovery invariant. *)
+
+val run_torn_header : config -> outcome
+(** Tear the staged header slot mid-write; recovery must fall back to the
+    committed generation with full contents. *)
+
+val run_torn_chain : unit -> outcome
+(** Tear a free-chain entry (over a page free in the committed
+    generation); recovery keeps the tree and either restores or safely
+    leaks the free list. *)
+
+val run_short_writes : config -> outcome
+(** Short-write every other page write; the device retry loops must make
+    it invisible. *)
+
+val run_error_paths : unit -> unit
+(** Injected-error battery at the store level: every site raises once,
+    retries succeed, and the final image proves no update was dropped. *)
+
+val battery : ?quick:bool -> ?log:(string -> unit) -> unit -> outcome list
+(** Crash runs for every site × config plus the targeted runs above.
+    After a battery, {!Repro_storage.Failpoint.unexercised} must be
+    empty. @raise Failure on the first violated invariant. *)

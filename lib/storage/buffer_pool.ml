@@ -26,6 +26,8 @@ type t = {
   mutable writebacks : int;
 }
 
+let fp_flush = Failpoint.site "buffer_pool.flush_frame"
+
 let create ~frames file =
   if frames < 1 then invalid_arg "Buffer_pool.create: need at least one frame";
   {
@@ -52,6 +54,7 @@ let file t = t.file
 let flush_frame t fi =
   let f = t.frames.(fi) in
   if f.dirty && f.page >= 0 then begin
+    Failpoint.hit fp_flush;
     Paged_file.write t.file f.page f.data;
     t.writebacks <- t.writebacks + 1;
     f.dirty <- false
@@ -127,8 +130,15 @@ let alloc t =
   ignore (pin t page);
   page
 
+(** Write every dirty frame back without forcing the device: callers that
+    sequence their own durability barrier (e.g. {!Paged_store}'s
+    crash-atomic [sync], which must order the header write {e between}
+    the data write-out and the commit fsync) use this and call
+    {!Paged_file.sync} themselves. *)
+let flush_writes t = Array.iteri (fun fi _ -> flush_frame t fi) t.frames
+
 let flush_all t =
-  Array.iteri (fun fi _ -> flush_frame t fi) t.frames;
+  flush_writes t;
   Paged_file.sync t.file
 
 type stats = { hits : int; misses : int; evictions : int; writebacks : int }

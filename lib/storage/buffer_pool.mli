@@ -22,6 +22,11 @@ val read_page : t -> int -> Bytes.t
 val alloc : t -> int
 (** Fresh zero-filled disk page, returned pinned. *)
 
+val flush_writes : t -> unit
+(** Write back every dirty frame {e without} syncing the file — for
+    callers sequencing their own durability barrier (fault-injection
+    point: [buffer_pool.flush_frame]). *)
+
 val flush_all : t -> unit
 (** Write back every dirty frame and sync the file. *)
 

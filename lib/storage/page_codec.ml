@@ -3,13 +3,23 @@
     Each tree node corresponds to "a page or block of secondary storage"
     (paper §2.2). The in-memory store keeps decoded nodes for speed, but
     this codec defines the durable format: it is exercised by the
-    persistence layer (snapshot save/load) and by round-trip tests, so the
-    library could be rebased onto a real pager without touching tree code.
+    persistence layer (snapshot save/load, the paged store) and by
+    round-trip tests, so the library could be rebased onto a real pager
+    without touching tree code.
+
+    Version 2 frames every node with its body length and an FNV-1a
+    checksum, so a torn or partially-persisted page is {e detected} at
+    decode time (raising {!Corrupt}) rather than parsed into a plausible
+    but wrong node — the failure mode crash-recovery testing punishes
+    hardest (see doc/RECOVERY.md).
 
     Layout (little-endian):
     {v
       magic      u8   = 0xB7
-      version    u8   = 1
+      version    u8   = 2
+      body_len   u32  (bytes after the checksum field)
+      checksum   u32  (FNV-1a-32 of the body)
+      -- body --
       level      u16
       flags      u8   (bit0 root, bit1 deleted)
       fwd        i64  (forwarding ptr when deleted, else -1)
@@ -21,7 +31,8 @@
     v} *)
 
 let magic = 0xB7
-let version = 1
+let version = 2
+let frame_bytes = 10 (* magic + version + body_len + checksum *)
 
 exception Corrupt of string
 
@@ -42,9 +53,7 @@ module Make (K : Key.S) = struct
     | 2 -> (Bound.Pos_inf, pos + 1)
     | t -> raise (Corrupt (Printf.sprintf "bad bound tag %d" t))
 
-  let encode buf (n : K.t Node.t) =
-    Buffer.add_uint8 buf magic;
-    Buffer.add_uint8 buf version;
+  let encode_body buf (n : K.t Node.t) =
     Buffer.add_uint16_le buf n.Node.level;
     let deleted, fwd =
       match n.Node.state with Node.Deleted f -> (true, f) | Node.Live -> (false, -1)
@@ -60,14 +69,37 @@ module Make (K : Key.S) = struct
     Buffer.add_int32_le buf (Int32.of_int (Array.length n.Node.ptrs));
     Array.iter (fun p -> Buffer.add_int64_le buf (Int64.of_int p)) n.Node.ptrs
 
+  let encode buf (n : K.t Node.t) =
+    let body = Buffer.create 256 in
+    encode_body body n;
+    let body = Buffer.to_bytes body in
+    Buffer.add_uint8 buf magic;
+    Buffer.add_uint8 buf version;
+    Buffer.add_int32_le buf (Int32.of_int (Bytes.length body));
+    Buffer.add_int32_le buf
+      (Int32.of_int (Repro_util.Checksum.fnv32 body ~pos:0 ~len:(Bytes.length body)));
+    Buffer.add_bytes buf body
+
   let decode bytes ~pos : K.t Node.t * int =
+    if pos + frame_bytes > Bytes.length bytes then raise (Corrupt "truncated frame");
     if Bytes.get_uint8 bytes pos <> magic then raise (Corrupt "bad magic");
     if Bytes.get_uint8 bytes (pos + 1) <> version then raise (Corrupt "bad version");
-    let level = Bytes.get_uint16_le bytes (pos + 2) in
-    let flags = Bytes.get_uint8 bytes (pos + 4) in
-    let fwd = Int64.to_int (Bytes.get_int64_le bytes (pos + 5)) in
-    let link = Int64.to_int (Bytes.get_int64_le bytes (pos + 13)) in
-    let pos = pos + 21 in
+    let body_len = Int32.to_int (Bytes.get_int32_le bytes (pos + 2)) in
+    if body_len < 0 || pos + frame_bytes + body_len > Bytes.length bytes then
+      raise (Corrupt "bad body length");
+    let want = Int32.to_int (Bytes.get_int32_le bytes (pos + 6)) land 0xFFFFFFFF in
+    let got = Repro_util.Checksum.fnv32 bytes ~pos:(pos + frame_bytes) ~len:body_len in
+    if want <> got then
+      raise
+        (Corrupt
+           (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)" want got));
+    let pos = pos + frame_bytes in
+    let body_end = pos + body_len in
+    let level = Bytes.get_uint16_le bytes pos in
+    let flags = Bytes.get_uint8 bytes (pos + 2) in
+    let fwd = Int64.to_int (Bytes.get_int64_le bytes (pos + 3)) in
+    let link = Int64.to_int (Bytes.get_int64_le bytes (pos + 11)) in
+    let pos = pos + 19 in
     let low, pos = decode_bound bytes ~pos in
     let high, pos = decode_bound bytes ~pos in
     let nkeys = Int32.to_int (Bytes.get_int32_le bytes pos) in
@@ -88,6 +120,7 @@ module Make (K : Key.S) = struct
           pos := !pos + 8;
           v)
     in
+    if !pos <> body_end then raise (Corrupt "body length does not match contents");
     let node =
       {
         Node.level;

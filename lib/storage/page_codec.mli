@@ -1,10 +1,15 @@
 (** Binary page format: the durable encoding of a node ("each node
     corresponds to a page or block of secondary storage", §2.2). Used by
     snapshots and exercised by round-trip tests so the tree code would
-    survive rebasing onto a real pager. *)
+    survive rebasing onto a real pager. Version 2 frames each node with
+    its body length and an FNV-1a checksum so torn or stale pages are
+    detected at decode time (see doc/RECOVERY.md). *)
 
 val magic : int
 val version : int
+
+val frame_bytes : int
+(** Bytes of framing (magic, version, length, checksum) before the body. *)
 
 exception Corrupt of string
 
@@ -13,7 +18,7 @@ module Make (K : Key.S) : sig
 
   val decode : Bytes.t -> pos:int -> K.t Node.t * int
   (** Returns the node and the position after it.
-      @raise Corrupt on bad magic/version/structure. *)
+      @raise Corrupt on bad magic/version/checksum/structure. *)
 
   val to_bytes : K.t Node.t -> Bytes.t
   val of_bytes : Bytes.t -> K.t Node.t

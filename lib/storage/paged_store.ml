@@ -25,13 +25,30 @@
       or with the queue full, eviction falls back to the synchronous
       write. [sync] drains every pending table, so durability is
       unchanged.
-    - {b Disk layout}: disk page 0 is the store header (magic, geometry,
-      allocator state, free-list head, client metadata); tree pointer [p]
-      lives on disk page [p + 1], encoded by {!Page_codec}. The free list
-      is threaded through the free pages themselves (first 8 bytes = next
-      pointer), so it survives reopen at zero space cost; the chain is
-      rewritten on [sync] only when the free list changed since the last
-      sync (a dirty flag set by every push/pop).
+    - {b Disk layout}: disk pages 0 and 1 are {e two header slots},
+      ping-ponged by a generation counter (generation [g] commits to slot
+      [g land 1]); each holds magic, geometry, allocator state, free-list
+      head, client metadata, the generation and a whole-page FNV-1a
+      checksum. Tree pointer [p] lives on disk page [p + 2], encoded by
+      {!Page_codec} (which checksums every node body). The free list is
+      threaded through the free pages themselves (a checksummed
+      [chain_magic, generation, next] entry), so it survives reopen at
+      zero space cost; the chain is rewritten on [sync] only when the
+      free list changed since the last sync (a dirty flag set by every
+      push/pop).
+    - {b Crash-atomic sync}: [sync] writes data pages and the (possibly
+      changed) free chain, stages the generation-[g+1] header into the
+      {e alternate} slot, and only then issues the commit [fsync] — so
+      under the crash model of {!Paged_file.create_shadow} (writes not
+      covered by an fsync are lost) that single fsync atomically moves
+      the durable state from generation [g] to [g+1]; a crash anywhere
+      before it recovers exactly generation [g], whose header slot was
+      never touched. A second write of the same slot plus a second fsync
+      follow as defence in depth for real devices that may persist the
+      header out of order within the first fsync; a header slot torn
+      mid-write fails its checksum and reopen falls back to the other
+      slot. See doc/RECOVERY.md for the full argument and the model's
+      assumptions.
 
     Concurrency protocol (who may touch what):
 
@@ -73,8 +90,20 @@
 exception Corrupt of string
 
 let magic = 0x53_47_56_44 (* "SGVD" *)
-let version = 1
-let header_fixed = 72 (* bytes of header before the metadata blob *)
+let version = 2
+
+(* Header-page layout (both slots): fixed fields, then the checksum, then
+   the client metadata blob. The checksum is FNV-1a-32 over the whole
+   page with its own field zeroed, so it covers the metadata too. *)
+let header_cksum_off = 80
+let header_fixed = 88 (* bytes of header before the metadata blob *)
+let header_slots = 2 (* disk pages 0 and 1; tree ptr [p] -> disk page [p + 2] *)
+
+(* Free-chain entry, written at a free page's disk offset: 8-byte magic,
+   the generation that wrote it, the next free pointer (-1 ends the
+   chain), and a checksum over those 24 bytes. *)
+let chain_magic = 0x53_47_56_43 (* "SGVC" *)
+let chain_cksum_off = 24
 
 let chunk_bits = 12
 let chunk_size = 1 lsl chunk_bits
@@ -83,6 +112,16 @@ let max_chunks = 1 lsl 14 (* 64 M pages *)
 let default_cache_pages = 4096
 let default_stripes = 8
 let default_queue_cap = 256
+
+(* Fault-injection sites (see doc/RECOVERY.md for the catalog). Shared by
+   every [Make] instantiation — the registry is keyed by name. *)
+let fp_fault = Failpoint.site "paged_store.fault"
+let fp_evict = Failpoint.site "paged_store.evict"
+let fp_writer = Failpoint.site "paged_store.writer"
+let fp_sync_data = Failpoint.site "paged_store.sync.data"
+let fp_sync_chain = Failpoint.site "paged_store.sync.chain"
+let fp_sync_header = Failpoint.site "paged_store.sync.header"
+let fp_sync_commit = Failpoint.site "paged_store.sync.commit"
 
 (* Lock-free monotonic max on an atomic gauge. *)
 let rec update_max a v =
@@ -134,6 +173,7 @@ module Make (K : Key.S) = struct
     free_list : int list Atomic.t;
     free_len : int Atomic.t;  (** length of [free_list] (header bookkeeping) *)
     free_dirty : bool Atomic.t;  (** free list changed since last chain write *)
+    generation : int Atomic.t;  (** last generation committed by [sync] *)
     freed : int Atomic.t;  (** total pages ever freed *)
     allocated : int Atomic.t;  (** total pages ever allocated *)
     meta : Bytes.t option Atomic.t;
@@ -156,6 +196,7 @@ module Make (K : Key.S) = struct
     max_faulting : int Atomic.t;
     max_wq_depth : int Atomic.t;
     writer_batches : int Atomic.t;
+    writer_errors : int Atomic.t;  (** failed background write-backs left pending *)
     max_batch : int Atomic.t;
   }
 
@@ -224,7 +265,7 @@ module Make (K : Key.S) = struct
       failwith
         (Printf.sprintf "Paged_store: node needs %d bytes, page is %d"
            (Bytes.length b) t.page_size);
-    let dpage = ptr + 1 in
+    let dpage = ptr + header_slots in
     with_file t (fun () ->
         ensure_materialized_flocked t dpage;
         let frame = Buffer_pool.pin t.pool dpage in
@@ -236,11 +277,96 @@ module Make (K : Key.S) = struct
   (* Read and decode [ptr]'s disk page. Caller holds [ptr]'s stripe lock;
      the byte copy happens under [file_lock], the decode outside it. *)
   let read_node_striped t ptr =
-    let dpage = ptr + 1 in
+    let dpage = ptr + header_slots in
     let bytes = with_file t (fun () -> Buffer_pool.read_page t.pool dpage) in
     try Codec.of_bytes bytes
     with Page_codec.Corrupt msg ->
       raise (Corrupt (Printf.sprintf "page %d: %s" ptr msg))
+
+  (* ---------- header slots and the free chain ---------- *)
+
+  (* Build the header page for generation [gen]: fixed fields, a
+     whole-page checksum (computed with its own field zeroed), then the
+     metadata blob. *)
+  let encode_header t ~gen =
+    let free = Atomic.get t.free_list in
+    let page = Bytes.make t.page_size '\000' in
+    let seti off v = Bytes.set_int64_le page off (Int64.of_int v) in
+    seti 0 magic;
+    seti 8 version;
+    seti 16 t.page_size;
+    seti 24 (Atomic.get t.next);
+    seti 32 (match free with [] -> -1 | p :: _ -> p);
+    seti 40 (Atomic.get t.free_len);
+    seti 48 (Atomic.get t.allocated);
+    seti 56 (Atomic.get t.freed);
+    seti 64 gen;
+    let meta = match Atomic.get t.meta with Some b -> b | None -> Bytes.empty in
+    if Bytes.length meta > t.page_size - header_fixed then
+      failwith "Paged_store: metadata blob does not fit in the header page";
+    seti 72 (Bytes.length meta);
+    Bytes.blit meta 0 page header_fixed (Bytes.length meta);
+    Bytes.set_int32_le page header_cksum_off
+      (Int32.of_int (Repro_util.Checksum.fnv32 page ~pos:0 ~len:t.page_size));
+    page
+
+  (* Write generation [gen]'s header into its slot ([gen land 1]): the
+     {e other} slot — the one holding the last committed generation — is
+     never touched, so a crash or tear here cannot lose the old state. *)
+  let write_header_flocked t ~gen =
+    Paged_file.write (file t) (gen land 1) (encode_header t ~gen)
+
+  (* Validate one header slot; [Some (gen, page)] if it parses clean. *)
+  let read_header_slot pfile ~page_size slot =
+    if slot >= Paged_file.pages pfile then None
+    else
+      let page = Paged_file.read pfile slot in
+      let geti off = Int64.to_int (Bytes.get_int64_le page off) in
+      let stored = Int32.to_int (Bytes.get_int32_le page header_cksum_off) land 0xFFFFFFFF in
+      Bytes.set_int32_le page header_cksum_off 0l;
+      let computed = Repro_util.Checksum.fnv32 page ~pos:0 ~len:page_size in
+      Bytes.set_int32_le page header_cksum_off (Int32.of_int stored);
+      if
+        geti 0 = magic && geti 8 = version && geti 16 = page_size
+        && stored = computed
+      then Some (geti 64, page)
+      else None
+
+  (* Thread the free list through the free pages themselves: each free
+     page holds a checksummed [chain_magic, generation, next] entry (-1
+     ends the chain). Written directly (not via the pool) after the data
+     flush, so the chain always wins over any stale pool frame for a
+     freed page. Called only when the free list changed since the last
+     sync ([free_dirty]) — rewriting the whole chain on every sync made
+     reopen-heavy workloads O(free list) per sync for nothing. *)
+  let write_free_chain_flocked t ~gen =
+    let rec go = function
+      | [] -> ()
+      | p :: rest ->
+          ensure_materialized_flocked t (p + header_slots);
+          Bytes.fill t.zero 0 t.page_size '\000';
+          let seti off v = Bytes.set_int64_le t.zero off (Int64.of_int v) in
+          seti 0 chain_magic;
+          seti 8 gen;
+          seti 16 (match rest with [] -> -1 | q :: _ -> q);
+          Bytes.set_int32_le t.zero chain_cksum_off
+            (Int32.of_int (Repro_util.Checksum.fnv32 t.zero ~pos:0 ~len:chain_cksum_off));
+          Paged_file.write (file t) (p + header_slots) t.zero;
+          go rest
+    in
+    go (Atomic.get t.free_list)
+
+  (* Decode a free-chain entry; [Some next] if it parses clean. *)
+  let read_chain_entry pfile dpage =
+    if dpage < 0 || dpage >= Paged_file.pages pfile then None
+    else
+      let page = Paged_file.read pfile dpage in
+      let stored = Int32.to_int (Bytes.get_int32_le page chain_cksum_off) land 0xFFFFFFFF in
+      if
+        Int64.to_int (Bytes.get_int64_le page 0) = chain_magic
+        && stored = Repro_util.Checksum.fnv32 page ~pos:0 ~len:chain_cksum_off
+      then Some (Int64.to_int (Bytes.get_int64_le page 16))
+      else None
 
   (* ---------- write-back: queue to the writer or do it inline ---------- *)
 
@@ -267,7 +393,19 @@ module Make (K : Key.S) = struct
          newer bytes on disk. The victim in hand is always newest — it
          was just withdrawn from the cache. *)
       Hashtbl.remove st.pending p;
-      write_node_striped t p n;
+      (* The failpoint sits inside the recovery scope on purpose: an
+         injected eviction error must leave the store in the same state a
+         real one would — victim parked, never dropped. *)
+      (try
+         Failpoint.hit fp_evict;
+         write_node_striped t p n
+       with e ->
+         (* The victim is already out of the cache: losing it here would
+            silently drop a committed update. Park it in the pending
+            table — faulters re-adopt it and [sync] retries the write —
+            then let the error surface. *)
+         Hashtbl.replace st.pending p n;
+         raise e);
       st.inline_wb <- st.inline_wb + 1
     end
 
@@ -296,25 +434,29 @@ module Make (K : Key.S) = struct
         | Some s -> (
             if (not (Atomic.get s.freed)) && Atomic.get s.cached <> None then
               if Atomic.get s.referenced then Atomic.set s.referenced false
-              else if Mutex.try_lock s.latch then begin
-                (* Withdraw first, write back second: we hold the stripe
-                   lock, so a faulter for this page cannot read the disk
-                   until the write-back (or pending-table entry) below has
-                   landed. The CAS is against the exact option value read —
-                   physical equality distinguishes our snapshot from any
-                   newer entry a concurrent [put] to a private page may
-                   install. Winning the CAS makes the entry (and its dirty
-                   flag) exclusively ours; losing it means a newer entry
-                   took the slot, and we touched nothing of it. *)
-                (match Atomic.get s.cached with
-                | Some e as snapshot when not (Atomic.get s.freed) ->
-                    if Atomic.compare_and_set s.cached snapshot None then begin
-                      Atomic.decr st.resident;
-                      if Atomic.get e.e_dirty then write_back_victim t st p e.node
-                    end
-                | _ -> ());
-                Mutex.unlock s.latch
-              end)
+              else if Mutex.try_lock s.latch then
+                (* [Fun.protect], not a bare unlock: the write-back below
+                   can raise (a real IO error, an injected fault) and a
+                   latch leaked here would wedge the tree forever. *)
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock s.latch)
+                  (fun () ->
+                    (* Withdraw first, write back second: we hold the stripe
+                       lock, so a faulter for this page cannot read the disk
+                       until the write-back (or pending-table entry) below has
+                       landed. The CAS is against the exact option value read —
+                       physical equality distinguishes our snapshot from any
+                       newer entry a concurrent [put] to a private page may
+                       install. Winning the CAS makes the entry (and its dirty
+                       flag) exclusively ours; losing it means a newer entry
+                       took the slot, and we touched nothing of it. *)
+                    match Atomic.get s.cached with
+                    | Some e as snapshot when not (Atomic.get s.freed) ->
+                        if Atomic.compare_and_set s.cached snapshot None then begin
+                          Atomic.decr st.resident;
+                          if Atomic.get e.e_dirty then write_back_victim t st p e.node
+                        end
+                    | _ -> ()))
       done
     end
 
@@ -343,6 +485,7 @@ module Make (K : Key.S) = struct
       free_list = Atomic.make [];
       free_len = Atomic.make 0;
       free_dirty = Atomic.make false;
+      generation = Atomic.make 0;
       freed = Atomic.make 0;
       allocated = Atomic.make 0;
       meta = Atomic.make None;
@@ -374,24 +517,30 @@ module Make (K : Key.S) = struct
       max_faulting = Atomic.make 0;
       max_wq_depth = Atomic.make 0;
       writer_batches = Atomic.make 0;
+      writer_errors = Atomic.make 0;
       max_batch = Atomic.make 0;
     }
 
+  (* Build a fresh store over an already-created (empty) paged file —
+     the crash harness hands a shadow file in here. Both header slots
+     are materialized and generation 0's header written into slot 0, so
+     the file is reopenable from its first sync on. *)
+  let create_on ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
+      pfile =
+    let page_size = Paged_file.page_size pfile in
+    let t = make ~page_size ~cache_pages ~stripes pfile in
+    with_file t (fun () ->
+        ensure_materialized_flocked t (header_slots - 1);
+        write_header_flocked t ~gen:0);
+    t
+
   let create_memory ?(page_size = Paged_file.default_page_size)
       ?(cache_pages = default_cache_pages) ?(stripes = default_stripes) () =
-    let t =
-      make ~page_size ~cache_pages ~stripes (Paged_file.create_memory ~page_size ())
-    in
-    with_file t (fun () -> ensure_materialized_flocked t 0);
-    t
+    create_on ~cache_pages ~stripes (Paged_file.create_memory ~page_size ())
 
   let create_file ?(page_size = Paged_file.default_page_size)
       ?(cache_pages = default_cache_pages) ?(stripes = default_stripes) path =
-    let t =
-      make ~page_size ~cache_pages ~stripes (Paged_file.create_file ~page_size path)
-    in
-    with_file t (fun () -> ensure_materialized_flocked t 0);
-    t
+    create_on ~cache_pages ~stripes (Paged_file.create_file ~page_size path)
 
   let create () = create_memory ()
 
@@ -497,6 +646,7 @@ module Make (K : Key.S) = struct
             | None ->
                 if not (Atomic.get s.on_disk) then
                   raise (Page_store.Freed_page ptr);
+                Failpoint.hit fp_fault;
                 st.faults <- st.faults + 1;
                 let c = 1 + Atomic.fetch_and_add t.faulting 1 in
                 update_max t.max_faulting c;
@@ -615,15 +765,27 @@ module Make (K : Key.S) = struct
   (* Drain one queue entry: revalidate against the pending table under
      the page's stripe lock — the entry may have been cancelled by a
      re-fault, a release or a sync since it was queued, or superseded by
-     a newer eviction of the same page (the table holds the newest). *)
+     a newer eviction of the same page (the table holds the newest).
+     Write {e then} remove: if the write raises, the entry stays pending
+     and [sync] (or a faulter) recovers it — removing first would turn an
+     injected IO error into silent data loss. *)
   let write_back_one t p =
     let st = t.stripes.(stripe_index t p) in
     with_stripe st (fun () ->
         match Hashtbl.find_opt st.pending p with
         | None -> ()
         | Some n ->
-            Hashtbl.remove st.pending p;
-            write_node_striped t p n)
+            Failpoint.hit fp_writer;
+            write_node_striped t p n;
+            Hashtbl.remove st.pending p)
+
+  (* A failed background write-back is not fatal: count it and leave the
+     pending entry for [sync] to retry. A [Crash] is fatal — it must
+     propagate so the writer domain dies with the simulated process. *)
+  let write_back_one_resilient t p =
+    try write_back_one t p
+    with Failpoint.Injected _ | Paged_file.Io_error _ | Corrupt _ ->
+      Atomic.incr t.writer_errors
 
   (** The background-writer loop: drain the write queue in batches until
       [stop] is raised {e and} the queue is empty. Run it on a dedicated
@@ -652,21 +814,33 @@ module Make (K : Key.S) = struct
           | batch ->
               Atomic.incr t.writer_batches;
               update_max t.max_batch (List.length batch);
-              List.iter (write_back_one t) batch;
+              List.iter (write_back_one_resilient t) batch;
               run idle_min
         in
         run idle_min;
         (* Final drain: everything enqueued before [stop] was observed. *)
-        List.iter (write_back_one t) (take_batch t))
+        List.iter (write_back_one_resilient t) (take_batch t))
 
   let start_writer t =
     Mutex.lock t.wq_lock;
-    (match t.writer with
-    | Some _ -> ()
-    | None ->
-        let stop = Atomic.make false in
-        t.writer <- Some (Domain.spawn (fun () -> writer_loop t ~stop), stop));
-    Mutex.unlock t.wq_lock
+    let spawned =
+      match t.writer with
+      | Some _ -> false
+      | None ->
+          let stop = Atomic.make false in
+          t.writer <- Some (Domain.spawn (fun () -> writer_loop t ~stop), stop);
+          true
+    in
+    Mutex.unlock t.wq_lock;
+    (* Don't return on the spawn alone: eviction routes dirty victims by
+       [t.writers], which the loop increments only once the new domain is
+       scheduled. Returning early leaves a window where every eviction
+       still writes back inline — a short-lived workload can run entirely
+       inside it and the writer never sees a single page. *)
+    if spawned then
+      while Atomic.get t.writers = 0 do
+        Domain.cpu_relax ()
+      done
 
   let stop_writer t =
     Mutex.lock t.wq_lock;
@@ -681,58 +855,41 @@ module Make (K : Key.S) = struct
 
   (* ---------- durability ---------- *)
 
-  let write_header_flocked t =
-    let free = Atomic.get t.free_list in
-    let page = Bytes.make t.page_size '\000' in
-    let seti off v = Bytes.set_int64_le page off (Int64.of_int v) in
-    seti 0 magic;
-    seti 8 version;
-    seti 16 t.page_size;
-    seti 24 (Atomic.get t.next);
-    seti 32 (match free with [] -> -1 | p :: _ -> p);
-    seti 40 (Atomic.get t.free_len);
-    seti 48 (Atomic.get t.allocated);
-    seti 56 (Atomic.get t.freed);
-    let meta = match Atomic.get t.meta with Some b -> b | None -> Bytes.empty in
-    if Bytes.length meta > t.page_size - header_fixed then
-      failwith "Paged_store: metadata blob does not fit in the header page";
-    seti 64 (Bytes.length meta);
-    Bytes.blit meta 0 page header_fixed (Bytes.length meta);
-    Paged_file.write (file t) 0 page
+  (* Quiescent crash-atomic flush, in write-ahead order:
 
-  (* Thread the free list through the free pages themselves: the first 8
-     bytes of a free page hold the next free pointer (-1 ends the chain).
-     Written directly (not via the pool) after [flush_all], so the chain
-     always wins over any stale pool frame for a freed page. Called only
-     when the free list changed since the last sync ([free_dirty]) —
-     rewriting the whole chain on every sync made reopen-heavy workloads
-     O(free list) per sync for nothing. *)
-  let write_free_chain_flocked t =
-    let rec go = function
-      | [] -> ()
-      | p :: rest ->
-          ensure_materialized_flocked t (p + 1);
-          Bytes.fill t.zero 0 t.page_size '\000';
-          Bytes.set_int64_le t.zero 0
-            (Int64.of_int (match rest with [] -> -1 | q :: _ -> q));
-          Paged_file.write (file t) (p + 1) t.zero;
-          go rest
-    in
-    go (Atomic.get t.free_list)
+     1. per stripe: queued victims (older than any dirty cached version
+        of the same page), then dirty cached nodes  [paged_store.sync.data]
+     2. the buffer pool's dirty frames to the file
+     3. the free chain, if the free list changed    [paged_store.sync.chain]
+     4. generation [g+1]'s header into slot [(g+1) land 1] — the slot
+        holding committed generation [g] is not touched
+                                                    [paged_store.sync.header]
+     5. fsync: the {e commit point}. Under the crash model (un-fsynced
+        writes are lost) this single fsync atomically flips the durable
+        state from generation [g] to [g+1]; a crash any earlier leaves
+        slot [g land 1] — and every page generation [g] describes —
+        exactly as the previous sync committed them.
+     6. the same header slot again, plus a second fsync: defence in depth
+        for real devices that may persist the header out of order inside
+        fsync 5                                     [paged_store.sync.commit]
+     7. only now does the in-memory generation advance.
 
-  (* Quiescent flush: per stripe, queued victims first (they are older
-     than any dirty cached version of the same page), then dirty cached
-     nodes; then the pool to the file, then free chain (if changed) and
-     header directly, then fsync — so the header (and through it the free
-     list) never describes pages that have not landed. *)
+     Error resilience: every mutation of book-keeping happens {e after}
+     the write it describes succeeds (pending entries, [e_dirty] flags,
+     [free_dirty], the generation), so a sync aborted by an IO error can
+     simply be retried. *)
   let sync t =
     let nstripes = Array.length t.stripes in
+    Failpoint.hit fp_sync_data;
     Array.iteri
       (fun si (st : stripe) ->
         with_stripe st (fun () ->
             let pend = Hashtbl.fold (fun p n acc -> (p, n) :: acc) st.pending [] in
-            Hashtbl.reset st.pending;
-            List.iter (fun (p, n) -> write_node_striped t p n) pend;
+            List.iter
+              (fun (p, n) ->
+                write_node_striped t p n;
+                Hashtbl.remove st.pending p)
+              pend;
             let frontier = Atomic.get t.next in
             let p = ref si in
             while !p < frontier do
@@ -745,18 +902,34 @@ module Make (K : Key.S) = struct
                         (* Clear before writing: should a non-quiescent put
                            slip in, its fresh entry (and dirty flag)
                            supersedes this one and the page is merely
-                           written twice, never left stale-clean. *)
+                           written twice, never left stale-clean. Restore
+                           on failure — this entry is still newer than the
+                           disk and a retried sync must re-write it. *)
                         Atomic.set e.e_dirty false;
-                        write_node_striped t !p e.node
+                        (try write_node_striped t !p e.node
+                         with ex ->
+                           Atomic.set e.e_dirty true;
+                           raise ex)
                     | _ -> ()));
               p := !p + nstripes
             done))
       t.stripes;
     with_file t (fun () ->
-        Buffer_pool.flush_all t.pool;
-        if Atomic.exchange t.free_dirty false then write_free_chain_flocked t;
-        write_header_flocked t;
-        Paged_file.sync (file t))
+        Buffer_pool.flush_writes t.pool;
+        let gen = Atomic.get t.generation + 1 in
+        if Atomic.get t.free_dirty then begin
+          Failpoint.hit fp_sync_chain;
+          write_free_chain_flocked t ~gen;
+          Atomic.set t.free_dirty false
+        end;
+        Failpoint.hit fp_sync_header;
+        write_header_flocked t ~gen;
+        Paged_file.sync (file t);
+        (* committed: a crash from here on recovers generation [gen] *)
+        Failpoint.hit fp_sync_commit;
+        write_header_flocked t ~gen;
+        Paged_file.sync (file t);
+        Atomic.set t.generation gen)
 
   let flush = sync
 
@@ -765,23 +938,41 @@ module Make (K : Key.S) = struct
     sync t;
     Paged_file.close (file t)
 
-  let open_file ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
-      path =
-    let pfile = Paged_file.open_file ~writable:true path in
+  (* Open a store from an already-open paged file (the crash harness
+     hands in a {!Paged_file.crash_image}). Recovery policy:
+
+     - {b Header}: read both slots, keep whichever checksum-valid one
+       carries the higher generation. One torn / stale / unwritten slot
+       is expected after a crash; only both slots invalid is [Corrupt].
+     - {b Free chain}: walk it defensively — validate {e every} entry
+       (magic, checksum, pointer range, length, acyclicity) before
+       committing anything to the allocator. Any damage degrades to
+       {e leaking} the free pages (they are never handed out again)
+       rather than raising: a broken chain after a crash must not make
+       the tree — which is intact — unopenable, and the one unsafe
+       failure (recycling a page the tree still references) is exactly
+       what the validate-first walk rules out. *)
+  let open_from ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
+      pfile =
     if Paged_file.pages pfile = 0 then raise (Corrupt "empty file");
-    let header = Paged_file.read pfile 0 in
+    let page_size = Paged_file.page_size pfile in
+    let header =
+      match
+        ( read_header_slot pfile ~page_size 0,
+          read_header_slot pfile ~page_size 1 )
+      with
+      | Some (g0, h0), Some (g1, h1) -> if g0 >= g1 then (g0, h0) else (g1, h1)
+      | Some (g, h), None | None, Some (g, h) -> (g, h)
+      | None, None -> raise (Corrupt "no valid header slot")
+    in
+    let gen, header = header in
     let geti off = Int64.to_int (Bytes.get_int64_le header off) in
-    if geti 0 <> magic then raise (Corrupt "bad magic");
-    if geti 8 <> version then
-      raise (Corrupt (Printf.sprintf "version %d, expected %d" (geti 8) version));
-    let page_size = geti 16 in
-    if page_size <> Paged_file.page_size pfile then
-      raise (Corrupt "header page size does not match the file's");
     let t = make ~page_size ~cache_pages ~stripes pfile in
+    Atomic.set t.generation gen;
     Atomic.set t.next (geti 24);
     Atomic.set t.allocated (geti 48);
     Atomic.set t.freed (geti 56);
-    let meta_len = geti 64 in
+    let meta_len = geti 72 in
     if meta_len < 0 || meta_len > page_size - header_fixed then
       raise (Corrupt "bad metadata length");
     if meta_len > 0 then
@@ -790,35 +981,48 @@ module Make (K : Key.S) = struct
     for p = 0 to frontier - 1 do
       let chunk = ensure_chunk t (p lsr chunk_bits) in
       Atomic.set chunk.(p land (chunk_size - 1)).on_disk
-        (p + 1 < Paged_file.pages pfile)
+        (p + header_slots < Paged_file.pages pfile)
     done;
-    (* Rebuild the free list by walking the on-disk chain. *)
+    (* Rebuild the free list by walking the on-disk chain — collect and
+       validate the whole chain first, commit to the allocator only if
+       every link checks out. *)
     let free_count = geti 40 in
     let head = geti 32 in
     let rec walk acc seen cur =
-      if cur = -1 then List.rev acc
-      else if seen > free_count then raise (Corrupt "free-list chain cycle")
-      else if cur < 0 || cur >= frontier then
-        raise (Corrupt (Printf.sprintf "free-list pointer %d out of range" cur))
-      else begin
-        let s = slot t cur in
-        Atomic.set s.freed true;
-        (* Free pages hold chain links, not nodes: clearing [on_disk]
-           keeps them unreadable after recycling, until their first
-           [put] — the same contract a live store maintains. *)
-        Atomic.set s.on_disk false;
-        let page = Paged_file.read pfile (cur + 1) in
-        walk (cur :: acc) (seen + 1) (Int64.to_int (Bytes.get_int64_le page 0))
-      end
+      if cur = -1 then if seen = free_count then Some (List.rev acc) else None
+      else if seen >= free_count then None (* longer than advertised: cycle? *)
+      else if cur < 0 || cur >= frontier then None
+      else
+        match read_chain_entry pfile (cur + header_slots) with
+        | None -> None
+        | Some next -> walk (cur :: acc) (seen + 1) next
     in
-    let free = walk [] 0 head in
-    if List.length free <> free_count then
-      raise (Corrupt "free-list chain shorter than the header count");
-    Atomic.set t.free_list free;
-    Atomic.set t.free_len free_count;
-    (* The in-memory list now matches the on-disk chain exactly. *)
-    Atomic.set t.free_dirty false;
+    (match walk [] 0 head with
+    | Some free ->
+        List.iter
+          (fun p ->
+            let s = slot t p in
+            Atomic.set s.freed true;
+            (* Free pages hold chain links, not nodes: clearing [on_disk]
+               keeps them unreadable after recycling, until their first
+               [put] — the same contract a live store maintains. *)
+            Atomic.set s.on_disk false)
+          free;
+        Atomic.set t.free_list free;
+        Atomic.set t.free_len free_count;
+        (* The in-memory list now matches the on-disk chain exactly. *)
+        Atomic.set t.free_dirty false
+    | None ->
+        (* Damaged chain: leak the free pages (safe — they are simply
+           never reused) instead of refusing to open an intact tree. The
+           next sync persists the (empty) list. *)
+        Atomic.set t.free_list [];
+        Atomic.set t.free_len 0;
+        Atomic.set t.free_dirty true);
     t
+
+  let open_file ?cache_pages ?stripes path =
+    open_from ?cache_pages ?stripes (Paged_file.open_file ~writable:true path)
 
   (* ---------- introspection ---------- *)
 
@@ -830,6 +1034,8 @@ module Make (K : Key.S) = struct
   let page_size t = t.page_size
   let stripe_count t = Array.length t.stripes
   let queue_depth t = Atomic.get t.wq_depth
+  let generation t = Atomic.get t.generation
+  let writer_errors t = Atomic.get t.writer_errors
 
   (* Per-stripe counters are read without the stripe locks: the snapshot
      is racy by a few events, which is fine for reporting. *)
@@ -843,6 +1049,7 @@ module Make (K : Key.S) = struct
         io.Stats.queued_writebacks <- io.Stats.queued_writebacks + st.queued_wb)
       t.stripes;
     io.Stats.writer_batches <- Atomic.get t.writer_batches;
+    io.Stats.writer_errors <- Atomic.get t.writer_errors;
     io.Stats.max_batch <- Atomic.get t.max_batch;
     io.Stats.max_queue_depth <- Atomic.get t.max_wq_depth;
     io.Stats.max_concurrent_faults <- Atomic.get t.max_faulting;

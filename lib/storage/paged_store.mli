@@ -11,11 +11,19 @@
     running ({!Make.writer_loop} / {!Make.start_writer}); otherwise (or
     when the bounded write queue is full) eviction writes back inline.
 
-    Disk page 0 is the store header; tree pointer [p] lives on disk page
-    [p + 1]; the free list is threaded through the free pages themselves
-    and rewritten on [sync] only when it changed. [sync] (quiescent)
-    drains the write queue and makes the store survive {!close} +
-    {!Make.open_file}. *)
+    Disk pages 0 and 1 are two checksummed header slots ping-ponged by a
+    generation counter; tree pointer [p] lives on disk page [p + 2],
+    checksummed by {!Page_codec}; the free list is threaded through the
+    free pages themselves (checksummed entries) and rewritten on [sync]
+    only when it changed. [sync] (quiescent) drains the write queue,
+    stages the next generation's header into the alternate slot and
+    commits it with a single fsync — crash-atomic under the model of
+    {!Paged_file.create_shadow}; reopening falls back to the surviving
+    slot when the other is torn, and degrades a damaged free chain to a
+    leak instead of a failure (see doc/RECOVERY.md). Failpoint sites:
+    [paged_store.fault], [paged_store.evict], [paged_store.writer],
+    [paged_store.sync.data], [paged_store.sync.chain],
+    [paged_store.sync.header], [paged_store.sync.commit]. *)
 
 exception Corrupt of string
 (** A damaged header or page encountered while opening / faulting. *)
@@ -41,10 +49,20 @@ module Make (K : Key.S) : sig
     ?page_size:int -> ?cache_pages:int -> ?stripes:int -> string -> t
   (** Create (or truncate) a file-backed store. *)
 
+  val create_on : ?cache_pages:int -> ?stripes:int -> Paged_file.t -> t
+  (** Build a fresh store over an already-created (empty) paged file —
+      how the crash harness runs the full stack on a
+      {!Paged_file.create_shadow} device. *)
+
   val open_file : ?cache_pages:int -> ?stripes:int -> string -> t
   (** Reopen a store that was {!Page_store.S.sync}ed ([flush]/[close]
       also sync). Restores the allocator frontier, free list and
-      metadata blob. @raise Corrupt on a damaged file. *)
+      metadata blob from the newest valid header slot. @raise Corrupt
+      when no header slot validates. *)
+
+  val open_from : ?cache_pages:int -> ?stripes:int -> Paged_file.t -> t
+  (** {!open_file} over an already-open paged file (e.g. a
+      {!Paged_file.crash_image}). *)
 
   val flush : t -> unit
   (** Alias of [sync]: write back queued and dirty nodes, persist the
@@ -84,6 +102,13 @@ module Make (K : Key.S) : sig
 
   val queue_depth : t -> int
   (** Write-queue entries not yet popped by the writer. *)
+
+  val generation : t -> int
+  (** Last generation committed by [sync] (0 before the first sync). *)
+
+  val writer_errors : t -> int
+  (** Background write-backs that failed and were left pending for
+      [sync] to retry. *)
 
   val io_stats : t -> Stats.io
   (** Snapshot of fault / write-back / writer counters (racy by a few

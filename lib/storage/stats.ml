@@ -102,6 +102,9 @@ type io = {
   mutable inline_writebacks : int;  (** eviction write-backs done synchronously *)
   mutable queued_writebacks : int;  (** eviction write-backs handed to the background writer *)
   mutable writer_batches : int;  (** background-writer queue drains *)
+  mutable writer_errors : int;
+      (** background write-backs that failed (IO error / injected fault)
+          and left their entry pending for [sync] to retry *)
   mutable max_batch : int;  (** largest single writer batch *)
   mutable max_queue_depth : int;  (** write-queue depth high-water mark *)
   mutable max_concurrent_faults : int;
@@ -116,6 +119,7 @@ let io_create () =
     inline_writebacks = 0;
     queued_writebacks = 0;
     writer_batches = 0;
+    writer_errors = 0;
     max_batch = 0;
     max_queue_depth = 0;
     max_concurrent_faults = 0;
@@ -128,6 +132,7 @@ let io_merge ~into:dst (src : io) =
   dst.inline_writebacks <- dst.inline_writebacks + src.inline_writebacks;
   dst.queued_writebacks <- dst.queued_writebacks + src.queued_writebacks;
   dst.writer_batches <- dst.writer_batches + src.writer_batches;
+  dst.writer_errors <- dst.writer_errors + src.writer_errors;
   dst.max_batch <- max dst.max_batch src.max_batch;
   dst.max_queue_depth <- max dst.max_queue_depth src.max_queue_depth;
   dst.max_concurrent_faults <- max dst.max_concurrent_faults src.max_concurrent_faults
@@ -135,9 +140,10 @@ let io_merge ~into:dst (src : io) =
 let pp_io fmt (io : io) =
   Format.fprintf fmt
     "faults=%d stall=%.3fms wb_inline=%d wb_queued=%d batches=%d max_batch=%d \
-     max_queue=%d max_conc_faults=%d"
+     max_queue=%d max_conc_faults=%d wr_errors=%d"
     io.faults (1e3 *. io.fault_stall_s) io.inline_writebacks io.queued_writebacks
     io.writer_batches io.max_batch io.max_queue_depth io.max_concurrent_faults
+    io.writer_errors
 
 let io_to_string io = Format.asprintf "%a" pp_io io
 

@@ -49,6 +49,9 @@ type io = {
   mutable inline_writebacks : int;  (** synchronous eviction write-backs *)
   mutable queued_writebacks : int;  (** write-backs handed to the background writer *)
   mutable writer_batches : int;  (** background-writer queue drains *)
+  mutable writer_errors : int;
+      (** background write-backs that failed and were left pending for
+          [sync] to retry *)
   mutable max_batch : int;  (** largest single writer batch *)
   mutable max_queue_depth : int;  (** write-queue depth high-water mark *)
   mutable max_concurrent_faults : int;

@@ -1,0 +1,20 @@
+(** FNV-1a (32-bit) over byte ranges: the integrity check stamped into
+    every encoded page, header slot and free-chain entry by the storage
+    layer. Not cryptographic — it exists to catch torn writes, bit rot
+    and stale-generation pages at reopen, where a cheap, dependency-free
+    hash with good avalanche on short inputs is exactly enough. *)
+
+let offset_basis = 0x811c9dc5
+let prime = 0x01000193
+let mask = 0xFFFFFFFF
+
+let fnv32 bytes ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Checksum.fnv32: range out of bounds";
+  let h = ref offset_basis in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get bytes i)) * prime land mask
+  done;
+  !h
+
+let fnv32_string s = fnv32 (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

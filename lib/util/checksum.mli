@@ -1,0 +1,8 @@
+(** FNV-1a 32-bit checksums for on-disk integrity (torn-write and
+    corruption detection). Not cryptographic. *)
+
+val fnv32 : Bytes.t -> pos:int -> len:int -> int
+(** Hash of [len] bytes starting at [pos]; always in [0, 2^32).
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val fnv32_string : string -> int

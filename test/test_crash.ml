@@ -1,0 +1,213 @@
+(* Crash-fault injection: the simulated-crash battery (every failpoint
+   site × writer on/off), targeted torn-write and injected-error runs,
+   the dual-header fallback regression, short-write retries on a real
+   file, and writer-shutdown races — plus the CI guarantee that every
+   registered failpoint site was actually exercised. *)
+
+open Repro_storage
+open Repro_harness
+
+module PS = Paged_store.Make (Key.Int)
+module Sg = Repro_core.Sagiv.Make_on_store (Key.Int) (PS)
+module V = Repro_core.Validate.Make_on_store (Key.Int) (PS)
+
+let mk_leaf keys =
+  {
+    Node.level = 0;
+    keys = Array.of_list keys;
+    ptrs = Array.of_list keys;
+    low = Bound.Neg_inf;
+    high = Bound.Pos_inf;
+    link = None;
+    is_root = false;
+    state = Node.Live;
+  }
+
+let with_tmp_file f =
+  let path = Filename.temp_file "crash_test" ".pages" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let check_valid t msg =
+  let r = V.check t in
+  if not (Repro_core.Validate.ok r) then
+    Alcotest.failf "%s: %s" msg (String.concat "; " r.Repro_core.Validate.errors)
+
+(* ---------- failpoint registry basics ---------- *)
+
+let test_failpoint_registry () =
+  Failpoint.reset ();
+  (match Failpoint.set "no.such.site" (Failpoint.Error { every = 1 }) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown site must be rejected");
+  (match Failpoint.set "paged_file.pwrite" (Failpoint.Error { every = 0 }) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "every = 0 must be rejected");
+  let s = Failpoint.site "paged_file.pwrite" in
+  Alcotest.(check string) "idempotent registration" "paged_file.pwrite"
+    (Failpoint.name s);
+  (* Crash_after counts armed hits only *)
+  Failpoint.set_site s (Failpoint.Crash_after 3);
+  Failpoint.hit s;
+  Failpoint.hit s;
+  (match Failpoint.hit s with
+  | exception Failpoint.Crash name ->
+      Alcotest.(check string) "crash names the site" "paged_file.pwrite" name
+  | () -> Alcotest.fail "third armed hit must crash");
+  Alcotest.(check bool) "crash latches" true (Failpoint.is_crashed ());
+  Failpoint.reset ();
+  Alcotest.(check bool) "reset clears the latch" false (Failpoint.is_crashed ());
+  Failpoint.hit s (* disarmed: must not fire *)
+
+(* ---------- the simulated-crash battery ---------- *)
+
+let test_battery () =
+  let outcomes = Crash.battery ~quick:true () in
+  Alcotest.(check bool) "battery ran" true (List.length outcomes > 20);
+  let crashes = List.filter (fun o -> o.Crash.crashed) outcomes in
+  Alcotest.(check bool) "most runs actually crashed" true
+    (List.length crashes > List.length outcomes / 2)
+
+(* ---------- dual header slots (regression: sync used to rewrite the
+   single header page 0 in place — one torn header bricked the store) *)
+
+let corrupt_page path page =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (page * Paged_file.default_page_size) Unix.SEEK_SET);
+  let junk = Bytes.make Paged_file.default_page_size 'x' in
+  ignore (Unix.write fd junk 0 (Bytes.length junk));
+  Unix.close fd
+
+let build_two_generations path =
+  Failpoint.reset ();
+  let store = PS.create_file ~cache_pages:32 path in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  for k = 0 to 199 do
+    ignore (Sg.insert tree c k (k * 3))
+  done;
+  Sg.flush tree;
+  Sg.flush tree;
+  (* both slots committed *)
+  PS.close store
+
+let reopen_and_check path msg =
+  let store = PS.open_file ~cache_pages:32 path in
+  let tree = Sg.open_existing store in
+  let c = Sg.ctx ~slot:0 in
+  check_valid tree msg;
+  for k = 0 to 199 do
+    if Sg.search tree c k <> Some (k * 3) then
+      Alcotest.failf "%s: key %d lost" msg k
+  done;
+  PS.close store
+
+let test_header_slot_corruption () =
+  with_tmp_file (fun path ->
+      build_two_generations path;
+      corrupt_page path 0;
+      reopen_and_check path "slot 0 corrupted");
+  with_tmp_file (fun path ->
+      build_two_generations path;
+      corrupt_page path 1;
+      reopen_and_check path "slot 1 corrupted");
+  with_tmp_file (fun path ->
+      build_two_generations path;
+      corrupt_page path 0;
+      corrupt_page path 1;
+      match PS.open_file ~cache_pages:32 path with
+      | exception Paged_store.Corrupt _ -> ()
+      | _ -> Alcotest.fail "both slots corrupted must be rejected")
+
+(* ---------- short writes on a real file: the Unix backend's
+   seek+write loop must retry partial transfers until the page lands *)
+
+let test_short_writes_on_file () =
+  with_tmp_file (fun path ->
+      Failpoint.reset ();
+      Failpoint.set "paged_file.pwrite" (Failpoint.Short_write { every = 2 });
+      let store = PS.create_file ~cache_pages:8 path in
+      let tree = Sg.create ~order:4 ~store () in
+      let c = Sg.ctx ~slot:0 in
+      for k = 0 to 299 do
+        ignore (Sg.insert tree c k (k * 3))
+      done;
+      Sg.flush tree;
+      PS.close store;
+      Alcotest.(check bool) "short writes actually injected" true
+        (Failpoint.exercised "paged_file.pwrite" > 0);
+      Failpoint.reset ();
+      let store = PS.open_file ~cache_pages:8 path in
+      let tree = Sg.open_existing store in
+      let c = Sg.ctx ~slot:0 in
+      check_valid tree "after short-write storm";
+      for k = 0 to 299 do
+        if Sg.search tree c k <> Some (k * 3) then
+          Alcotest.failf "key %d lost behind short writes" k
+      done;
+      PS.close store)
+
+(* ---------- writer shutdown: stop_writer racing sync and close under
+   injected write-back errors must drain (not leak) pending entries *)
+
+let test_writer_shutdown_race () =
+  for seed = 1 to 3 do
+    Failpoint.reset ();
+    let pfile = Paged_file.create_shadow ~page_size:512 () in
+    let store = PS.create_on ~cache_pages:4 pfile in
+    let n = 48 in
+    let ptrs = Array.init n (fun i -> PS.alloc store (mk_leaf [ i ])) in
+    PS.sync store;
+    PS.start_writer store;
+    Failpoint.set "paged_store.writer" (Failpoint.Error { every = 2 });
+    (* churn: puts evict through the bounded queue into the writer, half
+       of whose write-backs fail and must stay pending *)
+    for round = 1 to 4 do
+      for i = 0 to n - 1 do
+        PS.put store ptrs.(i) (mk_leaf [ i + (100 * round) + seed ])
+      done
+    done;
+    (* race shutdown against a concurrent sync *)
+    let syncer = Domain.spawn (fun () -> PS.sync store) in
+    PS.stop_writer store;
+    Domain.join syncer;
+    Failpoint.set "paged_store.writer" Failpoint.Off;
+    PS.sync store;
+    Alcotest.(check int) "write queue drained" 0 (PS.queue_depth store);
+    (* the durable image must hold every page's final version *)
+    let image = Paged_file.crash_image pfile in
+    Failpoint.reset ();
+    let store2 = PS.open_from ~cache_pages:8 image in
+    for i = 0 to n - 1 do
+      let node = PS.get store2 ptrs.(i) in
+      if node.Node.keys <> [| i + 400 + seed |] then
+        Alcotest.failf "seed %d: page %d lost updates across writer shutdown (got %d)"
+          seed i node.Node.keys.(0)
+    done
+  done
+
+(* ---------- every registered site must have fired by now (keep this
+   test last: it audits the whole suite run) ---------- *)
+
+let test_all_sites_exercised () =
+  Failpoint.reset ();
+  match Failpoint.unexercised () with
+  | [] -> ()
+  | dead ->
+      Alcotest.failf "failpoint sites registered but never exercised: %s"
+        (String.concat ", " dead)
+
+let suite =
+  [
+    Alcotest.test_case "failpoint registry basics" `Quick test_failpoint_registry;
+    Alcotest.test_case "simulated-crash battery (quick)" `Quick test_battery;
+    Alcotest.test_case "header slot corruption falls back" `Quick
+      test_header_slot_corruption;
+    Alcotest.test_case "short writes retried on a real file" `Quick
+      test_short_writes_on_file;
+    Alcotest.test_case "writer shutdown races sync under errors" `Quick
+      test_writer_shutdown_race;
+    Alcotest.test_case "all failpoint sites exercised" `Quick
+      test_all_sites_exercised;
+  ]

@@ -18,6 +18,7 @@ let () =
       ("harness", Test_harness.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("disk", Test_disk.suite);
+      ("crash", Test_crash.suite);
       ("props", Test_props.suite);
       ("access", Test_access.suite);
       ("trace", Test_trace.suite);
