@@ -761,6 +761,196 @@ let e11 () =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* E12: durability — stop-the-world sync vs WAL group commit           *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap a disk handle so every [every]-th completed write op issues a
+   durability call, timing each call into [samples]. [ckpt] = [(n, f)]
+   additionally runs checkpoint [f] every [n]-th write op — how a
+   WAL-mode store bounds its log (and keeps the log device overwriting
+   in place instead of growing under every fsync). *)
+let with_timed_commit ~every ~samples ?ckpt (h : Tree_intf.handle) =
+  let count = Atomic.make 0 in
+  let idx = Atomic.make 0 in
+  let tick () =
+    let n = Atomic.fetch_and_add count 1 in
+    (match ckpt with
+    | Some (ck_every, ck) when n mod ck_every = ck_every - 1 -> ck ()
+    | _ -> ());
+    if n mod every = every - 1 then begin
+      let t0 = Unix.gettimeofday () in
+      h.Tree_intf.commit ();
+      let i = Atomic.fetch_and_add idx 1 in
+      if i < Array.length samples then
+        samples.(i) <- Unix.gettimeofday () -. t0
+    end
+  in
+  ( {
+      h with
+      Tree_intf.insert =
+        (fun ctx k v ->
+          let r = h.Tree_intf.insert ctx k v in
+          tick ();
+          r);
+      delete =
+        (fun ctx k ->
+          let r = h.Tree_intf.delete ctx k in
+          tick ();
+          r);
+    },
+    idx )
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let e12 () =
+  Report.heading "E12: durability — sync-every-N vs WAL group commit";
+  Report.note
+    "Write-heavy mix (10/60/30 search/insert/delete) on a file-backed \
+     store (real fsyncs) with a durability point every 10 completed write \
+     ops: sync mode serialises a full checkpoint (every dirty page, free \
+     chain, dual header, 3 fsyncs) behind one mutex per commit; WAL mode \
+     logs just the dirty page images and group-commits with one log \
+     fsync (checkpointing every 2000 write ops to truncate the log), \
+     commit_batch > 1 letting one leader's fsync cover concurrent \
+     committers. Commit latency sampled per durability call.";
+  let space = scale 20_000 in
+  let total_ops = scale 60_000 in
+  let every = 10 in
+  let cache_pages = 2048 in
+  let spec =
+    Workload.spec
+      ~op_mix:(Workload.mix ~search:0.1 ~insert:0.6 ~delete:0.3 ())
+      ~key_space:space ~preload:(space / 2) ()
+  in
+  let trials = if !quick then 3 else 5 in
+  let domain_counts = [ 1; 2; 4 ] in
+  (* (label, wal, commit_batch) *)
+  let modes = [ ("sync", false, 1); ("wal", true, 1); ("wal", true, 4) ] in
+  let run_once wal commit_batch domains =
+    Gc.compact ();
+    let path = Filename.temp_file "e12" ".pages" in
+    let wal_path = path ^ ".wal" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ path; wal_path ])
+      (fun () ->
+        let store =
+          if wal then
+            Tree_intf.Paged_int.create_file ~cache_pages ~commit_batch
+              ~commit_interval:5e-4 ~wal_path path
+          else Tree_intf.Paged_int.create_file ~cache_pages path
+        in
+        let t = Tree_intf.Sagiv_disk.create ~order:16 ~store () in
+        let h0 =
+          Tree_intf.of_ops
+            ~commit:(fun () -> Tree_intf.Sagiv_disk.commit t)
+            ~name:"sagiv-disk" (module Tree_intf.Sagiv_disk) t
+        in
+        ignore (Driver.preload h0 ~seed:4242 spec);
+        Tree_intf.Paged_int.flush store;
+        let samples = Array.make ((total_ops / every) + domains + 1) 0.0 in
+        let ckpt =
+          (* WAL mode checkpoints every 2000 write ops (sync mode's every
+             commit already is one), truncating the log so later windows
+             overwrite it in place. *)
+          if wal then Some (2000, fun () -> Tree_intf.Sagiv_disk.flush t)
+          else None
+        in
+        let h, idx = with_timed_commit ~every ~samples ?ckpt h0 in
+        let r =
+          Driver.run_ops h ~domains ~ops_per_domain:(total_ops / domains)
+            ~seed:4242 spec
+        in
+        let n = min (Atomic.get idx) (Array.length samples) in
+        let lat = Array.sub samples 0 n in
+        Array.sort Float.compare lat;
+        let io = Tree_intf.Paged_int.io_stats store in
+        Tree_intf.Paged_int.close store;
+        (r.Driver.throughput, lat, io))
+  in
+  let results = Hashtbl.create 16 in
+  let jrows = ref [] in
+  let rows =
+    List.concat_map
+      (fun (label, wal, commit_batch) ->
+        List.map
+          (fun domains ->
+            let runs =
+              List.init trials (fun _ -> run_once wal commit_batch domains)
+            in
+            let sorted =
+              List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) runs
+            in
+            let tput, lat, io = List.nth sorted (trials / 2) in
+            let p50 = quantile lat 0.50 and p99 = quantile lat 0.99 in
+            Hashtbl.replace results (label, commit_batch, domains)
+              (tput, p99);
+            jrows :=
+              J.Obj
+                [
+                  ("mode", J.Str label);
+                  ("commit_batch", J.Int commit_batch);
+                  ("domains", J.Int domains);
+                  ("ops_per_s", J.Float tput);
+                  ("commits", J.Int (Array.length lat));
+                  ("commit_p50_us", J.Float (1e6 *. p50));
+                  ("commit_p99_us", J.Float (1e6 *. p99));
+                  ("commit_groups", J.Int io.Stats.commit_groups);
+                  ("max_commit_group", J.Int io.Stats.max_commit_group);
+                  ("wal_records", J.Int io.Stats.wal_records);
+                  ("wal_fsyncs", J.Int io.Stats.wal_fsyncs);
+                ]
+              :: !jrows;
+            [
+              label;
+              string_of_int commit_batch;
+              string_of_int domains;
+              Report.fmt_si tput ^ "/s";
+              string_of_int (Array.length lat);
+              Report.fmt_f (1e6 *. p50) ^ "us";
+              Report.fmt_f (1e6 *. p99) ^ "us";
+              string_of_int io.Stats.commit_groups;
+              string_of_int io.Stats.max_commit_group;
+              string_of_int io.Stats.wal_fsyncs;
+            ])
+          domain_counts)
+      modes
+  in
+  Report.table
+    ~header:
+      [
+        "mode"; "batch"; "domains"; "tput"; "commits"; "commit p50";
+        "commit p99"; "groups"; "max group"; "log fsyncs";
+      ]
+    rows;
+  record_json "E12"
+    (J.Obj
+       [
+         ("space", J.Int space);
+         ("total_ops", J.Int total_ops);
+         ("commit_every", J.Int every);
+         ("rows", J.List (List.rev !jrows));
+       ]);
+  match
+    ( Hashtbl.find_opt results ("sync", 1, 4),
+      Hashtbl.find_opt results ("wal", 1, 4),
+      Hashtbl.find_opt results ("wal", 4, 4) )
+  with
+  | Some (sync_t, sync_p99), Some (w1_t, w1_p99), Some (w4_t, w4_p99) ->
+      Report.note
+        (Printf.sprintf
+           "verdict @ 4 domains: wal batch=1 = %.2fx sync throughput (p99 \
+            commit %.0fus vs %.0fus), wal batch=4 = %.2fx (p99 %.0fus)"
+           (w1_t /. sync_t) (1e6 *. w1_p99) (1e6 *. sync_p99)
+           (w4_t /. sync_t) (1e6 *. w4_p99))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* E10: YCSB-style workloads across the trees                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -944,6 +1134,7 @@ let experiments =
     ("E9", e9);
     ("E10", e10);
     ("E11", e11);
+    ("E12", e12);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

@@ -24,12 +24,13 @@ module Snap = Snapshot.Make (Key.Int)
 module Co_disk = Compactor.Make_on_store (Key.Int) (Tree_intf.Paged_int)
 module V_disk = Validate.Make_on_store (Key.Int) (Tree_intf.Paged_int)
 
-let impl_of_name ~backend name =
+let impl_of_name ?(wal = false) ?commit_batch ~backend name =
   match (backend, name) with
   | "mem", "sagiv" -> Tree_intf.sagiv ()
   | "mem", "sagiv-compact" -> Tree_intf.sagiv ~enqueue_on_delete:true ()
-  | "disk", "sagiv" -> Tree_intf.sagiv_disk ()
-  | "disk", "sagiv-compact" -> Tree_intf.sagiv_disk ~enqueue_on_delete:true ()
+  | "disk", "sagiv" -> Tree_intf.sagiv_disk ~wal ?commit_batch ()
+  | "disk", "sagiv-compact" ->
+      Tree_intf.sagiv_disk ~enqueue_on_delete:true ~wal ?commit_batch ()
   | "disk", s ->
       failwith (Printf.sprintf "tree %S has no disk backend (only sagiv does)" s)
   | "mem", "lehman-yao" | "mem", "ly" -> Tree_intf.lehman_yao
@@ -57,30 +58,80 @@ let dist_of_name = function
 
 (* -- run -- *)
 
+(* Wrap a handle so every [every]-th completed mutation (a global
+   counter: whichever worker crosses the boundary issues the call)
+   triggers a durable commit — the CLI's --sync-every / --commit-every
+   semantics. *)
+let with_periodic_commit every (h : Tree_intf.handle) =
+  if every <= 0 then h
+  else begin
+    let count = Atomic.make 0 in
+    let bump () =
+      if Atomic.fetch_and_add count 1 mod every = every - 1 then
+        h.Tree_intf.commit ()
+    in
+    {
+      h with
+      Tree_intf.insert =
+        (fun c k v ->
+          let r = h.Tree_intf.insert c k v in
+          bump ();
+          r);
+      delete =
+        (fun c k ->
+          let r = h.Tree_intf.delete c k in
+          bump ();
+          r);
+    }
+  end
+
 let run_cmd tree_name backend mix_name dist_name domains ops key_space preload order
-    seed compactors validate latency =
-  let impl = impl_of_name ~backend tree_name in
+    seed compactors validate latency durability sync_every commit_every
+    commit_batch =
+  let wal =
+    match durability with
+    | "sync" -> false
+    | "wal" -> true
+    | s -> failwith (Printf.sprintf "unknown durability %S (sync or wal)" s)
+  in
+  if wal && backend <> "disk" then
+    failwith "--durability wal requires --backend disk";
+  if sync_every > 0 && wal then
+    failwith "--sync-every drives the sync path; use --commit-every with --durability wal";
+  if commit_every > 0 && not wal then
+    failwith "--commit-every drives the group-commit path; use --sync-every with --durability sync";
+  if (sync_every > 0 || commit_every > 0) && backend <> "disk" then
+    failwith "--sync-every/--commit-every require --backend disk";
+  let every = max sync_every commit_every in
+  let commit_batch = if commit_batch > 1 then Some commit_batch else None in
+  let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
   let spec =
     Workload.spec ~op_mix:(mix_of_name mix_name) ~key_space ~dist:(dist_of_name dist_name)
       ~preload ()
   in
   Printf.printf
-    "tree=%s backend=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d\n%!"
+    "tree=%s backend=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d%s\n%!"
     impl.Tree_intf.impl_name backend mix_name dist_name domains ops key_space preload
-    order;
+    order
+    (if backend = "disk" then
+       Printf.sprintf " durability=%s%s" durability
+         (if every > 0 then Printf.sprintf " every=%d" every else "")
+     else "");
   let needs_raw = compactors > 0 || (validate && tree_name <> "lehman-yao") in
   if needs_raw && not (String.length tree_name >= 5 && String.sub tree_name 0 5 = "sagiv")
   then failwith "--compactors/--validate require a sagiv tree";
   if needs_raw then begin
     let enqueue_on_delete = compactors > 0 || tree_name = "sagiv-compact" in
-    let finish (r, comp) check =
+    let finish (r, comp) =
       Printf.printf "elapsed %.3fs, %s ops/s\n" r.Driver.elapsed_s
         (Report.fmt_si r.Driver.throughput);
       Printf.printf "workers:    %s\n" (Stats.to_string r.Driver.stats);
       (match r.Driver.latency with
       | Some h -> Printf.printf "latency:    %s\n" (Driver.percentiles_line h)
       | None -> ());
-      if compactors > 0 then Printf.printf "compactors: %s\n" (Stats.to_string comp);
+      if compactors > 0 then Printf.printf "compactors: %s\n" (Stats.to_string comp)
+    in
+    let finish_check check =
       if validate then begin
         let rep = check () in
         if Validate.ok rep then
@@ -108,19 +159,35 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
         finish
           (measure h (fun () ->
                Driver.run_ops_with_compaction raw h ~domains ~compactors
-                 ~ops_per_domain:ops ~seed spec))
-          (fun () -> V.check raw)
+                 ~ops_per_domain:ops ~seed spec));
+        finish_check (fun () -> V.check raw)
     | _ ->
-        let raw, h = Tree_intf.sagiv_disk_raw ~enqueue_on_delete ~order () in
+        let raw, h =
+          Tree_intf.sagiv_disk_raw ~enqueue_on_delete ~wal ?commit_batch ~order ()
+        in
+        let h = with_periodic_commit every h in
         finish
           (measure h (fun () ->
                Driver.run_ops_with_workers h ~domains ~workers:compactors
                  ~worker:(fun ~stop ctx -> Co_disk.run_worker raw ctx ~stop)
-                 ~ops_per_domain:ops ~seed spec))
-          (fun () -> V_disk.check raw)
+                 ~ops_per_domain:ops ~seed spec));
+        Printf.printf "io: %s\n"
+          (Stats.io_to_string (Tree_intf.Paged_int.io_stats raw.Handle.store));
+        finish_check (fun () -> V_disk.check raw)
   end
   else begin
-    let h = impl.Tree_intf.make ~order in
+    (* Disk runs always go through the raw constructor so the store is at
+       hand for the io/commit counters in the summary line. *)
+    let store, h =
+      if backend = "disk" then begin
+        let enqueue_on_delete = tree_name = "sagiv-compact" in
+        let raw, h =
+          Tree_intf.sagiv_disk_raw ~enqueue_on_delete ~wal ?commit_batch ~order ()
+        in
+        (Some raw.Handle.store, with_periodic_commit every h)
+      end
+      else (None, impl.Tree_intf.make ~order)
+    in
     let n = Driver.preload h ~seed spec in
     Printf.printf "preloaded %d keys\n%!" n;
     let r = Driver.run_ops ~measure_latency:latency h ~domains ~ops_per_domain:ops ~seed spec in
@@ -129,6 +196,9 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     Printf.printf "workers: %s\n" (Stats.to_string r.Driver.stats);
     (match r.Driver.latency with
     | Some h -> Printf.printf "latency: %s\n" (Driver.percentiles_line h)
+    | None -> ());
+    (match store with
+    | Some s -> Printf.printf "io: %s\n" (Stats.io_to_string (Tree_intf.Paged_int.io_stats s))
     | None -> ());
     Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ()) (h.Tree_intf.height ())
   end
@@ -325,11 +395,36 @@ let validate_arg =
 let latency_arg =
   Arg.(value & flag & info [ "latency" ] ~doc:"Measure per-operation latency percentiles.")
 
+let durability_arg =
+  Arg.(value & opt string "sync"
+       & info [ "durability" ] ~docv:"MODE"
+           ~doc:"Disk durability mode: sync (stop-the-world checkpoints) or wal \
+                 (write-ahead log with group commit).")
+
+let sync_every_arg =
+  Arg.(value & opt int 0
+       & info [ "sync-every" ] ~docv:"N"
+           ~doc:"With --durability sync: full store sync every N completed \
+                 mutations (0 = never).")
+
+let commit_every_arg =
+  Arg.(value & opt int 0
+       & info [ "commit-every" ] ~docv:"N"
+           ~doc:"With --durability wal: durable group commit every N completed \
+                 mutations (0 = never).")
+
+let commit_batch_arg =
+  Arg.(value & opt int 1
+       & info [ "commit-batch" ] ~docv:"B"
+           ~doc:"Group-commit batch target: a leader lingers for up to B commit \
+                 requests before the shared log fsync.")
+
 let run_t =
   Term.(
     const run_cmd $ tree_arg $ backend_arg $ mix_arg $ dist_arg $ domains_arg $ ops_arg
     $ space_arg $ preload_arg $ order_arg $ seed_arg $ compactors_arg $ validate_arg
-    $ latency_arg)
+    $ latency_arg $ durability_arg $ sync_every_arg $ commit_every_arg
+    $ commit_batch_arg)
 
 let n_arg = Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
 

@@ -10,6 +10,10 @@ type handle = {
   delete : Handle.ctx -> int -> bool;
   cardinal : unit -> int;
   height : unit -> int;
+  commit : unit -> unit;
+      (** durably commit completed operations (group commit on a
+          WAL-mode disk backend, full sync on a plain durable one, no-op
+          in memory) — callable from any worker domain *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -29,8 +33,11 @@ module type TREE_OPS = sig
 end
 
 (** Close a tree value over its operations: the one place the [handle]
-    record is built, so a new backend registers in ~5 lines. *)
-let of_ops (type a) ~name (module M : TREE_OPS with type t = a) (t : a) =
+    record is built, so a new backend registers in ~5 lines. [commit]
+    defaults to a no-op — in-memory backends have nothing to make
+    durable. *)
+let of_ops (type a) ?(commit = fun () -> ()) ~name
+    (module M : TREE_OPS with type t = a) (t : a) =
   {
     name;
     search = M.search t;
@@ -38,6 +45,7 @@ let of_ops (type a) ~name (module M : TREE_OPS with type t = a) (t : a) =
     delete = M.delete t;
     cardinal = (fun () -> M.cardinal t);
     height = (fun () -> M.height t);
+    commit;
   }
 
 module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
@@ -62,32 +70,44 @@ let sagiv_raw ?(enqueue_on_delete = false) ~order () =
   let t = Sagiv_int.create ~order ~enqueue_on_delete () in
   (t, of_ops ~name:"sagiv" (module Sagiv_int) t)
 
-let make_disk_store ?cache_pages ?stripes () =
-  match (cache_pages, stripes) with
-  | None, None -> Paged_int.create_memory ()
-  | Some c, None -> Paged_int.create_memory ~cache_pages:c ()
-  | None, Some s -> Paged_int.create_memory ~stripes:s ()
-  | Some c, Some s -> Paged_int.create_memory ~cache_pages:c ~stripes:s ()
+let make_disk_store ?cache_pages ?stripes ?commit_interval ?commit_batch
+    ?(wal = false) () =
+  Paged_int.create_memory ?cache_pages ?stripes ?commit_interval ?commit_batch
+    ~wal ()
 
 (** The same Sagiv tree over the durable {!Repro_storage.Paged_store}
-    (memory-backed paged file: full pager stack, no filesystem). *)
-let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages ?stripes () =
+    (memory-backed paged file: full pager stack, no filesystem). [wal]
+    attaches a write-ahead log so [handle.commit] group-commits instead
+    of degrading to a stop-the-world sync. *)
+let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages ?stripes
+    ?commit_interval ?commit_batch ?wal () =
   {
     impl_name = "sagiv-disk";
     make =
       (fun ~order ->
-        let store = make_disk_store ?cache_pages ?stripes () in
-        of_ops ~name:"sagiv-disk" (module Sagiv_disk)
-          (Sagiv_disk.create ~order ~enqueue_on_delete ~store ()));
+        let store =
+          make_disk_store ?cache_pages ?stripes ?commit_interval ?commit_batch
+            ?wal ()
+        in
+        let t = Sagiv_disk.create ~order ~enqueue_on_delete ~store () in
+        of_ops
+          ~commit:(fun () -> Sagiv_disk.commit t)
+          ~name:"sagiv-disk" (module Sagiv_disk) t);
   }
 
 (** Like {!sagiv_raw} for the disk backend: hands back the raw tree for
     compaction workers, writer loops (the store is [raw.Handle.store])
     and validation. *)
-let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes ~order () =
-  let store = make_disk_store ?cache_pages ?stripes () in
+let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes
+    ?commit_interval ?commit_batch ?wal ~order () =
+  let store =
+    make_disk_store ?cache_pages ?stripes ?commit_interval ?commit_batch ?wal ()
+  in
   let t = Sagiv_disk.create ~order ~enqueue_on_delete ~store () in
-  (t, of_ops ~name:"sagiv-disk" (module Sagiv_disk) t)
+  ( t,
+    of_ops
+      ~commit:(fun () -> Sagiv_disk.commit t)
+      ~name:"sagiv-disk" (module Sagiv_disk) t )
 
 let lehman_yao =
   {

@@ -10,6 +10,10 @@ type handle = {
   delete : Handle.ctx -> int -> bool;
   cardinal : unit -> int;
   height : unit -> int;
+  commit : unit -> unit;
+      (** durably commit completed operations (group commit on a
+          WAL-mode disk backend, full sync on a plain durable one, no-op
+          in memory) — callable from any worker domain *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -25,9 +29,15 @@ module type TREE_OPS = sig
   val height : t -> int
 end
 
-val of_ops : name:string -> (module TREE_OPS with type t = 'a) -> 'a -> handle
+val of_ops :
+  ?commit:(unit -> unit) ->
+  name:string ->
+  (module TREE_OPS with type t = 'a) ->
+  'a ->
+  handle
 (** Close a tree value over its operations — the only constructor of
-    {!handle}, so a new backend registers in a few lines. *)
+    {!handle}, so a new backend registers in a few lines. [commit]
+    defaults to a no-op. *)
 
 module Paged_int : module type of Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 (** The durable int-keyed page store the disk impls run on. *)
@@ -47,15 +57,27 @@ val sagiv_raw :
     compaction workers or validation alongside. *)
 
 val sagiv_disk :
-  ?enqueue_on_delete:bool -> ?cache_pages:int -> ?stripes:int -> unit -> impl
+  ?enqueue_on_delete:bool ->
+  ?cache_pages:int ->
+  ?stripes:int ->
+  ?commit_interval:float ->
+  ?commit_batch:int ->
+  ?wal:bool ->
+  unit ->
+  impl
 (** {!sagiv} over {!Repro_storage.Paged_store} (memory-backed paged
     file: codec + buffer pool + eviction, no filesystem). [stripes]
-    selects the store's IO stripe count. *)
+    selects the store's IO stripe count; [wal] attaches a write-ahead
+    log so the handle's [commit] group-commits ([commit_interval] /
+    [commit_batch] tune it) instead of degrading to a full sync. *)
 
 val sagiv_disk_raw :
   ?enqueue_on_delete:bool ->
   ?cache_pages:int ->
   ?stripes:int ->
+  ?commit_interval:float ->
+  ?commit_batch:int ->
+  ?wal:bool ->
   order:int ->
   unit ->
   (int, Paged_int.t) Handle.t * handle

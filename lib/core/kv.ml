@@ -95,6 +95,13 @@ module Make (K : Key.S) = struct
   let bytes_stored t = Record_store.bytes_stored t.records
   let live_records t = Record_store.live_count t.records
 
+  (** Durably commit every completed operation through the tree's page
+      store ({!Sagiv.Make_on_store.commit}). Over the in-memory {!Store}
+      this records the geometry and no-ops; the call marks the durability
+      point for clients written against the KV API, so they run unchanged
+      on a WAL-backed substrate. *)
+  let commit t = T.commit t.tree
+
   (* -- logical dump / restore -- *)
 
   let dump_magic = 0x4B_56_44_31 (* "KVD1" *)

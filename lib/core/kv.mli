@@ -36,6 +36,11 @@ module Make (K : Key.S) : sig
   val bytes_stored : t -> int
   val live_records : t -> int
 
+  val commit : t -> unit
+  (** Durably commit every completed operation through the tree's page
+      store (see {!Sagiv.Make_on_store.commit}); a no-op beyond metadata
+      recording over the in-memory substrate. *)
+
   exception Corrupt of string
 
   val save : t -> Bytes.t

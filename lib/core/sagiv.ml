@@ -450,10 +450,7 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
 
   exception Corrupt of string
 
-  (** Persist the tree's geometry (order, levels, leftmost pointers) into
-      the store's metadata and {!Page_store.S.sync} it. Quiescent only:
-      no operation may be in flight and the queue should be drained. *)
-  let flush (t : t) =
+  let encode_meta (t : t) =
     let prime = Prime_block.read t.prime in
     let levels = prime.Prime_block.levels in
     let buf = Buffer.create (12 + (8 * levels)) in
@@ -463,8 +460,23 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
     Array.iter
       (fun p -> Buffer.add_int64_le buf (Int64.of_int p))
       prime.Prime_block.leftmost;
-    S.set_meta t.store (Buffer.to_bytes buf);
+    Buffer.to_bytes buf
+
+  (** Persist the tree's geometry (order, levels, leftmost pointers) into
+      the store's metadata and {!Page_store.S.sync} it. Quiescent only:
+      no operation may be in flight and the queue should be drained. *)
+  let flush (t : t) =
+    S.set_meta t.store (encode_meta t);
     S.sync t.store
+
+  (** Durably commit every completed operation: refresh the metadata blob
+      (so the committed batch carries the geometry it needs — on a WAL
+      store the blob travels in the same log batch as the page images)
+      and {!Page_store.S.commit} the store. Unlike {!flush}, safe to call
+      while operations run in other domains. *)
+  let commit (t : t) =
+    S.set_meta t.store (encode_meta t);
+    S.commit t.store
 
   (** Rebuild a handle over a store that was {!flush}ed and reopened (or
       is still live from another handle — but never use two handles

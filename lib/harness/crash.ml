@@ -19,8 +19,13 @@
     The oracle is a sequential model: the workload runs single-domain
     (the background writer may run concurrently — it only moves bytes,
     never changes contents), so the key set at each sync is known
-    exactly. See doc/RECOVERY.md for the crash model and its
-    assumptions. *)
+    exactly. In WAL durability mode ({!run_wal_tree} and friends) the
+    same oracle tightens to the {e group-commit} point: the store runs
+    on a shadow data device {e and} a shadow log device, recovery
+    replays the log's crash image, and the recovered contents must be
+    exactly the last acknowledged commit (or the in-flight one when the
+    crash landed past its log fsync). See doc/RECOVERY.md for the crash
+    model and its assumptions. *)
 
 open Repro_storage
 
@@ -435,11 +440,300 @@ let run_error_paths () =
       fail "error paths: page %d lost its last update across the error storm" i
   done
 
-(** The whole battery: tree-level crash runs for every site × config,
-    then the targeted torn / short-write / injected-error runs. Returns
-    the outcomes; raises on any violated invariant. After a battery,
-    {!Repro_storage.Failpoint.unexercised} must be empty — the CLI and
-    CI enforce it. *)
+(* ---------- WAL durability mode ---------- *)
+
+let data_page_size = 512
+let wal_page_size = Wal.log_page_size ~data_page_size
+
+(* WAL-mode recovery: harvest the crash image of {e both} devices — the
+   data file and the log — and reopen through the replay path. *)
+let recover_wal ~cache_pages pfile lfile =
+  let image = Paged_file.crash_image pfile in
+  let limage = Paged_file.crash_image lfile in
+  Failpoint.reset ();
+  let store = PS.open_from ~cache_pages ~wal:limage image in
+  let tree = Sg.open_existing store in
+  (store, tree)
+
+(** The WAL-mode analog of {!run_tree}: the store runs on a shadow data
+    device plus a shadow log device, the workload group-commits every 5
+    ops ([Sg.commit]) and checkpoints every 100 ([Sg.flush]), and the
+    oracle tightens to the {e commit} point — recovery must land exactly
+    on the last acknowledged commit (or the in-flight one, when the
+    crash hit a commit past its log fsync). *)
+let run_wal_tree ?(ops = 400) ?(seed = 1042) ~site ~policy (config : config) =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:config.cache_pages ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  for k = 0 to 49 do
+    if k mod 2 = 0 then begin
+      ignore (Sg.insert tree c k (payload k));
+      Hashtbl.replace model k (payload k)
+    end
+  done;
+  Sg.flush tree;
+  (* a committed checkpoint generation exists before the faults arm *)
+  if config.writer then PS.start_writer store;
+  let committed = ref (Hashtbl.copy model) in
+  let inflight = ref None in
+  let acked = ref 0 in
+  let issued = ref 0 in
+  let crashed = ref false in
+  Failpoint.set site policy;
+  (try
+     let rng = Repro_util.Splitmix.create seed in
+     for i = 1 to ops do
+       issued := i;
+       let k = Repro_util.Splitmix.int rng 200 in
+       (match Repro_util.Splitmix.int rng 10 with
+       | 0 | 1 ->
+           if Sg.delete tree c k then Hashtbl.remove model k
+       | 2 -> ignore (Sg.search tree c k)
+       | _ -> (
+           match Sg.insert tree c k (payload k) with
+           | `Ok -> Hashtbl.replace model k (payload k)
+           | `Duplicate -> ()));
+       (* group commit every 5 ops; every 100th op checkpoints instead,
+          so each run crosses both durability mechanisms *)
+       if i mod 5 = 0 then begin
+         inflight := Some (Hashtbl.copy model);
+         if i mod 100 = 0 then Sg.flush tree else Sg.commit tree;
+         committed := Hashtbl.copy model;
+         inflight := None;
+         incr acked
+       end
+     done
+   with Failpoint.Crash _ -> crashed := true);
+  (try PS.stop_writer store with Failpoint.Crash _ -> ());
+  let crashed = !crashed || Failpoint.is_crashed () in
+  if not crashed then begin
+    Failpoint.reset ();
+    Sg.commit tree;
+    committed := Hashtbl.copy model;
+    inflight := None
+  end;
+  let store2, tree2 = recover_wal ~cache_pages:config.cache_pages pfile lfile in
+  check_valid tree2 ~what:site;
+  let recovered = Sg.to_list tree2 in
+  let ok =
+    matches_model recovered !committed
+    || match !inflight with Some m -> matches_model recovered m | None -> false
+  in
+  if not ok then
+    fail
+      "%s (%s, wal): recovered %d keys matching neither the %d committed nor the in-flight commit"
+      site (policy_name policy) (List.length recovered)
+      (Hashtbl.length !committed);
+  {
+    site;
+    policy = policy_name policy ^ "+wal";
+    config;
+    crashed;
+    ops = !issued;
+    acked_syncs = !acked;
+    recovered_keys = List.length recovered;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Torn log append: with the cache big enough to hold the whole tree,
+    the only device writes a group commit issues are log records — so a
+    torn write is guaranteed to land on a record, never on the tree.
+    Replay must stop at the torn record and recovery must land exactly
+    on the last acknowledged commit. *)
+let run_wal_torn_append () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:256 ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model = Hashtbl.create 128 in
+  for k = 0 to 39 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.flush tree;
+  (* a committed batch on top of the checkpoint *)
+  for k = 40 to 59 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.commit tree;
+  let committed = Hashtbl.copy model in
+  for k = 60 to 79 do
+    ignore (Sg.insert tree c k (payload k))
+  done;
+  Failpoint.set "paged_file.pwrite" Failpoint.Torn_write;
+  (match Sg.commit tree with
+  | () -> fail "torn log append: commit must crash"
+  | exception Failpoint.Crash _ -> ());
+  let store2, tree2 = recover_wal ~cache_pages:32 pfile lfile in
+  check_valid tree2 ~what:"torn log append";
+  if not (matches_model (Sg.to_list tree2) committed) then
+    fail "torn log append: recovery must land on the pre-tear commit";
+  {
+    site = "paged_file.pwrite";
+    policy = "torn(wal)";
+    config = { writer = false; cache_pages = 256 };
+    crashed = true;
+    ops = 80;
+    acked_syncs = 2;
+    recovered_keys = Hashtbl.length committed;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Crash at the group-commit fsync: [wal.commit] fires {e before} the
+    log fsync, so the whole batch is still volatile — recovery must land
+    deterministically on the previous acknowledged commit, never on a
+    half-promoted batch. *)
+let run_wal_commit_crash () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:32 ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model = Hashtbl.create 128 in
+  for k = 0 to 29 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.flush tree;
+  for k = 30 to 49 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.commit tree;
+  let committed = Hashtbl.copy model in
+  for k = 50 to 69 do
+    ignore (Sg.insert tree c k (payload k))
+  done;
+  Failpoint.set "wal.commit" (Failpoint.Crash_after 1);
+  (match Sg.commit tree with
+  | () -> fail "commit-fsync crash: commit must crash"
+  | exception Failpoint.Crash _ -> ());
+  let store2, tree2 = recover_wal ~cache_pages:32 pfile lfile in
+  check_valid tree2 ~what:"commit-fsync crash";
+  if not (matches_model (Sg.to_list tree2) committed) then
+    fail "commit-fsync crash: recovery must land on the previous commit";
+  {
+    site = "wal.commit";
+    policy = "crash@1(fsync)";
+    config = { writer = false; cache_pages = 32 };
+    crashed = true;
+    ops = 70;
+    acked_syncs = 2;
+    recovered_keys = Hashtbl.length committed;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Crash in the middle of recovery replay itself, then recover again:
+    replay is a read-only scan (page images install only after it
+    completes), so a second attempt over the same images must succeed
+    and land on the same state — recovery is idempotent. *)
+let run_wal_replay_crash () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:32 ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model = Hashtbl.create 128 in
+  for k = 0 to 29 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.flush tree;
+  for k = 30 to 59 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.commit tree;
+  let committed = Hashtbl.copy model in
+  for k = 60 to 69 do
+    ignore (Sg.insert tree c k (payload k))
+  done;
+  Failpoint.set "wal.commit" (Failpoint.Crash_after 1);
+  (match Sg.commit tree with
+  | () -> fail "mid-replay crash: the setup commit must crash"
+  | exception Failpoint.Crash _ -> ());
+  let image = Paged_file.crash_image pfile in
+  let limage = Paged_file.crash_image lfile in
+  Failpoint.reset ();
+  (* die two records into the replay scan *)
+  Failpoint.set "wal.replay" (Failpoint.Crash_after 2);
+  (match PS.open_from ~cache_pages:16 ~wal:limage image with
+  | _ -> fail "mid-replay crash: recovery must crash"
+  | exception Failpoint.Crash _ -> ());
+  Failpoint.reset ();
+  let store2 = PS.open_from ~cache_pages:16 ~wal:limage image in
+  let tree2 = Sg.open_existing store2 in
+  check_valid tree2 ~what:"mid-replay crash";
+  if not (matches_model (Sg.to_list tree2) committed) then
+    fail "mid-replay crash: the second recovery must land on the committed state";
+  {
+    site = "wal.replay";
+    policy = "crash@2(replay)";
+    config = { writer = false; cache_pages = 16 };
+    crashed = true;
+    ops = 70;
+    acked_syncs = 2;
+    recovered_keys = Hashtbl.length committed;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Injected (non-fatal) errors on the WAL path: a failed log append or
+    a failed commit fsync must surface to the caller and leave the store
+    retryable — the leader's rollback merges the sealed batch back into
+    the dirty table, so the retried commit covers every page, and the
+    orphaned records of the failed attempt are overridden (last writer
+    wins) by the retry. *)
+let run_wal_error_paths () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:32 ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model = Hashtbl.create 128 in
+  for k = 0 to 29 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  Sg.flush tree;
+  let commit_once site =
+    Failpoint.set site (Failpoint.Error { every = 1 });
+    expect_injected site (fun () -> Sg.commit tree);
+    Failpoint.set site Failpoint.Off;
+    Sg.commit tree
+  in
+  for k = 30 to 44 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  commit_once "wal.append";
+  for k = 45 to 59 do
+    ignore (Sg.insert tree c k (payload k));
+    Hashtbl.replace model k (payload k)
+  done;
+  commit_once "wal.commit";
+  let store2, tree2 = recover_wal ~cache_pages:32 pfile lfile in
+  check_valid tree2 ~what:"wal error paths";
+  if not (matches_model (Sg.to_list tree2) model) then
+    fail "wal error paths: retried commits lost data";
+  ignore (PS.generation store2)
+
+(** The whole battery: tree-level crash runs for every site × config in
+    both durability modes (sync-everything, then WAL group commit
+    against the commit-point oracle), then the targeted torn /
+    short-write / commit-fsync / mid-replay / injected-error runs.
+    Returns the outcomes; raises on any violated invariant. After a
+    battery, {!Repro_storage.Failpoint.unexercised} must be empty — the
+    CLI and CI enforce it. *)
 let battery ?(quick = false) ?(log = fun _ -> ()) () =
   let configs =
     if quick then
@@ -485,10 +779,38 @@ let battery ?(quick = false) ?(log = fun _ -> ()) () =
               crash_ordinals)
         sites)
     configs;
+  (* the same sweep in WAL durability mode, against the commit-point
+     oracle: the WAL's own sites plus the device and checkpoint sites
+     the log path shares *)
+  let wal_sites =
+    [
+      "wal.append";
+      "wal.commit";
+      "paged_file.pwrite";
+      "paged_file.fsync";
+      "paged_store.sync.header";
+    ]
+  in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun site ->
+          List.iter
+            (fun ordinal ->
+              record
+                (run_wal_tree ~site ~policy:(Failpoint.Crash_after ordinal)
+                   config))
+            crash_ordinals)
+        wal_sites)
+    configs;
   record (run_torn_header { writer = false; cache_pages = 8 });
   record (run_torn_chain ());
   record (run_short_writes { writer = false; cache_pages = 8 });
   if not quick then record (run_short_writes { writer = true; cache_pages = 8 });
+  record (run_wal_torn_append ());
+  record (run_wal_commit_crash ());
+  record (run_wal_replay_crash ());
   run_error_paths ();
+  run_wal_error_paths ();
   Failpoint.reset ();
   List.rev !outcomes

@@ -3,8 +3,10 @@
     {!Repro_storage.Paged_file}, kills the simulated process at an armed
     {!Repro_storage.Failpoint} site, reopens the durable image and holds
     the recovery to an exact oracle (last acknowledged sync, or the
-    in-flight one when the crash landed past its commit fsync). Used by
-    [test_crash] and [blink_cli crash-test]; see doc/RECOVERY.md. *)
+    in-flight one when the crash landed past its commit fsync). The WAL
+    runs do the same over a data device {e plus} a log device, with the
+    oracle tightened to the group-commit point. Used by [test_crash] and
+    [blink_cli crash-test]; see doc/RECOVERY.md. *)
 
 type config = {
   writer : bool;  (** run the store's background writer domain *)
@@ -50,6 +52,35 @@ val run_short_writes : config -> outcome
 val run_error_paths : unit -> unit
 (** Injected-error battery at the store level: every site raises once,
     retries succeed, and the final image proves no update was dropped. *)
+
+val run_wal_tree :
+  ?ops:int ->
+  ?seed:int ->
+  site:string ->
+  policy:Repro_storage.Failpoint.policy ->
+  config ->
+  outcome
+(** {!run_tree} in WAL durability mode: shadow data + shadow log device,
+    group commit every 5 ops, checkpoint every 100, recovery through log
+    replay held to the commit-point oracle. *)
+
+val run_wal_torn_append : unit -> outcome
+(** Tear a log record mid-append (cache sized so the commit writes only
+    log pages); replay must stop at the torn record and recovery must
+    land exactly on the last acknowledged commit. *)
+
+val run_wal_commit_crash : unit -> outcome
+(** Crash at the group-commit fsync (the batch is still volatile);
+    recovery must land deterministically on the previous commit. *)
+
+val run_wal_replay_crash : unit -> outcome
+(** Crash mid-replay during recovery, then recover again: replay is
+    read-only, so the second attempt must land on the same state. *)
+
+val run_wal_error_paths : unit -> unit
+(** Injected errors on log append and commit fsync: the error surfaces,
+    the leader's rollback keeps [commit] retryable, and the retried
+    commits lose nothing. *)
 
 val battery : ?quick:bool -> ?log:(string -> unit) -> unit -> outcome list
 (** Crash runs for every site × config plus the targeted runs above.

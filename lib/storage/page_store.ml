@@ -85,4 +85,13 @@ module type S = sig
   val sync : t -> unit
   (** Make all prior [put]s and the metadata durable (no-op for purely
       in-memory stores). Quiescent points only. *)
+
+  val commit : t -> unit
+  (** Durably commit every {e completed} operation — the fine-grained
+      durability point, safe to call concurrently with other operations.
+      This is an {e optional capability}: backends with a write-ahead
+      log satisfy it with a group commit (one batched log fsync covers
+      every concurrent caller); durable backends without one degrade to
+      [sync]; purely in-memory stores treat it as a no-op. Unlike
+      [sync], callers may invoke it from many domains at once. *)
 end

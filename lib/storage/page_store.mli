@@ -53,4 +53,10 @@ module type S = sig
 
   val sync : t -> unit
   (** Make prior [put]s and metadata durable (no-op in memory). *)
+
+  val commit : t -> unit
+  (** Durably commit every completed operation — the fine-grained,
+      concurrency-safe durability point (optional capability: WAL
+      backends group-commit, plain durable backends degrade to [sync],
+      in-memory stores no-op). *)
 end

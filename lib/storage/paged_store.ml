@@ -113,6 +113,12 @@ let default_cache_pages = 4096
 let default_stripes = 8
 let default_queue_cap = 256
 
+(* Group-commit knobs (WAL durability mode). [commit_batch] > 1 makes a
+   leader linger up to [commit_interval] seconds for followers before
+   sealing, so one log fsync absorbs several concurrent commit calls. *)
+let default_commit_batch = 1
+let default_commit_interval = 2e-3
+
 (* Fault-injection sites (see doc/RECOVERY.md for the catalog). Shared by
    every [Make] instantiation — the registry is keyed by name. *)
 let fp_fault = Failpoint.site "paged_store.fault"
@@ -154,6 +160,30 @@ module Make (K : Key.S) = struct
     on_disk : bool Atomic.t;  (** the page has ever been written to disk *)
   }
 
+  (** Group-commit state of a store in WAL durability mode. Batches are
+      numbered: [sealed] counts batches whose dirty-page set has been
+      taken by a leader, [durable] those whose log fsync returned. A
+      commit request targets batch [sealed + 1] — the next one to seal,
+      which by construction covers every page the caller dirtied — and
+      returns once [durable] reaches it; whoever finds no leader running
+      becomes the leader (leader/follower handoff). *)
+  type wal_state = {
+    log : Wal.t;
+    w_mu : Mutex.t;  (** guards every mutable field below *)
+    w_cond : Condition.t;  (** broadcast when a batch becomes durable (or a leader fails) *)
+    mutable w_dirty : (int, unit) Hashtbl.t;  (** pages changed since the last seal *)
+    mutable w_meta_dirty : bool;  (** metadata changed since the last seal *)
+    mutable sealed : int;
+    mutable durable : int;
+    mutable leader : bool;  (** a leader is currently flushing a batch *)
+    mutable unsealed_reqs : int;  (** commit requests awaiting the next seal *)
+    commit_interval : float;  (** max gather time when [commit_batch] > 1 *)
+    commit_batch : int;  (** requests that trigger an immediate seal *)
+    mutable commit_reqs : int;
+    mutable commit_groups : int;
+    mutable max_group : int;
+  }
+
   type stripe = {
     s_lock : Mutex.t;  (** serialises fault/evict/release/write-back for this stripe's pages *)
     pending : (int, K.t Node.t) Hashtbl.t;
@@ -180,11 +210,16 @@ module Make (K : Key.S) = struct
     stripes : stripe array;  (** length is a power of two *)
     stripe_mask : int;
     stripe_cap : int;  (** max resident decoded nodes per stripe *)
+    sync_mu : Mutex.t;
+        (** serialises [commit]'s sync-degradation path (WAL-less stores) *)
     file_lock : Mutex.t;  (** guards [pool], the file and [zero] *)
     pool : Buffer_pool.t;
     page_size : int;
     zero : Bytes.t;  (** scratch page (under [file_lock]) *)
     (* background-writer queue *)
+    mutable wal : wal_state option;
+        (** durability mode: [Some] = WAL group commit; set once during
+            construction, before the store is shared *)
     wq : int Queue.t;  (** page ids with a pending-table entry (under [wq_lock]) *)
     wq_lock : Mutex.t;
     wq_cap : int;
@@ -503,10 +538,12 @@ module Make (K : Key.S) = struct
             });
       stripe_mask = nstripes - 1;
       stripe_cap = max 1 (cache_pages / nstripes);
+      sync_mu = Mutex.create ();
       file_lock = Mutex.create ();
       pool = Buffer_pool.create ~frames pfile;
       page_size;
       zero = Bytes.create page_size;
+      wal = None;
       wq = Queue.create ();
       wq_lock = Mutex.create ();
       wq_cap = default_queue_cap;
@@ -521,26 +558,75 @@ module Make (K : Key.S) = struct
       max_batch = Atomic.make 0;
     }
 
+  let mk_wal_state ?(commit_interval = default_commit_interval)
+      ?(commit_batch = default_commit_batch) log =
+    {
+      log;
+      w_mu = Mutex.create ();
+      w_cond = Condition.create ();
+      w_dirty = Hashtbl.create 64;
+      w_meta_dirty = false;
+      sealed = 0;
+      durable = 0;
+      leader = false;
+      unsealed_reqs = 0;
+      commit_interval;
+      commit_batch = max 1 commit_batch;
+      commit_reqs = 0;
+      commit_groups = 0;
+      max_group = 0;
+    }
+
   (* Build a fresh store over an already-created (empty) paged file —
      the crash harness hands a shadow file in here. Both header slots
      are materialized and generation 0's header written into slot 0, so
-     the file is reopenable from its first sync on. *)
+     the file is reopenable from its first sync on. Passing [wal] (an
+     empty paged file sized [Wal.log_page_size]) turns on WAL durability
+     mode: [commit] group-commits through it instead of degrading to
+     [sync]. *)
   let create_on ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
-      pfile =
+      ?commit_interval ?commit_batch ?wal pfile =
     let page_size = Paged_file.page_size pfile in
     let t = make ~page_size ~cache_pages ~stripes pfile in
+    (match wal with
+    | Some log_file ->
+        t.wal <-
+          Some
+            (mk_wal_state ?commit_interval ?commit_batch
+               (Wal.create ~data_page_size:page_size log_file))
+    | None -> ());
     with_file t (fun () ->
         ensure_materialized_flocked t (header_slots - 1);
         write_header_flocked t ~gen:0);
     t
 
   let create_memory ?(page_size = Paged_file.default_page_size)
-      ?(cache_pages = default_cache_pages) ?(stripes = default_stripes) () =
-    create_on ~cache_pages ~stripes (Paged_file.create_memory ~page_size ())
+      ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
+      ?commit_interval ?commit_batch ?(wal = false) () =
+    let log =
+      if wal then
+        Some
+          (Paged_file.create_memory
+             ~page_size:(Wal.log_page_size ~data_page_size:page_size)
+             ())
+      else None
+    in
+    create_on ~cache_pages ~stripes ?commit_interval ?commit_batch ?wal:log
+      (Paged_file.create_memory ~page_size ())
 
   let create_file ?(page_size = Paged_file.default_page_size)
-      ?(cache_pages = default_cache_pages) ?(stripes = default_stripes) path =
-    create_on ~cache_pages ~stripes (Paged_file.create_file ~page_size path)
+      ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
+      ?commit_interval ?commit_batch ?wal_path path =
+    let log =
+      Option.map
+        (fun p ->
+          Paged_file.create_file
+            ~page_size:(Wal.log_page_size ~data_page_size:page_size)
+            p)
+        wal_path
+    in
+    create_on ~cache_pages ~stripes ?commit_interval ?commit_batch ?wal:log
+      (Paged_file.create_file ~page_size path)
 
   let create () = create_memory ()
 
@@ -574,7 +660,20 @@ module Make (K : Key.S) = struct
     ignore (ensure_chunk t (p lsr chunk_bits));
     p
 
+  (* WAL mode: record that [ptr] changed since the last sealed commit
+     batch, so the next group commit logs its image. Orthogonal to the
+     entry-level [e_dirty] flag, which tracks newer-than-the-data-file
+     and keeps driving advisory write-back and checkpoints. *)
+  let note_dirty t ptr =
+    match t.wal with
+    | None -> ()
+    | Some w ->
+        Mutex.lock w.w_mu;
+        Hashtbl.replace w.w_dirty ptr ();
+        Mutex.unlock w.w_mu
+
   let install t ptr s n =
+    note_dirty t ptr;
     (* Only dirty the cache line when the bit is actually clear: every
        cache hit setting [referenced] unconditionally turns the hot-path
        read into a cross-domain store on shared lines (the root's slot is
@@ -742,7 +841,21 @@ module Make (K : Key.S) = struct
                 match n with Some n -> f p n | None -> ()))
     done
 
-  let set_meta t bytes = Atomic.set t.meta (Some (Bytes.copy bytes))
+  let set_meta t bytes =
+    let changed =
+      match Atomic.get t.meta with
+      | Some old -> not (Bytes.equal old bytes)
+      | None -> true
+    in
+    Atomic.set t.meta (Some (Bytes.copy bytes));
+    if changed then
+      match t.wal with
+      | None -> ()
+      | Some w ->
+          Mutex.lock w.w_mu;
+          w.w_meta_dirty <- true;
+          Mutex.unlock w.w_mu
+
   let get_meta t = Atomic.get t.meta
 
   (* ---------- the background writer ---------- *)
@@ -922,6 +1035,15 @@ module Make (K : Key.S) = struct
           write_free_chain_flocked t ~gen;
           Atomic.set t.free_dirty false
         end;
+        (* WAL mode: a CHECKPOINT marker stamped with the {e outgoing}
+           generation, before the header flip. A crash before the commit
+           fsync below recovers generation [gen - 1], and replay still
+           finds every gen-[gen - 1] batch in the log (the data writes of
+           phase 1 were volatile); a crash after it recovers [gen], whose
+           replay ignores the stale-generation records wholesale. *)
+        (match t.wal with
+        | Some w -> Wal.append w.log ~gen:(gen - 1) Wal.Checkpoint
+        | None -> ());
         Failpoint.hit fp_sync_header;
         write_header_flocked t ~gen;
         Paged_file.sync (file t);
@@ -929,13 +1051,176 @@ module Make (K : Key.S) = struct
         Failpoint.hit fp_sync_commit;
         write_header_flocked t ~gen;
         Paged_file.sync (file t);
-        Atomic.set t.generation gen)
+        Atomic.set t.generation gen);
+    (* Checkpoint complete: every logged batch is now also in the data
+       file, so the log's contents are dead weight. Truncation is
+       logical — the cursor rewinds to page 0 and the new generation
+       invalidates whatever old-pass records it has not yet overwritten
+       (replay stops at the first foreign-generation or LSN-discontinuous
+       record). The dirty set accumulated since the last seal is already
+       covered by the checkpoint too. Quiescent like the rest of [sync],
+       so no commit races with this. *)
+    match t.wal with
+    | Some w ->
+        Wal.truncate w.log;
+        Mutex.lock w.w_mu;
+        Hashtbl.reset w.w_dirty;
+        w.w_meta_dirty <- false;
+        Mutex.unlock w.w_mu
+    | None -> ()
 
   let flush = sync
+
+  (* ---------- group commit (WAL durability mode) ---------- *)
+
+  (* Snapshot the bytes a committed page image must hold: the cached
+     node, the pending victim, or the on-disk page — whichever is
+     newest. [None] for pages that were freed (or never materialised)
+     since they were dirtied. Under the page's stripe lock; the encode
+     of a node snapshot happens outside it. *)
+  let commit_image t ptr =
+    match slot_opt t ptr with
+    | None -> None
+    | Some s ->
+        let st = t.stripes.(stripe_index t ptr) in
+        with_stripe st (fun () ->
+            if Atomic.get s.freed then None
+            else
+              match Atomic.get s.cached with
+              | Some e -> Some (`Node e.node)
+              | None -> (
+                  match Hashtbl.find_opt st.pending ptr with
+                  | Some n -> Some (`Node n)
+                  | None ->
+                      if Atomic.get s.on_disk then
+                        Some
+                          (`Raw
+                            (with_file t (fun () ->
+                                 Buffer_pool.read_page t.pool (ptr + header_slots))))
+                      else None))
+
+  let encode_image t = function
+    | `Raw bytes -> bytes
+    | `Node n ->
+        let b = Codec.to_bytes n in
+        if Bytes.length b > t.page_size then
+          failwith
+            (Printf.sprintf "Paged_store: node needs %d bytes, page is %d"
+               (Bytes.length b) t.page_size);
+        let page = Bytes.make t.page_size '\000' in
+        Bytes.blit b 0 page 0 (Bytes.length b);
+        page
+
+  (* Lead batch [target]: optionally linger for followers, seal the
+     dirty set by swapping it out, then — outside [w_mu] — snapshot and
+     log every sealed page, append the COMMIT boundary and fsync once
+     for the whole group. On failure the sealed set is merged back into
+     the live one and [sealed] rolled back, so a retried commit re-seals
+     the same pages and an injected IO error never drops an update.
+     Enters holding [w_mu]; returns with it released. *)
+  let lead_batch t (w : wal_state) ~target =
+    w.leader <- true;
+    if w.commit_batch > 1 && w.unsealed_reqs < w.commit_batch then begin
+      (* Gather window: release the mutex so followers can register; a
+         checkpoint cannot intervene (sync is quiescent), so the batch
+         is still ours to seal afterwards. *)
+      let deadline = Unix.gettimeofday () +. w.commit_interval in
+      let rec gather () =
+        if w.unsealed_reqs < w.commit_batch && Unix.gettimeofday () < deadline
+        then begin
+          Mutex.unlock w.w_mu;
+          Unix.sleepf 5e-5;
+          Mutex.lock w.w_mu;
+          gather ()
+        end
+      in
+      gather ()
+    end;
+    let dirty = w.w_dirty in
+    let meta_dirty = w.w_meta_dirty in
+    let group = w.unsealed_reqs in
+    w.w_dirty <- Hashtbl.create 32;
+    w.w_meta_dirty <- false;
+    w.unsealed_reqs <- 0;
+    w.sealed <- target;
+    Mutex.unlock w.w_mu;
+    match
+      let ptrs =
+        List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) dirty [])
+      in
+      let gen = Atomic.get t.generation in
+      List.iter
+        (fun p ->
+          match commit_image t p with
+          | None -> ()
+          | Some src ->
+              Wal.append w.log ~gen (Wal.Page { ptr = p; image = encode_image t src }))
+        ptrs;
+      (if meta_dirty then
+         match Atomic.get t.meta with
+         | Some m -> Wal.append w.log ~gen (Wal.Meta m)
+         | None -> ());
+      Wal.append w.log ~gen Wal.Commit;
+      Wal.fsync w.log
+    with
+    | () ->
+        Mutex.lock w.w_mu;
+        w.durable <- target;
+        w.leader <- false;
+        w.commit_groups <- w.commit_groups + 1;
+        if group > w.max_group then w.max_group <- group;
+        Condition.broadcast w.w_cond;
+        Mutex.unlock w.w_mu
+    | exception e ->
+        (* Orphaned PAGE records (appended without their COMMIT) are
+           harmless: replay only promotes staged images when it reaches a
+           COMMIT, by which point a successful retry has re-logged every
+           still-live sealed page with equal-or-newer content. *)
+        Mutex.lock w.w_mu;
+        Hashtbl.iter (fun p () -> Hashtbl.replace w.w_dirty p ()) dirty;
+        w.w_meta_dirty <- w.w_meta_dirty || meta_dirty;
+        w.sealed <- target - 1;
+        w.leader <- false;
+        Condition.broadcast w.w_cond;
+        Mutex.unlock w.w_mu;
+        raise e
+
+  (* Group commit: block until every operation completed before this call
+     is durable. Safe from any number of domains at once — unlike [sync],
+     which demands quiescence. Without a WAL, degrade to [sync] (caller
+     must then treat it as quiescent-only, see the mli). *)
+  let commit t =
+    match t.wal with
+    | None ->
+        (* Degrade to a full sync, serialised so concurrent committers at
+           least never run two syncs at once. The durability point is
+           still coarse — see the signature's caveat. *)
+        Mutex.lock t.sync_mu;
+        Fun.protect ~finally:(fun () -> Mutex.unlock t.sync_mu) (fun () -> sync t)
+    | Some w ->
+        Mutex.lock w.w_mu;
+        w.commit_reqs <- w.commit_reqs + 1;
+        w.unsealed_reqs <- w.unsealed_reqs + 1;
+        (* The next batch to seal necessarily covers this caller's pages:
+           they are in the live dirty set right now. If a running leader
+           seals them into {e its} batch first, waiting for [target] only
+           over-waits — never under-waits. *)
+        let target = w.sealed + 1 in
+        let rec await () =
+          if w.durable >= target then Mutex.unlock w.w_mu
+          else if (not w.leader) && w.sealed < target then
+            lead_batch t w ~target
+          else begin
+            Condition.wait w.w_cond w.w_mu;
+            await ()
+          end
+        in
+        await ()
 
   let close t =
     stop_writer t;
     sync t;
+    (match t.wal with Some w -> Wal.close w.log | None -> ());
     Paged_file.close (file t)
 
   (* Open a store from an already-open paged file (the crash harness
@@ -951,9 +1236,21 @@ module Make (K : Key.S) = struct
        rather than raising: a broken chain after a crash must not make
        the tree — which is intact — unopenable, and the one unsafe
        failure (recycling a page the tree still references) is exactly
-       what the validate-first walk rules out. *)
+       what the validate-first walk rules out.
+     - {b WAL replay} (when [wal] is passed): scan the log for the
+       header generation's pass ({!Wal.replay}) {e before} anything else
+       touches allocator state. The replay result (a) extends the bump
+       frontier over pages group-committed after the checkpoint, (b)
+       supersedes the header's metadata blob with the newest committed
+       one, (c) filters {e recycled} pages — freed at the checkpoint,
+       reallocated and committed since — out of the rebuilt free list
+       (the chain is walked on the {e pristine} pre-replay image, whose
+       free pages still hold their chain entries), and (d) is installed
+       as full physical page images before the store is returned. A
+       chain entry clobbered by post-checkpoint reuse fails its checksum
+       and degrades to the same leak policy as above. *)
   let open_from ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
-      pfile =
+      ?commit_interval ?commit_batch ?wal pfile =
     if Paged_file.pages pfile = 0 then raise (Corrupt "empty file");
     let page_size = Paged_file.page_size pfile in
     let header =
@@ -977,6 +1274,26 @@ module Make (K : Key.S) = struct
       raise (Corrupt "bad metadata length");
     if meta_len > 0 then
       Atomic.set t.meta (Some (Bytes.sub header header_fixed meta_len));
+    (* WAL recovery: redo-scan the log before allocator state settles. *)
+    let rep =
+      Option.map (fun lf -> Wal.replay ~data_page_size:page_size ~gen lf) wal
+    in
+    (match rep with
+    | Some { Wal.committed_meta = Some m; _ } -> Atomic.set t.meta (Some m)
+    | _ -> ());
+    (match rep with
+    | Some r ->
+        (* Pages group-committed past the checkpoint's bump frontier:
+           extend it (and the allocated counter) so they are live again. *)
+        Hashtbl.iter
+          (fun p _ ->
+            let next = Atomic.get t.next in
+            if p >= next then begin
+              ignore (Atomic.fetch_and_add t.allocated (p + 1 - next));
+              Atomic.set t.next (p + 1)
+            end)
+          r.Wal.committed
+    | None -> ());
     let frontier = Atomic.get t.next in
     for p = 0 to frontier - 1 do
       let chunk = ensure_chunk t (p lsr chunk_bits) in
@@ -985,7 +1302,10 @@ module Make (K : Key.S) = struct
     done;
     (* Rebuild the free list by walking the on-disk chain — collect and
        validate the whole chain first, commit to the allocator only if
-       every link checks out. *)
+       every link checks out. The walk reads the {e pristine} image:
+       replayed page images are installed only afterwards, so a page
+       that sat on the checkpoint free chain and was recycled by a
+       committed batch still shows its chain entry here. *)
     let free_count = geti 40 in
     let head = geti 32 in
     let rec walk acc seen cur =
@@ -997,8 +1317,18 @@ module Make (K : Key.S) = struct
         | None -> None
         | Some next -> walk (cur :: acc) (seen + 1) next
     in
+    let replayed p =
+      match rep with Some r -> Hashtbl.mem r.Wal.committed p | None -> false
+    in
     (match walk [] 0 head with
     | Some free ->
+        (* Recycled pages — on the checkpoint chain {e and} in the replay
+           set — are live again: the committed image wins, drop them from
+           the free list and restore them to the allocated count. *)
+        let free = List.filter (fun p -> not (replayed p)) free in
+        let kept = List.length free in
+        if kept < free_count then
+          ignore (Atomic.fetch_and_add t.allocated (free_count - kept));
         List.iter
           (fun p ->
             let s = slot t p in
@@ -1009,9 +1339,10 @@ module Make (K : Key.S) = struct
             Atomic.set s.on_disk false)
           free;
         Atomic.set t.free_list free;
-        Atomic.set t.free_len free_count;
-        (* The in-memory list now matches the on-disk chain exactly. *)
-        Atomic.set t.free_dirty false
+        Atomic.set t.free_len kept;
+        (* The in-memory list matches the on-disk chain unless replay
+           filtered recycled pages out of it. *)
+        Atomic.set t.free_dirty (kept <> free_count)
     | None ->
         (* Damaged chain: leak the free pages (safe — they are simply
            never reused) instead of refusing to open an intact tree. The
@@ -1019,10 +1350,44 @@ module Make (K : Key.S) = struct
         Atomic.set t.free_list [];
         Atomic.set t.free_len 0;
         Atomic.set t.free_dirty true);
+    (* Install the replayed images — full physical pages, written
+       straight through the pool's file — and reattach the log with its
+       cursor on the valid tail. *)
+    (match (rep, wal) with
+    | Some r, Some log_file ->
+        with_file t (fun () ->
+            Hashtbl.iter
+              (fun p img ->
+                ensure_materialized_flocked t (p + header_slots);
+                Paged_file.write (file t) (p + header_slots) img;
+                let s = slot t p in
+                Atomic.set s.freed false;
+                Atomic.set s.on_disk true)
+              r.Wal.committed);
+        t.wal <-
+          Some
+            (mk_wal_state ?commit_interval ?commit_batch
+               (Wal.resume ~data_page_size:page_size ~replay:r log_file))
+    | _ -> ());
     t
 
-  let open_file ?cache_pages ?stripes path =
-    open_from ?cache_pages ?stripes (Paged_file.open_file ~writable:true path)
+  let open_file ?cache_pages ?stripes ?commit_interval ?commit_batch ?wal_path
+      path =
+    let pfile = Paged_file.open_file ~writable:true path in
+    let wal =
+      Option.map
+        (fun p ->
+          (* A store synced and closed in sync mode can be reopened in
+             WAL mode: a missing log file is simply created empty. *)
+          if Sys.file_exists p then Paged_file.open_file ~writable:true p
+          else
+            Paged_file.create_file
+              ~page_size:
+                (Wal.log_page_size ~data_page_size:(Paged_file.page_size pfile))
+              p)
+        wal_path
+    in
+    open_from ?cache_pages ?stripes ?commit_interval ?commit_batch ?wal pfile
 
   (* ---------- introspection ---------- *)
 
@@ -1053,7 +1418,19 @@ module Make (K : Key.S) = struct
     io.Stats.max_batch <- Atomic.get t.max_batch;
     io.Stats.max_queue_depth <- Atomic.get t.max_wq_depth;
     io.Stats.max_concurrent_faults <- Atomic.get t.max_faulting;
+    (match t.wal with
+    | Some w ->
+        io.Stats.commit_reqs <- w.commit_reqs;
+        io.Stats.commit_groups <- w.commit_groups;
+        io.Stats.max_commit_group <- w.max_group;
+        io.Stats.wal_records <- Wal.appended w.log;
+        io.Stats.wal_fsyncs <- Wal.fsyncs w.log
+    | None -> ());
     io
 
   let per_stripe_faults t = Array.map (fun (st : stripe) -> st.faults) t.stripes
+  let wal_enabled t = t.wal <> None
+
+  let wal_cursor t =
+    match t.wal with Some w -> Some (Wal.cursor w.log) | None -> None
 end

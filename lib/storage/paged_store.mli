@@ -23,7 +23,23 @@
     leak instead of a failure (see doc/RECOVERY.md). Failpoint sites:
     [paged_store.fault], [paged_store.evict], [paged_store.writer],
     [paged_store.sync.data], [paged_store.sync.chain],
-    [paged_store.sync.header], [paged_store.sync.commit]. *)
+    [paged_store.sync.header], [paged_store.sync.commit] (plus the
+    {!Wal} sites [wal.append], [wal.commit], [wal.replay] in WAL mode).
+
+    {b WAL durability mode}: constructed with a second paged file (the
+    log device), the store additionally satisfies {!Page_store.S.commit}
+    with a {e group commit} — the caller's completed operations are
+    logged as physical page images through {!Wal} and made durable by a
+    single batched log fsync, without quiescence and without writing the
+    data file. Dirty-page write-back becomes advisory (cache pressure
+    and checkpoints still drive it, but durability no longer depends on
+    it); [sync] remains the {e checkpoint}: it writes everything back as
+    before, appends a CHECKPOINT marker, flips the header, and logically
+    truncates the log. Reopening with the log replays the tail of
+    group-committed batches past the last checkpoint before the free
+    chain is rebuilt, so [commit]-acknowledged state survives a crash
+    with no [sync] ever issued. Without a log device, [commit] degrades
+    to [sync] (and inherits its quiescence requirement). *)
 
 exception Corrupt of string
 (** A damaged header or page encountered while opening / faulting. *)
@@ -33,36 +49,89 @@ val default_cache_pages : int
 val default_stripes : int
 (** Default IO stripe count (clamped to a power of two ≤ [cache_pages]). *)
 
+val default_commit_batch : int
+(** Default group-commit batch target: 1 — every commit request seals
+    and fsyncs immediately. *)
+
+val default_commit_interval : float
+(** Default gather window (seconds) a group-commit leader waits for
+    followers when [commit_batch] > 1. *)
+
 module Make (K : Key.S) : sig
   include Page_store.S with type key = K.t
 
   val create_memory :
-    ?page_size:int -> ?cache_pages:int -> ?stripes:int -> unit -> t
+    ?page_size:int ->
+    ?cache_pages:int ->
+    ?stripes:int ->
+    ?commit_interval:float ->
+    ?commit_batch:int ->
+    ?wal:bool ->
+    unit ->
+    t
   (** Memory-backed paged file: the full pager stack (codec, pool,
       eviction) without filesystem durability — tests and benches.
       [cache_pages] bounds the decoded-node cache (default
       {!default_cache_pages}); [stripes] the IO stripe count (default
       {!default_stripes}, rounded down to a power of two and clamped to
-      [cache_pages]); [create] is [create_memory ()]. *)
+      [cache_pages]); [wal] (default false) attaches a memory-backed log
+      device so [commit] group-commits; [create] is [create_memory ()]. *)
 
   val create_file :
-    ?page_size:int -> ?cache_pages:int -> ?stripes:int -> string -> t
-  (** Create (or truncate) a file-backed store. *)
+    ?page_size:int ->
+    ?cache_pages:int ->
+    ?stripes:int ->
+    ?commit_interval:float ->
+    ?commit_batch:int ->
+    ?wal_path:string ->
+    string ->
+    t
+  (** Create (or truncate) a file-backed store. [wal_path] creates the
+      log device there and turns on WAL durability mode. *)
 
-  val create_on : ?cache_pages:int -> ?stripes:int -> Paged_file.t -> t
+  val create_on :
+    ?cache_pages:int ->
+    ?stripes:int ->
+    ?commit_interval:float ->
+    ?commit_batch:int ->
+    ?wal:Paged_file.t ->
+    Paged_file.t ->
+    t
   (** Build a fresh store over an already-created (empty) paged file —
       how the crash harness runs the full stack on a
-      {!Paged_file.create_shadow} device. *)
+      {!Paged_file.create_shadow} device. [wal] is an empty log device
+      sized {!Wal.log_page_size} (e.g. a second shadow file); passing it
+      turns on WAL durability mode. [commit_interval] / [commit_batch]
+      tune the group commit (defaults {!default_commit_interval} /
+      {!default_commit_batch}). *)
 
-  val open_file : ?cache_pages:int -> ?stripes:int -> string -> t
+  val open_file :
+    ?cache_pages:int ->
+    ?stripes:int ->
+    ?commit_interval:float ->
+    ?commit_batch:int ->
+    ?wal_path:string ->
+    string ->
+    t
   (** Reopen a store that was {!Page_store.S.sync}ed ([flush]/[close]
       also sync). Restores the allocator frontier, free list and
-      metadata blob from the newest valid header slot. @raise Corrupt
-      when no header slot validates. *)
+      metadata blob from the newest valid header slot; with [wal_path],
+      additionally replays the log's group-committed tail (a missing log
+      file is created empty, so a sync-mode store can be reopened in WAL
+      mode). @raise Corrupt when no header slot validates. *)
 
-  val open_from : ?cache_pages:int -> ?stripes:int -> Paged_file.t -> t
+  val open_from :
+    ?cache_pages:int ->
+    ?stripes:int ->
+    ?commit_interval:float ->
+    ?commit_batch:int ->
+    ?wal:Paged_file.t ->
+    Paged_file.t ->
+    t
   (** {!open_file} over an already-open paged file (e.g. a
-      {!Paged_file.crash_image}). *)
+      {!Paged_file.crash_image}); [wal] is the already-open log device
+      (e.g. its crash image), replayed via {!Wal.replay} before the free
+      chain is rebuilt. *)
 
   val flush : t -> unit
   (** Alias of [sync]: write back queued and dirty nodes, persist the
@@ -117,4 +186,11 @@ module Make (K : Key.S) : sig
   val per_stripe_faults : t -> int array
   (** Disk faults served per stripe — shows whether misses spread across
       stripes. *)
+
+  val wal_enabled : t -> bool
+  (** Whether the store runs in WAL durability mode. *)
+
+  val wal_cursor : t -> int option
+  (** Log pages in the live pass (None without a WAL) — drops back to 0
+      at each checkpoint's logical truncation. *)
 end

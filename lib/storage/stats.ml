@@ -110,6 +110,14 @@ type io = {
   mutable max_concurrent_faults : int;
       (** most faults in flight at once — [> 1] proves misses on distinct
           stripes overlapped *)
+  mutable commit_reqs : int;  (** [commit] calls (group-commit requests) *)
+  mutable commit_groups : int;
+      (** group commits performed — log fsyncs a leader issued on behalf
+          of one or more requests *)
+  mutable max_commit_group : int;
+      (** most requests absorbed by a single group commit's fsync *)
+  mutable wal_records : int;  (** log records appended (pages + markers) *)
+  mutable wal_fsyncs : int;  (** log-device fsyncs over the store's life *)
 }
 
 let io_create () =
@@ -123,6 +131,11 @@ let io_create () =
     max_batch = 0;
     max_queue_depth = 0;
     max_concurrent_faults = 0;
+    commit_reqs = 0;
+    commit_groups = 0;
+    max_commit_group = 0;
+    wal_records = 0;
+    wal_fsyncs = 0;
   }
 
 (** Merge [src] into [dst]: counters sum, high-water marks max. *)
@@ -135,15 +148,22 @@ let io_merge ~into:dst (src : io) =
   dst.writer_errors <- dst.writer_errors + src.writer_errors;
   dst.max_batch <- max dst.max_batch src.max_batch;
   dst.max_queue_depth <- max dst.max_queue_depth src.max_queue_depth;
-  dst.max_concurrent_faults <- max dst.max_concurrent_faults src.max_concurrent_faults
+  dst.max_concurrent_faults <- max dst.max_concurrent_faults src.max_concurrent_faults;
+  dst.commit_reqs <- dst.commit_reqs + src.commit_reqs;
+  dst.commit_groups <- dst.commit_groups + src.commit_groups;
+  dst.max_commit_group <- max dst.max_commit_group src.max_commit_group;
+  dst.wal_records <- dst.wal_records + src.wal_records;
+  dst.wal_fsyncs <- dst.wal_fsyncs + src.wal_fsyncs
 
 let pp_io fmt (io : io) =
   Format.fprintf fmt
     "faults=%d stall=%.3fms wb_inline=%d wb_queued=%d batches=%d max_batch=%d \
-     max_queue=%d max_conc_faults=%d wr_errors=%d"
+     max_queue=%d max_conc_faults=%d wr_errors=%d commits=%d/%d max_group=%d \
+     wal_records=%d wal_fsyncs=%d"
     io.faults (1e3 *. io.fault_stall_s) io.inline_writebacks io.queued_writebacks
     io.writer_batches io.max_batch io.max_queue_depth io.max_concurrent_faults
-    io.writer_errors
+    io.writer_errors io.commit_groups io.commit_reqs io.max_commit_group
+    io.wal_records io.wal_fsyncs
 
 let io_to_string io = Format.asprintf "%a" pp_io io
 

@@ -57,6 +57,14 @@ type io = {
   mutable max_concurrent_faults : int;
       (** most faults in flight at once — [> 1] proves misses on distinct
           stripes overlapped *)
+  mutable commit_reqs : int;  (** [commit] calls (group-commit requests) *)
+  mutable commit_groups : int;
+      (** group commits — log fsyncs a leader issued on behalf of one or
+          more requests *)
+  mutable max_commit_group : int;
+      (** most requests absorbed by a single group commit's fsync *)
+  mutable wal_records : int;  (** log records appended (pages + markers) *)
+  mutable wal_fsyncs : int;  (** log-device fsyncs over the store's life *)
 }
 
 val io_create : unit -> io

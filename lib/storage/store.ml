@@ -144,6 +144,7 @@ let iter t f =
 let set_meta t bytes = Atomic.set t.meta (Some (Bytes.copy bytes))
 let get_meta t = Atomic.get t.meta
 let sync _t = ()
+let commit _t = ()
 
 (** {!Page_store.S} view of the store at one key type, so the functorized
     tree runs on it. [type t = K.t t] is kept transparent: code written
@@ -170,4 +171,5 @@ struct
   let set_meta = set_meta
   let get_meta = get_meta
   let sync = sync
+  let commit = commit
 end

@@ -55,6 +55,9 @@ val get_meta : 'k t -> Bytes.t option
 val sync : 'k t -> unit
 (** No-op: the store is purely in-memory. *)
 
+val commit : 'k t -> unit
+(** No-op: nothing to make durable (see {!Page_store.S.commit}). *)
+
 module For_key (K : Key.S) : Page_store.S with type key = K.t and type t = K.t t
 (** The {!Page_store.S} view of the store at one key type — what
     [Repro_core]'s [Make (K)] convenience functors instantiate. The type

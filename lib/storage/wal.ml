@@ -1,0 +1,288 @@
+(** Append-only write-ahead log of physical page images over a
+    {!Paged_file}, with the record framing, replay scanner and fault
+    points the paged store's group-commit path builds on.
+
+    {b Log device}: a {!Paged_file} whose page size is the data store's
+    page size plus {!header_bytes} — one log page per record, so a torn
+    record is exactly a torn device page and the whole-record checksum
+    (FNV-1a-32, the same framing idiom as {!Page_codec} v2) detects any
+    tear. Use {!log_page_size} to size the device.
+
+    {b Record format} (one log page):
+
+    {v
+    off 0   u32  magic        "SGWL"
+    off 4   u8   kind         1 = PAGE, 2 = COMMIT, 3 = CHECKPOINT
+    off 8   u64  lsn          strictly increasing across the log's life
+    off 16  u64  generation   store generation the record applies on top of
+    off 24  u64  ptr          tree pointer (PAGE records; -1 otherwise)
+    off 32  u32  body_len     bytes of body (page image / meta blob)
+    off 40  u32  checksum     FNV-1a-32 over the whole log page, own field zeroed
+    off 64  ...  body
+    v}
+
+    {b Generation stamping and truncation}: every record carries the
+    store generation current when it was appended. A checkpoint advances
+    the generation and {e logically truncates} the log by rewinding the
+    append cursor to page 0 — nothing is erased; records of the previous
+    pass are invalidated by their (now old) generation stamp, and the
+    next pass simply overwrites them. The log file therefore never grows
+    beyond the record count of the busiest inter-checkpoint window.
+
+    {b Replay} ({!replay}) scans from page 0 and applies the classic
+    redo discipline: PAGE / META records are {e staged}; a COMMIT record
+    {e promotes} everything staged (later images of the same page win —
+    last-writer-wins); CHECKPOINT markers are skipped (a checkpoint that
+    failed before its header flip leaves its marker mid-log, with
+    committed batches legitimately continuing after it); the scan stops
+    cleanly at the first record that is torn (bad magic / checksum),
+    stamped with a foreign generation (a previous pass), or breaks LSN
+    continuity. Staged-but-unpromoted records — an interrupted commit's
+    tail — are discarded: recovery yields exactly the group-committed
+    batches.
+
+    Failpoint sites: [wal.append] (before each record write),
+    [wal.commit] (before each log fsync), [wal.replay] (per record
+    scanned during recovery). *)
+
+exception Corrupt of string
+
+let magic = 0x53_47_57_4C (* "SGWL" *)
+let header_bytes = 64
+let cksum_off = 40
+
+let kind_page = 1
+let kind_commit = 2
+let kind_checkpoint = 3
+let kind_meta = 4
+
+let fp_append = Failpoint.site "wal.append"
+let fp_commit = Failpoint.site "wal.commit"
+let fp_replay = Failpoint.site "wal.replay"
+
+let log_page_size ~data_page_size = data_page_size + header_bytes
+
+type record =
+  | Page of { ptr : int; image : Bytes.t }  (** full physical page image *)
+  | Meta of Bytes.t  (** client metadata blob (committed with its batch) *)
+  | Commit  (** promotes every record staged since the previous commit *)
+  | Checkpoint  (** pass boundary marker appended by a store checkpoint *)
+
+type t = {
+  file : Paged_file.t;
+  data_page_size : int;
+  mu : Mutex.t;  (** serialises append / fsync / truncate *)
+  scratch : Bytes.t;  (** one log page, reused under [mu] *)
+  mutable pos : int;  (** next log page to write *)
+  mutable lsn : int;  (** next record's sequence number *)
+  (* counters (under [mu]; read racily for reporting) *)
+  mutable appended : int;
+  mutable fsyncs : int;
+}
+
+let check_device ~data_page_size file =
+  if Paged_file.page_size file <> log_page_size ~data_page_size then
+    invalid_arg
+      (Printf.sprintf
+         "Wal: log device page size %d, want %d (data page %d + %d header)"
+         (Paged_file.page_size file)
+         (log_page_size ~data_page_size)
+         data_page_size header_bytes)
+
+let create ~data_page_size file =
+  check_device ~data_page_size file;
+  {
+    file;
+    data_page_size;
+    mu = Mutex.create ();
+    scratch = Bytes.create (log_page_size ~data_page_size);
+    pos = 0;
+    lsn = 0;
+    appended = 0;
+    fsyncs = 0;
+  }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---------- record encode / decode ---------- *)
+
+let encode_into page ~page_size ~kind ~lsn ~gen ~ptr ~body =
+  Bytes.fill page 0 page_size '\000';
+  Bytes.set_int32_le page 0 (Int32.of_int magic);
+  Bytes.set_uint8 page 4 kind;
+  Bytes.set_int64_le page 8 (Int64.of_int lsn);
+  Bytes.set_int64_le page 16 (Int64.of_int gen);
+  Bytes.set_int64_le page 24 (Int64.of_int ptr);
+  Bytes.set_int32_le page 32 (Int32.of_int (Bytes.length body));
+  Bytes.blit body 0 page header_bytes (Bytes.length body);
+  Bytes.set_int32_le page cksum_off
+    (Int32.of_int (Repro_util.Checksum.fnv32 page ~pos:0 ~len:page_size))
+
+type parsed = {
+  p_kind : int;
+  p_lsn : int;
+  p_gen : int;
+  p_ptr : int;
+  p_body : Bytes.t;
+}
+
+(* [None] when the page is not a valid record (torn, zeroed, foreign). *)
+let decode page ~page_size =
+  if Int32.to_int (Bytes.get_int32_le page 0) land 0xFFFFFFFF <> magic then None
+  else
+    let stored = Int32.to_int (Bytes.get_int32_le page cksum_off) land 0xFFFFFFFF in
+    Bytes.set_int32_le page cksum_off 0l;
+    let computed = Repro_util.Checksum.fnv32 page ~pos:0 ~len:page_size in
+    Bytes.set_int32_le page cksum_off (Int32.of_int stored);
+    if stored <> computed then None
+    else
+      let body_len = Int32.to_int (Bytes.get_int32_le page 32) land 0xFFFFFFFF in
+      if body_len < 0 || body_len > page_size - header_bytes then None
+      else
+        Some
+          {
+            p_kind = Bytes.get_uint8 page 4;
+            p_lsn = Int64.to_int (Bytes.get_int64_le page 8);
+            p_gen = Int64.to_int (Bytes.get_int64_le page 16);
+            p_ptr = Int64.to_int (Bytes.get_int64_le page 24);
+            p_body = Bytes.sub page header_bytes body_len;
+          }
+
+(* ---------- append path ---------- *)
+
+(** Append one record, stamped [gen], at the cursor. The write lands in
+    the device's volatile image only — call {!fsync} (the group-commit
+    leader does) to make the appended prefix durable. Thread-safe. *)
+let append t ~gen record =
+  with_mu t (fun () ->
+      Failpoint.hit fp_append;
+      let page_size = Bytes.length t.scratch in
+      let kind, ptr, body =
+        match record with
+        | Page { ptr; image } ->
+            if Bytes.length image <> t.data_page_size then
+              invalid_arg "Wal.append: image must be exactly one data page";
+            (kind_page, ptr, image)
+        | Meta blob ->
+            if Bytes.length blob > page_size - header_bytes then
+              invalid_arg "Wal.append: metadata blob too large for a log record";
+            (kind_meta, -1, blob)
+        | Commit -> (kind_commit, -1, Bytes.empty)
+        | Checkpoint -> (kind_checkpoint, -1, Bytes.empty)
+      in
+      encode_into t.scratch ~page_size ~kind ~lsn:t.lsn ~gen ~ptr ~body;
+      Paged_file.write t.file t.pos t.scratch;
+      t.pos <- t.pos + 1;
+      t.lsn <- t.lsn + 1;
+      t.appended <- t.appended + 1)
+
+(** Fsync the log device: the group-commit point. Everything appended so
+    far becomes durable. *)
+let fsync t =
+  with_mu t (fun () ->
+      Failpoint.hit fp_commit;
+      Paged_file.sync t.file;
+      t.fsyncs <- t.fsyncs + 1)
+
+(** Logical truncation, called by the store's checkpoint {e after} its
+    header commit: rewind the cursor to page 0. The old pass's records
+    stay on the device but are dead — their generation stamp no longer
+    matches the header, so replay ignores them, and the next pass
+    overwrites them in place. The LSN keeps rising monotonically across
+    truncations (it is never reset), which lets replay detect where a
+    new pass's tail ends inside an old pass's leftovers. *)
+let truncate t = with_mu t (fun () -> t.pos <- 0)
+
+let close t = Paged_file.close t.file
+let appended t = t.appended
+let fsyncs t = t.fsyncs
+let cursor t = t.pos
+
+(* ---------- recovery replay ---------- *)
+
+type replay = {
+  committed : (int, Bytes.t) Hashtbl.t;
+      (** page images promoted by a COMMIT record, last writer wins *)
+  committed_meta : Bytes.t option;  (** newest committed metadata blob *)
+  records : int;  (** records scanned (valid ones, this pass) *)
+  batches : int;  (** COMMIT records applied *)
+  next_pos : int;  (** log page where the valid tail ends — resume cursor *)
+  next_lsn : int;  (** LSN to continue appending with *)
+}
+
+(** Scan the log from page 0 and redo the pass belonging to store
+    generation [gen]: stage PAGE / META records, promote them at each
+    COMMIT, stop at the first torn record, foreign-generation record,
+    LSN discontinuity, CHECKPOINT marker, or device end. Read-only; the
+    caller installs [committed] into the data file. *)
+let replay ~data_page_size ~gen file =
+  check_device ~data_page_size file;
+  let page_size = log_page_size ~data_page_size in
+  let committed = Hashtbl.create 64 in
+  let staged = Hashtbl.create 64 in
+  let staged_meta = ref None in
+  let committed_meta = ref None in
+  let records = ref 0 in
+  let batches = ref 0 in
+  let stop = ref false in
+  let pos = ref 0 in
+  let last_lsn = ref (-1) in
+  let npages = Paged_file.pages file in
+  while (not !stop) && !pos < npages do
+    Failpoint.hit fp_replay;
+    let page = Paged_file.read file !pos in
+    match decode page ~page_size with
+    | None -> stop := true (* torn / unwritten tail *)
+    | Some r ->
+        if r.p_gen <> gen then stop := true (* a previous pass's leftovers *)
+        else if !last_lsn >= 0 && r.p_lsn <> !last_lsn + 1 then stop := true
+        else begin
+          incr records;
+          last_lsn := r.p_lsn;
+          (if r.p_kind = kind_page then
+             if Bytes.length r.p_body = data_page_size && r.p_ptr >= 0 then
+               Hashtbl.replace staged r.p_ptr r.p_body
+             else raise (Corrupt "Wal.replay: malformed PAGE record")
+           else if r.p_kind = kind_meta then staged_meta := Some r.p_body
+           else if r.p_kind = kind_commit then begin
+             Hashtbl.iter (fun p img -> Hashtbl.replace committed p img) staged;
+             Hashtbl.reset staged;
+             (match !staged_meta with
+             | Some m ->
+                 committed_meta := Some m;
+                 staged_meta := None
+             | None -> ());
+             incr batches
+           end
+           else if r.p_kind = kind_checkpoint then
+             (* A pass-boundary marker, not promoted state. It does not
+                stop the scan: a checkpoint that failed {e before} its
+                header commit leaves its marker mid-log with committed
+                batches legitimately continuing after it (the store
+                retries the checkpoint later). A {e successful}
+                checkpoint's marker is never reached — the generation
+                advance invalidates it wholesale. *)
+             ()
+           else raise (Corrupt "Wal.replay: unknown record kind"));
+          incr pos
+        end
+  done;
+  {
+    committed;
+    committed_meta = !committed_meta;
+    records = !records;
+    batches = !batches;
+    next_pos = !pos;
+    next_lsn = !last_lsn + 1;
+  }
+
+(** Continue an existing log after recovery: the cursor resumes at the
+    replay's valid tail (overwriting any torn record or stale pass), the
+    LSN continues past the highest one seen. *)
+let resume ~data_page_size ~(replay : replay) file =
+  let t = create ~data_page_size file in
+  t.pos <- replay.next_pos;
+  t.lsn <- replay.next_lsn;
+  t

@@ -1,0 +1,94 @@
+(** Append-only, checksummed, generation-stamped write-ahead log of
+    physical page images over a {!Paged_file} — the redo log behind
+    {!Paged_store}'s group-commit durability mode.
+
+    One record per log page ({!log_page_size} sizes the device); each
+    record carries an FNV-1a-32 whole-page checksum (the {!Page_codec}
+    v2 framing idiom), a strictly increasing LSN and the store
+    generation it applies on top of. A checkpoint {e logically
+    truncates} the log by rewinding the cursor — old records are
+    invalidated by their generation stamp, not erased — so the file
+    never outgrows the busiest inter-checkpoint window. {!replay} scans
+    from page 0, promotes staged page images at each COMMIT record
+    (last writer wins), skips CHECKPOINT markers (a checkpoint that
+    failed before its header flip leaves one mid-log with committed
+    batches continuing after it), and stops cleanly at the first torn
+    record, foreign-generation record or LSN discontinuity.
+
+    Failpoint sites: [wal.append], [wal.commit], [wal.replay]. See
+    doc/RECOVERY.md for the commit-point argument. *)
+
+exception Corrupt of string
+(** A structurally impossible record (bad kind, oversized body) {e after}
+    its checksum validated — device damage outside the torn-tail model. *)
+
+val header_bytes : int
+(** Record header size; a log page is one data page plus this. *)
+
+val log_page_size : data_page_size:int -> int
+(** Page size the log's {!Paged_file} must be created with. *)
+
+type record =
+  | Page of { ptr : int; image : Bytes.t }
+      (** Full physical image (exactly one data page) of tree pointer
+          [ptr]. Staged until the next [Commit]. *)
+  | Meta of Bytes.t
+      (** Client metadata blob; committed atomically with its batch. *)
+  | Commit
+      (** Group-commit boundary: promotes everything staged since the
+          previous commit. *)
+  | Checkpoint
+      (** Pass-boundary marker appended by the store checkpoint; replay
+          skips it (never staged, never promoted). *)
+
+type t
+
+val create : data_page_size:int -> Paged_file.t -> t
+(** A fresh log over [file] (cursor at page 0, LSN 0). The device's page
+    size must equal [log_page_size ~data_page_size]. *)
+
+val append : t -> gen:int -> record -> unit
+(** Append one record stamped with store generation [gen] at the cursor.
+    Volatile until {!fsync}. Thread-safe. Failpoint [wal.append]. *)
+
+val fsync : t -> unit
+(** The group-commit point: make every appended record durable.
+    Failpoint [wal.commit]. *)
+
+val truncate : t -> unit
+(** Logical truncation after a checkpoint's header commit: rewind the
+    cursor to page 0. LSNs keep rising across truncations. *)
+
+val close : t -> unit
+
+val appended : t -> int
+(** Records appended over the log's life. *)
+
+val fsyncs : t -> int
+(** Log fsyncs issued (= group commits led through this log). *)
+
+val cursor : t -> int
+(** Current append position (log pages in the live pass). *)
+
+(** {2 Recovery} *)
+
+type replay = {
+  committed : (int, Bytes.t) Hashtbl.t;
+      (** tree ptr → newest group-committed page image *)
+  committed_meta : Bytes.t option;
+      (** newest metadata blob covered by a commit *)
+  records : int;  (** valid records scanned in this pass *)
+  batches : int;  (** COMMIT records applied *)
+  next_pos : int;  (** where the valid tail ends — the resume cursor *)
+  next_lsn : int;  (** LSN to continue appending with *)
+}
+
+val replay : data_page_size:int -> gen:int -> Paged_file.t -> replay
+(** Read-only redo scan of generation [gen]'s pass (see module doc for
+    the stop conditions). The caller installs [committed] into the data
+    file {e before} its free-chain walk commits allocator state.
+    Failpoint [wal.replay] fires once per record scanned. *)
+
+val resume : data_page_size:int -> replay:replay -> Paged_file.t -> t
+(** Reattach a log after {!replay}: cursor at [next_pos] (overwriting a
+    torn record or a stale pass's leftovers), LSN at [next_lsn]. *)

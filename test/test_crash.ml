@@ -187,6 +187,111 @@ let test_writer_shutdown_race () =
     done
   done
 
+(* ---------- WAL replay edge cases: the redo scanner's boundary
+   behaviour, pinned down against the log directly ---------- *)
+
+let data_ps = 512
+let log_ps = Wal.log_page_size ~data_page_size:data_ps
+let img c = Bytes.make data_ps c
+
+let test_replay_empty_log () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let r = Wal.replay ~data_page_size:data_ps ~gen:3 f in
+  Alcotest.(check int) "no records" 0 r.Wal.records;
+  Alcotest.(check int) "no batches" 0 r.Wal.batches;
+  Alcotest.(check int) "no images" 0 (Hashtbl.length r.Wal.committed);
+  Alcotest.(check int) "resume at page 0" 0 r.Wal.next_pos;
+  Alcotest.(check int) "lsn restarts" 0 r.Wal.next_lsn
+
+let test_replay_checkpoint_only () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let w = Wal.create ~data_page_size:data_ps f in
+  Wal.append w ~gen:2 Wal.Checkpoint;
+  Wal.fsync w;
+  let r = Wal.replay ~data_page_size:data_ps ~gen:2 f in
+  Alcotest.(check int) "marker scanned" 1 r.Wal.records;
+  Alcotest.(check int) "nothing committed" 0 r.Wal.batches;
+  Alcotest.(check int) "nothing promoted" 0 (Hashtbl.length r.Wal.committed);
+  Alcotest.(check int) "resume past the marker" 1 r.Wal.next_pos
+
+let test_replay_torn_final_record () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let w = Wal.create ~data_page_size:data_ps f in
+  Wal.append w ~gen:1 (Wal.Page { ptr = 3; image = img 'a' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.append w ~gen:1 (Wal.Page { ptr = 4; image = img 'b' });
+  Wal.fsync w;
+  (* tear the final record by hand: garbage over its second half *)
+  let page = Paged_file.read f 2 in
+  Bytes.fill page (log_ps / 2) (log_ps - (log_ps / 2)) '\xFF';
+  Paged_file.write f 2 page;
+  let r = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "scan stops at the tear" 2 r.Wal.records;
+  Alcotest.(check int) "the committed batch survives" 1 r.Wal.batches;
+  Alcotest.(check bool) "committed image intact" true
+    (Hashtbl.find_opt r.Wal.committed 3 = Some (img 'a'));
+  Alcotest.(check bool) "torn record not promoted" false
+    (Hashtbl.mem r.Wal.committed 4);
+  Alcotest.(check int) "resume overwrites the torn record" 2 r.Wal.next_pos
+
+let test_replay_last_writer_wins () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let w = Wal.create ~data_page_size:data_ps f in
+  (* same page twice within a batch, then again in a later batch, then
+     once more without a commit — only the last committed image counts *)
+  Wal.append w ~gen:1 (Wal.Page { ptr = 7; image = img 'a' });
+  Wal.append w ~gen:1 (Wal.Page { ptr = 7; image = img 'b' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.append w ~gen:1 (Wal.Page { ptr = 7; image = img 'c' });
+  Wal.append w ~gen:1 (Wal.Page { ptr = 9; image = img 'd' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.append w ~gen:1 (Wal.Page { ptr = 7; image = img 'e' });
+  Wal.fsync w;
+  let r = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "two batches" 2 r.Wal.batches;
+  Alcotest.(check bool) "last committed writer wins" true
+    (Hashtbl.find_opt r.Wal.committed 7 = Some (img 'c'));
+  Alcotest.(check bool) "sibling page committed" true
+    (Hashtbl.find_opt r.Wal.committed 9 = Some (img 'd'))
+
+(* A page freed in the checkpointed generation, recycled and re-committed
+   through the log only: recovery must take it off the free list, keep
+   the allocator accounting consistent, and never hand it out again. *)
+let test_replay_recycled_free_page () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_ps () in
+  let lfile = Paged_file.create_shadow ~page_size:log_ps () in
+  let store = PS.create_on ~cache_pages:8 ~wal:lfile pfile in
+  let ptrs = Array.init 6 (fun i -> PS.alloc store (mk_leaf [ i ])) in
+  PS.release store ptrs.(2);
+  PS.sync store;
+  (* the checkpointed free chain holds ptrs.(2) *)
+  let p = PS.alloc store (mk_leaf [ 42 ]) in
+  Alcotest.(check int) "allocator recycles the freed page" ptrs.(2) p;
+  PS.commit store;
+  let image = Paged_file.crash_image pfile in
+  let limage = Paged_file.crash_image lfile in
+  Failpoint.reset ();
+  let store2 = PS.open_from ~cache_pages:8 ~wal:limage image in
+  let n = PS.get store2 p in
+  Alcotest.(check bool) "recycled page holds its committed contents" true
+    (n.Node.keys = [| 42 |]);
+  Alcotest.(check int) "allocator accounting consistent" 6
+    (PS.total_allocated store2 - PS.total_freed store2);
+  let q = PS.reserve store2 in
+  Alcotest.(check bool) "recycled page never re-issued" true (q <> p);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "live page %d intact" i)
+        true
+        ((PS.get store2 ptrs.(i)).Node.keys = [| i |]))
+    [ 0; 1; 3; 4; 5 ]
+
 (* ---------- every registered site must have fired by now (keep this
    test last: it audits the whole suite run) ---------- *)
 
@@ -208,6 +313,15 @@ let suite =
       test_short_writes_on_file;
     Alcotest.test_case "writer shutdown races sync under errors" `Quick
       test_writer_shutdown_race;
+    Alcotest.test_case "replay: empty log" `Quick test_replay_empty_log;
+    Alcotest.test_case "replay: checkpoint-only log" `Quick
+      test_replay_checkpoint_only;
+    Alcotest.test_case "replay: torn final record" `Quick
+      test_replay_torn_final_record;
+    Alcotest.test_case "replay: duplicate images, last writer wins" `Quick
+      test_replay_last_writer_wins;
+    Alcotest.test_case "replay: recycled free-chain page" `Quick
+      test_replay_recycled_free_page;
     Alcotest.test_case "all failpoint sites exercised" `Quick
       test_all_sites_exercised;
   ]
