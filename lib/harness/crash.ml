@@ -727,10 +727,69 @@ let run_wal_error_paths () =
     fail "wal error paths: retried commits lost data";
   ignore (PS.generation store2)
 
+(** Multi-domain group-commit durability stress — regression cover for
+    the install/seal ordering in {!Repro_storage.Paged_store}: several
+    domains insert into disjoint key ranges and group-commit
+    concurrently ([commit_batch] = the domain count, a sub-millisecond
+    gather window), so leaders seal the dirty set while other domains
+    are mid-[install]. The crash image taken after the last ack — {e no}
+    final sync — must hold every acknowledged key. A note-before-publish
+    order in [install] loses updates here: a leader sealing between the
+    note and the publish logs the stale image while the swap removes the
+    page from the live dirty set, so the installer's own commit targets
+    a batch that no longer covers it — acking durability the log does
+    not hold. Each run is a fresh store with a {e single} commit round
+    per domain and a crash image taken immediately after — so every
+    install is exposed (no later batch re-dirties its page and papers
+    over the loss). Probabilistic (the window is a few instructions
+    wide), but free of false positives: any run that trips it is a real
+    loss. *)
+let run_wal_commit_race ?(domains = 4) ?(runs = 20) ?(batch = 4) () =
+  for run = 1 to runs do
+    Failpoint.reset ();
+    let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+    let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+    let store =
+      PS.create_on ~cache_pages:64 ~commit_interval:5e-4 ~commit_batch:domains
+        ~wal:lfile pfile
+    in
+    let tree = Sg.create ~order:4 ~store () in
+    (* a committed checkpoint generation exists before the traffic starts *)
+    let c0 = Sg.ctx ~slot:0 in
+    ignore (Sg.insert tree c0 (-1) (payload (-1)));
+    Sg.flush tree;
+    PS.start_writer store;
+    let worker d =
+      let c = Sg.ctx ~slot:d in
+      for i = 0 to batch - 1 do
+        let k = (1_000_000 * d) + i in
+        ignore (Sg.insert tree c k (payload k));
+        (* per-insert commit: the key is acknowledged once this returns *)
+        Sg.commit tree
+      done
+    in
+    let ds =
+      List.init domains (fun d -> Domain.spawn (fun () -> worker (d + 1)))
+    in
+    List.iter Domain.join ds;
+    PS.stop_writer store;
+    (* power cut: nothing past the last acked commit reaches the image *)
+    let _store2, tree2 = recover_wal ~cache_pages:64 pfile lfile in
+    check_valid tree2 ~what:"wal commit race";
+    let recovered = Sg.to_list tree2 in
+    let expect = 1 + (domains * batch) in
+    if List.length recovered <> expect then
+      fail "wal commit race (run %d): recovered %d keys, %d were acknowledged"
+        run (List.length recovered) expect;
+    if not (List.for_all (fun (k, v) -> v = payload k) recovered) then
+      fail "wal commit race (run %d): recovered a torn payload" run
+  done
+
 (** The whole battery: tree-level crash runs for every site × config in
     both durability modes (sync-everything, then WAL group commit
     against the commit-point oracle), then the targeted torn /
-    short-write / commit-fsync / mid-replay / injected-error runs.
+    short-write / commit-fsync / mid-replay / injected-error runs and
+    the multi-domain group-commit stress.
     Returns the outcomes; raises on any violated invariant. After a
     battery, {!Repro_storage.Failpoint.unexercised} must be empty — the
     CLI and CI enforce it. *)
@@ -812,5 +871,6 @@ let battery ?(quick = false) ?(log = fun _ -> ()) () =
   record (run_wal_replay_crash ());
   run_error_paths ();
   run_wal_error_paths ();
+  run_wal_commit_race ();
   Failpoint.reset ();
   List.rev !outcomes

@@ -77,6 +77,20 @@ val run_wal_replay_crash : unit -> outcome
 (** Crash mid-replay during recovery, then recover again: replay is
     read-only, so the second attempt must land on the same state. *)
 
+val run_wal_commit_race :
+  ?domains:int -> ?runs:int -> ?batch:int -> unit -> unit
+(** Multi-domain group-commit durability stress, [runs] times: [domains]
+    writer domains insert disjoint keys into a fresh store and
+    group-commit concurrently ([commit_batch] = domain count), then the
+    crash image taken after the last acknowledgement — with no final
+    sync — is recovered and must hold every acknowledged key. One commit
+    round per store, so every install is exposed rather than papered
+    over by a later batch re-logging its page. Regression cover for the
+    install/seal ordering race (a page noted dirty before its new image
+    is published can be sealed, logged stale, and dropped from the batch
+    its installer's commit targets).
+    @raise Failure on any lost or torn acknowledged key. *)
+
 val run_wal_error_paths : unit -> unit
 (** Injected errors on log append and commit fsync: the error surfaces,
     the leader's rollback keeps [commit] retryable, and the retried

@@ -88,10 +88,15 @@ module type S = sig
 
   val commit : t -> unit
   (** Durably commit every {e completed} operation — the fine-grained
-      durability point, safe to call concurrently with other operations.
-      This is an {e optional capability}: backends with a write-ahead
-      log satisfy it with a group commit (one batched log fsync covers
-      every concurrent caller); durable backends without one degrade to
-      [sync]; purely in-memory stores treat it as a no-op. Unlike
-      [sync], callers may invoke it from many domains at once. *)
+      durability point. This is an {e optional capability}: backends
+      with a write-ahead log satisfy it with a group commit (one batched
+      log fsync covers every concurrent caller) that is safe to call
+      from many domains at once, concurrently with other operations.
+      Durable backends {e without} one degrade to [sync] — the degraded
+      path inherits [sync]'s quiescence requirement (concurrent commit
+      calls are merely serialised against each other, which does not
+      make a full sync safe against in-flight operations). Purely
+      in-memory stores treat it as a no-op. Callers who need the
+      concurrent contract must therefore know their backend has a log
+      (e.g. was opened in WAL mode). *)
 end

@@ -176,7 +176,10 @@ module Make (K : Key.S) = struct
     mutable sealed : int;
     mutable durable : int;
     mutable leader : bool;  (** a leader is currently flushing a batch *)
-    mutable unsealed_reqs : int;  (** commit requests awaiting the next seal *)
+    unsealed_reqs : int Atomic.t;
+        (** commit requests awaiting the next seal. Written under [w_mu];
+            atomic so the leader's gather window can poll it without
+            re-acquiring the mutex (stdlib [Condition] has no timed wait). *)
     commit_interval : float;  (** max gather time when [commit_batch] > 1 *)
     commit_batch : int;  (** requests that trigger an immediate seal *)
     mutable commit_reqs : int;
@@ -569,7 +572,7 @@ module Make (K : Key.S) = struct
       sealed = 0;
       durable = 0;
       leader = false;
-      unsealed_reqs = 0;
+      unsealed_reqs = Atomic.make 0;
       commit_interval;
       commit_batch = max 1 commit_batch;
       commit_reqs = 0;
@@ -673,7 +676,6 @@ module Make (K : Key.S) = struct
         Mutex.unlock w.w_mu
 
   let install t ptr s n =
-    note_dirty t ptr;
     (* Only dirty the cache line when the bit is actually clear: every
        cache hit setting [referenced] unconditionally turns the hot-path
        read into a cross-domain store on shared lines (the root's slot is
@@ -685,6 +687,18 @@ module Make (K : Key.S) = struct
      with
     | Some _ -> ()
     | None -> Atomic.incr st.resident);
+    (* Publish first, note after. The order is load-bearing for group
+       commit: a leader that seals the dirty set between a note and its
+       publish would snapshot the {e stale} image (or nothing at all for
+       a fresh page) while the swap removed [ptr] from the live set —
+       the caller's own commit then targets a batch that no longer
+       covers [ptr], acking durability the log does not hold. With the
+       note last, any seal that consumed an {e earlier} note of [ptr]
+       already sees the new image (the exchange above precedes it), and
+       this note lands in the live set before the caller can request a
+       commit, so the next-sealed batch covers it. [alloc] sets
+       [freed <- false] before calling here for the same reason. *)
+    note_dirty t ptr;
     check_evict t si st
 
   let alloc t node =
@@ -1120,28 +1134,34 @@ module Make (K : Key.S) = struct
      Enters holding [w_mu]; returns with it released. *)
   let lead_batch t (w : wal_state) ~target =
     w.leader <- true;
-    if w.commit_batch > 1 && w.unsealed_reqs < w.commit_batch then begin
-      (* Gather window: release the mutex so followers can register; a
-         checkpoint cannot intervene (sync is quiescent), so the batch
-         is still ours to seal afterwards. *)
+    if w.commit_batch > 1 && Atomic.get w.unsealed_reqs < w.commit_batch
+    then begin
+      (* Gather window: release the mutex — once, for the whole window —
+         so followers can register without contending with the leader;
+         the fill level is polled through the atomic counter. (A timed
+         [Condition] wait would be the natural shape, but the stdlib has
+         none.) A checkpoint cannot intervene (sync is quiescent), so
+         the batch is still ours to seal afterwards. *)
+      Mutex.unlock w.w_mu;
       let deadline = Unix.gettimeofday () +. w.commit_interval in
       let rec gather () =
-        if w.unsealed_reqs < w.commit_batch && Unix.gettimeofday () < deadline
+        if
+          Atomic.get w.unsealed_reqs < w.commit_batch
+          && Unix.gettimeofday () < deadline
         then begin
-          Mutex.unlock w.w_mu;
           Unix.sleepf 5e-5;
-          Mutex.lock w.w_mu;
           gather ()
         end
       in
-      gather ()
+      gather ();
+      Mutex.lock w.w_mu
     end;
     let dirty = w.w_dirty in
     let meta_dirty = w.w_meta_dirty in
-    let group = w.unsealed_reqs in
+    let group = Atomic.get w.unsealed_reqs in
     w.w_dirty <- Hashtbl.create 32;
     w.w_meta_dirty <- false;
-    w.unsealed_reqs <- 0;
+    Atomic.set w.unsealed_reqs 0;
     w.sealed <- target;
     Mutex.unlock w.w_mu;
     match
@@ -1200,7 +1220,7 @@ module Make (K : Key.S) = struct
     | Some w ->
         Mutex.lock w.w_mu;
         w.commit_reqs <- w.commit_reqs + 1;
-        w.unsealed_reqs <- w.unsealed_reqs + 1;
+        Atomic.incr w.unsealed_reqs;
         (* The next batch to seal necessarily covers this caller's pages:
            they are in the live dirty set right now. If a running leader
            seals them into {e its} batch first, waiting for [target] only
@@ -1248,7 +1268,15 @@ module Make (K : Key.S) = struct
        free pages still hold their chain entries), and (d) is installed
        as full physical page images before the store is returned. A
        chain entry clobbered by post-checkpoint reuse fails its checksum
-       and degrades to the same leak policy as above. *)
+       and degrades to the same leak policy as above.
+     - {b Frees are not logged} — accepted leak-on-recovery policy: a
+       page whose commit-acked free is newer than its last logged image
+       (committed batch [N], freed batch [N+1]; or an orphaned PAGE
+       record of a page freed between a failed flush and its retry) is
+       resurrected by replay as an allocated, tree-unreachable page.
+       Same degradation class as the damaged-chain leak: never a double
+       hand-out, never wrong tree contents — the page is merely dead
+       weight until the store is rebuilt. See doc/RECOVERY.md. *)
   let open_from ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
       ?commit_interval ?commit_batch ?wal pfile =
     if Paged_file.pages pfile = 0 then raise (Corrupt "empty file");

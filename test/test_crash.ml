@@ -295,6 +295,12 @@ let test_replay_recycled_free_page () =
 (* ---------- every registered site must have fired by now (keep this
    test last: it audits the whole suite run) ---------- *)
 
+(* Multi-domain group commit under a simulated power cut: every
+   acknowledged key must survive recovery. Probabilistic regression
+   cover for the install/seal ordering race; the harness repeats fresh
+   single-commit-round runs to widen the net while staying fast. *)
+let test_wal_commit_race () = Crash.run_wal_commit_race ()
+
 let test_all_sites_exercised () =
   Failpoint.reset ();
   match Failpoint.unexercised () with
@@ -322,6 +328,8 @@ let suite =
       test_replay_last_writer_wins;
     Alcotest.test_case "replay: recycled free-chain page" `Quick
       test_replay_recycled_free_page;
+    Alcotest.test_case "concurrent group commit loses no acked key" `Quick
+      test_wal_commit_race;
     Alcotest.test_case "all failpoint sites exercised" `Quick
       test_all_sites_exercised;
   ]
