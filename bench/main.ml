@@ -1120,6 +1120,139 @@ let a4 () =
     [ paper; ablated ]
 
 (* ------------------------------------------------------------------ *)
+(* E13: netbench — pipelined clients over loopback TCP                 *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  let module P = Repro_server.Protocol in
+  let module Server = Repro_server.Server in
+  let module Cl = Repro_client.Client in
+  Report.heading "E13: netbench — clients \u{00D7} pipeline depth \u{00D7} durability";
+  Report.note
+    "An in-process server over loopback TCP, one worker domain per \
+     client. mem serves the in-memory tree with fire-and-forget acks; \
+     wal serves the file-backed store (real fsyncs) with durable acks — \
+     each mutation batch group-commits before its responses flush, so \
+     deeper pipelines amortise both the syscalls and the fsync. 50/50 \
+     insert/search, per-request service latency from the server's own \
+     histogram.";
+  let per_client = scale 8_000 in
+  let key_space = scale 50_000 in
+  let client_counts = if !quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let depths = [ 1; 16; 128 ] in
+  let modes = [ "mem"; "wal" ] in
+  let jrows = ref [] in
+  let run mode clients depth =
+    Gc.compact ();
+    let cleanup = ref (fun () -> ()) in
+    let handle =
+      match mode with
+      | "mem" -> (Tree_intf.sagiv ()).Tree_intf.make ~order:16
+      | _ ->
+          let path = Filename.temp_file "e13" ".pages" in
+          let wal_path = path ^ ".wal" in
+          let store =
+            Tree_intf.Paged_int.create_file ~cache_pages:4096 ~commit_batch:8
+              ~commit_interval:5e-4 ~wal_path path
+          in
+          let t = Tree_intf.Sagiv_disk.create ~order:16 ~store () in
+          cleanup :=
+            (fun () ->
+              (try Tree_intf.Paged_int.close store with _ -> ());
+              List.iter
+                (fun p -> try Sys.remove p with Sys_error _ -> ())
+                [ path; wal_path ]);
+          Tree_intf.of_ops
+            ~commit:(fun () -> Tree_intf.Sagiv_disk.commit t)
+            ~range:(Tree_intf.Sagiv_disk.range t)
+            ~name:"sagiv-disk"
+            (module Tree_intf.Sagiv_disk)
+            t
+    in
+    let srv =
+      Server.start ~workers:clients ~durable_acks:(mode = "wal") ~handle
+        ~listen:[ Unix.ADDR_INET (Unix.inet_addr_loopback, 0) ]
+        ()
+    in
+    let addr = List.hd (Server.addresses srv) in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init clients (fun d ->
+          Domain.spawn (fun () ->
+              let c = Cl.connect addr in
+              let rng = Random.State.make [| 90_000 + (1000 * d) |] in
+              let remaining = ref per_client in
+              while !remaining > 0 do
+                let n = min depth !remaining in
+                let reqs =
+                  List.init n (fun _ ->
+                      let k = Random.State.int rng key_space in
+                      if Random.State.bool rng then P.Insert { key = k; value = k }
+                      else P.Search { key = k })
+                in
+                ignore (Cl.pipeline c reqs);
+                remaining := !remaining - n
+              done;
+              Cl.close c))
+    in
+    List.iter Domain.join domains;
+    let dt = Unix.gettimeofday () -. t0 in
+    let m = Server.stats srv in
+    Server.stop srv;
+    !cleanup ();
+    let tput = float_of_int (clients * per_client) /. dt in
+    let pq p = 1e6 *. Repro_util.Histogram.percentile m.Stats.latency p in
+    let p50 = pq 50.0 and p99 = pq 99.0 in
+    jrows :=
+      J.Obj
+        [
+          ("mode", J.Str mode);
+          ("clients", J.Int clients);
+          ("depth", J.Int depth);
+          ("ops_per_s", J.Float tput);
+          ("svc_p50_us", J.Float p50);
+          ("svc_p99_us", J.Float p99);
+          ("max_pipeline", J.Int m.Stats.max_pipeline);
+          ("acked_commits", J.Int m.Stats.acked_commits);
+          ("bytes_in", J.Int m.Stats.bytes_in);
+          ("bytes_out", J.Int m.Stats.bytes_out);
+        ]
+      :: !jrows;
+    [
+      mode;
+      string_of_int clients;
+      string_of_int depth;
+      Report.fmt_si tput ^ "/s";
+      Report.fmt_f p50 ^ "us";
+      Report.fmt_f p99 ^ "us";
+      string_of_int m.Stats.max_pipeline;
+      string_of_int m.Stats.acked_commits;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun clients -> List.map (run mode clients) depths)
+          client_counts)
+      modes
+  in
+  Report.table
+    ~header:
+      [
+        "mode"; "clients"; "depth"; "tput"; "svc p50"; "svc p99";
+        "max pipeline"; "commits";
+      ]
+    rows;
+  record_json "E13"
+    (J.Obj
+       [
+         ("per_client_ops", J.Int per_client);
+         ("key_space", J.Int key_space);
+         ("rows", J.List (List.rev !jrows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1135,6 +1268,7 @@ let experiments =
     ("E10", e10);
     ("E11", e11);
     ("E12", e12);
+    ("E13", e13);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

@@ -6,6 +6,8 @@
      dump      print the structure of a small tree
      snapshot  save/load roundtrip timing for the page codec
      crash-test  fault-injection battery over the durable store
+     serve     pipelined network server over a tree (TCP / Unix socket)
+     client    scripted client session against a running server
 *)
 
 open Cmdliner
@@ -347,6 +349,114 @@ let trace_run_cmd path order =
       Printf.printf "TREES DISAGREE\n";
       exit 1
 
+(* -- serve / client -- *)
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX p -> Printf.sprintf "unix:%s" p
+  | Unix.ADDR_INET (a, p) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
+
+let serve_cmd tree_name backend order durability commit_batch workers port
+    unix_path =
+  let wal =
+    match durability with
+    | "sync" -> false
+    | "wal" -> true
+    | s -> failwith (Printf.sprintf "unknown durability %S (sync or wal)" s)
+  in
+  if wal && backend <> "disk" then
+    failwith "--durability wal requires --backend disk";
+  let commit_batch = if commit_batch > 1 then Some commit_batch else None in
+  let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
+  let h = impl.Tree_intf.make ~order in
+  let listen =
+    (if port >= 0 then [ Unix.ADDR_INET (Unix.inet_addr_loopback, port) ]
+     else [])
+    @ match unix_path with Some p -> [ Unix.ADDR_UNIX p ] | None -> []
+  in
+  if listen = [] then failwith "nothing to listen on (--port and/or --unix)";
+  (* acks are durable exactly when the backend can group-commit them *)
+  let srv =
+    Repro_server.Server.start ~workers ~durable_acks:(backend = "disk")
+      ~handle:h ~listen ()
+  in
+  List.iter
+    (fun a -> Printf.printf "listening on %s\n%!" (string_of_sockaddr a))
+    (Repro_server.Server.addresses srv);
+  Printf.printf "tree=%s backend=%s durability=%s workers=%d (ctrl-C stops)\n%!"
+    impl.Tree_intf.impl_name backend
+    (if backend = "disk" then durability else "none")
+    workers;
+  let stop = Atomic.make false in
+  let on_signal _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  while not (Atomic.get stop) do
+    Unix.sleepf 0.2
+  done;
+  Printf.printf "\nshutting down...\n%!";
+  Repro_server.Server.stop srv;
+  h.Tree_intf.commit ();
+  Printf.printf "%s\n"
+    (Stats.server_to_string (Repro_server.Server.stats srv));
+  Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ())
+    (h.Tree_intf.height ());
+  (match unix_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ())
+
+let parse_request line =
+  let module P = Repro_server.Protocol in
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | [ "insert"; k; v ] ->
+      Some (P.Insert { key = int_of_string k; value = int_of_string v })
+  | [ "delete"; k ] -> Some (P.Delete { key = int_of_string k })
+  | [ "search"; k ] -> Some (P.Search { key = int_of_string k })
+  | [ "range"; lo; hi ] ->
+      Some (P.Range { lo = int_of_string lo; hi = int_of_string hi })
+  | [ "commit" ] -> Some P.Commit
+  | [ "stats" ] -> Some P.Stats
+  | w :: _ -> failwith (Printf.sprintf "unknown command %S" w)
+
+let client_cmd host port unix_path script =
+  let module P = Repro_server.Protocol in
+  let addr =
+    match unix_path with
+    | Some p -> Unix.ADDR_UNIX p
+    | None -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  in
+  let lines =
+    if script <> [] then script
+    else begin
+      (* read the session from stdin, one command per line *)
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line stdin :: !acc
+         done
+       with End_of_file -> ());
+      List.rev !acc
+    end
+  in
+  let reqs = List.filter_map parse_request lines in
+  if reqs = [] then failwith "empty session (commands on argv or stdin)";
+  let c = Repro_client.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Repro_client.Client.close c)
+    (fun () ->
+      (* the whole script goes out as one pipelined batch *)
+      let resps = Repro_client.Client.pipeline c reqs in
+      List.iter2
+        (fun req resp ->
+          Format.printf "%a -> %a@." P.pp_request req P.pp_response resp)
+        reqs resps;
+      if List.exists (function P.Error _ -> true | _ -> false) resps then
+        exit 1)
+
 (* -- cmdliner plumbing -- *)
 
 let tree_arg =
@@ -463,6 +573,38 @@ let verbose_arg =
 
 let crash_test_t = Term.(const crash_test_cmd $ quick_arg $ verbose_arg)
 
+let workers_arg =
+  Arg.(value & opt int 4
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Server worker domains (bounds concurrently served connections).")
+
+let port_arg =
+  Arg.(value & opt int 7070
+       & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"TCP port on 127.0.0.1 (0 picks one; -1 disables TCP).")
+
+let unix_arg =
+  Arg.(value & opt (some string) None
+       & info [ "unix" ] ~docv:"PATH" ~doc:"Also listen on a Unix-domain socket.")
+
+let serve_t =
+  Term.(
+    const serve_cmd $ tree_arg $ backend_arg $ order_arg $ durability_arg
+    $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+
+let script_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"CMD"
+           ~doc:"Session commands (else read from stdin, one per line): \
+                 'insert K V', 'delete K', 'search K', 'range LO HI', \
+                 'commit', 'stats'.")
+
+let client_t = Term.(const client_cmd $ host_arg $ port_arg $ unix_arg $ script_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a multi-domain workload") run_t;
@@ -478,6 +620,14 @@ let cmds =
          ~doc:"Fault-injection battery: crash at every failpoint site, recover, \
                check against the durability oracle")
       crash_test_t;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Serve a tree over TCP / Unix sockets (pipelined binary protocol; \
+               on the disk backend every acked write is durably committed)")
+      serve_t;
+    Cmd.v
+      (Cmd.info "client" ~doc:"Run a scripted pipelined session against a server")
+      client_t;
   ]
 
 let () =

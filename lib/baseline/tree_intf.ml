@@ -14,6 +14,10 @@ type handle = {
       (** durably commit completed operations (group commit on a
           WAL-mode disk backend, full sync on a plain durable one, no-op
           in memory) — callable from any worker domain *)
+  range : (Handle.ctx -> lo:int -> hi:int -> (int * int) list) option;
+      (** lock-free ordered scan of [lo <= key <= hi] along the leaf
+          chain; [None] on backends without a leaf chain to walk (the
+          network server answers RANGE with "unsupported" there) *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -35,8 +39,8 @@ end
 (** Close a tree value over its operations: the one place the [handle]
     record is built, so a new backend registers in ~5 lines. [commit]
     defaults to a no-op — in-memory backends have nothing to make
-    durable. *)
-let of_ops (type a) ?(commit = fun () -> ()) ~name
+    durable; [range] defaults to unsupported. *)
+let of_ops (type a) ?(commit = fun () -> ()) ?range ~name
     (module M : TREE_OPS with type t = a) (t : a) =
   {
     name;
@@ -46,6 +50,7 @@ let of_ops (type a) ?(commit = fun () -> ()) ~name
     cardinal = (fun () -> M.cardinal t);
     height = (fun () -> M.height t);
     commit;
+    range;
   }
 
 module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
@@ -60,15 +65,15 @@ let sagiv ?(enqueue_on_delete = false) () =
     impl_name = "sagiv";
     make =
       (fun ~order ->
-        of_ops ~name:"sagiv" (module Sagiv_int)
-          (Sagiv_int.create ~order ~enqueue_on_delete ()));
+        let t = Sagiv_int.create ~order ~enqueue_on_delete () in
+        of_ops ~range:(Sagiv_int.range t) ~name:"sagiv" (module Sagiv_int) t);
   }
 
 (** Like {!sagiv} but also hands back the raw tree, for benches that run
     compaction workers alongside. *)
 let sagiv_raw ?(enqueue_on_delete = false) ~order () =
   let t = Sagiv_int.create ~order ~enqueue_on_delete () in
-  (t, of_ops ~name:"sagiv" (module Sagiv_int) t)
+  (t, of_ops ~range:(Sagiv_int.range t) ~name:"sagiv" (module Sagiv_int) t)
 
 let make_disk_store ?cache_pages ?stripes ?commit_interval ?commit_batch
     ?(wal = false) () =
@@ -92,7 +97,7 @@ let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages ?stripes
         let t = Sagiv_disk.create ~order ~enqueue_on_delete ~store () in
         of_ops
           ~commit:(fun () -> Sagiv_disk.commit t)
-          ~name:"sagiv-disk" (module Sagiv_disk) t);
+          ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t);
   }
 
 (** Like {!sagiv_raw} for the disk backend: hands back the raw tree for
@@ -107,7 +112,7 @@ let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes
   ( t,
     of_ops
       ~commit:(fun () -> Sagiv_disk.commit t)
-      ~name:"sagiv-disk" (module Sagiv_disk) t )
+      ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t )
 
 let lehman_yao =
   {

@@ -14,6 +14,10 @@ type handle = {
       (** durably commit completed operations (group commit on a
           WAL-mode disk backend, full sync on a plain durable one, no-op
           in memory) — callable from any worker domain *)
+  range : (Handle.ctx -> lo:int -> hi:int -> (int * int) list) option;
+      (** lock-free ordered scan of [lo <= key <= hi] along the leaf
+          chain; [None] on backends without one (the network server
+          answers RANGE with "unsupported" there) *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -31,13 +35,14 @@ end
 
 val of_ops :
   ?commit:(unit -> unit) ->
+  ?range:(Handle.ctx -> lo:int -> hi:int -> (int * int) list) ->
   name:string ->
   (module TREE_OPS with type t = 'a) ->
   'a ->
   handle
 (** Close a tree value over its operations — the only constructor of
     {!handle}, so a new backend registers in a few lines. [commit]
-    defaults to a no-op. *)
+    defaults to a no-op; [range] to unsupported. *)
 
 module Paged_int : module type of Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 (** The durable int-keyed page store the disk impls run on. *)

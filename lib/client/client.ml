@@ -1,0 +1,135 @@
+module P = Repro_server.Protocol
+
+exception Remote_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable seq : int;
+  out : Buffer.t;
+  mutable buf : Bytes.t;
+  mutable lo : int;
+  mutable hi : int;
+  mutable closed : bool;
+}
+
+let connect addr =
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) SOCK_STREAM 0
+  in
+  (try Unix.connect fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    fd;
+    seq = 0;
+    out = Buffer.create 4096;
+    buf = Bytes.create 4096;
+    lo = 0;
+    hi = 0;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let flush t =
+  let n = Buffer.length t.out in
+  let bytes = Buffer.to_bytes t.out in
+  Buffer.clear t.out;
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write t.fd bytes !off (n - !off)
+  done
+
+(* Read until one complete response frame is buffered; return it. *)
+let read_response t =
+  let rec go () =
+    match P.decode_response t.buf ~pos:t.lo ~len:(t.hi - t.lo) with
+    | Frame { seq; body; consumed } ->
+        t.lo <- t.lo + consumed;
+        (seq, body)
+    | Need_more ->
+        if t.lo > 0 then begin
+          Bytes.blit t.buf t.lo t.buf 0 (t.hi - t.lo);
+          t.hi <- t.hi - t.lo;
+          t.lo <- 0
+        end;
+        let cap = Bytes.length t.buf in
+        if cap - t.hi < 512 then begin
+          let b = Bytes.create (cap * 2) in
+          Bytes.blit t.buf 0 b 0 t.hi;
+          t.buf <- b
+        end;
+        let n =
+          Unix.read t.fd t.buf t.hi (Bytes.length t.buf - t.hi)
+        in
+        if n = 0 then raise End_of_file;
+        t.hi <- t.hi + n;
+        go ()
+  in
+  go ()
+
+let pipeline t reqs =
+  let seqs =
+    List.map
+      (fun r ->
+        let s = t.seq in
+        t.seq <- (t.seq + 1) land 0xffffffff;
+        P.encode_request t.out ~seq:s r;
+        s)
+      reqs
+  in
+  flush t;
+  List.map
+    (fun expect ->
+      let seq, resp = read_response t in
+      if seq <> expect then
+        raise
+          (P.Bad_frame
+             (Printf.sprintf "response out of order: seq %d, expected %d" seq
+                expect));
+      resp)
+    seqs
+
+let one t req =
+  match pipeline t [ req ] with
+  | [ P.Error msg ] -> raise (Remote_error msg)
+  | [ r ] -> r
+  | _ -> assert false
+
+let insert t ~key ~value =
+  match one t (P.Insert { key; value }) with
+  | Inserted -> `Ok
+  | Duplicate -> `Duplicate
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let delete t ~key =
+  match one t (P.Delete { key }) with
+  | Deleted -> true
+  | Absent -> false
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let search t ~key =
+  match one t (P.Search { key }) with
+  | Found v -> Some v
+  | Absent -> None
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let range t ~lo ~hi =
+  match one t (P.Range { lo; hi }) with
+  | Pairs ps -> ps
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let commit t =
+  match one t P.Commit with
+  | Committed -> ()
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let stats t =
+  match one t P.Stats with
+  | Stats_reply s -> s
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))

@@ -1,0 +1,32 @@
+(** Blocking client for the B-link network server.
+
+    One connection, one caller at a time (no internal locking). The
+    single-request helpers round-trip one frame; {!pipeline} streams a
+    whole batch before reading any response, which is where the
+    protocol's throughput comes from — and what the server's ack-fold
+    into group commit amortises.
+
+    Every call raises {!Repro_server.Protocol.Bad_frame} on a corrupt
+    response, [End_of_file] when the server closes mid-reply, and
+    [Unix.Unix_error] on socket failure. *)
+
+type t
+
+val connect : Unix.sockaddr -> t
+val close : t -> unit
+(** Idempotent. *)
+
+val pipeline :
+  t -> Repro_server.Protocol.request list -> Repro_server.Protocol.response list
+(** Send the whole batch, then read exactly one response per request, in
+    order. Sequence numbers are checked against the requests'. *)
+
+val insert : t -> key:int -> value:int -> [ `Ok | `Duplicate ]
+val delete : t -> key:int -> bool
+val search : t -> key:int -> int option
+val range : t -> lo:int -> hi:int -> (int * int) list
+val commit : t -> unit
+val stats : t -> Repro_server.Protocol.server_stats
+
+exception Remote_error of string
+(** The server answered [Error] (it has closed the connection). *)

@@ -46,6 +46,16 @@ let create () =
     [update = false] (§5.4's "should not update" case — re-queueing without
     the node's lock) the existing, more recent entry wins. *)
 let push t ~update ~ptr ~level ~high ~stack ~stamp =
+  (* Invariant check before the mutex: an out-of-range level previously
+     raised [Index_out_of_bounds] from the unchecked [buckets.(level)]
+     inside the critical section — the mutex stayed locked (poisoning
+     every later push/pop) and the entry sat half-registered in [by_ptr]
+     with no bucket to pop it from. 64 levels bound any tree this store
+     can address; hitting this is a caller bug, reported as such before
+     any state is touched. *)
+  if level < 0 || level >= max_levels then
+    invalid_arg
+      (Printf.sprintf "Cqueue.push: level %d outside [0, %d)" level max_levels);
   Mutex.lock t.mutex;
   (match Hashtbl.find_opt t.by_ptr ptr with
   | Some e when e.live ->

@@ -30,7 +30,9 @@ val push :
 (** If the node is already queued: [update = true] (caller holds the
     node's lock, so its info is at least as recent) refreshes the entry;
     [update = false] (§5.4's re-queue-without-lock case) keeps the
-    existing, more recent entry. *)
+    existing, more recent entry.
+    @raise Invalid_argument when [level] is outside [0, 64) — checked
+    before any queue state (or its mutex) is touched. *)
 
 val pop : 'k t -> 'k entry option
 (** Highest level first; FIFO within a level. *)

@@ -1,0 +1,302 @@
+(** Wire protocol: length-prefixed, versioned, checksummed frames.
+    See the interface for the layout. Encoding appends to a [Buffer.t]
+    (the per-connection write buffer); decoding reads straight out of
+    the per-connection byte buffer without copying the payload. *)
+
+exception Bad_frame of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_frame s)) fmt
+let header_size = 16
+let magic0 = 0x42 (* 'B' *)
+let magic1 = 0x4C (* 'L' *)
+let version = 1
+let default_max_payload = 1 lsl 20
+
+(* Request opcodes / response status tags share the header's byte 3. *)
+let op_insert = 1
+let op_delete = 2
+let op_search = 3
+let op_range = 4
+let op_commit = 5
+let op_stats = 6
+let st_inserted = 64
+let st_duplicate = 65
+let st_deleted = 66
+let st_absent = 67
+let st_found = 68
+let st_pairs = 69
+let st_committed = 70
+let st_stats = 71
+let st_error = 255
+
+type request =
+  | Insert of { key : int; value : int }
+  | Delete of { key : int }
+  | Search of { key : int }
+  | Range of { lo : int; hi : int }
+  | Commit
+  | Stats
+
+type server_stats = {
+  s_conns_opened : int;
+  s_conns_active : int;
+  s_frames_in : int;
+  s_frames_out : int;
+  s_bytes_in : int;
+  s_bytes_out : int;
+  s_max_pipeline : int;
+  s_protocol_errors : int;
+  s_acked_commits : int;
+  s_lat_p50_us : int;
+  s_lat_p99_us : int;
+  s_cardinal : int;
+  s_height : int;
+}
+
+type response =
+  | Inserted
+  | Duplicate
+  | Deleted
+  | Absent
+  | Found of int
+  | Pairs of (int * int) list
+  | Committed
+  | Stats_reply of server_stats
+  | Error of string
+
+let pp_request fmt = function
+  | Insert { key; value } -> Format.fprintf fmt "INSERT %d=%d" key value
+  | Delete { key } -> Format.fprintf fmt "DELETE %d" key
+  | Search { key } -> Format.fprintf fmt "SEARCH %d" key
+  | Range { lo; hi } -> Format.fprintf fmt "RANGE %d..%d" lo hi
+  | Commit -> Format.fprintf fmt "COMMIT"
+  | Stats -> Format.fprintf fmt "STATS"
+
+let pp_response fmt = function
+  | Inserted -> Format.fprintf fmt "inserted"
+  | Duplicate -> Format.fprintf fmt "duplicate"
+  | Deleted -> Format.fprintf fmt "deleted"
+  | Absent -> Format.fprintf fmt "absent"
+  | Found v -> Format.fprintf fmt "found %d" v
+  | Pairs ps ->
+      Format.fprintf fmt "%d pairs:" (List.length ps);
+      List.iter (fun (k, v) -> Format.fprintf fmt " %d=%d" k v) ps
+  | Committed -> Format.fprintf fmt "committed"
+  | Stats_reply s ->
+      Format.fprintf fmt
+        "stats conns=%d/%d frames=%d/%d bytes=%d/%d max_pipeline=%d \
+         proto_errors=%d acked_commits=%d lat_p50=%dus lat_p99=%dus \
+         cardinal=%d height=%d"
+        s.s_conns_active s.s_conns_opened s.s_frames_in s.s_frames_out
+        s.s_bytes_in s.s_bytes_out s.s_max_pipeline s.s_protocol_errors
+        s.s_acked_commits s.s_lat_p50_us s.s_lat_p99_us s.s_cardinal
+        s.s_height
+  | Error msg -> Format.fprintf fmt "error: %s" msg
+
+let response_to_string r = Format.asprintf "%a" pp_response r
+
+(* -- payload scratch encoding -- *)
+
+let put_i64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let get_i64 bytes off =
+  (* 64-bit two's complement; the top bit folds into OCaml's 63-bit int
+     sign through the shift accumulation. *)
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code (Bytes.get bytes (off + i))
+  done;
+  !v
+
+let put_u32 b v =
+  for i = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let get_u32 bytes off =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code (Bytes.get bytes (off + i))
+  done;
+  !v
+
+(* Append a complete frame: header + payload, checksumming the payload
+   bytes already rendered into [payload]. *)
+let add_frame out ~opcode ~seq payload =
+  let len = Buffer.length payload in
+  Buffer.add_char out (Char.chr magic0);
+  Buffer.add_char out (Char.chr magic1);
+  Buffer.add_char out (Char.chr version);
+  Buffer.add_char out (Char.chr opcode);
+  put_u32 out (seq land 0xffffffff);
+  put_u32 out len;
+  let bytes = Buffer.to_bytes payload in
+  put_u32 out (Repro_util.Checksum.fnv32 bytes ~pos:0 ~len);
+  Buffer.add_bytes out bytes
+
+let encode_request out ~seq (r : request) =
+  let p = Buffer.create 16 in
+  let opcode =
+    match r with
+    | Insert { key; value } ->
+        put_i64 p key;
+        put_i64 p value;
+        op_insert
+    | Delete { key } ->
+        put_i64 p key;
+        op_delete
+    | Search { key } ->
+        put_i64 p key;
+        op_search
+    | Range { lo; hi } ->
+        put_i64 p lo;
+        put_i64 p hi;
+        op_range
+    | Commit -> op_commit
+    | Stats -> op_stats
+  in
+  add_frame out ~opcode ~seq p
+
+let stats_fields s =
+  [
+    s.s_conns_opened; s.s_conns_active; s.s_frames_in; s.s_frames_out;
+    s.s_bytes_in; s.s_bytes_out; s.s_max_pipeline; s.s_protocol_errors;
+    s.s_acked_commits; s.s_lat_p50_us; s.s_lat_p99_us; s.s_cardinal;
+    s.s_height;
+  ]
+
+let stats_of_fields = function
+  | [
+      s_conns_opened; s_conns_active; s_frames_in; s_frames_out; s_bytes_in;
+      s_bytes_out; s_max_pipeline; s_protocol_errors; s_acked_commits;
+      s_lat_p50_us; s_lat_p99_us; s_cardinal; s_height;
+    ] ->
+      {
+        s_conns_opened; s_conns_active; s_frames_in; s_frames_out; s_bytes_in;
+        s_bytes_out; s_max_pipeline; s_protocol_errors; s_acked_commits;
+        s_lat_p50_us; s_lat_p99_us; s_cardinal; s_height;
+      }
+  | _ -> assert false
+
+let n_stats_fields = 13
+
+let encode_response out ~seq (r : response) =
+  let p = Buffer.create 16 in
+  let status =
+    match r with
+    | Inserted -> st_inserted
+    | Duplicate -> st_duplicate
+    | Deleted -> st_deleted
+    | Absent -> st_absent
+    | Found v ->
+        put_i64 p v;
+        st_found
+    | Pairs ps ->
+        put_u32 p (List.length ps);
+        List.iter
+          (fun (k, v) ->
+            put_i64 p k;
+            put_i64 p v)
+          ps;
+        st_pairs
+    | Committed -> st_committed
+    | Stats_reply s ->
+        List.iter (put_i64 p) (stats_fields s);
+        st_stats
+    | Error msg ->
+        Buffer.add_string p msg;
+        st_error
+  in
+  add_frame out ~opcode:status ~seq p
+
+(* -- decoding -- *)
+
+type 'a decoded =
+  | Need_more
+  | Frame of { seq : int; body : 'a; consumed : int }
+
+(* Validate the header and checksum; hand (opcode, seq, payload offset,
+   payload length, consumed) to [body] when the frame is complete. *)
+let decode_frame ?(max_payload = default_max_payload) bytes ~pos ~len body =
+  if len < header_size then Need_more
+  else begin
+    let u8 i = Char.code (Bytes.get bytes (pos + i)) in
+    if u8 0 <> magic0 || u8 1 <> magic1 then
+      bad "bad magic 0x%02x%02x" (u8 0) (u8 1);
+    if u8 2 <> version then bad "unsupported protocol version %d" (u8 2);
+    let opcode = u8 3 in
+    let seq = get_u32 bytes (pos + 4) in
+    let plen = get_u32 bytes (pos + 8) in
+    if plen > max_payload then
+      bad "payload of %d bytes exceeds the %d-byte bound" plen max_payload;
+    if len < header_size + plen then Need_more
+    else begin
+      let sum = get_u32 bytes (pos + 12) in
+      let actual =
+        Repro_util.Checksum.fnv32 bytes ~pos:(pos + header_size) ~len:plen
+      in
+      if sum <> actual then
+        bad "payload checksum mismatch (frame %#x, got %#x)" sum actual;
+      Frame
+        {
+          seq;
+          body = body opcode (pos + header_size) plen;
+          consumed = header_size + plen;
+        }
+    end
+  end
+
+let need len0 len1 what = if len0 <> len1 then bad "%s payload size %d" what len0
+
+let decode_request ?max_payload bytes ~pos ~len =
+  decode_frame ?max_payload bytes ~pos ~len (fun opcode off plen ->
+      let i64 i = get_i64 bytes (off + (8 * i)) in
+      match opcode with
+      | o when o = op_insert ->
+          need plen 16 "INSERT";
+          Insert { key = i64 0; value = i64 1 }
+      | o when o = op_delete ->
+          need plen 8 "DELETE";
+          Delete { key = i64 0 }
+      | o when o = op_search ->
+          need plen 8 "SEARCH";
+          Search { key = i64 0 }
+      | o when o = op_range ->
+          need plen 16 "RANGE";
+          Range { lo = i64 0; hi = i64 1 }
+      | o when o = op_commit ->
+          need plen 0 "COMMIT";
+          Commit
+      | o when o = op_stats ->
+          need plen 0 "STATS";
+          Stats
+      | o -> bad "unknown request opcode %d" o)
+
+let decode_response ?max_payload bytes ~pos ~len =
+  decode_frame ?max_payload bytes ~pos ~len (fun status off plen ->
+      let i64 i = get_i64 bytes (off + (8 * i)) in
+      match status with
+      | s when s = st_inserted -> Inserted
+      | s when s = st_duplicate -> Duplicate
+      | s when s = st_deleted -> Deleted
+      | s when s = st_absent -> Absent
+      | s when s = st_found ->
+          need plen 8 "FOUND";
+          Found (i64 0)
+      | s when s = st_pairs ->
+          if plen < 4 then bad "PAIRS payload size %d" plen;
+          let n = get_u32 bytes off in
+          need plen (4 + (16 * n)) "PAIRS";
+          Pairs
+            (List.init n (fun i ->
+                 ( get_i64 bytes (off + 4 + (16 * i)),
+                   get_i64 bytes (off + 4 + (16 * i) + 8) )))
+      | s when s = st_committed -> Committed
+      | s when s = st_stats ->
+          need plen (8 * n_stats_fields) "STATS";
+          Stats_reply (stats_of_fields (List.init n_stats_fields i64))
+      | s when s = st_error -> Error (Bytes.sub_string bytes off plen)
+      | s -> bad "unknown response status %d" s)

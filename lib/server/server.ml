@@ -1,0 +1,305 @@
+(** Accept loop + worker-domain pool over a tree handle. See the
+    interface for the concurrency and durability contract. *)
+
+open Repro_storage
+module P = Protocol
+
+type t = {
+  listeners : Unix.file_descr list;
+  addrs : Unix.sockaddr list;
+  stopping : bool Atomic.t;
+  (* accepted connections waiting for a worker *)
+  q : Unix.file_descr Queue.t;
+  q_mu : Mutex.t;
+  q_cv : Condition.t;
+  (* fds being served right now, so [stop] can unblock their reads *)
+  active : (Unix.file_descr, unit) Hashtbl.t;
+  active_mu : Mutex.t;
+  worker_stats : Stats.server array;
+  handle : Repro_baseline.Tree_intf.handle;
+  durable_acks : bool;
+  max_payload : int;
+  mutable domains : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let merged_stats t =
+  let acc = Stats.server_create () in
+  Array.iter (fun s -> Stats.server_merge ~into:acc s) t.worker_stats;
+  acc
+
+let stats = merged_stats
+let addresses t = t.addrs
+
+(* -- connection service -- *)
+
+let write_all fd bytes len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let is_mutation = function
+  | P.Insert _ | P.Delete _ -> true
+  | P.Search _ | P.Range _ | P.Commit | P.Stats -> false
+
+let execute t (sst : Stats.server) ctx (req : P.request) : P.response =
+  match req with
+  | Insert { key; value } -> (
+      match t.handle.insert ctx key value with
+      | `Ok -> Inserted
+      | `Duplicate -> Duplicate)
+  | Delete { key } -> if t.handle.delete ctx key then Deleted else Absent
+  | Search { key } -> (
+      match t.handle.search ctx key with Some v -> Found v | None -> Absent)
+  | Range { lo; hi } -> (
+      match t.handle.range with
+      | Some f -> Pairs (f ctx ~lo ~hi)
+      | None -> Error "range unsupported by this backend")
+  | Commit ->
+      t.handle.commit ();
+      sst.acked_commits <- sst.acked_commits + 1;
+      Committed
+  | Stats ->
+      let m = merged_stats t in
+      let us p =
+        int_of_float (Repro_util.Histogram.percentile m.latency p *. 1e6)
+      in
+      Stats_reply
+        {
+          s_conns_opened = m.conns_opened;
+          s_conns_active = m.conns_active;
+          s_frames_in = m.frames_in;
+          s_frames_out = m.frames_out;
+          s_bytes_in = m.bytes_in;
+          s_bytes_out = m.bytes_out;
+          s_max_pipeline = m.max_pipeline;
+          s_protocol_errors = m.protocol_errors;
+          s_acked_commits = m.acked_commits;
+          s_lat_p50_us = us 50.0;
+          s_lat_p99_us = us 99.0;
+          s_cardinal = t.handle.cardinal ();
+          s_height = t.handle.height ();
+        }
+
+(* Serve one connection to completion on worker [slot]. The read loop
+   drains every complete frame the kernel delivered (the pipeline
+   batch), executes in order, commits once if the batch mutated and
+   acks are durable, then flushes all the responses together. *)
+let serve_conn t ~slot fd =
+  let sst = t.worker_stats.(slot) in
+  sst.conns_opened <- sst.conns_opened + 1;
+  sst.conns_active <- sst.conns_active + 1;
+  let ctx = Repro_core.Handle.ctx ~slot in
+  let cap = ref 4096 in
+  let buf = ref (Bytes.create !cap) in
+  let lo = ref 0 and hi = ref 0 in
+  let out = Buffer.create 4096 in
+  let closing = ref false in
+  let flush_out () =
+    let n = Buffer.length out in
+    if n > 0 then begin
+      write_all fd (Buffer.to_bytes out) n;
+      Buffer.clear out;
+      sst.bytes_out <- sst.bytes_out + n
+    end
+  in
+  let respond ~seq resp =
+    P.encode_response out ~seq resp;
+    sst.frames_out <- sst.frames_out + 1;
+    (match (resp : P.response) with Error _ -> closing := true | _ -> ())
+  in
+  (try
+     while not !closing do
+       (* make room, then read *)
+       if !lo > 0 && (!lo = !hi || !cap - !hi < 512) then begin
+         Bytes.blit !buf !lo !buf 0 (!hi - !lo);
+         hi := !hi - !lo;
+         lo := 0
+       end;
+       if !cap - !hi < 512 then begin
+         cap := !cap * 2;
+         let b = Bytes.create !cap in
+         Bytes.blit !buf 0 b 0 !hi;
+         buf := b
+       end;
+       let n = Unix.read fd !buf !hi (!cap - !hi) in
+       if n = 0 then closing := true
+       else begin
+         hi := !hi + n;
+         sst.bytes_in <- sst.bytes_in + n;
+         (* drain the batch; a bad frame poisons the stream but the
+            frames parsed before it still execute and answer *)
+         let batch = ref [] in
+         let poisoned = ref None in
+         (try
+            let continue = ref true in
+            while !continue do
+              match
+                P.decode_request ~max_payload:t.max_payload !buf ~pos:!lo
+                  ~len:(!hi - !lo)
+              with
+              | Need_more -> continue := false
+              | Frame { seq; body; consumed } ->
+                  lo := !lo + consumed;
+                  sst.frames_in <- sst.frames_in + 1;
+                  batch := (seq, body) :: !batch
+            done
+          with P.Bad_frame msg ->
+            sst.protocol_errors <- sst.protocol_errors + 1;
+            poisoned := Some msg);
+         let batch = List.rev !batch in
+         let depth = List.length batch in
+         if depth > sst.max_pipeline then sst.max_pipeline <- depth;
+         let mutated = ref false in
+         List.iter
+           (fun (seq, req) ->
+             if not !closing then begin
+               if is_mutation req then mutated := true;
+               let t0 = Unix.gettimeofday () in
+               let resp =
+                 try execute t sst ctx req
+                 with e -> P.Error (Printexc.to_string e)
+               in
+               Repro_util.Histogram.add sst.latency
+                 (Unix.gettimeofday () -. t0);
+               respond ~seq resp
+             end)
+           batch;
+         (* durable acks: the batch's mutations reach the log (and, via
+            the WAL's group commit, disk) before any ack flushes *)
+         if t.durable_acks && !mutated then begin
+           t.handle.commit ();
+           sst.acked_commits <- sst.acked_commits + 1
+         end;
+         (match !poisoned with
+         | Some msg -> respond ~seq:0 (P.Error ("bad frame: " ^ msg))
+         | None -> ());
+         flush_out ()
+       end
+     done
+   with
+  | P.Bad_frame msg ->
+      sst.protocol_errors <- sst.protocol_errors + 1;
+      (try
+         respond ~seq:0 (P.Error ("bad frame: " ^ msg));
+         flush_out ()
+       with Unix.Unix_error _ -> ())
+  | Unix.Unix_error _ | End_of_file -> ());
+  sst.conns_active <- sst.conns_active - 1
+
+(* -- domains -- *)
+
+let worker_loop t slot =
+  let rec next () =
+    Mutex.lock t.q_mu;
+    let rec wait () =
+      if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+      else if Atomic.get t.stopping then None
+      else begin
+        Condition.wait t.q_cv t.q_mu;
+        wait ()
+      end
+    in
+    let r = wait () in
+    Mutex.unlock t.q_mu;
+    match r with
+    | None -> ()
+    | Some fd ->
+        Mutex.lock t.active_mu;
+        Hashtbl.replace t.active fd ();
+        Mutex.unlock t.active_mu;
+        (try serve_conn t ~slot fd with _ -> ());
+        Mutex.lock t.active_mu;
+        Hashtbl.remove t.active fd;
+        Mutex.unlock t.active_mu;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        next ()
+  in
+  next ()
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select t.listeners [] [] 0.05 with
+    | ready, _, _ ->
+        List.iter
+          (fun lfd ->
+            match Unix.accept ~cloexec:true lfd with
+            | fd, _ ->
+                Mutex.lock t.q_mu;
+                Queue.push fd t.q;
+                Condition.signal t.q_cv;
+                Mutex.unlock t.q_mu
+            | exception Unix.Unix_error _ -> ())
+          ready
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let start ?(workers = 4) ?(durable_acks = false)
+    ?(max_payload = P.default_max_payload) ~handle ~listen () =
+  (* a peer that drops mid-reply must cost an EPIPE, not the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listeners, addrs =
+    List.split
+      (List.map
+         (fun addr ->
+           let dom = Unix.domain_of_sockaddr addr in
+           let fd = Unix.socket ~cloexec:true dom SOCK_STREAM 0 in
+           (try
+              if dom <> PF_UNIX then Unix.setsockopt fd SO_REUSEADDR true;
+              Unix.bind fd addr;
+              Unix.listen fd 64
+            with e ->
+              Unix.close fd;
+              raise e);
+           (fd, Unix.getsockname fd))
+         listen)
+  in
+  let t =
+    {
+      listeners;
+      addrs;
+      stopping = Atomic.make false;
+      q = Queue.create ();
+      q_mu = Mutex.create ();
+      q_cv = Condition.create ();
+      active = Hashtbl.create 16;
+      active_mu = Mutex.create ();
+      worker_stats = Array.init workers (fun _ -> Stats.server_create ());
+      handle;
+      durable_acks;
+      max_payload;
+      domains = [];
+      stopped = false;
+    }
+  in
+  t.domains <-
+    Domain.spawn (fun () -> accept_loop t)
+    :: List.init workers (fun slot ->
+           Domain.spawn (fun () -> worker_loop t slot));
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (* unblock workers parked in read(2) *)
+    Mutex.lock t.active_mu;
+    Hashtbl.iter
+      (fun fd () ->
+        try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.active;
+    Mutex.unlock t.active_mu;
+    Mutex.lock t.q_mu;
+    Condition.broadcast t.q_cv;
+    Mutex.unlock t.q_mu;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    (* connections accepted but never served *)
+    Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.q;
+    Queue.clear t.q;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listeners
+  end

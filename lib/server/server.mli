@@ -1,0 +1,50 @@
+(** Pipelined network server over any {!Repro_baseline.Tree_intf.handle}.
+
+    One accept domain multiplexes every listener (Unix-domain and TCP);
+    accepted connections queue to a pool of worker domains, each serving
+    one connection at a time with its own epoch slot and statistics
+    record — the request path shares nothing but the tree.
+
+    A worker drains every complete frame its read buffer holds (that
+    batch size is the connection's pipeline depth), executes the batch,
+    and — when the server runs with durable acks — issues one
+    [handle.commit] covering the batch's mutations {e before} flushing
+    the responses, folding the whole batch (and, through the WAL's group
+    commit, concurrent batches on other connections) into one durable
+    write. Under [~durable_acks:true] an acked mutation is therefore a
+    committed mutation: it survives a crash immediately after the
+    response frame is read.
+
+    Error isolation is per connection: a frame that fails to parse gets
+    a final [Error] response and closes only that connection, counting
+    one protocol error. *)
+
+type t
+
+val start :
+  ?workers:int ->
+  ?durable_acks:bool ->
+  ?max_payload:int ->
+  handle:Repro_baseline.Tree_intf.handle ->
+  listen:Unix.sockaddr list ->
+  unit ->
+  t
+(** Bind and listen on every address, then return with the accept and
+    worker domains running. [workers] defaults to 4 — it bounds the
+    connections served concurrently (excess connections wait in the
+    accept queue). [durable_acks] (default false) makes every mutation
+    batch commit before its acks flush. TCP addresses may bind port 0;
+    read the chosen port back with {!addresses}.
+    @raise Unix.Unix_error when an address cannot be bound. *)
+
+val addresses : t -> Unix.sockaddr list
+(** Actual bound addresses, in [listen] order. *)
+
+val stats : t -> Repro_storage.Stats.server
+(** Merged snapshot of every worker's counters (fresh record; safe to
+    read while the server runs). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, shut down in-flight connections
+    (their workers finish the current batch, flush, then close), join
+    every domain. Idempotent. *)

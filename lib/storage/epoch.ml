@@ -37,11 +37,38 @@ let create ?(slots = 64) () =
 
 let nslots t = Array.length t.pins / stride
 
+(* Test-only hook fired between reading [global] and publishing the pin —
+   lets a regression test drive the retire/reclaim interleaving the
+   publish-then-validate loop below exists to survive. Production cost:
+   one immutable-ref read per loop iteration. *)
+let pin_hook : (unit -> unit) option ref = ref None
+
 (** Pin the calling worker to the current epoch. Must be balanced with
-    {!unpin}; not reentrant per slot. *)
+    {!unpin}; not reentrant per slot.
+
+    Publish-then-validate: store the candidate epoch, then re-read
+    [global] and retry if it advanced. A plain read-then-store is racy —
+    between the read of [global] and the store into the pin slot, a
+    [retire] (which bumps [global]) plus a [reclaim] can run; the
+    reclaim's {!min_pinned} scan does not see the not-yet-published pin,
+    computes a horizon above the read epoch, and frees a page the
+    pinning worker is about to traverse (use-after-free / [Freed_page]).
+    With the loop: when the re-read returns the value we published, the
+    publish is SC-before any later [retire]'s counter bump — so any
+    reclaim whose horizon could newly exceed our epoch scans the pin
+    array after our store and must see it. When the re-read shows an
+    advance, pages retired at the stale epoch may already be freed, so
+    we re-publish at the newer epoch and validate again; the loop only
+    iterates while retires are landing concurrently. *)
 let pin t ~slot =
   let a = t.pins.((slot mod nslots t) * stride) in
-  Atomic.set a (Atomic.get t.global)
+  let rec publish e =
+    (match !pin_hook with Some f -> f () | None -> ());
+    Atomic.set a e;
+    let e' = Atomic.get t.global in
+    if e' <> e then publish e'
+  in
+  publish (Atomic.get t.global)
 
 let unpin t ~slot = Atomic.set t.pins.((slot mod nslots t) * stride) max_int
 

@@ -9,7 +9,14 @@ val create : ?slots:int -> unit -> t
 
 val pin : t -> slot:int -> unit
 (** Pin the worker's slot to the current epoch for the duration of one
-    logical operation. Balanced with {!unpin}; not reentrant per slot. *)
+    logical operation. Balanced with {!unpin}; not reentrant per slot.
+    The pin is published with a store / re-read-validate loop, so once
+    [pin] returns, no {!reclaim} can free a page retired at or after the
+    pinned epoch (see the ordering argument at the definition). *)
+
+val pin_hook : (unit -> unit) option ref
+(** Test-only: fired between reading the global clock and publishing the
+    pin, on every validation iteration. Leave [None] in production. *)
 
 val unpin : t -> slot:int -> unit
 val with_pin : t -> slot:int -> (unit -> 'a) -> 'a

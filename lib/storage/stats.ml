@@ -167,6 +167,71 @@ let pp_io fmt (io : io) =
 
 let io_to_string io = Format.asprintf "%a" pp_io io
 
+(** Network-server statistics: one record per server worker domain (no
+    sharing on the request path), merged by {!Repro_server.Server.stats}
+    into one snapshot. Counters follow the same discipline as {!t} and
+    {!io}: counts sum, high-water marks max; the per-operation service
+    latency rides in the existing {!Repro_util.Histogram}. *)
+type server = {
+  mutable conns_opened : int;  (** connections accepted over the server's life *)
+  mutable conns_active : int;  (** currently open connections *)
+  mutable frames_in : int;  (** request frames decoded and executed *)
+  mutable frames_out : int;  (** response frames written *)
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable max_pipeline : int;
+      (** pipeline-depth high-water mark: most request frames one read
+          batch delivered before the connection's responses flushed *)
+  mutable protocol_errors : int;
+      (** malformed / truncated / oversized / checksum-failed frames —
+          each one costs its connection, never the server *)
+  mutable acked_commits : int;
+      (** durable group commits issued to cover mutation acks
+          ([durable_acks] mode) *)
+  latency : Repro_util.Histogram.t;
+      (** per-request service time (decode to response-buffer append),
+          seconds *)
+}
+
+let server_create () =
+  {
+    conns_opened = 0;
+    conns_active = 0;
+    frames_in = 0;
+    frames_out = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    max_pipeline = 0;
+    protocol_errors = 0;
+    acked_commits = 0;
+    latency = Repro_util.Histogram.create ();
+  }
+
+(** Merge [src] into [dst]: counters sum, high-water marks max,
+    latency histograms merge. *)
+let server_merge ~into:dst (src : server) =
+  dst.conns_opened <- dst.conns_opened + src.conns_opened;
+  dst.conns_active <- dst.conns_active + src.conns_active;
+  dst.frames_in <- dst.frames_in + src.frames_in;
+  dst.frames_out <- dst.frames_out + src.frames_out;
+  dst.bytes_in <- dst.bytes_in + src.bytes_in;
+  dst.bytes_out <- dst.bytes_out + src.bytes_out;
+  dst.max_pipeline <- max dst.max_pipeline src.max_pipeline;
+  dst.protocol_errors <- dst.protocol_errors + src.protocol_errors;
+  dst.acked_commits <- dst.acked_commits + src.acked_commits;
+  Repro_util.Histogram.merge ~into:dst.latency src.latency
+
+let pp_server fmt (s : server) =
+  Format.fprintf fmt
+    "conns=%d/%d frames=%d/%d bytes=%d/%d max_pipeline=%d proto_errors=%d \
+     acked_commits=%d lat_p50=%.1fus lat_p99=%.1fus"
+    s.conns_active s.conns_opened s.frames_in s.frames_out s.bytes_in
+    s.bytes_out s.max_pipeline s.protocol_errors s.acked_commits
+    (1e6 *. Repro_util.Histogram.percentile s.latency 50.0)
+    (1e6 *. Repro_util.Histogram.percentile s.latency 99.0)
+
+let server_to_string s = Format.asprintf "%a" pp_server s
+
 let pp fmt t =
   Format.fprintf fmt
     "ops=%d gets=%d puts=%d locks=%d max_held=%d links=%d restarts=%d fwd=%d retries=%d \

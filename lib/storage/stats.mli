@@ -74,3 +74,33 @@ val io_merge : into:io -> io -> unit
 
 val pp_io : Format.formatter -> io -> unit
 val io_to_string : io -> string
+
+(** {2 Network-server statistics}
+
+    One record per server worker domain (no sharing on the request
+    path); the server merges them on demand. *)
+
+type server = {
+  mutable conns_opened : int;  (** connections accepted over the server's life *)
+  mutable conns_active : int;  (** currently open connections *)
+  mutable frames_in : int;  (** request frames decoded and executed *)
+  mutable frames_out : int;  (** response frames written *)
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable max_pipeline : int;
+      (** pipeline-depth high-water mark: most request frames one read
+          batch delivered before the connection's responses flushed *)
+  mutable protocol_errors : int;
+      (** malformed / truncated / oversized / checksum-failed frames *)
+  mutable acked_commits : int;
+      (** durable group commits issued to cover mutation acks *)
+  latency : Repro_util.Histogram.t;  (** per-request service time, seconds *)
+}
+
+val server_create : unit -> server
+
+val server_merge : into:server -> server -> unit
+(** Sum counters; max the high-water marks; merge the histograms. *)
+
+val pp_server : Format.formatter -> server -> unit
+val server_to_string : server -> string

@@ -45,7 +45,8 @@ let bucket_of t v =
 let value_of_bucket t b = t.floor_v *. exp (float_of_int b *. t.gamma_log)
 
 let add t v =
-  t.buckets.(bucket_of t v) <- t.buckets.(bucket_of t v) + 1;
+  let b = bucket_of t v in
+  t.buckets.(b) <- t.buckets.(b) + 1;
   t.count <- t.count + 1;
   t.sum <- t.sum +. v;
   if v < t.min_v then t.min_v <- v;
@@ -64,17 +65,25 @@ let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 let min_value t = if t.count = 0 then 0.0 else t.min_v
 let max_value t = if t.count = 0 then 0.0 else t.max_v
 
-(** [percentile t p] for [p] in [\[0, 100\]]; approximate to bucket width. *)
+(** [percentile t p] for [p] in [\[0, 100\]]; approximate to bucket width.
+
+    Returns the target bucket's {e upper} bound (the HdrHistogram
+    "highest equivalent value" convention), clamped to the observed
+    maximum: every sample in the bucket is ≤ the reported value, so
+    "p99 = x" means 99% of samples were at most x. The lower bound
+    systematically undershot by up to one bucket width — a sample
+    recorded as 1.0 sits in a bucket whose lower edge is ~0.99. *)
 let percentile t p =
   if t.count = 0 then 0.0
   else begin
     let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
     let target = if target < 1 then 1 else target in
+    let upper b = Float.min (value_of_bucket t (b + 1)) t.max_v in
     let rec go b acc =
-      if b >= bucket_count then value_of_bucket t (bucket_count - 1)
+      if b >= bucket_count then upper (bucket_count - 1)
       else
         let acc = acc + t.buckets.(b) in
-        if acc >= target then value_of_bucket t b else go (b + 1) acc
+        if acc >= target then upper b else go (b + 1) acc
     in
     go 0 0
   end

@@ -17,4 +17,8 @@ val min_value : t -> float
 val max_value : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] for [p] in [\[0, 100\]], accurate to the bucket width. *)
+(** [percentile t p] for [p] in [\[0, 100\]], accurate to the bucket
+    width. Reports the target bucket's {e upper} bound (HdrHistogram
+    convention) clamped to the observed maximum, so at least [p]% of
+    the samples are ≤ the returned value — never an undershooting
+    lower bound. *)

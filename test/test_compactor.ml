@@ -52,6 +52,29 @@ let test_queue_remove () =
   (* removing an absent ptr is a no-op *)
   Cqueue.remove q 12345
 
+let test_queue_level_guard () =
+  (* Regression: an out-of-range level used to raise from the unchecked
+     [buckets.(level)] inside the critical section, leaving the queue
+     mutex locked forever and the entry half-registered. The guard must
+     reject before touching any state, and the queue must stay usable. *)
+  let q : int Cqueue.t = Cqueue.create () in
+  let expect_invalid level =
+    match
+      Cqueue.push q ~update:true ~ptr:99 ~level ~high:Bound.Pos_inf ~stack:[]
+        ~stamp:0
+    with
+    | () -> Alcotest.failf "level %d must be rejected" level
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid 64;
+  expect_invalid 1000;
+  expect_invalid (-1);
+  Alcotest.(check int) "nothing half-registered" 0 (Cqueue.length q);
+  (* the mutex survived the rejections: normal pushes and pops work *)
+  Cqueue.push q ~update:true ~ptr:1 ~level:63 ~high:Bound.Pos_inf ~stack:[] ~stamp:0;
+  Alcotest.(check int) "top level still accepted" 1 (Cqueue.length q);
+  Alcotest.(check int) "pops back" 1 (Option.get (Cqueue.pop q)).Cqueue.ptr
+
 (* -- compactor, sequential -- *)
 
 let build_enqueue ~order ~n =
@@ -283,6 +306,7 @@ let suite =
     Alcotest.test_case "queue priority and fifo" `Quick test_queue_fifo_and_priority;
     Alcotest.test_case "queue dedupe and update flag" `Quick test_queue_dedupe_update;
     Alcotest.test_case "queue remove" `Quick test_queue_remove;
+    Alcotest.test_case "queue level guard" `Quick test_queue_level_guard;
     Alcotest.test_case "deletions enqueue sparse leaves" `Quick test_deletions_enqueue;
     Alcotest.test_case "drain restores structure" `Quick test_drain_restores_structure;
     Alcotest.test_case "compactor holds at most 3 locks" `Quick

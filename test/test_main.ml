@@ -23,4 +23,5 @@ let () =
       ("access", Test_access.suite);
       ("trace", Test_trace.suite);
       ("report", Test_report.suite);
+      ("server", Test_server.suite);
     ]

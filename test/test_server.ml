@@ -1,0 +1,404 @@
+(* The network layer: protocol frame roundtrips and rejection of
+   malformed / truncated / oversized / corrupted frames; the live
+   server's pipelined sessions, per-connection error isolation,
+   connection-drop robustness; ≥4-client concurrent linearizability
+   through real sockets; and the WAL ack-durability contract — an
+   acked write survives a crash taken right after the ack. *)
+
+open Repro_storage
+open Repro_baseline
+open Repro_harness
+module P = Repro_server.Protocol
+module Server = Repro_server.Server
+module C = Repro_client.Client
+module PS = Tree_intf.Paged_int
+module Sg = Tree_intf.Sagiv_disk
+
+let response = Alcotest.testable P.pp_response ( = )
+
+(* ---------- protocol ---------- *)
+
+let roundtrip_req r =
+  let b = Buffer.create 64 in
+  P.encode_request b ~seq:7 r;
+  let bytes = Buffer.to_bytes b in
+  match P.decode_request bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Frame { seq; body; consumed } ->
+      Alcotest.(check int) "seq" 7 seq;
+      Alcotest.(check int) "consumed" (Bytes.length bytes) consumed;
+      Alcotest.(check bool) "body" true (body = r)
+  | Need_more -> Alcotest.fail "complete request decoded as Need_more"
+
+let roundtrip_resp r =
+  let b = Buffer.create 64 in
+  P.encode_response b ~seq:3 r;
+  let bytes = Buffer.to_bytes b in
+  match P.decode_response bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Frame { seq; body; consumed } ->
+      Alcotest.(check int) "seq" 3 seq;
+      Alcotest.(check int) "consumed" (Bytes.length bytes) consumed;
+      Alcotest.check response "body" r body
+  | Need_more -> Alcotest.fail "complete response decoded as Need_more"
+
+let test_roundtrip () =
+  List.iter roundtrip_req
+    [
+      P.Insert { key = 1; value = 2 };
+      P.Insert { key = -5; value = max_int };
+      P.Insert { key = min_int; value = -1 };
+      P.Delete { key = 42 };
+      P.Search { key = -42 };
+      P.Range { lo = -10; hi = 10 };
+      P.Commit;
+      P.Stats;
+    ];
+  List.iter roundtrip_resp
+    [
+      P.Inserted;
+      P.Duplicate;
+      P.Deleted;
+      P.Absent;
+      P.Found (-123456789);
+      P.Pairs [];
+      P.Pairs [ (1, 10); (-2, 20); (3, -30) ];
+      P.Committed;
+      P.Stats_reply
+        {
+          s_conns_opened = 1; s_conns_active = 2; s_frames_in = 3;
+          s_frames_out = 4; s_bytes_in = 5; s_bytes_out = 6;
+          s_max_pipeline = 7; s_protocol_errors = 8; s_acked_commits = 9;
+          s_lat_p50_us = 10; s_lat_p99_us = 11; s_cardinal = 12;
+          s_height = 13;
+        };
+      P.Error "boom";
+    ]
+
+(* Every strict prefix of a frame must decode as Need_more, never raise:
+   a reader that has half a frame just waits for the rest. *)
+let test_truncated () =
+  let b = Buffer.create 64 in
+  P.encode_request b ~seq:1 (P.Insert { key = 99; value = 100 });
+  let bytes = Buffer.to_bytes b in
+  for len = 0 to Bytes.length bytes - 1 do
+    match P.decode_request bytes ~pos:0 ~len with
+    | Need_more -> ()
+    | Frame _ -> Alcotest.failf "prefix of %d bytes decoded a frame" len
+  done
+
+(* Two frames back to back decode in order, [consumed] advancing. *)
+let test_stream () =
+  let b = Buffer.create 64 in
+  P.encode_request b ~seq:1 (P.Search { key = 5 });
+  P.encode_request b ~seq:2 P.Commit;
+  let bytes = Buffer.to_bytes b in
+  let len = Bytes.length bytes in
+  match P.decode_request bytes ~pos:0 ~len with
+  | Need_more -> Alcotest.fail "first frame"
+  | Frame { seq; consumed; _ } -> (
+      Alcotest.(check int) "first seq" 1 seq;
+      match P.decode_request bytes ~pos:consumed ~len:(len - consumed) with
+      | Need_more -> Alcotest.fail "second frame"
+      | Frame { seq; consumed = c2; _ } ->
+          Alcotest.(check int) "second seq" 2 seq;
+          Alcotest.(check int) "stream fully consumed" len (consumed + c2))
+
+let expect_bad what f =
+  match f () with
+  | exception P.Bad_frame _ -> ()
+  | P.Need_more -> Alcotest.failf "%s: Need_more instead of Bad_frame" what
+  | P.Frame _ -> Alcotest.failf "%s: decoded instead of Bad_frame" what
+
+let test_malformed () =
+  let fresh () =
+    let b = Buffer.create 64 in
+    P.encode_request b ~seq:1 (P.Insert { key = 1; value = 2 });
+    Buffer.to_bytes b
+  in
+  let decode bytes ?max_payload () =
+    P.decode_request ?max_payload bytes ~pos:0 ~len:(Bytes.length bytes)
+  in
+  let patch off v =
+    let bytes = fresh () in
+    Bytes.set bytes off (Char.chr v);
+    bytes
+  in
+  expect_bad "magic" (decode (patch 0 0x58));
+  expect_bad "version" (decode (patch 2 9));
+  expect_bad "opcode" (decode (patch 3 200));
+  (* oversized: the length field alone must reject the frame, before any
+     attempt to buffer the payload *)
+  let oversized = fresh () in
+  Bytes.set oversized 8 '\x7f';
+  expect_bad "oversized" (decode oversized);
+  expect_bad "small cap" (decode (fresh ()) ~max_payload:8);
+  (* flip one payload bit: checksum must catch it *)
+  let corrupt = fresh () in
+  Bytes.set corrupt 20 (Char.chr (Char.code (Bytes.get corrupt 20) lxor 1));
+  expect_bad "checksum" (decode corrupt)
+
+(* ---------- live server helpers ---------- *)
+
+let loopback = Unix.ADDR_INET (Unix.inet_addr_loopback, 0)
+
+let with_server ?workers ?durable_acks ?(handle = (Tree_intf.sagiv ()).make ~order:4)
+    ?(listen = [ loopback ]) f =
+  let srv = Server.start ?workers ?durable_acks ~handle ~listen () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f srv (List.hd (Server.addresses srv)))
+
+let with_client addr f =
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
+
+let test_session () =
+  with_server @@ fun srv addr ->
+  with_client addr @@ fun c ->
+  Alcotest.(check bool) "insert" true (C.insert c ~key:1 ~value:10 = `Ok);
+  Alcotest.(check bool) "dup" true (C.insert c ~key:1 ~value:11 = `Duplicate);
+  Alcotest.(check (option int)) "search" (Some 10) (C.search c ~key:1);
+  Alcotest.(check (option int)) "miss" None (C.search c ~key:2);
+  Alcotest.(check bool) "delete" true (C.delete c ~key:1);
+  Alcotest.(check bool) "delete miss" false (C.delete c ~key:1);
+  for k = 1 to 50 do
+    ignore (C.insert c ~key:k ~value:(k * 2))
+  done;
+  Alcotest.(check (list (pair int int)))
+    "range" [ (10, 20); (11, 22); (12, 24) ] (C.range c ~lo:10 ~hi:12);
+  C.commit c;
+  let s = C.stats c in
+  Alcotest.(check int) "cardinal" 50 s.P.s_cardinal;
+  Alcotest.(check bool) "frames counted" true (s.P.s_frames_in > 50);
+  let m = Server.stats srv in
+  Alcotest.(check int) "one connection" 1 m.Stats.conns_opened
+
+(* A deep pipelined batch answers in order, one response per request,
+   and counts as one high-water mark. *)
+let test_pipeline () =
+  with_server @@ fun srv addr ->
+  with_client addr @@ fun c ->
+  let n = 500 in
+  let reqs =
+    List.init n (fun i ->
+        if i mod 2 = 0 then P.Insert { key = i; value = i }
+        else P.Search { key = i - 1 })
+  in
+  let resps = C.pipeline c reqs in
+  Alcotest.(check int) "one response per request" n (List.length resps);
+  List.iteri
+    (fun i r ->
+      let expect = if i mod 2 = 0 then P.Inserted else P.Found (i - 1) in
+      Alcotest.check response (Printf.sprintf "op %d" i) expect r)
+    resps;
+  let m = Server.stats srv in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipeline high-water %d > 1" m.Stats.max_pipeline)
+    true
+    (m.Stats.max_pipeline > 1)
+
+(* A bad frame earns a final Error and costs only that connection: the
+   poisoned client sees the error then EOF, and a fresh connection is
+   served as if nothing happened. *)
+let test_error_isolation () =
+  with_server @@ fun srv addr ->
+  (with_client addr @@ fun c ->
+   Alcotest.(check bool) "seed" true (C.insert c ~key:7 ~value:70 = `Ok));
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) SOCK_STREAM 0
+  in
+  Unix.connect fd addr;
+  let garbage = Bytes.of_string "XXXXXXXXXXXXXXXXXXXXXXXX" in
+  ignore (Unix.write fd garbage 0 (Bytes.length garbage));
+  (* the terminal Error frame, then EOF *)
+  let buf = Bytes.create 4096 in
+  let n = Unix.read fd buf 0 4096 in
+  (match P.decode_response buf ~pos:0 ~len:n with
+  | Frame { body = P.Error _; _ } -> ()
+  | _ -> Alcotest.fail "expected a terminal Error frame");
+  Alcotest.(check int) "EOF after the error" 0 (Unix.read fd buf 0 4096);
+  Unix.close fd;
+  (with_client addr @@ fun c ->
+   Alcotest.(check (option int))
+     "later connections unaffected" (Some 70) (C.search c ~key:7));
+  let m = Server.stats srv in
+  Alcotest.(check int) "protocol error counted" 1 m.Stats.protocol_errors;
+  (* the workers notice the closed fds asynchronously *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec settle () =
+    if (Server.stats srv).Stats.conns_active = 0 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "connection leak: conns_active never returned to 0"
+    else begin
+      Unix.sleepf 0.01;
+      settle ()
+    end
+  in
+  settle ()
+
+(* A client that pipelines a batch and drops the connection without
+   reading a single response: the batch still executes (acks are lost,
+   the work is not) and the server survives the EPIPE. *)
+let test_drop_mid_batch () =
+  with_server @@ fun _srv addr ->
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) SOCK_STREAM 0
+  in
+  Unix.connect fd addr;
+  let b = Buffer.create 1024 in
+  for i = 0 to 49 do
+    P.encode_request b ~seq:i (P.Insert { key = 1000 + i; value = i })
+  done;
+  let bytes = Buffer.to_bytes b in
+  ignore (Unix.write fd bytes 0 (Bytes.length bytes));
+  Unix.close fd;
+  (* the batch raced the drop; poll until the keys land *)
+  with_client addr @@ fun c ->
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait () =
+    if C.search c ~key:1049 = Some 49 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "dropped batch never executed"
+    else begin
+      Unix.sleepf 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  Alcotest.(check (option int)) "first key" (Some 0) (C.search c ~key:1000)
+
+(* ---------- concurrency ---------- *)
+
+(* ≥4 clients hammering one small key space through real sockets; every
+   response feeds the per-key linearizability oracle. *)
+let test_linearizable () =
+  with_server ~workers:4 @@ fun _srv addr ->
+  let rec_ = Linearize.recorder () in
+  let key_space = 16 and per_client = 400 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let l = Linearize.local rec_ in
+            let rng = Random.State.make [| 7000 + d |] in
+            with_client addr @@ fun c ->
+            for _ = 1 to per_client do
+              let key = Random.State.int rng key_space in
+              ignore
+                (match Random.State.int rng 3 with
+                | 0 ->
+                    Linearize.record l ~key ~kind:Insert (fun () ->
+                        C.insert c ~key ~value:key = `Ok)
+                | 1 ->
+                    Linearize.record l ~key ~kind:Delete (fun () ->
+                        C.delete c ~key)
+                | _ ->
+                    Linearize.record l ~key ~kind:Search (fun () ->
+                        C.search c ~key <> None))
+            done;
+            Linearize.merge_local l))
+  in
+  List.iter Domain.join domains;
+  let v = Linearize.check (Linearize.events rec_) in
+  if not (Linearize.ok v) then
+    Alcotest.failf "linearizability violations on keys %s"
+      (String.concat ", "
+         (List.map (fun (k, _) -> string_of_int k) v.Linearize.violations));
+  Alcotest.(check int) "all keys checked" key_space v.Linearize.keys_checked
+
+(* 4 clients pipelining disjoint key ranges concurrently; every ack must
+   be reflected in the final tree. *)
+let test_concurrent_pipelines () =
+  with_server ~workers:4 @@ fun _srv addr ->
+  let per_client = 300 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            with_client addr @@ fun c ->
+            let base = d * per_client in
+            let resps =
+              C.pipeline c
+                (List.init per_client (fun i ->
+                     P.Insert { key = base + i; value = base + i }))
+            in
+            List.for_all (( = ) P.Inserted) resps))
+  in
+  let all_acked = List.for_all Domain.join domains in
+  Alcotest.(check bool) "every pipelined insert acked" true all_acked;
+  with_client addr @@ fun c ->
+  let s = C.stats c in
+  Alcotest.(check int) "cardinal" (4 * per_client) s.P.s_cardinal;
+  Alcotest.(check int) "five connections served" 5 s.P.s_conns_opened
+
+(* ---------- Unix-domain socket ---------- *)
+
+let test_unix_socket () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "blink-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      with_server ~listen:[ Unix.ADDR_UNIX path ] @@ fun _srv addr ->
+      with_client addr @@ fun c ->
+      Alcotest.(check bool) "insert" true (C.insert c ~key:5 ~value:50 = `Ok);
+      Alcotest.(check (option int)) "search" (Some 50) (C.search c ~key:5))
+
+(* ---------- WAL ack durability ---------- *)
+
+(* The contract the server sells under durable acks: snapshot the crash
+   image of both devices the moment the client has its acks — no
+   shutdown, no extra sync — and recovery must hold every acked key. *)
+let test_wal_acked_crash () =
+  let data_page_size = 512 in
+  let wal_page_size = Wal.log_page_size ~data_page_size in
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:64 ~wal:lfile pfile in
+  let t = Sg.create ~order:4 ~store () in
+  (* a committed checkpoint generation must exist for the log to replay
+     against — same bootstrap the crash battery does *)
+  Sg.flush t;
+  let handle =
+    Tree_intf.of_ops
+      ~commit:(fun () -> Sg.commit t)
+      ~range:(Sg.range t) ~name:"sagiv-disk" (module Sg) t
+  in
+  let n = 200 in
+  let image, limage =
+    with_server ~workers:2 ~durable_acks:true ~handle @@ fun _srv addr ->
+    with_client addr @@ fun c ->
+    let resps =
+      C.pipeline c (List.init n (fun i -> P.Insert { key = i; value = i * 7 }))
+    in
+    List.iteri
+      (fun i r -> Alcotest.check response (Printf.sprintf "ack %d" i) P.Inserted r)
+      resps;
+    (Paged_file.crash_image pfile, Paged_file.crash_image lfile)
+  in
+  let store2 = PS.open_from ~cache_pages:64 ~wal:limage image in
+  let t2 = Sg.open_existing store2 in
+  let c2 = Sg.ctx ~slot:0 in
+  for i = 0 to n - 1 do
+    match Sg.search t2 c2 i with
+    | Some v when v = i * 7 -> ()
+    | Some v -> Alcotest.failf "key %d recovered with value %d" i v
+    | None -> Alcotest.failf "acked key %d lost across the crash" i
+  done
+
+let suite =
+  [
+    ("protocol roundtrip", `Quick, test_roundtrip);
+    ("truncated frames wait", `Quick, test_truncated);
+    ("frame stream", `Quick, test_stream);
+    ("malformed frames rejected", `Quick, test_malformed);
+    ("client session", `Quick, test_session);
+    ("deep pipeline", `Quick, test_pipeline);
+    ("bad frame isolates its connection", `Quick, test_error_isolation);
+    ("connection drop mid-batch", `Quick, test_drop_mid_batch);
+    ("4 clients linearizable", `Quick, test_linearizable);
+    ("4 pipelined clients, all acks hold", `Quick, test_concurrent_pipelines);
+    ("unix-domain socket", `Quick, test_unix_socket);
+    ("acked write survives crash (wal)", `Quick, test_wal_acked_crash);
+  ]

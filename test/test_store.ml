@@ -149,6 +149,49 @@ let test_epoch_late_pin_does_not_block () =
   Alcotest.(check int) "late pin does not block" 1 freed;
   Epoch.unpin e ~slot:3
 
+let test_epoch_pin_publish_race () =
+  (* Regression for the pin-publication race: the old [pin] read [global]
+     and then stored it into the pin slot; a retire + reclaim interleaved
+     between the read and the store computed [min_pinned] without seeing
+     the pin, freed the page, and [pin] then returned claiming the epoch
+     the free was justified against. [pin_hook] fires deterministically
+     in exactly that window. The publish-then-validate loop must end with
+     the pinned epoch strictly above the retirement epoch of anything
+     freed inside the window — on the old code this check reads pin = 0
+     with the epoch-0 page freed, and fails. *)
+  let e = Epoch.create () in
+  let s = Store.create () in
+  let p = Store.alloc s (mk_leaf [ 42 ]) in
+  let freed = ref [] in
+  let fired = ref false in
+  Epoch.pin_hook :=
+    Some
+      (fun () ->
+        if not !fired then begin
+          fired := true;
+          (* [p] is stamped with the epoch [pin] just read (0); the bump
+             inside [retire] moves [global] to 1. *)
+          Epoch.retire e p;
+          ignore
+            (Epoch.reclaim e ~release:(fun q ->
+                 freed := q :: !freed;
+                 Store.release s q))
+        end);
+  Fun.protect
+    ~finally:(fun () -> Epoch.pin_hook := None)
+    (fun () ->
+      Epoch.pin e ~slot:0;
+      Alcotest.(check bool) "hook fired in the publication window" true !fired;
+      (* The window reclaim saw no pin, so it legitimately freed [p]
+         (retired at epoch 0, horizon max_int). The fix must then refuse
+         to let the pin settle at epoch 0 — the worker "started after
+         the deletion" in the paper's sense and must observe that. *)
+      Alcotest.(check (list int)) "window reclaim freed the page" [ p ] !freed;
+      Alcotest.(check bool)
+        "pin settles strictly after the freed page's retirement epoch" true
+        (Epoch.min_pinned e > 0);
+      Epoch.unpin e ~slot:0)
+
 let test_epoch_concurrent_readers_never_see_freed () =
   (* Readers pin, read a shared slot, follow it; a writer retires pages.
      Under correct epoch protection no reader ever hits Freed_page. *)
@@ -194,6 +237,8 @@ let suite =
     Alcotest.test_case "epoch basic reclaim" `Quick test_epoch_basic;
     Alcotest.test_case "epoch pin blocks reclaim" `Quick test_epoch_pin_blocks_reclaim;
     Alcotest.test_case "epoch late pin" `Quick test_epoch_late_pin_does_not_block;
+    Alcotest.test_case "epoch pin publication race" `Quick
+      test_epoch_pin_publish_race;
     Alcotest.test_case "epoch protects concurrent readers" `Quick
       test_epoch_concurrent_readers_never_see_freed;
   ]

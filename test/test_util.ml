@@ -120,10 +120,19 @@ let test_histogram_percentiles () =
   done;
   Alcotest.(check int) "count" 1000 (Histogram.count h);
   let p50 = Histogram.percentile h 50.0 in
-  (* log buckets: within 2% *)
-  Alcotest.(check bool) "p50 near 500" true (p50 > 470.0 && p50 < 530.0);
+  (* log buckets: within 2%, and the reported value must bound the
+     percentile from above (upper-edge convention), never undershoot *)
+  Alcotest.(check bool) "p50 near 500" true (p50 >= 500.0 && p50 < 530.0);
   let p99 = Histogram.percentile h 99.0 in
-  Alcotest.(check bool) "p99 near 990" true (p99 > 940.0 && p99 < 1040.0);
+  Alcotest.(check bool) "p99 near 990" true (p99 >= 990.0 && p99 < 1040.0);
+  Alcotest.(check bool) "p100 is the max" true
+    (Histogram.percentile h 100.0 = 1000.0);
+  (* a single sample reports itself (clamped to max), not its bucket's
+     lower edge *)
+  let one = Histogram.create () in
+  Histogram.add one 1.0;
+  Alcotest.(check (float 1e-9)) "single sample percentile" 1.0
+    (Histogram.percentile one 50.0);
   Alcotest.(check bool) "mean near 500.5" true (abs_float (Histogram.mean h -. 500.5) < 1.0)
 
 let test_histogram_merge () =
