@@ -1253,6 +1253,172 @@ let e13 () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E14: sharded netbench — shards x domains x durability             *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  let module P = Repro_server.Protocol in
+  let module Server = Repro_server.Server in
+  let module Cl = Repro_client.Client in
+  let module SS = Tree_intf.Sharded_int in
+  Report.heading "E14: sharded netbench — shards \u{00D7} domains \u{00D7} durability";
+  Report.note
+    "The file-backed server (4 worker domains) behind the partition \
+     layer: N independent store+WAL shards, keys routed by hash, each \
+     drained batch group-committing only the shards it touched before \
+     its responses flush (durable acks in both modes). Each connection \
+     works one fixed hash stripe of the keyspace (stripe = router hash \
+     mod 8), so a batch's mutations land on one shard at every swept \
+     shard count — the affinity the batch router exploits. sync \
+     degrades every ack-covering commit to a serialised full checkpoint \
+     — one durability point for the whole keyspace, no absorption — \
+     while wal gives each shard its own commit mutex, group-commit \
+     leader and log fsync stream, so a shard's connections absorb into \
+     one fsync and independent shards' fsyncs overlap. Group gathering \
+     is left at the default (every commit request seals immediately), \
+     so the commit stream itself is the contended resource. Mixed \
+     1/4 insert, 1/4 delete, 1/2 search over a preloaded keyspace.";
+  let total_ops = scale 48_000 in
+  let key_space = scale 50_000 in
+  let workers = 4 in
+  let shard_counts = if !quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let conn_counts = if !quick then [ 16 ] else [ 4; 16 ] in
+  let depth = 4 in
+  let modes = [ "sync"; "wal" ] in
+  (* Stripe the keyspace by the router hash at the finest swept shard
+     count: stripe s holds the keys that land on shard s when shards=8,
+     and — because [mix k mod 2^j] is determined by [mix k mod 2^k] for
+     j <= k — on shard [s mod n] for every swept n. Client d draws only
+     from stripe [d mod 8], holding the key population fixed across rows
+     while giving every batch single-shard affinity. *)
+  let stripe_keys =
+    let buckets = Array.make 8 [] in
+    for k = key_space - 1 downto 0 do
+      let s = Repro_storage.Shard_router.shard_of ~shards:8 k in
+      buckets.(s) <- k :: buckets.(s)
+    done;
+    Array.map Array.of_list buckets
+  in
+  let jrows = ref [] in
+  let run mode shards conns =
+    Gc.compact ();
+    let per_conn = total_ops / conns in
+    let path = Filename.temp_file "e14" ".pages" in
+    let wal_path = path ^ ".wal" in
+    let sst =
+      if mode = "wal" then SS.create_file ~cache_pages:2048 ~wal_path ~shards path
+      else SS.create_file ~cache_pages:2048 ~shards path
+    in
+    let _trees, handle = Tree_intf.sagiv_disk_sharded_on ~order:16 sst in
+    (* Preload the whole keyspace before timing: the working set then
+       overflows a single shard's buffer pool (the partition layer gives
+       each shard its own), and the timed mutations land on a fully
+       built tree. *)
+    let pctx = ctx ~slot:0 in
+    for k = 0 to key_space - 1 do
+      ignore (handle.Tree_intf.insert pctx k k)
+    done;
+    handle.Tree_intf.commit ();
+    let srv =
+      Server.start ~workers ~durable_acks:true ~handle
+        ~listen:[ Unix.ADDR_INET (Unix.inet_addr_loopback, 0) ]
+        ()
+    in
+    let addr = List.hd (Server.addresses srv) in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init conns (fun d ->
+          Domain.spawn (fun () ->
+              let c = Cl.connect addr in
+              let rng = Random.State.make [| 91_000 + (1000 * d) |] in
+              let keys = stripe_keys.(d mod 8) in
+              let nkeys = Array.length keys in
+              let remaining = ref per_conn in
+              while !remaining > 0 do
+                let n = min depth !remaining in
+                let reqs =
+                  List.init n (fun _ ->
+                      let k = keys.(Random.State.int rng nkeys) in
+                      match Random.State.int rng 4 with
+                      | 0 -> P.Insert { key = k; value = k }
+                      | 1 -> P.Delete { key = k }
+                      | _ -> P.Search { key = k })
+                in
+                ignore (Cl.pipeline_sharded c ~shards reqs);
+                remaining := !remaining - n
+              done;
+              Cl.close c))
+    in
+    List.iter Domain.join domains;
+    let dt = Unix.gettimeofday () -. t0 in
+    let m = Server.stats srv in
+    Server.stop srv;
+    let io = SS.io_stats sst in
+    (try SS.close sst with _ -> ());
+    (try Sys.remove path with Sys_error _ -> ());
+    for i = 0 to shards - 1 do
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ SS.shard_path path i; SS.shard_path wal_path i ]
+    done;
+    let tput = float_of_int (conns * per_conn) /. dt in
+    let pq p = 1e6 *. Repro_util.Histogram.percentile m.Stats.latency p in
+    let p50 = pq 50.0 and p99 = pq 99.0 in
+    let shard_acks = Array.to_list m.Stats.shard_acks in
+    jrows :=
+      J.Obj
+        [
+          ("mode", J.Str mode);
+          ("shards", J.Int shards);
+          ("workers", J.Int workers);
+          ("conns", J.Int conns);
+          ("depth", J.Int depth);
+          ("ops_per_s", J.Float tput);
+          ("svc_p50_us", J.Float p50);
+          ("svc_p99_us", J.Float p99);
+          ("acked_commits", J.Int m.Stats.acked_commits);
+          ("shard_acks", J.List (List.map (fun n -> J.Int n) shard_acks));
+          ("wal_fsyncs", J.Int io.Stats.wal_fsyncs);
+          ("wal_records", J.Int io.Stats.wal_records);
+        ]
+      :: !jrows;
+    [
+      mode;
+      string_of_int shards;
+      string_of_int conns;
+      Report.fmt_si tput ^ "/s";
+      Report.fmt_f p50 ^ "us";
+      Report.fmt_f p99 ^ "us";
+      string_of_int m.Stats.acked_commits;
+      String.concat "/" (List.map string_of_int shard_acks);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun shards -> List.map (run mode shards) conn_counts)
+          shard_counts)
+      modes
+  in
+  Report.table
+    ~header:
+      [
+        "mode"; "shards"; "conns"; "tput"; "svc p50"; "svc p99"; "commits";
+        "shard acks";
+      ]
+    rows;
+  record_json "E14"
+    (J.Obj
+       [
+         ("total_ops", J.Int total_ops);
+         ("key_space", J.Int key_space);
+         ("workers", J.Int workers);
+         ("depth", J.Int depth);
+         ("rows", J.List (List.rev !jrows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1269,6 +1435,7 @@ let experiments =
     ("E11", e11);
     ("E12", e12);
     ("E13", e13);
+    ("E14", e14);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

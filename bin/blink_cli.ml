@@ -87,9 +87,17 @@ let with_periodic_commit every (h : Tree_intf.handle) =
     }
   end
 
+(* Per-shard io lines next to the merged one: the skew observability
+   surface (faults / commits / fsyncs / queue depth per shard). *)
+let print_sharded_io sst =
+  Array.iteri
+    (fun i io -> Printf.printf "io[s%d]: %s\n" i (Stats.io_to_string io))
+    (Tree_intf.Sharded_int.per_shard_io sst);
+  Printf.printf "io: %s\n" (Stats.io_to_string (Tree_intf.Sharded_int.io_stats sst))
+
 let run_cmd tree_name backend mix_name dist_name domains ops key_space preload order
     seed compactors validate latency durability sync_every commit_every
-    commit_batch =
+    commit_batch shards =
   let wal =
     match durability with
     | "sync" -> false
@@ -104,6 +112,8 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     failwith "--commit-every drives the group-commit path; use --sync-every with --durability sync";
   if (sync_every > 0 || commit_every > 0) && backend <> "disk" then
     failwith "--sync-every/--commit-every require --backend disk";
+  if shards > 1 && backend <> "disk" then
+    failwith "--shards requires --backend disk";
   let every = max sync_every commit_every in
   let commit_batch = if commit_batch > 1 then Some commit_batch else None in
   let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
@@ -115,11 +125,14 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     "tree=%s backend=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d%s\n%!"
     impl.Tree_intf.impl_name backend mix_name dist_name domains ops key_space preload
     order
-    (if backend = "disk" then
-       Printf.sprintf " durability=%s%s" durability
-         (if every > 0 then Printf.sprintf " every=%d" every else "")
-     else "");
+    ((if backend = "disk" then
+        Printf.sprintf " durability=%s%s" durability
+          (if every > 0 then Printf.sprintf " every=%d" every else "")
+      else "")
+    ^ if shards > 1 then Printf.sprintf " shards=%d" shards else "");
   let needs_raw = compactors > 0 || (validate && tree_name <> "lehman-yao") in
+  if needs_raw && shards > 1 then
+    failwith "--compactors/--validate are per-tree; not supported with --shards";
   if needs_raw && not (String.length tree_name >= 5 && String.sub tree_name 0 5 = "sagiv")
   then failwith "--compactors/--validate require a sagiv tree";
   if needs_raw then begin
@@ -180,15 +193,23 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
   else begin
     (* Disk runs always go through the raw constructor so the store is at
        hand for the io/commit counters in the summary line. *)
-    let store, h =
-      if backend = "disk" then begin
+    let store, sst, h =
+      if backend = "disk" && shards > 1 then begin
+        let enqueue_on_delete = tree_name = "sagiv-compact" in
+        let sst, _trees, h =
+          Tree_intf.sagiv_disk_sharded_raw ~enqueue_on_delete ~wal ?commit_batch
+            ~shards ~order ()
+        in
+        (None, Some sst, with_periodic_commit every h)
+      end
+      else if backend = "disk" then begin
         let enqueue_on_delete = tree_name = "sagiv-compact" in
         let raw, h =
           Tree_intf.sagiv_disk_raw ~enqueue_on_delete ~wal ?commit_batch ~order ()
         in
-        (Some raw.Handle.store, with_periodic_commit every h)
+        (Some raw.Handle.store, None, with_periodic_commit every h)
       end
-      else (None, impl.Tree_intf.make ~order)
+      else (None, None, impl.Tree_intf.make ~order)
     in
     let n = Driver.preload h ~seed spec in
     Printf.printf "preloaded %d keys\n%!" n;
@@ -202,6 +223,7 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     (match store with
     | Some s -> Printf.printf "io: %s\n" (Stats.io_to_string (Tree_intf.Paged_int.io_stats s))
     | None -> ());
+    (match sst with Some sst -> print_sharded_io sst | None -> ());
     Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ()) (h.Tree_intf.height ())
   end
 
@@ -294,11 +316,13 @@ let snapshot_cmd n order path =
 
 (* -- crash-test: fault-injection battery -- *)
 
-let crash_test_cmd quick verbose =
+let crash_test_cmd quick verbose shards =
   let log = if verbose then Some (fun s -> Printf.printf "%s\n%!" s) else None in
-  Printf.printf "crash battery (%s): simulated crashes at every failpoint site...\n%!"
-    (if quick then "quick" else "full");
-  match Crash.battery ~quick ?log () with
+  Printf.printf
+    "crash battery (%s, %d shards): simulated crashes at every failpoint site...\n%!"
+    (if quick then "quick" else "full")
+    shards;
+  match Crash.battery ~quick ~shards ?log () with
   | exception Failure msg ->
       Printf.printf "crash battery FAILED: %s\n" msg;
       exit 1
@@ -357,7 +381,7 @@ let string_of_sockaddr = function
       Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
 
 let serve_cmd tree_name backend order durability commit_batch workers port
-    unix_path =
+    unix_path shards =
   let wal =
     match durability with
     | "sync" -> false
@@ -366,9 +390,30 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   in
   if wal && backend <> "disk" then
     failwith "--durability wal requires --backend disk";
+  if shards > 1 && backend <> "disk" then
+    failwith "--shards requires --backend disk";
   let commit_batch = if commit_batch > 1 then Some commit_batch else None in
-  let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
-  let h = impl.Tree_intf.make ~order in
+  let sst, h =
+    if shards > 1 then begin
+      (* sharded serve: N independent store+WAL partitions behind one
+         routed handle; the server folds each batch's acks into only the
+         shards it touched *)
+      let enqueue_on_delete =
+        match tree_name with
+        | "sagiv" -> false
+        | "sagiv-compact" -> true
+        | s -> failwith (Printf.sprintf "tree %S has no sharded backend" s)
+      in
+      let sst, _trees, h =
+        Tree_intf.sagiv_disk_sharded_raw ~enqueue_on_delete ~wal ?commit_batch
+          ~shards ~order ()
+      in
+      (Some sst, h)
+    end
+    else
+      let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
+      (None, impl.Tree_intf.make ~order)
+  in
   let listen =
     (if port >= 0 then [ Unix.ADDR_INET (Unix.inet_addr_loopback, port) ]
      else [])
@@ -383,10 +428,11 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   List.iter
     (fun a -> Printf.printf "listening on %s\n%!" (string_of_sockaddr a))
     (Repro_server.Server.addresses srv);
-  Printf.printf "tree=%s backend=%s durability=%s workers=%d (ctrl-C stops)\n%!"
-    impl.Tree_intf.impl_name backend
+  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s (ctrl-C stops)\n%!"
+    h.Tree_intf.name backend
     (if backend = "disk" then durability else "none")
-    workers;
+    workers
+    (if shards > 1 then Printf.sprintf " shards=%d" shards else "");
   let stop = Atomic.make false in
   let on_signal _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -399,6 +445,7 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   h.Tree_intf.commit ();
   Printf.printf "%s\n"
     (Stats.server_to_string (Repro_server.Server.stats srv));
+  (match sst with Some sst -> print_sharded_io sst | None -> ());
   Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ())
     (h.Tree_intf.height ());
   (match unix_path with
@@ -529,12 +576,18 @@ let commit_batch_arg =
            ~doc:"Group-commit batch target: a leader lingers for up to B commit \
                  requests before the shared log fsync.")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Partition the keyspace into N independent store+WAL shards \
+                 (deterministic hash routing; disk backend only).")
+
 let run_t =
   Term.(
     const run_cmd $ tree_arg $ backend_arg $ mix_arg $ dist_arg $ domains_arg $ ops_arg
     $ space_arg $ preload_arg $ order_arg $ seed_arg $ compactors_arg $ validate_arg
     $ latency_arg $ durability_arg $ sync_every_arg $ commit_every_arg
-    $ commit_batch_arg)
+    $ commit_batch_arg $ shards_arg)
 
 let n_arg = Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
 
@@ -571,7 +624,13 @@ let quick_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log each run as it happens.")
 
-let crash_test_t = Term.(const crash_test_cmd $ quick_arg $ verbose_arg)
+let crash_shards_arg =
+  Arg.(value & opt int 4
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard count for the partition-layer crash sweep (1 skips it).")
+
+let crash_test_t =
+  Term.(const crash_test_cmd $ quick_arg $ verbose_arg $ crash_shards_arg)
 
 let workers_arg =
   Arg.(value & opt int 4
@@ -590,7 +649,7 @@ let unix_arg =
 let serve_t =
   Term.(
     const serve_cmd $ tree_arg $ backend_arg $ order_arg $ durability_arg
-    $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg)
+    $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg $ shards_arg)
 
 let host_arg =
   Arg.(value & opt string "127.0.0.1"

@@ -3,6 +3,16 @@
 
 open Repro_core
 
+type sharding = {
+  shard_count : int;
+  shard_of_key : int -> int;
+      (** deterministic key → shard routing ({!Repro_storage.Shard_router}) *)
+  commit_shard : int -> unit;
+      (** durably commit one shard's completed operations — independent
+          shards' commits run fully in parallel (separate WALs, separate
+          group-commit leaders) *)
+}
+
 type handle = {
   name : string;
   search : Handle.ctx -> int -> int option;
@@ -18,6 +28,10 @@ type handle = {
       (** lock-free ordered scan of [lo <= key <= hi] along the leaf
           chain; [None] on backends without a leaf chain to walk (the
           network server answers RANGE with "unsupported" there) *)
+  sharding : sharding option;
+      (** partition-layer surface: present on sharded handles so the
+          server can route batches and commit only the shards a batch
+          touched; [None] on monolithic backends *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -40,7 +54,7 @@ end
     record is built, so a new backend registers in ~5 lines. [commit]
     defaults to a no-op — in-memory backends have nothing to make
     durable; [range] defaults to unsupported. *)
-let of_ops (type a) ?(commit = fun () -> ()) ?range ~name
+let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ~name
     (module M : TREE_OPS with type t = a) (t : a) =
   {
     name;
@@ -51,11 +65,58 @@ let of_ops (type a) ?(commit = fun () -> ()) ?range ~name
     height = (fun () -> M.height t);
     commit;
     range;
+    sharding;
+  }
+
+(* K-way merge of per-shard range results: each list is sorted and the
+   router partitions the keyspace, so the shard lists are disjoint and a
+   fold of 2-way merges reproduces one globally ordered scan. *)
+let merge_ranges lists =
+  List.fold_left (List.merge (fun (a, _) (b, _) -> compare a b)) [] lists
+
+(** Compose per-shard handles (each from {!of_ops}) into one handle that
+    routes every keyed operation through {!Repro_storage.Shard_router}.
+    [cardinal] sums, [height] maxes, [commit] commits every shard, and
+    [range] k-way merges the per-shard leaf-chain scans; the [sharding]
+    field exposes the router and per-shard commit so the server can fold
+    a pipeline batch's acks into only the shards it touched. *)
+let sharded ~name (subs : handle array) =
+  let shards = Array.length subs in
+  if shards = 0 then invalid_arg "Tree_intf.sharded: no shards";
+  let route k = Repro_storage.Shard_router.shard_of ~shards k in
+  let range =
+    if Array.for_all (fun h -> h.range <> None) subs then
+      Some
+        (fun ctx ~lo ~hi ->
+          merge_ranges
+            (Array.to_list
+               (Array.map (fun h -> (Option.get h.range) ctx ~lo ~hi) subs)))
+    else None
+  in
+  {
+    name;
+    search = (fun ctx k -> subs.(route k).search ctx k);
+    insert = (fun ctx k v -> subs.(route k).insert ctx k v);
+    delete = (fun ctx k -> subs.(route k).delete ctx k);
+    cardinal = (fun () -> Array.fold_left (fun a h -> a + h.cardinal ()) 0 subs);
+    height = (fun () -> Array.fold_left (fun a h -> max a (h.height ())) 0 subs);
+    commit = (fun () -> Array.iter (fun h -> h.commit ()) subs);
+    range;
+    sharding =
+      Some
+        {
+          shard_count = shards;
+          shard_of_key = route;
+          commit_shard = (fun i -> subs.(i).commit ());
+        };
   }
 
 module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
 module Paged_int = Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 module Sagiv_disk = Sagiv.Make_on_store (Repro_storage.Key.Int) (Paged_int)
+
+module Sharded_int =
+  Repro_storage.Sharded_store.Make (Repro_storage.Key.Int) (Paged_int)
 module Ly_int = Lehman_yao.Make (Repro_storage.Key.Int)
 module Lc_int = Lock_couple.Make (Repro_storage.Key.Int)
 module Coarse_int = Coarse.Make (Repro_storage.Key.Int)
@@ -113,6 +174,69 @@ let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes
     of_ops
       ~commit:(fun () -> Sagiv_disk.commit t)
       ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t )
+
+let disk_sub_handle t =
+  of_ops
+    ~commit:(fun () -> Sagiv_disk.commit t)
+    ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t
+
+let sharded_name shards = Printf.sprintf "sagiv-disk-x%d" shards
+
+(** One Sagiv tree per shard of an existing {!Sharded_int.t}, composed
+    into a routed handle — how file-backed callers (CLI serve, benches)
+    shard: create/open the store themselves, then wrap. Hands back the
+    raw trees for flush/validation. *)
+let sagiv_disk_sharded_on ?(enqueue_on_delete = false) ~order sst =
+  let trees =
+    Array.map
+      (fun store -> Sagiv_disk.create ~order ~enqueue_on_delete ~store ())
+      (Sharded_int.stores sst)
+  in
+  ( trees,
+    sharded
+      ~name:(sharded_name (Sharded_int.count sst))
+      (Array.map disk_sub_handle trees) )
+
+(** Rebuild the routed handle over a reopened {!Sharded_int.t} (every
+    shard's tree metadata was {!Sagiv_disk.flush}ed, or recovered from
+    its WAL). *)
+let sagiv_disk_sharded_open ?(enqueue_on_delete = false) sst =
+  let trees =
+    Array.map
+      (fun store -> Sagiv_disk.open_existing ~enqueue_on_delete store)
+      (Sharded_int.stores sst)
+  in
+  ( trees,
+    sharded
+      ~name:(sharded_name (Sharded_int.count sst))
+      (Array.map disk_sub_handle trees) )
+
+(** Memory-backed sharded disk tree: [shards] fully independent
+    {!Paged_int} stores (own buffer pool, WAL, group-commit leader),
+    one Sagiv tree each, routed by {!Repro_storage.Shard_router}. Hands
+    back the sharded store (per-shard io stats, writers) and the raw
+    trees alongside the handle. *)
+let sagiv_disk_sharded_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes
+    ?commit_interval ?commit_batch ?wal ~shards ~order () =
+  let sst =
+    Sharded_int.create_memory ?cache_pages ?stripes ?commit_interval
+      ?commit_batch ?wal ~shards ()
+  in
+  let trees, h = sagiv_disk_sharded_on ~enqueue_on_delete ~order sst in
+  (sst, trees, h)
+
+let sagiv_disk_sharded ?enqueue_on_delete ?cache_pages ?stripes
+    ?commit_interval ?commit_batch ?wal ~shards () =
+  {
+    impl_name = sharded_name shards;
+    make =
+      (fun ~order ->
+        let _, _, h =
+          sagiv_disk_sharded_raw ?enqueue_on_delete ?cache_pages ?stripes
+            ?commit_interval ?commit_batch ?wal ~shards ~order ()
+        in
+        h);
+  }
 
 let lehman_yao =
   {

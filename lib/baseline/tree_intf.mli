@@ -3,6 +3,16 @@
 
 open Repro_core
 
+type sharding = {
+  shard_count : int;
+  shard_of_key : int -> int;
+      (** deterministic key → shard routing ({!Repro_storage.Shard_router}) *)
+  commit_shard : int -> unit;
+      (** durably commit one shard's completed operations — independent
+          shards' commits run fully in parallel (separate WALs, separate
+          group-commit leaders) *)
+}
+
 type handle = {
   name : string;
   search : Handle.ctx -> int -> int option;
@@ -18,6 +28,10 @@ type handle = {
       (** lock-free ordered scan of [lo <= key <= hi] along the leaf
           chain; [None] on backends without one (the network server
           answers RANGE with "unsupported" there) *)
+  sharding : sharding option;
+      (** partition-layer surface: present on sharded handles so the
+          server can route batches and commit only the shards a batch
+          touched; [None] on monolithic backends *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -36,13 +50,22 @@ end
 val of_ops :
   ?commit:(unit -> unit) ->
   ?range:(Handle.ctx -> lo:int -> hi:int -> (int * int) list) ->
+  ?sharding:sharding ->
   name:string ->
   (module TREE_OPS with type t = 'a) ->
   'a ->
   handle
-(** Close a tree value over its operations — the only constructor of
+(** Close a tree value over its operations — the base constructor of
     {!handle}, so a new backend registers in a few lines. [commit]
-    defaults to a no-op; [range] to unsupported. *)
+    defaults to a no-op; [range] to unsupported; [sharding] to [None]. *)
+
+val sharded : name:string -> handle array -> handle
+(** Compose per-shard handles into one: every keyed operation routes
+    through {!Repro_storage.Shard_router.shard_of} over the array
+    length; [cardinal] sums, [height] maxes, [commit] commits every
+    shard, [range] k-way merges the per-shard ordered scans (present iff
+    every shard supports it). The result's [sharding] field exposes the
+    router and per-shard commit. *)
 
 module Paged_int : module type of Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 (** The durable int-keyed page store the disk impls run on. *)
@@ -50,6 +73,11 @@ module Paged_int : module type of Repro_storage.Paged_store.Make (Repro_storage.
 module Sagiv_disk :
     module type of Sagiv.Make_on_store (Repro_storage.Key.Int) (Paged_int)
 (** The Sagiv tree instantiated over {!Paged_int}. *)
+
+module Sharded_int :
+    module type of Repro_storage.Sharded_store.Make (Repro_storage.Key.Int) (Paged_int)
+(** The partition layer over {!Paged_int}: N independent stores managed
+    as one unit (parallel reopen/recovery, per-shard group commit). *)
 
 val sagiv : ?enqueue_on_delete:bool -> unit -> impl
 
@@ -88,6 +116,51 @@ val sagiv_disk_raw :
   (int, Paged_int.t) Handle.t * handle
 (** {!sagiv_raw} for the disk backend; the store (for writer loops,
     [io_stats], [flush]) is the raw handle's [store] field. *)
+
+val sagiv_disk_sharded_on :
+  ?enqueue_on_delete:bool ->
+  order:int ->
+  Sharded_int.t ->
+  (int, Paged_int.t) Handle.t array * handle
+(** One fresh Sagiv tree per shard of an existing {!Sharded_int.t},
+    composed with {!sharded} — how file-backed callers (CLI serve,
+    benches) shard: create the store themselves, then wrap. *)
+
+val sagiv_disk_sharded_open :
+  ?enqueue_on_delete:bool ->
+  Sharded_int.t ->
+  (int, Paged_int.t) Handle.t array * handle
+(** Rebuild the routed handle over a reopened {!Sharded_int.t} (every
+    shard's tree metadata was flushed, or recovered from its WAL). *)
+
+val sagiv_disk_sharded_raw :
+  ?enqueue_on_delete:bool ->
+  ?cache_pages:int ->
+  ?stripes:int ->
+  ?commit_interval:float ->
+  ?commit_batch:int ->
+  ?wal:bool ->
+  shards:int ->
+  order:int ->
+  unit ->
+  Sharded_int.t * (int, Paged_int.t) Handle.t array * handle
+(** Memory-backed sharded disk tree: [shards] fully independent
+    {!Paged_int} stores (own buffer pool, WAL, group-commit leader), one
+    Sagiv tree each, routed by the {!Repro_storage.Shard_router}. Every
+    per-store knob applies per shard. *)
+
+val sagiv_disk_sharded :
+  ?enqueue_on_delete:bool ->
+  ?cache_pages:int ->
+  ?stripes:int ->
+  ?commit_interval:float ->
+  ?commit_batch:int ->
+  ?wal:bool ->
+  shards:int ->
+  unit ->
+  impl
+(** {!sagiv_disk} through the partition layer ([impl_name]
+    ["sagiv-disk-x<shards>"]). *)
 
 val lehman_yao : impl
 val lock_couple : impl

@@ -539,6 +539,152 @@ let run_wal_tree ?(ops = 400) ?(seed = 1042) ~site ~policy (config : config) =
     recovered_gen = PS.generation store2;
   }
 
+(** The partition-layer analog of {!run_wal_tree}: [shards] fully
+    independent store+WAL pairs on their own shadow devices, keys routed
+    by {!Repro_storage.Shard_router}, and every 5th op a {e multi-shard
+    batch commit} — the shards the batch touched commit in shard order,
+    so an armed crash lands mid-batch: shards before the victim are at
+    their new durable state, the victim either side of its log fsync,
+    shards after it still at their old state. Each shard is recovered
+    from its own crash images (asserting its recorded [(i, N)] identity)
+    and held to its {e own} commit-point oracle; recovered keys must
+    also route back to the shard that held them. *)
+let run_sharded_wal ?(ops = 400) ?(seed = 2042) ?(shards = 4) ~site ~policy
+    (config : config) =
+  Failpoint.reset ();
+  let pfiles =
+    Array.init shards (fun _ ->
+        Paged_file.create_shadow ~page_size:data_page_size ())
+  in
+  let lfiles =
+    Array.init shards (fun _ ->
+        Paged_file.create_shadow ~page_size:wal_page_size ())
+  in
+  let stores =
+    Array.init shards (fun i ->
+        PS.create_on ~shard:(i, shards) ~cache_pages:config.cache_pages
+          ~wal:lfiles.(i) pfiles.(i))
+  in
+  let trees = Array.map (fun store -> Sg.create ~order:4 ~store ()) stores in
+  let c = Sg.ctx ~slot:0 in
+  let route k = Shard_router.shard_of ~shards k in
+  let models : (int, int) Hashtbl.t array =
+    Array.init shards (fun _ -> Hashtbl.create 64)
+  in
+  for k = 0 to 49 do
+    if k mod 2 = 0 then begin
+      let s = route k in
+      ignore (Sg.insert trees.(s) c k (payload k));
+      Hashtbl.replace models.(s) k (payload k)
+    end
+  done;
+  Array.iter Sg.flush trees;
+  (* every shard holds a committed checkpoint before the faults arm *)
+  if config.writer then Array.iter PS.start_writer stores;
+  let committed = Array.map (fun m -> ref (Hashtbl.copy m)) models in
+  let inflight : (int, int) Hashtbl.t option array = Array.make shards None in
+  let touched = Array.make shards false in
+  let acked = ref 0 in
+  let issued = ref 0 in
+  let crashed = ref false in
+  Failpoint.set site policy;
+  (try
+     let rng = Repro_util.Splitmix.create seed in
+     for i = 1 to ops do
+       issued := i;
+       let k = Repro_util.Splitmix.int rng 400 in
+       let s = route k in
+       (match Repro_util.Splitmix.int rng 10 with
+       | 0 | 1 ->
+           if Sg.delete trees.(s) c k then begin
+             Hashtbl.remove models.(s) k;
+             touched.(s) <- true
+           end
+       | 2 -> ignore (Sg.search trees.(s) c k)
+       | _ -> (
+           match Sg.insert trees.(s) c k (payload k) with
+           | `Ok ->
+               Hashtbl.replace models.(s) k (payload k);
+               touched.(s) <- true
+           | `Duplicate -> ()));
+       if i mod 5 = 0 then
+         (* multi-shard batch commit: touched shards in shard order, each
+            acknowledged separately (every 100th op checkpoints instead) *)
+         for s = 0 to shards - 1 do
+           if touched.(s) then begin
+             inflight.(s) <- Some (Hashtbl.copy models.(s));
+             if i mod 100 = 0 then Sg.flush trees.(s) else Sg.commit trees.(s);
+             committed.(s) := Hashtbl.copy models.(s);
+             inflight.(s) <- None;
+             incr acked;
+             touched.(s) <- false
+           end
+         done
+     done
+   with Failpoint.Crash _ -> crashed := true);
+  Array.iter
+    (fun st -> try PS.stop_writer st with Failpoint.Crash _ -> ())
+    stores;
+  let crashed = !crashed || Failpoint.is_crashed () in
+  if not crashed then begin
+    Failpoint.reset ();
+    Array.iteri
+      (fun s tree ->
+        Sg.commit tree;
+        committed.(s) := Hashtbl.copy models.(s);
+        inflight.(s) <- None)
+      trees
+  end;
+  let images =
+    Array.init shards (fun i ->
+        (Paged_file.crash_image pfiles.(i), Paged_file.crash_image lfiles.(i)))
+  in
+  Failpoint.reset ();
+  let recovered_total = ref 0 in
+  let gen = ref 0 in
+  Array.iteri
+    (fun s (image, limage) ->
+      let store2 =
+        PS.open_from ~expect_shard:(s, shards)
+          ~cache_pages:config.cache_pages ~wal:limage image
+      in
+      let tree2 = Sg.open_existing store2 in
+      check_valid tree2 ~what:(Printf.sprintf "%s (shard %d/%d)" site s shards);
+      let recovered = Sg.to_list tree2 in
+      let ok =
+        matches_model recovered !(committed.(s))
+        ||
+        match inflight.(s) with
+        | Some m -> matches_model recovered m
+        | None -> false
+      in
+      if not ok then
+        fail
+          "%s (%s, shard %d/%d): recovered %d keys matching neither the %d \
+           committed nor the in-flight commit"
+          site (policy_name policy) s shards (List.length recovered)
+          (Hashtbl.length !(committed.(s)));
+      (* isolation: every recovered key routes back to this shard *)
+      List.iter
+        (fun (k, _) ->
+          if route k <> s then
+            fail "sharded wal: key %d recovered on shard %d but routes to %d" k
+              s (route k))
+        recovered;
+      recovered_total := !recovered_total + List.length recovered;
+      gen := max !gen (PS.generation store2))
+    images;
+  {
+    site;
+    policy = Printf.sprintf "%s+wal.x%d" (policy_name policy) shards;
+    config;
+    crashed;
+    ops = !issued;
+    acked_syncs = !acked;
+    recovered_keys = !recovered_total;
+    recovered_gen = !gen;
+  }
+
 (** Torn log append: with the cache big enough to hold the whole tree,
     the only device writes a group commit issues are log records — so a
     torn write is guaranteed to land on a record, never on the tree.
@@ -793,7 +939,7 @@ let run_wal_commit_race ?(domains = 4) ?(runs = 20) ?(batch = 4) () =
     Returns the outcomes; raises on any violated invariant. After a
     battery, {!Repro_storage.Failpoint.unexercised} must be empty — the
     CLI and CI enforce it. *)
-let battery ?(quick = false) ?(log = fun _ -> ()) () =
+let battery ?(quick = false) ?(shards = 4) ?(log = fun _ -> ()) () =
   let configs =
     if quick then
       [ { writer = false; cache_pages = 8 }; { writer = true; cache_pages = 8 } ]
@@ -862,6 +1008,27 @@ let battery ?(quick = false) ?(log = fun _ -> ()) () =
             crash_ordinals)
         wal_sites)
     configs;
+  (* the WAL sweep again through the partition layer: [shards]
+     independent store+WAL pairs, batches spanning shards, crashes
+     landing mid-multi-shard-commit, per-shard commit-point oracle *)
+  if shards > 1 then
+    List.iter
+      (fun config ->
+        List.iter
+          (fun site ->
+            List.iter
+              (fun ordinal ->
+                record
+                  (run_sharded_wal ~shards ~site
+                     ~policy:(Failpoint.Crash_after ordinal) config))
+              crash_ordinals)
+          wal_sites)
+      (if quick then [ { writer = false; cache_pages = 8 } ]
+       else
+         [
+           { writer = false; cache_pages = 8 };
+           { writer = true; cache_pages = 8 };
+         ]);
   record (run_torn_header { writer = false; cache_pages = 8 });
   record (run_torn_chain ());
   record (run_short_writes { writer = false; cache_pages = 8 });

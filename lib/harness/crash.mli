@@ -64,6 +64,23 @@ val run_wal_tree :
     group commit every 5 ops, checkpoint every 100, recovery through log
     replay held to the commit-point oracle. *)
 
+val run_sharded_wal :
+  ?ops:int ->
+  ?seed:int ->
+  ?shards:int ->
+  site:string ->
+  policy:Repro_storage.Failpoint.policy ->
+  config ->
+  outcome
+(** {!run_wal_tree} through the partition layer: [shards] (default 4)
+    independent store+WAL pairs on their own shadow devices, keys routed
+    by {!Repro_storage.Shard_router}, multi-shard batch commits (touched
+    shards commit in shard order, each acknowledged separately), crashes
+    landing mid-batch. Every shard recovers from its own crash images —
+    asserting its recorded [(i, N)] identity — against its own
+    commit-point oracle, and every recovered key must route back to the
+    shard that held it. *)
+
 val run_wal_torn_append : unit -> outcome
 (** Tear a log record mid-append (cache sized so the commit writes only
     log pages); replay must stop at the torn record and recovery must
@@ -96,7 +113,10 @@ val run_wal_error_paths : unit -> unit
     the leader's rollback keeps [commit] retryable, and the retried
     commits lose nothing. *)
 
-val battery : ?quick:bool -> ?log:(string -> unit) -> unit -> outcome list
-(** Crash runs for every site × config plus the targeted runs above.
-    After a battery, {!Repro_storage.Failpoint.unexercised} must be
-    empty. @raise Failure on the first violated invariant. *)
+val battery :
+  ?quick:bool -> ?shards:int -> ?log:(string -> unit) -> unit -> outcome list
+(** Crash runs for every site × config plus the targeted runs above,
+    including the {!run_sharded_wal} sweep over [shards] (default 4)
+    partitions ([shards <= 1] skips it). After a battery,
+    {!Repro_storage.Failpoint.unexercised} must be empty.
+    @raise Failure on the first violated invariant. *)

@@ -43,6 +43,11 @@ let is_mutation = function
   | P.Insert _ | P.Delete _ -> true
   | P.Search _ | P.Range _ | P.Commit | P.Stats -> false
 
+(* The key a mutation touches — what the sharded commit path routes on. *)
+let mutation_key = function
+  | P.Insert { key; _ } | P.Delete { key } -> Some key
+  | P.Search _ | P.Range _ | P.Commit | P.Stats -> None
+
 let execute t (sst : Stats.server) ctx (req : P.request) : P.response =
   match req with
   | Insert { key; value } -> (
@@ -91,6 +96,13 @@ let serve_conn t ~slot fd =
   sst.conns_opened <- sst.conns_opened + 1;
   sst.conns_active <- sst.conns_active + 1;
   let ctx = Repro_core.Handle.ctx ~slot in
+  (* Sharded handle: per-batch touched-shard set, so the ack commit
+     below covers exactly the shards this batch mutated. *)
+  let touched =
+    match t.handle.sharding with
+    | Some s -> Array.make s.shard_count false
+    | None -> [||]
+  in
   let cap = ref 4096 in
   let buf = ref (Bytes.create !cap) in
   let lo = ref 0 and hi = ref 0 in
@@ -152,10 +164,16 @@ let serve_conn t ~slot fd =
          let depth = List.length batch in
          if depth > sst.max_pipeline then sst.max_pipeline <- depth;
          let mutated = ref false in
+         Array.fill touched 0 (Array.length touched) false;
          List.iter
            (fun (seq, req) ->
              if not !closing then begin
-               if is_mutation req then mutated := true;
+               if is_mutation req then begin
+                 mutated := true;
+                 match (t.handle.sharding, mutation_key req) with
+                 | Some s, Some key -> touched.(s.shard_of_key key) <- true
+                 | _ -> ()
+               end;
                let t0 = Unix.gettimeofday () in
                let resp =
                  try execute t sst ctx req
@@ -167,9 +185,24 @@ let serve_conn t ~slot fd =
              end)
            batch;
          (* durable acks: the batch's mutations reach the log (and, via
-            the WAL's group commit, disk) before any ack flushes *)
+            the WAL's group commit, disk) before any ack flushes. On a
+            sharded handle only the shards this batch touched commit —
+            each fold into its own shard's group commit, so batches on
+            different shards never serialise on one log fsync. The walk
+            starts at a slot-dependent shard so concurrently-committing
+            workers spread their leader duty instead of convoying. *)
          if t.durable_acks && !mutated then begin
-           t.handle.commit ();
+           (match t.handle.sharding with
+           | Some s ->
+               let n = s.shard_count in
+               for j = 0 to n - 1 do
+                 let i = (j + (slot mod n)) mod n in
+                 if touched.(i) then begin
+                   s.commit_shard i;
+                   Stats.note_shard_ack sst i
+                 end
+               done
+           | None -> t.handle.commit ());
            sst.acked_commits <- sst.acked_commits + 1
          end;
          (match !poisoned with

@@ -89,14 +89,26 @@
 
 exception Corrupt of string
 
+exception
+  Shard_mismatch of {
+    expected_index : int;
+    expected_count : int;
+    found_index : int;
+    found_count : int;
+  }
+
 let magic = 0x53_47_56_44 (* "SGVD" *)
-let version = 2
+let version = 3
 
 (* Header-page layout (both slots): fixed fields, then the checksum, then
    the client metadata blob. The checksum is FNV-1a-32 over the whole
-   page with its own field zeroed, so it covers the metadata too. *)
+   page with its own field zeroed, so it covers the metadata too.
+   Version 3 appended the shard identity (index at 88, count at 96)
+   after the checksum field, pushing the metadata blob to 104. *)
 let header_cksum_off = 80
-let header_fixed = 88 (* bytes of header before the metadata blob *)
+let header_shard_index_off = 88
+let header_shard_count_off = 96
+let header_fixed = 104 (* bytes of header before the metadata blob *)
 let header_slots = 2 (* disk pages 0 and 1; tree ptr [p] -> disk page [p + 2] *)
 
 (* Free-chain entry, written at a free page's disk offset: 8-byte magic,
@@ -201,6 +213,10 @@ module Make (K : Key.S) = struct
   }
 
   type t = {
+    shard : int * int;
+        (** (index, count) partition identity, recorded in every header
+            this store writes and validated on reopen — (0, 1) for an
+            unsharded store *)
     chunks : slot array option Atomic.t array;
     next : int Atomic.t;  (** bump allocator frontier *)
     free_list : int list Atomic.t;
@@ -339,6 +355,9 @@ module Make (K : Key.S) = struct
     seti 48 (Atomic.get t.allocated);
     seti 56 (Atomic.get t.freed);
     seti 64 gen;
+    let shard_index, shard_count = t.shard in
+    seti header_shard_index_off shard_index;
+    seti header_shard_count_off shard_count;
     let meta = match Atomic.get t.meta with Some b -> b | None -> Bytes.empty in
     if Bytes.length meta > t.page_size - header_fixed then
       failwith "Paged_store: metadata blob does not fit in the header page";
@@ -504,7 +523,10 @@ module Make (K : Key.S) = struct
 
   (* ---------- construction ---------- *)
 
-  let make ~page_size ~cache_pages ~stripes pfile =
+  let make ~shard ~page_size ~cache_pages ~stripes pfile =
+    (let idx, count = shard in
+     if count < 1 || idx < 0 || idx >= count then
+       invalid_arg "Paged_store: shard index out of range");
     if cache_pages < 1 then invalid_arg "Paged_store: cache_pages must be >= 1";
     (* Stripe count: a power of two, never more than the cache pages (so
        every stripe caches at least one node). *)
@@ -518,6 +540,7 @@ module Make (K : Key.S) = struct
        capacity knob. *)
     let frames = max 8 (min cache_pages 1024) in
     {
+      shard;
       chunks = Array.init max_chunks (fun _ -> Atomic.make None);
       next = Atomic.make 0;
       free_list = Atomic.make [];
@@ -587,10 +610,10 @@ module Make (K : Key.S) = struct
      empty paged file sized [Wal.log_page_size]) turns on WAL durability
      mode: [commit] group-commits through it instead of degrading to
      [sync]. *)
-  let create_on ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
-      ?commit_interval ?commit_batch ?wal pfile =
+  let create_on ?(shard = (0, 1)) ?(cache_pages = default_cache_pages)
+      ?(stripes = default_stripes) ?commit_interval ?commit_batch ?wal pfile =
     let page_size = Paged_file.page_size pfile in
-    let t = make ~page_size ~cache_pages ~stripes pfile in
+    let t = make ~shard ~page_size ~cache_pages ~stripes pfile in
     (match wal with
     | Some log_file ->
         t.wal <-
@@ -603,7 +626,7 @@ module Make (K : Key.S) = struct
         write_header_flocked t ~gen:0);
     t
 
-  let create_memory ?(page_size = Paged_file.default_page_size)
+  let create_memory ?shard ?(page_size = Paged_file.default_page_size)
       ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
       ?commit_interval ?commit_batch ?(wal = false) () =
     let log =
@@ -614,10 +637,11 @@ module Make (K : Key.S) = struct
              ())
       else None
     in
-    create_on ~cache_pages ~stripes ?commit_interval ?commit_batch ?wal:log
+    create_on ?shard ~cache_pages ~stripes ?commit_interval ?commit_batch
+      ?wal:log
       (Paged_file.create_memory ~page_size ())
 
-  let create_file ?(page_size = Paged_file.default_page_size)
+  let create_file ?shard ?(page_size = Paged_file.default_page_size)
       ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
       ?commit_interval ?commit_batch ?wal_path path =
     let log =
@@ -628,7 +652,8 @@ module Make (K : Key.S) = struct
             p)
         wal_path
     in
-    create_on ~cache_pages ~stripes ?commit_interval ?commit_batch ?wal:log
+    create_on ?shard ~cache_pages ~stripes ?commit_interval ?commit_batch
+      ?wal:log
       (Paged_file.create_file ~page_size path)
 
   let create () = create_memory ()
@@ -1277,8 +1302,8 @@ module Make (K : Key.S) = struct
        Same degradation class as the damaged-chain leak: never a double
        hand-out, never wrong tree contents — the page is merely dead
        weight until the store is rebuilt. See doc/RECOVERY.md. *)
-  let open_from ?(cache_pages = default_cache_pages) ?(stripes = default_stripes)
-      ?commit_interval ?commit_batch ?wal pfile =
+  let open_from ?expect_shard ?(cache_pages = default_cache_pages)
+      ?(stripes = default_stripes) ?commit_interval ?commit_batch ?wal pfile =
     if Paged_file.pages pfile = 0 then raise (Corrupt "empty file");
     let page_size = Paged_file.page_size pfile in
     let header =
@@ -1292,7 +1317,24 @@ module Make (K : Key.S) = struct
     in
     let gen, header = header in
     let geti off = Int64.to_int (Bytes.get_int64_le header off) in
-    let t = make ~page_size ~cache_pages ~stripes pfile in
+    (* Partition identity check before anything else touches the file:
+       opening shard i-of-N as j-of-M would misroute every key the
+       router hashes, silently — the typed error is the whole defence
+       against accidental resharding. *)
+    let found_index = geti header_shard_index_off in
+    let found_count = geti header_shard_count_off in
+    let shard =
+      match expect_shard with
+      | None -> (found_index, found_count)
+      | Some (expected_index, expected_count) ->
+          if expected_index <> found_index || expected_count <> found_count
+          then
+            raise
+              (Shard_mismatch
+                 { expected_index; expected_count; found_index; found_count });
+          (expected_index, expected_count)
+    in
+    let t = make ~shard ~page_size ~cache_pages ~stripes pfile in
     Atomic.set t.generation gen;
     Atomic.set t.next (geti 24);
     Atomic.set t.allocated (geti 48);
@@ -1399,8 +1441,8 @@ module Make (K : Key.S) = struct
     | _ -> ());
     t
 
-  let open_file ?cache_pages ?stripes ?commit_interval ?commit_batch ?wal_path
-      path =
+  let open_file ?expect_shard ?cache_pages ?stripes ?commit_interval
+      ?commit_batch ?wal_path path =
     let pfile = Paged_file.open_file ~writable:true path in
     let wal =
       Option.map
@@ -1415,7 +1457,8 @@ module Make (K : Key.S) = struct
               p)
         wal_path
     in
-    open_from ?cache_pages ?stripes ?commit_interval ?commit_batch ?wal pfile
+    open_from ?expect_shard ?cache_pages ?stripes ?commit_interval ?commit_batch
+      ?wal pfile
 
   (* ---------- introspection ---------- *)
 
@@ -1425,6 +1468,7 @@ module Make (K : Key.S) = struct
     Array.fold_left (fun acc (st : stripe) -> acc + Atomic.get st.resident) 0 t.stripes
 
   let page_size t = t.page_size
+  let shard t = t.shard
   let stripe_count t = Array.length t.stripes
   let queue_depth t = Atomic.get t.wq_depth
   let generation t = Atomic.get t.generation

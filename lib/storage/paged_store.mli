@@ -44,6 +44,18 @@
 exception Corrupt of string
 (** A damaged header or page encountered while opening / faulting. *)
 
+exception
+  Shard_mismatch of {
+    expected_index : int;
+    expected_count : int;
+    found_index : int;
+    found_count : int;
+  }
+(** The store being opened records a different partition identity than
+    the caller expected. Raised by [open_from]/[open_file] when
+    [expect_shard] is given: silently opening shard i-of-N as j-of-M
+    would misroute every key the {!Shard_router} hashes. *)
+
 val default_cache_pages : int
 
 val default_stripes : int
@@ -61,6 +73,7 @@ module Make (K : Key.S) : sig
   include Page_store.S with type key = K.t
 
   val create_memory :
+    ?shard:int * int ->
     ?page_size:int ->
     ?cache_pages:int ->
     ?stripes:int ->
@@ -75,9 +88,12 @@ module Make (K : Key.S) : sig
       {!default_cache_pages}); [stripes] the IO stripe count (default
       {!default_stripes}, rounded down to a power of two and clamped to
       [cache_pages]); [wal] (default false) attaches a memory-backed log
-      device so [commit] group-commits; [create] is [create_memory ()]. *)
+      device so [commit] group-commits; [create] is [create_memory ()].
+      [shard] (default [(0, 1)]) is the store's partition identity
+      [(index, count)], recorded in every header it writes. *)
 
   val create_file :
+    ?shard:int * int ->
     ?page_size:int ->
     ?cache_pages:int ->
     ?stripes:int ->
@@ -90,6 +106,7 @@ module Make (K : Key.S) : sig
       log device there and turns on WAL durability mode. *)
 
   val create_on :
+    ?shard:int * int ->
     ?cache_pages:int ->
     ?stripes:int ->
     ?commit_interval:float ->
@@ -106,6 +123,7 @@ module Make (K : Key.S) : sig
       {!default_commit_batch}). *)
 
   val open_file :
+    ?expect_shard:int * int ->
     ?cache_pages:int ->
     ?stripes:int ->
     ?commit_interval:float ->
@@ -118,9 +136,13 @@ module Make (K : Key.S) : sig
       metadata blob from the newest valid header slot; with [wal_path],
       additionally replays the log's group-committed tail (a missing log
       file is created empty, so a sync-mode store can be reopened in WAL
-      mode). @raise Corrupt when no header slot validates. *)
+      mode). [expect_shard] asserts the partition identity recorded in
+      the header. @raise Corrupt when no header slot validates.
+      @raise Shard_mismatch when [expect_shard] disagrees with the
+      header. *)
 
   val open_from :
+    ?expect_shard:int * int ->
     ?cache_pages:int ->
     ?stripes:int ->
     ?commit_interval:float ->
@@ -165,6 +187,10 @@ module Make (K : Key.S) : sig
   (** Currently resident decoded nodes (bounded by [cache_pages]). *)
 
   val page_size : t -> int
+
+  val shard : t -> int * int
+  (** The store's partition identity [(index, count)]; [(0, 1)] for an
+      unsharded store. *)
 
   val stripe_count : t -> int
   (** Actual stripe count after power-of-two / cache clamping. *)

@@ -1,0 +1,26 @@
+(** Deterministic key → shard routing.
+
+    The partition layer hashes every int key through a fixed 64-bit
+    finalizer (splitmix64's, the same mixer {!Repro_util.Splitmix}
+    steps with) and reduces modulo the shard count. The function is a
+    pure arithmetic pipeline — no per-process salt, no dependence on
+    [Hashtbl.hash]'s implementation — so a key routes to the same shard
+    in every process, on every run, across reopens: the property the
+    on-disk shard headers validate ({!Paged_store}'s shard fields) and
+    [test_shard] pins with golden values. *)
+
+(* splitmix64 finalizer: xor-shift / multiply rounds with full 64-bit
+   wraparound, computed in Int64 (the constants exceed OCaml's 63-bit
+   native int) and truncated back to int at the end. The truncation
+   drops one high bit of an already-mixed word — harmless — and keeps
+   the exported value a plain int. *)
+let mix k =
+  let open Int64 in
+  let h = mul (of_int k) 0x9E3779B97F4A7C15L in
+  let h = mul (logxor h (shift_right_logical h 30)) 0xBF58476D1CE4E5B9L in
+  let h = mul (logxor h (shift_right_logical h 27)) 0x94D049BB133111EBL in
+  to_int (logxor h (shift_right_logical h 31))
+
+let shard_of ~shards key =
+  if shards < 1 then invalid_arg "Shard_router.shard_of: shards must be >= 1";
+  if shards = 1 then 0 else mix key land max_int mod shards

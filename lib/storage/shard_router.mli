@@ -1,0 +1,14 @@
+(** Deterministic key → shard routing for the partition layer.
+
+    Routing is a fixed arithmetic hash (splitmix64's finalizer) reduced
+    modulo the shard count: no per-process salt, no [Hashtbl.hash]
+    dependence, so the mapping is stable across processes and reopens —
+    the invariant the sharded store's on-disk headers validate. *)
+
+val mix : int -> int
+(** The raw 64-bit mix, exposed for tests and alternate reducers. *)
+
+val shard_of : shards:int -> int -> int
+(** [shard_of ~shards key] returns [key]'s shard in [\[0, shards)].
+    Stable forever for a given [(shards, key)].
+    @raise Invalid_argument when [shards < 1]. *)

@@ -188,6 +188,10 @@ type server = {
   mutable acked_commits : int;
       (** durable group commits issued to cover mutation acks
           ([durable_acks] mode) *)
+  mutable shard_acks : int array;
+      (** ack-covering commits per shard (sharded handles only; grown
+          on demand to the highest shard this worker committed) — the
+          skew observability counter next to the per-shard io stats *)
   latency : Repro_util.Histogram.t;
       (** per-request service time (decode to response-buffer append),
           seconds *)
@@ -204,8 +208,19 @@ let server_create () =
     max_pipeline = 0;
     protocol_errors = 0;
     acked_commits = 0;
+    shard_acks = [||];
     latency = Repro_util.Histogram.create ();
   }
+
+(** Count one ack-covering commit against [shard], growing the
+    per-shard array on demand. *)
+let note_shard_ack (s : server) shard =
+  if Array.length s.shard_acks <= shard then begin
+    let grown = Array.make (shard + 1) 0 in
+    Array.blit s.shard_acks 0 grown 0 (Array.length s.shard_acks);
+    s.shard_acks <- grown
+  end;
+  s.shard_acks.(shard) <- s.shard_acks.(shard) + 1
 
 (** Merge [src] into [dst]: counters sum, high-water marks max,
     latency histograms merge. *)
@@ -219,6 +234,16 @@ let server_merge ~into:dst (src : server) =
   dst.max_pipeline <- max dst.max_pipeline src.max_pipeline;
   dst.protocol_errors <- dst.protocol_errors + src.protocol_errors;
   dst.acked_commits <- dst.acked_commits + src.acked_commits;
+  (if Array.length src.shard_acks > 0 then begin
+     if Array.length dst.shard_acks < Array.length src.shard_acks then begin
+       let grown = Array.make (Array.length src.shard_acks) 0 in
+       Array.blit dst.shard_acks 0 grown 0 (Array.length dst.shard_acks);
+       dst.shard_acks <- grown
+     end;
+     Array.iteri
+       (fun i v -> dst.shard_acks.(i) <- dst.shard_acks.(i) + v)
+       src.shard_acks
+   end);
   Repro_util.Histogram.merge ~into:dst.latency src.latency
 
 let pp_server fmt (s : server) =
@@ -228,7 +253,11 @@ let pp_server fmt (s : server) =
     s.conns_active s.conns_opened s.frames_in s.frames_out s.bytes_in
     s.bytes_out s.max_pipeline s.protocol_errors s.acked_commits
     (1e6 *. Repro_util.Histogram.percentile s.latency 50.0)
-    (1e6 *. Repro_util.Histogram.percentile s.latency 99.0)
+    (1e6 *. Repro_util.Histogram.percentile s.latency 99.0);
+  if Array.length s.shard_acks > 0 then
+    Format.fprintf fmt " shard_acks=[%s]"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int s.shard_acks)))
 
 let server_to_string s = Format.asprintf "%a" pp_server s
 

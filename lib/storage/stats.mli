@@ -94,10 +94,17 @@ type server = {
       (** malformed / truncated / oversized / checksum-failed frames *)
   mutable acked_commits : int;
       (** durable group commits issued to cover mutation acks *)
+  mutable shard_acks : int array;
+      (** ack-covering commits per shard (sharded handles only; grown on
+          demand to the highest shard this worker committed) *)
   latency : Repro_util.Histogram.t;  (** per-request service time, seconds *)
 }
 
 val server_create : unit -> server
+
+val note_shard_ack : server -> int -> unit
+(** Count one ack-covering commit against a shard, growing the per-shard
+    array on demand. *)
 
 val server_merge : into:server -> server -> unit
 (** Sum counters; max the high-water marks; merge the histograms. *)

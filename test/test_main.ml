@@ -19,6 +19,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("disk", Test_disk.suite);
       ("crash", Test_crash.suite);
+      ("shard", Test_shard.suite);
       ("props", Test_props.suite);
       ("access", Test_access.suite);
       ("trace", Test_trace.suite);
