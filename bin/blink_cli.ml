@@ -58,6 +58,28 @@ let dist_of_name = function
   | "hotspot" -> Repro_util.Distribution.Hotspot { hot_fraction = 0.1; hot_probability = 0.9 }
   | s -> failwith (Printf.sprintf "unknown distribution %S" s)
 
+(* --combine MODE -> (batch-level dedup on, leaf-level combining on) *)
+let combine_of_name = function
+  | "off" -> (false, false)
+  | "batch" -> (true, false)
+  | "leaf" -> (false, true)
+  | "both" -> (true, true)
+  | s -> failwith (Printf.sprintf "unknown combine mode %S (off, batch, leaf, both)" s)
+
+let maybe_combine combine_leaf (h : Tree_intf.handle) =
+  if combine_leaf then
+    let c, h' = Tree_intf.with_combining h in
+    (Some c, h')
+  else (None, h)
+
+let print_combine = function
+  | None -> ()
+  | Some c ->
+      let ct = Combine.counters c in
+      Printf.printf "combine: registered=%d installs=%d combined=%d applied=%d\n"
+        ct.Combine.c_registered ct.Combine.c_installs ct.Combine.c_combined
+        ct.Combine.c_applied
+
 (* -- run -- *)
 
 (* Wrap a handle so every [every]-th completed mutation (a global
@@ -97,7 +119,7 @@ let print_sharded_io sst =
 
 let run_cmd tree_name backend mix_name dist_name domains ops key_space preload order
     seed compactors validate latency durability sync_every commit_every
-    commit_batch shards =
+    commit_batch shards combine zipf =
   let wal =
     match durability with
     | "sync" -> false
@@ -116,20 +138,31 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     failwith "--shards requires --backend disk";
   let every = max sync_every commit_every in
   let commit_batch = if commit_batch > 1 then Some commit_batch else None in
+  let combine_batch, combine_leaf = combine_of_name combine in
+  if combine_batch then
+    Printf.printf
+      "note: batch-level dedup lives in the pipelined server (serve --combine); \
+       the direct driver path applies leaf combining only\n";
+  let dist =
+    match zipf with
+    | Some theta -> Repro_util.Distribution.Zipfian theta
+    | None -> dist_of_name dist_name
+  in
+  let dist_label = Repro_util.Distribution.kind_to_string dist in
   let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
   let spec =
-    Workload.spec ~op_mix:(mix_of_name mix_name) ~key_space ~dist:(dist_of_name dist_name)
-      ~preload ()
+    Workload.spec ~op_mix:(mix_of_name mix_name) ~key_space ~dist ~preload ()
   in
   Printf.printf
     "tree=%s backend=%s mix=%s dist=%s domains=%d ops/domain=%d keyspace=%d preload=%d order=%d%s\n%!"
-    impl.Tree_intf.impl_name backend mix_name dist_name domains ops key_space preload
+    impl.Tree_intf.impl_name backend mix_name dist_label domains ops key_space preload
     order
     ((if backend = "disk" then
         Printf.sprintf " durability=%s%s" durability
           (if every > 0 then Printf.sprintf " every=%d" every else "")
       else "")
-    ^ if shards > 1 then Printf.sprintf " shards=%d" shards else "");
+    ^ (if shards > 1 then Printf.sprintf " shards=%d" shards else "")
+    ^ if combine_leaf then " combine=leaf" else "");
   let needs_raw = compactors > 0 || (validate && tree_name <> "lehman-yao") in
   if needs_raw && shards > 1 then
     failwith "--compactors/--validate are per-tree; not supported with --shards";
@@ -171,21 +204,25 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     match backend with
     | "mem" ->
         let raw, h = Tree_intf.sagiv_raw ~enqueue_on_delete ~order () in
+        let comb, h = maybe_combine combine_leaf h in
         finish
           (measure h (fun () ->
                Driver.run_ops_with_compaction raw h ~domains ~compactors
                  ~ops_per_domain:ops ~seed spec));
+        print_combine comb;
         finish_check (fun () -> V.check raw)
     | _ ->
         let raw, h =
           Tree_intf.sagiv_disk_raw ~enqueue_on_delete ~wal ?commit_batch ~order ()
         in
         let h = with_periodic_commit every h in
+        let comb, h = maybe_combine combine_leaf h in
         finish
           (measure h (fun () ->
                Driver.run_ops_with_workers h ~domains ~workers:compactors
                  ~worker:(fun ~stop ctx -> Co_disk.run_worker raw ctx ~stop)
                  ~ops_per_domain:ops ~seed spec));
+        print_combine comb;
         Printf.printf "io: %s\n"
           (Stats.io_to_string (Tree_intf.Paged_int.io_stats raw.Handle.store));
         finish_check (fun () -> V_disk.check raw)
@@ -211,6 +248,7 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
       end
       else (None, None, impl.Tree_intf.make ~order)
     in
+    let comb, h = maybe_combine combine_leaf h in
     let n = Driver.preload h ~seed spec in
     Printf.printf "preloaded %d keys\n%!" n;
     let r = Driver.run_ops ~measure_latency:latency h ~domains ~ops_per_domain:ops ~seed spec in
@@ -220,6 +258,7 @@ let run_cmd tree_name backend mix_name dist_name domains ops key_space preload o
     (match r.Driver.latency with
     | Some h -> Printf.printf "latency: %s\n" (Driver.percentiles_line h)
     | None -> ());
+    print_combine comb;
     (match store with
     | Some s -> Printf.printf "io: %s\n" (Stats.io_to_string (Tree_intf.Paged_int.io_stats s))
     | None -> ());
@@ -381,7 +420,7 @@ let string_of_sockaddr = function
       Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
 
 let serve_cmd tree_name backend order durability commit_batch workers port
-    unix_path shards =
+    unix_path shards combine =
   let wal =
     match durability with
     | "sync" -> false
@@ -420,19 +459,22 @@ let serve_cmd tree_name backend order durability commit_batch workers port
     @ match unix_path with Some p -> [ Unix.ADDR_UNIX p ] | None -> []
   in
   if listen = [] then failwith "nothing to listen on (--port and/or --unix)";
+  let combine_batch, combine_leaf = combine_of_name combine in
+  let comb, h = maybe_combine combine_leaf h in
   (* acks are durable exactly when the backend can group-commit them *)
   let srv =
     Repro_server.Server.start ~workers ~durable_acks:(backend = "disk")
-      ~handle:h ~listen ()
+      ~combine_batch ~handle:h ~listen ()
   in
   List.iter
     (fun a -> Printf.printf "listening on %s\n%!" (string_of_sockaddr a))
     (Repro_server.Server.addresses srv);
-  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s (ctrl-C stops)\n%!"
+  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s (ctrl-C stops)\n%!"
     h.Tree_intf.name backend
     (if backend = "disk" then durability else "none")
     workers
-    (if shards > 1 then Printf.sprintf " shards=%d" shards else "");
+    (if shards > 1 then Printf.sprintf " shards=%d" shards else "")
+    (if combine <> "off" then Printf.sprintf " combine=%s" combine else "");
   let stop = Atomic.make false in
   let on_signal _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -445,6 +487,7 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   h.Tree_intf.commit ();
   Printf.printf "%s\n"
     (Stats.server_to_string (Repro_server.Server.stats srv));
+  print_combine comb;
   (match sst with Some sst -> print_sharded_io sst | None -> ());
   Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ())
     (h.Tree_intf.height ());
@@ -582,12 +625,24 @@ let shards_arg =
            ~doc:"Partition the keyspace into N independent store+WAL shards \
                  (deterministic hash routing; disk backend only).")
 
+let combine_arg =
+  Arg.(value & opt string "off"
+       & info [ "combine" ] ~docv:"MODE"
+           ~doc:"Hot-key combining: off, batch (server-side pipeline-batch \
+                 dedup), leaf (publication-array combining under the tree \
+                 interface), or both.")
+
+let zipf_arg =
+  Arg.(value & opt (some float) None
+       & info [ "zipf" ] ~docv:"THETA"
+           ~doc:"Zipfian key skew with exponent THETA (overrides --dist).")
+
 let run_t =
   Term.(
     const run_cmd $ tree_arg $ backend_arg $ mix_arg $ dist_arg $ domains_arg $ ops_arg
     $ space_arg $ preload_arg $ order_arg $ seed_arg $ compactors_arg $ validate_arg
     $ latency_arg $ durability_arg $ sync_every_arg $ commit_every_arg
-    $ commit_batch_arg $ shards_arg)
+    $ commit_batch_arg $ shards_arg $ combine_arg $ zipf_arg)
 
 let n_arg = Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
 
@@ -649,7 +704,8 @@ let unix_arg =
 let serve_t =
   Term.(
     const serve_cmd $ tree_arg $ backend_arg $ order_arg $ durability_arg
-    $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg $ shards_arg)
+    $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg $ shards_arg
+    $ combine_arg)
 
 let host_arg =
   Arg.(value & opt string "127.0.0.1"

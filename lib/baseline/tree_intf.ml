@@ -32,6 +32,13 @@ type handle = {
       (** partition-layer surface: present on sharded handles so the
           server can route batches and commit only the shards a batch
           touched; [None] on monolithic backends *)
+  bulk_add : (?fill:float -> (int * int) list -> bool) option;
+      (** quiescent bulk load of strictly ascending pairs into an
+          {e empty} tree ([false] = tree not empty, caller falls back to
+          [insert]); [None] on backends without a packing constructor.
+          [fill] is the node-packing fraction (default 0.9 — dense);
+          preload paths that model an incrementally built tree pass a
+          lower fill so nodes start near the compaction threshold *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -54,7 +61,7 @@ end
     record is built, so a new backend registers in ~5 lines. [commit]
     defaults to a no-op — in-memory backends have nothing to make
     durable; [range] defaults to unsupported. *)
-let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ~name
+let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ?bulk_add ~name
     (module M : TREE_OPS with type t = a) (t : a) =
   {
     name;
@@ -66,6 +73,7 @@ let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ~name
     commit;
     range;
     sharding;
+    bulk_add;
   }
 
 (* K-way merge of per-shard range results: each list is sorted and the
@@ -93,6 +101,25 @@ let sharded ~name (subs : handle array) =
                (Array.map (fun h -> (Option.get h.range) ctx ~lo ~hi) subs)))
     else None
   in
+  let bulk_add =
+    if Array.for_all (fun h -> h.bulk_add <> None) subs then
+      Some
+        (fun ?fill pairs ->
+          (* partition the sorted pairs per shard; order (and thus
+             strict ascent) is preserved within each shard *)
+          let per = Array.make shards [] in
+          List.iter
+            (fun ((k, _) as p) -> per.(route k) <- p :: per.(route k))
+            pairs;
+          let ok = ref true in
+          Array.iteri
+            (fun i ps ->
+              if not ((Option.get subs.(i).bulk_add) ?fill (List.rev ps))
+              then ok := false)
+            per;
+          !ok)
+    else None
+  in
   {
     name;
     search = (fun ctx k -> subs.(route k).search ctx k);
@@ -109,7 +136,37 @@ let sharded ~name (subs : handle array) =
           shard_of_key = route;
           commit_shard = (fun i -> subs.(i).commit ());
         };
+    bulk_add;
   }
+
+(** Route a handle's mutations through a {!Repro_core.Combine} array:
+    contenders on the same hot key publish their ops and one combiner
+    applies the merged result under the slot lock, so N writers cost at
+    most two tree operations per key instead of N serialised leaf-lock
+    acquisitions. Searches (and everything else) pass straight through —
+    they were lock-free already. The combiner applies other publishers'
+    operations with its own [ctx]; outcomes are valid linearizations
+    (see {!Repro_core.Combine}). Returns the array (for its counters)
+    alongside the wrapped handle. *)
+let with_combining ?slots (h : handle) =
+  let c = Combine.create ?slots () in
+  let insert ctx k v =
+    match
+      Combine.mutate c ~key:k ~op:(Combine.Insert v) ~insert:(h.insert ctx)
+        ~delete:(h.delete ctx)
+    with
+    | Combine.Inserted r -> r
+    | Combine.Deleted _ -> assert false
+  in
+  let delete ctx k =
+    match
+      Combine.mutate c ~key:k ~op:Combine.Delete ~insert:(h.insert ctx)
+        ~delete:(h.delete ctx)
+    with
+    | Combine.Deleted r -> r
+    | Combine.Inserted _ -> assert false
+  in
+  (c, { h with name = h.name ^ "+combine"; insert; delete })
 
 module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
 module Paged_int = Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
@@ -127,14 +184,19 @@ let sagiv ?(enqueue_on_delete = false) () =
     make =
       (fun ~order ->
         let t = Sagiv_int.create ~order ~enqueue_on_delete () in
-        of_ops ~range:(Sagiv_int.range t) ~name:"sagiv" (module Sagiv_int) t);
+        of_ops ~range:(Sagiv_int.range t)
+          ~bulk_add:(fun ?fill ps -> Sagiv_int.bulk_add ?fill t ps)
+          ~name:"sagiv" (module Sagiv_int) t);
   }
 
 (** Like {!sagiv} but also hands back the raw tree, for benches that run
     compaction workers alongside. *)
 let sagiv_raw ?(enqueue_on_delete = false) ~order () =
   let t = Sagiv_int.create ~order ~enqueue_on_delete () in
-  (t, of_ops ~range:(Sagiv_int.range t) ~name:"sagiv" (module Sagiv_int) t)
+  ( t,
+    of_ops ~range:(Sagiv_int.range t)
+      ~bulk_add:(fun ?fill ps -> Sagiv_int.bulk_add ?fill t ps)
+      ~name:"sagiv" (module Sagiv_int) t )
 
 let make_disk_store ?cache_pages ?stripes ?commit_interval ?commit_batch
     ?(wal = false) () =
@@ -158,7 +220,9 @@ let sagiv_disk ?(enqueue_on_delete = false) ?cache_pages ?stripes
         let t = Sagiv_disk.create ~order ~enqueue_on_delete ~store () in
         of_ops
           ~commit:(fun () -> Sagiv_disk.commit t)
-          ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t);
+          ~range:(Sagiv_disk.range t)
+          ~bulk_add:(fun ?fill ps -> Sagiv_disk.bulk_add ?fill t ps)
+          ~name:"sagiv-disk" (module Sagiv_disk) t);
   }
 
 (** Like {!sagiv_raw} for the disk backend: hands back the raw tree for
@@ -173,12 +237,16 @@ let sagiv_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes
   ( t,
     of_ops
       ~commit:(fun () -> Sagiv_disk.commit t)
-      ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t )
+      ~range:(Sagiv_disk.range t)
+      ~bulk_add:(fun ?fill ps -> Sagiv_disk.bulk_add ?fill t ps)
+      ~name:"sagiv-disk" (module Sagiv_disk) t )
 
 let disk_sub_handle t =
   of_ops
     ~commit:(fun () -> Sagiv_disk.commit t)
-    ~range:(Sagiv_disk.range t) ~name:"sagiv-disk" (module Sagiv_disk) t
+    ~range:(Sagiv_disk.range t)
+    ~bulk_add:(fun ?fill ps -> Sagiv_disk.bulk_add ?fill t ps)
+    ~name:"sagiv-disk" (module Sagiv_disk) t
 
 let sharded_name shards = Printf.sprintf "sagiv-disk-x%d" shards
 

@@ -32,6 +32,13 @@ type handle = {
       (** partition-layer surface: present on sharded handles so the
           server can route batches and commit only the shards a batch
           touched; [None] on monolithic backends *)
+  bulk_add : (?fill:float -> (int * int) list -> bool) option;
+      (** quiescent bulk load of strictly ascending pairs into an
+          {e empty} tree ([false] = tree not empty, caller falls back to
+          [insert]); [None] on backends without a packing constructor.
+          [fill] is the node-packing fraction (default 0.9 — dense);
+          preload paths that model an incrementally built tree pass a
+          lower fill so nodes start near the compaction threshold *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -51,13 +58,15 @@ val of_ops :
   ?commit:(unit -> unit) ->
   ?range:(Handle.ctx -> lo:int -> hi:int -> (int * int) list) ->
   ?sharding:sharding ->
+  ?bulk_add:(?fill:float -> (int * int) list -> bool) ->
   name:string ->
   (module TREE_OPS with type t = 'a) ->
   'a ->
   handle
 (** Close a tree value over its operations — the base constructor of
     {!handle}, so a new backend registers in a few lines. [commit]
-    defaults to a no-op; [range] to unsupported; [sharding] to [None]. *)
+    defaults to a no-op; [range] to unsupported; [sharding] and
+    [bulk_add] to [None]. *)
 
 val sharded : name:string -> handle array -> handle
 (** Compose per-shard handles into one: every keyed operation routes
@@ -65,7 +74,17 @@ val sharded : name:string -> handle array -> handle
     length; [cardinal] sums, [height] maxes, [commit] commits every
     shard, [range] k-way merges the per-shard ordered scans (present iff
     every shard supports it). The result's [sharding] field exposes the
-    router and per-shard commit. *)
+    router and per-shard commit; [bulk_add] partitions the sorted pairs
+    per shard (present iff every shard supports it). *)
+
+val with_combining : ?slots:int -> handle -> Repro_core.Combine.t * handle
+(** Route the handle's mutations through a {!Repro_core.Combine} array:
+    same-hot-key writers publish their ops and one combiner applies the
+    merged result, so N contenders cost at most two tree operations per
+    key instead of N serialised leaf-lock acquisitions. Searches pass
+    straight through (lock-free already). Returns the array (for its
+    counters) with the wrapped handle; [slots] is the array width
+    (default 64). The handle's name gains a ["+combine"] suffix. *)
 
 module Paged_int : module type of Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 (** The durable int-keyed page store the disk impls run on. *)

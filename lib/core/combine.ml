@@ -1,0 +1,150 @@
+(** Leaf-level combining for hot keys (flat-combining / elimination
+    array, after the Elimination (a,b)-trees line of work).
+
+    A hot key serialises every writer on one leaf lock. Instead of all N
+    contenders queueing on that lock, each {e publishes} its operation in
+    a small slot array indexed by a hash of the key; whoever wins the
+    slot's combiner lock drains the publication list, merges same-key
+    operations, applies at most two physical tree operations per key, and
+    distributes an outcome to every publisher.
+
+    Soundness: every operation drained together is still in flight (its
+    caller is spinning in {!mutate}), so their invocation–response
+    windows all overlap and {e any} serial order over them is a valid
+    linearization. The installer picks: all deletes, then all inserts.
+    Under the slot lock that order fully determines each outcome from at
+    most two physical calls —
+
+    - first delete runs physically; the other deletes of that key are
+      concurrent with it and linearize immediately after, so they return
+      [Deleted false];
+    - first insert runs physically; the others linearize immediately
+      after it and return [Inserted `Duplicate]. (When a delete of the
+      same key ran first, the physical insert necessarily returns [`Ok].)
+
+    Reads never enter the array — they stay lock-free in the tree. *)
+
+type op = Insert of int | Delete
+
+type outcome = Inserted of [ `Ok | `Duplicate ] | Deleted of bool
+
+type req = {
+  key : int;
+  op : op;
+  mutable outcome : outcome;
+      (** Written by the installer before the [state] release below;
+          plain field, published by the [Atomic.set] on [state]. *)
+  state : int Atomic.t;  (** 0 = pending, 1 = done. *)
+}
+
+type slot = {
+  pubs : req list Atomic.t;  (** Treiber-style publication list. *)
+  lock : Mutex.t;  (** Combiner election: [try_lock] winner installs. *)
+}
+
+type t = {
+  slots : slot array;
+  registered : int Atomic.t;
+  installs : int Atomic.t;
+  combined : int Atomic.t;
+  applied : int Atomic.t;
+}
+
+type counters = {
+  c_registered : int;
+  c_installs : int;
+  c_combined : int;
+  c_applied : int;
+}
+
+let create ?(slots = 64) () : t =
+  if slots < 1 then invalid_arg "Combine.create: slots must be >= 1";
+  {
+    slots =
+      Array.init slots (fun _ ->
+          { pubs = Atomic.make []; lock = Mutex.create () });
+    registered = Atomic.make 0;
+    installs = Atomic.make 0;
+    combined = Atomic.make 0;
+    applied = Atomic.make 0;
+  }
+
+let counters (t : t) : counters =
+  {
+    c_registered = Atomic.get t.registered;
+    c_installs = Atomic.get t.installs;
+    c_combined = Atomic.get t.combined;
+    c_applied = Atomic.get t.applied;
+  }
+
+let slot_of (t : t) key =
+  t.slots.(Repro_storage.Shard_router.shard_of ~shards:(Array.length t.slots) key)
+
+let rec push slot req =
+  let old = Atomic.get slot.pubs in
+  if not (Atomic.compare_and_set slot.pubs old (req :: old)) then push slot req
+
+let finish (t : t) ~derived (r : req) outcome =
+  if derived then Atomic.incr t.combined;
+  r.outcome <- outcome;
+  Atomic.set r.state 1 (* release: publishes [outcome] to the spinner *)
+
+(* Apply one key's drained requests: at most one physical delete and one
+   physical insert; everything else gets a derived outcome (see the
+   linearization argument in the header comment). *)
+let apply_group (t : t) ~insert ~delete key (reqs : req list) =
+  let deletes, inserts =
+    List.partition (fun r -> match r.op with Delete -> true | Insert _ -> false) reqs
+  in
+  (match deletes with
+  | [] -> ()
+  | first :: rest ->
+      Atomic.incr t.applied;
+      finish t ~derived:false first (Deleted (delete key));
+      List.iter (fun r -> finish t ~derived:true r (Deleted false)) rest);
+  match inserts with
+  | [] -> ()
+  | first :: rest ->
+      let value = match first.op with Insert v -> v | Delete -> assert false in
+      Atomic.incr t.applied;
+      finish t ~derived:false first (Inserted (insert key value));
+      List.iter (fun r -> finish t ~derived:true r (Inserted `Duplicate)) rest
+
+let drain_and_apply (t : t) slot ~insert ~delete =
+  match Atomic.exchange slot.pubs [] with
+  | [] -> ()
+  | reqs ->
+      Atomic.incr t.installs;
+      (* Group per key, preserving nothing — all reqs are concurrent. *)
+      let groups : (int, req list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          let prev = try Hashtbl.find groups r.key with Not_found -> [] in
+          Hashtbl.replace groups r.key (r :: prev))
+        reqs;
+      Hashtbl.iter (apply_group t ~insert ~delete) groups
+
+let mutate (t : t) ~key ~op
+    ~(insert : int -> int -> [ `Ok | `Duplicate ]) ~(delete : int -> bool) :
+    outcome =
+  let slot = slot_of t key in
+  let req = { key; op; outcome = Deleted false; state = Atomic.make 0 } in
+  Atomic.incr t.registered;
+  push slot req;
+  let backoff = Repro_util.Backoff.create () in
+  let rec loop () =
+    if Atomic.get req.state = 1 then req.outcome
+    else if Mutex.try_lock slot.lock then begin
+      (* We are the combiner: our own request is in the list (or was
+         just finished by the previous combiner). *)
+      drain_and_apply t slot ~insert ~delete;
+      Mutex.unlock slot.lock;
+      if Atomic.get req.state = 1 then req.outcome
+      else loop () (* raced: someone drained us but hadn't finished *)
+    end
+    else begin
+      Repro_util.Backoff.once backoff;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,39 @@
+(** Leaf-level combining for hot keys (flat-combining / elimination
+    array). Concurrent mutators of the same hot key publish their
+    operations in a hashed slot array; one combiner per slot drains the
+    list, applies at most two physical tree operations per key (one
+    delete, one insert) and hands every publisher a derived outcome that
+    is a valid linearization of the whole group. Reads never enter the
+    array. See combine.ml's header for the linearization argument. *)
+
+type op = Insert of int  (** payload *) | Delete
+
+type outcome = Inserted of [ `Ok | `Duplicate ] | Deleted of bool
+
+type t
+
+type counters = {
+  c_registered : int;  (** operations that entered the array *)
+  c_installs : int;  (** non-empty combiner drains *)
+  c_combined : int;  (** outcomes derived without a physical tree op *)
+  c_applied : int;  (** physical tree operations performed *)
+}
+
+val create : ?slots:int -> unit -> t
+(** [slots] (default 64) is the combining-array width; keys are routed
+    by the same stable hash as shard routing. *)
+
+val mutate :
+  t ->
+  key:int ->
+  op:op ->
+  insert:(int -> int -> [ `Ok | `Duplicate ]) ->
+  delete:(int -> bool) ->
+  outcome
+(** Publish [op] on [key] and spin until an outcome is available,
+    becoming the combiner when the slot lock is free. [insert]/[delete]
+    are the underlying tree operations; they are invoked only under the
+    slot's combiner lock (so same-slot mutations are mutually excluded)
+    and may be called with {e other} publishers' keys and payloads. *)
+
+val counters : t -> counters

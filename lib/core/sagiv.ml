@@ -66,25 +66,22 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
              s)
     end
 
-  (** Bulk-load a tree from strictly ascending (key, payload) pairs — a
-      quiescent constructor that packs nodes to [fill] (default 0.9 of
-      capacity) and never takes a lock. Orders of magnitude faster than
-      repeated {!insert} and yields denser nodes.
-      @raise Invalid_argument if the keys are not strictly ascending. *)
-  let of_sorted ?(order = 8) ?(fill = 0.9) ?store (pairs : (K.t * Node.ptr) list) : t =
-    if order < 1 then invalid_arg "Sagiv.of_sorted: order must be >= 1";
-    if fill <= 0.0 || fill > 1.0 then invalid_arg "Sagiv.of_sorted: fill in (0, 1]";
-    let rec check_sorted = function
+  let check_sorted pairs =
+    let rec go = function
       | (a, _) :: ((b, _) :: _ as rest) ->
           if K.compare a b >= 0 then
             invalid_arg "Sagiv.of_sorted: keys must be strictly ascending";
-          check_sorted rest
+          go rest
       | [ _ ] | [] -> ()
     in
-    check_sorted pairs;
-    let store = match store with Some s -> s | None -> S.create () in
-    if S.live_count store <> 0 then
-      invalid_arg "Sagiv.of_sorted: store not empty (use open_existing)";
+    go pairs
+
+  (* Shared bulk-construction core of {!of_sorted} and {!bulk_add}: pack
+     the strictly ascending [pairs] bottom-up into [store] at [fill] of
+     capacity and return the leftmost pointer of each level (leaf first,
+     root last). Quiescent; the caller publishes the result. *)
+  let build_levels ~order ~fill ~store (pairs : (K.t * Node.ptr) list) :
+      Node.ptr array =
     (* target chunk size: fill fraction of capacity, at least 2 so every
        level strictly shrinks (a cap of 1 would never converge) *)
     let cap = max 2 (max order (int_of_float (fill *. float_of_int (2 * order)))) in
@@ -185,7 +182,21 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
     let leftmost_leaf = fst (List.hd leaf_level) in
     let _root_ptr, upper_leftmosts = build_up 1 leaf_level [] in
     (* [upper_leftmosts] is bottom-up: levels 1..top; the root is last. *)
-    let leftmost = Array.of_list (leftmost_leaf :: upper_leftmosts) in
+    Array.of_list (leftmost_leaf :: upper_leftmosts)
+
+  (** Bulk-load a tree from strictly ascending (key, payload) pairs — a
+      quiescent constructor that packs nodes to [fill] (default 0.9 of
+      capacity) and never takes a lock. Orders of magnitude faster than
+      repeated {!insert} and yields denser nodes.
+      @raise Invalid_argument if the keys are not strictly ascending. *)
+  let of_sorted ?(order = 8) ?(fill = 0.9) ?store (pairs : (K.t * Node.ptr) list) : t =
+    if order < 1 then invalid_arg "Sagiv.of_sorted: order must be >= 1";
+    if fill <= 0.0 || fill > 1.0 then invalid_arg "Sagiv.of_sorted: fill in (0, 1]";
+    check_sorted pairs;
+    let store = match store with Some s -> s | None -> S.create () in
+    if S.live_count store <> 0 then
+      invalid_arg "Sagiv.of_sorted: store not empty (use open_existing)";
+    let leftmost = build_levels ~order ~fill ~store pairs in
     {
       store;
       prime = Prime_block.restore ~levels:(Array.length leftmost) ~leftmost;
@@ -194,6 +205,31 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
       queue = Cqueue.create ();
       enqueue_on_delete = false;
     }
+
+  (** [bulk_add t pairs] packs strictly ascending [pairs] into an
+      {e empty} tree in place — {!of_sorted}'s fast path for callers
+      handed an already-created handle (preload). When the tree is not
+      empty it returns [false] without touching anything and the caller
+      falls back to {!insert}; on [true] the packed structure replaced
+      the empty root. Quiescent only: no concurrent operation may be in
+      flight, exactly as {!of_sorted}.
+      @raise Invalid_argument if the keys are not strictly ascending. *)
+  let bulk_add ?(fill = 0.9) (t : t) (pairs : (K.t * Node.ptr) list) : bool =
+    if fill <= 0.0 || fill > 1.0 then invalid_arg "Sagiv.bulk_add: fill in (0, 1]";
+    check_sorted pairs;
+    let snap = Prime_block.read t.prime in
+    let root_ptr = Prime_block.root snap in
+    if
+      snap.Prime_block.levels <> 1
+      || Array.length (S.get t.store root_ptr).Node.keys > 0
+    then false
+    else if pairs = [] then true
+    else begin
+      let leftmost = build_levels ~order:t.order ~fill ~store:t.store pairs in
+      Prime_block.install t.prime ~levels:(Array.length leftmost) ~leftmost;
+      S.release t.store root_ptr;
+      true
+    end
 
   (** [search t ctx k] returns the record pointer stored with [k], without
       taking any lock (§2.2: locks never block readers; readers never

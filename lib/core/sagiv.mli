@@ -36,6 +36,13 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
       much faster and denser than repeated {!insert}.
       @raise Invalid_argument on unsorted keys. *)
 
+  val bulk_add : ?fill:float -> t -> (K.t * Node.ptr) list -> bool
+  (** Pack strictly ascending pairs into an {e empty} tree in place —
+      {!of_sorted}'s fast path for callers handed an already-created
+      handle (preload). Returns [false] without touching anything when
+      the tree is not empty (fall back to {!insert}). Quiescent only.
+      @raise Invalid_argument on unsorted keys. *)
+
   val search : t -> ctx -> K.t -> Node.ptr option
   (** The record pointer stored with the key; entirely lock-free. *)
 

@@ -99,12 +99,21 @@ let matches_model recovered (m : (int, int) Hashtbl.t) =
   List.length recovered = Hashtbl.length m
   && List.for_all (fun (k, v) -> Hashtbl.find_opt m k = Some v) recovered
 
+(* Key sampler for the crash workloads. [Uniform] unscrambled is
+   bit-identical to the historical [Splitmix.int rng space] draw, so the
+   default runs replay the exact seeded histories they always had; a
+   [Zipfian] dist turns the same oracle loose on hot-key traffic. *)
+let key_sampler ~space dist =
+  let scramble = dist <> Repro_util.Distribution.Uniform in
+  Repro_util.Distribution.create ~scramble ~space dist
+
 (** One tree-level crash run: preload + clean sync, arm [site] with
-    [policy], run a seeded insert/delete/search mix syncing every 25 ops,
-    catch the simulated death, recover, and hold recovery to the oracle.
-    A run where the policy never fires ends with a clean close and an
-    exact-contents check instead. *)
-let run_tree ?(ops = 400) ?(seed = 42) ~site ~policy (config : config) =
+    [policy], run a seeded insert/delete/search mix ([dist] keys, default
+    uniform) syncing every 25 ops, catch the simulated death, recover,
+    and hold recovery to the oracle. A run where the policy never fires
+    ends with a clean close and an exact-contents check instead. *)
+let run_tree ?(ops = 400) ?(seed = 42) ?(dist = Repro_util.Distribution.Uniform)
+    ~site ~policy (config : config) =
   Failpoint.reset ();
   let pfile = Paged_file.create_shadow ~page_size:512 () in
   let store = PS.create_on ~cache_pages:config.cache_pages pfile in
@@ -132,9 +141,10 @@ let run_tree ?(ops = 400) ?(seed = 42) ~site ~policy (config : config) =
   Failpoint.set site policy;
   (try
      let rng = Repro_util.Splitmix.create seed in
+     let keys = key_sampler ~space:200 dist in
      for i = 1 to ops do
        issued := i;
-       let k = Repro_util.Splitmix.int rng 200 in
+       let k = Repro_util.Distribution.sample keys rng in
        (match Repro_util.Splitmix.int rng 10 with
        | 0 | 1 ->
            if Sg.delete tree c k then Hashtbl.remove model k
@@ -460,8 +470,11 @@ let recover_wal ~cache_pages pfile lfile =
     ops ([Sg.commit]) and checkpoints every 100 ([Sg.flush]), and the
     oracle tightens to the {e commit} point — recovery must land exactly
     on the last acknowledged commit (or the in-flight one, when the
-    crash hit a commit past its log fsync). *)
-let run_wal_tree ?(ops = 400) ?(seed = 1042) ~site ~policy (config : config) =
+    crash hit a commit past its log fsync). [dist] (default uniform)
+    selects the key stream; a Zipfian dist aims the commit-point oracle
+    at hot-key traffic. *)
+let run_wal_tree ?(ops = 400) ?(seed = 1042)
+    ?(dist = Repro_util.Distribution.Uniform) ~site ~policy (config : config) =
   Failpoint.reset ();
   let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
   let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
@@ -486,9 +499,10 @@ let run_wal_tree ?(ops = 400) ?(seed = 1042) ~site ~policy (config : config) =
   Failpoint.set site policy;
   (try
      let rng = Repro_util.Splitmix.create seed in
+     let keys = key_sampler ~space:200 dist in
      for i = 1 to ops do
        issued := i;
-       let k = Repro_util.Splitmix.int rng 200 in
+       let k = Repro_util.Distribution.sample keys rng in
        (match Repro_util.Splitmix.int rng 10 with
        | 0 | 1 ->
            if Sg.delete tree c k then Hashtbl.remove model k
@@ -1029,6 +1043,24 @@ let battery ?(quick = false) ?(shards = 4) ?(log = fun _ -> ()) () =
            { writer = false; cache_pages = 8 };
            { writer = true; cache_pages = 8 };
          ]);
+  (* the same commit-point oracle under hot-key traffic: a Zipfian key
+     stream hammers a handful of leaves, so crashes land amid repeated
+     same-key updates — the regime the combining layer batches *)
+  let zipf = Repro_util.Distribution.Zipfian 0.99 in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun ordinal ->
+          record
+            (run_wal_tree ~dist:zipf ~seed:3042 ~site
+               ~policy:(Failpoint.Crash_after ordinal)
+               { writer = false; cache_pages = 8 }))
+        crash_ordinals)
+    [ "wal.append"; "wal.commit" ];
+  record
+    (run_tree ~dist:zipf ~seed:3042 ~site:"paged_file.pwrite"
+       ~policy:(Failpoint.Crash_after 3)
+       { writer = false; cache_pages = 8 });
   record (run_torn_header { writer = false; cache_pages = 8 });
   record (run_torn_chain ());
   record (run_short_writes { writer = false; cache_pages = 8 });

@@ -29,11 +29,14 @@ val pp_outcome : outcome -> string
 val run_tree :
   ?ops:int ->
   ?seed:int ->
+  ?dist:Repro_util.Distribution.kind ->
   site:string ->
   policy:Repro_storage.Failpoint.policy ->
   config ->
   outcome
-(** One tree-level crash run against the oracle.
+(** One tree-level crash run against the oracle. [dist] (default
+    uniform, bit-identical to the historical seeded stream) selects the
+    key distribution; Zipfian aims the oracle at hot-key traffic.
     @raise Failure on any violated recovery invariant. *)
 
 val run_torn_header : config -> outcome
@@ -56,13 +59,15 @@ val run_error_paths : unit -> unit
 val run_wal_tree :
   ?ops:int ->
   ?seed:int ->
+  ?dist:Repro_util.Distribution.kind ->
   site:string ->
   policy:Repro_storage.Failpoint.policy ->
   config ->
   outcome
 (** {!run_tree} in WAL durability mode: shadow data + shadow log device,
     group commit every 5 ops, checkpoint every 100, recovery through log
-    replay held to the commit-point oracle. *)
+    replay held to the commit-point oracle. [dist] as in {!run_tree};
+    the battery includes Zipfian runs of this. *)
 
 val run_sharded_wal :
   ?ops:int ->

@@ -37,6 +37,13 @@ let spec ?(op_mix = balanced) ?(key_space = 100_000) ?(dist = Distribution.Unifo
     ?(preload = 0) () =
   { op_mix; key_space; dist; preload }
 
+(** Zipf-skewed spec: the same op mix over a scrambled Zipfian key
+    stream ([theta] defaults to the YCSB 0.99) — the hot-key stress the
+    combining layer targets. *)
+let skewed ?(op_mix = balanced) ?(key_space = 100_000) ?(theta = 0.99)
+    ?(preload = 0) () =
+  { op_mix; key_space; dist = Distribution.Zipfian theta; preload }
+
 (** YCSB-style presets (reads map to search, updates/RMW to insert; YCSB-E
     is scan-heavy and has no point-op encoding here). All zipfian(0.99)
     over a preloaded key space, as in the YCSB core workloads. *)

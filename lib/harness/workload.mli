@@ -30,6 +30,11 @@ type spec = {
 val spec :
   ?op_mix:mix -> ?key_space:int -> ?dist:Distribution.kind -> ?preload:int -> unit -> spec
 
+val skewed :
+  ?op_mix:mix -> ?key_space:int -> ?theta:float -> ?preload:int -> unit -> spec
+(** {!spec} over a scrambled Zipfian key stream; [theta] defaults to the
+    YCSB 0.99 — the hot-key stress the combining layer targets. *)
+
 val ycsb : ?key_space:int -> [ `A | `B | `C | `D | `F ] -> spec
 (** YCSB-style presets: A 50/50 r/u zipf, B 95/5 zipf, C read-only zipf,
     D 95/5 with fresh-key inserts, F read-modify-write ≈ 50/50. (E is

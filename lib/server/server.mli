@@ -24,6 +24,7 @@ type t
 val start :
   ?workers:int ->
   ?durable_acks:bool ->
+  ?combine_batch:bool ->
   ?max_payload:int ->
   handle:Repro_baseline.Tree_intf.handle ->
   listen:Unix.sockaddr list ->
@@ -33,7 +34,19 @@ val start :
     worker domains running. [workers] defaults to 4 — it bounds the
     connections served concurrently (excess connections wait in the
     accept queue). [durable_acks] (default false) makes every mutation
-    batch commit before its acks flush. TCP addresses may bind port 0;
+    batch commit before its acks flush. [combine_batch] (default false)
+    enables batch-level hot-key dedup: within one drained pipeline
+    batch, an operation that an earlier same-batch operation already
+    proved to be a tree no-op (insert of a known-present key, delete of
+    a known-absent one) is answered without touching the tree, and a
+    search piggy-backs on the latest preceding same-batch write's
+    payload. Per-connection response order is preserved, every response
+    is a valid linearization (derived operations linearize immediately
+    after the batch-local operation that proved the fact), and the
+    durable-ack contract holds: a batch whose surviving mutations
+    changed the tree still commits before its acks flush, while a batch
+    of pure no-ops skips the commit (counted in [commits_skipped])
+    because it made nothing new durable. TCP addresses may bind port 0;
     read the chosen port back with {!addresses}.
     @raise Unix.Unix_error when an address cannot be bound. *)
 

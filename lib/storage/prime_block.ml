@@ -35,6 +35,15 @@ let push_root (t : t) ~root_ptr =
   let s = Atomic.get t in
   Atomic.set t { levels = s.levels + 1; leftmost = Array.append s.leftmost [| root_ptr |] }
 
+(** Replace the whole snapshot (bulk load into a quiescent empty tree):
+    the caller built a complete level structure off-line and publishes it
+    in one atomic swap. Quiescent only — there is no root lock protecting
+    this rewrite, so no concurrent operation may be in flight. *)
+let install (t : t) ~levels ~leftmost =
+  if levels < 1 || Array.length leftmost <> levels then
+    invalid_arg "Prime_block.install";
+  Atomic.set t { levels; leftmost = Array.copy leftmost }
+
 (** Record a root collapse down to [level] (possibly skipping several
     levels, §5.4). The new root must already be the leftmost node of its
     level. Caller holds the old root's lock. *)

@@ -20,6 +20,11 @@ val leftmost_at : snapshot -> level:int -> Node.ptr option
 val push_root : t -> root_ptr:Node.ptr -> unit
 (** Record a new root one level up. Caller holds the old root's lock. *)
 
+val install : t -> levels:int -> leftmost:Node.ptr array -> unit
+(** Publish a complete level structure in one atomic swap (bulk load into
+    a quiescent empty tree). Quiescent only: nothing protects this
+    rewrite from concurrent operations. *)
+
 val collapse_to : t -> level:int -> root_ptr:Node.ptr -> unit
 (** Record a root collapse down to [level] (§5.4, possibly skipping
     several levels). Caller holds the old root's lock. *)

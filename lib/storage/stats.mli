@@ -94,6 +94,15 @@ type server = {
       (** malformed / truncated / oversized / checksum-failed frames *)
   mutable acked_commits : int;
       (** durable group commits issued to cover mutation acks *)
+  mutable elided : int;
+      (** mutations answered from batch-dedup state without a tree
+          operation (combining mode) *)
+  mutable piggybacked : int;
+      (** searches answered from the latest preceding same-batch write
+          (combining mode) *)
+  mutable commits_skipped : int;
+      (** durable-ack commits elided because the batch's surviving
+          mutations were all tree no-ops *)
   mutable shard_acks : int array;
       (** ack-covering commits per shard (sharded handles only; grown on
           demand to the highest shard this worker committed) *)

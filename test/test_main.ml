@@ -25,4 +25,5 @@ let () =
       ("trace", Test_trace.suite);
       ("report", Test_report.suite);
       ("server", Test_server.suite);
+      ("combine", Test_combine.suite);
     ]
