@@ -1615,6 +1615,171 @@ let e15 () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E16: log-shipping replication — followers vs standalone             *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  let module P = Repro_server.Protocol in
+  let module Server = Repro_server.Server in
+  let module Cl = Repro_client.Client in
+  let module R = Repro_client.Replica in
+  let module PS = Tree_intf.Paged_int in
+  let module Sg = Tree_intf.Sagiv_disk in
+  Report.heading "E16: log-shipping replication — followers \u{00D7} write load";
+  Report.note
+    "A WAL primary over loopback TCP with N socket followers pulling \
+     the commit stream (SUBSCRIBE) while 2 writer clients pipeline \
+     durable-acked inserts. Reported: primary write throughput with the \
+     shipping running, the followers' catch-up lag once the writers \
+     stop, and read throughput against one caught-up replica at its \
+     horizon. One machine serves everything, so followers compete with \
+     the primary for the same cores — the follower columns price the \
+     machinery, not a second box.";
+  let writers = 2 in
+  let per_writer = scale 6_000 in
+  let key_space = scale 20_000 in
+  let depth = 64 in
+  let reads = scale 60_000 in
+  let follower_counts = if !quick then [ 0; 1 ] else [ 0; 1; 2; 4 ] in
+  let jrows = ref [] in
+  let run followers =
+    Gc.compact ();
+    let path = Filename.temp_file "e16" ".pages" in
+    let wal_path = path ^ ".wal" in
+    let store =
+      PS.create_file ~cache_pages:4096 ~commit_batch:8 ~commit_interval:5e-4
+        ~wal_path path
+    in
+    let t = Sg.create ~order:16 ~store () in
+    let handle =
+      Tree_intf.of_ops
+        ~commit:(fun () -> Sg.commit t)
+        ~range:(Sg.range t) ~name:"sagiv-disk" (module Sg) t
+    in
+    let wal_source =
+      {
+        Server.ws_shards = 1;
+        ws_fetch =
+          (fun ~shard:_ ~lsn ~max_pages -> PS.wal_fetch store ~lsn ~max_pages);
+        ws_wait =
+          (fun ~shard:_ ~lsn ~timeout -> PS.wal_wait store ~lsn ~timeout);
+      }
+    in
+    let srv =
+      Server.start ~workers:(writers + followers) ~durable_acks:true
+        ~wal_source ~handle
+        ~listen:[ Unix.ADDR_INET (Unix.inet_addr_loopback, 0) ]
+        ()
+    in
+    let addr = List.hd (Server.addresses srv) in
+    let writers_done = Atomic.make false in
+    let t_done = ref 0.0 in
+    (* each follower pulls until it is caught up *after* the writers
+       stopped; its lag is measured from that stop *)
+    let follower_domains =
+      List.init followers (fun _ ->
+          Domain.spawn (fun () ->
+              let r = R.create () in
+              let c = Cl.connect addr in
+              let rec pull () =
+                match R.poll ~wait_ms:50 r c with
+                | `Applied _ -> pull ()
+                | `Caught_up ->
+                    if Atomic.get writers_done then
+                      Unix.gettimeofday () -. !t_done
+                    else pull ()
+              in
+              let lag = pull () in
+              Cl.close c;
+              (r, lag)))
+    in
+    let t0 = Unix.gettimeofday () in
+    let writer_domains =
+      List.init writers (fun d ->
+          Domain.spawn (fun () ->
+              let c = Cl.connect addr in
+              let rng = Random.State.make [| 160_000 + (1000 * d) |] in
+              let remaining = ref per_writer in
+              while !remaining > 0 do
+                let n = min depth !remaining in
+                let reqs =
+                  List.init n (fun _ ->
+                      let k = Random.State.int rng key_space in
+                      P.Insert { key = k; value = k })
+                in
+                ignore (Cl.pipeline c reqs);
+                remaining := !remaining - n
+              done;
+              Cl.close c))
+    in
+    List.iter Domain.join writer_domains;
+    let dt = Unix.gettimeofday () -. t0 in
+    t_done := Unix.gettimeofday ();
+    Atomic.set writers_done true;
+    let replicas = List.map Domain.join follower_domains in
+    let catchup_ms =
+      List.fold_left (fun acc (_, lag) -> Float.max acc (lag *. 1e3)) 0.0
+        replicas
+    in
+    (* read throughput against one caught-up replica, in process *)
+    let read_tput =
+      match replicas with
+      | [] -> 0.0
+      | (r, _) :: _ ->
+          let ctx = Repro_core.Handle.ctx ~slot:0 in
+          let rng = Random.State.make [| 170_000 |] in
+          let tr = Unix.gettimeofday () in
+          for _ = 1 to reads do
+            ignore (R.search r ctx (Random.State.int rng key_space))
+          done;
+          float_of_int reads /. (Unix.gettimeofday () -. tr)
+    in
+    let primary_card = handle.Tree_intf.cardinal () in
+    (match replicas with
+    | (r, _) :: _ when R.cardinal r <> primary_card ->
+        failwith
+          (Printf.sprintf "E16: replica diverged (%d keys vs %d)"
+             (R.cardinal r) primary_card)
+    | _ -> ());
+    Server.stop srv;
+    (try PS.close store with _ -> ());
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; wal_path ];
+    let tput = float_of_int (writers * per_writer) /. dt in
+    jrows :=
+      J.Obj
+        [
+          ("followers", J.Int followers);
+          ("write_ops_per_s", J.Float tput);
+          ("catchup_ms", J.Float catchup_ms);
+          ("replica_read_ops_per_s", J.Float read_tput);
+          ("primary_cardinal", J.Int primary_card);
+        ]
+      :: !jrows;
+    [
+      string_of_int followers;
+      Report.fmt_si tput ^ "/s";
+      Report.fmt_f catchup_ms ^ "ms";
+      (if followers = 0 then "-" else Report.fmt_si read_tput ^ "/s");
+    ]
+  in
+  let rows = List.map run follower_counts in
+  Report.table
+    ~header:[ "followers"; "write tput"; "catch-up"; "replica reads" ]
+    rows;
+  record_json "E16"
+    (J.Obj
+       [
+         ("writers", J.Int writers);
+         ("per_writer_ops", J.Int per_writer);
+         ("key_space", J.Int key_space);
+         ("depth", J.Int depth);
+         ("replica_reads", J.Int reads);
+         ("rows", J.List (List.rev !jrows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1633,6 +1798,7 @@ let experiments =
     ("E13", e13);
     ("E14", e14);
     ("E15", e15);
+    ("E16", e16);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

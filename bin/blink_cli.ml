@@ -8,6 +8,7 @@
      crash-test  fault-injection battery over the durable store
      serve     pipelined network server over a tree (TCP / Unix socket)
      client    scripted client session against a running server
+     replica   WAL-shipping read replica of a running wal-mode server
 *)
 
 open Cmdliner
@@ -432,26 +433,68 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   if shards > 1 && backend <> "disk" then
     failwith "--shards requires --backend disk";
   let commit_batch = if commit_batch > 1 then Some commit_batch else None in
-  let sst, h =
+  let enqueue_on_delete_of_tree () =
+    match tree_name with
+    | "sagiv" -> false
+    | "sagiv-compact" -> true
+    | s -> failwith (Printf.sprintf "tree %S has no disk backend" s)
+  in
+  let sst, store, h =
     if shards > 1 then begin
       (* sharded serve: N independent store+WAL partitions behind one
          routed handle; the server folds each batch's acks into only the
          shards it touched *)
-      let enqueue_on_delete =
-        match tree_name with
-        | "sagiv" -> false
-        | "sagiv-compact" -> true
-        | s -> failwith (Printf.sprintf "tree %S has no sharded backend" s)
-      in
       let sst, _trees, h =
-        Tree_intf.sagiv_disk_sharded_raw ~enqueue_on_delete ~wal ?commit_batch
+        Tree_intf.sagiv_disk_sharded_raw
+          ~enqueue_on_delete:(enqueue_on_delete_of_tree ()) ~wal ?commit_batch
           ~shards ~order ()
       in
-      (Some sst, h)
+      (Some sst, None, h)
+    end
+    else if backend = "disk" then begin
+      (* the raw constructor keeps the store at hand for the WAL
+         subscription source below *)
+      let raw, h =
+        Tree_intf.sagiv_disk_raw
+          ~enqueue_on_delete:(enqueue_on_delete_of_tree ()) ~wal ?commit_batch
+          ~order ()
+      in
+      (None, Some raw.Handle.store, h)
     end
     else
       let impl = impl_of_name ~wal ?commit_batch ~backend tree_name in
-      (None, impl.Tree_intf.make ~order)
+      (None, None, impl.Tree_intf.make ~order)
+  in
+  (* WAL mode publishes the log over the Subscribe opcode: one source
+     per shard (an unsharded primary is shard 0 of 1) *)
+  let wal_source =
+    if not wal then None
+    else
+      match (sst, store) with
+      | Some sst, _ ->
+          let stores = Tree_intf.Sharded_int.stores sst in
+          Some
+            {
+              Repro_server.Server.ws_shards = Array.length stores;
+              ws_fetch =
+                (fun ~shard ~lsn ~max_pages ->
+                  Tree_intf.Paged_int.wal_fetch stores.(shard) ~lsn ~max_pages);
+              ws_wait =
+                (fun ~shard ~lsn ~timeout ->
+                  Tree_intf.Paged_int.wal_wait stores.(shard) ~lsn ~timeout);
+            }
+      | None, Some store ->
+          Some
+            {
+              Repro_server.Server.ws_shards = 1;
+              ws_fetch =
+                (fun ~shard:_ ~lsn ~max_pages ->
+                  Tree_intf.Paged_int.wal_fetch store ~lsn ~max_pages);
+              ws_wait =
+                (fun ~shard:_ ~lsn ~timeout ->
+                  Tree_intf.Paged_int.wal_wait store ~lsn ~timeout);
+            }
+      | None, None -> None
   in
   let listen =
     (if port >= 0 then [ Unix.ADDR_INET (Unix.inet_addr_loopback, port) ]
@@ -464,17 +507,18 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   (* acks are durable exactly when the backend can group-commit them *)
   let srv =
     Repro_server.Server.start ~workers ~durable_acks:(backend = "disk")
-      ~combine_batch ~handle:h ~listen ()
+      ~combine_batch ?wal_source ~handle:h ~listen ()
   in
   List.iter
     (fun a -> Printf.printf "listening on %s\n%!" (string_of_sockaddr a))
     (Repro_server.Server.addresses srv);
-  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s (ctrl-C stops)\n%!"
+  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s%s (ctrl-C stops)\n%!"
     h.Tree_intf.name backend
     (if backend = "disk" then durability else "none")
     workers
     (if shards > 1 then Printf.sprintf " shards=%d" shards else "")
-    (if combine <> "off" then Printf.sprintf " combine=%s" combine else "");
+    (if combine <> "off" then Printf.sprintf " combine=%s" combine else "")
+    (match wal_source with Some _ -> " replication=on" | None -> "");
   let stop = Atomic.make false in
   let on_signal _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -546,6 +590,100 @@ let client_cmd host port unix_path script =
         reqs resps;
       if List.exists (function P.Error _ -> true | _ -> false) resps then
         exit 1)
+
+(* -- replica: WAL-shipping follower -- *)
+
+let replica_cmd host port unix_path shard serve_port workers poll_ms once
+    promote_flag =
+  let module R = Repro_client.Replica in
+  let addr =
+    match unix_path with
+    | Some p -> Unix.ADDR_UNIX p
+    | None -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  in
+  let r = R.create ~shard () in
+  (* the replica is servable from the start: read-only at its replay
+     horizon, read-write after promotion *)
+  let srv =
+    if serve_port < 0 then None
+    else begin
+      let srv =
+        Repro_server.Server.start ~workers ~durable_acks:false
+          ~handle:(R.handle r)
+          ~listen:[ Unix.ADDR_INET (Unix.inet_addr_loopback, serve_port) ]
+          ()
+      in
+      List.iter
+        (fun a ->
+          Printf.printf "replica listening on %s\n%!" (string_of_sockaddr a))
+        (Repro_server.Server.addresses srv);
+      Some srv
+    end
+  in
+  let stop = Atomic.make false in
+  let on_signal _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Printf.printf "replicating shard %d from %s%s%s\n%!" shard
+    (string_of_sockaddr addr)
+    (if promote_flag then " (promote on disconnect)" else "")
+    (if once then " (once)" else "");
+  let client = ref (Some (Repro_client.Client.connect addr)) in
+  let was_caught_up = ref false in
+  (* pull loop: long-poll the primary; a broken connection ends it *)
+  (try
+     while (not (Atomic.get stop)) && !client <> None do
+       match !client with
+       | None -> ()
+       | Some c -> (
+           match R.poll ~wait_ms:poll_ms r c with
+           | `Applied n ->
+               was_caught_up := false;
+               Printf.printf "applied %d batch%s (horizon lsn %d, %d keys)\n%!"
+                 n
+                 (if n = 1 then "" else "es")
+                 (R.horizon r) (R.cardinal r)
+           | `Caught_up ->
+               if not !was_caught_up then
+                 Printf.printf "caught up (horizon lsn %d, %d keys)\n%!"
+                   (R.horizon r) (R.cardinal r);
+               was_caught_up := true;
+               if once then begin
+                 (match !client with
+                 | Some c -> Repro_client.Client.close c
+                 | None -> ());
+                 client := None
+               end
+           | exception (End_of_file | Unix.Unix_error _) ->
+               Printf.printf "primary connection lost\n%!";
+               (match !client with
+               | Some c -> ( try Repro_client.Client.close c with _ -> ())
+               | None -> ());
+               client := None)
+     done
+   with
+  | R.Stream_error msg ->
+      Printf.printf "stream error: %s — re-seed the replica\n%!" msg;
+      exit 1
+  | Repro_client.Client.Remote_error msg ->
+      Printf.printf "primary refused: %s\n%!" msg;
+      exit 1);
+  (match !client with
+  | Some c -> ( try Repro_client.Client.close c with _ -> ())
+  | None -> ());
+  if promote_flag && not once then begin
+    R.promote r;
+    Printf.printf "promoted: read-write at horizon lsn %d (%d keys, height %d)\n%!"
+      (R.horizon r) (R.cardinal r) (R.height r);
+    (* keep serving the promoted tree until signalled *)
+    if srv <> None then
+      while not (Atomic.get stop) do
+        Unix.sleepf 0.2
+      done
+  end;
+  (match srv with Some srv -> Repro_server.Server.stop srv | None -> ());
+  Printf.printf "replica done: %d batches applied, horizon lsn %d, cardinal=%d\n%!"
+    (R.batches r) (R.horizon r) (R.cardinal r)
 
 (* -- cmdliner plumbing -- *)
 
@@ -720,6 +858,42 @@ let script_arg =
 
 let client_t = Term.(const client_cmd $ host_arg $ port_arg $ unix_arg $ script_arg)
 
+let replica_shard_arg =
+  Arg.(value & opt int 0
+       & info [ "shard" ] ~docv:"S"
+           ~doc:"Primary shard to follow (one replica process per shard).")
+
+let replica_serve_arg =
+  Arg.(value & opt int (-1)
+       & info [ "serve-port" ] ~docv:"PORT"
+           ~doc:"Also serve the replica on this TCP port (127.0.0.1): \
+                 read-only at the replay horizon, read-write after \
+                 promotion. -1 disables.")
+
+let replica_poll_arg =
+  Arg.(value & opt int 300
+       & info [ "poll-ms" ] ~docv:"MS"
+           ~doc:"Long-poll window per pull when caught up.")
+
+let replica_once_arg =
+  Arg.(value & flag
+       & info [ "once" ]
+           ~doc:"Catch up to the primary's durable horizon, report, and exit \
+                 (no promotion).")
+
+let replica_promote_arg =
+  Arg.(value & flag
+       & info [ "promote" ]
+           ~doc:"When the primary connection is lost (or on ctrl-C), promote \
+                 the replica read-write at its replay horizon and keep \
+                 serving.")
+
+let replica_t =
+  Term.(
+    const replica_cmd $ host_arg $ port_arg $ unix_arg $ replica_shard_arg
+    $ replica_serve_arg $ workers_arg $ replica_poll_arg $ replica_once_arg
+    $ replica_promote_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a multi-domain workload") run_t;
@@ -743,6 +917,12 @@ let cmds =
     Cmd.v
       (Cmd.info "client" ~doc:"Run a scripted pipelined session against a server")
       client_t;
+    Cmd.v
+      (Cmd.info "replica"
+         ~doc:"Follow a WAL-mode server as a read replica (pull the log over \
+               the Subscribe opcode, serve reads at the replay horizon, \
+               optionally promote to read-write when the primary is gone)")
+      replica_t;
   ]
 
 let () =

@@ -102,6 +102,8 @@ let request_shard ~shards (r : P.request) =
   | P.Insert { key; _ } | P.Delete { key } | P.Search { key } ->
       Some (Repro_storage.Shard_router.shard_of ~shards key)
   | P.Range _ | P.Commit | P.Stats -> None
+  (* Subscribe names its shard explicitly — never regrouped by key *)
+  | P.Subscribe _ -> None
 
 (* Reorder a batch so each shard's requests are contiguous (stable
    within a shard, so same-key order is preserved — same key, same
@@ -180,4 +182,9 @@ let commit t =
 let stats t =
   match one t P.Stats with
   | Stats_reply s -> s
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let wal_fetch t ~shard ~from_lsn ~max_pages ~wait_ms =
+  match one t (P.Subscribe { shard; from_lsn; max_pages; wait_ms }) with
+  | Wal_chunk { next_lsn; pages; _ } -> (pages, next_lsn)
   | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))

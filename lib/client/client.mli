@@ -40,5 +40,18 @@ val range : t -> lo:int -> hi:int -> (int * int) list
 val commit : t -> unit
 val stats : t -> Repro_server.Protocol.server_stats
 
+val wal_fetch :
+  t ->
+  shard:int ->
+  from_lsn:int ->
+  max_pages:int ->
+  wait_ms:int ->
+  Bytes.t list * int
+(** One replication pull: durable WAL log pages of [shard] starting at
+    [from_lsn] (long-polling up to [wait_ms] when caught up), and the
+    LSN the next pull should start from. Empty pages = caught up.
+    Raises {!Remote_error} [("stale")] when [from_lsn] predates the
+    primary's retention window. *)
+
 exception Remote_error of string
 (** The server answered [Error] (it has closed the connection). *)

@@ -945,6 +945,273 @@ let run_wal_commit_race ?(domains = 4) ?(runs = 20) ?(batch = 4) () =
       fail "wal commit race (run %d): recovered a torn payload" run
   done
 
+(* ---------- replication: WAL shipping + promotion oracle ---------- *)
+
+(* A harness-local follower: the same {!Wal.Apply} scan-one-record step
+   the wire replica runs, over a private in-memory store. Promoted
+   batches are only {e queued} while the primary is alive — they install
+   at promotion time, after [Failpoint.reset] — because the harness's
+   one global failpoint registry simulates one process: the follower is
+   a different process, and its page installs must not trip the faults
+   armed at the primary. *)
+type follower = {
+  f_store : PS.t;
+  f_apply : Wal.Apply.t;
+  mutable f_next : int;  (** next LSN to pull *)
+  mutable f_pending : Wal.Apply.batch list;  (** promoted, newest first *)
+}
+
+let follower_create () =
+  {
+    f_store = PS.create_memory ~page_size:data_page_size ();
+    f_apply = Wal.Apply.create ~data_page_size ();
+    f_next = 0;
+    f_pending = [];
+  }
+
+(* Feed one shipped log page; false = the stream ended (an invalid
+   continuation — only legal at the torn tail of a crash image). *)
+let follower_feed f page =
+  match Wal.Apply.step f.f_apply page with
+  | Wal.Apply.Reject _ -> false
+  | Wal.Apply.Progress ->
+      f.f_next <- Wal.Apply.next_lsn f.f_apply;
+      true
+  | Wal.Apply.Batch b ->
+      f.f_pending <- b :: f.f_pending;
+      f.f_next <- Wal.Apply.next_lsn f.f_apply;
+      true
+
+(* Pull everything durable from a live primary. Durable pages are
+   covered by an fsync (or a checkpoint seal): a Reject here is a
+   harness failure, never a legitimate stream end. *)
+let follower_drain ~what store f =
+  let rec loop () =
+    match PS.wal_fetch store ~lsn:f.f_next ~max_pages:64 with
+    | Wal.At_end -> ()
+    | Wal.Stale -> fail "%s: follower fell out of the retention window" what
+    | Wal.Pages { pages; next } ->
+        List.iter
+          (fun page ->
+            if not (follower_feed f page) then
+              fail "%s: durable shipped page rejected by the stream policy"
+                what)
+          pages;
+        if f.f_next <> next then
+          fail "%s: follower cursor %d disagrees with fetch next %d" what
+            f.f_next next;
+        loop ()
+  in
+  loop ()
+
+(* Promotion: install every queued batch into the follower's store, in
+   promotion order, and open a read-write tree over it. *)
+let follower_promote f =
+  List.iter
+    (fun (b : Wal.Apply.batch) ->
+      PS.apply_replicated f.f_store ~images:b.Wal.Apply.b_images
+        ~meta:b.Wal.Apply.b_meta)
+    (List.rev f.f_pending);
+  f.f_pending <- [];
+  Sg.open_existing f.f_store
+
+(** The replication oracle: a primary on shadow devices streams its WAL
+    to a follower (drained synchronously after every acknowledged
+    commit), an armed failpoint kills the primary mid-run, the follower
+    catches up from the log device's {e crash image} — exactly what a
+    replica that kept pulling until the primary died would have
+    received — and is promoted. The promoted follower must (a) agree
+    byte-for-byte with a cold recovery of the primary from the same
+    images, and (b) hold the commit-point oracle: every acknowledged
+    commit survives, plus at most the in-flight one. The traffic run
+    never checkpoints, so the live log pass spans it whole and the
+    catch-up can address crash-image pages by LSN directly. *)
+let run_replication ?(ops = 300) ?(seed = 2042) ~site ~policy
+    (config : config) =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:config.cache_pages ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  for k = 0 to 49 do
+    if k mod 2 = 0 then begin
+      ignore (Sg.insert tree c k (payload k));
+      Hashtbl.replace model k (payload k)
+    end
+  done;
+  Sg.flush tree;
+  (* the seed checkpoint sealed pass 0 into a segment; the live pass
+     starts here and — no checkpoint below — spans the whole run *)
+  let live_base = PS.wal_durable_lsn store + 1 in
+  let f = follower_create () in
+  follower_drain ~what:site store f;
+  if f.f_next <> live_base then
+    fail "%s: follower drained to LSN %d, live pass starts at %d" site f.f_next
+      live_base;
+  if config.writer then PS.start_writer store;
+  let committed = ref (Hashtbl.copy model) in
+  let inflight = ref None in
+  let acked = ref 0 in
+  let issued = ref 0 in
+  let crashed = ref false in
+  Failpoint.set site policy;
+  (try
+     let rng = Repro_util.Splitmix.create seed in
+     for i = 1 to ops do
+       issued := i;
+       let k = Repro_util.Splitmix.int rng 200 in
+       (match Repro_util.Splitmix.int rng 10 with
+       | 0 | 1 -> if Sg.delete tree c k then Hashtbl.remove model k
+       | 2 -> ignore (Sg.search tree c k)
+       | _ -> (
+           match Sg.insert tree c k (payload k) with
+           | `Ok -> Hashtbl.replace model k (payload k)
+           | `Duplicate -> ()));
+       if i mod 3 = 0 then begin
+         inflight := Some (Hashtbl.copy model);
+         Sg.commit tree;
+         committed := Hashtbl.copy model;
+         inflight := None;
+         incr acked;
+         (* synchronous shipping: drain right after the ack — the
+            follower only queues, so the armed faults cannot fire in it *)
+         follower_drain ~what:site store f
+       end
+     done
+   with Failpoint.Crash _ -> crashed := true);
+  (try PS.stop_writer store with Failpoint.Crash _ -> ());
+  let crashed = !crashed || Failpoint.is_crashed () in
+  if not crashed then begin
+    Failpoint.reset ();
+    Sg.commit tree;
+    committed := Hashtbl.copy model;
+    inflight := None;
+    follower_drain ~what:site store f
+  end;
+  (* the primary is dead: harvest the log device's crash image (the
+     data device's is taken inside [recover_wal] below) *)
+  let limage = Paged_file.crash_image lfile in
+  Failpoint.reset ();
+  (* catch-up: feed the log image from the follower's cursor to the torn
+     tail. Records past the last fsync were lost with the crash, so the
+     scan ends at the first invalid continuation — stale pass-0 bytes
+     (LSN regression) or a torn record — exactly like local replay. *)
+  (let npages = Paged_file.pages limage in
+   let pos = ref (f.f_next - live_base) in
+   let feeding = ref true in
+   while !feeding && !pos >= 0 && !pos < npages do
+     if follower_feed f (Paged_file.read limage !pos) then incr pos
+     else feeding := false
+   done);
+  let ftree = follower_promote f in
+  check_valid ftree ~what:(site ^ " (promoted follower)");
+  let freplica = Sg.to_list ftree in
+  (* cold-recover the primary from the same images: the follower must
+     agree exactly, and both must sit on the commit-point oracle *)
+  let store2, tree2 = recover_wal ~cache_pages:config.cache_pages pfile lfile in
+  check_valid tree2 ~what:(site ^ " (recovered primary)");
+  let recovered = Sg.to_list tree2 in
+  if freplica <> recovered then
+    fail
+      "%s (%s): promoted follower (%d keys) diverged from the recovered \
+       primary (%d keys)"
+      site (policy_name policy) (List.length freplica)
+      (List.length recovered);
+  let ok =
+    matches_model recovered !committed
+    || match !inflight with Some m -> matches_model recovered m | None -> false
+  in
+  if not ok then
+    fail
+      "%s (%s, repl): recovered %d keys matching neither the %d committed nor \
+       the in-flight commit"
+      site (policy_name policy) (List.length recovered)
+      (Hashtbl.length !committed);
+  {
+    site;
+    policy = policy_name policy ^ "+repl";
+    config;
+    crashed;
+    ops = !issued;
+    acked_syncs = !acked;
+    recovered_keys = List.length freplica;
+    recovered_gen = PS.generation store2;
+  }
+
+(** Point-in-time recovery: run commits and periodic checkpoints (so the
+    history spans several sealed log segments), snapshot the model at
+    every acknowledged commit together with the COMMIT record's LSN,
+    then rebuild a fresh store by replaying the retained log from LSN 0
+    {e up to} a mid-history target. The rebuilt tree must validate and
+    match that snapshot exactly — acknowledged history is replayable to
+    any commit boundary inside the retention window, across seal
+    boundaries. *)
+let run_wal_pitr ?(ops = 210) ?(seed = 5042) () =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:32 ~wal:lfile pfile in
+  let tree = Sg.create ~order:4 ~store () in
+  let c = Sg.ctx ~slot:0 in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let snapshots = ref [] in
+  (* (COMMIT lsn, model) at each ack, newest first *)
+  let rng = Repro_util.Splitmix.create seed in
+  for i = 1 to ops do
+    let k = Repro_util.Splitmix.int rng 200 in
+    (match Repro_util.Splitmix.int rng 10 with
+    | 0 | 1 -> if Sg.delete tree c k then Hashtbl.remove model k
+    | _ -> (
+        match Sg.insert tree c k (payload k) with
+        | `Ok -> Hashtbl.replace model k (payload k)
+        | `Duplicate -> ()));
+    if i mod 30 = 0 then Sg.flush tree (* seal a segment *)
+    else if i mod 5 = 0 then begin
+      Sg.commit tree;
+      (* right after the ack the durable watermark is the batch's COMMIT
+         record: a valid PITR target *)
+      snapshots :=
+        (PS.wal_durable_lsn store, Hashtbl.copy model) :: !snapshots
+    end
+  done;
+  Sg.commit tree;
+  let snaps = Array.of_list (List.rev !snapshots) in
+  if Array.length snaps < 4 then fail "pitr: too few commit snapshots";
+  let target_lsn, target_model = snaps.(Array.length snaps / 2) in
+  let f = follower_create () in
+  while f.f_next <= target_lsn do
+    match PS.wal_fetch store ~lsn:f.f_next ~max_pages:16 with
+    | Wal.At_end -> fail "pitr: log ended before target LSN %d" target_lsn
+    | Wal.Stale ->
+        fail "pitr: target LSN %d fell out of the retention window" target_lsn
+    | Wal.Pages { pages; next = _ } ->
+        List.iter
+          (fun page ->
+            if f.f_next <= target_lsn then
+              if not (follower_feed f page) then
+                fail "pitr: durable page rejected during replay-to-LSN")
+          pages
+  done;
+  let ftree = follower_promote f in
+  check_valid ftree ~what:"pitr";
+  let recovered = Sg.to_list ftree in
+  if not (matches_model recovered target_model) then
+    fail "pitr: replay to LSN %d recovered %d keys, snapshot held %d"
+      target_lsn (List.length recovered)
+      (Hashtbl.length target_model);
+  {
+    site = "wal.pitr";
+    policy = "replay-to-lsn";
+    config = { writer = false; cache_pages = 32 };
+    crashed = false;
+    ops;
+    acked_syncs = Array.length snaps;
+    recovered_keys = List.length recovered;
+    recovered_gen = PS.generation f.f_store;
+  }
+
 (** The whole battery: tree-level crash runs for every site × config in
     both durability modes (sync-everything, then WAL group commit
     against the commit-point oracle), then the targeted torn /
@@ -1068,6 +1335,28 @@ let battery ?(quick = false) ?(shards = 4) ?(log = fun _ -> ()) () =
   record (run_wal_torn_append ());
   record (run_wal_commit_crash ());
   record (run_wal_replay_crash ());
+  (* WAL shipping: a synchronously-drained follower promoted over the
+     primary's crash image, held to the recovered primary and to the
+     commit-point oracle — across every log-path site — then the
+     replay-to-LSN (PITR) check over the retained segments *)
+  List.iter
+    (fun config ->
+      List.iter
+        (fun site ->
+          List.iter
+            (fun ordinal ->
+              record
+                (run_replication ~site ~policy:(Failpoint.Crash_after ordinal)
+                   config))
+            crash_ordinals)
+        [ "wal.append"; "wal.commit"; "paged_file.pwrite"; "paged_file.fsync" ])
+    (if quick then [ { writer = false; cache_pages = 8 } ]
+     else
+       [
+         { writer = false; cache_pages = 8 };
+         { writer = true; cache_pages = 32 };
+       ]);
+  record (run_wal_pitr ());
   run_error_paths ();
   run_wal_error_paths ();
   run_wal_commit_race ();

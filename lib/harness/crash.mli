@@ -113,6 +113,29 @@ val run_wal_commit_race :
     its installer's commit targets).
     @raise Failure on any lost or torn acknowledged key. *)
 
+val run_replication :
+  ?ops:int ->
+  ?seed:int ->
+  site:string ->
+  policy:Repro_storage.Failpoint.policy ->
+  config ->
+  outcome
+(** WAL-shipping replication oracle: a follower (the {!Wal.Apply} step
+    over its own in-memory store) drains the primary's durable log after
+    every acknowledged commit; the armed failpoint kills the primary;
+    the follower catches up from the log device's crash image and is
+    promoted. The promoted follower must agree exactly with a cold
+    recovery of the primary from the same images, and both must land on
+    the commit-point oracle (every acked commit survives, plus at most
+    the in-flight one).
+    @raise Failure on divergence or a lost acknowledged commit. *)
+
+val run_wal_pitr : ?ops:int -> ?seed:int -> unit -> outcome
+(** Point-in-time recovery: replay the retained log (sealed segments +
+    live pass) from LSN 0 up to a mid-history COMMIT boundary into a
+    fresh store; the rebuilt tree must validate and match the model
+    snapshot taken at that acknowledgement exactly. *)
+
 val run_wal_error_paths : unit -> unit
 (** Injected errors on log append and commit fsync: the error surfaces,
     the leader's rollback keeps [commit] retryable, and the retried

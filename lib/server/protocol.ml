@@ -19,6 +19,7 @@ let op_search = 3
 let op_range = 4
 let op_commit = 5
 let op_stats = 6
+let op_subscribe = 7
 let st_inserted = 64
 let st_duplicate = 65
 let st_deleted = 66
@@ -27,6 +28,7 @@ let st_found = 68
 let st_pairs = 69
 let st_committed = 70
 let st_stats = 71
+let st_wal_chunk = 72
 let st_error = 255
 
 type request =
@@ -36,6 +38,7 @@ type request =
   | Range of { lo : int; hi : int }
   | Commit
   | Stats
+  | Subscribe of { shard : int; from_lsn : int; max_pages : int; wait_ms : int }
 
 type server_stats = {
   s_conns_opened : int;
@@ -62,6 +65,10 @@ type response =
   | Pairs of (int * int) list
   | Committed
   | Stats_reply of server_stats
+  | Wal_chunk of { shard : int; next_lsn : int; pages : Bytes.t list }
+      (** Raw log pages for the subscriber to feed through [Wal.Apply];
+          [next_lsn] is where the next subscribe should start. Empty
+          [pages] with [next_lsn = from_lsn] means caught up. *)
   | Error of string
 
 let pp_request fmt = function
@@ -71,6 +78,9 @@ let pp_request fmt = function
   | Range { lo; hi } -> Format.fprintf fmt "RANGE %d..%d" lo hi
   | Commit -> Format.fprintf fmt "COMMIT"
   | Stats -> Format.fprintf fmt "STATS"
+  | Subscribe { shard; from_lsn; max_pages; wait_ms } ->
+      Format.fprintf fmt "SUBSCRIBE shard=%d lsn=%d max=%d wait=%dms" shard
+        from_lsn max_pages wait_ms
 
 let pp_response fmt = function
   | Inserted -> Format.fprintf fmt "inserted"
@@ -91,6 +101,9 @@ let pp_response fmt = function
         s.s_bytes_in s.s_bytes_out s.s_max_pipeline s.s_protocol_errors
         s.s_acked_commits s.s_lat_p50_us s.s_lat_p99_us s.s_cardinal
         s.s_height
+  | Wal_chunk { shard; next_lsn; pages } ->
+      Format.fprintf fmt "wal-chunk shard=%d pages=%d next_lsn=%d" shard
+        (List.length pages) next_lsn
   | Error msg -> Format.fprintf fmt "error: %s" msg
 
 let response_to_string r = Format.asprintf "%a" pp_response r
@@ -157,6 +170,12 @@ let encode_request out ~seq (r : request) =
         op_range
     | Commit -> op_commit
     | Stats -> op_stats
+    | Subscribe { shard; from_lsn; max_pages; wait_ms } ->
+        put_u32 p shard;
+        put_i64 p from_lsn;
+        put_u32 p max_pages;
+        put_u32 p wait_ms;
+        op_subscribe
   in
   add_frame out ~opcode ~seq p
 
@@ -206,6 +225,15 @@ let encode_response out ~seq (r : response) =
     | Stats_reply s ->
         List.iter (put_i64 p) (stats_fields s);
         st_stats
+    | Wal_chunk { shard; next_lsn; pages } ->
+        (* All pages in one chunk share a size (the shard's log page
+           size) — ship it once so the decoder can slice without it. *)
+        put_u32 p shard;
+        put_i64 p next_lsn;
+        put_u32 p (match pages with [] -> 0 | pg :: _ -> Bytes.length pg);
+        put_u32 p (List.length pages);
+        List.iter (Buffer.add_bytes p) pages;
+        st_wal_chunk
     | Error msg ->
         Buffer.add_string p msg;
         st_error
@@ -273,6 +301,15 @@ let decode_request ?max_payload bytes ~pos ~len =
       | o when o = op_stats ->
           need plen 0 "STATS";
           Stats
+      | o when o = op_subscribe ->
+          need plen 20 "SUBSCRIBE";
+          Subscribe
+            {
+              shard = get_u32 bytes off;
+              from_lsn = get_i64 bytes (off + 4);
+              max_pages = get_u32 bytes (off + 12);
+              wait_ms = get_u32 bytes (off + 16);
+            }
       | o -> bad "unknown request opcode %d" o)
 
 let decode_response ?max_payload bytes ~pos ~len =
@@ -298,5 +335,21 @@ let decode_response ?max_payload bytes ~pos ~len =
       | s when s = st_stats ->
           need plen (8 * n_stats_fields) "STATS";
           Stats_reply (stats_of_fields (List.init n_stats_fields i64))
+      | s when s = st_wal_chunk ->
+          if plen < 20 then bad "WAL_CHUNK payload size %d" plen;
+          let shard = get_u32 bytes off in
+          let next_lsn = get_i64 bytes (off + 4) in
+          let page_size = get_u32 bytes (off + 12) in
+          let count = get_u32 bytes (off + 16) in
+          if count > 0 && page_size = 0 then bad "WAL_CHUNK zero page size";
+          need plen (20 + (page_size * count)) "WAL_CHUNK";
+          Wal_chunk
+            {
+              shard;
+              next_lsn;
+              pages =
+                List.init count (fun i ->
+                    Bytes.sub bytes (off + 20 + (i * page_size)) page_size);
+            }
       | s when s = st_error -> Error (Bytes.sub_string bytes off plen)
       | s -> bad "unknown response status %d" s)

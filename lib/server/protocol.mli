@@ -44,6 +44,11 @@ type request =
   | Range of { lo : int; hi : int }
   | Commit  (** make every completed operation durable before replying *)
   | Stats  (** server-side counters snapshot *)
+  | Subscribe of { shard : int; from_lsn : int; max_pages : int; wait_ms : int }
+      (** Replication pull: up to [max_pages] raw WAL log pages of
+          [shard] starting at [from_lsn], long-polling up to [wait_ms]
+          when nothing is durable there yet. Payload: u32 shard, i64
+          from_lsn, u32 max_pages, u32 wait_ms. *)
 
 type server_stats = {
   s_conns_opened : int;
@@ -70,6 +75,15 @@ type response =
   | Pairs of (int * int) list
   | Committed
   | Stats_reply of server_stats
+  | Wal_chunk of { shard : int; next_lsn : int; pages : Bytes.t list }
+      (** Reply to [Subscribe]: LSN-contiguous raw log pages starting at
+          the requested [from_lsn]; the next subscribe starts at
+          [next_lsn]. Empty [pages] (with [next_lsn = from_lsn]) means
+          caught up to the primary's durable horizon. Payload: u32
+          shard, i64 next_lsn, u32 page_size, u32 count, then
+          [count × page_size] raw bytes. A subscriber that has fallen
+          out of the primary's retention window gets [Error "stale"]
+          instead and must re-seed. *)
   | Error of string
       (** terminal: the server closes the connection after sending it *)
 

@@ -4,6 +4,16 @@
 open Repro_storage
 module P = Protocol
 
+(** What a Subscribe request reads: the primary's per-shard WAL stream.
+    The functions close over the backing stores (built by the CLI / the
+    tests from [Paged_store.wal_fetch] / [wal_wait]); an unsharded
+    primary is simply [ws_shards = 1]. *)
+type wal_source = {
+  ws_shards : int;
+  ws_fetch : shard:int -> lsn:int -> max_pages:int -> Wal.fetch;
+  ws_wait : shard:int -> lsn:int -> timeout:float -> bool;
+}
+
 type t = {
   listeners : Unix.file_descr list;
   addrs : Unix.sockaddr list;
@@ -17,6 +27,7 @@ type t = {
   active_mu : Mutex.t;
   worker_stats : Stats.server array;
   handle : Repro_baseline.Tree_intf.handle;
+  wal_source : wal_source option;
   durable_acks : bool;
   combine_batch : bool;
   max_payload : int;
@@ -42,12 +53,67 @@ let write_all fd bytes len =
 
 let is_mutation = function
   | P.Insert _ | P.Delete _ -> true
-  | P.Search _ | P.Range _ | P.Commit | P.Stats -> false
+  | P.Search _ | P.Range _ | P.Commit | P.Stats | P.Subscribe _ -> false
 
 (* The key a mutation touches — what the sharded commit path routes on. *)
 let mutation_key = function
   | P.Insert { key; _ } | P.Delete { key } -> Some key
-  | P.Search _ | P.Range _ | P.Commit | P.Stats -> None
+  | P.Search _ | P.Range _ | P.Commit | P.Stats | P.Subscribe _ -> None
+
+(* Replication pull: serve durable log pages of one shard, long-polling
+   the durable watermark first when the subscriber asked to wait (this
+   is how "stream after each fsync" lands inside a strict
+   request/response protocol — the commit fsync advances the watermark
+   and the parked fetch picks the new records up immediately). The wait
+   is bounded so a worker is never parked longer than a stop can
+   tolerate. *)
+let execute_subscribe t ~shard ~from_lsn ~max_pages ~wait_ms : P.response =
+  match t.wal_source with
+  | None -> Error "replication unsupported (no WAL source)"
+  | Some ws ->
+      if shard < 0 || shard >= ws.ws_shards then
+        Error (Printf.sprintf "no shard %d (have %d)" shard ws.ws_shards)
+      else if from_lsn < 0 || max_pages < 1 then
+        Error "bad subscribe bounds"
+      else begin
+        (* clamp the chunk so it always fits one response frame: the
+           subscriber's decoder enforces the protocol payload bound, and
+           a partial chunk just means another pull *)
+        let fetch ~lsn ~max_pages =
+          match ws.ws_fetch ~shard ~lsn ~max_pages with
+          | Wal.Pages { pages = p :: _ as pages; next } ->
+              let fit =
+                max 1 ((P.default_max_payload - 64) / Bytes.length p)
+              in
+              if List.length pages <= fit then Wal.Pages { pages; next }
+              else
+                Wal.Pages
+                  {
+                    pages = List.filteri (fun i _ -> i < fit) pages;
+                    next = lsn + fit;
+                  }
+          | r -> r
+        in
+        let deadline =
+          Unix.gettimeofday () +. (float_of_int (min wait_ms 10_000) /. 1000.)
+        in
+        (* wait in slices so [stop] never stalls on a parked long-poll *)
+        let rec park () =
+          let left = deadline -. Unix.gettimeofday () in
+          if left > 0. && not (Atomic.get t.stopping) then
+            if ws.ws_wait ~shard ~lsn:from_lsn ~timeout:(Float.min left 0.05)
+            then ()
+            else park ()
+        in
+        (match fetch ~lsn:from_lsn ~max_pages with
+        | Wal.At_end -> park ()
+        | _ -> ());
+        match fetch ~lsn:from_lsn ~max_pages with
+        | Wal.Pages { pages; next } ->
+            P.Wal_chunk { shard; next_lsn = next; pages }
+        | Wal.At_end -> P.Wal_chunk { shard; next_lsn = from_lsn; pages = [] }
+        | Wal.Stale -> Error "stale"
+      end
 
 let execute t (sst : Stats.server) ctx (req : P.request) : P.response =
   match req with
@@ -87,6 +153,8 @@ let execute t (sst : Stats.server) ctx (req : P.request) : P.response =
           s_cardinal = t.handle.cardinal ();
           s_height = t.handle.height ();
         }
+  | Subscribe { shard; from_lsn; max_pages; wait_ms } ->
+      execute_subscribe t ~shard ~from_lsn ~max_pages ~wait_ms
 
 (* Per-connection, per-batch dedup state: what this batch's already-
    executed operations proved about a key. [KPresent (Some v)] — present
@@ -164,7 +232,7 @@ let execute_combined t (sst : Stats.server) ctx ~kstate ~mutated
           | None ->
               Hashtbl.replace kstate key KAbsent;
               Absent))
-  | P.Range _ | P.Commit | P.Stats -> execute t sst ctx req
+  | P.Range _ | P.Commit | P.Stats | P.Subscribe _ -> execute t sst ctx req
 
 (* Serve one connection to completion on worker [slot]. The read loop
    drains every complete frame the kernel delivered (the pipeline
@@ -366,7 +434,7 @@ let accept_loop t =
   done
 
 let start ?(workers = 4) ?(durable_acks = false) ?(combine_batch = false)
-    ?(max_payload = P.default_max_payload) ~handle ~listen () =
+    ?(max_payload = P.default_max_payload) ?wal_source ~handle ~listen () =
   (* a peer that drops mid-reply must cost an EPIPE, not the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -398,6 +466,7 @@ let start ?(workers = 4) ?(durable_acks = false) ?(combine_batch = false)
       active_mu = Mutex.create ();
       worker_stats = Array.init workers (fun _ -> Stats.server_create ());
       handle;
+      wal_source;
       durable_acks;
       combine_batch;
       max_payload;

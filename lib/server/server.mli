@@ -21,11 +21,24 @@
 
 type t
 
+(** The primary's per-shard WAL stream, served to [Subscribe] requests
+    (an unsharded primary is [ws_shards = 1]). Built from
+    [Paged_store.wal_fetch] / [wal_wait] over the backing store(s); the
+    server only ever ships records those report durable, which is what
+    makes a follower's horizon a lower bound on the primary's committed
+    state (see doc/RECOVERY.md, replication commit point). *)
+type wal_source = {
+  ws_shards : int;
+  ws_fetch : shard:int -> lsn:int -> max_pages:int -> Repro_storage.Wal.fetch;
+  ws_wait : shard:int -> lsn:int -> timeout:float -> bool;
+}
+
 val start :
   ?workers:int ->
   ?durable_acks:bool ->
   ?combine_batch:bool ->
   ?max_payload:int ->
+  ?wal_source:wal_source ->
   handle:Repro_baseline.Tree_intf.handle ->
   listen:Unix.sockaddr list ->
   unit ->
@@ -46,7 +59,11 @@ val start :
     durable-ack contract holds: a batch whose surviving mutations
     changed the tree still commits before its acks flush, while a batch
     of pure no-ops skips the commit (counted in [commits_skipped])
-    because it made nothing new durable. TCP addresses may bind port 0;
+    because it made nothing new durable. [wal_source] enables the
+    [Subscribe] opcode — replication pull of durable WAL pages, with a
+    bounded long-poll so each sealed batch streams right after the
+    group-commit fsync that made it durable; without it subscribes get
+    [Error "replication unsupported"]. TCP addresses may bind port 0;
     read the chosen port back with {!addresses}.
     @raise Unix.Unix_error when an address cannot be bound. *)
 

@@ -98,17 +98,22 @@ exception
   }
 
 let magic = 0x53_47_56_44 (* "SGVD" *)
-let version = 3
+let version = 4
 
 (* Header-page layout (both slots): fixed fields, then the checksum, then
    the client metadata blob. The checksum is FNV-1a-32 over the whole
    page with its own field zeroed, so it covers the metadata too.
    Version 3 appended the shard identity (index at 88, count at 96)
-   after the checksum field, pushing the metadata blob to 104. *)
+   after the checksum field, pushing the metadata blob to 104; version 4
+   appended the WAL incarnation at 104 (the phantom-tail floor: recovery
+   resumes the log with an incarnation strictly above every one the
+   crashed pass could have stamped, even when the pass left no valid
+   records to observe it from), pushing the metadata blob to 112. *)
 let header_cksum_off = 80
 let header_shard_index_off = 88
 let header_shard_count_off = 96
-let header_fixed = 104 (* bytes of header before the metadata blob *)
+let header_wal_inc_off = 104
+let header_fixed = 112 (* bytes of header before the metadata blob *)
 let header_slots = 2 (* disk pages 0 and 1; tree ptr [p] -> disk page [p + 2] *)
 
 (* Free-chain entry, written at a free page's disk offset: 8-byte magic,
@@ -358,6 +363,11 @@ module Make (K : Key.S) = struct
     let shard_index, shard_count = t.shard in
     seti header_shard_index_off shard_index;
     seti header_shard_count_off shard_count;
+    (* Persist the WAL incarnation so a recovery whose pass left no
+       valid records (checkpoint, then crash before any append survives)
+       still resumes above the crashed pass's stamp. *)
+    seti header_wal_inc_off
+      (match t.wal with Some w -> Wal.incarnation w.log | None -> 0);
     let meta = match Atomic.get t.meta with Some b -> b | None -> Bytes.empty in
     if Bytes.length meta > t.page_size - header_fixed then
       failwith "Paged_store: metadata blob does not fit in the header page";
@@ -1007,109 +1017,6 @@ module Make (K : Key.S) = struct
 
   (* ---------- durability ---------- *)
 
-  (* Quiescent crash-atomic flush, in write-ahead order:
-
-     1. per stripe: queued victims (older than any dirty cached version
-        of the same page), then dirty cached nodes  [paged_store.sync.data]
-     2. the buffer pool's dirty frames to the file
-     3. the free chain, if the free list changed    [paged_store.sync.chain]
-     4. generation [g+1]'s header into slot [(g+1) land 1] — the slot
-        holding committed generation [g] is not touched
-                                                    [paged_store.sync.header]
-     5. fsync: the {e commit point}. Under the crash model (un-fsynced
-        writes are lost) this single fsync atomically flips the durable
-        state from generation [g] to [g+1]; a crash any earlier leaves
-        slot [g land 1] — and every page generation [g] describes —
-        exactly as the previous sync committed them.
-     6. the same header slot again, plus a second fsync: defence in depth
-        for real devices that may persist the header out of order inside
-        fsync 5                                     [paged_store.sync.commit]
-     7. only now does the in-memory generation advance.
-
-     Error resilience: every mutation of book-keeping happens {e after}
-     the write it describes succeeds (pending entries, [e_dirty] flags,
-     [free_dirty], the generation), so a sync aborted by an IO error can
-     simply be retried. *)
-  let sync t =
-    let nstripes = Array.length t.stripes in
-    Failpoint.hit fp_sync_data;
-    Array.iteri
-      (fun si (st : stripe) ->
-        with_stripe st (fun () ->
-            let pend = Hashtbl.fold (fun p n acc -> (p, n) :: acc) st.pending [] in
-            List.iter
-              (fun (p, n) ->
-                write_node_striped t p n;
-                Hashtbl.remove st.pending p)
-              pend;
-            let frontier = Atomic.get t.next in
-            let p = ref si in
-            while !p < frontier do
-              (match slot_opt t !p with
-              | None -> ()
-              | Some s ->
-                  if not (Atomic.get s.freed) then (
-                    match Atomic.get s.cached with
-                    | Some e when Atomic.get e.e_dirty ->
-                        (* Clear before writing: should a non-quiescent put
-                           slip in, its fresh entry (and dirty flag)
-                           supersedes this one and the page is merely
-                           written twice, never left stale-clean. Restore
-                           on failure — this entry is still newer than the
-                           disk and a retried sync must re-write it. *)
-                        Atomic.set e.e_dirty false;
-                        (try write_node_striped t !p e.node
-                         with ex ->
-                           Atomic.set e.e_dirty true;
-                           raise ex)
-                    | _ -> ()));
-              p := !p + nstripes
-            done))
-      t.stripes;
-    with_file t (fun () ->
-        Buffer_pool.flush_writes t.pool;
-        let gen = Atomic.get t.generation + 1 in
-        if Atomic.get t.free_dirty then begin
-          Failpoint.hit fp_sync_chain;
-          write_free_chain_flocked t ~gen;
-          Atomic.set t.free_dirty false
-        end;
-        (* WAL mode: a CHECKPOINT marker stamped with the {e outgoing}
-           generation, before the header flip. A crash before the commit
-           fsync below recovers generation [gen - 1], and replay still
-           finds every gen-[gen - 1] batch in the log (the data writes of
-           phase 1 were volatile); a crash after it recovers [gen], whose
-           replay ignores the stale-generation records wholesale. *)
-        (match t.wal with
-        | Some w -> Wal.append w.log ~gen:(gen - 1) Wal.Checkpoint
-        | None -> ());
-        Failpoint.hit fp_sync_header;
-        write_header_flocked t ~gen;
-        Paged_file.sync (file t);
-        (* committed: a crash from here on recovers generation [gen] *)
-        Failpoint.hit fp_sync_commit;
-        write_header_flocked t ~gen;
-        Paged_file.sync (file t);
-        Atomic.set t.generation gen);
-    (* Checkpoint complete: every logged batch is now also in the data
-       file, so the log's contents are dead weight. Truncation is
-       logical — the cursor rewinds to page 0 and the new generation
-       invalidates whatever old-pass records it has not yet overwritten
-       (replay stops at the first foreign-generation or LSN-discontinuous
-       record). The dirty set accumulated since the last seal is already
-       covered by the checkpoint too. Quiescent like the rest of [sync],
-       so no commit races with this. *)
-    match t.wal with
-    | Some w ->
-        Wal.truncate w.log;
-        Mutex.lock w.w_mu;
-        Hashtbl.reset w.w_dirty;
-        w.w_meta_dirty <- false;
-        Mutex.unlock w.w_mu
-    | None -> ()
-
-  let flush = sync
-
   (* ---------- group commit (WAL durability mode) ---------- *)
 
   (* Snapshot the bytes a committed page image must hold: the cached
@@ -1230,11 +1137,134 @@ module Make (K : Key.S) = struct
         Mutex.unlock w.w_mu;
         raise e
 
+  (* Quiescent crash-atomic flush, in write-ahead order:
+
+     0. WAL mode only: a logged group commit of the current dirty set,
+        so the state this checkpoint is about to make official has
+        transited the log first (replication / PITR coverage)
+     1. per stripe: queued victims (older than any dirty cached version
+        of the same page), then dirty cached nodes  [paged_store.sync.data]
+     2. the buffer pool's dirty frames to the file
+     3. the free chain, if the free list changed    [paged_store.sync.chain]
+     4. generation [g+1]'s header into slot [(g+1) land 1] — the slot
+        holding committed generation [g] is not touched
+                                                    [paged_store.sync.header]
+     5. fsync: the {e commit point}. Under the crash model (un-fsynced
+        writes are lost) this single fsync atomically flips the durable
+        state from generation [g] to [g+1]; a crash any earlier leaves
+        slot [g land 1] — and every page generation [g] describes —
+        exactly as the previous sync committed them.
+     6. the same header slot again, plus a second fsync: defence in depth
+        for real devices that may persist the header out of order inside
+        fsync 5                                     [paged_store.sync.commit]
+     7. only now does the in-memory generation advance.
+
+     Error resilience: every mutation of book-keeping happens {e after}
+     the write it describes succeeds (pending entries, [e_dirty] flags,
+     [free_dirty], the generation), so a sync aborted by an IO error can
+     simply be retried. *)
+  let rec sync t =
+    (* WAL mode: route whatever is dirty through a logged group commit
+       {e before} the checkpoint makes it official. Without this, the
+       changes accumulated since the last commit would reach durability
+       through the data-file flush alone and never transit the log —
+       invisible to a replication follower or a point-in-time replay.
+       With it, the log's retained history covers every committed state
+       transition, which is the property WAL shipping rests on (see
+       doc/RECOVERY.md). Skipped when nothing is dirty, so a quiescent
+       checkpoint appends no spurious records. *)
+    (match t.wal with
+    | Some w ->
+        let dirty_work =
+          Mutex.lock w.w_mu;
+          let d = Hashtbl.length w.w_dirty > 0 || w.w_meta_dirty in
+          Mutex.unlock w.w_mu;
+          d
+        in
+        if dirty_work then commit t
+    | None -> ());
+    let nstripes = Array.length t.stripes in
+    Failpoint.hit fp_sync_data;
+    Array.iteri
+      (fun si (st : stripe) ->
+        with_stripe st (fun () ->
+            let pend = Hashtbl.fold (fun p n acc -> (p, n) :: acc) st.pending [] in
+            List.iter
+              (fun (p, n) ->
+                write_node_striped t p n;
+                Hashtbl.remove st.pending p)
+              pend;
+            let frontier = Atomic.get t.next in
+            let p = ref si in
+            while !p < frontier do
+              (match slot_opt t !p with
+              | None -> ()
+              | Some s ->
+                  if not (Atomic.get s.freed) then (
+                    match Atomic.get s.cached with
+                    | Some e when Atomic.get e.e_dirty ->
+                        (* Clear before writing: should a non-quiescent put
+                           slip in, its fresh entry (and dirty flag)
+                           supersedes this one and the page is merely
+                           written twice, never left stale-clean. Restore
+                           on failure — this entry is still newer than the
+                           disk and a retried sync must re-write it. *)
+                        Atomic.set e.e_dirty false;
+                        (try write_node_striped t !p e.node
+                         with ex ->
+                           Atomic.set e.e_dirty true;
+                           raise ex)
+                    | _ -> ()));
+              p := !p + nstripes
+            done))
+      t.stripes;
+    with_file t (fun () ->
+        Buffer_pool.flush_writes t.pool;
+        let gen = Atomic.get t.generation + 1 in
+        if Atomic.get t.free_dirty then begin
+          Failpoint.hit fp_sync_chain;
+          write_free_chain_flocked t ~gen;
+          Atomic.set t.free_dirty false
+        end;
+        (* WAL mode: a CHECKPOINT marker stamped with the {e outgoing}
+           generation, before the header flip. A crash before the commit
+           fsync below recovers generation [gen - 1], and replay still
+           finds every gen-[gen - 1] batch in the log (the data writes of
+           phase 1 were volatile); a crash after it recovers [gen], whose
+           replay ignores the stale-generation records wholesale. *)
+        (match t.wal with
+        | Some w -> Wal.append w.log ~gen:(gen - 1) Wal.Checkpoint
+        | None -> ());
+        Failpoint.hit fp_sync_header;
+        write_header_flocked t ~gen;
+        Paged_file.sync (file t);
+        (* committed: a crash from here on recovers generation [gen] *)
+        Failpoint.hit fp_sync_commit;
+        write_header_flocked t ~gen;
+        Paged_file.sync (file t);
+        Atomic.set t.generation gen);
+    (* Checkpoint complete: every logged batch is now also in the data
+       file, so the log's contents are dead weight. Truncation is
+       logical — the cursor rewinds to page 0 and the new generation
+       invalidates whatever old-pass records it has not yet overwritten
+       (replay stops at the first foreign-generation or LSN-discontinuous
+       record). The dirty set accumulated since the last seal is already
+       covered by the checkpoint too. Quiescent like the rest of [sync],
+       so no commit races with this. *)
+    match t.wal with
+    | Some w ->
+        Wal.truncate w.log;
+        Mutex.lock w.w_mu;
+        Hashtbl.reset w.w_dirty;
+        w.w_meta_dirty <- false;
+        Mutex.unlock w.w_mu
+    | None -> ()
+
   (* Group commit: block until every operation completed before this call
      is durable. Safe from any number of domains at once — unlike [sync],
      which demands quiescence. Without a WAL, degrade to [sync] (caller
      must then treat it as quiescent-only, see the mli). *)
-  let commit t =
+  and commit t =
     match t.wal with
     | None ->
         (* Degrade to a full sync, serialised so concurrent committers at
@@ -1261,6 +1291,8 @@ module Make (K : Key.S) = struct
           end
         in
         await ()
+
+  let flush = sync
 
   let close t =
     stop_writer t;
@@ -1434,10 +1466,16 @@ module Make (K : Key.S) = struct
                 Atomic.set s.freed false;
                 Atomic.set s.on_disk true)
               r.Wal.committed);
+        (* The incarnation floor: the header's persisted value covers a
+           crashed pass that left no valid records for replay to take
+           the incarnation from; replay's own [next_inc] covers passes
+           resumed since the last checkpoint. [resume] takes the max. *)
+        let inc_floor = geti header_wal_inc_off in
         t.wal <-
           Some
             (mk_wal_state ?commit_interval ?commit_batch
-               (Wal.resume ~data_page_size:page_size ~replay:r log_file))
+               (Wal.resume ~incarnation:(inc_floor + 1) ~data_page_size:page_size
+                  ~replay:r log_file))
     | _ -> ());
     t
 
@@ -1505,4 +1543,65 @@ module Make (K : Key.S) = struct
 
   let wal_cursor t =
     match t.wal with Some w -> Some (Wal.cursor w.log) | None -> None
+
+  (* ---------- replication: primary side ---------- *)
+
+  let wal_fetch t ~lsn ~max_pages =
+    match t.wal with
+    | Some w -> Wal.fetch_from w.log ~lsn ~max_pages
+    | None -> Wal.At_end
+
+  let wal_wait t ~lsn ~timeout =
+    match t.wal with
+    | Some w -> Wal.wait_durable w.log ~lsn ~timeout
+    | None -> false
+
+  let wal_durable_lsn t =
+    match t.wal with Some w -> Wal.durable_lsn w.log | None -> -1
+
+  let wal_incarnation t =
+    match t.wal with Some w -> Some (Wal.incarnation w.log) | None -> None
+
+  (* ---------- replication: follower side ---------- *)
+
+  (* Install one shipped commit batch's page images, exactly as recovery
+     installs replayed images: straight through the file (never the
+     dirty-tracking path — a follower's store has no log of its own to
+     re-ship them into), dropping any cached or writer-queued copy so
+     the next read faults the authoritative bytes back in. Single
+     applier thread assumed (the replica's apply loop); readers on other
+     threads see each page flip atomically from old image to new via the
+     file write, and batch-level consistency is the caller's job (the
+     replica swaps its tree view only after the whole batch lands). *)
+  let apply_replicated t ~images ~meta =
+    List.iter
+      (fun (p, img) ->
+        if p < 0 then invalid_arg "apply_replicated: negative ptr";
+        if Bytes.length img <> t.page_size then
+          invalid_arg "apply_replicated: image size mismatch";
+        let next = Atomic.get t.next in
+        if p >= next then begin
+          ignore (Atomic.fetch_and_add t.allocated (p + 1 - next));
+          Atomic.set t.next (p + 1)
+        end;
+        let s = (ensure_chunk t (p lsr chunk_bits)).(p land (chunk_size - 1)) in
+        let st = t.stripes.(stripe_index t p) in
+        with_stripe st (fun () ->
+            Hashtbl.remove st.pending p;
+            (match Atomic.exchange s.cached None with
+            | Some _ -> Atomic.decr st.resident
+            | None -> ());
+            with_file t (fun () ->
+                ensure_materialized_flocked t (p + header_slots);
+                Paged_file.write (file t) (p + header_slots) img;
+                (* the pool may hold this page in a frame from an earlier
+                   read — refresh it, or the next fault revives the old
+                   image *)
+                let frame = Buffer_pool.pin t.pool (p + header_slots) in
+                Bytes.blit img 0 frame 0 t.page_size;
+                Buffer_pool.unpin t.pool (p + header_slots) ~dirty:false);
+            Atomic.set s.freed false;
+            Atomic.set s.on_disk true))
+      images;
+    match meta with Some m -> Atomic.set t.meta (Some m) | None -> ()
 end

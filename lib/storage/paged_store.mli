@@ -219,4 +219,34 @@ module Make (K : Key.S) : sig
   val wal_cursor : t -> int option
   (** Log pages in the live pass (None without a WAL) — drops back to 0
       at each checkpoint's logical truncation. *)
+
+  (** {2 Replication}
+
+      The primary side exposes the WAL's durable, LSN-contiguous stream
+      ({!wal_fetch} / {!wal_wait}); the follower side installs shipped
+      commit batches ({!apply_replicated}). See doc/RECOVERY.md for the
+      commit-point argument. *)
+
+  val wal_fetch : t -> lsn:int -> max_pages:int -> Wal.fetch
+  (** Raw log pages starting at [lsn], bounded by the durable watermark
+      (never ships records a crash could revoke). [At_end] without a
+      WAL. Thread-safe. *)
+
+  val wal_wait : t -> lsn:int -> timeout:float -> bool
+  (** Long-poll until some record at or past [lsn] is durable; [false]
+      on timeout or without a WAL. *)
+
+  val wal_durable_lsn : t -> int
+  (** The shipping horizon: highest fsync-covered LSN (-1 before the
+      first, or without a WAL). *)
+
+  val wal_incarnation : t -> int option
+  (** The log's current incarnation (None without a WAL). *)
+
+  val apply_replicated : t -> images:(int * Bytes.t) list -> meta:Bytes.t option -> unit
+  (** Install one shipped commit batch: write each full page image
+      straight to the data file (extending the allocation frontier over
+      new pages, invalidating any cached copy), then publish [meta].
+      For follower stores driven by a single apply loop; the caller
+      rebuilds its tree view from [meta] after the batch lands. *)
 end

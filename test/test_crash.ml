@@ -258,6 +258,140 @@ let test_replay_last_writer_wins () =
   Alcotest.(check bool) "sibling page committed" true
     (Hashtbl.find_opt r.Wal.committed 9 = Some (img 'd'))
 
+(* Regression: the phantom tail. Before the incarnation stamp, [resume]
+   continued the same generation with a continuous LSN at the torn
+   position — so the stale records of a {e never-acknowledged} batch
+   left beyond the tear (its head torn, its tail physically present)
+   chained perfectly onto the new pass's appends. A second crash then
+   replayed straight through the new records into the stale tail,
+   reached the stale COMMIT, and promoted a mixed batch nobody ever
+   acknowledged. The incarnation stamp closes it: resume bumps the
+   incarnation past everything observed, and replay stops at the first
+   regression. This test fails on the old scanner. *)
+let test_phantom_tail_two_crash () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let w = Wal.create ~data_page_size:data_ps f in
+  Wal.append w ~gen:1 (Wal.Page { ptr = 3; image = img 'a' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.fsync w;
+  (* batch 1: acknowledged *)
+  Wal.append w ~gen:1 (Wal.Page { ptr = 4; image = img 'b' });
+  Wal.append w ~gen:1 (Wal.Page { ptr = 5; image = img 'c' });
+  Wal.append w ~gen:1 Wal.Commit;
+  (* batch 2: never fsynced, never acknowledged *)
+  (* crash 1: the batch-2 head lands torn; its tail survives as bytes *)
+  let page = Paged_file.read f 2 in
+  Bytes.fill page (log_ps / 2) (log_ps - (log_ps / 2)) '\xFF';
+  Paged_file.write f 2 page;
+  let r1 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "first recovery: only the acked batch" 1 r1.Wal.batches;
+  Alcotest.(check int) "resume position at the tear" 2 r1.Wal.next_pos;
+  (* second life: one new record over the tear, then crash again before
+     its commit *)
+  let w2 = Wal.resume ~data_page_size:data_ps ~replay:r1 f in
+  Wal.append w2 ~gen:1 (Wal.Page { ptr = 6; image = img 'd' });
+  Wal.fsync w2;
+  (* crash 2: replay must not chain the stale tail (Page 5 + COMMIT)
+     onto the new record and promote a batch nobody committed *)
+  let r2 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "second recovery: still only the acked batch" 1
+    r2.Wal.batches;
+  Alcotest.(check bool) "acked image survives" true
+    (Hashtbl.find_opt r2.Wal.committed 3 = Some (img 'a'));
+  Alcotest.(check bool) "phantom image not promoted" false
+    (Hashtbl.mem r2.Wal.committed 5);
+  Alcotest.(check bool) "uncommitted new record not promoted" false
+    (Hashtbl.mem r2.Wal.committed 6);
+  Alcotest.(check int) "scan stops at the stale tail" 3 r2.Wal.next_pos
+
+(* The same two-crash shape with the stale COMMIT {e directly} after the
+   resumed tail: accepting that one record would promote the new pass's
+   uncommitted record as a batch. *)
+let test_phantom_commit_after_tail () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let w = Wal.create ~data_page_size:data_ps f in
+  Wal.append w ~gen:1 (Wal.Page { ptr = 3; image = img 'a' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.fsync w;
+  Wal.append w ~gen:1 (Wal.Page { ptr = 4; image = img 'b' });
+  Wal.append w ~gen:1 Wal.Commit;
+  (* unacked *)
+  let page = Paged_file.read f 2 in
+  Bytes.fill page 8 (log_ps - 8) '\x00';
+  Paged_file.write f 2 page;
+  let r1 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "tear stops the first recovery" 2 r1.Wal.next_pos;
+  let w2 = Wal.resume ~data_page_size:data_ps ~replay:r1 f in
+  Wal.append w2 ~gen:1 (Wal.Page { ptr = 6; image = img 'd' });
+  Wal.fsync w2;
+  let r2 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "stale COMMIT right after the tail rejected" 1
+    r2.Wal.batches;
+  Alcotest.(check bool) "uncommitted record not promoted" false
+    (Hashtbl.mem r2.Wal.committed 6)
+
+(* Resume lands the first new record exactly on the torn position; after
+   a proper commit the next recovery promotes both passes' batches. *)
+let test_resume_overwrites_torn_position () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let w = Wal.create ~data_page_size:data_ps f in
+  Wal.append w ~gen:1 (Wal.Page { ptr = 3; image = img 'a' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.append w ~gen:1 (Wal.Page { ptr = 4; image = img 'b' });
+  Wal.fsync w;
+  let page = Paged_file.read f 2 in
+  Bytes.fill page (log_ps / 2) (log_ps - (log_ps / 2)) '\xFF';
+  Paged_file.write f 2 page;
+  let r1 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "resume at the torn record" 2 r1.Wal.next_pos;
+  let w2 = Wal.resume ~data_page_size:data_ps ~replay:r1 f in
+  Alcotest.(check int) "incarnation bumped" 1 (Wal.incarnation w2);
+  Wal.append w2 ~gen:1 (Wal.Page { ptr = 6; image = img 'd' });
+  Wal.append w2 ~gen:1 Wal.Commit;
+  Wal.fsync w2;
+  let r2 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "both passes' batches promoted" 2 r2.Wal.batches;
+  Alcotest.(check bool) "old batch intact" true
+    (Hashtbl.find_opt r2.Wal.committed 3 = Some (img 'a'));
+  Alcotest.(check bool) "new batch intact" true
+    (Hashtbl.find_opt r2.Wal.committed 6 = Some (img 'd'));
+  Alcotest.(check int) "scan covers the new tail" 4 r2.Wal.next_pos
+
+(* Empty-log resume round-trip: replaying nothing must hand back a
+   resumable cursor at LSN 0 / page 0, and the resumed log must behave
+   exactly like a fresh one. *)
+let test_resume_empty_log_roundtrip () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let r = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "empty replay: lsn 0" 0 r.Wal.next_lsn;
+  let w = Wal.resume ~data_page_size:data_ps ~replay:r f in
+  Alcotest.(check int) "resumed cursor at page 0" 0 (Wal.cursor w);
+  Alcotest.(check int) "resumed lsn 0" 0 (Wal.next_lsn w);
+  Wal.append w ~gen:1 (Wal.Page { ptr = 3; image = img 'a' });
+  Wal.append w ~gen:1 Wal.Commit;
+  Wal.fsync w;
+  let r2 = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  Alcotest.(check int) "one batch after the round-trip" 1 r2.Wal.batches;
+  Alcotest.(check bool) "image committed" true
+    (Hashtbl.find_opt r2.Wal.committed 3 = Some (img 'a'));
+  Alcotest.(check int) "lsn continues" 2 r2.Wal.next_lsn
+
+(* The store-header incarnation floor: resume must bump past it even
+   when replay itself observed nothing (an empty or fully-torn pass may
+   still leave stale records, stamped with the header's incarnation,
+   beyond the tail). *)
+let test_resume_incarnation_floor () =
+  Failpoint.reset ();
+  let f = Paged_file.create_memory ~page_size:log_ps () in
+  let r = Wal.replay ~data_page_size:data_ps ~gen:1 f in
+  let w = Wal.resume ~incarnation:5 ~data_page_size:data_ps ~replay:r f in
+  Alcotest.(check int) "floor wins over the (empty) observation" 5
+    (Wal.incarnation w)
+
 (* A page freed in the checkpointed generation, recycled and re-committed
    through the log only: recovery must take it off the free list, keep
    the allocator accounting consistent, and never hand it out again. *)
@@ -328,6 +462,16 @@ let suite =
       test_replay_last_writer_wins;
     Alcotest.test_case "replay: recycled free-chain page" `Quick
       test_replay_recycled_free_page;
+    Alcotest.test_case "regression: phantom tail across two crashes" `Quick
+      test_phantom_tail_two_crash;
+    Alcotest.test_case "regression: stale COMMIT directly after tail" `Quick
+      test_phantom_commit_after_tail;
+    Alcotest.test_case "resume: first record lands on the torn position"
+      `Quick test_resume_overwrites_torn_position;
+    Alcotest.test_case "resume: empty-log round-trip" `Quick
+      test_resume_empty_log_roundtrip;
+    Alcotest.test_case "resume: header incarnation floor" `Quick
+      test_resume_incarnation_floor;
     Alcotest.test_case "concurrent group commit loses no acked key" `Quick
       test_wal_commit_race;
     Alcotest.test_case "all failpoint sites exercised" `Quick

@@ -387,6 +387,112 @@ let test_wal_acked_crash () =
     | None -> Alcotest.failf "acked key %d lost across the crash" i
   done
 
+(* ---------- replication over the wire ---------- *)
+
+module R = Repro_client.Replica
+
+(* A WAL-mode primary with the log exposed as a subscription source, as
+   [blink_cli serve --wal] wires it. *)
+let with_wal_primary f =
+  let data_page_size = 512 in
+  let wal_page_size = Wal.log_page_size ~data_page_size in
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:64 ~wal:lfile pfile in
+  let t = Sg.create ~order:4 ~store () in
+  Sg.flush t;
+  let handle =
+    Tree_intf.of_ops
+      ~commit:(fun () -> Sg.commit t)
+      ~range:(Sg.range t) ~name:"sagiv-disk" (module Sg) t
+  in
+  let wal_source =
+    {
+      Server.ws_shards = 1;
+      ws_fetch =
+        (fun ~shard:_ ~lsn ~max_pages -> PS.wal_fetch store ~lsn ~max_pages);
+      ws_wait = (fun ~shard:_ ~lsn ~timeout -> PS.wal_wait store ~lsn ~timeout);
+    }
+  in
+  let srv =
+    Server.start ~workers:2 ~durable_acks:true ~wal_source ~handle
+      ~listen:[ loopback ] ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f srv (List.hd (Server.addresses srv)))
+
+let drain_replica r c =
+  let rec go applied =
+    match R.poll ~wait_ms:50 r c with
+    | `Applied n -> go (applied + n)
+    | `Caught_up -> applied
+  in
+  go 0
+
+(* A replica subscribing through the real socket catches up with every
+   committed batch and serves reads at its horizon; uncommitted work is
+   invisible to it. *)
+let test_replica_catch_up () =
+  with_wal_primary @@ fun _srv addr ->
+  with_client addr @@ fun c ->
+  for k = 0 to 49 do
+    ignore (C.insert c ~key:k ~value:(k * 3))
+  done;
+  C.commit c;
+  with_client addr @@ fun rc ->
+  let r = R.create () in
+  let batches = drain_replica r rc in
+  Alcotest.(check bool) "caught up with >= 1 batch" true (batches >= 1);
+  Alcotest.(check int) "replica cardinal" 50 (R.cardinal r);
+  let ctx = Repro_core.Handle.ctx ~slot:0 in
+  Alcotest.(check (option int)) "replica search" (Some 21) (R.search r ctx 7);
+  Alcotest.(check (list (pair int int)))
+    "replica range"
+    [ (10, 30); (11, 33); (12, 36) ]
+    (R.range r ctx ~lo:10 ~hi:12);
+  (* more committed writes arrive on the next poll *)
+  for k = 50 to 59 do
+    ignore (C.insert c ~key:k ~value:(k * 3))
+  done;
+  C.commit c;
+  let more = drain_replica r rc in
+  Alcotest.(check bool) "incremental batch applied" true (more >= 1);
+  Alcotest.(check int) "replica cardinal after" 60 (R.cardinal r);
+  (* under durable acks the ack itself implies a commit — which ships *)
+  ignore (C.insert c ~key:999 ~value:1);
+  Alcotest.(check bool) "acked write ships" true (drain_replica r rc >= 1);
+  Alcotest.(check (option int)) "acked key visible" (Some 1) (R.search r ctx 999)
+
+(* Kill the primary, promote the drained replica in place, and keep
+   going read-write from the applied horizon. *)
+let test_replica_promotion () =
+  let r = R.create () in
+  let ctx = Repro_core.Handle.ctx ~slot:0 in
+  (with_wal_primary @@ fun _srv addr ->
+   (with_client addr @@ fun c ->
+    for k = 0 to 29 do
+      ignore (C.insert c ~key:k ~value:(k * 5))
+    done;
+    C.commit c);
+   with_client addr @@ fun rc ->
+   ignore (drain_replica r rc));
+  (* primary gone; the follower owns what it applied *)
+  Alcotest.(check bool) "not promoted yet" false (R.promoted r);
+  let h = R.handle r in
+  (match h.Tree_intf.insert ctx 100 1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "read-only replica accepted a write");
+  R.promote r;
+  Alcotest.(check bool) "promoted" true (R.promoted r);
+  Alcotest.(check int) "history intact" 30 (R.cardinal r);
+  Alcotest.(check bool) "write lands" true (h.Tree_intf.insert ctx 100 1 = `Ok);
+  Alcotest.(check bool) "delete lands" true (h.Tree_intf.delete ctx 0);
+  h.Tree_intf.commit ();
+  Alcotest.(check (option int)) "new key" (Some 1) (R.search r ctx 100);
+  Alcotest.(check (option int)) "deleted key" None (R.search r ctx 0);
+  Alcotest.(check int) "cardinal tracks" 30 (R.cardinal r)
+
 let suite =
   [
     ("protocol roundtrip", `Quick, test_roundtrip);
@@ -401,4 +507,6 @@ let suite =
     ("4 pipelined clients, all acks hold", `Quick, test_concurrent_pipelines);
     ("unix-domain socket", `Quick, test_unix_socket);
     ("acked write survives crash (wal)", `Quick, test_wal_acked_crash);
+    ("replica catches up over the socket", `Quick, test_replica_catch_up);
+    ("replica promotion after primary loss", `Quick, test_replica_promotion);
   ]
