@@ -9,6 +9,8 @@
      serve     pipelined network server over a tree (TCP / Unix socket)
      client    scripted client session against a running server
      replica   WAL-shipping read replica of a running wal-mode server
+     scan      pinned-snapshot consistent scan of a running --mvcc server
+     backup    online backup of a running --mvcc server into a file
 *)
 
 open Cmdliner
@@ -31,6 +33,7 @@ let impl_of_name ?(wal = false) ?commit_batch ~backend name =
   match (backend, name) with
   | "mem", "sagiv" -> Tree_intf.sagiv ()
   | "mem", "sagiv-compact" -> Tree_intf.sagiv ~enqueue_on_delete:true ()
+  | "mem", "sagiv-mvcc" -> Tree_intf.sagiv_mvcc ()
   | "disk", "sagiv" -> Tree_intf.sagiv_disk ~wal ?commit_batch ()
   | "disk", "sagiv-compact" ->
       Tree_intf.sagiv_disk ~enqueue_on_delete:true ~wal ?commit_batch ()
@@ -421,7 +424,7 @@ let string_of_sockaddr = function
       Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
 
 let serve_cmd tree_name backend order durability commit_batch workers port
-    unix_path shards combine =
+    unix_path shards combine mvcc =
   let wal =
     match durability with
     | "sync" -> false
@@ -430,8 +433,10 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   in
   if wal && backend <> "disk" then
     failwith "--durability wal requires --backend disk";
-  if shards > 1 && backend <> "disk" then
-    failwith "--shards requires --backend disk";
+  if shards > 1 && backend <> "disk" && not mvcc then
+    failwith "--shards requires --backend disk (or --mvcc)";
+  if mvcc && backend <> "mem" then
+    failwith "--mvcc runs on the memory backend (the version heap is volatile)";
   let commit_batch = if commit_batch > 1 then Some commit_batch else None in
   let enqueue_on_delete_of_tree () =
     match tree_name with
@@ -440,7 +445,16 @@ let serve_cmd tree_name backend order durability commit_batch workers port
     | s -> failwith (Printf.sprintf "tree %S has no disk backend" s)
   in
   let sst, store, h =
-    if shards > 1 then begin
+    if mvcc then begin
+      (* version-stamped backend: SNAPSHOT sessions and per-request
+         consistent RANGE cuts; sharded composition shares one epoch *)
+      let impl =
+        if shards > 1 then Tree_intf.sagiv_mvcc_sharded ~shards ()
+        else Tree_intf.sagiv_mvcc ()
+      in
+      (None, None, impl.Tree_intf.make ~order)
+    end
+    else if shards > 1 then begin
       (* sharded serve: N independent store+WAL partitions behind one
          routed handle; the server folds each batch's acks into only the
          shards it touched *)
@@ -512,13 +526,14 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   List.iter
     (fun a -> Printf.printf "listening on %s\n%!" (string_of_sockaddr a))
     (Repro_server.Server.addresses srv);
-  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s%s (ctrl-C stops)\n%!"
+  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s%s%s (ctrl-C stops)\n%!"
     h.Tree_intf.name backend
     (if backend = "disk" then durability else "none")
     workers
     (if shards > 1 then Printf.sprintf " shards=%d" shards else "")
     (if combine <> "off" then Printf.sprintf " combine=%s" combine else "")
-    (match wal_source with Some _ -> " replication=on" | None -> "");
+    (match wal_source with Some _ -> " replication=on" | None -> "")
+    (if mvcc then " mvcc=on" else "");
   let stop = Atomic.make false in
   let on_signal _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -533,6 +548,15 @@ let serve_cmd tree_name backend order durability commit_batch workers port
     (Stats.server_to_string (Repro_server.Server.stats srv));
   print_combine comb;
   (match sst with Some sst -> print_sharded_io sst | None -> ());
+  (match h.Tree_intf.mvcc with
+  | Some m ->
+      let g = m.Tree_intf.gauges () in
+      Printf.printf "mvcc: min_pinned=%s pins=%d versions=%d pruned=%d gc_pending=%d\n"
+        (if g.Tree_intf.g_min_pinned = max_int then "none"
+         else string_of_int g.Tree_intf.g_min_pinned)
+        g.Tree_intf.g_snap_pins g.Tree_intf.g_live_versions
+        g.Tree_intf.g_pruned_versions g.Tree_intf.g_gc_pending
+  | None -> ());
   Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ())
     (h.Tree_intf.height ());
   (match unix_path with
@@ -554,6 +578,8 @@ let parse_request line =
       Some (P.Range { lo = int_of_string lo; hi = int_of_string hi })
   | [ "commit" ] -> Some P.Commit
   | [ "stats" ] -> Some P.Stats
+  | [ "snapshot" ] -> Some (P.Snapshot { close = false })
+  | [ "snapshot-close" ] -> Some (P.Snapshot { close = true })
   | w :: _ -> failwith (Printf.sprintf "unknown command %S" w)
 
 let client_cmd host port unix_path script =
@@ -590,6 +616,63 @@ let client_cmd host port unix_path script =
         reqs resps;
       if List.exists (function P.Error _ -> true | _ -> false) resps then
         exit 1)
+
+(* -- scan / backup: pinned-snapshot reads of a running --mvcc server -- *)
+
+let with_session ~host ~port ~unix_path f =
+  let addr =
+    match unix_path with
+    | Some p -> Unix.ADDR_UNIX p
+    | None -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  in
+  let c = Repro_client.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Repro_client.Client.close c) (fun () -> f c)
+
+(* One pinned chunked sweep: SNAPSHOT open, windowed RANGEs — all
+   answered at the same cut because the session pin outlives every
+   window — then SNAPSHOT close. Chunking bounds reply frames, not
+   consistency: concurrent writers never tear the result. *)
+let pinned_sweep c ~lo ~hi ~chunk =
+  let module Cl = Repro_client.Client in
+  let epoch = Cl.snapshot_open c in
+  Fun.protect
+    ~finally:(fun () -> try Cl.snapshot_close c with _ -> ())
+    (fun () ->
+      let rec go wlo acc =
+        if wlo > hi then acc
+        else begin
+          let whi = if hi - wlo >= chunk then wlo + chunk - 1 else hi in
+          let acc = List.rev_append (Cl.range c ~lo:wlo ~hi:whi) acc in
+          if whi >= hi then acc else go (whi + 1) acc
+        end
+      in
+      (epoch, List.rev (go lo [])))
+
+let scan_cmd host port unix_path lo hi chunk =
+  try
+    with_session ~host ~port ~unix_path (fun c ->
+        let epoch, pairs = pinned_sweep c ~lo ~hi ~chunk in
+        List.iter (fun (k, v) -> Printf.printf "%d %d\n" k v) pairs;
+        Printf.eprintf "scanned %d pairs at epoch %d (keys %d..%d)\n%!"
+          (List.length pairs) epoch lo hi)
+  with Repro_client.Client.Remote_error msg ->
+    Printf.eprintf "server refused: %s\n%!" msg;
+    exit 1
+
+let backup_cmd host port unix_path out lo hi chunk =
+  try
+    with_session ~host ~port ~unix_path (fun c ->
+        let epoch, pairs = pinned_sweep c ~lo ~hi ~chunk in
+        let oc = open_out out in
+        Printf.fprintf oc "# blink-backup epoch=%d pairs=%d lo=%d hi=%d\n" epoch
+          (List.length pairs) lo hi;
+        List.iter (fun (k, v) -> Printf.fprintf oc "%d %d\n" k v) pairs;
+        close_out oc;
+        Printf.printf "backed up %d pairs at epoch %d to %s\n%!"
+          (List.length pairs) epoch out)
+  with Repro_client.Client.Remote_error msg ->
+    Printf.eprintf "server refused: %s\n%!" msg;
+    exit 1
 
 (* -- replica: WAL-shipping follower -- *)
 
@@ -839,11 +922,19 @@ let unix_arg =
   Arg.(value & opt (some string) None
        & info [ "unix" ] ~docv:"PATH" ~doc:"Also listen on a Unix-domain socket.")
 
+let mvcc_arg =
+  Arg.(value & flag
+       & info [ "mvcc" ]
+           ~doc:"Serve the version-stamped sagiv-mvcc backend (memory only): \
+                 SNAPSHOT sessions pin a consistent cut, and every RANGE is \
+                 answered at a point-in-time epoch even without a session. \
+                 Composes with --shards (one epoch across all shards).")
+
 let serve_t =
   Term.(
     const serve_cmd $ tree_arg $ backend_arg $ order_arg $ durability_arg
     $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg $ shards_arg
-    $ combine_arg)
+    $ combine_arg $ mvcc_arg)
 
 let host_arg =
   Arg.(value & opt string "127.0.0.1"
@@ -854,9 +945,36 @@ let script_arg =
        & info [] ~docv:"CMD"
            ~doc:"Session commands (else read from stdin, one per line): \
                  'insert K V', 'delete K', 'search K', 'range LO HI', \
-                 'commit', 'stats'.")
+                 'commit', 'stats', 'snapshot', 'snapshot-close'.")
 
 let client_t = Term.(const client_cmd $ host_arg $ port_arg $ unix_arg $ script_arg)
+
+let scan_lo_arg =
+  Arg.(value & opt int 0 & info [ "lo" ] ~docv:"K" ~doc:"Lowest key to cover.")
+
+let scan_hi_arg =
+  Arg.(value & opt int 1_000_000
+       & info [ "hi" ] ~docv:"K" ~doc:"Highest key to cover (inclusive).")
+
+let scan_chunk_arg =
+  Arg.(value & opt int 32_768
+       & info [ "chunk" ] ~docv:"N"
+           ~doc:"Key-window width per RANGE request (bounds frame sizes; the \
+                 session pin keeps every window at the same cut).")
+
+let scan_t =
+  Term.(
+    const scan_cmd $ host_arg $ port_arg $ unix_arg $ scan_lo_arg $ scan_hi_arg
+    $ scan_chunk_arg)
+
+let backup_out_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"Backup file to write ('key value' lines).")
+
+let backup_t =
+  Term.(
+    const backup_cmd $ host_arg $ port_arg $ unix_arg $ backup_out_arg
+    $ scan_lo_arg $ scan_hi_arg $ scan_chunk_arg)
 
 let replica_shard_arg =
   Arg.(value & opt int 0
@@ -917,6 +1035,16 @@ let cmds =
     Cmd.v
       (Cmd.info "client" ~doc:"Run a scripted pipelined session against a server")
       client_t;
+    Cmd.v
+      (Cmd.info "scan"
+         ~doc:"Consistent scan of a running --mvcc server: pin a SNAPSHOT \
+               session, pull chunked ranges all at that cut, print the pairs")
+      scan_t;
+    Cmd.v
+      (Cmd.info "backup"
+         ~doc:"Online backup of a running --mvcc server into a file — one \
+               point-in-time cut, zero writer stalls")
+      backup_t;
     Cmd.v
       (Cmd.info "replica"
          ~doc:"Follow a WAL-mode server as a read replica (pull the log over \

@@ -54,9 +54,10 @@ let () =
   in
   let janitor =
     Domain.spawn (fun () ->
+        let jctx = KV.ctx ~slot:4 in
         let freed = ref 0 in
         while not (Atomic.get stop) do
-          freed := !freed + KV.reclaim store;
+          freed := !freed + KV.reclaim store jctx;
           Domain.cpu_relax ()
         done;
         !freed)
@@ -65,7 +66,7 @@ let () =
   Atomic.set stop true;
   let scans = Domain.join auditor in
   let freed = Domain.join janitor in
-  let freed = freed + KV.reclaim store in
+  let freed = freed + KV.reclaim store c in
 
   Printf.printf "applied %d overwrites; auditor completed %d range scans\n" written scans;
   Printf.printf "janitor reclaimed %d retired record slots; %d live records remain\n"

@@ -13,6 +13,39 @@ type sharding = {
           group-commit leaders) *)
 }
 
+type snap = {
+  snap_epoch : int;  (** the cut's boundary epoch *)
+  snap_search : Handle.ctx -> int -> int option;
+      (** point read at the cut: the value bound at pin time, whatever
+          writers have done since *)
+  snap_range : Handle.ctx -> lo:int -> hi:int -> (int * int) list;
+      (** consistent ordered scan at the cut — on a sharded handle the
+          k-way merge reads every shard at the same cut *)
+  snap_release : unit -> unit;  (** unpin (idempotent) *)
+}
+(** A pinned point-in-time view over an MVCC-backed handle. Holding it
+    costs writers nothing; it only defers version pruning. *)
+
+type mvcc_gauges = {
+  g_min_pinned : int;  (** reclamation horizon; [max_int] = nothing pinned *)
+  g_snap_pins : int;  (** snapshots currently held *)
+  g_live_versions : int;  (** version records across all chains *)
+  g_pruned_versions : int;  (** versions pruned since creation *)
+  g_gc_pending : int;  (** vacuum candidates queued *)
+}
+
+type mvcc = {
+  snapshot : unit -> snap;
+      (** pin a consistent cut (single cut across all shards on a
+          sharded handle) — O(1), never blocks writers *)
+  vacuum : Handle.ctx -> int;
+      (** prune cold version tails, physically remove dead pairs behind
+          every pin, release reclaimable slots/pages; returns pairs
+          removed *)
+  gauges : unit -> mvcc_gauges;
+}
+(** The snapshot surface of an MVCC-backed handle. *)
+
 type handle = {
   name : string;
   search : Handle.ctx -> int -> int option;
@@ -27,7 +60,10 @@ type handle = {
   range : (Handle.ctx -> lo:int -> hi:int -> (int * int) list) option;
       (** lock-free ordered scan of [lo <= key <= hi] along the leaf
           chain; [None] on backends without a leaf chain to walk (the
-          network server answers RANGE with "unsupported" there) *)
+          network server answers RANGE with "unsupported" there).
+          {b Weak}: not a consistent cut under concurrent writers — each
+          leaf is atomic but the scan as a whole is not serialisable;
+          use [mvcc] for point-in-time scans *)
   sharding : sharding option;
       (** partition-layer surface: present on sharded handles so the
           server can route batches and commit only the shards a batch
@@ -39,6 +75,9 @@ type handle = {
           [fill] is the node-packing fraction (default 0.9 — dense);
           preload paths that model an incrementally built tree pass a
           lower fill so nodes start near the compaction threshold *)
+  mvcc : mvcc option;
+      (** snapshot surface: present on version-stamped backends
+          ([sagiv-mvcc] and its sharded composition); [None] elsewhere *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -61,8 +100,8 @@ end
     record is built, so a new backend registers in ~5 lines. [commit]
     defaults to a no-op — in-memory backends have nothing to make
     durable; [range] defaults to unsupported. *)
-let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ?bulk_add ~name
-    (module M : TREE_OPS with type t = a) (t : a) =
+let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ?bulk_add ?mvcc
+    ~name (module M : TREE_OPS with type t = a) (t : a) =
   {
     name;
     search = M.search t;
@@ -74,6 +113,7 @@ let of_ops (type a) ?(commit = fun () -> ()) ?range ?sharding ?bulk_add ~name
     range;
     sharding;
     bulk_add;
+    mvcc;
   }
 
 (* K-way merge of per-shard range results: each list is sorted and the
@@ -137,6 +177,10 @@ let sharded ~name (subs : handle array) =
           commit_shard = (fun i -> subs.(i).commit ());
         };
     bulk_add;
+    (* a generic composition cannot give ONE cut across shards (that
+       needs a shared epoch clock underneath) — the mvcc-sharded
+       constructor below overrides this with a true group snapshot *)
+    mvcc = None;
   }
 
 (** Route a handle's mutations through a {!Repro_core.Combine} array:
@@ -169,6 +213,7 @@ let with_combining ?slots (h : handle) =
   (c, { h with name = h.name ^ "+combine"; insert; delete })
 
 module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
+module Mvcc_int = Mvcc.Make (Repro_storage.Key.Int)
 module Paged_int = Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 module Sagiv_disk = Sagiv.Make_on_store (Repro_storage.Key.Int) (Paged_int)
 
@@ -197,6 +242,134 @@ let sagiv_raw ?(enqueue_on_delete = false) ~order () =
     of_ops ~range:(Sagiv_int.range t)
       ~bulk_add:(fun ?fill ps -> Sagiv_int.bulk_add ?fill t ps)
       ~name:"sagiv" (module Sagiv_int) t )
+
+(* -- the MVCC-backed tree: version-stamped records under the Sagiv
+      index, exposing the snapshot surface -- *)
+
+let mvcc_snap_of (t : int Mvcc_int.t) (s : Mvcc_int.snap) =
+  {
+    snap_epoch = Mvcc_int.snap_epoch s;
+    snap_search = (fun ctx k -> Mvcc_int.snap_get t s ctx k);
+    snap_range = (fun ctx ~lo ~hi -> Mvcc_int.snap_range t s ctx ~lo ~hi);
+    snap_release = (fun () -> Mvcc_int.release s);
+  }
+
+let mvcc_gauges_of (ts : int Mvcc_int.t array) () =
+  {
+    g_min_pinned = Mvcc_int.min_pinned ts.(0);
+    g_snap_pins = Repro_storage.Epoch.pinned_snapshots (Mvcc_int.epoch ts.(0));
+    g_live_versions =
+      Array.fold_left (fun a t -> a + Mvcc_int.live_versions t) 0 ts;
+    g_pruned_versions =
+      Array.fold_left (fun a t -> a + Mvcc_int.pruned_versions t) 0 ts;
+    g_gc_pending = Array.fold_left (fun a t -> a + Mvcc_int.gc_pending t) 0 ts;
+  }
+
+let mvcc_sub_handle (t : int Mvcc_int.t) ~name =
+  let bulk_add ?fill ps =
+    (* allocate the records first (stamped epoch 0: a quiescent preload
+       is in every snapshot's past), then pack the pairs *)
+    let pairs =
+      List.map
+        (fun (k, v) -> (k, Repro_storage.Record_store.put (Mvcc_int.records t) ~epoch:0 v))
+        ps
+    in
+    let ok = Mvcc_int.T.bulk_add ?fill (Mvcc_int.tree t) pairs in
+    if not ok then
+      List.iter
+        (fun (_, p) -> Repro_storage.Record_store.free (Mvcc_int.records t) p)
+        pairs;
+    ok
+  in
+  of_ops
+    ~range:(fun ctx ~lo ~hi -> Mvcc_int.range t ctx ~lo ~hi)
+    ~bulk_add
+    ~mvcc:
+      {
+        snapshot = (fun () -> mvcc_snap_of t (Mvcc_int.snapshot t));
+        vacuum =
+          (fun ctx ->
+            let removed = Mvcc_int.vacuum t ctx in
+            ignore (Mvcc_int.reclaim t);
+            removed);
+        gauges = mvcc_gauges_of [| t |];
+      }
+    ~name
+    (module struct
+      type nonrec t = int Mvcc_int.t
+
+      let search = Mvcc_int.get
+      let insert = Mvcc_int.insert
+      let delete = Mvcc_int.delete
+      let cardinal = Mvcc_int.cardinal
+      let height t = Mvcc_int.T.height (Mvcc_int.tree t)
+    end)
+    t
+
+(** The MVCC tree plus its handle, for callers that also scan/vacuum
+    through the typed API (benches, tests). *)
+let sagiv_mvcc_raw ?(enqueue_on_delete = false) ~order () =
+  let t = Mvcc_int.create ~order ~enqueue_on_delete () in
+  (t, mvcc_sub_handle t ~name:"sagiv-mvcc")
+
+let sagiv_mvcc ?(enqueue_on_delete = false) () =
+  {
+    impl_name = "sagiv-mvcc";
+    make =
+      (fun ~order ->
+        let t = Mvcc_int.create ~order ~enqueue_on_delete () in
+        mvcc_sub_handle t ~name:"sagiv-mvcc");
+  }
+
+let mvcc_sharded_name shards = Printf.sprintf "sagiv-mvcc-x%d" shards
+
+(** [shards] MVCC trees sharing ONE epoch clock, composed into a routed
+    handle whose [mvcc.snapshot] is a {e group} snapshot: one pin + one
+    tick + one wait, then every shard reads at the same cut — the k-way
+    merged [snap_range] is point-in-time consistent across shards. *)
+let sagiv_mvcc_sharded_raw ?(enqueue_on_delete = false) ~shards ~order () =
+  if shards < 1 then invalid_arg "Tree_intf.sagiv_mvcc_sharded: shards >= 1";
+  let epoch = Repro_storage.Epoch.create () in
+  let ts =
+    Array.init shards (fun _ ->
+        Mvcc_int.create ~order ~enqueue_on_delete ~epoch ())
+  in
+  let name = mvcc_sharded_name shards in
+  let base =
+    sharded ~name (Array.map (fun t -> mvcc_sub_handle t ~name) ts)
+  in
+  let route k = Repro_storage.Shard_router.shard_of ~shards k in
+  let snapshot () =
+    let s = Mvcc_int.snapshot_group ts in
+    {
+      snap_epoch = Mvcc_int.snap_epoch s;
+      snap_search = (fun ctx k -> Mvcc_int.snap_get ts.(route k) s ctx k);
+      snap_range =
+        (fun ctx ~lo ~hi ->
+          merge_ranges
+            (Array.to_list
+               (Array.map (fun t -> Mvcc_int.snap_range t s ctx ~lo ~hi) ts)));
+      snap_release = (fun () -> Mvcc_int.release s);
+    }
+  in
+  let vacuum ctx =
+    let removed =
+      Array.fold_left (fun a t -> a + Mvcc_int.vacuum t ctx) 0 ts
+    in
+    Array.iter (fun t -> ignore (Mvcc_int.reclaim t)) ts;
+    removed
+  in
+  ( ts,
+    { base with mvcc = Some { snapshot; vacuum; gauges = mvcc_gauges_of ts } }
+  )
+
+let sagiv_mvcc_sharded ?enqueue_on_delete ~shards () =
+  {
+    impl_name = mvcc_sharded_name shards;
+    make =
+      (fun ~order ->
+        snd (sagiv_mvcc_sharded_raw ?enqueue_on_delete ~shards ~order ()));
+  }
 
 let make_disk_store ?cache_pages ?stripes ?commit_interval ?commit_batch
     ?(wal = false) () =
@@ -368,6 +541,7 @@ let all =
   [
     sagiv ();
     sagiv_disk ();
+    sagiv_mvcc ();
     lehman_yao;
     lock_couple;
     lock_couple_optimistic;

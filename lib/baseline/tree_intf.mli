@@ -13,6 +13,39 @@ type sharding = {
           group-commit leaders) *)
 }
 
+type snap = {
+  snap_epoch : int;  (** the cut's boundary epoch *)
+  snap_search : Handle.ctx -> int -> int option;
+      (** point read at the cut: the value bound at pin time, whatever
+          writers have done since *)
+  snap_range : Handle.ctx -> lo:int -> hi:int -> (int * int) list;
+      (** consistent ordered scan at the cut — on a sharded handle the
+          k-way merge reads every shard at the same cut *)
+  snap_release : unit -> unit;  (** unpin (idempotent) *)
+}
+(** A pinned point-in-time view over an MVCC-backed handle. Holding it
+    costs writers nothing; it only defers version pruning. *)
+
+type mvcc_gauges = {
+  g_min_pinned : int;  (** reclamation horizon; [max_int] = nothing pinned *)
+  g_snap_pins : int;  (** snapshots currently held *)
+  g_live_versions : int;  (** version records across all chains *)
+  g_pruned_versions : int;  (** versions pruned since creation *)
+  g_gc_pending : int;  (** vacuum candidates queued *)
+}
+
+type mvcc = {
+  snapshot : unit -> snap;
+      (** pin a consistent cut (single cut across all shards on a
+          sharded handle) — O(1), never blocks writers *)
+  vacuum : Handle.ctx -> int;
+      (** prune cold version tails, physically remove dead pairs behind
+          every pin, release reclaimable slots/pages; returns pairs
+          removed *)
+  gauges : unit -> mvcc_gauges;
+}
+(** The snapshot surface of an MVCC-backed handle. *)
+
 type handle = {
   name : string;
   search : Handle.ctx -> int -> int option;
@@ -27,7 +60,9 @@ type handle = {
   range : (Handle.ctx -> lo:int -> hi:int -> (int * int) list) option;
       (** lock-free ordered scan of [lo <= key <= hi] along the leaf
           chain; [None] on backends without one (the network server
-          answers RANGE with "unsupported" there) *)
+          answers RANGE with "unsupported" there). {b Weak}: not a
+          consistent cut under concurrent writers; use [mvcc] for
+          point-in-time scans *)
   sharding : sharding option;
       (** partition-layer surface: present on sharded handles so the
           server can route batches and commit only the shards a batch
@@ -39,6 +74,9 @@ type handle = {
           [fill] is the node-packing fraction (default 0.9 — dense);
           preload paths that model an incrementally built tree pass a
           lower fill so nodes start near the compaction threshold *)
+  mvcc : mvcc option;
+      (** snapshot surface: present on version-stamped backends
+          ([sagiv-mvcc] and its sharded composition); [None] elsewhere *)
 }
 
 type impl = { impl_name : string; make : order:int -> handle }
@@ -59,6 +97,7 @@ val of_ops :
   ?range:(Handle.ctx -> lo:int -> hi:int -> (int * int) list) ->
   ?sharding:sharding ->
   ?bulk_add:(?fill:float -> (int * int) list -> bool) ->
+  ?mvcc:mvcc ->
   name:string ->
   (module TREE_OPS with type t = 'a) ->
   'a ->
@@ -107,6 +146,33 @@ val sagiv_raw :
   (int, int Repro_storage.Store.t) Handle.t * handle
 (** Like {!sagiv} but also hands back the raw tree, for running
     compaction workers or validation alongside. *)
+
+module Mvcc_int : module type of Mvcc.Make (Repro_storage.Key.Int)
+(** The MVCC store (version-stamped records under the Sagiv index)
+    instantiated at int keys and int payloads. *)
+
+val sagiv_mvcc : ?enqueue_on_delete:bool -> unit -> impl
+(** The Sagiv tree over version-chained records: same point-op surface,
+    plus the [mvcc] snapshot field ([impl_name] ["sagiv-mvcc"]). *)
+
+val sagiv_mvcc_raw :
+  ?enqueue_on_delete:bool -> order:int -> unit -> int Mvcc_int.t * handle
+(** {!sagiv_mvcc} handing back the typed store, for callers that also
+    scan or vacuum through the {!Mvcc_int} API directly. *)
+
+val sagiv_mvcc_sharded :
+  ?enqueue_on_delete:bool -> shards:int -> unit -> impl
+(** [shards] MVCC trees sharing one epoch clock, routed like {!sharded};
+    [mvcc.snapshot] is a {e group} snapshot — one pin + tick + wait, and
+    the k-way merged [snap_range] is one point-in-time cut across all
+    shards ([impl_name] ["sagiv-mvcc-x<shards>"]). *)
+
+val sagiv_mvcc_sharded_raw :
+  ?enqueue_on_delete:bool ->
+  shards:int ->
+  order:int ->
+  unit ->
+  int Mvcc_int.t array * handle
 
 val sagiv_disk :
   ?enqueue_on_delete:bool ->

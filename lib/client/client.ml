@@ -102,8 +102,9 @@ let request_shard ~shards (r : P.request) =
   | P.Insert { key; _ } | P.Delete { key } | P.Search { key } ->
       Some (Repro_storage.Shard_router.shard_of ~shards key)
   | P.Range _ | P.Commit | P.Stats -> None
-  (* Subscribe names its shard explicitly — never regrouped by key *)
-  | P.Subscribe _ -> None
+  (* Subscribe names its shard explicitly — never regrouped by key;
+     Snapshot is connection-session state, a barrier like Commit *)
+  | P.Subscribe _ | P.Snapshot _ -> None
 
 (* Reorder a batch so each shard's requests are contiguous (stable
    within a shard, so same-key order is preserved — same key, same
@@ -182,6 +183,16 @@ let commit t =
 let stats t =
   match one t P.Stats with
   | Stats_reply s -> s
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let snapshot_open t =
+  match one t (P.Snapshot { close = false }) with
+  | Snap_reply { epoch } -> epoch
+  | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
+
+let snapshot_close t =
+  match one t (P.Snapshot { close = true }) with
+  | Snap_reply _ -> ()
   | r -> raise (P.Bad_frame ("unexpected reply " ^ P.response_to_string r))
 
 let wal_fetch t ~shard ~from_lsn ~max_pages ~wait_ms =

@@ -40,6 +40,16 @@ val range : t -> lo:int -> hi:int -> (int * int) list
 val commit : t -> unit
 val stats : t -> Repro_server.Protocol.server_stats
 
+val snapshot_open : t -> int
+(** Open (or replace) this connection's pinned MVCC snapshot session and
+    return its boundary epoch: until {!snapshot_close}, [search] and
+    [range] on this connection answer at that cut. Raises
+    {!Remote_error} on a backend without an MVCC surface. *)
+
+val snapshot_close : t -> unit
+(** Release the session snapshot (the server also releases it when the
+    connection closes). *)
+
 val wal_fetch :
   t ->
   shard:int ->

@@ -91,9 +91,14 @@ let feed t page =
   | Wal.Apply.Progress -> ()
   | Wal.Apply.Reject msg -> raise (Stream_error msg)
   | Wal.Apply.Batch b ->
-      PS.apply_replicated store ~images:b.Wal.Apply.b_images
-        ~meta:b.Wal.Apply.b_meta;
+      (* The whole install happens under the view mutex: a reader that
+         holds it for the duration of a scan ([range] below) reads every
+         leaf at one replay horizon. Installing the page images outside
+         the mutex let a long scan straddle a batch — its tail leaves
+         showed writes whose horizon the scan's head never saw. *)
       with_mu t (fun () ->
+          PS.apply_replicated store ~images:b.Wal.Apply.b_images
+            ~meta:b.Wal.Apply.b_meta;
           (match b.Wal.Apply.b_meta with
           | Some _ -> t.view <- Some (Sg.open_existing store)
           | None -> ());
@@ -118,6 +123,9 @@ let search t ctx key =
   with_mu t (fun () ->
       match t.view with None -> None | Some v -> Sg.search v ctx key)
 
+(* Holding [mu] across the whole walk pins the scan to one replay
+   horizon — batch installs ([feed]) also run under [mu], so no leaf
+   read here can be newer than another. *)
 let range t ctx ~lo ~hi =
   with_mu t (fun () ->
       match t.view with None -> [] | Some v -> Sg.range v ctx ~lo ~hi)
@@ -172,4 +180,5 @@ let handle t =
     range = Some (fun ctx ~lo ~hi -> range t ctx ~lo ~hi);
     sharding = None;
     bulk_add = None;
+    mvcc = None;
   }

@@ -54,6 +54,7 @@ let chain_read (pf : Paged_file.t) ~first ~total : Bytes.t =
 
 module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module C = Page_codec.Make (K)
+  module T = Sagiv.Make_on_store (K) (S)
 
   (* Header layout (page 0):
      magic i32 | version u8 | order i32 | levels i32 |
@@ -126,6 +127,18 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
       ~stream_len:(Bytes.length payload)
       ~leftmost:prime.Prime_block.leftmost;
     Paged_file.sync pf
+
+  (** Online checkpoint: scan the live tree lock-free
+      ({!Sagiv.Make_on_store.fold_all}), bulk-load the pairs into a
+      {e private} packed tree, and checkpoint that one quiescently —
+      its quiescence holds by construction, and the live tree's writers
+      never stall. The image holds every pair stable across the scan;
+      run under an MVCC snapshot pin for a point-in-time cut. *)
+  let save_online (t : (K.t, S.t) Handle.t) (ctx : Handle.ctx) (pf : Paged_file.t) =
+    let pairs =
+      List.rev (T.fold_all t ctx ~init:[] (fun acc k p -> (k, p) :: acc))
+    in
+    save (T.of_sorted ~order:t.Handle.order pairs) pf
 
   (** Rebuild a tree from a checkpoint, remapping page ids. *)
   let load (pf : Paged_file.t) : (K.t, S.t) Handle.t =

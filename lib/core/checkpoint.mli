@@ -12,6 +12,11 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
   (** Write the tree into the paged file (page 0 becomes the header) and
       sync it. The tree must be quiescent. *)
 
+  val save_online : (K.t, S.t) Handle.t -> Handle.ctx -> Paged_file.t -> unit
+  (** {!save} with writers live: lock-free scan into a private packed
+      tree, then a (by-construction quiescent) {!save} of that tree.
+      Never stalls writers; exact for pairs stable across the scan. *)
+
   val load : Paged_file.t -> (K.t, S.t) Handle.t
   (** Rebuilds into a fresh [S.create ()] store.
       @raise Corrupt on a damaged checkpoint. *)

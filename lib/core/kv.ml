@@ -1,106 +1,89 @@
 (** Key–value store: the dense index (Sagiv tree) over an actual record
-    heap.
+    heap — now the string-valued face of {!Mvcc}.
 
     The paper's tree maps keys to record {e pointers} and assumes the
-    records exist (§3.1); this module completes the picture — values are
-    stored in a {!Repro_storage.Record_store}, and the tree's pairs point
-    at them. Gets are lock-free; puts/deletes hold one page latch at a
-    time, exactly as the underlying operations do.
+    records exist (§3.1); this module completes the picture with
+    multiversioned records: puts append epoch-stamped versions, removes
+    append tombstones, and {!snapshot} hands out consistent cuts that
+    cost writers nothing. Gets are lock-free; puts/removes hold one page
+    latch at a time, exactly as the underlying operations do.
 
-    Record slots are recycled, so a get racing a put/delete on the same
-    key could otherwise chase a reused pointer; a dedicated epoch manager
-    defers record reuse past all in-flight gets (the §5.3 scheme, applied
-    to records). *)
+    Record slots and stale versions are reclaimed by {!reclaim}
+    (vacuum + epoch grace), which needs a worker context because
+    removing a dead pair is a tree operation. *)
 
 open Repro_storage
 
 module Make (K : Key.S) = struct
-  module T = Sagiv.Make (K)
+  module M = Mvcc.Make (K)
+  module T = M.T
 
-  type t = {
-    tree : T.t;
-    records : Record_store.t;
-    record_epoch : Epoch.t;  (** guards record reads against slot reuse *)
-  }
-
+  type t = string M.t
   type ctx = Handle.ctx
 
   let ctx = Handle.ctx
 
   let create ?order ?enqueue_on_delete () =
-    {
-      tree = T.create ?order ?enqueue_on_delete ();
-      records = Record_store.create ();
-      record_epoch = Epoch.create ();
-    }
+    M.create ?order ?enqueue_on_delete ~size:String.length ()
 
-  let tree t = t.tree
+  let tree t = M.tree t
 
   (** [get t ctx k] is the value bound to [k], lock-free. *)
-  let get t (ctx : ctx) k =
-    Epoch.with_pin t.record_epoch ~slot:ctx.Handle.slot (fun () ->
-        match T.search t.tree ctx k with
-        | None -> None
-        | Some rptr -> Some (Record_store.get t.records rptr))
+  let get t (ctx : ctx) k = M.get t ctx k
 
-  (** [put t ctx k v] binds [k] to [v], inserting or overwriting. *)
-  let put t (ctx : ctx) k v =
-    let rptr = Record_store.put t.records v in
-    match T.insert t.tree ctx k rptr with
-    | `Ok -> ()
-    | `Duplicate -> (
-        match T.update t.tree ctx k rptr with
-        | Some old -> Epoch.retire t.record_epoch old
-        | None ->
-            (* the key vanished between insert and update: bind it anew *)
-            let rec retry () =
-              match T.insert t.tree ctx k rptr with
-              | `Ok -> ()
-              | `Duplicate -> (
-                  match T.update t.tree ctx k rptr with
-                  | Some old -> Epoch.retire t.record_epoch old
-                  | None -> retry ())
-            in
-            retry ())
+  (** [put t ctx k v] binds [k] to [v], inserting or overwriting (a new
+      version on [k]'s chain — readers pinned to older epochs keep the
+      value they started with). *)
+  let put t (ctx : ctx) k v = M.upsert t ctx k v
 
-  (** [remove t ctx k] unbinds [k]; [true] when it was bound. *)
-  let remove t (ctx : ctx) k =
-    match T.take t.tree ctx k with
-    | Some rptr ->
-        Epoch.retire t.record_epoch rptr;
-        true
-    | None -> false
+  (** [remove t ctx k] unbinds [k]; [true] when it was bound. The pair
+      carries a tombstone until {!reclaim} vacuums it. *)
+  let remove t (ctx : ctx) k = M.delete t ctx k
 
-  (** Ordered fold over bindings in [lo <= key <= hi] (same contract as
-      {!Sagiv.Make.fold_range}). *)
+  (** Ordered fold over current bindings in [lo <= key <= hi] (same weak
+      contract as {!Sagiv.Make.fold_range}; use {!snapshot} +
+      {!snap_fold_range} for a consistent cut). *)
   let fold_range t (ctx : ctx) ~lo ~hi ~init f =
-    Epoch.with_pin t.record_epoch ~slot:ctx.Handle.slot (fun () ->
-        T.fold_range t.tree ctx ~lo ~hi ~init (fun acc k rptr ->
-            match Record_store.get t.records rptr with
-            | v -> f acc k v
-            | exception Record_store.Freed_record _ -> acc))
+    M.fold_range t ctx ~lo ~hi ~init f
 
   let bindings t (ctx : ctx) ~lo ~hi =
     List.rev (fold_range t ctx ~lo ~hi ~init:[] (fun acc k v -> (k, v) :: acc))
 
-  let cardinal t = T.cardinal t.tree
-  let height t = T.height t.tree
+  let cardinal t = M.cardinal t
+  let height t = T.height (M.tree t)
 
-  (** Release retired record slots and tree pages whose grace periods have
-      passed. *)
-  let reclaim t =
-    Epoch.reclaim t.record_epoch ~release:(Record_store.free t.records)
-    + T.reclaim t.tree
+  (* -- snapshots -- *)
 
-  let bytes_stored t = Record_store.bytes_stored t.records
-  let live_records t = Record_store.live_count t.records
+  type snap = M.snap
+
+  let snapshot t = M.snapshot t
+  let release s = M.release s
+  let snap_epoch s = M.snap_epoch s
+  let snap_get t s (ctx : ctx) k = M.snap_get t s ctx k
+
+  let snap_fold_range t s (ctx : ctx) ~lo ~hi ~init f =
+    M.snap_fold_range t s ctx ~lo ~hi ~init f
+
+  let snap_bindings t s (ctx : ctx) ~lo ~hi = M.snap_range t s ctx ~lo ~hi
+
+  (** Vacuum dead pairs and stale versions, then release every record
+      slot and tree page whose grace period has passed. *)
+  let reclaim t (ctx : ctx) =
+    (* vacuum first: it retires the slots this call's reclaim then frees *)
+    let removed = M.vacuum t ctx in
+    removed + M.reclaim t
+
+  let bytes_stored t = M.bytes_stored t
+  let live_records t = Record_store.live_count (M.records t)
+  let live_versions t = M.live_versions t
+  let pruned_versions t = M.pruned_versions t
 
   (** Durably commit every completed operation through the tree's page
       store ({!Sagiv.Make_on_store.commit}). Over the in-memory {!Store}
       this records the geometry and no-ops; the call marks the durability
       point for clients written against the KV API, so they run unchanged
       on a WAL-backed substrate. *)
-  let commit t = T.commit t.tree
+  let commit t = T.commit (M.tree t)
 
   (* -- logical dump / restore -- *)
 
@@ -108,18 +91,26 @@ module Make (K : Key.S) = struct
 
   exception Corrupt of string
 
-  (** Serialise all bindings (quiescent): keys through the page codec,
-      values length-prefixed. Restoring bulk-loads a fresh, packed store. *)
+  (** Serialise all live bindings (quiescent): keys through the page
+      codec, values length-prefixed; tombstoned pairs are dropped — a
+      dump is a compaction point. Restoring bulk-loads a fresh, packed
+      store. *)
   let save t : Bytes.t =
     let buf = Buffer.create 4096 in
     Buffer.add_int32_le buf (Int32.of_int dump_magic);
-    Buffer.add_int32_le buf (Int32.of_int (T.order t.tree));
-    let bindings = T.to_list t.tree in
+    Buffer.add_int32_le buf (Int32.of_int (T.order (M.tree t)));
+    let bindings =
+      List.filter_map
+        (fun (k, rptr) ->
+          match Record_store.get (M.records t) rptr with
+          | Some v -> Some (k, v)
+          | None | (exception Record_store.Freed_record _) -> None)
+        (T.to_list (M.tree t))
+    in
     Buffer.add_int64_le buf (Int64.of_int (List.length bindings));
     List.iter
-      (fun (k, rptr) ->
+      (fun (k, v) ->
         K.encode buf k;
-        let v = Record_store.get t.records rptr in
         Buffer.add_int32_le buf (Int32.of_int (String.length v));
         Buffer.add_string buf v)
       bindings;
@@ -133,7 +124,8 @@ module Make (K : Key.S) = struct
     let count = Int64.to_int (Bytes.get_int64_le bytes 8) in
     if order < 1 || count < 0 then raise (Corrupt "implausible KV dump header");
     pos := 16;
-    let records = Record_store.create () in
+    let t = create ~order () in
+    let c = ctx ~slot:0 in
     let pairs =
       List.init count (fun _ ->
           let k, p = K.decode bytes ~pos:!pos in
@@ -142,7 +134,8 @@ module Make (K : Key.S) = struct
             raise (Corrupt "truncated KV dump");
           let v = Bytes.sub_string bytes (p + 4) len in
           pos := p + 4 + len;
-          (k, Record_store.put records v))
+          (k, v))
     in
-    { tree = T.of_sorted ~order pairs; records; record_epoch = Epoch.create () }
+    List.iter (fun (k, v) -> put t c k v) pairs;
+    t
 end

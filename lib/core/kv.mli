@@ -1,8 +1,10 @@
-(** Key–value store: the Sagiv tree as a dense index over a record heap
-    ({!Repro_storage.Record_store}). Gets and range folds are lock-free;
-    puts and removes hold one page latch at a time. Record-slot reuse is
-    deferred past in-flight readers by a dedicated epoch manager (§5.3
-    applied to records). *)
+(** Key–value store: the Sagiv tree as a dense index over a
+    version-chained record heap ({!Repro_storage.Record_store}) — the
+    string-valued face of {!Mvcc}. Gets and range folds are lock-free;
+    puts and removes hold one page latch at a time and append
+    epoch-stamped versions, so {!snapshot} yields consistent cuts that
+    never stall writers. Record-slot reuse is deferred past in-flight
+    readers by the tree's epoch manager (§5.3 applied to records). *)
 
 open Repro_storage
 
@@ -18,23 +20,55 @@ module Make (K : Key.S) : sig
 
   val get : t -> ctx -> K.t -> string option
   val put : t -> ctx -> K.t -> string -> unit
-  (** Insert or overwrite. *)
+  (** Insert or overwrite (appends a version; pinned readers keep what
+      they saw). *)
 
   val remove : t -> ctx -> K.t -> bool
+  (** Logical delete: the pair carries a tombstone until {!reclaim}
+      vacuums it. *)
 
   val fold_range :
     t -> ctx -> lo:K.t -> hi:K.t -> init:'a -> ('a -> K.t -> string -> 'a) -> 'a
+  (** Current-time scan — weak (not a cut); see {!snap_fold_range}. *)
 
   val bindings : t -> ctx -> lo:K.t -> hi:K.t -> (K.t * string) list
   val cardinal : t -> int
   val height : t -> int
 
-  val reclaim : t -> int
-  (** Release retired record slots and tree pages past their grace
-      periods; returns the total released. *)
+  (** {1 Snapshots} *)
+
+  type snap
+
+  val snapshot : t -> snap
+  (** Pin a consistent cut — O(1), never blocks writers. *)
+
+  val release : snap -> unit
+  val snap_epoch : snap -> int
+  val snap_get : t -> snap -> ctx -> K.t -> string option
+
+  val snap_fold_range :
+    t ->
+    snap ->
+    ctx ->
+    lo:K.t ->
+    hi:K.t ->
+    init:'a ->
+    ('a -> K.t -> string -> 'a) ->
+    'a
+  (** Point-in-time fold: exactly the bindings live at the cut. *)
+
+  val snap_bindings : t -> snap -> ctx -> lo:K.t -> hi:K.t -> (K.t * string) list
+
+  val reclaim : t -> ctx -> int
+  (** Vacuum dead pairs and cold version tails, then release retired
+      record slots and tree pages past their grace periods; returns the
+      number of pairs physically removed. Needs a worker context because
+      removing a dead pair is a tree delete. *)
 
   val bytes_stored : t -> int
   val live_records : t -> int
+  val live_versions : t -> int
+  val pruned_versions : t -> int
 
   val commit : t -> unit
   (** Durably commit every completed operation through the tree's page
@@ -44,9 +78,9 @@ module Make (K : Key.S) : sig
   exception Corrupt of string
 
   val save : t -> Bytes.t
-  (** Logical dump of all bindings (quiescent). *)
+  (** Logical dump of all live bindings (quiescent); tombstones dropped. *)
 
   val load : Bytes.t -> t
-  (** Restore a dump into a fresh, bulk-loaded (packed) store.
+  (** Restore a dump into a fresh store.
       @raise Corrupt on a damaged dump. *)
 end

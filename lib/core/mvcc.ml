@@ -1,0 +1,368 @@
+(** Multi-version store: the Sagiv tree as a dense index over a
+    {!Repro_storage.Record_store} of version chains, giving lock-free
+    point-in-time snapshot reads with zero writer stalls.
+
+    {2 Design}
+
+    Tree nodes are rewritten in place (immutable values behind atomic
+    slots), so the {e structure} cannot be versioned — the {e records}
+    are. A pair (k, p) binds [k] to record slot [p] for the pair's whole
+    lifetime; writers never repoint it. Logical state lives in the
+    chain at [p]: an upsert appends a live version stamped with the
+    writer's pinned epoch, a delete appends a tombstone, and the pair
+    {e stays in the tree} so snapshots pinned before the delete still
+    find it. Readers at epoch [E] resolve [p] to the newest version
+    with [epoch <= E].
+
+    {2 The snapshot cut}
+
+    [snapshot] pins a dedicated epoch slot (publish-then-validate, so
+    reclamation can never overtake it), then {e ticks} the clock to
+    obtain the cut epoch [e], then waits until every worker pin exceeds
+    [e]. Writers pinned at [<= e] started before the tick and their
+    stamps are [<= e]; pins published after the tick validate against
+    the advanced clock and stamp [> e]. Once the wait drains, reading
+    at [e] is a consistent cut at the tick's instant: every operation
+    whose effects are included began before the tick, every excluded
+    one began after. Writers never wait — only the snapshot taker
+    spins, and only for the ops already in flight at its tick.
+
+    {2 Vacuum}
+
+    Dead pairs (head tombstone below every pin) are physically removed
+    by [vacuum], resolving the resurrection race with a [Sealed]
+    barrier: re-check the pair still maps to the candidate slot, CAS
+    the proven-dead chain to [Sealed] (late appenders get [`Gone] and
+    retry from a fresh tree search), take the pair out of the tree,
+    then retire the slot through the epoch manager so stale readers
+    finish before the slot recycles. Chains that stay live just get
+    their cold tails pruned.
+
+    Several [t]s may share one {!Repro_storage.Epoch} ([?epoch] at
+    create): a group snapshot then performs one pin + one tick + one
+    wait and reads every sharing tree at the same cut — the cross-shard
+    consistency {!Repro_baseline.Tree_intf} composes on. *)
+
+open Repro_storage
+
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) =
+struct
+  module T = Sagiv.Make_on_store (K) (S)
+  module R = Record_store
+
+  type 'v t = {
+    tree : T.t;
+    records : 'v R.t;
+    epoch : Epoch.t;
+        (** the record/MVCC clock — distinct from the tree's own page
+            epoch, and shareable across shards for group snapshots *)
+    gc : (K.t * int) list Atomic.t;  (** vacuum candidates (Treiber stack) *)
+    gc_len : int Atomic.t;
+    retired : (int * int) list Atomic.t;
+        (** sealed record slots in limbo as [(retire epoch, rptr)]. Kept
+            here, not in the epoch manager's limbo: the {e clock} may be
+            shared across shards but the {e slots} belong to this store,
+            and a shared limbo would free one shard's slots into
+            another's heap. *)
+  }
+
+  type ctx = Handle.ctx
+
+  let ctx = Handle.ctx
+
+  let create ?order ?enqueue_on_delete ?epoch ?size () =
+    {
+      tree = T.create ?order ?enqueue_on_delete ();
+      records = R.create ?size ();
+      epoch = (match epoch with Some e -> e | None -> Epoch.create ());
+      gc = Atomic.make [];
+      gc_len = Atomic.make 0;
+      retired = Atomic.make [];
+    }
+
+  let tree t = t.tree
+  let records t = t.records
+  let epoch t = t.epoch
+
+  let note_gc t k ptr =
+    let rec go () =
+      let old = Atomic.get t.gc in
+      if Atomic.compare_and_set t.gc old ((k, ptr) :: old) then
+        Atomic.incr t.gc_len
+      else go ()
+    in
+    go ()
+
+  let with_stamp t (ctx : ctx) f =
+    let e = Epoch.pin t.epoch ~slot:ctx.Handle.slot in
+    Fun.protect
+      ~finally:(fun () -> Epoch.unpin t.epoch ~slot:ctx.Handle.slot)
+      (fun () -> f e)
+
+  (** [get t ctx k] is the current value bound to [k], lock-free. The
+      pin defers slot recycling, never blocks writers. *)
+  let get t (ctx : ctx) k =
+    with_stamp t ctx (fun _e ->
+        match T.search t.tree ctx k with
+        | None -> None
+        | Some rptr -> R.get t.records rptr)
+
+  (** Insert-if-absent. A fresh key allocates a record and publishes the
+      pair; a tombstoned key resurrects in place (new live version on the
+      dead chain); [`Gone] (sealed mid-vacuum) retries until the pair is
+      physically out, then takes the fresh path. *)
+  let insert t (ctx : ctx) k v : [ `Ok | `Duplicate ] =
+    with_stamp t ctx (fun e ->
+        let rec fresh () =
+          let rptr = R.put t.records ~epoch:e v in
+          match T.insert t.tree ctx k rptr with
+          | `Ok -> `Ok
+          | `Duplicate ->
+              (* lost the publish race; the record was never visible *)
+              R.free t.records rptr;
+              existing ()
+        and existing () =
+          match T.search t.tree ctx k with
+          | None -> fresh ()
+          | Some rptr -> (
+              match R.insert_version t.records rptr ~epoch:e v with
+              | `Ok ->
+                  note_gc t k rptr;
+                  `Ok
+              | `Live -> `Duplicate
+              | `Gone ->
+                  Domain.cpu_relax ();
+                  existing ())
+        in
+        existing ())
+
+  (** Bind-or-overwrite (the KV [put]): append a live version to the
+      key's chain, allocating the pair on first touch. *)
+  let upsert t (ctx : ctx) k v =
+    with_stamp t ctx (fun e ->
+        let rec fresh () =
+          let rptr = R.put t.records ~epoch:e v in
+          match T.insert t.tree ctx k rptr with
+          | `Ok -> ()
+          | `Duplicate ->
+              R.free t.records rptr;
+              existing ()
+        and existing () =
+          match T.search t.tree ctx k with
+          | None -> fresh ()
+          | Some rptr -> (
+              match R.upsert t.records rptr ~epoch:e v with
+              | `Over_live | `Over_dead -> note_gc t k rptr
+              | `Gone ->
+                  Domain.cpu_relax ();
+                  existing ())
+        in
+        existing ())
+
+  (** Logical delete: append a tombstone; the pair stays in the tree for
+      pinned readers until vacuum removes it. [true] when the key was
+      live. *)
+  let delete t (ctx : ctx) k =
+    with_stamp t ctx (fun e ->
+        let rec go () =
+          match T.search t.tree ctx k with
+          | None -> false
+          | Some rptr -> (
+              match R.kill t.records rptr ~epoch:e with
+              | `Killed ->
+                  note_gc t k rptr;
+                  true
+              | `Dead -> false
+              | `Gone ->
+                  Domain.cpu_relax ();
+                  go ())
+        in
+        go ())
+
+  (** Current-time fold over live bindings in [lo <= k <= hi] — same
+      weak contract as {!Sagiv.Make_on_store.fold_range}: not a
+      consistent cut; use a snapshot for that. Tombstoned pairs are
+      skipped. *)
+  let fold_range t (ctx : ctx) ~lo ~hi ~init f =
+    Epoch.with_pin t.epoch ~slot:ctx.Handle.slot (fun () ->
+        T.fold_range t.tree ctx ~lo ~hi ~init (fun acc k rptr ->
+            match R.get t.records rptr with
+            | Some v -> f acc k v
+            | None -> acc
+            | exception R.Freed_record _ -> acc))
+
+  let range t (ctx : ctx) ~lo ~hi =
+    List.rev (fold_range t ctx ~lo ~hi ~init:[] (fun acc k v -> (k, v) :: acc))
+
+  let cardinal t = R.live_values t.records
+
+  (* -- snapshots -- *)
+
+  type snap = {
+    snap_epoch : int;
+    snap_slot : int;
+    snap_owner : Epoch.t;
+    released : bool Atomic.t;
+  }
+
+  let snap_epoch s = s.snap_epoch
+
+  (** The boundary protocol against [epoch]: pin a snapshot slot,
+      tick, wait out the writers already in flight. *)
+  let snapshot_on epoch =
+    let snap_slot, _pinned = Epoch.pin_snapshot epoch in
+    let snap_epoch = Epoch.tick epoch in
+    while Epoch.min_worker_pinned epoch <= snap_epoch do
+      Domain.cpu_relax ()
+    done;
+    { snap_epoch; snap_slot; snap_owner = epoch; released = Atomic.make false }
+
+  let snapshot t = snapshot_on t.epoch
+
+  (** One cut across every tree sharing one epoch manager: a single
+      pin + tick + wait, so per-shard reads at the returned snapshot
+      compose into one point-in-time view. @raise Invalid_argument if
+      the trees do not share their epoch. *)
+  let snapshot_group (ts : 'v t array) =
+    if Array.length ts = 0 then invalid_arg "Mvcc.snapshot_group: no trees";
+    let e = ts.(0).epoch in
+    Array.iter
+      (fun t ->
+        if t.epoch != e then
+          invalid_arg "Mvcc.snapshot_group: trees do not share an epoch")
+      ts;
+    snapshot_on e
+
+  let release snap =
+    if Atomic.compare_and_set snap.released false true then
+      Epoch.release_snapshot snap.snap_owner snap.snap_slot
+
+  let check_snap t snap =
+    if Atomic.get snap.released then invalid_arg "Mvcc: snapshot released";
+    if snap.snap_owner != t.epoch then
+      invalid_arg "Mvcc: snapshot from a different epoch domain"
+
+  (** Point read at the cut. The snap pin keeps every version visible at
+      [snap_epoch] alive (prune horizons never pass a pin), and keeps
+      the pair in the tree (vacuum's seal requires the horizon to pass
+      the tombstone's stamp). *)
+  let snap_get t snap (ctx : ctx) k =
+    check_snap t snap;
+    match T.search t.tree ctx k with
+    | None -> None
+    | Some rptr -> (
+        try R.get_at t.records rptr ~at:snap.snap_epoch
+        with R.Freed_record _ -> None)
+
+  (** Consistent fold at the cut: walk the live leaf chain (the tree
+      only ever moves pairs rightwards on splits and holds every pair
+      visible at a pinned epoch), resolving each record at
+      [snap_epoch]. *)
+  let snap_fold_range t snap (ctx : ctx) ~lo ~hi ~init f =
+    check_snap t snap;
+    T.fold_range t.tree ctx ~lo ~hi ~init (fun acc k rptr ->
+        match R.get_at t.records rptr ~at:snap.snap_epoch with
+        | Some v -> f acc k v
+        | None -> acc
+        | exception R.Freed_record _ -> acc)
+
+  let snap_range t snap (ctx : ctx) ~lo ~hi =
+    List.rev
+      (snap_fold_range t snap ctx ~lo ~hi ~init:[] (fun acc k v ->
+           (k, v) :: acc))
+
+  (* -- vacuum -- *)
+
+  (** Drain the candidate stack: prune cold tails everywhere; physically
+      remove pairs whose chain is a lone tombstone below every pin, via
+      seal -> take -> retire. Candidates that stay dead but pinned are
+      re-queued for the next pass. Returns the number of pairs removed
+      from the tree. *)
+  let vacuum t (ctx : ctx) =
+    let batch = Atomic.exchange t.gc [] in
+    ignore (Atomic.fetch_and_add t.gc_len (-List.length batch));
+    let horizon = Epoch.min_pinned t.epoch in
+    let removed = ref 0 in
+    let collect (k, rptr) =
+      (* Bounded re-examination: a concurrent prune rebuilds the spine
+         (new version records), so a failed seal means "re-read", not
+         "gone". Give up after a few rounds and requeue. *)
+      let rec go attempts =
+        if attempts = 0 then note_gc t k rptr
+        else begin
+          (try ignore (R.prune t.records rptr ~horizon)
+           with R.Freed_record _ -> ());
+          match (try R.head t.records rptr with R.Freed_record _ -> None) with
+          | None -> () (* sealed by another vacuum, or freed: drop *)
+          | Some h -> (
+              match (h.R.value, h.R.prev) with
+              | Some _, _ -> () (* live again; its next death re-notes it *)
+              | None, Some _ ->
+                  (* dead but the tail is pinned: a later pass collects *)
+                  note_gc t k rptr
+              | None, None ->
+                  if h.R.epoch >= horizon then note_gc t k rptr
+                  else if T.search t.tree ctx k <> Some rptr then
+                    () (* stale candidate: [k] re-bound elsewhere *)
+                  else if R.seal t.records rptr ~expect:h then begin
+                    (* Ours: the mapping k -> rptr is frozen (removal
+                       requires a seal, and ours won; appenders bounce
+                       off [Sealed]), so the take must succeed. The tick
+                       starts the slot's grace period: readers pinned
+                       below it may still hold [rptr]. *)
+                    (match T.take t.tree ctx k with
+                    | Some taken -> assert (taken = rptr)
+                    | None -> assert false);
+                    let e = Epoch.tick t.epoch in
+                    let rec push () =
+                      let old = Atomic.get t.retired in
+                      if not (Atomic.compare_and_set t.retired old ((e, rptr) :: old))
+                      then push ()
+                    in
+                    push ();
+                    incr removed
+                  end
+                  else go (attempts - 1))
+        end
+      in
+      go 4
+    in
+    List.iter collect batch;
+    !removed
+
+  (** Release record slots and tree pages whose grace periods passed.
+      Record limbo is this store's own list ([retired]); the horizon is
+      the shared clock's [min_pinned], so slots outlive every reader and
+      snapshot that could still reach them. *)
+  let reclaim t =
+    let horizon = Epoch.min_pinned t.epoch in
+    let batch = Atomic.exchange t.retired [] in
+    let keep, free = List.partition (fun (e, _) -> e >= horizon) batch in
+    (if keep <> [] then
+       let rec push () =
+         let old = Atomic.get t.retired in
+         if not (Atomic.compare_and_set t.retired old (keep @ old)) then push ()
+       in
+       push ());
+    List.iter (fun (_, rptr) -> R.free t.records rptr) free;
+    List.length free + T.reclaim t.tree
+
+  let gc_pending t = Atomic.get t.gc_len
+  let live_versions t = R.live_versions t.records
+  let pruned_versions t = R.pruned_total t.records
+  let bytes_stored t = R.bytes_stored t.records
+  let min_pinned t = Epoch.min_pinned t.epoch
+
+  (** Snapshot the MVCC gauges into a {!Stats.io} record (the non-MVCC
+      fields stay zero) so callers can [Stats.io_merge] it with the
+      backing store's line and print one combined io report. *)
+  let io_stats t =
+    let io = Stats.io_create () in
+    io.Stats.epoch_min_pinned <- Epoch.min_pinned t.epoch;
+    io.Stats.snap_pins <- Epoch.pinned_snapshots t.epoch;
+    io.Stats.mvcc_versions <- R.live_versions t.records;
+    io.Stats.mvcc_pruned <- R.pruned_total t.records;
+    io
+end
+
+module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

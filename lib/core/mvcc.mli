@@ -1,0 +1,108 @@
+(** Multi-version store: the Sagiv tree as a dense index over
+    version-chained records ({!Repro_storage.Record_store}), giving
+    lock-free point-in-time snapshot reads with zero writer stalls.
+    Deletes are logical (tombstones); [vacuum] removes dead pairs behind
+    every pin through a seal -> take -> retire barrier. Several stores
+    can share one {!Repro_storage.Epoch} so a group snapshot is a single
+    consistent cut across all of them (cross-shard scans). *)
+
+open Repro_storage
+
+module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
+  module T : module type of Sagiv.Make_on_store (K) (S)
+
+  type 'v t
+  type ctx = Handle.ctx
+
+  val ctx : slot:int -> ctx
+
+  val create :
+    ?order:int ->
+    ?enqueue_on_delete:bool ->
+    ?epoch:Epoch.t ->
+    ?size:('v -> int) ->
+    unit ->
+    'v t
+  (** [epoch] shares a clock (and its pins) with other stores for group
+      snapshots; [size] prices payloads for the bytes gauge. *)
+
+  val tree : 'v t -> T.t
+  val records : 'v t -> 'v Record_store.t
+  val epoch : 'v t -> Epoch.t
+
+  val get : 'v t -> ctx -> K.t -> 'v option
+  (** Current value, lock-free. *)
+
+  val insert : 'v t -> ctx -> K.t -> 'v -> [ `Ok | `Duplicate ]
+  (** Insert-if-absent (resurrects tombstoned keys in place). *)
+
+  val upsert : 'v t -> ctx -> K.t -> 'v -> unit
+  (** Bind-or-overwrite: appends a live version. *)
+
+  val delete : 'v t -> ctx -> K.t -> bool
+  (** Logical delete (tombstone); [true] when the key was live. *)
+
+  val fold_range :
+    'v t -> ctx -> lo:K.t -> hi:K.t -> init:'a -> ('a -> K.t -> 'v -> 'a) -> 'a
+  (** Current-time scan — weak (not a cut), tombstones skipped. *)
+
+  val range : 'v t -> ctx -> lo:K.t -> hi:K.t -> (K.t * 'v) list
+  val cardinal : 'v t -> int
+
+  type snap
+
+  val snap_epoch : snap -> int
+
+  val snapshot : 'v t -> snap
+  (** A consistent cut: pins a snapshot slot, ticks the clock, waits out
+      writers already in flight (writers never wait). Release with
+      {!release}. *)
+
+  val snapshot_on : Epoch.t -> snap
+  (** The cut protocol against a bare epoch manager (shared-clock
+      composition outside this module). *)
+
+  val snapshot_group : 'v t array -> snap
+  (** One cut across stores sharing an epoch (single pin + tick + wait).
+      @raise Invalid_argument when they do not share one. *)
+
+  val release : snap -> unit
+  (** Unpin (idempotent). Prune/vacuum horizons pass the cut after this. *)
+
+  val snap_get : 'v t -> snap -> ctx -> K.t -> 'v option
+  (** Point read at the cut. *)
+
+  val snap_fold_range :
+    'v t ->
+    snap ->
+    ctx ->
+    lo:K.t ->
+    hi:K.t ->
+    init:'a ->
+    ('a -> K.t -> 'v -> 'a) ->
+    'a
+  (** Consistent fold at the cut. *)
+
+  val snap_range : 'v t -> snap -> ctx -> lo:K.t -> hi:K.t -> (K.t * 'v) list
+
+  val vacuum : 'v t -> ctx -> int
+  (** Prune cold version tails; physically remove pairs dead below every
+      pin (seal -> take -> retire). Returns pairs removed. *)
+
+  val reclaim : 'v t -> int
+  (** Release record slots and tree pages whose grace period passed. *)
+
+  val gc_pending : 'v t -> int
+  val live_versions : 'v t -> int
+  val pruned_versions : 'v t -> int
+  val bytes_stored : 'v t -> int
+  val min_pinned : 'v t -> int
+
+  val io_stats : 'v t -> Repro_storage.Stats.io
+  (** The MVCC gauges ([epoch_min_pinned], [snap_pins], [mvcc_versions],
+      [mvcc_pruned]) as a {!Repro_storage.Stats.io} record with every
+      other field zero — made to be {!Repro_storage.Stats.io_merge}d
+      into a backing store's line. *)
+end
+
+module Make (K : Key.S) : module type of Make_on_store (K) (Store.For_key (K))

@@ -70,6 +70,11 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
 
   val range : t -> ctx -> lo:K.t -> hi:K.t -> (K.t * Node.ptr) list
 
+  val fold_all : t -> ctx -> init:'a -> ('a -> K.t -> Node.ptr -> 'a) -> 'a
+  (** {!fold_range} without bounds: lock-free ordered fold over every
+      pair, starting at the leftmost leaf. Same concurrency contract.
+      The online save/validate paths are built on this. *)
+
   val cardinal : t -> int
   (** Number of stored keys (leaf-chain walk; quiescent only). *)
 

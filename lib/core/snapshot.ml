@@ -1,22 +1,32 @@
-(** Quiescent persistence: serialise a tree to bytes and back.
+(** Tree persistence: serialise a tree to bytes and back, two ways.
 
-    Exercises the on-disk page format ({!Page_codec}) end-to-end. Page ids
-    are remapped on load (the paper's trees live on disk with stable page
-    addresses; in this in-memory reproduction a snapshot is a compaction
-    point, so tombstones are dropped and ids renumbered).
+    {b Physical} ([save], quiescent): exercises the on-disk page format
+    ({!Page_codec}) end-to-end — header (magic BLK1, order, height), then
+    for each level top-down: node count followed by [(old_ptr, encoded
+    node)] pairs in chain order. Page ids are remapped on load (the
+    paper's trees live on disk with stable page addresses; in this
+    in-memory reproduction a snapshot is a compaction point, so
+    tombstones are dropped and ids renumbered).
 
-    Layout: header (magic, order, height), then for each level top-down:
-    node count followed by [(old_ptr, encoded node)] pairs in chain order. *)
+    {b Logical} ([save_online], lock-free): a leaf-chain scan
+    ({!Sagiv.Make_on_store.fold_all}) serialised as sorted pairs (magic
+    BLK2, order, count, repeated [(key, payload)]). No quiescence required —
+    this is the online-backup path; run it under an MVCC snapshot pin
+    for a point-in-time image. Loading bulk-loads a fresh packed tree.
+
+    [load] dispatches on the magic, so either kind restores. *)
 
 open Repro_storage
 
 let magic = 0x42_4C_4B_31 (* "BLK1" *)
+let magic_logical = 0x42_4C_4B_32 (* "BLK2" *)
 
 exception Corrupt of string
 
 module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
   module N = Node.Make (K)
   module C = Page_codec.Make (K)
+  module T = Sagiv.Make_on_store (K) (S)
   open Handle
 
   let save_buf (t : (K.t, S.t) Handle.t) buf =
@@ -54,10 +64,53 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
     save_buf t buf;
     Buffer.to_bytes buf
 
+  (** Online backup: serialise the logical content (sorted pairs) with a
+      lock-free scan — writers keep running. The image is exact for
+      every pair stable across the scan; hold an MVCC snapshot pin and
+      the scan is a point-in-time cut of the pairs (the caller resolves
+      versions; the tree's pairs themselves never repoint). *)
+  let save_online_buf (t : (K.t, S.t) Handle.t) (ctx : Handle.ctx) buf =
+    let pairs =
+      List.rev (T.fold_all t ctx ~init:[] (fun acc k p -> (k, p) :: acc))
+    in
+    Buffer.add_int32_le buf (Int32.of_int magic_logical);
+    Buffer.add_int32_le buf (Int32.of_int t.order);
+    Buffer.add_int64_le buf (Int64.of_int (List.length pairs));
+    List.iter
+      (fun (k, p) ->
+        K.encode buf k;
+        Buffer.add_int64_le buf (Int64.of_int p))
+      pairs
+
+  let save_online t ctx =
+    let buf = Buffer.create 4096 in
+    save_online_buf t ctx buf;
+    Buffer.to_bytes buf
+
+  let load_logical bytes : (K.t, S.t) Handle.t =
+    let order = Int32.to_int (Bytes.get_int32_le bytes 4) in
+    let count = Int64.to_int (Bytes.get_int64_le bytes 8) in
+    if order < 1 || count < 0 then raise (Corrupt "bad logical snapshot header");
+    let pos = ref 16 in
+    let pairs =
+      List.init count (fun _ ->
+          let k, p = K.decode bytes ~pos:!pos in
+          if p + 8 > Bytes.length bytes then
+            raise (Corrupt "truncated logical snapshot");
+          let payload = Int64.to_int (Bytes.get_int64_le bytes p) in
+          pos := p + 8;
+          (k, payload))
+    in
+    match T.of_sorted ~order pairs with
+    | t -> t
+    | exception Invalid_argument _ -> raise (Corrupt "unsorted logical snapshot")
+
   let low_is_neg_inf n =
     match n.Node.low with Bound.Neg_inf -> true | Bound.Key _ | Bound.Pos_inf -> false
 
-  let load bytes : (K.t, S.t) Handle.t =
+  exception Logical
+
+  let load_physical bytes : (K.t, S.t) Handle.t =
     let pos = ref 0 in
     let read_i32 () =
       let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
@@ -69,7 +122,10 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
       pos := !pos + 8;
       v
     in
-    if read_i32 () <> magic then raise (Corrupt "bad snapshot magic");
+    (match read_i32 () with
+    | m when m = magic -> ()
+    | m when m = magic_logical -> raise Logical
+    | _ -> raise (Corrupt "bad snapshot magic"));
     let order = read_i32 () in
     let height = read_i32 () in
     if height < 1 then raise (Corrupt "bad height");
@@ -118,6 +174,10 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
       queue = Cqueue.create ();
       enqueue_on_delete = false;
     }
+
+  let load bytes : (K.t, S.t) Handle.t =
+    if Bytes.length bytes < 16 then raise (Corrupt "snapshot too short");
+    try load_physical bytes with Logical -> load_logical bytes
 end
 
 module Make (K : Key.S) = Make_on_store (K) (Store.For_key (K))

@@ -1,6 +1,9 @@
-(** Quiescent persistence through the binary page codec: serialise a tree
-    to bytes and back. Page ids are renumbered on load and tombstones
-    dropped (a snapshot is a compaction point). *)
+(** Tree persistence through the binary page codec, two ways: [save] is
+    the quiescent physical image (pages, BLK1; ids renumbered and
+    tombstones dropped on load — a compaction point); [save_online] is a
+    lock-free logical image (sorted pairs, BLK2) that runs with writers
+    live — pin an MVCC snapshot around it for a point-in-time backup.
+    [load] restores either. *)
 
 open Repro_storage
 
@@ -8,12 +11,18 @@ exception Corrupt of string
 
 module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
   val save : (K.t, S.t) Handle.t -> Bytes.t
-  (** The tree must be quiescent. *)
+  (** Physical image. The tree must be quiescent. *)
 
   val save_buf : (K.t, S.t) Handle.t -> Buffer.t -> unit
 
+  val save_online : (K.t, S.t) Handle.t -> Handle.ctx -> Bytes.t
+  (** Logical image by lock-free scan — no quiescence needed; writers
+      are never stalled. Exact for every pair stable across the scan. *)
+
+  val save_online_buf : (K.t, S.t) Handle.t -> Handle.ctx -> Buffer.t -> unit
+
   val load : Bytes.t -> (K.t, S.t) Handle.t
-  (** Rebuilds into a fresh [S.create ()] store.
+  (** Rebuilds into a fresh [S.create ()] store, from either format.
       @raise Corrupt on a damaged snapshot. *)
 end
 

@@ -205,11 +205,9 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
       tombstone still awaiting epoch reclamation. Returns leaked page
       ids. Run after compaction + {!Repro_core.Sagiv.reclaim} to prove
       §5.3 releases everything. *)
-  let leak_check (t : (K.t, S.t) Handle.t) : Node.ptr list =
-    (* [S.iter] below is only meaningful when quiescent; an epoch pin is
-       cheap, definite evidence an operation is in flight, so refuse. *)
-    if Epoch.min_pinned t.Handle.epoch <> max_int then
-      invalid_arg "Validate.leak_check: tree not quiescent (operation in flight)";
+  (* Live pages NOT reachable from the prime block through the level
+     chains — the leak candidates of one walk over the current state. *)
+  let unreachable_live (t : (K.t, S.t) Handle.t) : (Node.ptr, unit) Hashtbl.t =
     let prime = Prime_block.read t.Handle.prime in
     let reachable = Hashtbl.create 1024 in
     for level = 0 to prime.Prime_block.levels - 1 do
@@ -227,11 +225,37 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
           in
           go p
     done;
-    let leaked = ref [] in
+    let leaked = Hashtbl.create 64 in
     S.iter t.Handle.store (fun p n ->
         if (not (Hashtbl.mem reachable p)) && not (Node.is_deleted n) then
-          leaked := p :: !leaked);
-    List.rev !leaked
+          Hashtbl.replace leaked p ());
+    leaked
+
+  let leak_check (t : (K.t, S.t) Handle.t) : Node.ptr list =
+    (* [S.iter] below is only meaningful when quiescent; an epoch pin is
+       cheap, definite evidence an operation is in flight, so refuse. *)
+    if Epoch.min_pinned t.Handle.epoch <> max_int then
+      invalid_arg "Validate.leak_check: tree not quiescent (operation in flight)";
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) (unreachable_live t) [])
+
+  (** Online leak check — {!leak_check} with writers live. A single walk
+      over-reports: a page mid-split (allocated but its left sibling's
+      link not yet rewritten) or mid-retire is {e transiently}
+      unreachable. So run [passes] (default 3) independent walks and
+      intersect the candidate sets: a transient page is linked in (or
+      freed) by the next walk, while a genuinely leaked page is
+      unreachable in every one. Every returned page was live and
+      unreachable across all passes. *)
+  let leak_check_online ?(passes = 3) (t : (K.t, S.t) Handle.t) : Node.ptr list =
+    let s = ref (unreachable_live t) in
+    for _ = 2 to max 1 passes do
+      Domain.cpu_relax ();
+      let s' = unreachable_live t in
+      let keep = Hashtbl.create (Hashtbl.length !s) in
+      Hashtbl.iter (fun p () -> if Hashtbl.mem s' p then Hashtbl.replace keep p ()) !s;
+      s := keep
+    done;
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) !s [])
 
   (** Assert that every non-root node holds at least k pairs — the
       postcondition of a complete compression (§5.1), modulo the odd-child

@@ -20,6 +20,7 @@ let op_range = 4
 let op_commit = 5
 let op_stats = 6
 let op_subscribe = 7
+let op_snapshot = 8
 let st_inserted = 64
 let st_duplicate = 65
 let st_deleted = 66
@@ -29,6 +30,7 @@ let st_pairs = 69
 let st_committed = 70
 let st_stats = 71
 let st_wal_chunk = 72
+let st_snap = 73
 let st_error = 255
 
 type request =
@@ -39,6 +41,10 @@ type request =
   | Commit
   | Stats
   | Subscribe of { shard : int; from_lsn : int; max_pages : int; wait_ms : int }
+  | Snapshot of { close : bool }
+      (** Open (or close) a pinned MVCC snapshot session: until closed,
+          this connection's SEARCH and RANGE answer at the pinned cut.
+          Requires an MVCC backend; re-opening replaces the pin. *)
 
 type server_stats = {
   s_conns_opened : int;
@@ -69,6 +75,9 @@ type response =
       (** Raw log pages for the subscriber to feed through [Wal.Apply];
           [next_lsn] is where the next subscribe should start. Empty
           [pages] with [next_lsn = from_lsn] means caught up. *)
+  | Snap_reply of { epoch : int }
+      (** The session snapshot's boundary epoch; [-1] acknowledges a
+          close. *)
   | Error of string
 
 let pp_request fmt = function
@@ -81,6 +90,8 @@ let pp_request fmt = function
   | Subscribe { shard; from_lsn; max_pages; wait_ms } ->
       Format.fprintf fmt "SUBSCRIBE shard=%d lsn=%d max=%d wait=%dms" shard
         from_lsn max_pages wait_ms
+  | Snapshot { close } ->
+      Format.fprintf fmt "SNAPSHOT %s" (if close then "close" else "open")
 
 let pp_response fmt = function
   | Inserted -> Format.fprintf fmt "inserted"
@@ -104,6 +115,9 @@ let pp_response fmt = function
   | Wal_chunk { shard; next_lsn; pages } ->
       Format.fprintf fmt "wal-chunk shard=%d pages=%d next_lsn=%d" shard
         (List.length pages) next_lsn
+  | Snap_reply { epoch } ->
+      if epoch < 0 then Format.fprintf fmt "snapshot closed"
+      else Format.fprintf fmt "snapshot epoch=%d" epoch
   | Error msg -> Format.fprintf fmt "error: %s" msg
 
 let response_to_string r = Format.asprintf "%a" pp_response r
@@ -176,6 +190,9 @@ let encode_request out ~seq (r : request) =
         put_u32 p max_pages;
         put_u32 p wait_ms;
         op_subscribe
+    | Snapshot { close } ->
+        put_u32 p (if close then 1 else 0);
+        op_snapshot
   in
   add_frame out ~opcode ~seq p
 
@@ -234,6 +251,9 @@ let encode_response out ~seq (r : response) =
         put_u32 p (List.length pages);
         List.iter (Buffer.add_bytes p) pages;
         st_wal_chunk
+    | Snap_reply { epoch } ->
+        put_i64 p epoch;
+        st_snap
     | Error msg ->
         Buffer.add_string p msg;
         st_error
@@ -310,6 +330,9 @@ let decode_request ?max_payload bytes ~pos ~len =
               max_pages = get_u32 bytes (off + 12);
               wait_ms = get_u32 bytes (off + 16);
             }
+      | o when o = op_snapshot ->
+          need plen 4 "SNAPSHOT";
+          Snapshot { close = get_u32 bytes off <> 0 }
       | o -> bad "unknown request opcode %d" o)
 
 let decode_response ?max_payload bytes ~pos ~len =
@@ -351,5 +374,8 @@ let decode_response ?max_payload bytes ~pos ~len =
                 List.init count (fun i ->
                     Bytes.sub bytes (off + 20 + (i * page_size)) page_size);
             }
+      | s when s = st_snap ->
+          need plen 8 "SNAP";
+          Snap_reply { epoch = i64 0 }
       | s when s = st_error -> Error (Bytes.sub_string bytes off plen)
       | s -> bad "unknown response status %d" s)

@@ -49,6 +49,13 @@ type request =
           [shard] starting at [from_lsn], long-polling up to [wait_ms]
           when nothing is durable there yet. Payload: u32 shard, i64
           from_lsn, u32 max_pages, u32 wait_ms. *)
+  | Snapshot of { close : bool }
+      (** Open (or close) a pinned MVCC snapshot session on this
+          connection: until closed, its SEARCH and RANGE answer at the
+          pinned cut — a stable read horizon spanning many requests.
+          Re-opening releases the previous pin and takes a fresh one.
+          Payload: u32 action (0 = open, 1 = close). Backends without
+          an MVCC surface answer [Error]. *)
 
 type server_stats = {
   s_conns_opened : int;
@@ -84,6 +91,9 @@ type response =
           [count × page_size] raw bytes. A subscriber that has fallen
           out of the primary's retention window gets [Error "stale"]
           instead and must re-seed. *)
+  | Snap_reply of { epoch : int }
+      (** Reply to [Snapshot]: the pinned cut's boundary epoch on open,
+          [-1] on close. Payload: i64 epoch. *)
   | Error of string
       (** terminal: the server closes the connection after sending it *)
 

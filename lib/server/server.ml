@@ -53,12 +53,16 @@ let write_all fd bytes len =
 
 let is_mutation = function
   | P.Insert _ | P.Delete _ -> true
-  | P.Search _ | P.Range _ | P.Commit | P.Stats | P.Subscribe _ -> false
+  | P.Search _ | P.Range _ | P.Commit | P.Stats | P.Subscribe _
+  | P.Snapshot _ ->
+      false
 
 (* The key a mutation touches — what the sharded commit path routes on. *)
 let mutation_key = function
   | P.Insert { key; _ } | P.Delete { key } -> Some key
-  | P.Search _ | P.Range _ | P.Commit | P.Stats | P.Subscribe _ -> None
+  | P.Search _ | P.Range _ | P.Commit | P.Stats | P.Subscribe _
+  | P.Snapshot _ ->
+      None
 
 (* Replication pull: serve durable log pages of one shard, long-polling
    the durable watermark first when the subscriber asked to wait (this
@@ -115,7 +119,15 @@ let execute_subscribe t ~shard ~from_lsn ~max_pages ~wait_ms : P.response =
         | Wal.Stale -> Error "stale"
       end
 
-let execute t (sst : Stats.server) ctx (req : P.request) : P.response =
+(* [snap] is the connection's pinned snapshot session (SNAPSHOT open /
+   close): while set, reads answer at its cut instead of current time.
+   Without a session, a RANGE on an MVCC backend still gets its own
+   per-request cut — one pin around the scan — so a single reply is
+   always point-in-time consistent (the unversioned [handle.range] walk
+   is weak under concurrent writers). *)
+let execute t (sst : Stats.server) ctx
+    ~(snap : Repro_baseline.Tree_intf.snap option ref) (req : P.request) :
+    P.response =
   match req with
   | Insert { key; value } -> (
       match t.handle.insert ctx key value with
@@ -123,11 +135,56 @@ let execute t (sst : Stats.server) ctx (req : P.request) : P.response =
       | `Duplicate -> Duplicate)
   | Delete { key } -> if t.handle.delete ctx key then Deleted else Absent
   | Search { key } -> (
-      match t.handle.search ctx key with Some v -> Found v | None -> Absent)
+      match !snap with
+      | Some s -> (
+          sst.snap_reads <- sst.snap_reads + 1;
+          match s.Repro_baseline.Tree_intf.snap_search ctx key with
+          | Some v -> Found v
+          | None -> Absent)
+      | None -> (
+          match t.handle.search ctx key with
+          | Some v -> Found v
+          | None -> Absent))
   | Range { lo; hi } -> (
-      match t.handle.range with
-      | Some f -> Pairs (f ctx ~lo ~hi)
-      | None -> Error "range unsupported by this backend")
+      match !snap with
+      | Some s ->
+          sst.snap_reads <- sst.snap_reads + 1;
+          Pairs (s.Repro_baseline.Tree_intf.snap_range ctx ~lo ~hi)
+      | None -> (
+          match t.handle.mvcc with
+          | Some m ->
+              let s = m.Repro_baseline.Tree_intf.snapshot () in
+              sst.snapshots_opened <- sst.snapshots_opened + 1;
+              sst.snap_reads <- sst.snap_reads + 1;
+              Fun.protect
+                ~finally:s.Repro_baseline.Tree_intf.snap_release
+                (fun () ->
+                  P.Pairs (s.Repro_baseline.Tree_intf.snap_range ctx ~lo ~hi))
+          | None -> (
+              match t.handle.range with
+              | Some f -> Pairs (f ctx ~lo ~hi)
+              | None -> Error "range unsupported by this backend")))
+  | Snapshot { close } -> (
+      let release () =
+        match !snap with
+        | Some s ->
+            s.Repro_baseline.Tree_intf.snap_release ();
+            snap := None
+        | None -> ()
+      in
+      if close then begin
+        release ();
+        Snap_reply { epoch = -1 }
+      end
+      else
+        match t.handle.mvcc with
+        | None -> Error "snapshot unsupported by this backend"
+        | Some m ->
+            release ();
+            let s = m.Repro_baseline.Tree_intf.snapshot () in
+            snap := Some s;
+            sst.snapshots_opened <- sst.snapshots_opened + 1;
+            Snap_reply { epoch = s.Repro_baseline.Tree_intf.snap_epoch })
   | Commit ->
       t.handle.commit ();
       sst.acked_commits <- sst.acked_commits + 1;
@@ -176,13 +233,17 @@ type kst = KPresent of int option | KAbsent
    [state_changed] records "a physical mutation changed the tree" — the
    commit decision below keys on the latter. *)
 let execute_combined t (sst : Stats.server) ctx ~kstate ~mutated
-    ~state_changed ~touched (req : P.request) : P.response =
+    ~state_changed ~touched ~snap (req : P.request) : P.response =
   let mark_touched key =
     match t.handle.sharding with
     | Some s -> touched.(s.shard_of_key key) <- true
     | None -> ()
   in
   match req with
+  (* a pinned session reads at its cut — batch-dedup facts describe
+     current time, so piggybacking them onto a snapshot read would leak
+     post-cut writes *)
+  | P.Search _ when !snap <> None -> execute t sst ctx ~snap req
   | P.Insert { key; value } -> (
       match Hashtbl.find_opt kstate key with
       | Some (KPresent _) ->
@@ -232,7 +293,8 @@ let execute_combined t (sst : Stats.server) ctx ~kstate ~mutated
           | None ->
               Hashtbl.replace kstate key KAbsent;
               Absent))
-  | P.Range _ | P.Commit | P.Stats | P.Subscribe _ -> execute t sst ctx req
+  | P.Range _ | P.Commit | P.Stats | P.Subscribe _ | P.Snapshot _ ->
+      execute t sst ctx ~snap req
 
 (* Serve one connection to completion on worker [slot]. The read loop
    drains every complete frame the kernel delivered (the pipeline
@@ -251,6 +313,9 @@ let serve_conn t ~slot fd =
     | None -> [||]
   in
   let kstate : (int, kst) Hashtbl.t = Hashtbl.create 16 in
+  (* SNAPSHOT session state: one pin, many reads, released on close or
+     when the connection ends *)
+  let snap : Repro_baseline.Tree_intf.snap option ref = ref None in
   let cap = ref 4096 in
   let buf = ref (Bytes.create !cap) in
   let lo = ref 0 and hi = ref 0 in
@@ -332,8 +397,8 @@ let serve_conn t ~slot fd =
                  try
                    if t.combine_batch then
                      execute_combined t sst ctx ~kstate ~mutated
-                       ~state_changed ~touched req
-                   else execute t sst ctx req
+                       ~state_changed ~touched ~snap req
+                   else execute t sst ctx ~snap req
                  with e -> P.Error (Printexc.to_string e)
                in
                Repro_util.Histogram.add sst.latency
@@ -384,6 +449,11 @@ let serve_conn t ~slot fd =
          flush_out ()
        with Unix.Unix_error _ -> ())
   | Unix.Unix_error _ | End_of_file -> ());
+  (* the session pin must not outlive the connection: it holds the
+     reclamation horizon down for every store sharing the clock *)
+  (match !snap with
+  | Some s -> s.Repro_baseline.Tree_intf.snap_release ()
+  | None -> ());
   sst.conns_active <- sst.conns_active - 1
 
 (* -- domains -- *)

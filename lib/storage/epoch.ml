@@ -15,6 +15,11 @@ type retired = { epoch : int; ptr : Node.ptr }
 type t = {
   global : int Atomic.t;
   pins : int Atomic.t array;  (** per-worker pinned epoch; [max_int] = idle *)
+  snap_pins : int Atomic.t array;
+      (** per-snapshot pinned epoch; [max_int] = slot free. Separate from
+          worker pins so a snapshot's publication wait ({!tick} +
+          {!min_worker_pinned}) never counts other snapshots, while the
+          reclaim horizon ({!min_pinned}) counts both. *)
   mutable limbo : retired list;  (** strictly descending epochs (newest first) *)
   limbo_len : int Atomic.t;  (** length of [limbo]; readable without the mutex *)
   max_limbo : int Atomic.t;  (** limbo depth high-water mark *)
@@ -24,10 +29,11 @@ type t = {
 
 let stride = Repro_util.Counters.stride
 
-let create ?(slots = 64) () =
+let create ?(slots = 64) ?(snap_slots = 64) () =
   {
     global = Atomic.make 0;
     pins = Array.init (slots * stride) (fun _ -> Atomic.make max_int);
+    snap_pins = Array.init (snap_slots * stride) (fun _ -> Atomic.make max_int);
     limbo = [];
     limbo_len = Atomic.make 0;
     max_limbo = Atomic.make 0;
@@ -36,6 +42,15 @@ let create ?(slots = 64) () =
   }
 
 let nslots t = Array.length t.pins / stride
+let n_snap_slots t = Array.length t.snap_pins / stride
+
+let current t = Atomic.get t.global
+
+(** Advance the clock, returning the pre-advance value [e]: the boundary
+    epoch of a snapshot cut. Writers pinned at [<= e] started before the
+    tick; pins published after it land at [> e] (their validate loop
+    re-reads the advanced clock). *)
+let tick t = Atomic.fetch_and_add t.global 1
 
 (* Test-only hook fired between reading [global] and publishing the pin —
    lets a regression test drive the retire/reclaim interleaving the
@@ -66,21 +81,70 @@ let pin t ~slot =
     (match !pin_hook with Some f -> f () | None -> ());
     Atomic.set a e;
     let e' = Atomic.get t.global in
-    if e' <> e then publish e'
+    if e' <> e then publish e' else e
   in
   publish (Atomic.get t.global)
 
 let unpin t ~slot = Atomic.set t.pins.((slot mod nslots t) * stride) max_int
 
 let with_pin t ~slot f =
-  pin t ~slot;
+  let (_ : int) = pin t ~slot in
   Fun.protect ~finally:(fun () -> unpin t ~slot) f
 
-(** Smallest epoch any worker is still pinned to. *)
-let min_pinned t =
+(** Claim a free snapshot slot and pin it to the current epoch, with the
+    same publish-then-validate loop as {!pin} (the claiming CAS is the
+    publication; a re-read that shows an advance re-publishes, so pages
+    or versions retired at the final epoch can no longer be reclaimed).
+    Returns [(slot, epoch)] for {!release_snapshot}.
+    @raise Failure when all snapshot slots are taken. *)
+let pin_snapshot t =
+  let n = n_snap_slots t in
+  let rec claim i =
+    if i >= n then failwith "Epoch.pin_snapshot: no free snapshot slot"
+    else
+      let a = t.snap_pins.(i * stride) in
+      let e = Atomic.get t.global in
+      if Atomic.get a = max_int && Atomic.compare_and_set a max_int e then begin
+        let rec validate e =
+          let e' = Atomic.get t.global in
+          if e' <> e then begin
+            Atomic.set a e';
+            validate e'
+          end
+          else e
+        in
+        (i, validate e)
+      end
+      else claim (i + 1)
+  in
+  claim 0
+
+let release_snapshot t slot =
+  Atomic.set t.snap_pins.((slot mod n_snap_slots t) * stride) max_int
+
+let pinned_snapshots t =
+  let c = ref 0 in
+  for i = 0 to n_snap_slots t - 1 do
+    if Atomic.get t.snap_pins.(i * stride) <> max_int then incr c
+  done;
+  !c
+
+(** Smallest epoch any {e worker} is still pinned to — the wait condition
+    of a snapshot cut (other snapshots must not block it). *)
+let min_worker_pinned t =
   let m = ref max_int in
   for i = 0 to nslots t - 1 do
     let v = Atomic.get t.pins.(i * stride) in
+    if v < !m then m := v
+  done;
+  !m
+
+(** Smallest epoch anything — worker or snapshot — is still pinned to:
+    the reclamation horizon. *)
+let min_pinned t =
+  let m = ref (min_worker_pinned t) in
+  for i = 0 to n_snap_slots t - 1 do
+    let v = Atomic.get t.snap_pins.(i * stride) in
     if v < !m then m := v
   done;
   !m

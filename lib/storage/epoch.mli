@@ -1,18 +1,36 @@
 (** Epoch-based reclamation of deleted pages — the paper's §5.3 scheme
     ("a deleted node can be released when all currently running processes
     have started after its deletion time") with a logical clock.
-    Pin/unpin are wait-free; retire/reclaim serialise off the hot path. *)
+    Pin/unpin are wait-free; retire/reclaim serialise off the hot path.
+
+    Beyond page reclamation, the same clock stamps MVCC versions
+    ({!Repro_storage.Record_store}) and anchors snapshot cuts: {!pin}
+    returns the pinned epoch so writers can stamp what they write, and
+    {!pin_snapshot}/{!tick}/{!min_worker_pinned} implement the snapshot
+    boundary protocol (pin a dedicated slot, tick the clock to get the
+    cut epoch [e], wait until every worker pin exceeds [e] — then all
+    writes stamped [<= e] are complete and all later writes are stamped
+    [> e], so reading at [e] is a consistent cut). *)
 
 type t
 
-val create : ?slots:int -> unit -> t
+val create : ?slots:int -> ?snap_slots:int -> unit -> t
 
-val pin : t -> slot:int -> unit
+val current : t -> int
+(** The global clock's current value. *)
+
+val tick : t -> int
+(** Advance the clock; returns the pre-advance value — the boundary
+    epoch of a snapshot cut. *)
+
+val pin : t -> slot:int -> int
 (** Pin the worker's slot to the current epoch for the duration of one
-    logical operation. Balanced with {!unpin}; not reentrant per slot.
-    The pin is published with a store / re-read-validate loop, so once
-    [pin] returns, no {!reclaim} can free a page retired at or after the
-    pinned epoch (see the ordering argument at the definition). *)
+    logical operation; returns the pinned epoch (the version stamp for
+    any write the operation performs). Balanced with {!unpin}; not
+    reentrant per slot. The pin is published with a store /
+    re-read-validate loop, so once [pin] returns, no {!reclaim} can free
+    a page retired at or after the pinned epoch (see the ordering
+    argument at the definition). *)
 
 val pin_hook : (unit -> unit) option ref
 (** Test-only: fired between reading the global clock and publishing the
@@ -21,8 +39,26 @@ val pin_hook : (unit -> unit) option ref
 val unpin : t -> slot:int -> unit
 val with_pin : t -> slot:int -> (unit -> 'a) -> 'a
 
+val pin_snapshot : t -> int * int
+(** Claim a free snapshot slot, pin it to the current epoch (same
+    publish-then-validate discipline as {!pin}) and return
+    [(slot, epoch)]. The slot blocks reclamation ({!min_pinned}) but not
+    other snapshots' cuts ({!min_worker_pinned}) until
+    {!release_snapshot}. @raise Failure when every slot is taken. *)
+
+val release_snapshot : t -> int -> unit
+
+val pinned_snapshots : t -> int
+(** Snapshot slots currently pinned — the observability gauge. *)
+
+val min_worker_pinned : t -> int
+(** Smallest epoch any worker is pinned to ([max_int] when none) —
+    the snapshot cut's wait condition. *)
+
 val min_pinned : t -> int
-(** Smallest epoch any worker is pinned to ([max_int] when none). *)
+(** Smallest epoch anything (worker or snapshot) is pinned to
+    ([max_int] when none): the reclamation horizon, and the
+    quiescence test used by [Snapshot]/[Validate]/[Checkpoint]. *)
 
 val retire : t -> Node.ptr -> unit
 (** Begin a deleted page's grace period. *)

@@ -1,20 +1,70 @@
-(** Concurrent record heap: the allocation the paper assumes for the
-    records that leaf pairs (v, p) point to (§3.1). Slots never move;
-    reads and writes are indivisible; freed slots are recycled — defer
+(** Concurrent multi-version record heap: the allocation the paper
+    assumes for the records that leaf pairs (v, p) point to (§3.1), with
+    per-slot version chains for MVCC snapshot reads. Slots never move;
+    every chain transition is one CAS; freed slots are recycled — defer
     {!free} through an {!Epoch} manager when racing readers. *)
 
-type t
+type 'v version = {
+  epoch : int;  (** the writer's pinned epoch when this version landed *)
+  value : 'v option;  (** [None] = tombstone (logical delete) *)
+  prev : 'v version option;  (** next-older version, [None] at the tail *)
+}
 
-val create : unit -> t
+type 'v t
 
-val put : t -> string -> int
-(** Allocate a record; the pointer is immediately valid in all domains. *)
+val create : ?size:('v -> int) -> unit -> 'v t
+(** [size] prices a payload for the {!bytes_stored} gauge (default 0). *)
 
 exception Freed_record of int
 
-val get : t -> int -> string
-(** @raise Freed_record on a reclaimed slot. *)
+val put : 'v t -> epoch:int -> 'v -> int
+(** Allocate a slot holding one live version; the pointer is immediately
+    valid in all domains. *)
 
-val free : t -> int -> unit
-val live_count : t -> int
-val bytes_stored : t -> int
+val get : 'v t -> int -> 'v option
+(** Head value; [None] = tombstoned or sealed (logically absent).
+    @raise Freed_record on a reclaimed slot. *)
+
+val get_at : 'v t -> int -> at:int -> 'v option
+(** Value as of epoch [at]: newest-from-head version with [epoch <= at].
+    @raise Freed_record on a reclaimed slot. *)
+
+val head : 'v t -> int -> 'v version option
+(** Chain head ([None] = sealed) — vacuum's dead-chain test.
+    @raise Freed_record on a reclaimed slot. *)
+
+val insert_version : 'v t -> int -> epoch:int -> 'v -> [ `Ok | `Live | `Gone ]
+(** Append a live version over a dead head. [`Live] — key taken; [`Gone]
+    — sealed mid-vacuum, retry from the tree.
+    @raise Freed_record on a reclaimed slot. *)
+
+val upsert : 'v t -> int -> epoch:int -> 'v -> [ `Over_live | `Over_dead | `Gone ]
+(** Append a live version unconditionally (bind-or-overwrite).
+    @raise Freed_record on a reclaimed slot. *)
+
+val kill : 'v t -> int -> epoch:int -> [ `Killed | `Dead | `Gone ]
+(** Append a tombstone over a live head (logical delete).
+    @raise Freed_record on a reclaimed slot. *)
+
+val prune : 'v t -> int -> horizon:int -> int
+(** Drop versions no pin at [>= horizon] can reach (everything below the
+    newest version with [epoch < horizon]); returns how many.
+    @raise Freed_record on a reclaimed slot. *)
+
+val seal : 'v t -> int -> expect:'v version -> bool
+(** CAS [Chain expect -> Sealed] (physical equality). The vacuum barrier:
+    on [true] the caller owns removing the tree pair; late appenders get
+    [`Gone] and retry from a fresh tree search. *)
+
+val free : 'v t -> int -> unit
+val live_count : 'v t -> int
+val bytes_stored : 'v t -> int
+
+val live_versions : 'v t -> int
+(** Version records across all chains (the MVCC space amplification). *)
+
+val live_values : 'v t -> int
+(** Chains whose head is live — the store's logical cardinality. *)
+
+val pruned_total : 'v t -> int
+(** Versions dropped by {!prune} since [create]. *)

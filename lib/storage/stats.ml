@@ -118,6 +118,13 @@ type io = {
       (** most requests absorbed by a single group commit's fsync *)
   mutable wal_records : int;  (** log records appended (pages + markers) *)
   mutable wal_fsyncs : int;  (** log-device fsyncs over the store's life *)
+  mutable epoch_min_pinned : int;
+      (** MVCC reclamation horizon at sample time ([max_int] = nothing
+          pinned, printed as -1); merges by {e min} — the fleet-wide
+          horizon is the oldest pin anywhere *)
+  mutable snap_pins : int;  (** snapshot slots pinned at sample time *)
+  mutable mvcc_versions : int;  (** live version records across all chains *)
+  mutable mvcc_pruned : int;  (** versions pruned since store creation *)
 }
 
 let io_create () =
@@ -136,6 +143,10 @@ let io_create () =
     max_commit_group = 0;
     wal_records = 0;
     wal_fsyncs = 0;
+    epoch_min_pinned = max_int;
+    snap_pins = 0;
+    mvcc_versions = 0;
+    mvcc_pruned = 0;
   }
 
 (** Merge [src] into [dst]: counters sum, high-water marks max. *)
@@ -153,17 +164,24 @@ let io_merge ~into:dst (src : io) =
   dst.commit_groups <- dst.commit_groups + src.commit_groups;
   dst.max_commit_group <- max dst.max_commit_group src.max_commit_group;
   dst.wal_records <- dst.wal_records + src.wal_records;
-  dst.wal_fsyncs <- dst.wal_fsyncs + src.wal_fsyncs
+  dst.wal_fsyncs <- dst.wal_fsyncs + src.wal_fsyncs;
+  dst.epoch_min_pinned <- min dst.epoch_min_pinned src.epoch_min_pinned;
+  dst.snap_pins <- dst.snap_pins + src.snap_pins;
+  dst.mvcc_versions <- dst.mvcc_versions + src.mvcc_versions;
+  dst.mvcc_pruned <- dst.mvcc_pruned + src.mvcc_pruned
 
 let pp_io fmt (io : io) =
   Format.fprintf fmt
     "faults=%d stall=%.3fms wb_inline=%d wb_queued=%d batches=%d max_batch=%d \
      max_queue=%d max_conc_faults=%d wr_errors=%d commits=%d/%d max_group=%d \
-     wal_records=%d wal_fsyncs=%d"
+     wal_records=%d wal_fsyncs=%d min_pinned=%d snap_pins=%d mvcc_versions=%d \
+     mvcc_pruned=%d"
     io.faults (1e3 *. io.fault_stall_s) io.inline_writebacks io.queued_writebacks
     io.writer_batches io.max_batch io.max_queue_depth io.max_concurrent_faults
     io.writer_errors io.commit_groups io.commit_reqs io.max_commit_group
     io.wal_records io.wal_fsyncs
+    (if io.epoch_min_pinned = max_int then -1 else io.epoch_min_pinned)
+    io.snap_pins io.mvcc_versions io.mvcc_pruned
 
 let io_to_string io = Format.asprintf "%a" pp_io io
 
@@ -198,6 +216,12 @@ type server = {
   mutable commits_skipped : int;
       (** durable-ack commits elided because every surviving mutation in
           the batch was a tree no-op (nothing new to make durable) *)
+  mutable snapshots_opened : int;
+      (** MVCC snapshot pins taken on behalf of clients — per-request
+          Range cuts and session [SNAPSHOT] opens *)
+  mutable snap_reads : int;
+      (** reads (searches and ranges) served at a pinned snapshot
+          instead of current time *)
   mutable shard_acks : int array;
       (** ack-covering commits per shard (sharded handles only; grown
           on demand to the highest shard this worker committed) — the
@@ -221,6 +245,8 @@ let server_create () =
     elided = 0;
     piggybacked = 0;
     commits_skipped = 0;
+    snapshots_opened = 0;
+    snap_reads = 0;
     shard_acks = [||];
     latency = Repro_util.Histogram.create ();
   }
@@ -250,6 +276,8 @@ let server_merge ~into:dst (src : server) =
   dst.elided <- dst.elided + src.elided;
   dst.piggybacked <- dst.piggybacked + src.piggybacked;
   dst.commits_skipped <- dst.commits_skipped + src.commits_skipped;
+  dst.snapshots_opened <- dst.snapshots_opened + src.snapshots_opened;
+  dst.snap_reads <- dst.snap_reads + src.snap_reads;
   (if Array.length src.shard_acks > 0 then begin
      if Array.length dst.shard_acks < Array.length src.shard_acks then begin
        let grown = Array.make (Array.length src.shard_acks) 0 in
@@ -266,10 +294,10 @@ let pp_server fmt (s : server) =
   Format.fprintf fmt
     "conns=%d/%d frames=%d/%d bytes=%d/%d max_pipeline=%d proto_errors=%d \
      acked_commits=%d elided=%d piggybacked=%d commits_skipped=%d \
-     lat_p50=%.1fus lat_p99=%.1fus"
+     snapshots=%d snap_reads=%d lat_p50=%.1fus lat_p99=%.1fus"
     s.conns_active s.conns_opened s.frames_in s.frames_out s.bytes_in
     s.bytes_out s.max_pipeline s.protocol_errors s.acked_commits s.elided
-    s.piggybacked s.commits_skipped
+    s.piggybacked s.commits_skipped s.snapshots_opened s.snap_reads
     (1e6 *. Repro_util.Histogram.percentile s.latency 50.0)
     (1e6 *. Repro_util.Histogram.percentile s.latency 99.0);
   if Array.length s.shard_acks > 0 then

@@ -65,6 +65,13 @@ type io = {
       (** most requests absorbed by a single group commit's fsync *)
   mutable wal_records : int;  (** log records appended (pages + markers) *)
   mutable wal_fsyncs : int;  (** log-device fsyncs over the store's life *)
+  mutable epoch_min_pinned : int;
+      (** MVCC reclamation horizon at sample time — the oldest epoch any
+          worker or snapshot still pins ([max_int] = nothing pinned);
+          merged by [min] so a combined line shows the laggard *)
+  mutable snap_pins : int;  (** snapshots currently held *)
+  mutable mvcc_versions : int;  (** live version records across all chains *)
+  mutable mvcc_pruned : int;  (** versions pruned since store creation *)
 }
 
 val io_create : unit -> io
@@ -103,6 +110,12 @@ type server = {
   mutable commits_skipped : int;
       (** durable-ack commits elided because the batch's surviving
           mutations were all tree no-ops *)
+  mutable snapshots_opened : int;
+      (** MVCC snapshot pins taken on behalf of clients — per-request
+          Range cuts and session [SNAPSHOT] opens *)
+  mutable snap_reads : int;
+      (** reads (searches and ranges) served at a pinned snapshot
+          instead of current time *)
   mutable shard_acks : int array;
       (** ack-covering commits per shard (sharded handles only; grown on
           demand to the highest shard this worker committed) *)

@@ -8,34 +8,34 @@ module KV = Kv.Make (Key.Int)
 let ctx = KV.ctx
 
 let test_record_store_basic () =
-  let rs = Record_store.create () in
-  let a = Record_store.put rs "hello" in
-  let b = Record_store.put rs "world" in
-  Alcotest.(check string) "a" "hello" (Record_store.get rs a);
-  Alcotest.(check string) "b" "world" (Record_store.get rs b);
+  let rs = Record_store.create ~size:String.length () in
+  let a = Record_store.put rs ~epoch:0 "hello" in
+  let b = Record_store.put rs ~epoch:0 "world" in
+  Alcotest.(check (option string)) "a" (Some "hello") (Record_store.get rs a);
+  Alcotest.(check (option string)) "b" (Some "world") (Record_store.get rs b);
   Alcotest.(check int) "live" 2 (Record_store.live_count rs);
   Alcotest.(check int) "bytes" 10 (Record_store.bytes_stored rs);
   Record_store.free rs a;
   (match Record_store.get rs a with
   | exception Record_store.Freed_record _ -> ()
   | _ -> Alcotest.fail "freed record readable");
-  let c = Record_store.put rs "again" in
+  let c = Record_store.put rs ~epoch:0 "again" in
   Alcotest.(check int) "slot recycled" a c;
   Alcotest.(check int) "live after recycle" 2 (Record_store.live_count rs)
 
 let test_record_store_concurrent () =
-  let rs = Record_store.create () in
+  let rs = Record_store.create ~size:String.length () in
   let domains =
     Array.init 4 (fun d ->
         Domain.spawn (fun () ->
             Array.init 2_000 (fun i ->
                 let s = Printf.sprintf "%d:%d" d i in
-                (Record_store.put rs s, s))))
+                (Record_store.put rs ~epoch:0 s, s))))
   in
   let all = Array.concat (Array.to_list (Array.map Domain.join domains)) in
   Array.iter
     (fun (p, s) ->
-      if Record_store.get rs p <> s then Alcotest.failf "record %d corrupted" p)
+      if Record_store.get rs p <> Some s then Alcotest.failf "record %d corrupted" p)
     all
 
 let test_kv_basic () =
@@ -74,7 +74,7 @@ let test_kv_oracle () =
   done;
   Alcotest.(check int) "cardinal" (Hashtbl.length model) (KV.cardinal kv);
   (* periodic reclamation frees overwritten records *)
-  ignore (KV.reclaim kv);
+  ignore (KV.reclaim kv c);
   Alcotest.(check int) "live records = live keys" (Hashtbl.length model)
     (KV.live_records kv)
 
@@ -112,7 +112,7 @@ let test_kv_concurrent_updates () =
             for i = 1 to 30_000 do
               let k = Repro_util.Splitmix.int rng keys in
               KV.put kv wc k (Printf.sprintf "%d:w%d.%d" k w i);
-              if i mod 1000 = 0 then ignore (KV.reclaim kv)
+              if i mod 1000 = 0 then ignore (KV.reclaim kv c)
             done))
   in
   let readers =
@@ -138,7 +138,7 @@ let test_kv_concurrent_updates () =
   Atomic.set stop true;
   Array.iter Domain.join readers;
   Alcotest.(check int) "no torn/stale/freed reads" 0 (Atomic.get errors);
-  ignore (KV.reclaim kv);
+  ignore (KV.reclaim kv c);
   Alcotest.(check int) "records = keys after reclaim" keys (KV.live_records kv)
 
 let test_kv_reclaim_bounded () =
@@ -147,9 +147,9 @@ let test_kv_reclaim_bounded () =
   let c = ctx ~slot:0 in
   for i = 1 to 10_000 do
     KV.put kv c 7 (string_of_int i);
-    if i mod 100 = 0 then ignore (KV.reclaim kv)
+    if i mod 100 = 0 then ignore (KV.reclaim kv c)
   done;
-  ignore (KV.reclaim kv);
+  ignore (KV.reclaim kv c);
   Alcotest.(check int) "single live record" 1 (KV.live_records kv);
   Alcotest.(check (option string)) "latest wins" (Some "10000") (KV.get kv c 7)
 

@@ -25,5 +25,6 @@ let () =
       ("trace", Test_trace.suite);
       ("report", Test_report.suite);
       ("server", Test_server.suite);
+      ("mvcc", Test_mvcc.suite);
       ("combine", Test_combine.suite);
     ]

@@ -1,0 +1,540 @@
+(* MVCC snapshots end to end: version visibility at a pinned cut,
+   vacuum behind and after pins, group snapshots across shards, the
+   scan-consistency oracle under 4 concurrent writer domains (single
+   tree and sharded), the documented-weak unversioned range, online
+   backup / leak-check / checkpoint with writers live, the server's
+   SNAPSHOT session, and the replica's one-horizon-per-scan
+   regression. *)
+
+open Repro_storage
+open Repro_baseline
+open Repro_harness
+module M = Tree_intf.Mvcc_int
+module Sg = Repro_core.Sagiv.Make (Key.Int)
+module Sn = Repro_core.Snapshot.Make (Key.Int)
+module Ck = Repro_core.Checkpoint.Make (Key.Int)
+module V = Repro_core.Validate.Make (Key.Int)
+module P = Repro_server.Protocol
+module Server = Repro_server.Server
+module C = Repro_client.Client
+module R = Repro_client.Replica
+
+let mctx = M.ctx
+
+(* ---------- snapshot visibility ---------- *)
+
+let test_snapshot_visibility () =
+  let st = M.create ~order:4 () in
+  let c = mctx ~slot:0 in
+  for k = 1 to 100 do
+    M.upsert st c k (k * 10)
+  done;
+  let s = M.snapshot st in
+  (* post-cut churn of every flavour *)
+  M.upsert st c 1 999;
+  Alcotest.(check bool) "delete live" true (M.delete st c 2);
+  Alcotest.(check bool) "insert new" true (M.insert st c 101 5 = `Ok);
+  (* the cut is frozen *)
+  Alcotest.(check (option int)) "snap overwritten" (Some 10) (M.snap_get st s c 1);
+  Alcotest.(check (option int)) "snap deleted" (Some 20) (M.snap_get st s c 2);
+  Alcotest.(check (option int)) "snap unborn" None (M.snap_get st s c 101);
+  (* current time moved on *)
+  Alcotest.(check (option int)) "now overwritten" (Some 999) (M.get st c 1);
+  Alcotest.(check (option int)) "now deleted" None (M.get st c 2);
+  Alcotest.(check (option int)) "now born" (Some 5) (M.get st c 101);
+  Alcotest.(check (list (pair int int)))
+    "snap range is the cut"
+    [ (1, 10); (2, 20); (3, 30) ]
+    (M.snap_range st s c ~lo:1 ~hi:3);
+  M.release s;
+  (* released snaps refuse reads instead of lying *)
+  (match M.snap_get st s c 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "released snapshot still answered");
+  M.release s (* idempotent *)
+
+let test_vacuum_behind_pin () =
+  let st = M.create ~order:4 () in
+  let c = mctx ~slot:0 in
+  for k = 1 to 50 do
+    M.upsert st c k k
+  done;
+  let s = M.snapshot st in
+  for k = 1 to 50 do
+    if k mod 2 = 0 then ignore (M.delete st c k : bool)
+  done;
+  (* every tombstone postdates the pin: nothing is removable *)
+  let removed = M.vacuum st c in
+  Alcotest.(check int) "vacuum behind the pin removes nothing" 0 removed;
+  Alcotest.(check (option int)) "pinned read intact" (Some 2) (M.snap_get st s c 2);
+  Alcotest.(check int) "snap scan sees all 50" 50
+    (List.length (M.snap_range st s c ~lo:1 ~hi:50));
+  M.release s;
+  (* horizon passes the tombstones: the dead pairs go *)
+  let removed = M.vacuum st c in
+  ignore (M.reclaim st : int);
+  Alcotest.(check int) "vacuum after release removes the evens" 25 removed;
+  Alcotest.(check (option int)) "gone" None (M.get st c 2);
+  Alcotest.(check int) "current scan halved" 25
+    (List.length (M.range st c ~lo:1 ~hi:50))
+
+let test_version_pruning () =
+  let st = M.create ~order:4 () in
+  let c = mctx ~slot:0 in
+  for i = 1 to 100 do
+    M.upsert st c 7 i
+  done;
+  Alcotest.(check bool) "chain built up" true (M.live_versions st > 1);
+  ignore (M.vacuum st c : int);
+  Alcotest.(check bool) "cold tail pruned" true (M.pruned_versions st > 0);
+  Alcotest.(check (option int)) "newest survives" (Some 100) (M.get st c 7);
+  let io = M.io_stats st in
+  Alcotest.(check int) "io gauge versions" (M.live_versions st)
+    io.Stats.mvcc_versions;
+  Alcotest.(check int) "io gauge pruned" (M.pruned_versions st)
+    io.Stats.mvcc_pruned;
+  Alcotest.(check int) "io gauge pins" 0 io.Stats.snap_pins
+
+let test_group_snapshot () =
+  let epoch = Epoch.create () in
+  let a = M.create ~order:4 ~epoch () in
+  let b = M.create ~order:4 ~epoch () in
+  let c = mctx ~slot:0 in
+  M.upsert a c 1 10;
+  M.upsert b c 2 20;
+  let s = M.snapshot_group [| a; b |] in
+  M.upsert a c 1 11;
+  M.upsert b c 2 21;
+  Alcotest.(check (option int)) "a at cut" (Some 10) (M.snap_get a s c 1);
+  Alcotest.(check (option int)) "b at cut" (Some 20) (M.snap_get b s c 2);
+  M.release s;
+  let lone = M.create ~order:4 () in
+  match M.snapshot_group [| a; lone |] with
+  | exception Invalid_argument _ -> ()
+  | s ->
+      M.release s;
+      Alcotest.fail "group snapshot over unrelated epochs accepted"
+
+(* ---------- the scan-consistency oracle ---------- *)
+
+(* Writer [w] owns keys [w*1000 .. w*1000+block-1], preloaded with 0 and
+   swept with steps 1..steps (value = step, distinct per key). Scans run
+   from the main domain while the sweep is live; the oracle then decides
+   feasibility from the logged wall-clock intervals. *)
+let run_scan_battery ~writers ~block ~steps ~upsert ~scan =
+  let universe =
+    List.concat
+      (List.init writers (fun w -> List.init block (fun i -> (w * 1000) + i)))
+  in
+  List.iter (fun k -> upsert (mctx ~slot:0) k 0) universe;
+  let logs = Array.init writers (fun _ -> Scan_oracle.log_create ()) in
+  let running = Atomic.make writers in
+  let doms =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            let ctx = mctx ~slot:(w + 1) in
+            for s = 1 to steps do
+              for i = 0 to block - 1 do
+                let k = (w * 1000) + i in
+                Scan_oracle.logged logs.(w) ~key:k ~value:(Some s) (fun () ->
+                    upsert ctx k s)
+              done
+            done;
+            Atomic.decr running))
+  in
+  let scans = ref [] in
+  while Atomic.get running > 0 do
+    scans := scan (mctx ~slot:0) :: !scans;
+    Domain.cpu_relax ()
+  done;
+  List.iter Domain.join doms;
+  (* and one quiescent scan: must be the exact final state *)
+  let final = scan (mctx ~slot:0) in
+  List.iter
+    (fun (k, v) ->
+      if v <> steps then Alcotest.failf "final scan: key %d at step %d" k v)
+    final;
+  Alcotest.(check int) "final scan covers the universe"
+    (List.length universe) (List.length final);
+  let checked = ref 0 in
+  List.iter
+    (fun scan ->
+      incr checked;
+      match
+        Scan_oracle.check ~logs
+          ~owner:(fun k -> k / 1000)
+          ~initial:(fun _ -> Some 0)
+          ~universe ~scan
+      with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "scan %d inconsistent: %s" !checked
+            (String.concat "; " vs))
+    (final :: !scans);
+  !checked
+
+let test_scan_oracle_single () =
+  let st, h = Tree_intf.sagiv_mvcc_raw ~order:4 () in
+  let m = Option.get h.Tree_intf.mvcc in
+  let scanned =
+    run_scan_battery ~writers:4 ~block:32 ~steps:25
+      ~upsert:(fun ctx k v -> M.upsert st ctx k v)
+      ~scan:(fun ctx ->
+        let s = m.Tree_intf.snapshot () in
+        Fun.protect ~finally:s.Tree_intf.snap_release (fun () ->
+            s.Tree_intf.snap_range ctx ~lo:0 ~hi:max_int))
+  in
+  Alcotest.(check bool) "scanned while writers ran" true (scanned >= 1);
+  (* vacuum converges once quiescent *)
+  ignore (m.Tree_intf.vacuum (mctx ~slot:0) : int);
+  let g = m.Tree_intf.gauges () in
+  Alcotest.(check int) "no pins left" 0 g.Tree_intf.g_snap_pins
+
+let test_scan_oracle_sharded () =
+  let shards = 4 in
+  let ts, h = Tree_intf.sagiv_mvcc_sharded_raw ~shards ~order:4 () in
+  let m = Option.get h.Tree_intf.mvcc in
+  let route k = Shard_router.shard_of ~shards k in
+  let scanned =
+    run_scan_battery ~writers:4 ~block:24 ~steps:20
+      ~upsert:(fun ctx k v -> M.upsert ts.(route k) ctx k v)
+      ~scan:(fun ctx ->
+        let s = m.Tree_intf.snapshot () in
+        Fun.protect ~finally:s.Tree_intf.snap_release (fun () ->
+            s.Tree_intf.snap_range ctx ~lo:0 ~hi:max_int))
+  in
+  Alcotest.(check bool) "scanned while writers ran" true (scanned >= 1)
+
+(* The unversioned [handle.range] is documented weak: under writers it
+   need not be a cut, but it must stay a well-formed ordered scan
+   (strictly ascending keys, every value some step each key held). *)
+let test_weak_range_documented () =
+  let st, h = Tree_intf.sagiv_mvcc_raw ~order:4 () in
+  let range = Option.get h.Tree_intf.range in
+  let c0 = mctx ~slot:0 in
+  let block = 64 and steps = 30 in
+  for k = 0 to block - 1 do
+    M.upsert st c0 k 0
+  done;
+  let running = Atomic.make 2 in
+  let doms =
+    List.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            let ctx = mctx ~slot:(w + 1) in
+            for s = 1 to steps do
+              for i = 0 to (block / 2) - 1 do
+                M.upsert st ctx ((w * block / 2) + i) s
+              done
+            done;
+            Atomic.decr running))
+  in
+  while Atomic.get running > 0 do
+    let ps = range c0 ~lo:0 ~hi:max_int in
+    let rec ordered = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+          if a >= b then Alcotest.failf "weak range out of order at %d" b;
+          ordered rest
+      | _ -> ()
+    in
+    ordered ps;
+    List.iter
+      (fun (k, v) ->
+        if k < 0 || k >= block || v < 0 || v > steps then
+          Alcotest.failf "weak range: impossible pair %d=%d" k v)
+      ps
+  done;
+  List.iter Domain.join doms
+
+(* The oracle itself must reject infeasible scans. *)
+let test_oracle_rejects () =
+  let l = Scan_oracle.log_create () in
+  Scan_oracle.record l ~key:1 ~value:(Some 1) ~start:1.0 ~stop:1.1;
+  Scan_oracle.record l ~key:2 ~value:(Some 1) ~start:1.2 ~stop:1.3;
+  Scan_oracle.record l ~key:1 ~value:(Some 2) ~start:2.0 ~stop:2.1;
+  Scan_oracle.record l ~key:2 ~value:(Some 2) ~start:2.2 ~stop:2.3;
+  let check scan =
+    Scan_oracle.check ~logs:[| l |]
+      ~owner:(fun _ -> 0)
+      ~initial:(fun _ -> None)
+      ~universe:[ 1; 2 ] ~scan
+  in
+  (* key 2 already at step 2 while key 1 still at step 1: the writer
+     finished 1@2 before starting 2@2, so no instant shows this *)
+  Alcotest.(check bool) "torn sweep rejected" true (check [ (1, 1); (2, 2) ] <> []);
+  (* the mid-sweep cut (key 1 advanced first) is fine *)
+  Alcotest.(check (list string)) "mid-sweep cut accepted" [] (check [ (1, 2); (2, 1) ]);
+  Alcotest.(check (list string)) "old state accepted" [] (check [ (1, 1); (2, 1) ]);
+  Alcotest.(check (list string)) "new state accepted" [] (check [ (1, 2); (2, 2) ]);
+  (* cross-writer: per-writer consistent states with disjoint windows *)
+  let a = Scan_oracle.log_create () and b = Scan_oracle.log_create () in
+  Scan_oracle.record a ~key:1 ~value:(Some 1) ~start:1.0 ~stop:1.2;
+  Scan_oracle.record a ~key:1 ~value:(Some 2) ~start:1.8 ~stop:2.0;
+  Scan_oracle.record b ~key:1001 ~value:(Some 1) ~start:1.0 ~stop:1.2;
+  Scan_oracle.record b ~key:1001 ~value:(Some 2) ~start:5.0 ~stop:5.2;
+  let check2 scan =
+    Scan_oracle.check ~logs:[| a; b |]
+      ~owner:(fun k -> k / 1000)
+      ~initial:(fun _ -> None)
+      ~universe:[ 1; 1001 ] ~scan
+  in
+  Alcotest.(check bool) "no common instant rejected" true
+    (check2 [ (1, 1); (1001, 2) ] <> []);
+  Alcotest.(check (list string)) "common instant accepted" []
+    (check2 [ (1, 2); (1001, 1) ])
+
+(* ---------- online backup / validate / checkpoint ---------- *)
+
+(* Stable keys 1..400 never move; two writer domains churn a disjoint
+   high block while the online pass runs. Every stable pair must land
+   exactly; churn keys may or may not, but only inside their block. *)
+let with_churn f =
+  let t = Sg.create ~order:4 () in
+  let c = Sg.ctx ~slot:0 in
+  for k = 1 to 400 do
+    ignore (Sg.insert t c k (k * 3))
+  done;
+  let stop = Atomic.make false in
+  let doms =
+    List.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            let ctx = Sg.ctx ~slot:(w + 1) in
+            let base = 10_000 + (w * 1000) in
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              let k = base + (!i mod 500) in
+              (match Sg.insert t ctx k !i with
+              | `Ok -> ()
+              | `Duplicate -> ignore (Sg.delete t ctx k : bool));
+              incr i
+            done))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Domain.join doms)
+    (fun () -> f t c)
+
+let check_restored t' =
+  let c = Sg.ctx ~slot:0 in
+  for k = 1 to 400 do
+    match Sg.search t' c k with
+    | Some v when v = k * 3 -> ()
+    | Some v -> Alcotest.failf "stable key %d restored as %d" k v
+    | None -> Alcotest.failf "stable key %d missing from the image" k
+  done;
+  List.iter
+    (fun (k, _) ->
+      if not ((k >= 1 && k <= 400) || (k >= 10_000 && k < 12_000)) then
+        Alcotest.failf "image invented key %d" k)
+    (Sg.range t' c ~lo:min_int ~hi:max_int);
+  let r = V.check t' in
+  if not (Repro_core.Validate.ok r) then
+    Alcotest.failf "restored tree invalid: %s"
+      (String.concat "; " r.Repro_core.Validate.errors)
+
+let test_online_snapshot_save () =
+  with_churn @@ fun t c ->
+  for _ = 1 to 3 do
+    check_restored (Sn.load (Sn.save_online t c))
+  done
+
+let test_online_leak_check () =
+  with_churn @@ fun t _c ->
+  for pass = 1 to 3 do
+    match V.leak_check_online t with
+    | [] -> ()
+    | leaks ->
+        Alcotest.failf "pass %d: %d pages reported leaked under churn" pass
+          (List.length leaks)
+  done
+
+let test_online_checkpoint () =
+  with_churn @@ fun t c ->
+  let pf = Paged_file.create_memory () in
+  Ck.save_online t c pf;
+  check_restored (Ck.load pf)
+
+(* Quiescent cross-check: the lock-free full scan equals the reference
+   range over a tree with deletions. *)
+let test_fold_all_quiescent () =
+  let t = Sg.create ~order:4 () in
+  let c = Sg.ctx ~slot:0 in
+  for k = 1 to 1000 do
+    ignore (Sg.insert t c k (k * 7))
+  done;
+  for k = 1 to 1000 do
+    if k mod 3 = 0 then ignore (Sg.delete t c k : bool)
+  done;
+  let scanned =
+    List.rev (Sg.fold_all t c ~init:[] (fun acc k p -> (k, p) :: acc))
+  in
+  Alcotest.(check (list (pair int int)))
+    "fold_all = range" (Sg.range t c ~lo:min_int ~hi:max_int) scanned
+
+(* ---------- server SNAPSHOT sessions ---------- *)
+
+let loopback = Unix.ADDR_INET (Unix.inet_addr_loopback, 0)
+
+let with_server ~handle f =
+  let srv = Server.start ~workers:2 ~handle ~listen:[ loopback ] () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f (List.hd (Server.addresses srv)))
+
+let with_client addr f =
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
+
+let test_server_snapshot_session () =
+  with_server ~handle:((Tree_intf.sagiv_mvcc ()).make ~order:4) @@ fun addr ->
+  with_client addr @@ fun c ->
+  Alcotest.(check bool) "seed" true (C.insert c ~key:1 ~value:10 = `Ok);
+  let epoch = C.snapshot_open c in
+  Alcotest.(check bool) "epoch sane" true (epoch >= 0);
+  (* writes keep landing (even on the pinned connection) *)
+  Alcotest.(check bool) "post-cut insert" true (C.insert c ~key:2 ~value:20 = `Ok);
+  Alcotest.(check bool) "post-cut delete" true (C.delete c ~key:1);
+  (* ... but this connection reads at the cut *)
+  Alcotest.(check (option int)) "pinned search" (Some 10) (C.search c ~key:1);
+  Alcotest.(check (option int)) "unborn invisible" None (C.search c ~key:2);
+  Alcotest.(check (list (pair int int)))
+    "pinned range" [ (1, 10) ] (C.range c ~lo:0 ~hi:100);
+  (* a second connection reads current time *)
+  (with_client addr @@ fun c2 ->
+   Alcotest.(check (option int)) "fresh conn current" (Some 20) (C.search c2 ~key:2));
+  C.snapshot_close c;
+  Alcotest.(check (option int)) "current after close" None (C.search c ~key:1);
+  Alcotest.(check (list (pair int int)))
+    "current range" [ (2, 20) ] (C.range c ~lo:0 ~hi:100)
+
+let test_server_snapshot_unsupported () =
+  with_server ~handle:((Tree_intf.sagiv ()).make ~order:4) @@ fun addr ->
+  with_client addr @@ fun c ->
+  match C.snapshot_open c with
+  | exception C.Remote_error _ -> ()
+  | _ -> Alcotest.fail "non-MVCC backend opened a snapshot"
+
+let test_snapshot_frame_roundtrip () =
+  let req r =
+    let b = Buffer.create 64 in
+    P.encode_request b ~seq:9 r;
+    let bytes = Buffer.to_bytes b in
+    match P.decode_request bytes ~pos:0 ~len:(Bytes.length bytes) with
+    | Frame { body; _ } -> Alcotest.(check bool) "req" true (body = r)
+    | Need_more -> Alcotest.fail "Need_more"
+  in
+  req (P.Snapshot { close = false });
+  req (P.Snapshot { close = true });
+  let resp r =
+    let b = Buffer.create 64 in
+    P.encode_response b ~seq:9 r;
+    let bytes = Buffer.to_bytes b in
+    match P.decode_response bytes ~pos:0 ~len:(Bytes.length bytes) with
+    | Frame { body; _ } -> Alcotest.(check bool) "resp" true (body = r)
+    | Need_more -> Alcotest.fail "Need_more"
+  in
+  resp (P.Snap_reply { epoch = 12345 });
+  resp (P.Snap_reply { epoch = -1 })
+
+(* ---------- replica scan horizon ---------- *)
+
+module PS = Tree_intf.Paged_int
+module SgD = Tree_intf.Sagiv_disk
+
+(* Regression: the replica installs a whole batch under the same mutex
+   its scans hold, so a long scan can never straddle a batch. Each round
+   commits a contiguous key block; a scan must always see a contiguous
+   prefix (a torn install would surface high keys of a batch while
+   lower ones are still missing). *)
+let test_replica_scan_horizon () =
+  let data_page_size = 512 in
+  let wal_page_size = Wal.log_page_size ~data_page_size in
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:64 ~wal:lfile pfile in
+  let t = SgD.create ~order:4 ~store () in
+  SgD.flush t;
+  let handle =
+    Tree_intf.of_ops
+      ~commit:(fun () -> SgD.commit t)
+      ~range:(SgD.range t) ~name:"sagiv-disk" (module SgD) t
+  in
+  let wal_source =
+    {
+      Server.ws_shards = 1;
+      ws_fetch = (fun ~shard:_ ~lsn ~max_pages -> PS.wal_fetch store ~lsn ~max_pages);
+      ws_wait = (fun ~shard:_ ~lsn ~timeout -> PS.wal_wait store ~lsn ~timeout);
+    }
+  in
+  let srv =
+    Server.start ~workers:2 ~durable_acks:true ~wal_source ~handle
+      ~listen:[ loopback ] ()
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let addr = List.hd (Server.addresses srv) in
+  with_client addr @@ fun c ->
+  with_client addr @@ fun rc ->
+  let r = R.create () in
+  let stop = Atomic.make false in
+  let bad = Atomic.make None in
+  let scanner =
+    Domain.spawn (fun () ->
+        let ctx = Repro_core.Handle.ctx ~slot:3 in
+        while not (Atomic.get stop) do
+          let ps = R.range r ctx ~lo:0 ~hi:max_int in
+          List.iteri
+            (fun i (k, v) ->
+              if k <> i then
+                Atomic.set bad
+                  (Some (Printf.sprintf "gap: index %d holds key %d" i k))
+              else if v <> k / 25 then
+                Atomic.set bad
+                  (Some (Printf.sprintf "key %d from batch %d" k v)))
+            ps;
+          Domain.cpu_relax ()
+        done)
+  in
+  let drain () =
+    let rec go n =
+      match R.poll ~wait_ms:50 r rc with
+      | `Applied a -> go (n + a)
+      | `Caught_up -> n
+    in
+    go 0
+  in
+  for b = 0 to 19 do
+    let reqs = List.init 25 (fun i -> P.Insert { key = (b * 25) + i; value = b }) in
+    List.iter
+      (function
+        | P.Inserted -> ()
+        | resp -> Alcotest.failf "insert: %s" (P.response_to_string resp))
+      (C.pipeline c reqs);
+    C.commit c;
+    ignore (drain () : int)
+  done;
+  Atomic.set stop true;
+  Domain.join scanner;
+  (match Atomic.get bad with
+  | Some msg -> Alcotest.failf "replica scan straddled a batch: %s" msg
+  | None -> ());
+  Alcotest.(check int) "all batches applied" 500 (R.cardinal r)
+
+let suite =
+  [
+    ("snapshot visibility", `Quick, test_snapshot_visibility);
+    ("vacuum stops behind a pin", `Quick, test_vacuum_behind_pin);
+    ("version chains prune", `Quick, test_version_pruning);
+    ("group snapshot shares one cut", `Quick, test_group_snapshot);
+    ("4-writer scan oracle (single tree)", `Quick, test_scan_oracle_single);
+    ("4-writer scan oracle (sharded cut)", `Quick, test_scan_oracle_sharded);
+    ("unversioned range stays weak but well-formed", `Quick, test_weak_range_documented);
+    ("oracle rejects infeasible scans", `Quick, test_oracle_rejects);
+    ("online backup under churn", `Quick, test_online_snapshot_save);
+    ("online leak check under churn", `Quick, test_online_leak_check);
+    ("online checkpoint under churn", `Quick, test_online_checkpoint);
+    ("fold_all equals range when quiescent", `Quick, test_fold_all_quiescent);
+    ("SNAPSHOT frame roundtrip", `Quick, test_snapshot_frame_roundtrip);
+    ("server snapshot session", `Quick, test_server_snapshot_session);
+    ("snapshot on plain backend refused", `Quick, test_server_snapshot_unsupported);
+    ("replica scans pin one horizon", `Quick, test_replica_scan_horizon);
+  ]

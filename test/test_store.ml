@@ -127,7 +127,7 @@ let test_epoch_basic () =
 let test_epoch_pin_blocks_reclaim () =
   let e = Epoch.create () in
   let s = Store.create () in
-  Epoch.pin e ~slot:0;
+  ignore (Epoch.pin e ~slot:0 : int);
   let p = Store.alloc s (mk_leaf [ 1 ]) in
   Epoch.retire e p;
   let freed = Epoch.reclaim e ~release:(Store.release s) in
@@ -144,7 +144,7 @@ let test_epoch_late_pin_does_not_block () =
   let p = Store.alloc s (mk_leaf [ 1 ]) in
   Epoch.retire e p;
   (* a process that starts after the retirement must not keep it alive *)
-  Epoch.pin e ~slot:3;
+  ignore (Epoch.pin e ~slot:3 : int);
   let freed = Epoch.reclaim e ~release:(Store.release s) in
   Alcotest.(check int) "late pin does not block" 1 freed;
   Epoch.unpin e ~slot:3
@@ -180,7 +180,7 @@ let test_epoch_pin_publish_race () =
   Fun.protect
     ~finally:(fun () -> Epoch.pin_hook := None)
     (fun () ->
-      Epoch.pin e ~slot:0;
+      ignore (Epoch.pin e ~slot:0 : int);
       Alcotest.(check bool) "hook fired in the publication window" true !fired;
       (* The window reclaim saw no pin, so it legitimately freed [p]
          (retired at epoch 0, horizon max_int). The fix must then refuse
@@ -204,7 +204,7 @@ let test_epoch_concurrent_readers_never_see_freed () =
     Array.init 3 (fun slot ->
         Domain.spawn (fun () ->
             while not (Atomic.get stop) do
-              Epoch.pin e ~slot;
+              ignore (Epoch.pin e ~slot : int);
               let p = Atomic.get current in
               (try ignore (Store.get s p)
                with Store.Freed_page _ -> Atomic.incr failures);
