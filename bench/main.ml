@@ -2045,6 +2045,244 @@ let e17 () =
     impls
 
 (* ------------------------------------------------------------------ *)
+(* E18: durable MVCC — disk-backed writer throughput under pinned     *)
+(* scans, and vrec codec density (v3 varint vs v2 fixed-width)        *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  Report.heading
+    "E18: durable MVCC — disk backend under pinned scans + vrec codec density";
+  Report.note
+    "(a) Version chains persisted through the paged store (single and \
+     4-shard WAL-backed stores): 4 writer domains run the mixed load \
+     while a committer domain drives the durable group-commit cadence \
+     (each commit re-serializes the dirty version-chain groups into \
+     vrec pages inside the same batch as the tree pages) and N scanner \
+     domains loop pin \u{2192} consistent sweep \u{2192} vacuum \u{2192} release. \
+     'vs idle' is writer throughput against the 0-scanner baseline of \
+     the same durable config — the added cost of scanning + chain \
+     persistence churn. (b) prices the vrec page encoding itself: the \
+     same group stream framed as a v3 varint vrec page vs the v2 \
+     fixed-width layout, in bytes per key.";
+  let space = scale 50_000 in
+  let preload = space / 2 in
+  let ops = scale 15_000 in
+  let domains = 4 in
+  let spec =
+    Workload.spec ~op_mix:Workload.mixed_sid ~key_space:space ~preload ()
+  in
+  let scanner_counts = if !quick then [ 0; 1 ] else [ 0; 1; 2 ] in
+  let impls =
+    [ Tree_intf.sagiv_mvcc_disk ~shards:1 (); Tree_intf.sagiv_mvcc_disk ~shards:4 () ]
+  in
+  let jrows = ref [] in
+  let baselines = Hashtbl.create 4 in
+  let trials = if !quick then 1 else 3 in
+  let rows =
+    List.concat_map
+      (fun (impl : Tree_intf.impl) ->
+        List.map
+          (fun scanners ->
+            let one_trial () =
+              Gc.compact ();
+              let h = impl.Tree_intf.make ~order:16 in
+              let m =
+                match h.Tree_intf.mvcc with
+                | Some m -> m
+                | None -> failwith "E18 needs an mvcc handle"
+              in
+              ignore (Driver.preload h ~seed:18 spec);
+              h.Tree_intf.commit ();
+              let sweeps = Atomic.make 0 in
+              let pairs_seen = Atomic.make 0 in
+              let commits = Atomic.make 0 in
+              let committer ~stop _c =
+                (* the durable cadence: chains become crash-safe here *)
+                while not (Atomic.get stop) do
+                  h.Tree_intf.commit ();
+                  Atomic.incr commits;
+                  Unix.sleepf 0.002
+                done;
+                h.Tree_intf.commit ()
+              in
+              let scanner ~stop c =
+                while not (Atomic.get stop) do
+                  let s = m.Tree_intf.snapshot () in
+                  let pairs = s.Tree_intf.snap_range c ~lo:0 ~hi:space in
+                  ignore (m.Tree_intf.vacuum c : int);
+                  s.Tree_intf.snap_release ();
+                  Atomic.incr sweeps;
+                  ignore
+                    (Atomic.fetch_and_add pairs_seen (List.length pairs) : int)
+                done
+              in
+              let aux =
+                Array.init (1 + scanners) (fun i ->
+                    if i = 0 then committer else scanner)
+              in
+              let r, _aux_stats =
+                Driver.run_ops_with_aux h ~domains ~aux ~ops_per_domain:ops
+                  ~seed:18 spec
+              in
+              (r, m.Tree_intf.gauges (), Atomic.get sweeps,
+               Atomic.get pairs_seen, Atomic.get commits)
+            in
+            let runs = List.init trials (fun _ -> one_trial ()) in
+            let sorted =
+              List.sort
+                (fun ((a : Driver.result), _, _, _, _)
+                     ((b : Driver.result), _, _, _, _) ->
+                  Float.compare a.Driver.throughput b.Driver.throughput)
+                runs
+            in
+            let r, g, sweeps_n, pairs_n, commits_n =
+              List.nth sorted (trials / 2)
+            in
+            if scanners = 0 then
+              Hashtbl.replace baselines impl.Tree_intf.impl_name
+                r.Driver.throughput;
+            let base =
+              Option.value ~default:r.Driver.throughput
+                (Hashtbl.find_opt baselines impl.Tree_intf.impl_name)
+            in
+            let vs_idle = r.Driver.throughput /. base in
+            jrows :=
+              J.Obj
+                [
+                  ("impl", J.Str impl.Tree_intf.impl_name);
+                  ("scanners", J.Int scanners);
+                  ("writer_ops_per_s", J.Float r.Driver.throughput);
+                  ("vs_idle", J.Float vs_idle);
+                  ("sweeps", J.Int sweeps_n);
+                  ("scan_pairs", J.Int pairs_n);
+                  ("commits", J.Int commits_n);
+                  ("live_versions", J.Int g.Tree_intf.g_live_versions);
+                  ("pruned_versions", J.Int g.Tree_intf.g_pruned_versions);
+                ]
+              :: !jrows;
+            [
+              impl.Tree_intf.impl_name;
+              string_of_int scanners;
+              Report.fmt_si r.Driver.throughput ^ "/s";
+              (if scanners = 0 then "-" else Report.fmt_f ~digits:3 vs_idle);
+              string_of_int sweeps_n;
+              string_of_int commits_n;
+              string_of_int g.Tree_intf.g_live_versions;
+              string_of_int g.Tree_intf.g_pruned_versions;
+            ])
+          scanner_counts)
+      impls
+  in
+  Report.table
+    ~header:
+      [
+        "impl"; "scanners"; "writer tput"; "vs idle"; "sweeps"; "commits";
+        "versions"; "pruned";
+      ]
+    rows;
+  (* (b) vrec codec density: one 64-slot group of version chains,
+     framed as the v3 varint vrec page vs the v2 fixed-width layout a
+     tree node uses. Epochs and tags are small; payloads are
+     word-sized — exactly the mix the varint layout targets. *)
+  let module PC = Page_codec.Make (Key.Int) in
+  let keys_per_group = 64 in
+  let codec_rows, jcodec =
+    List.map
+      (fun chain_len ->
+        let stream =
+          List.concat
+            [
+              [ 0; keys_per_group ];
+              List.concat
+                (List.init keys_per_group (fun k ->
+                     (1 + chain_len)
+                     :: List.concat
+                          (List.init chain_len (fun v ->
+                               [ chain_len - v; 1; (k * 7) + 1 + (v * 1000) ]))));
+            ]
+        in
+        let ptrs = Array.of_list stream in
+        let mk level is_root =
+          {
+            Node.level;
+            keys = [||];
+            ptrs;
+            low = Bound.Neg_inf;
+            high = Bound.Pos_inf;
+            link = None;
+            is_root;
+            state = Node.Live;
+          }
+        in
+        let v3 = Bytes.length (PC.to_bytes (mk Node.vrec_level true)) in
+        let v2 = Bytes.length (PC.to_bytes (mk 1 false)) in
+        let per_key_v3 = float_of_int v3 /. float_of_int keys_per_group in
+        let per_key_v2 = float_of_int v2 /. float_of_int keys_per_group in
+        ( [
+            string_of_int chain_len;
+            string_of_int (Array.length ptrs);
+            string_of_int v3;
+            string_of_int v2;
+            Report.fmt_f ~digits:1 per_key_v3;
+            Report.fmt_f ~digits:1 per_key_v2;
+            Report.fmt_f ~digits:2 (float_of_int v2 /. float_of_int v3);
+          ],
+          J.Obj
+            [
+              ("chain_len", J.Int chain_len);
+              ("stream_ints", J.Int (Array.length ptrs));
+              ("v3_bytes", J.Int v3);
+              ("v2_bytes", J.Int v2);
+              ("v3_bytes_per_key", J.Float per_key_v3);
+              ("v2_bytes_per_key", J.Float per_key_v2);
+            ] ))
+      [ 1; 4; 16 ]
+    |> List.split
+  in
+  Report.note "(b) vrec codec density (64-key group, bytes on the page):";
+  Report.table
+    ~header:
+      [
+        "versions/key"; "stream ints"; "v3 bytes"; "v2 bytes"; "v3 B/key";
+        "v2 B/key"; "v2/v3";
+      ]
+    codec_rows;
+  record_json "E18"
+    (J.Obj
+       [
+         ("space", J.Int space);
+         ("preload", J.Int preload);
+         ("writer_domains", J.Int domains);
+         ("ops_per_domain", J.Int ops);
+         ("rows", J.List (List.rev !jrows));
+         ("codec", J.List jcodec);
+       ]);
+  List.iter
+    (fun (impl : Tree_intf.impl) ->
+      match Hashtbl.find_opt baselines impl.Tree_intf.impl_name with
+      | None -> ()
+      | Some base ->
+          let worst =
+            List.fold_left
+              (fun acc j ->
+                match j with
+                | J.Obj kvs
+                  when List.assoc_opt "impl" kvs
+                       = Some (J.Str impl.Tree_intf.impl_name) -> (
+                    match List.assoc_opt "vs_idle" kvs with
+                    | Some (J.Float r) -> Float.min acc r
+                    | _ -> acc)
+                | _ -> acc)
+              1.0 !jrows
+          in
+          Report.note
+            (Printf.sprintf
+               "verdict %s: worst durable writer throughput under pinned \
+                scans = %.2fx the 0-scanner durable baseline (%s/s)"
+               impl.Tree_intf.impl_name worst (Report.fmt_si base)))
+    impls
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2065,6 +2303,7 @@ let experiments =
     ("E15", e15);
     ("E16", e16);
     ("E17", e17);
+    ("E18", e18);
     ("A1", a1);
     ("A2", a2);
     ("A3", a3);

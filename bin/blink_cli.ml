@@ -424,19 +424,16 @@ let string_of_sockaddr = function
       Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
 
 let serve_cmd tree_name backend order durability commit_batch workers port
-    unix_path shards combine mvcc =
-  let wal =
-    match durability with
-    | "sync" -> false
-    | "wal" -> true
-    | s -> failwith (Printf.sprintf "unknown durability %S (sync or wal)" s)
+    unix_path shards combine mvcc path =
+  let cfg =
+    match
+      Repro_server.Serve_config.validate ~backend ~durability ~shards ~mvcc
+        ~path
+    with
+    | Ok c -> c
+    | Error msg -> failwith msg
   in
-  if wal && backend <> "disk" then
-    failwith "--durability wal requires --backend disk";
-  if shards > 1 && backend <> "disk" && not mvcc then
-    failwith "--shards requires --backend disk (or --mvcc)";
-  if mvcc && backend <> "mem" then
-    failwith "--mvcc runs on the memory backend (the version heap is volatile)";
+  let wal = cfg.Repro_server.Serve_config.wal in
   let commit_batch = if commit_batch > 1 then Some commit_batch else None in
   let enqueue_on_delete_of_tree () =
     match tree_name with
@@ -444,15 +441,57 @@ let serve_cmd tree_name backend order durability commit_batch workers port
     | "sagiv-compact" -> true
     | s -> failwith (Printf.sprintf "tree %S has no disk backend" s)
   in
+  (* File-backed disk serves open-or-create through the partition layer
+     (an unsharded store is one partition); a reopen recovers every
+     shard — WAL replay included — before the listener comes up. *)
+  let reopening =
+    match path with
+    | Some p -> Sys.file_exists (Tree_intf.Sharded_int.shard_path p 0)
+    | None -> false
+  in
+  let mk_sst () =
+    match path with
+    | None -> Tree_intf.Sharded_int.create_memory ~wal ?commit_batch ~shards ()
+    | Some p ->
+        let wal_path = if wal then Some (p ^ ".wal") else None in
+        if reopening then
+          Tree_intf.Sharded_int.open_file ?wal_path ?commit_batch ~shards p
+        else Tree_intf.Sharded_int.create_file ?wal_path ?commit_batch ~shards p
+  in
   let sst, store, h =
-    if mvcc then begin
-      (* version-stamped backend: SNAPSHOT sessions and per-request
-         consistent RANGE cuts; sharded composition shares one epoch *)
+    if mvcc && backend = "disk" then begin
+      (* durable MVCC: the version chains persist through the same paged
+         stores as the tree (one WAL, one group commit per shard), so
+         SNAPSHOT sessions and consistent scans survive kill -9 and a
+         reopen picks every chain back up *)
+      let sst = mk_sst () in
+      let enqueue_on_delete = enqueue_on_delete_of_tree () in
+      let _trees, h =
+        if reopening then Tree_intf.sagiv_mvcc_disk_open ~enqueue_on_delete sst
+        else Tree_intf.sagiv_mvcc_disk_on ~enqueue_on_delete ~order sst
+      in
+      (Some sst, None, h)
+    end
+    else if mvcc then begin
+      (* version-stamped memory backend: SNAPSHOT sessions and
+         per-request consistent RANGE cuts; sharded composition shares
+         one epoch *)
       let impl =
         if shards > 1 then Tree_intf.sagiv_mvcc_sharded ~shards ()
         else Tree_intf.sagiv_mvcc ()
       in
       (None, None, impl.Tree_intf.make ~order)
+    end
+    else if backend = "disk" && path <> None then begin
+      (* file-backed plain serve: partition layer over the on-disk
+         store(s), open-or-create *)
+      let sst = mk_sst () in
+      let enqueue_on_delete = enqueue_on_delete_of_tree () in
+      let _trees, h =
+        if reopening then Tree_intf.sagiv_disk_sharded_open ~enqueue_on_delete sst
+        else Tree_intf.sagiv_disk_sharded_on ~enqueue_on_delete ~order sst
+      in
+      (Some sst, None, h)
     end
     else if shards > 1 then begin
       (* sharded serve: N independent store+WAL partitions behind one
@@ -520,20 +559,24 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   let comb, h = maybe_combine combine_leaf h in
   (* acks are durable exactly when the backend can group-commit them *)
   let srv =
-    Repro_server.Server.start ~workers ~durable_acks:(backend = "disk")
-      ~combine_batch ?wal_source ~handle:h ~listen ()
+    Repro_server.Server.start ~workers
+      ~durable_acks:cfg.Repro_server.Serve_config.durable_acks ~combine_batch
+      ?wal_source ~handle:h ~listen ()
   in
   List.iter
     (fun a -> Printf.printf "listening on %s\n%!" (string_of_sockaddr a))
     (Repro_server.Server.addresses srv);
-  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s%s%s (ctrl-C stops)\n%!"
+  Printf.printf "tree=%s backend=%s durability=%s workers=%d%s%s%s%s%s (ctrl-C stops)\n%!"
     h.Tree_intf.name backend
     (if backend = "disk" then durability else "none")
     workers
     (if shards > 1 then Printf.sprintf " shards=%d" shards else "")
     (if combine <> "off" then Printf.sprintf " combine=%s" combine else "")
     (match wal_source with Some _ -> " replication=on" | None -> "")
-    (if mvcc then " mvcc=on" else "");
+    (if mvcc then " mvcc=on" else "")
+    (match path with
+    | Some p -> Printf.sprintf " path=%s%s" p (if reopening then " (reopened)" else "")
+    | None -> "");
   let stop = Atomic.make false in
   let on_signal _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -559,6 +602,11 @@ let serve_cmd tree_name backend order durability commit_batch workers port
   | None -> ());
   Printf.printf "cardinal=%d height=%d\n" (h.Tree_intf.cardinal ())
     (h.Tree_intf.height ());
+  (* file-backed stores take a final checkpoint so the next open needs
+     no WAL replay (a crash before this point recovers from the log) *)
+  (match (sst, path) with
+  | Some sst, Some _ -> Tree_intf.Sharded_int.close sst
+  | _ -> ());
   (match unix_path with
   | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | None -> ())
@@ -925,16 +973,26 @@ let unix_arg =
 let mvcc_arg =
   Arg.(value & flag
        & info [ "mvcc" ]
-           ~doc:"Serve the version-stamped sagiv-mvcc backend (memory only): \
-                 SNAPSHOT sessions pin a consistent cut, and every RANGE is \
-                 answered at a point-in-time epoch even without a session. \
-                 Composes with --shards (one epoch across all shards).")
+           ~doc:"Serve the version-stamped sagiv-mvcc backend: SNAPSHOT \
+                 sessions pin a consistent cut, and every RANGE is answered \
+                 at a point-in-time epoch even without a session. Composes \
+                 with --shards (one epoch across all shards) and with \
+                 --backend disk, where the version chains persist through \
+                 the paged store and survive crash recovery.")
+
+let serve_path_arg =
+  Arg.(value & opt (some string) None
+       & info [ "path" ] ~docv:"PATH"
+           ~doc:"File-backed store base path (requires --backend disk; shard \
+                 i lives at PATH.si, its log at PATH.wal.si). Opens an \
+                 existing store — recovering from its WAL if one is present \
+                 — or creates a fresh one.")
 
 let serve_t =
   Term.(
     const serve_cmd $ tree_arg $ backend_arg $ order_arg $ durability_arg
     $ commit_batch_arg $ workers_arg $ port_arg $ unix_arg $ shards_arg
-    $ combine_arg $ mvcc_arg)
+    $ combine_arg $ mvcc_arg $ serve_path_arg)
 
 let host_arg =
   Arg.(value & opt string "127.0.0.1"

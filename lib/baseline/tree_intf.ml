@@ -216,6 +216,7 @@ module Sagiv_int = Sagiv.Make (Repro_storage.Key.Int)
 module Mvcc_int = Mvcc.Make (Repro_storage.Key.Int)
 module Paged_int = Repro_storage.Paged_store.Make (Repro_storage.Key.Int)
 module Sagiv_disk = Sagiv.Make_on_store (Repro_storage.Key.Int) (Paged_int)
+module Mvcc_disk = Mvcc.Make_on_store (Repro_storage.Key.Int) (Paged_int)
 
 module Sharded_int =
   Repro_storage.Sharded_store.Make (Repro_storage.Key.Int) (Paged_int)
@@ -266,24 +267,9 @@ let mvcc_gauges_of (ts : int Mvcc_int.t array) () =
   }
 
 let mvcc_sub_handle (t : int Mvcc_int.t) ~name =
-  let bulk_add ?fill ps =
-    (* allocate the records first (stamped epoch 0: a quiescent preload
-       is in every snapshot's past), then pack the pairs *)
-    let pairs =
-      List.map
-        (fun (k, v) -> (k, Repro_storage.Record_store.put (Mvcc_int.records t) ~epoch:0 v))
-        ps
-    in
-    let ok = Mvcc_int.T.bulk_add ?fill (Mvcc_int.tree t) pairs in
-    if not ok then
-      List.iter
-        (fun (_, p) -> Repro_storage.Record_store.free (Mvcc_int.records t) p)
-        pairs;
-    ok
-  in
   of_ops
     ~range:(fun ctx ~lo ~hi -> Mvcc_int.range t ctx ~lo ~hi)
-    ~bulk_add
+    ~bulk_add:(fun ?fill ps -> Mvcc_int.bulk_add ?fill t ps)
     ~mvcc:
       {
         snapshot = (fun () -> mvcc_snap_of t (Mvcc_int.snapshot t));
@@ -474,6 +460,160 @@ let sagiv_disk_sharded ?enqueue_on_delete ?cache_pages ?stripes
       (fun ~order ->
         let _, _, h =
           sagiv_disk_sharded_raw ?enqueue_on_delete ?cache_pages ?stripes
+            ?commit_interval ?commit_batch ?wal ~shards ~order ()
+        in
+        h);
+  }
+
+(* -- durable MVCC: version chains persisted through the paged store
+      (vrec pages in the same WAL/commit/recovery path as the tree) -- *)
+
+(** Conservative int budget for a vrec page's stream slice: worst-case
+    10 varint bytes per int plus codec framing must fit the page. *)
+let vrec_page_ints store = max 32 ((Paged_int.page_size store - 48) / 10)
+
+let mvcc_disk_sub_handle (t : int Mvcc_disk.t) ~name =
+  of_ops
+    ~commit:(fun () -> Mvcc_disk.commit t)
+    ~range:(fun ctx ~lo ~hi -> Mvcc_disk.range t ctx ~lo ~hi)
+    ~bulk_add:(fun ?fill ps -> Mvcc_disk.bulk_add ?fill t ps)
+    ~mvcc:
+      {
+        snapshot =
+          (fun () ->
+            let s = Mvcc_disk.snapshot t in
+            {
+              snap_epoch = Mvcc_disk.snap_epoch s;
+              snap_search = (fun ctx k -> Mvcc_disk.snap_get t s ctx k);
+              snap_range =
+                (fun ctx ~lo ~hi -> Mvcc_disk.snap_range t s ctx ~lo ~hi);
+              snap_release = (fun () -> Mvcc_disk.release s);
+            });
+        vacuum =
+          (fun ctx ->
+            let removed = Mvcc_disk.vacuum t ctx in
+            ignore (Mvcc_disk.reclaim t);
+            removed);
+        gauges =
+          (fun () ->
+            {
+              g_min_pinned = Mvcc_disk.min_pinned t;
+              g_snap_pins =
+                Repro_storage.Epoch.pinned_snapshots (Mvcc_disk.epoch t);
+              g_live_versions = Mvcc_disk.live_versions t;
+              g_pruned_versions = Mvcc_disk.pruned_versions t;
+              g_gc_pending = Mvcc_disk.gc_pending t;
+            });
+      }
+    ~name
+    (module struct
+      type nonrec t = int Mvcc_disk.t
+
+      let search = Mvcc_disk.get
+      let insert = Mvcc_disk.insert
+      let delete = Mvcc_disk.delete
+      let cardinal = Mvcc_disk.cardinal
+      let height t = Mvcc_disk.T.height (Mvcc_disk.tree t)
+    end)
+    t
+
+let mvcc_disk_name shards =
+  if shards = 1 then "sagiv-mvcc-disk"
+  else Printf.sprintf "sagiv-mvcc-disk-x%d" shards
+
+(* Compose per-shard durable MVCC trees (sharing ONE epoch clock) into a
+   routed handle whose snapshot is a group cut, exactly like
+   {!sagiv_mvcc_sharded_raw} — but over durable stores. *)
+let mvcc_disk_compose ~name (ts : int Mvcc_disk.t array) =
+  let shards = Array.length ts in
+  let base =
+    sharded ~name (Array.map (fun t -> mvcc_disk_sub_handle t ~name) ts)
+  in
+  let route k = Repro_storage.Shard_router.shard_of ~shards k in
+  let snapshot () =
+    let s = Mvcc_disk.snapshot_group ts in
+    {
+      snap_epoch = Mvcc_disk.snap_epoch s;
+      snap_search = (fun ctx k -> Mvcc_disk.snap_get ts.(route k) s ctx k);
+      snap_range =
+        (fun ctx ~lo ~hi ->
+          merge_ranges
+            (Array.to_list
+               (Array.map (fun t -> Mvcc_disk.snap_range t s ctx ~lo ~hi) ts)));
+      snap_release = (fun () -> Mvcc_disk.release s);
+    }
+  in
+  let vacuum ctx =
+    let removed =
+      Array.fold_left (fun a t -> a + Mvcc_disk.vacuum t ctx) 0 ts
+    in
+    Array.iter (fun t -> ignore (Mvcc_disk.reclaim t)) ts;
+    removed
+  in
+  let gauges () =
+    {
+      g_min_pinned = Mvcc_disk.min_pinned ts.(0);
+      g_snap_pins =
+        Repro_storage.Epoch.pinned_snapshots (Mvcc_disk.epoch ts.(0));
+      g_live_versions =
+        Array.fold_left (fun a t -> a + Mvcc_disk.live_versions t) 0 ts;
+      g_pruned_versions =
+        Array.fold_left (fun a t -> a + Mvcc_disk.pruned_versions t) 0 ts;
+      g_gc_pending = Array.fold_left (fun a t -> a + Mvcc_disk.gc_pending t) 0 ts;
+    }
+  in
+  { base with mvcc = Some { snapshot; vacuum; gauges } }
+
+(** Durable MVCC trees over an existing (empty) {!Sharded_int.t}: one
+    {!Mvcc_disk} per shard store, all sharing one epoch clock so the
+    composed handle's snapshot is a true cross-shard cut. Hands back the
+    raw trees for commit/flush/validation. *)
+let sagiv_mvcc_disk_on ?(enqueue_on_delete = false) ~order sst =
+  let epoch = Repro_storage.Epoch.create () in
+  let ts =
+    Array.map
+      (fun store ->
+        Mvcc_disk.create_durable ~order ~enqueue_on_delete ~epoch
+          ~page_ints:(vrec_page_ints store) ~enc:Fun.id ~dec:Fun.id store)
+      (Sharded_int.stores sst)
+  in
+  (ts, mvcc_disk_compose ~name:(mvcc_disk_name (Array.length ts)) ts)
+
+(** Reopen durable MVCC trees over a reopened {!Sharded_int.t} (recovery
+    replay already ran in the stores' open): every shard's chains restore
+    exactly as persisted, the shared clock restarts above all persisted
+    stamps. *)
+let sagiv_mvcc_disk_open ?(enqueue_on_delete = false) sst =
+  let epoch = Repro_storage.Epoch.create () in
+  let ts =
+    Array.map
+      (fun store ->
+        Mvcc_disk.open_durable ~enqueue_on_delete ~epoch
+          ~page_ints:(vrec_page_ints store) ~enc:Fun.id ~dec:Fun.id store)
+      (Sharded_int.stores sst)
+  in
+  (ts, mvcc_disk_compose ~name:(mvcc_disk_name (Array.length ts)) ts)
+
+(** Memory-backed durable MVCC (full pager stack, no filesystem) — the
+    [--mvcc --backend disk] composition benches and tests sweep. *)
+let sagiv_mvcc_disk_raw ?(enqueue_on_delete = false) ?cache_pages ?stripes
+    ?commit_interval ?commit_batch ?wal ~shards ~order () =
+  if shards < 1 then invalid_arg "Tree_intf.sagiv_mvcc_disk: shards >= 1";
+  let sst =
+    Sharded_int.create_memory ?cache_pages ?stripes ?commit_interval
+      ?commit_batch ?wal ~shards ()
+  in
+  let ts, h = sagiv_mvcc_disk_on ~enqueue_on_delete ~order sst in
+  (sst, ts, h)
+
+let sagiv_mvcc_disk ?enqueue_on_delete ?cache_pages ?stripes ?commit_interval
+    ?commit_batch ?wal ~shards () =
+  {
+    impl_name = mvcc_disk_name shards;
+    make =
+      (fun ~order ->
+        let _, _, h =
+          sagiv_mvcc_disk_raw ?enqueue_on_delete ?cache_pages ?stripes
             ?commit_interval ?commit_batch ?wal ~shards ~order ()
         in
         h);

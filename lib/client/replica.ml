@@ -24,6 +24,9 @@
 module PS = Repro_baseline.Tree_intf.Paged_int
 module Sg = Repro_baseline.Tree_intf.Sagiv_disk
 module Wal = Repro_storage.Wal
+module Node = Repro_storage.Node
+module R = Repro_storage.Record_store
+module Mvcc = Repro_core.Mvcc
 
 exception Stream_error of string
 (** The shipped stream failed the apply policy (LSN gap, regressed
@@ -41,6 +44,16 @@ type t = {
   mutable horizon : int;  (** LSN of the last applied COMMIT; -1 = none *)
   mutable batches : int;
   mutable promoted : bool;
+  mutable mvcc : Mvcc.meta_ext option;
+      (** decoded from the last shipped metadata blob; [Some] iff the
+          primary runs durable MVCC. Its [clock] is the replica's
+          snapshot read horizon: every persisted version stamp is
+          bounded by it, so resolving chains at [<= clock] reads the
+          exact committed cut the primary persisted. *)
+  mutable vrec_index : (int, Node.ptr) Hashtbl.t option;
+      (** lazy group -> vrec head-page index over the replicated store;
+          invalidated on every applied batch (groups can be allocated,
+          released or re-chunked by any commit). *)
 }
 
 let create ?(shard = 0) ?(max_pages = 256) () =
@@ -55,6 +68,8 @@ let create ?(shard = 0) ?(max_pages = 256) () =
     horizon = -1;
     batches = 0;
     promoted = false;
+    mvcc = None;
+    vrec_index = None;
   }
 
 let with_mu t f =
@@ -100,8 +115,17 @@ let feed t page =
           PS.apply_replicated store ~images:b.Wal.Apply.b_images
             ~meta:b.Wal.Apply.b_meta;
           (match b.Wal.Apply.b_meta with
-          | Some _ -> t.view <- Some (Sg.open_existing store)
+          | Some m ->
+              t.view <- Some (Sg.open_existing store);
+              (* a durable-MVCC primary appends its extension (group
+                 geometry + clock + prune horizon) to every shipped
+                 metadata blob; a plain primary ships none and the
+                 replica reads leaf payloads directly *)
+              t.mvcc <- Mvcc.decode_meta_ext m
           | None -> ());
+          (* vrec pages ride the same image stream as tree pages — any
+             batch may have rewritten, grown or released chain groups *)
+          t.vrec_index <- None;
           t.horizon <- b.Wal.Apply.b_lsn;
           t.batches <- t.batches + 1)
 
@@ -119,20 +143,131 @@ let poll ?(wait_ms = 500) t client =
   t.next_lsn <- next;
   if pages = [] then `Caught_up else `Applied (t.batches - before)
 
+(* ---- durable-MVCC chain resolution (all under [mu]) ----
+
+   On a durable-MVCC primary a leaf payload is not the value: it is a
+   record-slot pointer whose version chain persists in vrec pseudo-pages
+   ({!Node.vrec_level}) shipped through the very same image stream as
+   tree pages. The replica resolves [rptr -> group head page -> chain ->
+   newest version stamped <= persisted clock] — the same cut the primary
+   committed, so a scan at the replay horizon is a true snapshot: no
+   half-applied chain can be observed because whole batches install
+   under [mu]. *)
+
+let vrec_heads t store =
+  match t.vrec_index with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 64 in
+      PS.iter store (fun p n ->
+          if n.Node.level = Node.vrec_level && n.Node.is_root then
+            (* the head chunk starts with the group id *)
+            match n.Node.ptrs with
+            | [||] -> ()
+            | ptrs -> Hashtbl.replace h ptrs.(0) p);
+      t.vrec_index <- Some h;
+      h
+
+(* Decode one group's slot states; [memo] amortises the stream decode
+   across the keys of a single scan. *)
+let group_states t store memo g =
+  match Hashtbl.find_opt memo g with
+  | Some s -> s
+  | None ->
+      let s =
+        match Hashtbl.find_opt (vrec_heads t store) g with
+        | None -> None
+        | Some head ->
+            let rec chunks p =
+              let n = PS.get store p in
+              match n.Node.link with
+              | Some nxt -> n.Node.ptrs :: chunks nxt
+              | None -> [ n.Node.ptrs ]
+            in
+            let stream = Array.concat (chunks head) in
+            let _g, base, states = Mvcc.group_of_stream ~dec:Fun.id stream in
+            Some (base, states)
+      in
+      Hashtbl.replace memo g s;
+      s
+
+(* Newest version at or below the persisted clock; [None] for a
+   tombstone, an unresolvable slot, or a chain entirely above the cut
+   (impossible for a well-formed feed, but fail closed). *)
+let resolve t store (ext : Mvcc.meta_ext) memo rptr =
+  let g = rptr lsr ext.Mvcc.group_bits in
+  match group_states t store memo g with
+  | None -> None
+  | Some (base, states) ->
+      let i = rptr - base in
+      if i < 0 || i >= Array.length states then None
+      else
+        match states.(i) with
+        | R.Slot_empty | R.Slot_sealed -> None
+        | R.Slot_chain v ->
+            let rec newest = function
+              | None -> None
+              | Some (v : int R.version) ->
+                  if v.R.epoch <= ext.Mvcc.clock then v.R.value
+                  else newest v.R.prev
+            in
+            newest (Some v)
+
 let search t ctx key =
   with_mu t (fun () ->
-      match t.view with None -> None | Some v -> Sg.search v ctx key)
+      match (t.view, t.store) with
+      | Some v, Some store -> (
+          match Sg.search v ctx key with
+          | None -> None
+          | Some payload -> (
+              match t.mvcc with
+              | None -> Some payload
+              | Some ext ->
+                  resolve t store ext (Hashtbl.create 1) payload))
+      | _ -> None)
 
 (* Holding [mu] across the whole walk pins the scan to one replay
    horizon — batch installs ([feed]) also run under [mu], so no leaf
    read here can be newer than another. *)
 let range t ctx ~lo ~hi =
   with_mu t (fun () ->
-      match t.view with None -> [] | Some v -> Sg.range v ctx ~lo ~hi)
+      match (t.view, t.store) with
+      | Some v, Some store -> (
+          let pairs = Sg.range v ctx ~lo ~hi in
+          match t.mvcc with
+          | None -> pairs
+          | Some ext ->
+              let memo = Hashtbl.create 16 in
+              List.filter_map
+                (fun (k, rptr) ->
+                  match resolve t store ext memo rptr with
+                  | Some value -> Some (k, value)
+                  | None -> None)
+                pairs)
+      | _ -> [])
 
 let cardinal t =
   with_mu t (fun () ->
-      match t.view with None -> 0 | Some v -> Sg.cardinal v)
+      match (t.view, t.store) with
+      | Some v, Some store -> (
+          match t.mvcc with
+          | None -> Sg.cardinal v
+          | Some ext ->
+              (* live pairs at the cut: tombstoned keys still hold tree
+                 pairs until the primary vacuums them *)
+              let memo = Hashtbl.create 16 in
+              Sg.fold_range v (Repro_core.Handle.ctx ~slot:0) ~lo:min_int
+                ~hi:max_int ~init:0 (fun acc _k rptr ->
+                  match resolve t store ext memo rptr with
+                  | Some _ -> acc + 1
+                  | None -> acc))
+      | _ -> 0)
+
+let mvcc_horizon t =
+  with_mu t (fun () ->
+      match t.mvcc with
+      | None -> None
+      | Some ext -> Some ext.Mvcc.clock)
 
 let height t =
   with_mu t (fun () ->
@@ -147,6 +282,12 @@ let promote t = t.promoted <- true
 
 let not_writable () = failwith "replica: read-only (not promoted)"
 
+let not_mvcc_writable () =
+  failwith
+    "replica: durable-MVCC store — promote by reopening the replicated \
+     files through Mvcc.open_durable, not through the plain-tree handle \
+     (raw payloads would corrupt the version chains)"
+
 (** A {!Tree_intf.handle} over the replica, servable by {!Server} like
     any other backend: search/range/stats work at the replay horizon;
     insert/delete/commit fail until {!promote}. *)
@@ -157,6 +298,7 @@ let handle t =
     insert =
       (fun ctx k v ->
         if not t.promoted then not_writable ()
+        else if t.mvcc <> None then not_mvcc_writable ()
         else
           with_mu t (fun () ->
               match t.view with
@@ -165,6 +307,7 @@ let handle t =
     delete =
       (fun ctx k ->
         if not t.promoted then not_writable ()
+        else if t.mvcc <> None then not_mvcc_writable ()
         else
           with_mu t (fun () ->
               match t.view with

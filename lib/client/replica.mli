@@ -48,6 +48,14 @@ val range : t -> Repro_core.Handle.ctx -> lo:int -> hi:int -> (int * int) list
 val cardinal : t -> int
 val height : t -> int
 
+val mvcc_horizon : t -> int option
+(** The snapshot read horizon when the primary runs durable MVCC: the
+    epoch clock persisted with the last applied metadata blob. [None]
+    against a plain primary. Reads ({!search}/{!range}) resolve shipped
+    version chains to the newest version at or below it — the exact
+    committed cut the primary persisted; tombstoned keys read as
+    absent. *)
+
 val promote : t -> unit
 (** Flip read-write: {!handle}'s insert/delete/commit start running
     against the replicated store, continuing from the applied horizon.

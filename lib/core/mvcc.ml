@@ -44,11 +44,166 @@
     consistency {!Repro_baseline.Tree_intf} composes on. *)
 
 open Repro_storage
+module ISet = Set.Make (Int)
+
+(* -- durable representation (backend-independent parts) --
+
+   Version chains persist as {e version-record pages}: pseudo-nodes at
+   {!Node.vrec_level} living in the tree's own page store, so they ride
+   the same WAL batches, group commits, recovery replay and replication
+   stream as the tree pages. Record slots are grouped ([2^group_bits]
+   slots per group); each dirty group re-serializes into a flat int
+   stream carried in the node's [ptrs] array (codec v3 varint-packs it),
+   split across link-chained continuation pages when it outgrows the
+   per-page budget. The head page has [is_root = true]; recovery
+   rediscovers groups by scanning for heads — no durable directory, so
+   the store's metadata blob stays tiny.
+
+   Stream layout (ints): [group; nslots; per slot: tag (0 empty,
+   1 sealed, 1+n chain of n versions); per version newest-first:
+   epoch; 0 (tombstone) | 1, encoded value]. *)
+
+type meta_ext = { group_bits : int; clock : int; horizon : int; frontier : int }
+
+let ext_magic = 0x4D_56_52_31 (* "MVR1" *)
+let ext_len = 4 + 1 + (3 * 8)
+
+let encode_meta_ext e =
+  let buf = Buffer.create ext_len in
+  Buffer.add_int32_le buf (Int32.of_int ext_magic);
+  Buffer.add_uint8 buf e.group_bits;
+  Buffer.add_int64_le buf (Int64.of_int e.clock);
+  Buffer.add_int64_le buf (Int64.of_int e.horizon);
+  Buffer.add_int64_le buf (Int64.of_int e.frontier);
+  Buffer.to_bytes buf
+
+(** Parse the MVCC extension appended after the Sagiv metadata (whose
+    own header gives the offset); [None] = a plain, unversioned store. *)
+let decode_meta_ext bytes =
+  if Bytes.length bytes < 12 then None
+  else
+    let levels = Int32.to_int (Bytes.get_int32_le bytes 8) in
+    let base = 12 + (8 * levels) in
+    if levels < 0 || Bytes.length bytes < base + ext_len then None
+    else if Int32.to_int (Bytes.get_int32_le bytes base) <> ext_magic then None
+    else
+      Some
+        {
+          group_bits = Bytes.get_uint8 bytes (base + 4);
+          clock = Int64.to_int (Bytes.get_int64_le bytes (base + 5));
+          horizon = Int64.to_int (Bytes.get_int64_le bytes (base + 13));
+          frontier = Int64.to_int (Bytes.get_int64_le bytes (base + 21));
+        }
+
+let chain_len v =
+  let rec go n v =
+    match v.Record_store.prev with None -> n | Some p -> go (n + 1) p
+  in
+  go 1 v
+
+(** Serialize one group's slot states (read via [export], one atomic load
+    per slot — chains are immutable past the head) into its int stream.
+    Returns [(stream, versions, occupied)]; [not occupied] means every
+    slot is empty and the group needs no pages at all. *)
+let stream_of_group ~group ~group_bits ~enc export =
+  let nslots = 1 lsl group_bits in
+  let base = group lsl group_bits in
+  let acc = ref [] in
+  let push v = acc := v :: !acc in
+  push group;
+  push nslots;
+  let versions = ref 0 and occupied = ref false in
+  for i = 0 to nslots - 1 do
+    match export (base + i) with
+    | Record_store.Slot_empty -> push 0
+    | Record_store.Slot_sealed ->
+        occupied := true;
+        push 1
+    | Record_store.Slot_chain v ->
+        occupied := true;
+        let n = chain_len v in
+        versions := !versions + n;
+        push (n + 1);
+        let rec walk v =
+          push v.Record_store.epoch;
+          (match v.Record_store.value with
+          | None -> push 0
+          | Some x ->
+              push 1;
+              push (enc x));
+          match v.Record_store.prev with None -> () | Some p -> walk p
+        in
+        walk v
+  done;
+  (Array.of_list (List.rev !acc), !versions, !occupied)
+
+exception Corrupt_vrec of string
+
+(** Decode a group stream back into slot states:
+    [(group, base_slot, states)]. Shared by recovery and the replica's
+    snapshot reads. @raise Corrupt_vrec on a malformed stream. *)
+let group_of_stream ~dec (stream : int array) =
+  let len = Array.length stream in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= len then raise (Corrupt_vrec "truncated version-record stream");
+    let v = stream.(!pos) in
+    incr pos;
+    v
+  in
+  let group = next () in
+  let nslots = next () in
+  if group < 0 || nslots <= 0 then raise (Corrupt_vrec "bad group header");
+  let states =
+    Array.init nslots (fun _ ->
+        match next () with
+        | 0 -> Record_store.Slot_empty
+        | 1 -> Record_store.Slot_sealed
+        | tag ->
+            let n = tag - 1 in
+            if n < 0 then raise (Corrupt_vrec "bad slot tag");
+            let vs =
+              Array.init n (fun _ ->
+                  let epoch = next () in
+                  let value =
+                    match next () with 0 -> None | _ -> Some (dec (next ()))
+                  in
+                  (epoch, value))
+            in
+            let rec build i =
+              if i >= n then None
+              else
+                let epoch, value = vs.(i) in
+                Some { Record_store.epoch; value; prev = build (i + 1) }
+            in
+            (match build 0 with
+            | Some v -> Record_store.Slot_chain v
+            | None -> raise (Corrupt_vrec "empty chain tag")))
+  in
+  if !pos <> len then raise (Corrupt_vrec "trailing bytes in stream");
+  (group, group * nslots, states)
 
 module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) =
 struct
   module T = Sagiv.Make_on_store (K) (S)
   module R = Record_store
+
+  (** Durable-mode state: the version heap shadows into vrec pages of
+      [d_store] (the {e same} store the tree lives in). [d_mu] serialises
+      persists; the page table / gauges are only touched under it. *)
+  type 'v durable = {
+    d_store : S.t;
+    d_enc : 'v -> int;
+    d_dec : int -> 'v;
+    d_group_bits : int;
+    d_page_ints : int;  (** ints per vrec page (codec-size budget) *)
+    d_mu : Mutex.t;
+    d_pages : (int, Node.ptr list) Hashtbl.t;  (** group -> head :: rest *)
+    d_group_versions : (int, int) Hashtbl.t;
+    mutable d_versions : int;  (** versions persisted at last commit *)
+    mutable d_npages : int;  (** vrec pages currently allocated *)
+    d_dirty : ISet.t Atomic.t;  (** groups mutated since last persist *)
+  }
 
   type 'v t = {
     tree : T.t;
@@ -64,6 +219,7 @@ struct
             shared across shards but the {e slots} belong to this store,
             and a shared limbo would free one shard's slots into
             another's heap. *)
+    durable : 'v durable option;
   }
 
   type ctx = Handle.ctx
@@ -78,11 +234,28 @@ struct
       gc = Atomic.make [];
       gc_len = Atomic.make 0;
       retired = Atomic.make [];
+      durable = None;
     }
 
   let tree t = t.tree
   let records t = t.records
   let epoch t = t.epoch
+  let durable t = Option.is_some t.durable
+
+  (** Note a chain mutation for the next persist. Lock-free fast path:
+      already-dirty groups cost one set lookup. *)
+  let mark_dirty t rptr =
+    match t.durable with
+    | None -> ()
+    | Some d ->
+        let g = rptr lsr d.d_group_bits in
+        let rec go () =
+          let old = Atomic.get d.d_dirty in
+          if not (ISet.mem g old) then
+            if not (Atomic.compare_and_set d.d_dirty old (ISet.add g old))
+            then go ()
+        in
+        go ()
 
   let note_gc t k ptr =
     let rec go () =
@@ -115,11 +288,13 @@ struct
     with_stamp t ctx (fun e ->
         let rec fresh () =
           let rptr = R.put t.records ~epoch:e v in
+          mark_dirty t rptr;
           match T.insert t.tree ctx k rptr with
           | `Ok -> `Ok
           | `Duplicate ->
               (* lost the publish race; the record was never visible *)
               R.free t.records rptr;
+              mark_dirty t rptr;
               existing ()
         and existing () =
           match T.search t.tree ctx k with
@@ -127,6 +302,7 @@ struct
           | Some rptr -> (
               match R.insert_version t.records rptr ~epoch:e v with
               | `Ok ->
+                  mark_dirty t rptr;
                   note_gc t k rptr;
                   `Ok
               | `Live -> `Duplicate
@@ -142,17 +318,21 @@ struct
     with_stamp t ctx (fun e ->
         let rec fresh () =
           let rptr = R.put t.records ~epoch:e v in
+          mark_dirty t rptr;
           match T.insert t.tree ctx k rptr with
           | `Ok -> ()
           | `Duplicate ->
               R.free t.records rptr;
+              mark_dirty t rptr;
               existing ()
         and existing () =
           match T.search t.tree ctx k with
           | None -> fresh ()
           | Some rptr -> (
               match R.upsert t.records rptr ~epoch:e v with
-              | `Over_live | `Over_dead -> note_gc t k rptr
+              | `Over_live | `Over_dead ->
+                  mark_dirty t rptr;
+                  note_gc t k rptr
               | `Gone ->
                   Domain.cpu_relax ();
                   existing ())
@@ -170,6 +350,7 @@ struct
           | Some rptr -> (
               match R.kill t.records rptr ~epoch:e with
               | `Killed ->
+                  mark_dirty t rptr;
                   note_gc t k rptr;
                   true
               | `Dead -> false
@@ -290,7 +471,7 @@ struct
       let rec go attempts =
         if attempts = 0 then note_gc t k rptr
         else begin
-          (try ignore (R.prune t.records rptr ~horizon)
+          (try if R.prune t.records rptr ~horizon > 0 then mark_dirty t rptr
            with R.Freed_record _ -> ());
           match (try R.head t.records rptr with R.Freed_record _ -> None) with
           | None -> () (* sealed by another vacuum, or freed: drop *)
@@ -305,6 +486,7 @@ struct
                   else if T.search t.tree ctx k <> Some rptr then
                     () (* stale candidate: [k] re-bound elsewhere *)
                   else if R.seal t.records rptr ~expect:h then begin
+                    mark_dirty t rptr;
                     (* Ours: the mapping k -> rptr is frozen (removal
                        requires a seal, and ours won; appenders bounce
                        off [Sealed]), so the take must succeed. The tick
@@ -344,8 +526,328 @@ struct
          if not (Atomic.compare_and_set t.retired old (keep @ old)) then push ()
        in
        push ());
-    List.iter (fun (_, rptr) -> R.free t.records rptr) free;
+    List.iter
+      (fun (_, rptr) ->
+        R.free t.records rptr;
+        mark_dirty t rptr)
+      free;
     List.length free + T.reclaim t.tree
+
+  (* -- durability -- *)
+
+  let vrec_node ~ptrs ~link ~is_root : K.t Node.t =
+    {
+      Node.level = Node.vrec_level;
+      keys = [||];
+      ptrs;
+      low = Bound.Neg_inf;
+      high = Bound.Pos_inf;
+      link;
+      is_root;
+      state = Node.Live;
+    }
+
+  (* Re-serialize group [g] into its vrec pages (caller holds [d_mu]).
+     Existing pages are rewritten in place (their ptrs are stable across
+     commits, so the WAL logs only genuinely-changed images); growth
+     reserves continuations, shrinkage releases them; an all-empty group
+     releases everything. *)
+  let persist_group t d g =
+    let stream, versions, occupied =
+      stream_of_group ~group:g ~group_bits:d.d_group_bits ~enc:d.d_enc
+        (R.export t.records)
+    in
+    let existing =
+      Option.value ~default:[] (Hashtbl.find_opt d.d_pages g)
+    in
+    let old_versions =
+      Option.value ~default:0 (Hashtbl.find_opt d.d_group_versions g)
+    in
+    if not occupied then begin
+      List.iter (S.release d.d_store) existing;
+      d.d_npages <- d.d_npages - List.length existing;
+      d.d_versions <- d.d_versions - old_versions;
+      Hashtbl.remove d.d_pages g;
+      Hashtbl.remove d.d_group_versions g
+    end
+    else begin
+      let len = Array.length stream in
+      let nchunks = (len + d.d_page_ints - 1) / d.d_page_ints in
+      let rec fit have n =
+        if n = 0 then begin
+          List.iter (S.release d.d_store) have;
+          []
+        end
+        else
+          match have with
+          | [] -> S.reserve d.d_store :: fit [] (n - 1)
+          | p :: rest -> p :: fit rest (n - 1)
+      in
+      let ptrs_list = fit existing nchunks in
+      let parr = Array.of_list ptrs_list in
+      for i = 0 to nchunks - 1 do
+        let off = i * d.d_page_ints in
+        let chunk = Array.sub stream off (min d.d_page_ints (len - off)) in
+        let link = if i + 1 < nchunks then Some parr.(i + 1) else None in
+        let p = parr.(i) in
+        S.lock d.d_store p;
+        S.put d.d_store p (vrec_node ~ptrs:chunk ~link ~is_root:(i = 0));
+        S.unlock d.d_store p
+      done;
+      d.d_npages <- d.d_npages + nchunks - List.length existing;
+      d.d_versions <- d.d_versions + versions - old_versions;
+      Hashtbl.replace d.d_pages g ptrs_list;
+      Hashtbl.replace d.d_group_versions g versions
+    end
+
+  (* Serialize every dirty group and refresh the metadata blob (tree
+     geometry + MVCC extension). The clock is read {e after} the chains:
+     every epoch in a serialized chain came from a pin at [<= global], so
+     the persisted clock bounds every persisted stamp and recovery's
+     [advance_to] can never let a fresh write stamp below durable state.
+     Likewise [horizon]: recovery re-prunes at the persisted [min_pinned],
+     which is exactly the most conservative prune any pre-crash vacuum
+     could have applied — a WAL replay of a pre-prune image past a
+     checkpoint is undone deterministically, never resurrected. *)
+  let persist t d =
+    Mutex.lock d.d_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock d.d_mu)
+      (fun () ->
+        let dirty = Atomic.exchange d.d_dirty ISet.empty in
+        ISet.iter (persist_group t d) dirty;
+        let clock = Epoch.current t.epoch in
+        let horizon =
+          let m = Epoch.min_pinned t.epoch in
+          if m = max_int then clock else m
+        in
+        let frontier = R.frontier t.records in
+        let ext =
+          encode_meta_ext
+            { group_bits = d.d_group_bits; clock; horizon; frontier }
+        in
+        S.set_meta d.d_store (Bytes.cat (T.encode_meta t.tree) ext))
+
+  (** Durably commit completed operations: on a durable tree this also
+      serializes dirty version-chain groups into the same commit batch
+      (one WAL group commit covers tree pages, vrec pages and metadata).
+      Plain (memory) trees defer to {!T.commit}. *)
+  let commit t =
+    match t.durable with
+    | None -> T.commit t.tree
+    | Some d ->
+        persist t d;
+        S.commit d.d_store
+
+  (** Quiescent full sync (checkpoint path); see {!T.flush}. *)
+  let flush t =
+    match t.durable with
+    | None -> T.flush t.tree
+    | Some d ->
+        persist t d;
+        S.sync d.d_store
+
+  let mk_durable ?(group_bits = 6) ?(page_ints = 480) ~enc ~dec store =
+    {
+      d_store = store;
+      d_enc = enc;
+      d_dec = dec;
+      d_group_bits = group_bits;
+      d_page_ints = max 16 page_ints;
+      d_mu = Mutex.create ();
+      d_pages = Hashtbl.create 64;
+      d_group_versions = Hashtbl.create 64;
+      d_versions = 0;
+      d_npages = 0;
+      d_dirty = Atomic.make ISet.empty;
+    }
+
+  (** A fresh durable MVCC store over an empty page store: the tree and
+      the version heap share [store], one commit makes both durable.
+      [enc]/[dec] map payloads to the int stream (identity for int
+      payloads); [page_ints] bounds a vrec page's int count — compute it
+      from the backend's page size so the encoded node always fits. *)
+  let create_durable ?order ?enqueue_on_delete ?epoch ?size ?group_bits
+      ?page_ints ~enc ~dec store =
+    {
+      tree = T.create ?order ?enqueue_on_delete ~store ();
+      records = R.create ?size ();
+      epoch = (match epoch with Some e -> e | None -> Epoch.create ());
+      gc = Atomic.make [];
+      gc_len = Atomic.make 0;
+      retired = Atomic.make [];
+      durable = Some (mk_durable ?group_bits ?page_ints ~enc ~dec store);
+    }
+
+  (** Reopen a durable MVCC store: rebuild the tree from its metadata,
+      rediscover the vrec pages (quiescent [iter] for heads, links for
+      continuations), restore every chain exactly as persisted, restart
+      the clock above every persisted stamp, re-prune at the persisted
+      horizon, then heal the bounded crash windows the commit protocol
+      leaves open:
+      - a pair whose slot is empty (tree insert captured, record not):
+        the op was never acked — remove the pair;
+      - a pair whose slot is sealed (vacuum's seal captured, take not):
+        finish the removal;
+      - an occupied slot no pair reaches (record captured, tree insert
+        not; or take captured, seal not): free it;
+      - a reachable chain headed by a tombstone: re-note it for vacuum.
+      A store with no MVCC extension (a plain unversioned tree) is
+      migrated in place: each payload becomes a one-version chain. *)
+  let open_durable ?enqueue_on_delete ?epoch ?size ?group_bits ?page_ints
+      ~enc ~dec store =
+    let tree = T.open_existing ?enqueue_on_delete store in
+    let meta =
+      match S.get_meta store with Some b -> b | None -> assert false
+    in
+    let ext = decode_meta_ext meta in
+    let d =
+      mk_durable
+        ?group_bits:
+          (match ext with
+          | Some e -> Some e.group_bits
+          | None -> group_bits)
+        ?page_ints ~enc ~dec store
+    in
+    let t =
+      {
+        tree;
+        records = R.create ?size ();
+        epoch = (match epoch with Some e -> e | None -> Epoch.create ());
+        gc = Atomic.make [];
+        gc_len = Atomic.make 0;
+        retired = Atomic.make [];
+        durable = Some d;
+      }
+    in
+    let c = ctx ~slot:0 in
+    (match ext with
+    | None ->
+        (* plain tree: migrate payloads into one-version chains *)
+        let e = Epoch.current t.epoch in
+        List.iter
+          (fun (k, payload) ->
+            let rptr = R.put t.records ~epoch:e (dec payload) in
+            mark_dirty t rptr;
+            (match T.update tree c k rptr with
+            | Some _ -> ()
+            | None -> assert false))
+          (T.to_list tree)
+    | Some ext ->
+        (* rediscover groups: scan for vrec heads, follow links *)
+        let heads = ref [] in
+        let nodes = Hashtbl.create 64 in
+        S.iter store (fun p n ->
+            if n.Node.level = Node.vrec_level then begin
+              Hashtbl.replace nodes p n;
+              if n.Node.is_root then heads := p :: !heads
+            end);
+        let max_slot = ref (-1) in
+        List.iter
+          (fun hp ->
+            let rec pages p =
+              let n =
+                match Hashtbl.find_opt nodes p with
+                | Some n -> n
+                | None -> S.get store p
+              in
+              match n.Node.link with
+              | Some nxt -> (p, n.Node.ptrs) :: pages nxt
+              | None -> [ (p, n.Node.ptrs) ]
+            in
+            let chunks = pages hp in
+            let stream = Array.concat (List.map snd chunks) in
+            let group, base, states = group_of_stream ~dec:d.d_dec stream in
+            let versions = ref 0 in
+            Array.iteri
+              (fun i st ->
+                match st with
+                | R.Slot_empty -> ()
+                | st ->
+                    R.restore t.records (base + i) st;
+                    if base + i > !max_slot then max_slot := base + i;
+                    (match st with
+                    | R.Slot_chain v -> versions := !versions + chain_len v
+                    | _ -> ()))
+              states;
+            Hashtbl.replace d.d_pages group (List.map fst chunks);
+            Hashtbl.replace d.d_group_versions group !versions;
+            d.d_versions <- d.d_versions + !versions;
+            d.d_npages <- d.d_npages + List.length chunks)
+          !heads;
+        R.finish_restore t.records ~next:(max ext.frontier (!max_slot + 1));
+        Epoch.advance_to t.epoch ext.clock;
+        (* re-prune at the persisted horizon: deterministic, idempotent —
+           any version a pre-crash prune dropped is below [ext.horizon]
+           and is dropped again here even if WAL replay resurrected a
+           pre-prune page image *)
+        Hashtbl.iter
+          (fun group _ ->
+            let base = group lsl d.d_group_bits in
+            for i = 0 to (1 lsl d.d_group_bits) - 1 do
+              match R.export t.records (base + i) with
+              | R.Slot_chain _ ->
+                  if R.prune t.records (base + i) ~horizon:ext.horizon > 0
+                  then mark_dirty t (base + i)
+              | _ -> ()
+            done)
+          d.d_pages;
+        (* heal the crash windows *)
+        let reachable = Hashtbl.create 256 in
+        List.iter
+          (fun (k, rptr) ->
+            Hashtbl.replace reachable rptr ();
+            match R.export t.records rptr with
+            | R.Slot_empty -> ignore (T.take tree c k)
+            | R.Slot_sealed ->
+                ignore (T.take tree c k);
+                R.free t.records rptr;
+                mark_dirty t rptr
+            | R.Slot_chain h ->
+                if h.R.value = None then note_gc t k rptr)
+          (T.to_list tree);
+        for p = 0 to R.frontier t.records - 1 do
+          if not (Hashtbl.mem reachable p) then
+            match R.export t.records p with
+            | R.Slot_empty -> ()
+            | R.Slot_sealed | R.Slot_chain _ ->
+                R.free t.records p;
+                mark_dirty t p
+        done);
+    (* make the healed/migrated state durable before serving *)
+    persist t d;
+    S.commit store;
+    t
+
+  (** Bulk preload (quiescent, empty tree): allocate one-version chains
+      for the payloads and pack the (key, slot) pairs through the tree's
+      bulk builder. Returns [false] (and allocates nothing durable) when
+      the tree is not empty. *)
+  let bulk_add ?fill t pairs =
+    let e = Epoch.current t.epoch in
+    let prs =
+      List.map
+        (fun (k, v) ->
+          let rptr = R.put t.records ~epoch:e v in
+          mark_dirty t rptr;
+          (k, rptr))
+        pairs
+    in
+    if T.bulk_add ?fill t.tree prs then true
+    else begin
+      List.iter
+        (fun (_, rptr) ->
+          R.free t.records rptr;
+          mark_dirty t rptr)
+        prs;
+      false
+    end
+
+  let persisted_versions t =
+    match t.durable with None -> 0 | Some d -> d.d_versions
+
+  let persisted_pages t =
+    match t.durable with None -> 0 | Some d -> d.d_npages
 
   let gc_pending t = Atomic.get t.gc_len
   let live_versions t = R.live_versions t.records
@@ -362,6 +864,11 @@ struct
     io.Stats.snap_pins <- Epoch.pinned_snapshots t.epoch;
     io.Stats.mvcc_versions <- R.live_versions t.records;
     io.Stats.mvcc_pruned <- R.pruned_total t.records;
+    (match t.durable with
+    | Some d ->
+        io.Stats.mvcc_disk_versions <- d.d_versions;
+        io.Stats.mvcc_disk_pages <- d.d_npages
+    | None -> ());
     io
 end
 

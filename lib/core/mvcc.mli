@@ -8,6 +8,46 @@
 
 open Repro_storage
 
+(** {2 Durable representation (backend-independent)}
+
+    Version chains persist as {e version-record (vrec) pages}: pseudo-nodes
+    at {!Node.vrec_level} in the tree's own page store, carrying a flat
+    int stream in their [ptrs] array (codec v3 varint-packs it). Record
+    slots are grouped; each group serializes to a head page
+    ([is_root = true]) plus link-chained continuations. The store's
+    metadata blob grows a fixed extension (clock, prune horizon, slot
+    frontier) after the Sagiv geometry. See doc/RECOVERY.md. *)
+
+type meta_ext = {
+  group_bits : int;  (** log2 slots per group *)
+  clock : int;  (** epoch clock at persist — bounds every persisted stamp *)
+  horizon : int;  (** [min_pinned] at persist — recovery re-prunes here *)
+  frontier : int;  (** record-slot bump frontier *)
+}
+
+val encode_meta_ext : meta_ext -> Bytes.t
+
+val decode_meta_ext : Bytes.t -> meta_ext option
+(** Parse the extension from a full metadata blob (tree meta first);
+    [None] = plain unversioned store. *)
+
+exception Corrupt_vrec of string
+
+val group_of_stream :
+  dec:(int -> 'v) -> int array -> int * int * 'v Record_store.slot_state array
+(** Decode a group's concatenated page stream:
+    [(group, base_slot, states)]. Recovery and replica snapshot reads.
+    @raise Corrupt_vrec on a malformed stream. *)
+
+val stream_of_group :
+  group:int ->
+  group_bits:int ->
+  enc:('v -> int) ->
+  (int -> 'v Record_store.slot_state) ->
+  int array * int * bool
+(** Serialize a group from a slot-state reader:
+    [(stream, version count, occupied)]. *)
+
 module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
   module T : module type of Sagiv.Make_on_store (K) (S)
 
@@ -91,6 +131,63 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
 
   val reclaim : 'v t -> int
   (** Release record slots and tree pages whose grace period passed. *)
+
+  (** {2 Durable mode} *)
+
+  val create_durable :
+    ?order:int ->
+    ?enqueue_on_delete:bool ->
+    ?epoch:Epoch.t ->
+    ?size:('v -> int) ->
+    ?group_bits:int ->
+    ?page_ints:int ->
+    enc:('v -> int) ->
+    dec:(int -> 'v) ->
+    S.t ->
+    'v t
+  (** MVCC over an empty durable store: tree and version heap share it,
+      {!commit} makes both durable in one batch. [enc]/[dec] map payloads
+      into the vrec int stream; [page_ints] (default 480) bounds a vrec
+      page's stream slice — derive it from the backend's page size. *)
+
+  val open_durable :
+    ?enqueue_on_delete:bool ->
+    ?epoch:Epoch.t ->
+    ?size:('v -> int) ->
+    ?group_bits:int ->
+    ?page_ints:int ->
+    enc:('v -> int) ->
+    dec:(int -> 'v) ->
+    S.t ->
+    'v t
+  (** Reopen after close or crash recovery: restores every chain exactly
+      as persisted, restarts the clock above all persisted stamps,
+      re-prunes at the persisted horizon (pruned versions never
+      resurrect past a checkpoint) and heals the bounded crash windows
+      (dangling pairs, sealed-not-taken pairs, orphaned slots). A store
+      with no MVCC extension — a plain unversioned tree — is migrated in
+      place, each payload becoming a one-version chain. *)
+
+  val commit : 'v t -> unit
+  (** Durable group commit of completed operations; in durable mode also
+      serializes the dirty version-chain groups into the same batch.
+      Falls back to {!T.commit} on non-durable stores. *)
+
+  val flush : 'v t -> unit
+  (** Quiescent full sync (checkpoint path). *)
+
+  val durable : 'v t -> bool
+
+  val bulk_add : ?fill:float -> 'v t -> (K.t * 'v) list -> bool
+  (** Quiescent preload into an empty tree: one-version chains packed
+      through the tree's bulk builder. [false] (nothing allocated
+      durably) when the tree is not empty. *)
+
+  val persisted_versions : 'v t -> int
+  (** Version records persisted at the last commit (0 when volatile). *)
+
+  val persisted_pages : 'v t -> int
+  (** vrec pages currently allocated (0 when volatile). *)
 
   val gc_pending : 'v t -> int
   val live_versions : 'v t -> int

@@ -89,6 +89,12 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) : sig
 
   exception Corrupt of string
 
+  val encode_meta : t -> Bytes.t
+  (** The metadata blob {!flush}/{!commit} persist (magic, order, levels,
+      leftmost pointers). Exposed so layered stores ({!Repro_core.Mvcc}'s
+      durable mode) can append their own extension after it —
+      {!open_existing} tolerates trailing bytes. *)
+
   val flush : t -> unit
   (** Persist the tree's geometry (order, levels, leftmost pointers) into
       the store's metadata blob and {!Page_store.S.sync} the store.

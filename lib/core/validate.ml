@@ -227,8 +227,13 @@ module Make_on_store (K : Key.S) (S : Page_store.S with type key = K.t) = struct
     done;
     let leaked = Hashtbl.create 64 in
     S.iter t.Handle.store (fun p n ->
-        if (not (Hashtbl.mem reachable p)) && not (Node.is_deleted n) then
-          Hashtbl.replace leaked p ());
+        (* version-record pages (durable MVCC) are owned by the Mvcc
+           layer, not reachable through the level chains by design *)
+        if
+          n.Node.level <> Node.vrec_level
+          && (not (Hashtbl.mem reachable p))
+          && not (Node.is_deleted n)
+        then Hashtbl.replace leaked p ());
     leaked
 
   let leak_check (t : (K.t, S.t) Handle.t) : Node.ptr list =

@@ -1212,6 +1212,213 @@ let run_wal_pitr ?(ops = 210) ?(seed = 5042) () =
     recovered_gen = PS.generation f.f_store;
   }
 
+(* ---- durable MVCC ---- *)
+
+module MV = Repro_core.Mvcc.Make_on_store (Key.Int) (PS)
+
+(* Full version-chain dump of a durable-MVCC store, sorted:
+   [(key, [(epoch, value-or-tombstone) newest-first])]. Two recoveries
+   of the same crash images must produce {e equal} dumps — chain replay
+   is deterministic down to the version level, not just the newest. *)
+let chain_dump mv =
+  let records = MV.records mv in
+  MV.T.to_list (MV.tree mv)
+  |> List.map (fun (k, rptr) ->
+         let chain =
+           match Record_store.export records rptr with
+           | Record_store.Slot_chain v ->
+               let rec walk = function
+                 | None -> []
+                 | Some (v : int Record_store.version) ->
+                     (v.Record_store.epoch, v.Record_store.value)
+                     :: walk v.Record_store.prev
+               in
+               walk (Some v)
+           | Record_store.Slot_empty | Record_store.Slot_sealed -> []
+         in
+         (k, chain))
+  |> List.sort compare
+
+(** {!run_wal_tree} over durable MVCC: version chains persist through
+    the same WAL as the tree, snapshots stay pinned across group
+    commits, vacuum prunes mid-run, and the armed crash lands anywhere
+    in the log path. Recovery ({!MV.open_durable} over the replayed
+    images) is held to three oracles: (1) the newest acked versions —
+    current reads land exactly on the last acked commit or the in-flight
+    one; (2) chain replay is deterministic — recovering the same images
+    twice yields identical version chains; (3) versions pruned before an
+    acked commit never resurrect, even when WAL replay re-installs a
+    pre-prune page image past the checkpoint. *)
+let run_mvcc_wal ?(ops = 400) ?(seed = 4042) ~site ~policy (config : config) =
+  Failpoint.reset ();
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:config.cache_pages ~wal:lfile pfile in
+  let page_ints = max 32 ((PS.page_size store - 48) / 10) in
+  let mv =
+    MV.create_durable ~order:4 ~page_ints ~enc:Fun.id ~dec:Fun.id store
+  in
+  let c = MV.ctx ~slot:0 in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  for k = 0 to 49 do
+    if k mod 2 = 0 then begin
+      MV.upsert mv c k (payload k);
+      Hashtbl.replace model k (payload k)
+    end
+  done;
+  MV.flush mv;
+  if config.writer then PS.start_writer store;
+  let committed = ref (Hashtbl.copy model) in
+  let inflight = ref None in
+  (* the pruned-version ledger: identities vacuum dropped, pending until
+     the drop rides an acked commit. Values are salted with the op index
+     so every version of a key is distinguishable. *)
+  let pending_pruned = ref [] in
+  let committed_pruned : (int * int * int option, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let acked = ref 0 in
+  let issued = ref 0 in
+  let crashed = ref false in
+  let snap = ref None in
+  Failpoint.set site policy;
+  (try
+     let rng = Repro_util.Splitmix.create seed in
+     let keys = key_sampler ~space:200 Repro_util.Distribution.Uniform in
+     for i = 1 to ops do
+       issued := i;
+       let k = Repro_util.Distribution.sample keys rng in
+       (match Repro_util.Splitmix.int rng 10 with
+       | 0 -> if MV.delete mv c k then Hashtbl.remove model k
+       | 1 -> ignore (MV.get mv c k)
+       | _ ->
+           let v = payload k + (i * 1000) in
+           MV.upsert mv c k v;
+           Hashtbl.replace model k v);
+       (* a pin opened at +20 each century, held across several group
+          commits, checked against its cut and dropped at +60 *)
+       if i mod 100 = 20 && !snap = None then
+         snap := Some (MV.snapshot mv, Hashtbl.copy model);
+       if i mod 100 = 60 then begin
+         match !snap with
+         | Some (s, at_cut) ->
+             for k = 0 to 199 do
+               if Hashtbl.mem at_cut k || Hashtbl.mem model k then
+                 let got = MV.snap_get mv s c k in
+                 if got <> Hashtbl.find_opt at_cut k then
+                   fail "%s (%s, mvcc): pinned snapshot drifted at key %d"
+                     site (policy_name policy) k
+             done;
+             MV.release s;
+             snap := None
+         | None -> ()
+       end;
+       (* vacuum churn after the pin drops: record exactly which version
+          identities the prune removed *)
+       if i mod 100 = 70 then begin
+         let before = chain_dump mv in
+         ignore (MV.vacuum mv c);
+         ignore (MV.reclaim mv);
+         let after = Hashtbl.create 64 in
+         List.iter
+           (fun (k, chain) ->
+             List.iter (fun (e, v) -> Hashtbl.replace after (k, e, v) ()) chain)
+           (chain_dump mv);
+         List.iter
+           (fun (k, chain) ->
+             List.iter
+               (fun (e, v) ->
+                 if not (Hashtbl.mem after (k, e, v)) then
+                   pending_pruned := (k, e, v) :: !pending_pruned)
+               chain)
+           before
+       end;
+       if i mod 5 = 0 then begin
+         inflight := Some (Hashtbl.copy model);
+         if i mod 100 = 0 then MV.flush mv else MV.commit mv;
+         committed := Hashtbl.copy model;
+         inflight := None;
+         List.iter
+           (fun id -> Hashtbl.replace committed_pruned id ())
+           !pending_pruned;
+         pending_pruned := [];
+         incr acked
+       end
+     done
+   with Failpoint.Crash _ -> crashed := true);
+  (try PS.stop_writer store with Failpoint.Crash _ -> ());
+  let crashed = !crashed || Failpoint.is_crashed () in
+  if not crashed then begin
+    Failpoint.reset ();
+    (match !snap with Some (s, _) -> MV.release s | None -> ());
+    MV.commit mv;
+    committed := Hashtbl.copy model;
+    List.iter (fun id -> Hashtbl.replace committed_pruned id ()) !pending_pruned;
+    pending_pruned := [];
+    inflight := None
+  end;
+  let recover_mvcc () =
+    let image = Paged_file.crash_image pfile in
+    let limage = Paged_file.crash_image lfile in
+    Failpoint.reset ();
+    let store2 =
+      PS.open_from ~cache_pages:config.cache_pages ~wal:limage image
+    in
+    (store2, MV.open_durable ~enc:Fun.id ~dec:Fun.id store2)
+  in
+  let store2, mv2 = recover_mvcc () in
+  check_valid (MV.tree mv2) ~what:site;
+  (* (1) newest acked versions: current reads land on the last acked
+     commit (or the in-flight one past its fsync) *)
+  let recovered = MV.range mv2 c ~lo:min_int ~hi:max_int in
+  let ok =
+    matches_model recovered !committed
+    || match !inflight with Some m -> matches_model recovered m | None -> false
+  in
+  if not ok then
+    fail
+      "%s (%s, mvcc): recovered %d live keys matching neither the %d committed nor the in-flight commit"
+      site (policy_name policy) (List.length recovered)
+      (Hashtbl.length !committed);
+  (* (2) deterministic chain replay: a second recovery of the same
+     images yields byte-identical version chains *)
+  let dump1 = chain_dump mv2 in
+  let _store3, mv3 = recover_mvcc () in
+  if chain_dump mv3 <> dump1 then
+    fail "%s (%s, mvcc): two recoveries of one crash image disagree on chains"
+      site (policy_name policy);
+  (* (3) no resurrection: every version pruned before an acked commit
+     stays pruned across replay *)
+  List.iter
+    (fun (k, chain) ->
+      List.iter
+        (fun (e, v) ->
+          if Hashtbl.mem committed_pruned (k, e, v) then
+            fail
+              "%s (%s, mvcc): version (key %d, epoch %d) pruned before an acked commit resurrected across recovery"
+              site (policy_name policy) k e)
+        chain)
+    dump1;
+  (* pins still work over the recovered store *)
+  let s = MV.snapshot mv2 in
+  List.iter
+    (fun (k, v) ->
+      if MV.snap_get mv2 s c k <> Some v then
+        fail "%s (%s, mvcc): post-recovery snapshot misreads key %d" site
+          (policy_name policy) k)
+    recovered;
+  MV.release s;
+  {
+    site;
+    policy = policy_name policy ^ "+mvcc";
+    config;
+    crashed;
+    ops = !issued;
+    acked_syncs = !acked;
+    recovered_keys = List.length recovered;
+    recovered_gen = PS.generation store2;
+  }
+
 (** The whole battery: tree-level crash runs for every site × config in
     both durability modes (sync-everything, then WAL group commit
     against the commit-point oracle), then the targeted torn /
@@ -1350,6 +1557,27 @@ let battery ?(quick = false) ?(shards = 4) ?(log = fun _ -> ()) () =
                    config))
             crash_ordinals)
         [ "wal.append"; "wal.commit"; "paged_file.pwrite"; "paged_file.fsync" ])
+    (if quick then [ { writer = false; cache_pages = 8 } ]
+     else
+       [
+         { writer = false; cache_pages = 8 };
+         { writer = true; cache_pages = 32 };
+       ]);
+  (* durable MVCC over the WAL: version chains in the same log, pins
+     held across group commits, vacuum churn mid-run; every log-path
+     site, held to the newest-acked / deterministic-replay /
+     no-resurrection oracles *)
+  List.iter
+    (fun config ->
+      List.iter
+        (fun site ->
+          List.iter
+            (fun ordinal ->
+              record
+                (run_mvcc_wal ~site ~policy:(Failpoint.Crash_after ordinal)
+                   config))
+            crash_ordinals)
+        wal_sites)
     (if quick then [ { writer = false; cache_pages = 8 } ]
      else
        [

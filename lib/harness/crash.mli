@@ -130,6 +130,25 @@ val run_replication :
     the in-flight one).
     @raise Failure on divergence or a lost acknowledged commit. *)
 
+val run_mvcc_wal :
+  ?ops:int ->
+  ?seed:int ->
+  site:string ->
+  policy:Repro_storage.Failpoint.policy ->
+  config ->
+  outcome
+(** {!run_wal_tree} over durable MVCC: version chains persist through
+    the same WAL as the tree, a snapshot stays pinned across several
+    group commits (checked against its cut before release), vacuum
+    prunes mid-run, and the armed crash lands anywhere in the log path.
+    Recovery through {!Repro_core.Mvcc.Make_on_store.open_durable} is
+    held to three oracles: newest acked versions land exactly on the
+    last acked commit (or the in-flight one past its fsync); recovering
+    the same crash images twice yields identical version chains; and
+    versions pruned before an acked commit never resurrect, even when
+    WAL replay re-installs a pre-prune page image past the checkpoint.
+    @raise Failure on any violated invariant. *)
+
 val run_wal_pitr : ?ops:int -> ?seed:int -> unit -> outcome
 (** Point-in-time recovery: replay the retained log (sealed segments +
     live pass) from LSN 0 up to a mid-history COMMIT boundary into a

@@ -334,7 +334,25 @@ let serve_conn t ~slot fd =
     sst.frames_out <- sst.frames_out + 1;
     (match (resp : P.response) with Error _ -> closing := true | _ -> ())
   in
-  (try
+  (* The session pin must not outlive the connection, however it comes
+     down: it holds the reclamation horizon for every store sharing the
+     clock. The expected disconnects (peer close, protocol error) are
+     handled below, but an exception between pin publication and release
+     — an ack commit failing at line's end, a write error while flushing
+     a batch — would otherwise skip the teardown entirely (worker_loop
+     swallows it), leaking the pin and pinning vacuum's horizon forever.
+     [Fun.protect] makes the release and the gauge decrement
+     unconditional. *)
+  Fun.protect
+    ~finally:(fun () ->
+      (match !snap with
+      | Some s -> (
+          try s.Repro_baseline.Tree_intf.snap_release ()
+          with _ -> ())
+      | None -> ());
+      sst.conns_active <- sst.conns_active - 1)
+  @@ fun () ->
+  try
      while not !closing do
        (* make room, then read *)
        if !lo > 0 && (!lo = !hi || !cap - !hi < 512) then begin
@@ -441,20 +459,14 @@ let serve_conn t ~slot fd =
          flush_out ()
        end
      done
-   with
+  with
   | P.Bad_frame msg ->
       sst.protocol_errors <- sst.protocol_errors + 1;
       (try
          respond ~seq:0 (P.Error ("bad frame: " ^ msg));
          flush_out ()
        with Unix.Unix_error _ -> ())
-  | Unix.Unix_error _ | End_of_file -> ());
-  (* the session pin must not outlive the connection: it holds the
-     reclamation horizon down for every store sharing the clock *)
-  (match !snap with
-  | Some s -> s.Repro_baseline.Tree_intf.snap_release ()
-  | None -> ());
-  sst.conns_active <- sst.conns_active - 1
+  | Unix.Unix_error _ | End_of_file -> ()
 
 (* -- domains -- *)
 

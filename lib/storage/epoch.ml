@@ -52,6 +52,16 @@ let current t = Atomic.get t.global
     re-reads the advanced clock). *)
 let tick t = Atomic.fetch_and_add t.global 1
 
+(** Raise the clock to at least [e] (CAS-max; no-op when already past).
+    Recovery uses this to restart the clock above every persisted version
+    epoch so post-recovery stamps never regress below durable state. *)
+let advance_to t e =
+  let rec go () =
+    let cur = Atomic.get t.global in
+    if cur < e && not (Atomic.compare_and_set t.global cur e) then go ()
+  in
+  go ()
+
 (* Test-only hook fired between reading [global] and publishing the pin —
    lets a regression test drive the retire/reclaim interleaving the
    publish-then-validate loop below exists to survive. Production cost:

@@ -23,6 +23,10 @@ val tick : t -> int
 (** Advance the clock; returns the pre-advance value — the boundary
     epoch of a snapshot cut. *)
 
+val advance_to : t -> int -> unit
+(** Raise the clock to at least the given epoch (CAS-max; no-op when
+    already past) — recovery restarts the clock above persisted stamps. *)
+
 val pin : t -> slot:int -> int
 (** Pin the worker's slot to the current epoch for the duration of one
     logical operation; returns the pinned epoch (the version stamp for

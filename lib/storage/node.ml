@@ -16,6 +16,14 @@ type ptr = int
 
 let nil : ptr = -1
 
+(** Pseudo-level tag for version-record pages: pages at this level are not
+    tree nodes at all but serialized {!Record_store} version chains riding
+    the same page store (one WAL, one replay, one replication stream).
+    Chosen as the u16 ceiling so the codec's level field carries it
+    unchanged and no real tree can reach it (heights are < 64). Tree
+    walkers, {!Validate.leak_check} and friends must skip these pages. *)
+let vrec_level = 0xFFFF
+
 type state =
   | Live
   | Deleted of ptr
@@ -382,8 +390,12 @@ module Make (K : Key.S) = struct
 
   let to_string n = Format.asprintf "%a" pp n
 
-  (** Local structural invariants; returns human-readable violations. *)
+  (** Local structural invariants; returns human-readable violations.
+      Version-record pages are opaque payload carriers, not nodes — no
+      structural claims apply. *)
   let check ?order n =
+    if n.level = vrec_level then []
+    else
     let errs = ref [] in
     let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
     let m = nkeys n in

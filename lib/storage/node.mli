@@ -13,6 +13,12 @@ type ptr = int
 
 val nil : ptr
 
+val vrec_level : int
+(** Pseudo-level (0xFFFF) marking version-record pages: serialized
+    {!Record_store} chains stored through the same page store as the tree.
+    Not a tree level — traversals and leak checks skip pages tagged with
+    it. *)
+
 type state =
   | Live
   | Deleted of ptr

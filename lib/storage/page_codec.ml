@@ -32,9 +32,44 @@
 
 let magic = 0xB7
 let version = 2
+
+let version_varint = 3
+(** Version 3 = identical layout except the ptr array is LEB128/zigzag
+    varints instead of fixed i64s. Only written for {!Node.vrec_level}
+    pages, whose ptrs are a dense int stream (epochs, tags, encoded
+    values) dominated by small numbers — varints cut them 3–6x. Plain
+    tree nodes keep writing version 2, so stores from before this codec
+    existed stay byte-identical and open unchanged. *)
+
 let frame_bytes = 10 (* magic + version + body_len + checksum *)
 
 exception Corrupt of string
+
+(* LEB128 with zigzag mapping so small negatives (-1 = nil ptr) stay
+   1 byte. *)
+let add_varint buf v =
+  let u = (v lsl 1) lxor (v asr 62) in
+  (* zigzag on 63-bit OCaml ints *)
+  let rec go u =
+    if u land lnot 0x7F = 0 then Buffer.add_uint8 buf u
+    else begin
+      Buffer.add_uint8 buf (0x80 lor (u land 0x7F));
+      go (u lsr 7)
+    end
+  in
+  go u
+
+let get_varint bytes ~pos =
+  let rec go acc shift pos =
+    if pos >= Bytes.length bytes then raise (Corrupt "truncated varint");
+    let b = Bytes.get_uint8 bytes pos in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then (acc, pos + 1)
+    else if shift >= 63 then raise (Corrupt "varint overflow")
+    else go acc (shift + 7) (pos + 1)
+  in
+  let u, pos = go 0 0 pos in
+  ((u lsr 1) lxor (-(u land 1)), pos)
 
 module Make (K : Key.S) = struct
   let encode_bound buf = function
@@ -53,7 +88,7 @@ module Make (K : Key.S) = struct
     | 2 -> (Bound.Pos_inf, pos + 1)
     | t -> raise (Corrupt (Printf.sprintf "bad bound tag %d" t))
 
-  let encode_body buf (n : K.t Node.t) =
+  let encode_body buf ~varint (n : K.t Node.t) =
     Buffer.add_uint16_le buf n.Node.level;
     let deleted, fwd =
       match n.Node.state with Node.Deleted f -> (true, f) | Node.Live -> (false, -1)
@@ -67,14 +102,16 @@ module Make (K : Key.S) = struct
     Buffer.add_int32_le buf (Int32.of_int (Array.length n.Node.keys));
     Array.iter (K.encode buf) n.Node.keys;
     Buffer.add_int32_le buf (Int32.of_int (Array.length n.Node.ptrs));
-    Array.iter (fun p -> Buffer.add_int64_le buf (Int64.of_int p)) n.Node.ptrs
+    if varint then Array.iter (add_varint buf) n.Node.ptrs
+    else Array.iter (fun p -> Buffer.add_int64_le buf (Int64.of_int p)) n.Node.ptrs
 
   let encode buf (n : K.t Node.t) =
+    let varint = n.Node.level = Node.vrec_level in
     let body = Buffer.create 256 in
-    encode_body body n;
+    encode_body body ~varint n;
     let body = Buffer.to_bytes body in
     Buffer.add_uint8 buf magic;
-    Buffer.add_uint8 buf version;
+    Buffer.add_uint8 buf (if varint then version_varint else version);
     Buffer.add_int32_le buf (Int32.of_int (Bytes.length body));
     Buffer.add_int32_le buf
       (Int32.of_int (Repro_util.Checksum.fnv32 body ~pos:0 ~len:(Bytes.length body)));
@@ -83,7 +120,9 @@ module Make (K : Key.S) = struct
   let decode bytes ~pos : K.t Node.t * int =
     if pos + frame_bytes > Bytes.length bytes then raise (Corrupt "truncated frame");
     if Bytes.get_uint8 bytes pos <> magic then raise (Corrupt "bad magic");
-    if Bytes.get_uint8 bytes (pos + 1) <> version then raise (Corrupt "bad version");
+    let ver = Bytes.get_uint8 bytes (pos + 1) in
+    if ver <> version && ver <> version_varint then raise (Corrupt "bad version");
+    let varint = ver = version_varint in
     let body_len = Int32.to_int (Bytes.get_int32_le bytes (pos + 2)) in
     if body_len < 0 || pos + frame_bytes + body_len > Bytes.length bytes then
       raise (Corrupt "bad body length");
@@ -115,10 +154,16 @@ module Make (K : Key.S) = struct
     if nptrs < 0 then raise (Corrupt "negative ptr count");
     pos := !pos + 4;
     let ptrs =
-      Array.init nptrs (fun _ ->
-          let v = Int64.to_int (Bytes.get_int64_le bytes !pos) in
-          pos := !pos + 8;
-          v)
+      if varint then
+        Array.init nptrs (fun _ ->
+            let v, p = get_varint bytes ~pos:!pos in
+            pos := p;
+            v)
+      else
+        Array.init nptrs (fun _ ->
+            let v = Int64.to_int (Bytes.get_int64_le bytes !pos) in
+            pos := !pos + 8;
+            v)
     in
     if !pos <> body_end then raise (Corrupt "body length does not match contents");
     let node =

@@ -8,6 +8,11 @@
 val magic : int
 val version : int
 
+val version_varint : int
+(** Version 3: same layout with the ptr array LEB128/zigzag-varint
+    encoded. Written only for {!Node.vrec_level} (version-record) pages;
+    [decode] accepts both versions, so v2 stores open read-compatibly. *)
+
 val frame_bytes : int
 (** Bytes of framing (magic, version, length, checksum) before the body. *)
 

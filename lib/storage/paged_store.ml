@@ -1487,12 +1487,12 @@ module Make (K : Key.S) = struct
         (fun p ->
           (* A store synced and closed in sync mode can be reopened in
              WAL mode: a missing log file is simply created empty. *)
-          if Sys.file_exists p then Paged_file.open_file ~writable:true p
-          else
-            Paged_file.create_file
-              ~page_size:
-                (Wal.log_page_size ~data_page_size:(Paged_file.page_size pfile))
-              p)
+          let log_page_size =
+            Wal.log_page_size ~data_page_size:(Paged_file.page_size pfile)
+          in
+          if Sys.file_exists p then
+            Paged_file.open_file ~page_size:log_page_size ~writable:true p
+          else Paged_file.create_file ~page_size:log_page_size p)
         wal_path
     in
     open_from ?expect_shard ?cache_pages ?stripes ?commit_interval ?commit_batch

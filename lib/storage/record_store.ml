@@ -317,3 +317,69 @@ let bytes_stored t = Atomic.get t.bytes_stored
 let live_versions t = Atomic.get t.versions
 let live_values t = Atomic.get t.live_values
 let pruned_total t = Atomic.get t.pruned
+
+(* -- persistence hooks (durable MVCC) --
+
+   The heap itself is volatile; {!Repro_core.Mvcc} serializes slot states
+   into version-record pages of its page store and rebuilds the heap on
+   recovery with the functions below. [export] is safe concurrently (one
+   atomic read per slot — the chain is immutable past the head); the
+   restore path is recovery-only, strictly single-threaded, before any
+   worker touches the store. *)
+
+type 'v slot_state = Slot_empty | Slot_sealed | Slot_chain of 'v version
+
+(** Observe slot [ptr]'s state without materialising it. Unlike the
+    accessors above this never raises: unallocated slots read as
+    [Slot_empty], which is exactly what the serializer should persist. *)
+let export t ptr =
+  let ci = ptr lsr chunk_bits in
+  if ci >= max_chunks then Slot_empty
+  else
+    match Atomic.get t.chunks.(ci) with
+    | None -> Slot_empty
+    | Some c -> (
+        match Atomic.get c.(ptr land (chunk_size - 1)) with
+        | Empty -> Slot_empty
+        | Sealed -> Slot_sealed
+        | Chain v -> Slot_chain v)
+
+(** Install slot [ptr]'s state exactly as persisted (recovery only).
+    Gauges are bumped as if the chain had been built by normal appends;
+    allocation accounting is settled afterwards by {!finish_restore}. *)
+let restore t ptr st =
+  let chunk = ensure_chunk t (ptr lsr chunk_bits) in
+  let a = chunk.(ptr land (chunk_size - 1)) in
+  (match st with
+  | Slot_empty -> Atomic.set a Empty
+  | Slot_sealed -> Atomic.set a Sealed
+  | Slot_chain v ->
+      Atomic.set a (Chain v);
+      let n, b = chain_stats t v in
+      ignore (Atomic.fetch_and_add t.versions n);
+      ignore (Atomic.fetch_and_add t.bytes_stored b);
+      (match v.value with
+      | Some _ -> Atomic.incr t.live_values
+      | None -> ()));
+  ()
+
+(** Finish a restore: set the bump frontier to [next], rebuild the free
+    list from every [Empty]/[Sealed] slot below it, and settle the
+    allocated/freed gauges so [live_count] reports the occupied slots.
+    ([Sealed] slots are freed by the caller once it has removed their
+    tree pairs — it re-frees them explicitly, so they are {e not} put on
+    the free list here.) *)
+let finish_restore t ~next =
+  Atomic.set t.next next;
+  let free = ref [] and occupied = ref 0 in
+  for p = next - 1 downto 0 do
+    match export t p with
+    | Slot_empty -> free := p :: !free
+    | Slot_sealed | Slot_chain _ -> incr occupied
+  done;
+  Atomic.set t.free_list !free;
+  Atomic.set t.allocated next;
+  Atomic.set t.freed (List.length !free)
+
+(** The bump-allocation frontier: every slot ever allocated is below it. *)
+let frontier t = Atomic.get t.next

@@ -68,3 +68,26 @@ val live_values : 'v t -> int
 
 val pruned_total : 'v t -> int
 (** Versions dropped by {!prune} since [create]. *)
+
+(** {2 Persistence hooks}
+
+    {!Repro_core.Mvcc} serializes slot states into version-record pages
+    and rebuilds the heap from them on recovery. [export] is safe under
+    concurrency (one atomic read; chains are immutable past the head);
+    [restore]/[finish_restore] are recovery-only, single-threaded. *)
+
+type 'v slot_state = Slot_empty | Slot_sealed | Slot_chain of 'v version
+
+val export : 'v t -> int -> 'v slot_state
+(** Slot state as it stands; never raises — unallocated reads as
+    [Slot_empty]. *)
+
+val restore : 'v t -> int -> 'v slot_state -> unit
+(** Install a persisted slot state verbatim (recovery only). *)
+
+val finish_restore : 'v t -> next:int -> unit
+(** Set the bump frontier, rebuild the free list from empty slots below
+    it, settle allocation gauges. Call once, after all {!restore}s. *)
+
+val frontier : 'v t -> int
+(** The bump-allocation frontier (every allocated slot is below it). *)

@@ -125,6 +125,10 @@ type io = {
   mutable snap_pins : int;  (** snapshot slots pinned at sample time *)
   mutable mvcc_versions : int;  (** live version records across all chains *)
   mutable mvcc_pruned : int;  (** versions pruned since store creation *)
+  mutable mvcc_disk_versions : int;
+      (** version records persisted in vrec pages at the last commit
+          (0 on memory-only MVCC stores) *)
+  mutable mvcc_disk_pages : int;  (** vrec pages currently allocated *)
 }
 
 let io_create () =
@@ -147,6 +151,8 @@ let io_create () =
     snap_pins = 0;
     mvcc_versions = 0;
     mvcc_pruned = 0;
+    mvcc_disk_versions = 0;
+    mvcc_disk_pages = 0;
   }
 
 (** Merge [src] into [dst]: counters sum, high-water marks max. *)
@@ -168,20 +174,23 @@ let io_merge ~into:dst (src : io) =
   dst.epoch_min_pinned <- min dst.epoch_min_pinned src.epoch_min_pinned;
   dst.snap_pins <- dst.snap_pins + src.snap_pins;
   dst.mvcc_versions <- dst.mvcc_versions + src.mvcc_versions;
-  dst.mvcc_pruned <- dst.mvcc_pruned + src.mvcc_pruned
+  dst.mvcc_pruned <- dst.mvcc_pruned + src.mvcc_pruned;
+  dst.mvcc_disk_versions <- dst.mvcc_disk_versions + src.mvcc_disk_versions;
+  dst.mvcc_disk_pages <- dst.mvcc_disk_pages + src.mvcc_disk_pages
 
 let pp_io fmt (io : io) =
   Format.fprintf fmt
     "faults=%d stall=%.3fms wb_inline=%d wb_queued=%d batches=%d max_batch=%d \
      max_queue=%d max_conc_faults=%d wr_errors=%d commits=%d/%d max_group=%d \
      wal_records=%d wal_fsyncs=%d min_pinned=%d snap_pins=%d mvcc_versions=%d \
-     mvcc_pruned=%d"
+     mvcc_pruned=%d mvcc_disk=%d/%dpg"
     io.faults (1e3 *. io.fault_stall_s) io.inline_writebacks io.queued_writebacks
     io.writer_batches io.max_batch io.max_queue_depth io.max_concurrent_faults
     io.writer_errors io.commit_groups io.commit_reqs io.max_commit_group
     io.wal_records io.wal_fsyncs
     (if io.epoch_min_pinned = max_int then -1 else io.epoch_min_pinned)
-    io.snap_pins io.mvcc_versions io.mvcc_pruned
+    io.snap_pins io.mvcc_versions io.mvcc_pruned io.mvcc_disk_versions
+    io.mvcc_disk_pages
 
 let io_to_string io = Format.asprintf "%a" pp_io io
 

@@ -72,6 +72,9 @@ type io = {
   mutable snap_pins : int;  (** snapshots currently held *)
   mutable mvcc_versions : int;  (** live version records across all chains *)
   mutable mvcc_pruned : int;  (** versions pruned since store creation *)
+  mutable mvcc_disk_versions : int;
+      (** version records persisted in vrec pages at the last commit *)
+  mutable mvcc_disk_pages : int;  (** vrec pages currently allocated *)
 }
 
 val io_create : unit -> io

@@ -104,9 +104,52 @@ let prop_roundtrip =
       let n = if link = None then { n with Node.link = None } else n in
       node_eq n (C.of_bytes (C.to_bytes n)))
 
+(* ---------- v3 varint frames (version-record pages) ---------- *)
+
+let mk_vrec ptrs =
+  mk ~level:Node.vrec_level ~is_root:true (([] : int list)) ptrs
+
+let test_vrec_roundtrip () =
+  (* negative ints (zigzag), large magnitudes, zero runs *)
+  let ptrs = [ 0; 1; -1; 63; -64; 64; 1000000; -1000000; max_int / 2; min_int / 2; 0; 0 ] in
+  let n = mk_vrec ptrs in
+  let b = C.to_bytes n in
+  Alcotest.(check int) "vrec frames as v3" Page_codec.version_varint
+    (Char.code (Bytes.get b 1));
+  Alcotest.(check bool) "vrec roundtrip" true (node_eq n (C.of_bytes b));
+  (* chained continuation (link, not root) *)
+  let n = { (mk_vrec [ 5; 6; 7 ]) with Node.link = Some 99; is_root = false } in
+  Alcotest.(check bool) "vrec chained" true (node_eq n (C.of_bytes (C.to_bytes n)))
+
+let test_vrec_compact () =
+  (* small ints should take far fewer bytes than the fixed 8 of v2 *)
+  let ptrs = List.init 100 (fun i -> i mod 50) in
+  let v3 = Bytes.length (C.to_bytes (mk_vrec ptrs)) in
+  let v2 = Bytes.length (C.to_bytes (mk ~level:1 [] ptrs)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "varint frame smaller (%d < %d)" v3 v2)
+    true
+    (v3 < v2 / 3)
+
+let test_tree_nodes_stay_v2 () =
+  (* tree nodes must keep framing byte-identical to v2 stores *)
+  let n = mk ~high:(Bound.Key 30) ~link:42 [ 10; 20; 30 ] [ 1; 2; 3 ] in
+  Alcotest.(check int) "tree node frames as v2" 2 (Char.code (Bytes.get (C.to_bytes n) 1))
+
+let prop_vrec_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"vrec varint roundtrip"
+    QCheck.(list_of_size Gen.(int_range 0 200) int)
+    (fun ptrs ->
+      let n = mk_vrec ptrs in
+      node_eq n (C.of_bytes (C.to_bytes n)))
+
 let suite =
   [
     Alcotest.test_case "roundtrip leaf" `Quick test_roundtrip_leaf;
+    Alcotest.test_case "vrec v3 roundtrip" `Quick test_vrec_roundtrip;
+    Alcotest.test_case "vrec v3 compact" `Quick test_vrec_compact;
+    Alcotest.test_case "tree nodes stay v2" `Quick test_tree_nodes_stay_v2;
+    QCheck_alcotest.to_alcotest prop_vrec_roundtrip;
     Alcotest.test_case "roundtrip internal" `Quick test_roundtrip_internal;
     Alcotest.test_case "roundtrip root/tombstone" `Quick test_roundtrip_root_and_deleted;
     Alcotest.test_case "roundtrip empty" `Quick test_roundtrip_empty;

@@ -435,6 +435,22 @@ let test_replay_recycled_free_page () =
    single-commit-round runs to widen the net while staying fast. *)
 let test_wal_commit_race () = Crash.run_wal_commit_race ()
 
+(* Durable MVCC under simulated crashes, beyond the quick battery's
+   first-ordinal sweep: later ordinals land the kill amid snapshot pins
+   and post-vacuum commits. The harness itself holds the three oracles
+   (newest acked versions, deterministic chain replay, no pruned-version
+   resurrection); here we also pin down that the site actually fired. *)
+let test_mvcc_wal_crashes () =
+  List.iter
+    (fun (site, ordinal) ->
+      let o =
+        Crash.run_mvcc_wal ~site
+          ~policy:(Failpoint.Crash_after ordinal)
+          { Crash.writer = false; cache_pages = 8 }
+      in
+      Alcotest.(check bool) (site ^ " fired") true o.Crash.crashed)
+    [ ("wal.append", 5); ("wal.commit", 3); ("paged_file.fsync", 4) ]
+
 let test_all_sites_exercised () =
   Failpoint.reset ();
   match Failpoint.unexercised () with
@@ -474,6 +490,8 @@ let suite =
       test_resume_incarnation_floor;
     Alcotest.test_case "concurrent group commit loses no acked key" `Quick
       test_wal_commit_race;
+    Alcotest.test_case "durable mvcc crash battery (targeted)" `Quick
+      test_mvcc_wal_crashes;
     Alcotest.test_case "all failpoint sites exercised" `Quick
       test_all_sites_exercised;
   ]

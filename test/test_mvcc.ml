@@ -414,6 +414,45 @@ let test_server_snapshot_unsupported () =
   | exception C.Remote_error _ -> ()
   | _ -> Alcotest.fail "non-MVCC backend opened a snapshot"
 
+(* Regression: an exception thrown between pin publication and release —
+   here an ack commit failing after the batch executed — must not leak
+   the connection's SNAPSHOT pin. Before the [Fun.protect] teardown the
+   exception skipped the release entirely (worker_loop swallows it), so
+   the pin held vacuum's horizon down forever. *)
+let test_server_pin_survives_conn_crash () =
+  let st, h = Tree_intf.sagiv_mvcc_raw ~order:4 () in
+  let h =
+    { h with Tree_intf.commit = (fun () -> failwith "injected commit failure") }
+  in
+  let srv =
+    Server.start ~workers:2 ~durable_acks:true ~handle:h ~listen:[ loopback ] ()
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let addr = List.hd (Server.addresses srv) in
+  let c0 = mctx ~slot:0 in
+  let c = C.connect addr in
+  ignore (C.snapshot_open c : int);
+  Alcotest.(check bool) "pin held" true (M.min_pinned st <> max_int);
+  (* the mutation's durable ack calls the poisoned commit: the batch
+     loop dies mid-connection, past the per-request exception guard *)
+  (match C.insert c ~key:1 ~value:1 with
+  | _ -> ()
+  | exception _ -> ());
+  (try C.close c with _ -> ());
+  let rec wait n =
+    if M.min_pinned st <> max_int then
+      if n = 0 then Alcotest.fail "SNAPSHOT pin leaked after connection crash"
+      else begin
+        Unix.sleepf 0.01;
+        wait (n - 1)
+      end
+  in
+  wait 300;
+  (* with the pin gone, vacuum proceeds *)
+  M.upsert st c0 5 50;
+  ignore (M.delete st c0 5 : bool);
+  Alcotest.(check bool) "vacuum proceeds" true (M.vacuum st c0 >= 1)
+
 let test_snapshot_frame_roundtrip () =
   let req r =
     let b = Buffer.create 64 in
@@ -519,6 +558,173 @@ let test_replica_scan_horizon () =
   | None -> ());
   Alcotest.(check int) "all batches applied" 500 (R.cardinal r)
 
+(* ---------- durable mode (version chains through the paged store) ---------- *)
+
+module MD = Tree_intf.Mvcc_disk
+module Pg = Tree_intf.Paged_int
+module Sh = Tree_intf.Sharded_int
+
+let temp_base tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mvcc_durable_%s_%d" tag (Unix.getpid ()))
+
+let rm f = try Sys.remove f with Sys_error _ -> ()
+
+let test_durable_roundtrip () =
+  let path = temp_base "rt" and wal = temp_base "rt.wal" in
+  rm path;
+  rm wal;
+  let store = Pg.create_file ~wal_path:wal path in
+  let t =
+    MD.create_durable ~order:4 ~page_ints:(Tree_intf.vrec_page_ints store)
+      ~enc:Fun.id ~dec:Fun.id store
+  in
+  let c = mctx ~slot:0 in
+  for k = 1 to 200 do
+    MD.upsert t c k (k * 10)
+  done;
+  (* churn: overwrites build chains, deletes leave tombstones *)
+  for k = 1 to 50 do
+    MD.upsert t c k (k * 100)
+  done;
+  for k = 151 to 170 do
+    ignore (MD.delete t c k : bool)
+  done;
+  MD.commit t;
+  Alcotest.(check bool) "durable" true (MD.durable t);
+  Alcotest.(check bool) "versions persisted" true (MD.persisted_versions t > 200);
+  Alcotest.(check bool) "vrec pages allocated" true (MD.persisted_pages t > 0);
+  Pg.close store;
+  (* reopen: chains must replay exactly *)
+  let store = Pg.open_file ~wal_path:wal path in
+  let t = MD.open_durable ~enc:Fun.id ~dec:Fun.id store in
+  let c = mctx ~slot:0 in
+  Alcotest.(check (option int)) "overwritten key newest" (Some 100) (MD.get t c 1);
+  Alcotest.(check (option int)) "untouched key" (Some 1000) (MD.get t c 100);
+  Alcotest.(check (option int)) "tombstoned key" None (MD.get t c 160);
+  Alcotest.(check int) "cardinal" 180 (MD.cardinal t);
+  (* overwritten chains kept both versions across the reopen *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chains replayed (%d live versions)" (MD.live_versions t))
+    true
+    (MD.live_versions t >= 250);
+  (* a fresh snapshot over the recovered store still gives a cut *)
+  let s = MD.snapshot t in
+  MD.upsert t c 1 7;
+  Alcotest.(check (option int)) "snap sees recovered version" (Some 100)
+    (MD.snap_get t s c 1);
+  Alcotest.(check (option int)) "now sees new" (Some 7) (MD.get t c 1);
+  MD.release s;
+  Pg.close store;
+  rm path;
+  rm wal
+
+let test_durable_migrates_plain_store () =
+  let path = temp_base "mig" in
+  rm path;
+  (* build a plain (unversioned, v2-only) tree and flush it *)
+  let store = Pg.create_file path in
+  let module Sd = Tree_intf.Sagiv_disk in
+  let pt = Sd.create ~order:4 ~store () in
+  let c = Sd.ctx ~slot:0 in
+  for k = 1 to 100 do
+    ignore (Sd.insert pt c k (k * 3))
+  done;
+  Sd.flush pt;
+  Pg.close store;
+  (* open it as durable MVCC: payloads migrate into one-version chains *)
+  let store = Pg.open_file path in
+  let t = MD.open_durable ~enc:Fun.id ~dec:Fun.id store in
+  let c = mctx ~slot:0 in
+  Alcotest.(check (option int)) "migrated value" (Some 3) (MD.get t c 1);
+  Alcotest.(check int) "migrated cardinal" 100 (MD.cardinal t);
+  Alcotest.(check int) "one version per key" 100 (MD.live_versions t);
+  MD.upsert t c 1 999;
+  MD.commit t;
+  Pg.close store;
+  (* and the migrated store reopens as MVCC from then on *)
+  let store = Pg.open_file path in
+  let t = MD.open_durable ~enc:Fun.id ~dec:Fun.id store in
+  let c = mctx ~slot:0 in
+  Alcotest.(check (option int)) "post-migration upsert" (Some 999) (MD.get t c 1);
+  Alcotest.(check int) "chain grew" 101 (MD.live_versions t);
+  Pg.close store;
+  rm path
+
+let test_durable_no_resurrection () =
+  let path = temp_base "prune" and wal = temp_base "prune.wal" in
+  rm path;
+  rm wal;
+  let store = Pg.create_file ~wal_path:wal path in
+  let t =
+    MD.create_durable ~order:4 ~enc:Fun.id ~dec:Fun.id store
+  in
+  let c = mctx ~slot:0 in
+  for k = 1 to 40 do
+    for v = 1 to 5 do
+      MD.upsert t c k ((k * 10) + v)
+    done
+  done;
+  MD.commit t;
+  Alcotest.(check int) "5 versions per chain" 200 (MD.live_versions t);
+  (* no pins: vacuum prunes every chain to its newest version *)
+  ignore (MD.vacuum t c : int);
+  ignore (MD.reclaim t : int);
+  MD.commit t;
+  Alcotest.(check int) "pruned to newest" 40 (MD.live_versions t);
+  Pg.close store;
+  (* WAL replay rematerializes pre-prune page images; the persisted
+     horizon must re-prune them — pruned versions never resurrect *)
+  let store = Pg.open_file ~wal_path:wal path in
+  let t = MD.open_durable ~enc:Fun.id ~dec:Fun.id store in
+  let c = mctx ~slot:0 in
+  Alcotest.(check int) "no resurrection" 40 (MD.live_versions t);
+  Alcotest.(check (option int)) "newest survives" (Some 15) (MD.get t c 1);
+  Pg.close store;
+  rm path;
+  rm wal
+
+let test_durable_sharded_reopen () =
+  let path = temp_base "shard" and wal = temp_base "shard.wal" in
+  let shards = 4 in
+  for i = 0 to shards - 1 do
+    rm (Sh.shard_path path i);
+    rm (Sh.shard_path wal i)
+  done;
+  let sst = Sh.create_file ~wal_path:wal ~shards path in
+  let _, h = Tree_intf.sagiv_mvcc_disk_on ~order:4 sst in
+  let c = mctx ~slot:0 in
+  for k = 1 to 400 do
+    ignore (h.Tree_intf.insert c k (k * 2))
+  done;
+  for k = 1 to 100 do
+    ignore (h.Tree_intf.delete c k)
+  done;
+  h.Tree_intf.commit ();
+  Sh.close sst;
+  let sst = Sh.open_file ~wal_path:wal ~shards path in
+  let ts, h = Tree_intf.sagiv_mvcc_disk_open sst in
+  Alcotest.(check int) "shards reopened" shards (Array.length ts);
+  Alcotest.(check int) "cardinal across shards" 300 (h.Tree_intf.cardinal ());
+  Alcotest.(check (option int)) "routed read" (Some 400) (h.Tree_intf.search c 200);
+  (* the reopened composition still serves a true cross-shard cut *)
+  let m = Option.get h.Tree_intf.mvcc in
+  let s = m.Tree_intf.snapshot () in
+  ignore (h.Tree_intf.insert c 1 111);
+  ignore (h.Tree_intf.delete c 150);
+  Alcotest.(check (option int)) "snap misses post-cut insert" None
+    (s.Tree_intf.snap_search c 1);
+  Alcotest.(check (option int)) "snap keeps post-cut delete" (Some 300)
+    (s.Tree_intf.snap_search c 150);
+  Alcotest.(check int) "snap range one cut" 300
+    (List.length (s.Tree_intf.snap_range c ~lo:1 ~hi:400));
+  s.Tree_intf.snap_release ();
+  Sh.close sst;
+  for i = 0 to shards - 1 do
+    rm (Sh.shard_path path i);
+    rm (Sh.shard_path wal i)
+  done
+
 let suite =
   [
     ("snapshot visibility", `Quick, test_snapshot_visibility);
@@ -536,5 +742,12 @@ let suite =
     ("SNAPSHOT frame roundtrip", `Quick, test_snapshot_frame_roundtrip);
     ("server snapshot session", `Quick, test_server_snapshot_session);
     ("snapshot on plain backend refused", `Quick, test_server_snapshot_unsupported);
+    ( "SNAPSHOT pin released on connection crash",
+      `Quick,
+      test_server_pin_survives_conn_crash );
     ("replica scans pin one horizon", `Quick, test_replica_scan_horizon);
+    ("durable chains survive close/reopen", `Quick, test_durable_roundtrip);
+    ("plain v2 store migrates in place", `Quick, test_durable_migrates_plain_store);
+    ("pruned versions never resurrect", `Quick, test_durable_no_resurrection);
+    ("sharded durable MVCC reopens with one cut", `Quick, test_durable_sharded_reopen);
   ]

@@ -493,6 +493,139 @@ let test_replica_promotion () =
   Alcotest.(check (option int)) "deleted key" None (R.search r ctx 0);
   Alcotest.(check int) "cardinal tracks" 30 (R.cardinal r)
 
+(* ---------- durable-MVCC replica reads ---------- *)
+
+(* A durable-MVCC primary ships vrec (version-chain) pages through the
+   same WAL stream as tree pages. The replica must resolve leaf slot
+   pointers through the shipped chains at the persisted clock — raw leaf
+   payloads are record pointers, not values. *)
+let test_replica_mvcc_reads () =
+  let module MD = Tree_intf.Mvcc_disk in
+  let data_page_size = 512 in
+  let wal_page_size = Wal.log_page_size ~data_page_size in
+  let pfile = Paged_file.create_shadow ~page_size:data_page_size () in
+  let lfile = Paged_file.create_shadow ~page_size:wal_page_size () in
+  let store = PS.create_on ~cache_pages:64 ~wal:lfile pfile in
+  let md =
+    MD.create_durable ~order:4 ~enc:Fun.id ~dec:Fun.id
+      ~page_ints:(Tree_intf.vrec_page_ints store) store
+  in
+  MD.flush md;
+  let handle = Tree_intf.mvcc_disk_sub_handle md ~name:"mvcc-disk" in
+  let wal_source =
+    {
+      Server.ws_shards = 1;
+      ws_fetch =
+        (fun ~shard:_ ~lsn ~max_pages -> PS.wal_fetch store ~lsn ~max_pages);
+      ws_wait = (fun ~shard:_ ~lsn ~timeout -> PS.wal_wait store ~lsn ~timeout);
+    }
+  in
+  let srv =
+    Server.start ~workers:2 ~durable_acks:true ~wal_source ~handle
+      ~listen:[ loopback ] ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+  @@ fun () ->
+  let addr = List.hd (Server.addresses srv) in
+  (with_client addr @@ fun c ->
+   for k = 0 to 29 do
+     ignore (C.insert c ~key:k ~value:(k * 3))
+   done;
+   C.commit c);
+  with_client addr @@ fun rc ->
+  let r = R.create () in
+  ignore (drain_replica r rc);
+  let ctx = Repro_core.Handle.ctx ~slot:0 in
+  Alcotest.(check bool) "mvcc horizon detected" true (R.mvcc_horizon r <> None);
+  (* values, not record pointers *)
+  Alcotest.(check (option int)) "chain resolved" (Some 21) (R.search r ctx 7);
+  Alcotest.(check (list (pair int int)))
+    "range resolves chains"
+    [ (10, 30); (11, 33); (12, 36) ]
+    (R.range r ctx ~lo:10 ~hi:12);
+  Alcotest.(check int) "live cardinal" 30 (R.cardinal r);
+  (* a tombstone ships as a chain head and reads as absent *)
+  (with_client addr @@ fun c ->
+   ignore (C.delete c ~key:7);
+   C.commit c);
+  ignore (drain_replica r rc);
+  Alcotest.(check (option int)) "tombstone absent" None (R.search r ctx 7);
+  Alcotest.(check int) "tombstone excluded from cardinal" 29 (R.cardinal r);
+  (* overwrites append versions; the replica reads the newest at the cut *)
+  (with_client addr @@ fun c ->
+   ignore (C.insert c ~key:7 ~value:777);
+   C.commit c);
+  ignore (drain_replica r rc);
+  Alcotest.(check (option int)) "resurrected head" (Some 777) (R.search r ctx 7);
+  (* the clock ticks on snapshot cuts; the next shipped meta carries it *)
+  let s = MD.snapshot md in
+  MD.release s;
+  (with_client addr @@ fun c ->
+   ignore (C.insert c ~key:500 ~value:1);
+   C.commit c);
+  ignore (drain_replica r rc);
+  let h1 = Option.get (R.mvcc_horizon r) in
+  Alcotest.(check bool) "horizon advanced past the cut" true (h1 > 0);
+  Alcotest.(check (option int)) "post-cut write visible" (Some 1)
+    (R.search r ctx 500)
+
+(* ---------- serve flag compatibility matrix ---------- *)
+
+(* One case per row of the Serve_config matrix: every flag combination
+   either resolves to a coherent configuration (with the expected ack
+   durability) or is rejected with an actionable error.  This replaces
+   the ad-hoc guards the CLI used to carry inline — the CLI now applies
+   [Serve_config.validate] verbatim, so this table IS the behaviour. *)
+let test_serve_config_matrix () =
+  let module SC = Repro_server.Serve_config in
+  let v ?(backend = "mem") ?(durability = "sync") ?(shards = 1)
+      ?(mvcc = false) ?path () =
+    SC.validate ~backend ~durability ~shards ~mvcc ~path
+  in
+  let ok name r =
+    match r with
+    | Ok (c : SC.t) -> c
+    | Error e -> Alcotest.failf "%s: unexpected rejection: %s" name e
+  in
+  let err name r =
+    match r with
+    | Ok (_ : SC.t) -> Alcotest.failf "%s: accepted an invalid combination" name
+    | Error e -> Alcotest.(check bool) (name ^ " message nonempty") true (e <> "")
+  in
+  (* accepted rows *)
+  let c = ok "mem plain" (v ()) in
+  Alcotest.(check bool) "mem acks volatile" false c.SC.durable_acks;
+  let c = ok "disk plain" (v ~backend:"disk" ()) in
+  Alcotest.(check bool) "disk acks durable" true c.SC.durable_acks;
+  ignore (ok "disk sharded" (v ~backend:"disk" ~shards:4 ()));
+  ignore (ok "disk wal" (v ~backend:"disk" ~durability:"wal" ()));
+  ignore (ok "mem mvcc" (v ~mvcc:true ()));
+  ignore (ok "mem mvcc sharded" (v ~mvcc:true ~shards:4 ()));
+  let c =
+    ok "disk mvcc sharded wal path"
+      (v ~backend:"disk" ~durability:"wal" ~shards:4 ~mvcc:true
+         ~path:"/tmp/t.db" ())
+  in
+  Alcotest.(check bool) "durable mvcc acks durable" true c.SC.durable_acks;
+  Alcotest.(check int) "shards carried" 4 c.SC.shards;
+  Alcotest.(check bool) "wal carried" true c.SC.wal;
+  Alcotest.(check (option string)) "path carried" (Some "/tmp/t.db") c.SC.path;
+  ignore (ok "disk mvcc plain" (v ~backend:"disk" ~mvcc:true ()));
+  (* rejected rows *)
+  err "unknown backend" (v ~backend:"floppy" ());
+  err "unknown durability" (v ~durability:"fsync-maybe" ());
+  err "zero shards" (v ~shards:0 ());
+  err "negative shards" (v ~shards:(-3) ());
+  err "wal on mem" (v ~durability:"wal" ());
+  err "wal on mem sharded mvcc" (v ~durability:"wal" ~shards:4 ~mvcc:true ());
+  err "path on mem" (v ~path:"/tmp/t.db" ());
+  err "plain mem sharding" (v ~shards:4 ());
+  (* the row the tentpole fixed: mem sharding is fine WITH mvcc, and
+     disk sharding never needed it *)
+  ignore (ok "mem sharding with mvcc" (v ~shards:8 ~mvcc:true ()));
+  ignore (ok "disk sharding sans mvcc" (v ~backend:"disk" ~shards:8 ()))
+
 let suite =
   [
     ("protocol roundtrip", `Quick, test_roundtrip);
@@ -509,4 +642,6 @@ let suite =
     ("acked write survives crash (wal)", `Quick, test_wal_acked_crash);
     ("replica catches up over the socket", `Quick, test_replica_catch_up);
     ("replica promotion after primary loss", `Quick, test_replica_promotion);
+    ("replica resolves durable-mvcc chains", `Quick, test_replica_mvcc_reads);
+    ("serve flag compatibility matrix", `Quick, test_serve_config_matrix);
   ]
